@@ -1,0 +1,56 @@
+// Ablation: parallel multi-topic optimization (paper §IV-C / §V-F:
+// "different topics can be solved in parallel, as they are independent").
+//
+// The speedup is bounded by std::thread::hardware_concurrency() — on a
+// single-core host every thread count measures the same wall time; the
+// interesting property there is the absence of parallel overhead. The
+// `cores` counter records what the machine offered.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "core/parallel.h"
+#include "sim/scenario.h"
+
+using namespace multipub;
+
+namespace {
+
+/// A bag of medium-sized topics over one shared Experiment-1 world.
+struct TopicBag {
+  sim::Scenario scenario;
+  std::vector<core::TopicState> topics;
+};
+
+TopicBag make_bag(std::size_t n_topics) {
+  Rng rng(2017);
+  TopicBag bag{sim::make_experiment1_scenario(rng), {}};
+  for (std::size_t t = 0; t < n_topics; ++t) {
+    core::TopicState topic = bag.scenario.topic;
+    topic.topic = TopicId{static_cast<TopicId::underlying_type>(t)};
+    topic.constraint = {75.0, 130.0 + 10.0 * static_cast<double>(t % 8)};
+    bag.topics.push_back(std::move(topic));
+  }
+  return bag;
+}
+
+void BM_Topics(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const TopicBag bag = make_bag(16);
+  const core::Optimizer optimizer(bag.scenario.catalog, bag.scenario.backbone,
+                                  bag.scenario.population.latencies);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::optimize_topics(optimizer, bag.topics, {}, threads));
+  }
+  state.counters["topics"] = 16;
+  state.counters["threads"] = threads;
+  state.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_Topics)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Ablation: weighted-percentile evaluator vs. the paper's full message list.
+//
+// Both compute the identical order statistic (property-tested); this bench
+// quantifies the speedup of aggregating per (publisher, subscriber) pair —
+// the paper's runtime is linear in the message count, the weighted path is
+// independent of it.
+#include <benchmark/benchmark.h>
+
+#include "sim/scenario.h"
+
+using namespace multipub;
+
+namespace {
+
+sim::Scenario make(double interval_seconds) {
+  Rng rng(2017);
+  std::vector<sim::PlacementSpec> placements;
+  for (int r = 0; r < 10; ++r) placements.push_back({RegionId{r}, 5, 5});
+  sim::WorkloadSpec workload;
+  workload.ratio = 75.0;
+  workload.max_t = 150.0;
+  workload.interval_seconds = interval_seconds;  // scales the message count
+  return sim::make_scenario(placements, workload, rng);
+}
+
+void BM_ExactList(benchmark::State& state) {
+  const sim::Scenario scenario = make(static_cast<double>(state.range(0)));
+  const auto optimizer = scenario.make_optimizer();
+  core::OptimizerOptions options;
+  options.strategy = core::EvaluationStrategy::kExactList;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(scenario.topic, options));
+  }
+  state.counters["deliveries"] =
+      static_cast<double>(scenario.topic.total_deliveries());
+}
+BENCHMARK(BM_ExactList)->Arg(15)->Arg(60)->Arg(240)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Weighted(benchmark::State& state) {
+  const sim::Scenario scenario = make(static_cast<double>(state.range(0)));
+  const auto optimizer = scenario.make_optimizer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(scenario.topic));
+  }
+  state.counters["deliveries"] =
+      static_cast<double>(scenario.topic.total_deliveries());
+}
+BENCHMARK(BM_Weighted)->Arg(15)->Arg(60)->Arg(240)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

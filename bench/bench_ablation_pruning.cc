@@ -1,0 +1,70 @@
+// Ablation: candidate-region pruning (paper §V-F).
+//
+// Measures, over the three experiment workloads, how much pruning shrinks
+// the configuration search and whether the pruned answer deviates from the
+// exhaustive optimum.
+#include <chrono>
+#include <cstdio>
+
+#include "core/pruning.h"
+#include "sim/scenario.h"
+
+using namespace multipub;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void run_case(const char* label, const sim::Scenario& scenario, Millis max_t,
+              int keep_closest) {
+  auto topic = scenario.topic;
+  topic.constraint.max = max_t;
+  const auto optimizer = scenario.make_optimizer();
+
+  const double t0 = now_ms();
+  const auto full = optimizer.optimize(topic);
+  const double t1 = now_ms();
+
+  const auto candidates = core::prune_candidates(
+      topic, scenario.population.latencies, scenario.catalog,
+      {.keep_closest = keep_closest});
+  core::OptimizerOptions pruned_options;
+  pruned_options.candidates = candidates;
+  const double t2 = now_ms();
+  const auto pruned = optimizer.optimize(topic, pruned_options);
+  const double t3 = now_ms();
+
+  const bool same = pruned.config == full.config;
+  const double cost_gap =
+      full.cost > 0 ? 100.0 * (pruned.cost - full.cost) / full.cost : 0.0;
+  std::printf("%-28s m=%d  configs %4zu -> %4zu  time %7.2f -> %7.2f ms  "
+              "same-answer %-3s  cost-gap %+.2f %%\n",
+              label, keep_closest, full.configs_evaluated,
+              pruned.configs_evaluated, t1 - t0, t3 - t2, same ? "yes" : "no",
+              cost_gap);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: region pruning (keep each client's m closest + "
+              "cheapest region) ===\n");
+  Rng rng(2017);
+  const auto exp1 = sim::make_experiment1_scenario(rng);
+  const auto exp2 = sim::make_experiment2_scenario(rng);
+  const auto exp3 = sim::make_experiment3_scenario(RegionId{5}, rng);
+
+  for (int m : {1, 2, 3}) {
+    run_case("exp1-global  max_T=150", exp1, 150.0, m);
+    run_case("exp2-asym    max_T=130", exp2, 130.0, m);
+    run_case("exp3-tokyo   max_T=200", exp3, 200.0, m);
+    std::printf("\n");
+  }
+  std::printf("expectation: m>=2 preserves the optimum while cutting the\n"
+              "search space by an order of magnitude on localized topics.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 6: runtime analysis of the optimizer (Experiment 4).
+//
+// (6a) runtime vs. the number of publishers = subscribers at 10 regions —
+//      linear in the message count with the paper's exact-list evaluation;
+// (6b) runtime vs. the number of regions at 100 publishers/subscribers —
+//      exponential (2*(2^N - 1) - N configurations).
+// Both use the kExactList strategy to reproduce the paper's algorithm; a
+// companion counter benchmark shows the weighted fast path for contrast.
+#include <benchmark/benchmark.h>
+
+#include "sim/scenario.h"
+
+using namespace multipub;
+
+namespace {
+
+/// Builds an Experiment-1-style scenario with `per_region` publishers and
+/// subscribers near each of the first `n_regions` EC2 regions.
+sim::Scenario scaled_scenario(std::size_t n_regions, std::size_t clients_total) {
+  Rng rng(2017);
+  const std::size_t per_region =
+      std::max<std::size_t>(1, clients_total / n_regions);
+  std::vector<sim::PlacementSpec> placements;
+  for (std::size_t r = 0; r < n_regions; ++r) {
+    placements.push_back({RegionId{static_cast<RegionId::underlying_type>(r)},
+                          per_region, per_region});
+  }
+  sim::WorkloadSpec workload;
+  workload.ratio = 75.0;
+  workload.max_t = 150.0;
+  workload.interval_seconds = 60.0;
+  sim::Scenario scenario = sim::make_scenario(placements, workload, rng);
+  if (n_regions < 10) {
+    // Restrict the world to the first n regions so the optimizer's search
+    // space shrinks the way Fig. 6b varies it.
+    scenario.catalog = scenario.catalog.prefix(n_regions);
+    scenario.backbone = scenario.backbone.prefix(n_regions);
+    geo::ClientLatencyMap truncated(n_regions);
+    for (std::size_t c = 0; c < scenario.population.latencies.n_clients();
+         ++c) {
+      const auto row = scenario.population.latencies.row(
+          ClientId{static_cast<ClientId::underlying_type>(c)});
+      truncated.add_client(row.subspan(0, n_regions));
+    }
+    scenario.population.latencies = std::move(truncated);
+  }
+  return scenario;
+}
+
+void BM_Fig6a_ClientsExact(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  const sim::Scenario scenario = scaled_scenario(10, clients);
+  const auto optimizer = scenario.make_optimizer();
+  core::OptimizerOptions options;
+  options.strategy = core::EvaluationStrategy::kExactList;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(scenario.topic, options));
+  }
+  state.counters["pubs"] = static_cast<double>(scenario.topic.publishers.size());
+  state.counters["subs"] =
+      static_cast<double>(scenario.topic.subscribers.size());
+  state.counters["deliveries"] =
+      static_cast<double>(scenario.topic.total_deliveries());
+}
+BENCHMARK(BM_Fig6a_ClientsExact)
+    ->Arg(10)->Arg(20)->Arg(40)->Arg(60)->Arg(80)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig6b_RegionsExact(benchmark::State& state) {
+  const auto n_regions = static_cast<std::size_t>(state.range(0));
+  const sim::Scenario scenario = scaled_scenario(n_regions, 100);
+  const auto optimizer = scenario.make_optimizer();
+  core::OptimizerOptions options;
+  options.strategy = core::EvaluationStrategy::kExactList;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(scenario.topic, options));
+  }
+  state.counters["configs"] = static_cast<double>(
+      2 * ((1u << n_regions) - 1) - n_regions);
+}
+BENCHMARK(BM_Fig6b_RegionsExact)
+    ->DenseRange(2, 10, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig6_WeightedFastPath(benchmark::State& state) {
+  // Contrast: the weighted evaluator at the paper's largest setting.
+  const sim::Scenario scenario = scaled_scenario(10, 100);
+  const auto optimizer = scenario.make_optimizer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(scenario.topic));
+  }
+}
+BENCHMARK(BM_Fig6_WeightedFastPath)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

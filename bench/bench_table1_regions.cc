@@ -1,0 +1,53 @@
+// Table I: EC2 outgoing bandwidth costs.
+//
+// Prints the region catalog the way the paper's Table I does and validates
+// the two structural properties the experiments rely on (inbound free is a
+// modelling assumption, not data; alpha <= beta everywhere; US/EU cheap).
+#include <cstdio>
+#include <cstdlib>
+
+#include "geo/latency.h"
+#include "geo/region.h"
+
+using namespace multipub;
+
+int main() {
+  const auto catalog = geo::RegionCatalog::ec2_2016();
+  const auto backbone = geo::InterRegionLatency::ec2_2016();
+
+  std::printf("Table I: EC2 outgoing bandwidth costs ($/GB)\n");
+  std::printf("%-5s %-16s %-14s %8s %8s\n", "R", "Region", "Location", "$EC2",
+              "$Inet");
+  for (const auto& region : catalog.all()) {
+    std::printf("R%-4d %-16s %-14s %8.3f %8.3f\n", region.id.value() + 1,
+                region.name.c_str(), region.location.c_str(),
+                region.inter_region_cost_per_gb, region.internet_cost_per_gb);
+  }
+
+  // Validations.
+  bool ok = catalog.size() == 10 && backbone.complete();
+  for (const auto& region : catalog.all()) {
+    ok = ok && region.inter_region_cost_per_gb <= region.internet_cost_per_gb;
+  }
+  // US/EU (R1-R5) Internet egress is the cheapest tier.
+  for (int i = 0; i < 5; ++i) {
+    ok = ok && catalog.at(RegionId{i}).internet_cost_per_gb == 0.09;
+  }
+
+  std::printf("\nInter-region one-way latency matrix L^R (ms):\n      ");
+  for (std::size_t j = 0; j < catalog.size(); ++j) {
+    std::printf("%6zu", j + 1);
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    std::printf("R%-5zu", i + 1);
+    for (std::size_t j = 0; j < catalog.size(); ++j) {
+      std::printf("%6.0f", backbone.at(RegionId{static_cast<int>(i)},
+                                       RegionId{static_cast<int>(j)}));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nvalidation: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

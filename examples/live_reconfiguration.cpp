@@ -1,0 +1,59 @@
+// Live middleware demo: transparent reconfiguration in action.
+//
+// Boots the full event-driven stack — brokers in all ten regions, region
+// managers, the controller, 4 publishers and 10 subscribers — deliberately
+// misconfigured (all regions, routed). Then it alternates traffic intervals
+// with controller rounds and prints how the deployment converges, what the
+// clients experience, and what each interval costs.
+//
+//   ./live_reconfiguration
+#include <cstdio>
+
+#include "sim/live_runner.h"
+
+using namespace multipub;
+
+int main() {
+  Rng rng(99);
+  sim::WorkloadSpec workload;
+  workload.interval_seconds = 30.0;
+  workload.ratio = 75.0;
+  workload.max_t = 140.0;  // 75 % of deliveries within 140 ms
+  const sim::Scenario scenario = sim::make_scenario(
+      {{RegionId{0}, 2, 5}, {RegionId{5}, 2, 5}}, workload, rng);
+
+  // Bootstrap deliberately terrible: a single server in Sao Paulo — the
+  // most expensive region, far from every client.
+  const core::TopicConfig bootstrap{geo::RegionSet::single(RegionId{9}),
+                                    core::DeliveryMode::kDirect};
+  sim::LiveSystem live(scenario);
+  live.deploy(bootstrap);
+  std::printf("bootstrap deployment: %s\n\n", bootstrap.to_string().c_str());
+
+  std::printf("%8s %-24s %10s %12s %12s\n", "interval", "deployed config",
+              "p75 (ms)", "$/interval", "reconfig?");
+  for (int interval = 1; interval <= 4; ++interval) {
+    const auto run = live.run_interval(30.0, 1024, 1.0, rng);
+    const auto decisions = live.control_round();
+
+    const char* changed = "-";
+    std::string config_str = "(bootstrap)";
+    if (!decisions.empty()) {
+      changed = decisions[0].changed ? "yes" : "no";
+      config_str = decisions[0].result.config.to_string();
+    }
+    std::printf("%8d %-24s %10.1f %12.4f %12s\n", interval,
+                config_str.c_str(), run.percentile, run.interval_cost,
+                changed);
+  }
+
+  std::uint64_t reconnects = 0;
+  for (const auto& sub : live.subscribers()) {
+    reconnects += sub->reconnect_count();
+  }
+  std::printf(
+      "\nsubscriber reconnections performed transparently: %llu\n"
+      "(clients moved to their new closest region on kConfigUpdate)\n",
+      static_cast<unsigned long long>(reconnects));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Content-filtered market data (the paper's §VII extension in action).
+//
+// One "ticks" topic carries price updates for 100 instruments (content key =
+// instrument id). Regional desks subscribe with key filters for the slice
+// they trade, so each desk receives — and the operator pays egress for —
+// only its share. The example runs the live middleware and prints per-desk
+// delivery counts plus what the same workload would bill without filtering.
+//
+//   ./market_data
+#include <cstdio>
+
+#include "sim/live_runner.h"
+
+using namespace multipub;
+
+int main() {
+  Rng rng(42);
+  sim::WorkloadSpec workload;
+  workload.interval_seconds = 30.0;
+  workload.ratio = 95.0;
+  // Feed publisher near N. Virginia; desks near Virginia, Frankfurt, Tokyo.
+  const sim::Scenario scenario = sim::make_scenario(
+      {{RegionId{0}, 1, 1}, {RegionId{4}, 0, 1}, {RegionId{5}, 0, 1}},
+      workload, rng);
+
+  sim::LiveSystem live(scenario);
+  const core::TopicConfig config{
+      geo::RegionSet(0b0000110001),  // R1, R5, R6
+      core::DeliveryMode::kRouted};
+  live.deploy(config);
+
+  // Desk filters: US equities 0-39, EU equities 40-69, APAC 70-99.
+  const TopicId ticks = scenario.topic.topic;
+  live.subscribers()[0]->subscribe(ticks, config, wire::KeyFilter{0, 39});
+  live.subscribers()[1]->subscribe(ticks, config, wire::KeyFilter{40, 69});
+  live.subscribers()[2]->subscribe(ticks, config, wire::KeyFilter{70, 99});
+  live.simulator().run();
+
+  // The feed publishes one 256-byte tick per instrument per second.
+  auto& feed = *live.publishers()[0];
+  const double seconds = 30.0;
+  for (int s = 0; s < static_cast<int>(seconds); ++s) {
+    for (std::uint64_t instrument = 0; instrument < 100; ++instrument) {
+      live.simulator().schedule_after(
+          1000.0 * s + 10.0 * static_cast<double>(instrument),
+          [&feed, ticks, instrument] { feed.publish(ticks, 256, instrument); });
+    }
+  }
+  live.simulator().run();
+
+  const char* desks[] = {"US desk (keys 0-39)", "EU desk (keys 40-69)",
+                         "APAC desk (keys 70-99)"};
+  std::printf("30 s of ticks: 100 instruments @ 1 Hz = 3000 publications\n\n");
+  std::printf("%-24s %12s %14s\n", "desk", "deliveries", "share");
+  std::uint64_t total = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto n = live.subscribers()[static_cast<std::size_t>(i)]
+                       ->deliveries().size();
+    total += n;
+    std::printf("%-24s %12zu %13.0f%%\n", desks[i], n, 100.0 * n / 3000.0);
+  }
+
+  const Dollars billed =
+      live.transport().ledger().total_cost(scenario.catalog);
+  std::printf("\ndelivered %llu of 9000 potential (unfiltered) deliveries\n",
+              static_cast<unsigned long long>(total));
+  std::printf("billed egress this interval: $%.6f\n", billed);
+  std::printf("unfiltered egress would be roughly 3x the subscriber share\n");
+  return 0;
+}

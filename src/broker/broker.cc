@@ -1,0 +1,132 @@
+#include "broker/broker.h"
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace multipub::broker {
+
+Broker::Broker(RegionId self, net::Simulator& sim,
+               net::SimTransport& transport)
+    : self_(self), sim_(&sim), transport_(&transport) {
+  MP_EXPECTS(self.valid());
+  transport.register_handler(net::Address::region(self),
+                             [this](const wire::Message& msg) { handle(msg); });
+}
+
+void Broker::set_topic_config(TopicId topic, const core::TopicConfig& config) {
+  MP_EXPECTS(!config.regions.empty());
+  if (const auto it = configs_.find(topic);
+      it != configs_.end() && !(it->second == config)) {
+    // Reconfiguration: keep the outgoing fan-out covering the previous
+    // serving set until clients have finished their handover.
+    Drain& drain = draining_[topic];
+    drain.regions = drain.regions | it->second.regions;
+    drain.until = sim_->now() + drain_grace_ms_;
+    sim_->schedule_after(drain_grace_ms_, [this, topic] {
+      const auto drain_it = draining_.find(topic);
+      if (drain_it != draining_.end() &&
+          sim_->now() >= drain_it->second.until) {
+        draining_.erase(drain_it);
+      }
+    });
+  }
+  configs_[topic] = config;
+}
+
+geo::RegionSet Broker::draining_regions(TopicId topic) const {
+  const auto it = draining_.find(topic);
+  return it == draining_.end() ? geo::RegionSet{} : it->second.regions;
+}
+
+const core::TopicConfig* Broker::topic_config(TopicId topic) const {
+  const auto it = configs_.find(topic);
+  return it == configs_.end() ? nullptr : &it->second;
+}
+
+void Broker::handle(const wire::Message& msg) {
+  switch (msg.type) {
+    case wire::MessageType::kSubscribe:
+      subs_.subscribe(msg.topic, msg.subscriber, msg.filter);
+      break;
+    case wire::MessageType::kUnsubscribe:
+      subs_.unsubscribe(msg.topic, msg.subscriber);
+      break;
+    case wire::MessageType::kPublish:
+      on_publish(msg);
+      break;
+    case wire::MessageType::kForward:
+      deliver_locally(msg);
+      break;
+    case wire::MessageType::kPing: {
+      // Latency probe: echo it back so the client can measure the RTT.
+      wire::Message pong = msg;
+      pong.type = wire::MessageType::kPong;
+      transport_->send(net::Address::region(self_),
+                       net::Address::client(msg.subscriber), pong);
+      break;
+    }
+    case wire::MessageType::kLatencyReport:
+      latency_reports_.push_back({msg.subscriber, msg.published_at});
+      break;
+    case wire::MessageType::kDeliver:
+    case wire::MessageType::kConfigUpdate:
+    case wire::MessageType::kPong:
+      MP_LOG_WARN("broker") << "region R" << self_.value() + 1
+                            << " ignoring client-bound message "
+                            << wire::to_string(msg.type);
+      break;
+  }
+}
+
+void Broker::on_publish(const wire::Message& msg) {
+  // Collection-interval statistics (paper §III-A3): who published, how many
+  // messages, how many bytes.
+  auto& observed = traffic_[msg.topic][msg.publisher];
+  observed.msg_count += 1;
+  observed.total_bytes += msg.payload_bytes;
+
+  // Under routed delivery the publisher sent the publication only to us (its
+  // closest serving region); we forward it to every other serving region.
+  // Two reconfiguration races are handled here:
+  //  - the fan-out decision follows the MESSAGE's stamped intent, not our
+  //    own (possibly newer) configuration — during a routed->direct switch
+  //    a publication already in flight still expects us to fan it out;
+  //  - the fan-out TARGETS include regions in the drain window — remote
+  //    subscribers may still be attached to a region that just left the
+  //    serving set.
+  if (const core::TopicConfig* config = topic_config(msg.topic);
+      config != nullptr && msg.config_mode == wire::WireMode::kRouted) {
+    const geo::RegionSet targets =
+        config->regions | draining_regions(msg.topic);
+    for (RegionId peer : targets.to_vector()) {
+      if (peer == self_) continue;
+      wire::Message forward = msg;
+      forward.type = wire::MessageType::kForward;
+      transport_->send(net::Address::region(self_),
+                       net::Address::region(peer), forward);
+      ++forwarded_;
+    }
+  }
+  deliver_locally(msg);
+}
+
+void Broker::deliver_locally(const wire::Message& msg) {
+  for (const Subscription& sub : subs_.subscriptions(msg.topic)) {
+    // Content-based matching: filtered subscriptions only receive
+    // publications whose key falls inside their interval.
+    if (!sub.filter.matches(msg.key)) {
+      ++filtered_;
+      continue;
+    }
+    wire::Message deliver = msg;
+    deliver.type = wire::MessageType::kDeliver;
+    deliver.subscriber = sub.subscriber;
+    transport_->send(net::Address::region(self_),
+                     net::Address::client(sub.subscriber), deliver);
+    ++delivered_;
+  }
+}
+
+void Broker::reset_traffic() { traffic_.clear(); }
+
+}  // namespace multipub::broker

@@ -1,0 +1,117 @@
+// Per-region pub/sub broker (the Dynamoth stand-in, substitution #4).
+//
+// The broker is the data plane of one region: it accepts subscriptions,
+// matches publications to local subscribers, and — when a topic runs in
+// routed mode and the publication arrived directly from a publisher —
+// forwards it to the other serving regions. It also records the per-topic
+// traffic statistics the region manager reports to the controller.
+#pragma once
+
+#include <unordered_map>
+
+#include "broker/subscription_table.h"
+#include "core/config.h"
+#include "net/simulator.h"
+#include "net/transport.h"
+#include "wire/message.h"
+
+namespace multipub::broker {
+
+/// Traffic observed from one publisher on one topic during the current
+/// collection interval.
+struct ObservedPublisher {
+  std::uint64_t msg_count = 0;
+  Bytes total_bytes = 0;
+};
+
+/// One client-measured latency sample towards this region (kLatencyReport).
+struct LatencyReport {
+  ClientId client;
+  Millis one_way_ms = 0.0;
+};
+
+class Broker {
+ public:
+  /// Registers itself as the handler for Address::region(self) on the
+  /// transport. Simulator and transport must outlive the broker (the
+  /// simulator provides the clock for reconfiguration draining).
+  Broker(RegionId self, net::Simulator& sim, net::SimTransport& transport);
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Installs the topic's configuration (assignment vector + mode).
+  ///
+  /// Replacing an existing configuration starts a DRAIN window: routed
+  /// publications keep being fanned out to the previous region set too for
+  /// `drain_grace()` ms, because remote subscribers re-attach asynchronously
+  /// and would otherwise miss the publications racing the reconfiguration.
+  void set_topic_config(TopicId topic, const core::TopicConfig& config);
+
+  [[nodiscard]] const core::TopicConfig* topic_config(TopicId topic) const;
+
+  /// Message entry point (wired to the transport at construction).
+  void handle(const wire::Message& msg);
+
+  [[nodiscard]] RegionId region() const { return self_; }
+  [[nodiscard]] const SubscriptionTable& subscriptions() const { return subs_; }
+
+  /// Per-topic publisher traffic since the last drain.
+  using TopicTraffic = std::unordered_map<ClientId, ObservedPublisher>;
+  [[nodiscard]] const std::unordered_map<TopicId, TopicTraffic>& traffic()
+      const {
+    return traffic_;
+  }
+
+  /// Clears the collected statistics (end of a collection interval).
+  void reset_traffic();
+
+  /// Latency samples clients reported this interval (drained by the region
+  /// manager alongside the traffic statistics).
+  [[nodiscard]] const std::vector<LatencyReport>& latency_reports() const {
+    return latency_reports_;
+  }
+  void clear_latency_reports() { latency_reports_.clear(); }
+
+  /// How long the previous region set keeps receiving routed fan-out after
+  /// a reconfiguration.
+  void set_drain_grace(Millis grace_ms) { drain_grace_ms_ = grace_ms; }
+  [[nodiscard]] Millis drain_grace() const { return drain_grace_ms_; }
+
+  /// Regions currently in the drain window for a topic (empty set when
+  /// none).
+  [[nodiscard]] geo::RegionSet draining_regions(TopicId topic) const;
+
+  /// Publications delivered to local subscribers since construction.
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+
+  /// Publications fanned out to peer regions since construction.
+  [[nodiscard]] std::uint64_t forwarded_count() const { return forwarded_; }
+
+  /// Deliveries suppressed by content filters since construction.
+  [[nodiscard]] std::uint64_t filtered_count() const { return filtered_; }
+
+ private:
+  void on_publish(const wire::Message& msg);
+  void deliver_locally(const wire::Message& msg);
+
+  struct Drain {
+    geo::RegionSet regions;
+    Millis until = 0.0;
+  };
+
+  RegionId self_;
+  net::Simulator* sim_;
+  net::SimTransport* transport_;
+  SubscriptionTable subs_;
+  std::unordered_map<TopicId, core::TopicConfig> configs_;
+  std::unordered_map<TopicId, Drain> draining_;
+  std::unordered_map<TopicId, TopicTraffic> traffic_;
+  std::vector<LatencyReport> latency_reports_;
+  Millis drain_grace_ms_ = 1000.0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t filtered_ = 0;
+};
+
+}  // namespace multipub::broker

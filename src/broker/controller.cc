@@ -1,0 +1,252 @@
+#include "broker/controller.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace multipub::broker {
+
+Controller::Controller(const geo::RegionCatalog& catalog,
+                       const geo::InterRegionLatency& backbone,
+                       const geo::ClientLatencyMap& clients)
+    : estimator_(clients),
+      optimizer_(catalog, backbone, estimator_.map()),
+      heuristic_(catalog, backbone, estimator_.map()) {}
+
+void Controller::observe_latencies(RegionId region,
+                                   const std::vector<LatencyReport>& reports) {
+  for (const auto& report : reports) {
+    estimator_.observe(report.client, region, report.one_way_ms);
+  }
+}
+
+void Controller::set_constraint(TopicId topic,
+                                const core::DeliveryConstraint& constraint) {
+  MP_EXPECTS(constraint.ratio > 0.0 && constraint.ratio <= 100.0);
+  constraints_[topic] = constraint;
+}
+
+void Controller::enable_failure_detection(int missed_rounds) {
+  MP_EXPECTS(missed_rounds >= 1);
+  failure_detection_rounds_ = missed_rounds;
+  const std::size_t n = optimizer_.cost_model().catalog().size();
+  missed_rounds_.assign(n, 0);
+  reported_this_round_.assign(n, false);
+}
+
+int Controller::missed_rounds(RegionId region) const {
+  if (region.index() >= missed_rounds_.size()) return 0;
+  return missed_rounds_[region.index()];
+}
+
+void Controller::ingest(RegionId region,
+                        const std::vector<TopicReport>& reports) {
+  if (failure_detection_rounds_ > 0 &&
+      region.index() < reported_this_round_.size()) {
+    // Any ingest — even an empty report list — proves the region's manager
+    // is alive and reachable.
+    reported_this_round_[region.index()] = true;
+    missed_rounds_[region.index()] = 0;
+    unavailable_.remove(region);
+  }
+  for (const auto& report : reports) {
+    auto& agg = interval_[report.topic];
+    auto& seen_at = last_seen_at_[report.topic];
+    for (const auto& pub : report.publishers) {
+      auto& existing = agg.publishers[pub.client];
+      // Direct delivery: every serving region saw the same messages — keep
+      // the maximum rather than the sum.
+      if (pub.msg_count > existing.msg_count) {
+        existing = pub;
+      }
+      existing.client = pub.client;
+      seen_at[pub.client] = region;
+    }
+    for (ClientId sub : report.subscribers) {
+      agg.subscribers.insert(sub);
+      seen_at[sub] = region;
+    }
+  }
+}
+
+core::TopicState Controller::aggregate(TopicId topic) const {
+  core::TopicState state;
+  state.topic = topic;
+  if (const auto it = constraints_.find(topic); it != constraints_.end()) {
+    state.constraint = it->second;
+  }
+  const auto it = interval_.find(topic);
+  if (it == interval_.end()) return state;
+
+  for (const auto& [client, stats] : it->second.publishers) {
+    state.publishers.push_back(stats);
+  }
+  std::vector<ClientId> subs(it->second.subscribers.begin(),
+                             it->second.subscribers.end());
+  std::sort(subs.begin(), subs.end());
+  state.subscribers = core::unit_subscribers(subs);
+  return state;
+}
+
+void Controller::set_region_available(RegionId region, bool available) {
+  if (available) {
+    unavailable_.remove(region);
+  } else {
+    unavailable_.add(region);
+  }
+}
+
+bool Controller::region_available(RegionId region) const {
+  return !unavailable_.contains(region);
+}
+
+void Controller::enable_mitigation(bool enabled,
+                                   const core::MitigationParams& params) {
+  mitigation_enabled_ = enabled;
+  mitigation_params_ = params;
+}
+
+std::vector<Controller::Decision> Controller::reconfigure(
+    const core::OptimizerOptions& options) {
+  // Failure detection: regions silent for too many consecutive rounds are
+  // treated as down until they report again.
+  if (failure_detection_rounds_ > 0) {
+    for (std::size_t i = 0; i < reported_this_round_.size(); ++i) {
+      const RegionId region{static_cast<RegionId::underlying_type>(i)};
+      if (!reported_this_round_[i]) {
+        if (++missed_rounds_[i] >= failure_detection_rounds_) {
+          if (!unavailable_.contains(region)) {
+            MP_LOG_WARN("controller")
+                << "region R" << region.value() + 1 << " silent for "
+                << missed_rounds_[i] << " rounds; marking unavailable";
+          }
+          unavailable_.add(region);
+        }
+      }
+      reported_this_round_[i] = false;
+    }
+  }
+
+  // Outages shrink the candidate set for every topic.
+  core::OptimizerOptions effective = options;
+  {
+    const std::size_t n = optimizer_.cost_model().catalog().size();
+    const geo::RegionSet base = effective.candidates.empty()
+                                    ? geo::RegionSet::universe(n)
+                                    : effective.candidates;
+    const geo::RegionSet masked =
+        geo::RegionSet(base.mask() & ~unavailable_.mask());
+    // If everything is down there is nothing sane to deploy; keep the base
+    // set and let operators sort the datacenter fire out.
+    if (!masked.empty()) effective.candidates = masked;
+  }
+
+  std::vector<Decision> decisions;
+  for (const auto& [topic, agg] : interval_) {
+    const core::TopicState state = aggregate(topic);
+    // A topic with no subscribers or no traffic cannot be optimized (there
+    // is no delivery to constrain); skip until it has both.
+    if (state.subscribers.empty() || state.total_messages() == 0) continue;
+
+    Decision decision;
+    decision.topic = topic;
+    if (solver_ == Solver::kHeuristic) {
+      core::HeuristicOptions h_options;
+      h_options.mode_policy = effective.mode_policy;
+      h_options.candidates = effective.candidates;
+      const auto h = heuristic_.optimize(state, h_options);
+      decision.result.config = h.config;
+      decision.result.percentile = h.percentile;
+      decision.result.cost = h.cost;
+      decision.result.constraint_met = h.constraint_met;
+      decision.result.configs_evaluated = h.configs_evaluated;
+    } else {
+      decision.result = optimizer_.optimize(state, effective);
+    }
+
+    // High-latency client mitigation (paper §IV-D): force-add regions for
+    // subscribers whose every delivery misses max_T, then re-price the
+    // augmented configuration.
+    if (mitigation_enabled_ &&
+        state.constraint.max != kUnreachable) {
+      const auto outcome = core::mitigate_high_latency_clients(
+          state, decision.result.config, optimizer_.delivery_model(),
+          mitigation_params_);
+      if (!outcome.added_regions.empty()) {
+        decision.mitigation_regions = outcome.added_regions;
+        const auto eval = optimizer_.evaluate(state, outcome.config);
+        decision.result.config = eval.config;
+        decision.result.percentile = eval.percentile;
+        decision.result.cost = eval.cost;
+        decision.result.constraint_met = eval.feasible;
+      }
+    }
+
+    // Failover bookkeeping: clients last seen at a now-dead region cannot
+    // be reached by that region's manager.
+    if (!unavailable_.empty()) {
+      if (const auto seen = last_seen_at_.find(topic);
+          seen != last_seen_at_.end()) {
+        for (const auto& [client, region] : seen->second) {
+          if (unavailable_.contains(region)) {
+            decision.orphans.push_back(client);
+          }
+        }
+        std::sort(decision.orphans.begin(), decision.orphans.end());
+      }
+    }
+
+    const auto deployed = deployed_.find(topic);
+    decision.changed = deployed == deployed_.end() ||
+                       !(deployed->second == decision.result.config);
+    if (decision.changed) {
+      deployed_[topic] = decision.result.config;
+      MP_LOG_INFO("controller")
+          << "topic " << topic.value() << " reconfigured to "
+          << decision.result.config.to_string() << " (D=" << decision.result.percentile
+          << "ms, Z=$" << decision.result.cost << ")";
+    }
+    decisions.push_back(decision);
+  }
+  interval_.clear();
+  return decisions;
+}
+
+const core::TopicConfig* Controller::deployed_config(TopicId topic) const {
+  const auto it = deployed_.find(topic);
+  return it == deployed_.end() ? nullptr : &it->second;
+}
+
+std::vector<Controller::AssignmentRow> Controller::assignment_matrix() const {
+  std::vector<AssignmentRow> rows;
+  rows.reserve(deployed_.size());
+  for (const auto& [topic, config] : deployed_) {
+    rows.push_back({topic, config});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const AssignmentRow& a, const AssignmentRow& b) {
+              return a.topic < b.topic;
+            });
+  return rows;
+}
+
+std::string Controller::render_assignment_matrix() const {
+  const std::size_t n = optimizer_.cost_model().catalog().size();
+  std::string out;
+  for (const auto& row : assignment_matrix()) {
+    out += "topic " + std::to_string(row.topic.value()) + " |";
+    for (std::size_t r = 0; r < n; ++r) {
+      out += row.config.regions.contains(
+                 RegionId{static_cast<RegionId::underlying_type>(r)})
+                 ? " 1"
+                 : " 0";
+    }
+    out += " | ";
+    out += core::to_string(row.config.mode);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace multipub::broker

@@ -1,0 +1,151 @@
+// The MultiPub controller (paper §III-A4/A5).
+//
+// Installed in one region, the controller aggregates the region managers'
+// per-interval reports into one TopicState per topic, re-runs the optimizer,
+// and emits the configurations that changed. It owns the per-topic delivery
+// constraints and the latency matrices (paper: "it keeps track of the
+// latencies between every client and each of the cloud regions, as well as
+// between each pair of cloud regions").
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "broker/region_manager.h"
+#include "core/heuristic.h"
+#include "core/latency_estimator.h"
+#include "core/mitigation.h"
+#include "core/optimizer.h"
+
+namespace multipub::broker {
+
+class Controller {
+ public:
+  /// Catalog and backbone are borrowed and must outlive the controller; the
+  /// client latency matrix is COPIED into the controller's latency
+  /// estimator, which keeps it up to date as measurements arrive.
+  Controller(const geo::RegionCatalog& catalog,
+             const geo::InterRegionLatency& backbone,
+             const geo::ClientLatencyMap& clients);
+
+  /// Registers (or updates) a topic's delivery constraint. Topics without a
+  /// constraint are optimized for cost only (constraint "any latency").
+  void set_constraint(TopicId topic, const core::DeliveryConstraint& constraint);
+
+  /// Ingests one region's interval reports (called once per region per
+  /// interval). Publisher statistics are deduplicated across regions by
+  /// taking the maximum per publisher: under direct delivery every serving
+  /// region observes the same publications.
+  void ingest(RegionId region, const std::vector<TopicReport>& reports);
+
+  /// One topic's outcome of a reconfiguration round.
+  struct Decision {
+    TopicId topic;
+    core::OptimizerResult result;
+    /// False when the optimal configuration equals the deployed one (no
+    /// deployment necessary).
+    bool changed = false;
+    /// Clients whose last-reported region is currently unavailable: their
+    /// own region manager cannot notify them, so the deployment driver must
+    /// route their kConfigUpdate through an alive region manager
+    /// (RegionManager::notify_client).
+    std::vector<ClientId> orphans;
+    /// Regions force-added by the high-latency mitigation pass (paper
+    /// §IV-D), when enabled.
+    std::vector<RegionId> mitigation_regions;
+  };
+
+  /// Optimizes every topic seen this interval, remembers the deployed
+  /// configuration, clears the interval aggregation, and returns all
+  /// decisions ordered by topic id.
+  [[nodiscard]] std::vector<Decision> reconfigure(
+      const core::OptimizerOptions& options = {});
+
+  /// The configuration currently deployed for a topic (nullptr before the
+  /// first reconfigure round that saw it).
+  [[nodiscard]] const core::TopicConfig* deployed_config(TopicId topic) const;
+
+  /// One row of the assignment matrix (paper §III-A2).
+  struct AssignmentRow {
+    TopicId topic;
+    core::TopicConfig config;
+  };
+
+  /// The deployed assignment matrix, rows sorted by topic id.
+  [[nodiscard]] std::vector<AssignmentRow> assignment_matrix() const;
+
+  /// Printable form: one line per topic, one column per region —
+  ///   topic 0 | 1 0 0 0 1 0 0 0 0 0 | routed
+  [[nodiscard]] std::string render_assignment_matrix() const;
+
+  /// The TopicState the controller would optimize right now (exposed for
+  /// tests and the live runner's analytic cross-checks).
+  [[nodiscard]] core::TopicState aggregate(TopicId topic) const;
+
+  [[nodiscard]] const core::Optimizer& optimizer() const { return optimizer_; }
+
+  /// Folds one region's drained latency reports into the estimator: each
+  /// sample is a measured client<->region one-way latency (paper §III-C).
+  void observe_latencies(RegionId region,
+                         const std::vector<LatencyReport>& reports);
+
+  /// Marks a region unavailable (outage) or available again. Unavailable
+  /// regions are excluded from every topic's candidate set at the next
+  /// reconfigure round.
+  void set_region_available(RegionId region, bool available);
+  [[nodiscard]] bool region_available(RegionId region) const;
+
+  /// Enables the paper's §IV-D pass: after each topic's optimization, scan
+  /// for subscribers whose every delivery misses max_T and force-add a
+  /// region when it meets (or significantly improves) their latencies.
+  void enable_mitigation(bool enabled,
+                         const core::MitigationParams& params = {});
+
+  /// Which search the reconfigure rounds run. kExhaustive is the paper's
+  /// brute force (exponential in regions); kHeuristic is the polynomial
+  /// seed/grow/trim-swap search — the right choice past ~15 regions.
+  enum class Solver { kExhaustive, kHeuristic };
+  void set_solver(Solver solver) { solver_ = solver; }
+  [[nodiscard]] Solver solver() const { return solver_; }
+
+  /// Enables automatic failure detection: a region that misses
+  /// `missed_rounds` consecutive ingest rounds (no ingest() call between
+  /// two reconfigure() calls) is marked unavailable; it becomes available
+  /// again on its next ingest. Manual set_region_available still overrides.
+  void enable_failure_detection(int missed_rounds = 2);
+
+  /// Rounds each region has consecutively missed (diagnostics).
+  [[nodiscard]] int missed_rounds(RegionId region) const;
+
+  [[nodiscard]] const core::LatencyEstimator& latency_estimator() const {
+    return estimator_;
+  }
+
+ private:
+  struct Aggregation {
+    std::map<ClientId, core::PublisherStats> publishers;
+    std::unordered_set<ClientId> subscribers;
+  };
+
+  core::LatencyEstimator estimator_;  // must precede the solvers (borrowed)
+  core::Optimizer optimizer_;
+  core::HeuristicOptimizer heuristic_;
+  Solver solver_ = Solver::kExhaustive;
+  geo::RegionSet unavailable_;
+  bool mitigation_enabled_ = false;
+  core::MitigationParams mitigation_params_;
+  int failure_detection_rounds_ = 0;  ///< 0 = disabled
+  std::vector<int> missed_rounds_;    ///< per region, consecutive misses
+  std::vector<bool> reported_this_round_;
+  /// Last region each client was reported at (attachment for subscribers,
+  /// publishing target for publishers) — the failover notification map.
+  std::unordered_map<TopicId, std::unordered_map<ClientId, RegionId>>
+      last_seen_at_;
+  std::unordered_map<TopicId, core::DeliveryConstraint> constraints_;
+  std::map<TopicId, Aggregation> interval_;  // ordered for determinism
+  std::unordered_map<TopicId, core::TopicConfig> deployed_;
+};
+
+}  // namespace multipub::broker

@@ -1,0 +1,126 @@
+#include "broker/region_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace multipub::broker {
+
+RegionManager::RegionManager(RegionId self, net::Simulator& sim,
+                             net::SimTransport& transport)
+    : transport_(&transport), broker_(self, sim, transport) {}
+
+std::vector<TopicReport> RegionManager::collect_reports() {
+  // Union of topics with traffic and topics with subscriptions.
+  std::unordered_set<TopicId> topic_ids;
+  for (const auto& [topic, traffic] : broker_.traffic()) {
+    topic_ids.insert(topic);
+  }
+  for (TopicId topic : broker_.subscriptions().topics()) {
+    topic_ids.insert(topic);
+  }
+
+  std::vector<TopicId> ordered(topic_ids.begin(), topic_ids.end());
+  std::sort(ordered.begin(), ordered.end());
+
+  std::vector<TopicReport> reports;
+  reports.reserve(ordered.size());
+  for (TopicId topic : ordered) {
+    TopicReport report;
+    report.topic = topic;
+    if (const auto it = broker_.traffic().find(topic);
+        it != broker_.traffic().end()) {
+      for (const auto& [publisher, observed] : it->second) {
+        report.publishers.push_back(
+            {publisher, observed.msg_count, observed.total_bytes});
+        known_publishers_[topic].insert(publisher);
+      }
+      // Deterministic report ordering regardless of hash-map iteration.
+      std::sort(report.publishers.begin(), report.publishers.end(),
+                [](const core::PublisherStats& a, const core::PublisherStats& b) {
+                  return a.client < b.client;
+                });
+    }
+    report.subscribers = broker_.subscriptions().subscriber_ids(topic);
+    reports.push_back(std::move(report));
+  }
+
+  // Dynamoth-lite: resize this region's server pool for the observed load.
+  // Load model: egress-dominated — inbound bytes fanned out to each local
+  // subscriber.
+  std::vector<TopicLoad> loads;
+  loads.reserve(reports.size());
+  for (const auto& report : reports) {
+    double inbound = 0.0;
+    for (const auto& pub : report.publishers) {
+      inbound += static_cast<double>(pub.total_bytes);
+    }
+    loads.push_back(
+        {report.topic,
+         inbound * static_cast<double>(1 + report.subscribers.size())});
+  }
+  scaler_.rebalance(loads);
+
+  broker_.reset_traffic();
+  return reports;
+}
+
+std::vector<LatencyReport> RegionManager::collect_latency_reports() {
+  std::vector<LatencyReport> out = broker_.latency_reports();
+  broker_.clear_latency_reports();
+  return out;
+}
+
+void RegionManager::apply_config(TopicId topic,
+                                 const core::TopicConfig& config) {
+  // Publishers that appeared since the last report collection must hear
+  // about the change too — fold the broker's in-progress interval into the
+  // notification set before broadcasting.
+  if (const auto it = broker_.traffic().find(topic);
+      it != broker_.traffic().end()) {
+    for (const auto& [publisher, observed] : it->second) {
+      known_publishers_[topic].insert(publisher);
+    }
+  }
+  broker_.set_topic_config(topic, config);
+
+  wire::Message update;
+  update.type = wire::MessageType::kConfigUpdate;
+  update.topic = topic;
+  update.config_regions = config.regions;
+  update.config_mode = config.mode == core::DeliveryMode::kRouted
+                           ? wire::WireMode::kRouted
+                           : wire::WireMode::kDirect;
+
+  const net::Address self = net::Address::region(region());
+  // Notify local subscribers...
+  for (ClientId sub : broker_.subscriptions().subscriber_ids(topic)) {
+    transport_->send(self, net::Address::client(sub), update);
+  }
+  // ...and every publisher this region has ever served for the topic.
+  if (const auto it = known_publishers_.find(topic);
+      it != known_publishers_.end()) {
+    for (ClientId publisher : it->second) {
+      transport_->send(self, net::Address::client(publisher), update);
+    }
+  }
+  MP_LOG_INFO("region-manager")
+      << "R" << region().value() + 1 << " deployed topic "
+      << topic.value() << " -> " << config.to_string();
+}
+
+void RegionManager::notify_client(TopicId topic,
+                                  const core::TopicConfig& config,
+                                  ClientId client) {
+  wire::Message update;
+  update.type = wire::MessageType::kConfigUpdate;
+  update.topic = topic;
+  update.config_regions = config.regions;
+  update.config_mode = config.mode == core::DeliveryMode::kRouted
+                           ? wire::WireMode::kRouted
+                           : wire::WireMode::kDirect;
+  transport_->send(net::Address::region(region()),
+                   net::Address::client(client), update);
+}
+
+}  // namespace multipub::broker

@@ -1,0 +1,81 @@
+// Region manager (paper §III-A3 and §III-A5).
+//
+// One per region. Owns the region's broker, collects its per-topic
+// statistics at the end of every collection interval, and — when the
+// controller deploys a new configuration — updates the broker's assignment
+// matrix row and notifies the affected local clients with kConfigUpdate
+// messages.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "broker/broker.h"
+#include "broker/scaling.h"
+#include "core/topic_state.h"
+
+namespace multipub::broker {
+
+/// What one region tells the controller about one topic for one interval.
+struct TopicReport {
+  TopicId topic;
+  /// Publishers that sent publications to this region, with their traffic.
+  std::vector<core::PublisherStats> publishers;
+  /// Subscribers currently attached to this region for the topic.
+  std::vector<ClientId> subscribers;
+};
+
+class RegionManager {
+ public:
+  /// Creates the region's broker and registers it on the transport.
+  RegionManager(RegionId self, net::Simulator& sim,
+                net::SimTransport& transport);
+
+  RegionManager(const RegionManager&) = delete;
+  RegionManager& operator=(const RegionManager&) = delete;
+
+  [[nodiscard]] Broker& broker() { return broker_; }
+  [[nodiscard]] const Broker& broker() const { return broker_; }
+  [[nodiscard]] RegionId region() const { return broker_.region(); }
+
+  /// Snapshot of all topics seen this interval (traffic or subscriptions),
+  /// then resets the broker's traffic counters. Reports are ordered by
+  /// topic id for determinism.
+  [[nodiscard]] std::vector<TopicReport> collect_reports();
+
+  /// Drains the latency samples clients reported to this region this
+  /// interval (for the controller's latency estimator).
+  [[nodiscard]] std::vector<LatencyReport> collect_latency_reports();
+
+  /// Intra-region elasticity (Dynamoth-lite, paper §III-A1): collect_reports
+  /// feeds each interval's per-topic egress load into the scaler, which
+  /// sizes this region's server pool. Purely local — placement decisions
+  /// and the cost model are unaffected, as the paper assumes.
+  [[nodiscard]] const IntraRegionScaler& scaler() const { return scaler_; }
+  [[nodiscard]] int provisioned_servers() const {
+    return scaler_.server_count();
+  }
+
+  /// Installs the new configuration on the broker and notifies every local
+  /// client of the topic (current subscribers plus all publishers seen on
+  /// this region) with a kConfigUpdate message.
+  void apply_config(TopicId topic, const core::TopicConfig& config);
+
+  /// Sends a kConfigUpdate for one specific client. Used for failover: a
+  /// client whose region died cannot be notified by that region's manager,
+  /// so the controller delegates the notification to an alive one.
+  void notify_client(TopicId topic, const core::TopicConfig& config,
+                     ClientId client);
+
+ private:
+  net::SimTransport* transport_;
+  Broker broker_;
+  IntraRegionScaler scaler_;
+  /// Publishers ever seen per topic — kept across intervals so that a
+  /// publisher that was quiet during the last interval still learns about
+  /// configuration changes.
+  std::unordered_map<TopicId, std::unordered_set<ClientId>> known_publishers_;
+};
+
+}  // namespace multipub::broker

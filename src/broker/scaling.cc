@@ -1,0 +1,84 @@
+#include "broker/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace multipub::broker {
+
+IntraRegionScaler::IntraRegionScaler() : IntraRegionScaler(Params{}) {}
+
+IntraRegionScaler::IntraRegionScaler(const Params& params) : params_(params) {
+  MP_EXPECTS(params.server_capacity > 0.0);
+  MP_EXPECTS(params.stickiness_slack >= 0.0);
+}
+
+IntraRegionScaler::Assignment IntraRegionScaler::rebalance(
+    const std::vector<TopicLoad>& loads) {
+  double total = 0.0;
+  for (const auto& l : loads) {
+    MP_EXPECTS(l.load >= 0.0);
+    total += l.load;
+  }
+
+  Assignment out;
+  out.n_servers = std::max(
+      1, static_cast<int>(std::ceil(total / params_.server_capacity)));
+  out.server_load.assign(static_cast<std::size_t>(out.n_servers), 0.0);
+
+  // Pass 1 (sticky): topics keep their server when it still exists and the
+  // addition stays under capacity * (1 + slack).
+  const double sticky_limit =
+      params_.server_capacity * (1.0 + params_.stickiness_slack);
+  std::vector<TopicLoad> homeless;
+  std::vector<TopicLoad> ordered(loads.begin(), loads.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const TopicLoad& a, const TopicLoad& b) {
+              if (a.load != b.load) return a.load > b.load;
+              return a.topic < b.topic;  // deterministic tie-break
+            });
+
+  std::unordered_map<TopicId, int> next_assignment;
+  for (const auto& l : ordered) {
+    if (l.load == 0.0) continue;  // released below
+    const auto it = assignment_.find(l.topic);
+    if (it != assignment_.end() && it->second < out.n_servers &&
+        out.server_load[static_cast<std::size_t>(it->second)] + l.load <=
+            sticky_limit) {
+      out.server_load[static_cast<std::size_t>(it->second)] += l.load;
+      next_assignment[l.topic] = it->second;
+    } else {
+      homeless.push_back(l);
+    }
+  }
+
+  // Pass 2 (LPT): place the rest on the least-loaded server. `homeless`
+  // inherits the descending order from `ordered`.
+  for (const auto& l : homeless) {
+    const auto least = std::min_element(out.server_load.begin(),
+                                        out.server_load.end());
+    const int server =
+        static_cast<int>(std::distance(out.server_load.begin(), least));
+    *least += l.load;
+    const auto prev = assignment_.find(l.topic);
+    if (prev != assignment_.end() && prev->second != server) {
+      ++migrations_;
+    }
+    next_assignment[l.topic] = server;
+  }
+
+  assignment_ = std::move(next_assignment);
+  n_servers_ = out.n_servers;
+  const double peak =
+      *std::max_element(out.server_load.begin(), out.server_load.end());
+  out.max_utilization = peak / params_.server_capacity;
+  return out;
+}
+
+int IntraRegionScaler::server_of(TopicId topic) const {
+  const auto it = assignment_.find(topic);
+  return it == assignment_.end() ? -1 : it->second;
+}
+
+}  // namespace multipub::broker

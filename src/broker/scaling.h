@@ -1,0 +1,74 @@
+// Intra-region elasticity — a "Dynamoth-lite".
+//
+// The paper runs each region's pub/sub on Dynamoth, "a pub/sub service that
+// automatically and dynamically provisions the number of servers needed to
+// handle the current load", and treats intra-region scaling as orthogonal
+// to MultiPub's placement problem (§III-A1). This module models that layer:
+// given each topic's per-interval load, it sizes a server pool and assigns
+// topics to servers with a sticky longest-processing-time packing, so the
+// region can report how many servers it needs and which server owns which
+// topic. It deliberately does not affect delivery semantics or the cost
+// model (bandwidth is billed per region, not per server) — exactly the
+// orthogonality the paper claims.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace multipub::broker {
+
+/// One topic's load during an interval (any consistent unit; the region
+/// manager uses egress bytes).
+struct TopicLoad {
+  TopicId topic;
+  double load = 0.0;
+};
+
+class IntraRegionScaler {
+ public:
+  struct Params {
+    /// Load one server sustains per interval.
+    double server_capacity = 1 * 1024 * 1024;
+    /// A topic already placed on a server stays there as long as the
+    /// server's total stays below capacity * (1 + stickiness_slack); this
+    /// dampens pointless migrations on small load wobbles.
+    double stickiness_slack = 0.2;
+  };
+
+  IntraRegionScaler();  // default Params
+  explicit IntraRegionScaler(const Params& params);
+
+  /// Result of one rebalance round.
+  struct Assignment {
+    int n_servers = 1;
+    /// Per-server total load, index = server id in [0, n_servers).
+    std::vector<double> server_load;
+    /// Peak utilization: max server load / capacity.
+    double max_utilization = 0.0;
+  };
+
+  /// Re-provisions the pool for the interval's loads and (re)assigns
+  /// topics. Topics keep their server when stickiness allows. Topics with
+  /// zero load release their assignment.
+  Assignment rebalance(const std::vector<TopicLoad>& loads);
+
+  /// Server currently owning a topic; -1 when unassigned.
+  [[nodiscard]] int server_of(TopicId topic) const;
+
+  [[nodiscard]] int server_count() const { return n_servers_; }
+  /// Topics moved between servers across all rebalances (excludes first
+  /// placements).
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  int n_servers_ = 1;
+  std::unordered_map<TopicId, int> assignment_;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace multipub::broker

@@ -1,0 +1,48 @@
+#include "client/probing.h"
+
+#include "common/assert.h"
+
+namespace multipub::client {
+
+LatencyProber::LatencyProber(ClientId self, net::Simulator& sim,
+                             net::SimTransport& transport)
+    : self_(self), sim_(&sim), transport_(&transport) {
+  MP_EXPECTS(self.valid());
+}
+
+void LatencyProber::probe(geo::RegionSet regions) {
+  for (RegionId region : regions.to_vector()) {
+    wire::Message ping;
+    ping.type = wire::MessageType::kPing;
+    ping.subscriber = self_;
+    ping.seq = next_seq_++;
+    ping.published_at = sim_->now();
+    outstanding_[ping.seq] = region;
+    transport_->send(net::Address::client(self_), net::Address::region(region),
+                     ping);
+    ++pings_sent_;
+  }
+}
+
+bool LatencyProber::on_message(const wire::Message& msg) {
+  if (msg.type != wire::MessageType::kPong) return false;
+  const auto it = outstanding_.find(msg.seq);
+  if (it == outstanding_.end()) return true;  // stale pong: consumed, ignored
+
+  const RegionId region = it->second;
+  outstanding_.erase(it);
+  ++pongs_received_;
+
+  const Millis one_way = (sim_->now() - msg.published_at) / 2.0;
+  measurements_[region] = one_way;
+
+  wire::Message report;
+  report.type = wire::MessageType::kLatencyReport;
+  report.subscriber = self_;
+  report.published_at = one_way;
+  transport_->send(net::Address::client(self_), net::Address::region(region),
+                   report);
+  return true;
+}
+
+}  // namespace multipub::client

@@ -1,0 +1,56 @@
+// Client-side latency probing.
+//
+// A client measures its one-way latency to a region by sending kPing
+// (stamped with the send time) and halving the round trip when the kPong
+// echo returns — the same ping-based methodology the paper used to build
+// its matrices (§V-A). Each measurement is immediately reported back to the
+// measured region as a kLatencyReport, which the region manager forwards to
+// the controller's latency estimator.
+#pragma once
+
+#include <unordered_map>
+
+#include "geo/region_set.h"
+#include "net/simulator.h"
+#include "net/transport.h"
+
+namespace multipub::client {
+
+class LatencyProber {
+ public:
+  /// `self` is the owning client endpoint. Borrows simulator and transport.
+  LatencyProber(ClientId self, net::Simulator& sim,
+                net::SimTransport& transport);
+
+  /// Sends one kPing to every member of `regions`.
+  void probe(geo::RegionSet regions);
+
+  /// Handles a kPong if it belongs to this prober; returns true when the
+  /// message was consumed. On a match, computes RTT/2, records it, and
+  /// sends a kLatencyReport to the measured region.
+  bool on_message(const wire::Message& msg);
+
+  /// Latest one-way measurement per region (empty until pongs arrive).
+  [[nodiscard]] const std::unordered_map<RegionId, Millis>& measurements()
+      const {
+    return measurements_;
+  }
+
+  [[nodiscard]] std::uint64_t pings_sent() const { return pings_sent_; }
+  [[nodiscard]] std::uint64_t pongs_received() const {
+    return pongs_received_;
+  }
+
+ private:
+  ClientId self_;
+  net::Simulator* sim_;
+  net::SimTransport* transport_;
+  /// Ping seq -> region it probed (pongs carry the seq back).
+  std::unordered_map<std::uint64_t, RegionId> outstanding_;
+  std::unordered_map<RegionId, Millis> measurements_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t pings_sent_ = 0;
+  std::uint64_t pongs_received_ = 0;
+};
+
+}  // namespace multipub::client

@@ -1,0 +1,122 @@
+#include "client/subscriber.h"
+
+#include "common/assert.h"
+
+namespace multipub::client {
+
+Subscriber::Subscriber(ClientId id, net::Simulator& sim,
+                       net::SimTransport& transport,
+                       const geo::ClientLatencyMap& latencies)
+    : id_(id),
+      sim_(&sim),
+      transport_(&transport),
+      latencies_(&latencies),
+      prober_(id, sim, transport) {
+  MP_EXPECTS(id.valid());
+  transport.register_handler(net::Address::client(id),
+                             [this](const wire::Message& msg) { handle(msg); });
+}
+
+void Subscriber::subscribe(TopicId topic, const core::TopicConfig& config,
+                           wire::KeyFilter filter) {
+  MP_EXPECTS(!config.regions.empty());
+  filters_[topic] = filter;
+  attach(topic, latencies_->closest_region(id_, config.regions));
+}
+
+void Subscriber::unsubscribe(TopicId topic) {
+  const auto it = attachments_.find(topic);
+  if (it == attachments_.end()) return;
+
+  wire::Message msg;
+  msg.type = wire::MessageType::kUnsubscribe;
+  msg.topic = topic;
+  msg.subscriber = id_;
+  transport_->send(net::Address::client(id_), net::Address::region(it->second),
+                   msg);
+  attachments_.erase(it);
+  filters_.erase(topic);
+}
+
+RegionId Subscriber::attached_region(TopicId topic) const {
+  const auto it = attachments_.find(topic);
+  return it == attachments_.end() ? RegionId::invalid() : it->second;
+}
+
+std::vector<Millis> Subscriber::delivery_times() const {
+  std::vector<Millis> out;
+  out.reserve(deliveries_.size());
+  for (const auto& record : deliveries_) out.push_back(record.delivery_time);
+  return out;
+}
+
+void Subscriber::attach(TopicId topic, RegionId region) {
+  const auto it = attachments_.find(topic);
+  if (it != attachments_.end() && it->second != region) {
+    // Reconnection (paper §III-A5), make-before-break: join the new region
+    // now, leave the old one after the grace period so in-flight
+    // publications still land somewhere that knows us.
+    const RegionId old_region = it->second;
+    ++reconnects_;
+    sim_->schedule_after(handover_grace_ms_, [this, topic, old_region] {
+      const auto current = attachments_.find(topic);
+      if (current != attachments_.end() && current->second == old_region) {
+        return;  // flapped back during the grace period: still attached
+      }
+      wire::Message unsub;
+      unsub.type = wire::MessageType::kUnsubscribe;
+      unsub.topic = topic;
+      unsub.subscriber = id_;
+      transport_->send(net::Address::client(id_),
+                       net::Address::region(old_region), unsub);
+    });
+  }
+
+  wire::Message sub;
+  sub.type = wire::MessageType::kSubscribe;
+  sub.topic = topic;
+  sub.subscriber = id_;
+  if (const auto filter_it = filters_.find(topic);
+      filter_it != filters_.end()) {
+    sub.filter = filter_it->second;  // content filter survives reconnections
+  }
+  transport_->send(net::Address::client(id_), net::Address::region(region),
+                   sub);
+  attachments_[topic] = region;
+}
+
+void Subscriber::handle(const wire::Message& msg) {
+  if (prober_.on_message(msg)) return;
+  switch (msg.type) {
+    case wire::MessageType::kDeliver: {
+      // Handover overlap can deliver the same publication from two regions;
+      // keep the first copy only.
+      if (!seen_[msg.topic][msg.publisher].insert(msg.seq).second) {
+        ++duplicates_;
+        break;
+      }
+      DeliveryRecord record;
+      record.topic = msg.topic;
+      record.publisher = msg.publisher;
+      record.seq = msg.seq;
+      record.delivery_time = sim_->now() - msg.published_at;
+      deliveries_.push_back(record);
+      break;
+    }
+    case wire::MessageType::kConfigUpdate: {
+      // Only react if we are subscribed to the topic.
+      if (attachments_.find(msg.topic) == attachments_.end()) break;
+      core::TopicConfig config;
+      config.regions = msg.config_regions;
+      config.mode = msg.config_mode == wire::WireMode::kRouted
+                        ? core::DeliveryMode::kRouted
+                        : core::DeliveryMode::kDirect;
+      attach(msg.topic, latencies_->closest_region(id_, config.regions));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace multipub::client

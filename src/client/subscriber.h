@@ -1,0 +1,103 @@
+// Subscriber client endpoint.
+//
+// Attaches to the closest serving region of each subscribed topic, records
+// the end-to-end delivery time of every publication it receives, and — when
+// a kConfigUpdate arrives — re-evaluates its closest serving region and
+// moves there if it changed (paper §III-A5).
+//
+// Reconnection is make-before-break: the new subscription is opened
+// immediately and the old one is torn down only after a grace period, so
+// publications in flight during the handover are not lost; the overlap can
+// deliver a publication twice, which a (topic, publisher, seq) dedup filter
+// absorbs. Without this, a reconfiguration under live traffic silently
+// drops the messages that were racing the resubscription.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "client/probing.h"
+#include "core/config.h"
+#include "geo/latency.h"
+#include "net/simulator.h"
+#include "net/transport.h"
+
+namespace multipub::client {
+
+/// One received publication, for latency analysis.
+struct DeliveryRecord {
+  TopicId topic;
+  ClientId publisher;
+  std::uint64_t seq = 0;
+  Millis delivery_time = 0.0;  ///< receive time - publish time.
+};
+
+class Subscriber {
+ public:
+  /// Registers at Address::client(id); borrows everything.
+  Subscriber(ClientId id, net::Simulator& sim, net::SimTransport& transport,
+             const geo::ClientLatencyMap& latencies);
+
+  Subscriber(const Subscriber&) = delete;
+  Subscriber& operator=(const Subscriber&) = delete;
+
+  /// Subscribes to `topic` under `config`, attaching to the closest serving
+  /// region (sends kSubscribe). An optional content filter restricts
+  /// delivery to publications whose key it matches; the filter survives
+  /// reconnections.
+  void subscribe(TopicId topic, const core::TopicConfig& config,
+                 wire::KeyFilter filter = wire::KeyFilter::all());
+
+  /// Unsubscribes from `topic` entirely.
+  void unsubscribe(TopicId topic);
+
+  /// Region this subscriber is currently attached to for the topic;
+  /// RegionId::invalid() when not subscribed.
+  [[nodiscard]] RegionId attached_region(TopicId topic) const;
+
+  [[nodiscard]] ClientId id() const { return id_; }
+  [[nodiscard]] const std::vector<DeliveryRecord>& deliveries() const {
+    return deliveries_;
+  }
+  /// Delivery times only (convenience for percentile computations).
+  [[nodiscard]] std::vector<Millis> delivery_times() const;
+  [[nodiscard]] std::uint64_t reconnect_count() const { return reconnects_; }
+
+  /// Duplicates absorbed by the handover dedup filter.
+  [[nodiscard]] std::uint64_t duplicate_count() const { return duplicates_; }
+
+  /// How long the old subscription is kept alive after a reconnection.
+  void set_handover_grace(Millis grace_ms) { handover_grace_ms_ = grace_ms; }
+  [[nodiscard]] Millis handover_grace() const { return handover_grace_ms_; }
+
+  void clear_deliveries() { deliveries_.clear(); }
+
+  /// Probes the given regions (kPing); measurements flow to the controller
+  /// as kLatencyReports once the echoes return.
+  void probe_latencies(geo::RegionSet regions) { prober_.probe(regions); }
+  [[nodiscard]] const LatencyProber& prober() const { return prober_; }
+
+ private:
+  void handle(const wire::Message& msg);
+  void attach(TopicId topic, RegionId region);
+
+  ClientId id_;
+  net::Simulator* sim_;
+  net::SimTransport* transport_;
+  const geo::ClientLatencyMap* latencies_;
+  LatencyProber prober_;
+  std::unordered_map<TopicId, RegionId> attachments_;
+  std::unordered_map<TopicId, wire::KeyFilter> filters_;
+  std::vector<DeliveryRecord> deliveries_;
+  /// Dedup filter: per (topic, publisher), the publication seqs already
+  /// delivered (handover overlap can deliver twice).
+  std::unordered_map<TopicId,
+                     std::unordered_map<ClientId, std::unordered_set<std::uint64_t>>>
+      seen_;
+  Millis handover_grace_ms_ = 1000.0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace multipub::client

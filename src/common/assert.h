@@ -1,0 +1,32 @@
+// Contract-checking macros in the spirit of the Core Guidelines' Expects /
+// Ensures (I.6, I.8). Violations indicate programmer error and abort with a
+// message; they are never used for expected runtime conditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace multipub::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[multipub] %s violated: %s (%s:%d)\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace multipub::detail
+
+#define MP_EXPECTS(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::multipub::detail::contract_failure("precondition", #cond,         \
+                                           __FILE__, __LINE__);           \
+  } while (false)
+
+#define MP_ENSURES(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::multipub::detail::contract_failure("postcondition", #cond,        \
+                                           __FILE__, __LINE__);           \
+  } while (false)

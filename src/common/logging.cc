@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace multipub {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+[[nodiscard]] const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message) {
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace detail
+}  // namespace multipub

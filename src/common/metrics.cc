@@ -1,0 +1,35 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace multipub {
+
+void MetricsRegistry::set(std::string name, double value) {
+  values_[std::move(name)] = value;
+}
+
+void MetricsRegistry::add(std::string name, double delta) {
+  values_[std::move(name)] += delta;
+}
+
+double MetricsRegistry::value(std::string_view name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+bool MetricsRegistry::contains(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string MetricsRegistry::render() const {
+  std::string out;
+  char buffer[64];
+  for (const auto& [name, value] : values_) {
+    std::snprintf(buffer, sizeof(buffer), " %.17g\n", value);
+    out += name;
+    out += buffer;
+  }
+  return out;
+}
+
+}  // namespace multipub

@@ -1,0 +1,37 @@
+// Minimal metrics registry.
+//
+// A flat name -> value map with counter (add) and gauge (set) semantics and
+// a deterministic text rendering, in the spirit of a Prometheus exposition:
+// one "name value" line per metric, sorted by name. Components stay
+// metrics-free; sim::collect_metrics snapshots a live system into a
+// registry on demand.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace multipub {
+
+class MetricsRegistry {
+ public:
+  /// Gauge semantics: overwrite.
+  void set(std::string name, double value);
+
+  /// Counter semantics: accumulate (creates at delta when absent).
+  void add(std::string name, double delta);
+
+  /// Current value; 0.0 when the metric does not exist.
+  [[nodiscard]] double value(std::string_view name) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  /// "name value\n" lines, sorted by name, %.17g values (round-trippable).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::map<std::string, double, std::less<>> values_;
+};
+
+}  // namespace multipub

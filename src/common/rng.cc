@@ -1,0 +1,44 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace multipub {
+
+double Rng::uniform(double lo, double hi) {
+  MP_EXPECTS(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  MP_EXPECTS(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::lognormal_median(double median, double sigma) {
+  MP_EXPECTS(median > 0.0);
+  MP_EXPECTS(sigma >= 0.0);
+  // For LogNormal(mu, sigma), the median is exp(mu).
+  const double mu = std::log(median);
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  MP_EXPECTS(stddev >= 0.0);
+  if (stddev == 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  MP_EXPECTS(mean > 0.0);
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+Rng Rng::fork() {
+  // Draw a fresh 64-bit seed; the child stream is independent of subsequent
+  // draws from this generator.
+  return Rng(engine_());
+}
+
+}  // namespace multipub

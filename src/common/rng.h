@@ -1,0 +1,46 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of MultiPub (synthetic client population,
+// workload generation, event jitter) draws from an explicitly seeded Rng so
+// that simulations and experiments are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace multipub {
+
+/// Seeded wrapper around mt19937_64 with the distribution helpers the
+/// codebase needs. Not thread-safe; give each thread / component its own
+/// instance (fork() derives independent streams).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Lognormal draw parameterized by the *median* and sigma of the
+  /// underlying normal — convenient for last-mile latency modelling.
+  [[nodiscard]] double lognormal_median(double median, double sigma);
+
+  /// Normal (Gaussian) draw.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// Exponential draw with the given mean (inter-arrival times).
+  [[nodiscard]] double exponential(double mean);
+
+  /// Derives an independent generator; deterministic in (seed, n_forks).
+  [[nodiscard]] Rng fork();
+
+  /// Access for std:: algorithms (std::shuffle etc.).
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace multipub

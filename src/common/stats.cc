@@ -1,0 +1,85 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace multipub {
+
+std::uint64_t percentile_rank(double ratio, std::uint64_t n) {
+  MP_EXPECTS(n > 0);
+  MP_EXPECTS(ratio > 0.0 && ratio <= 100.0);
+  const auto rank =
+      static_cast<std::uint64_t>(std::ceil(ratio / 100.0 * static_cast<double>(n)));
+  return std::clamp<std::uint64_t>(rank, 1, n);
+}
+
+Millis percentile(std::span<const Millis> samples, double ratio) {
+  MP_EXPECTS(!samples.empty());
+  std::vector<Millis> copy(samples.begin(), samples.end());
+  const std::uint64_t rank = percentile_rank(ratio, copy.size());
+  auto nth = copy.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+  std::nth_element(copy.begin(), nth, copy.end());
+  return *nth;
+}
+
+Millis weighted_percentile(std::vector<WeightedSample> samples, double ratio) {
+  MP_EXPECTS(!samples.empty());
+  std::uint64_t total = 0;
+  for (const auto& s : samples) total += s.weight;
+  MP_EXPECTS(total > 0);
+  std::uint64_t rank = percentile_rank(ratio, total);
+
+  // Weighted quickselect: expected O(k), which matters because the optimizer
+  // calls this once per candidate configuration. Each round partitions
+  // around a median-of-three pivot and discards either the strictly-smaller
+  // or the smaller-or-equal prefix, adjusting the remaining rank.
+  auto lo = samples.begin();
+  auto hi = samples.end();
+  while (hi - lo > 1) {
+    const Millis a = lo->value;
+    const Millis b = (lo + (hi - lo) / 2)->value;
+    const Millis c = (hi - 1)->value;
+    const Millis pivot =
+        std::max(std::min(a, b), std::min(std::max(a, b), c));
+
+    const auto less_end =
+        std::partition(lo, hi, [pivot](const WeightedSample& s) {
+          return s.value < pivot;
+        });
+    std::uint64_t w_less = 0;
+    for (auto it = lo; it != less_end; ++it) w_less += it->weight;
+    if (rank <= w_less) {
+      hi = less_end;  // shrinks: the pivot-equal group is excluded
+      continue;
+    }
+    const auto equal_end =
+        std::partition(less_end, hi, [pivot](const WeightedSample& s) {
+          return s.value == pivot;
+        });
+    std::uint64_t w_equal = 0;
+    for (auto it = less_end; it != equal_end; ++it) w_equal += it->weight;
+    if (rank <= w_less + w_equal) return pivot;
+    rank -= w_less + w_equal;
+    lo = equal_end;  // shrinks: the pivot-equal group is non-empty
+  }
+  return lo->value;
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary out;
+  if (samples.empty()) return out;
+  out.count = samples.size();
+  out.min = *std::min_element(samples.begin(), samples.end());
+  out.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  out.mean = sum / static_cast<double>(out.count);
+  double sq = 0.0;
+  for (double s : samples) sq += (s - out.mean) * (s - out.mean);
+  out.stddev = std::sqrt(sq / static_cast<double>(out.count));
+  return out;
+}
+
+}  // namespace multipub

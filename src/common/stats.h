@@ -1,0 +1,61 @@
+// Percentile and summary statistics.
+//
+// The delivery-constraint check (paper Eq. 5/6) asks for the n-th smallest
+// delivery time where n = ceil(ratio/100 * |D|). Two implementations are
+// provided:
+//  - percentile():          over a materialized sample list (the paper's
+//                           approach; linear in the number of messages),
+//  - weighted_percentile(): over (value, multiplicity) pairs, which is how
+//                           the optimizer aggregates per (publisher,
+//                           subscriber) delivery times whose multiplicity is
+//                           the publisher's message count.
+// Both compute the identical order statistic; a property-test suite asserts
+// this equivalence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace multipub {
+
+/// A sample value with an integer multiplicity (e.g. one (publisher,
+/// subscriber) pair's delivery time repeated for each message sent).
+struct WeightedSample {
+  Millis value = 0.0;
+  std::uint64_t weight = 1;
+};
+
+/// 1-based rank of the order statistic that realizes `ratio` percent of `n`
+/// samples: ceil(ratio/100 * n), clamped to [1, n]. Pre: n > 0,
+/// 0 < ratio <= 100.
+[[nodiscard]] std::uint64_t percentile_rank(double ratio, std::uint64_t n);
+
+/// The order statistic of rank percentile_rank(ratio, samples.size()).
+/// Copies the input (caller keeps ordering); uses nth_element, O(n).
+/// Pre: !samples.empty().
+[[nodiscard]] Millis percentile(std::span<const Millis> samples, double ratio);
+
+/// Weighted equivalent: treats each sample as `weight` repeated values and
+/// returns the same order statistic percentile() would return on the
+/// expanded list. O(k log k) in the number of distinct pairs.
+/// Pre: samples non-empty with total weight > 0.
+[[nodiscard]] Millis weighted_percentile(std::vector<WeightedSample> samples,
+                                         double ratio);
+
+/// Plain summary statistics over a sample list.
+struct Summary {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes count/min/max/mean/stddev (population stddev). Empty input
+/// yields a zeroed Summary.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+}  // namespace multipub

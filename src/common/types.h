@@ -1,0 +1,83 @@
+// Strong identifier and unit types used throughout MultiPub.
+//
+// Following C++ Core Guidelines P.1 ("express ideas directly in code") we do
+// not pass bare ints/doubles across module boundaries: a RegionId cannot be
+// confused with a ClientId, and a latency (Millis) cannot be added to a
+// dollar amount without an explicit conversion.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace multipub {
+
+/// CRTP-free strong integer id. `Tag` makes each instantiation a distinct
+/// type; the underlying value is a dense 0-based index suitable for vector
+/// addressing.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::int32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  /// Dense index for container addressing. Pre: valid().
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  static constexpr StrongId invalid() { return StrongId{-1}; }
+
+ private:
+  underlying_type value_ = -1;
+};
+
+struct RegionTag {};
+struct ClientTag {};
+struct TopicTag {};
+
+/// Identifies one cloud region (a column of the assignment matrix).
+using RegionId = StrongId<RegionTag>;
+/// Identifies one client — a publisher or a subscriber endpoint.
+using ClientId = StrongId<ClientTag>;
+/// Identifies one pub/sub topic (a row of the assignment matrix).
+using TopicId = StrongId<TopicTag>;
+
+/// One-way network latency (or simulated time instant) in milliseconds.
+/// Stored as double: the paper's model works with fractional ping averages.
+using Millis = double;
+
+/// Message / bandwidth size in bytes.
+using Bytes = std::uint64_t;
+
+/// US dollars (cost model output).
+using Dollars = double;
+
+inline constexpr double kBytesPerGb = 1024.0 * 1024.0 * 1024.0;
+
+/// Converts a published $/GB tariff into $/byte, the unit used by the
+/// per-message cost equations (paper §III-E: alpha and beta are per byte).
+[[nodiscard]] constexpr double per_gb_to_per_byte(double dollars_per_gb) {
+  return dollars_per_gb / kBytesPerGb;
+}
+
+/// Sentinel "no latency measured / unreachable" value.
+inline constexpr Millis kUnreachable = std::numeric_limits<Millis>::infinity();
+
+}  // namespace multipub
+
+template <typename Tag>
+struct std::hash<multipub::StrongId<Tag>> {
+  std::size_t operator()(multipub::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,101 @@
+#include "core/bundling.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace multipub::core {
+namespace {
+
+/// L-infinity distance between two latency rows.
+[[nodiscard]] double row_distance(std::span<const Millis> a,
+                                  std::span<const Millis> b) {
+  MP_EXPECTS(a.size() == b.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d = std::max(d, std::abs(a[i] - b[i]));
+  }
+  return d;
+}
+
+}  // namespace
+
+BundledProblem bundle_clients(const TopicState& topic,
+                              const geo::ClientLatencyMap& clients,
+                              const BundlingParams& params) {
+  MP_EXPECTS(params.epsilon_ms >= 0.0);
+  BundledProblem out;
+  out.topic.topic = topic.topic;
+  out.topic.constraint = topic.constraint;
+
+  // Virtual clients for subscribers and publishers are kept in one shared
+  // latency map; bundles are never shared across the two roles (a client
+  // that both publishes and subscribes is represented twice, as in the
+  // original TopicState).
+  std::vector<std::vector<Millis>> representative_rows;
+  auto intern_row = [&](std::span<const Millis> row) {
+    representative_rows.emplace_back(row.begin(), row.end());
+    return representative_rows.size() - 1;
+  };
+
+  // --- Subscribers ---
+  std::vector<std::size_t> sub_bundle_rows;  // representative row per bundle
+  for (const auto& sub : topic.subscribers) {
+    const auto row = clients.row(sub.client);
+    std::size_t bundle = sub_bundle_rows.size();
+    for (std::size_t i = 0; i < sub_bundle_rows.size(); ++i) {
+      if (row_distance(representative_rows[sub_bundle_rows[i]], row) <=
+          params.epsilon_ms) {
+        bundle = i;
+        break;
+      }
+    }
+    if (bundle == sub_bundle_rows.size()) {
+      sub_bundle_rows.push_back(intern_row(row));
+      out.topic.subscribers.push_back({ClientId::invalid(), 0});
+      out.subscriber_members.emplace_back();
+    }
+    out.topic.subscribers[bundle].weight += sub.weight;
+    out.subscriber_members[bundle].push_back(sub.client);
+  }
+
+  // --- Publishers ---
+  std::vector<std::size_t> pub_bundle_rows;
+  for (const auto& pub : topic.publishers) {
+    const auto row = clients.row(pub.client);
+    std::size_t bundle = pub_bundle_rows.size();
+    for (std::size_t i = 0; i < pub_bundle_rows.size(); ++i) {
+      if (row_distance(representative_rows[pub_bundle_rows[i]], row) <=
+          params.epsilon_ms) {
+        bundle = i;
+        break;
+      }
+    }
+    if (bundle == pub_bundle_rows.size()) {
+      pub_bundle_rows.push_back(intern_row(row));
+      out.topic.publishers.push_back({ClientId::invalid(), 0, 0});
+      out.publisher_members.emplace_back();
+    }
+    out.topic.publishers[bundle].msg_count += pub.msg_count;
+    out.topic.publishers[bundle].total_bytes += pub.total_bytes;
+    out.publisher_members[bundle].push_back(pub.client);
+  }
+
+  // Materialize virtual clients: subscribers first, then publishers.
+  out.latencies = geo::ClientLatencyMap(clients.n_regions());
+  for (std::size_t i = 0; i < sub_bundle_rows.size(); ++i) {
+    out.topic.subscribers[i].client =
+        out.latencies.add_client(representative_rows[sub_bundle_rows[i]]);
+  }
+  for (std::size_t i = 0; i < pub_bundle_rows.size(); ++i) {
+    out.topic.publishers[i].client =
+        out.latencies.add_client(representative_rows[pub_bundle_rows[i]]);
+  }
+
+  MP_ENSURES(out.topic.total_messages() == topic.total_messages());
+  MP_ENSURES(out.topic.total_subscriber_weight() ==
+             topic.total_subscriber_weight());
+  return out;
+}
+
+}  // namespace multipub::core

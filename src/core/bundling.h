@@ -1,0 +1,47 @@
+// Proportional bundling (paper §V-F).
+//
+// "Proportional bundling can be used, grouping clients that are close to
+// each other and replacing them with a virtual client in order to reduce the
+// scale of the problem." Clients whose latency rows differ by at most
+// epsilon (L-infinity over all regions) are merged:
+//   - subscribers merge into one virtual subscriber whose weight is the sum
+//     of the members' weights (preserving N_S^R proportions), and
+//   - publishers merge into one virtual publisher accumulating msg_count and
+//     bytes (preserving both the percentile weights and Eq. 4's per-home
+//     forwarding cost, since near-identical rows share a closest region).
+// The answer drifts by at most O(epsilon) in the percentile; the ablation
+// bench quantifies it.
+#pragma once
+
+#include <vector>
+
+#include "core/topic_state.h"
+#include "geo/latency.h"
+
+namespace multipub::core {
+
+struct BundlingParams {
+  /// Maximum per-region latency difference (ms) for two clients to share a
+  /// bundle.
+  double epsilon_ms = 5.0;
+};
+
+/// A reduced optimization problem over virtual clients.
+struct BundledProblem {
+  /// Latency rows of the virtual clients (representative member's row).
+  geo::ClientLatencyMap latencies;
+  /// Topic restated in virtual-client ids (same TopicId and constraint).
+  TopicState topic;
+  /// For each virtual subscriber, the original member ids.
+  std::vector<std::vector<ClientId>> subscriber_members;
+  /// For each virtual publisher, the original member ids.
+  std::vector<std::vector<ClientId>> publisher_members;
+};
+
+/// Greedy epsilon-bundling of the topic's clients. Deterministic: clients
+/// are scanned in topic order and join the first compatible bundle.
+[[nodiscard]] BundledProblem bundle_clients(const TopicState& topic,
+                                            const geo::ClientLatencyMap& clients,
+                                            const BundlingParams& params = {});
+
+}  // namespace multipub::core

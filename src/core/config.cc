@@ -1,0 +1,49 @@
+#include "core/config.h"
+
+#include "common/assert.h"
+
+namespace multipub::core {
+
+const char* to_string(DeliveryMode mode) {
+  switch (mode) {
+    case DeliveryMode::kDirect: return "direct";
+    case DeliveryMode::kRouted: return "routed";
+  }
+  return "?";
+}
+
+std::string TopicConfig::to_string() const {
+  return regions.to_string() + "/" + core::to_string(mode);
+}
+
+std::vector<TopicConfig> enumerate_configurations(geo::RegionSet candidates,
+                                                  ModePolicy policy) {
+  MP_EXPECTS(!candidates.empty());
+  const std::vector<RegionId> members = candidates.to_vector();
+  const std::size_t k = members.size();
+  MP_EXPECTS(k <= 24);
+
+  std::vector<TopicConfig> out;
+  const std::uint64_t limit = std::uint64_t{1} << k;
+  for (std::uint64_t m = 1; m < limit; ++m) {
+    // Expand the subset of `members` selected by local mask m into a
+    // RegionSet over global region ids.
+    geo::RegionSet subset;
+    for (std::size_t bit = 0; bit < k; ++bit) {
+      if ((m >> bit) & 1) subset.add(members[bit]);
+    }
+    if (subset.size() == 1) {
+      out.push_back({subset, DeliveryMode::kDirect});
+      continue;
+    }
+    if (policy != ModePolicy::kRoutedOnly) {
+      out.push_back({subset, DeliveryMode::kDirect});
+    }
+    if (policy != ModePolicy::kDirectOnly) {
+      out.push_back({subset, DeliveryMode::kRouted});
+    }
+  }
+  return out;
+}
+
+}  // namespace multipub::core

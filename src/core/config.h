@@ -1,0 +1,48 @@
+// Topic configurations: assignment vector + delivery mode.
+//
+// A configuration (paper §IV) is one row of the assignment matrix — which
+// regions serve the topic — plus the choice between direct delivery
+// (publishers send to every serving region) and routed delivery (publishers
+// send to their closest serving region, which forwards to the rest).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/region_set.h"
+
+namespace multipub::core {
+
+/// How publications reach the serving regions (paper §II-B2).
+enum class DeliveryMode {
+  kDirect,  ///< Publisher sends to all serving regions itself.
+  kRouted,  ///< Publisher sends to its closest serving region, which forwards.
+};
+
+[[nodiscard]] const char* to_string(DeliveryMode mode);
+
+/// One candidate configuration for a topic.
+struct TopicConfig {
+  geo::RegionSet regions;
+  DeliveryMode mode = DeliveryMode::kDirect;
+
+  [[nodiscard]] int region_count() const { return regions.size(); }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const TopicConfig&, const TopicConfig&) = default;
+};
+
+/// Which delivery modes the optimizer may consider. MultiPub-D / MultiPub-R
+/// of Experiment 2 restrict the controller to one mode.
+enum class ModePolicy { kBoth, kDirectOnly, kRoutedOnly };
+
+/// Enumerates every configuration over the member regions of `candidates`:
+/// all non-empty subsets; subsets of size >= 2 appear once per permitted
+/// mode, singleton subsets once (both modes coincide — there is nothing to
+/// forward — and are canonicalized as kDirect). With kBoth and a full
+/// candidate set of n regions this yields the paper's
+/// 2*(2^n - 1) - n configurations.
+[[nodiscard]] std::vector<TopicConfig> enumerate_configurations(
+    geo::RegionSet candidates, ModePolicy policy = ModePolicy::kBoth);
+
+}  // namespace multipub::core

@@ -1,0 +1,22 @@
+// Per-topic delivery constraint <ratio_T, max_T> (paper §II-A).
+#pragma once
+
+#include "common/types.h"
+
+namespace multipub::core {
+
+/// "ratio percent of all messages sent on the topic must be delivered
+/// within max milliseconds." E.g. {95.0, 200.0}: 95 % within 200 ms.
+struct DeliveryConstraint {
+  double ratio = 100.0;  ///< Percentile in (0, 100].
+  Millis max = kUnreachable;  ///< Upper bound on that percentile's latency.
+
+  [[nodiscard]] bool satisfied_by(Millis percentile_value) const {
+    return percentile_value <= max;
+  }
+
+  friend bool operator==(const DeliveryConstraint&,
+                         const DeliveryConstraint&) = default;
+};
+
+}  // namespace multipub::core

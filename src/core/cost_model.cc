@@ -1,0 +1,69 @@
+#include "core/cost_model.h"
+
+#include "common/assert.h"
+
+namespace multipub::core {
+
+CostModel::CostModel(const geo::RegionCatalog& catalog,
+                     const geo::ClientLatencyMap& clients)
+    : catalog_(&catalog), clients_(&clients) {
+  MP_EXPECTS(catalog.size() == clients.n_regions());
+}
+
+std::vector<double> CostModel::subscribers_per_region(
+    const TopicState& topic, geo::RegionSet regions) const {
+  MP_EXPECTS(!regions.empty());
+  std::vector<double> counts(catalog_->size(), 0.0);
+  for (const auto& sub : topic.subscribers) {
+    MP_EXPECTS(sub.selectivity > 0.0 && sub.selectivity <= 1.0);
+    const RegionId r = clients_->closest_region(sub.client, regions);
+    // A content-filtered subscriber only receives (and is only billed for)
+    // the fraction of publications its filter matches.
+    counts[r.index()] += static_cast<double>(sub.weight) * sub.selectivity;
+  }
+  return counts;
+}
+
+CostModel::Breakdown CostModel::cost_breakdown(const TopicState& topic,
+                                               const TopicConfig& config) const {
+  Breakdown out;
+  const auto subs_per_region =
+      subscribers_per_region(topic, config.regions);
+  const Bytes published_bytes = topic.total_published_bytes();
+
+  // Eq. 3: every serving region R_i sends each published byte once per local
+  // subscriber at beta(R_i). Regions without subscribers contribute zero,
+  // whichever mode.
+  for (RegionId r : config.regions.to_vector()) {
+    out.subscriber_egress += subs_per_region[r.index()] *
+                             static_cast<double>(published_bytes) *
+                             catalog_->at(r).beta_per_byte();
+  }
+
+  // Eq. 4: under routed delivery each publisher's bytes are forwarded from
+  // its closest serving region R^P to the other N_R - 1 serving regions at
+  // alpha(R^P).
+  if (config.mode == DeliveryMode::kRouted && config.regions.size() > 1) {
+    const double forwards = static_cast<double>(config.regions.size() - 1);
+    for (const auto& pub : topic.publishers) {
+      if (pub.total_bytes == 0) continue;
+      const RegionId home =
+          clients_->closest_region(pub.client, config.regions);
+      out.inter_region += forwards * static_cast<double>(pub.total_bytes) *
+                          catalog_->at(home).alpha_per_byte();
+    }
+  }
+  return out;
+}
+
+Dollars CostModel::cost(const TopicState& topic,
+                        const TopicConfig& config) const {
+  return cost_breakdown(topic, config).total();
+}
+
+Dollars scale_to_day(Dollars interval_cost, double interval_seconds) {
+  MP_EXPECTS(interval_seconds > 0.0);
+  return interval_cost * (86400.0 / interval_seconds);
+}
+
+}  // namespace multipub::core

@@ -1,0 +1,64 @@
+// Outgoing-bandwidth cost model (paper §III-E, Equations 3 and 4).
+//
+// Only outgoing bandwidth is billed (inbound is free in EC2-style pricing):
+//   Z_Direct = sum over publishers/messages/serving regions of
+//              N_S^{R_i} * Omega(M) * beta(R_i)                      (Eq. 3)
+//   Z_Routed = Z_Direct + sum over publishers/messages of
+//              (N_R - 1) * Omega(M) * alpha(R^P)                     (Eq. 4)
+// where beta is the region's $/byte to Internet clients and alpha its
+// $/byte to a sibling region.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/config.h"
+#include "core/topic_state.h"
+#include "geo/latency.h"
+#include "geo/region.h"
+
+namespace multipub::core {
+
+class CostModel {
+ public:
+  /// Catalog and client latencies are borrowed and must outlive the model
+  /// (latencies determine which serving region each client attaches to).
+  CostModel(const geo::RegionCatalog& catalog,
+            const geo::ClientLatencyMap& clients);
+
+  /// Effective subscriber count per serving region (N_S^{R_i}), weighted by
+  /// bundling weight and content-filter selectivity; indexed by region id,
+  /// zero for non-serving regions.
+  [[nodiscard]] std::vector<double> subscribers_per_region(
+      const TopicState& topic, geo::RegionSet regions) const;
+
+  /// Total interval cost Z_C for the configuration (Eq. 3 or Eq. 3+4).
+  [[nodiscard]] Dollars cost(const TopicState& topic,
+                             const TopicConfig& config) const;
+
+  /// Breakdown for reporting: egress to subscribers vs. inter-region
+  /// forwarding.
+  struct Breakdown {
+    Dollars subscriber_egress = 0.0;   ///< Eq. 3 term.
+    Dollars inter_region = 0.0;        ///< Eq. 4 additional term.
+    [[nodiscard]] Dollars total() const {
+      return subscriber_egress + inter_region;
+    }
+  };
+  [[nodiscard]] Breakdown cost_breakdown(const TopicState& topic,
+                                         const TopicConfig& config) const;
+
+  [[nodiscard]] const geo::RegionCatalog& catalog() const { return *catalog_; }
+
+ private:
+  const geo::RegionCatalog* catalog_;       // non-owning, never null
+  const geo::ClientLatencyMap* clients_;    // non-owning, never null
+};
+
+/// Scales an observation-interval cost to a daily figure, as the paper's
+/// experiments report ("cloud cost calculated as if the test workload had
+/// run for a full day").
+[[nodiscard]] Dollars scale_to_day(Dollars interval_cost,
+                                   double interval_seconds);
+
+}  // namespace multipub::core

@@ -1,0 +1,104 @@
+#include "core/delivery_model.h"
+
+#include "common/assert.h"
+
+namespace multipub::core {
+
+DeliveryModel::DeliveryModel(const geo::InterRegionLatency& backbone,
+                             const geo::ClientLatencyMap& clients)
+    : backbone_(&backbone), clients_(&clients) {
+  MP_EXPECTS(backbone.size() == clients.n_regions());
+}
+
+Millis DeliveryModel::pair_delivery_time(ClientId publisher,
+                                         ClientId subscriber,
+                                         const TopicConfig& config) const {
+  MP_EXPECTS(!config.regions.empty());
+  const RegionId sub_region =
+      clients_->closest_region(subscriber, config.regions);
+  const Millis last_leg = clients_->at(subscriber, sub_region);
+
+  if (config.mode == DeliveryMode::kDirect) {
+    return clients_->at(publisher, sub_region) + last_leg;  // Eq. 1
+  }
+  const RegionId pub_region =
+      clients_->closest_region(publisher, config.regions);
+  return clients_->at(publisher, pub_region) +
+         backbone_->at(pub_region, sub_region) + last_leg;  // Eq. 2
+}
+
+std::vector<WeightedSample> DeliveryModel::weighted_delivery_times(
+    const TopicState& topic, const TopicConfig& config) const {
+  std::vector<WeightedSample> out;
+  out.reserve(topic.publishers.size() * topic.subscribers.size());
+
+  // Hoist the per-client region resolutions out of the pair loop: each
+  // subscriber's serving region and last leg, and (routed mode) each
+  // publisher's home region and first leg, depend only on the config.
+  struct SubInfo {
+    RegionId region;
+    Millis last_leg;
+  };
+  std::vector<SubInfo> subs;
+  subs.reserve(topic.subscribers.size());
+  for (const auto& sub : topic.subscribers) {
+    const RegionId r = clients_->closest_region(sub.client, config.regions);
+    subs.push_back({r, clients_->at(sub.client, r)});
+  }
+
+  if (config.mode == DeliveryMode::kDirect) {
+    for (const auto& pub : topic.publishers) {
+      if (pub.msg_count == 0) continue;
+      const auto pub_row = clients_->row(pub.client);
+      for (std::size_t i = 0; i < subs.size(); ++i) {
+        out.push_back({pub_row[subs[i].region.index()] + subs[i].last_leg,
+                       pub.msg_count * topic.subscribers[i].weight});
+      }
+    }
+  } else {
+    for (const auto& pub : topic.publishers) {
+      if (pub.msg_count == 0) continue;
+      const RegionId pub_region =
+          clients_->closest_region(pub.client, config.regions);
+      const Millis first_leg = clients_->at(pub.client, pub_region);
+      for (std::size_t i = 0; i < subs.size(); ++i) {
+        out.push_back({first_leg + backbone_->at(pub_region, subs[i].region) +
+                           subs[i].last_leg,
+                       pub.msg_count * topic.subscribers[i].weight});
+      }
+    }
+  }
+  return out;
+}
+
+Millis DeliveryModel::delivery_percentile(const TopicState& topic,
+                                          const TopicConfig& config,
+                                          double ratio) const {
+  auto samples = weighted_delivery_times(topic, config);
+  MP_EXPECTS(!samples.empty());
+  return weighted_percentile(std::move(samples), ratio);
+}
+
+std::vector<Millis> DeliveryModel::exact_delivery_times(
+    const TopicState& topic, const TopicConfig& config) const {
+  std::vector<Millis> out;
+  out.reserve(topic.total_deliveries());
+  for (const auto& sub : topic.subscribers) {
+    for (const auto& pub : topic.publishers) {
+      const Millis d = pair_delivery_time(pub.client, sub.client, config);
+      const std::uint64_t copies = pub.msg_count * sub.weight;
+      out.insert(out.end(), copies, d);
+    }
+  }
+  return out;
+}
+
+Millis DeliveryModel::exact_delivery_percentile(const TopicState& topic,
+                                                const TopicConfig& config,
+                                                double ratio) const {
+  const auto list = exact_delivery_times(topic, config);
+  MP_EXPECTS(!list.empty());
+  return percentile(list, ratio);
+}
+
+}  // namespace multipub::core

@@ -1,0 +1,80 @@
+// Publication delivery-time model (paper §III-D and §IV-A).
+//
+// Under a configuration C, every (publisher, subscriber) pair has one
+// deterministic delivery time:
+//
+//   direct:  D = L[P][R^S]              + L[S][R^S]            (Eq. 1)
+//   routed:  D = L[P][R^P] + L^R[R^P][R^S] + L[S][R^S]         (Eq. 2)
+//
+// where R^S (R^P) is the subscriber's (publisher's) closest serving region.
+// (Eq. 2's first term appears as L_{PR^S} in the paper text, a typo: the
+// prose — "publisher sends towards its local region R^P", two hops when
+// R^S = R^P — requires L_{PR^P}.)
+//
+// The constraint check (Eq. 5/6) then needs the ratio_T-percentile of the
+// delivery times of all messages of the observation interval. Two evaluation
+// strategies:
+//   - exact_*: materialize one entry per (message, subscriber) delivery, the
+//     paper's approach — linear in message count, reproduced for Fig. 6;
+//   - weighted_*: one entry per (publisher, subscriber) pair weighted by the
+//     publisher's message count times the subscriber weight — identical
+//     order statistic, independent of message volume.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/config.h"
+#include "core/topic_state.h"
+#include "geo/latency.h"
+
+namespace multipub::core {
+
+class DeliveryModel {
+ public:
+  /// Both matrices are borrowed and must outlive the model.
+  DeliveryModel(const geo::InterRegionLatency& backbone,
+                const geo::ClientLatencyMap& clients);
+
+  /// Eq. 1/2 for a single (publisher, subscriber) pair under `config`.
+  [[nodiscard]] Millis pair_delivery_time(ClientId publisher,
+                                          ClientId subscriber,
+                                          const TopicConfig& config) const;
+
+  /// One weighted sample per (publisher, subscriber) pair; weight =
+  /// publisher msg_count * subscriber weight.
+  [[nodiscard]] std::vector<WeightedSample> weighted_delivery_times(
+      const TopicState& topic, const TopicConfig& config) const;
+
+  /// The ratio-percentile of the interval's deliveries (D̊_C), weighted path.
+  /// Pre: topic has at least one publisher with msg_count > 0 and one
+  /// subscriber.
+  [[nodiscard]] Millis delivery_percentile(const TopicState& topic,
+                                           const TopicConfig& config,
+                                           double ratio) const;
+
+  /// The paper's full list D_C: one entry per (message, subscriber).
+  /// Memory: total_deliveries() entries — intended for the runtime analysis.
+  [[nodiscard]] std::vector<Millis> exact_delivery_times(
+      const TopicState& topic, const TopicConfig& config) const;
+
+  /// D̊_C computed from the materialized list (identical value to
+  /// delivery_percentile; verified by property tests).
+  [[nodiscard]] Millis exact_delivery_percentile(const TopicState& topic,
+                                                 const TopicConfig& config,
+                                                 double ratio) const;
+
+  [[nodiscard]] const geo::InterRegionLatency& backbone() const {
+    return *backbone_;
+  }
+  [[nodiscard]] const geo::ClientLatencyMap& clients() const {
+    return *clients_;
+  }
+
+ private:
+  const geo::InterRegionLatency* backbone_;  // non-owning, never null
+  const geo::ClientLatencyMap* clients_;     // non-owning, never null
+};
+
+}  // namespace multipub::core

@@ -1,0 +1,26 @@
+#include "core/latency_estimator.h"
+
+#include "common/assert.h"
+
+namespace multipub::core {
+
+LatencyEstimator::LatencyEstimator(geo::ClientLatencyMap initial,
+                                   double smoothing)
+    : map_(std::move(initial)), smoothing_(smoothing) {
+  MP_EXPECTS(smoothing > 0.0 && smoothing <= 1.0);
+}
+
+void LatencyEstimator::observe(ClientId client, RegionId region,
+                               Millis sample) {
+  MP_EXPECTS(sample >= 0.0);
+  map_.ensure_client(client);  // churn: first sample from a new client
+  const Millis previous = map_.at(client, region);
+  const Millis blended = previous == kUnreachable
+                             ? sample
+                             : (1.0 - smoothing_) * previous +
+                                   smoothing_ * sample;
+  map_.set(client, region, blended);
+  ++observations_;
+}
+
+}  // namespace multipub::core

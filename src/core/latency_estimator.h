@@ -1,0 +1,45 @@
+// EWMA latency estimation (paper §III-C).
+//
+// The controller "keeps track of the latencies between every client and
+// each of the cloud regions"; the paper assumes L constant "but our model
+// still holds if the value is updated over time at an infrequent rate".
+// LatencyEstimator owns the controller's live copy of L and folds measured
+// samples in with an exponentially weighted moving average, so a client
+// whose connection degrades drags its row towards the truth without
+// over-reacting to single noisy probes.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/latency.h"
+
+namespace multipub::core {
+
+class LatencyEstimator {
+ public:
+  /// Starts from an initial map (e.g. King-derived values) and smooths new
+  /// observations in with weight `smoothing` in (0, 1]; 1.0 means "trust
+  /// the newest sample completely".
+  explicit LatencyEstimator(geo::ClientLatencyMap initial,
+                            double smoothing = 0.3);
+
+  /// Folds one measured one-way latency sample into the estimate.
+  void observe(ClientId client, RegionId region, Millis sample);
+
+  /// The current estimate matrix (what the optimizer should use).
+  [[nodiscard]] const geo::ClientLatencyMap& map() const { return map_; }
+
+  [[nodiscard]] Millis estimate(ClientId client, RegionId region) const {
+    return map_.at(client, region);
+  }
+
+  [[nodiscard]] std::uint64_t observations() const { return observations_; }
+  [[nodiscard]] double smoothing() const { return smoothing_; }
+
+ private:
+  geo::ClientLatencyMap map_;
+  double smoothing_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace multipub::core

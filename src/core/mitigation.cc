@@ -1,0 +1,93 @@
+#include "core/mitigation.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/stats.h"
+
+namespace multipub::core {
+namespace {
+
+/// Weighted delivery samples restricted to one subscriber.
+std::vector<WeightedSample> samples_for_subscriber(const TopicState& topic,
+                                                   const TopicConfig& config,
+                                                   ClientId subscriber,
+                                                   const DeliveryModel& model) {
+  std::vector<WeightedSample> out;
+  out.reserve(topic.publishers.size());
+  for (const auto& pub : topic.publishers) {
+    if (pub.msg_count == 0) continue;
+    out.push_back({model.pair_delivery_time(pub.client, subscriber, config),
+                   pub.msg_count});
+  }
+  return out;
+}
+
+}  // namespace
+
+Millis subscriber_percentile(const TopicState& topic,
+                             const TopicConfig& config, ClientId subscriber,
+                             const DeliveryModel& model) {
+  auto samples = samples_for_subscriber(topic, config, subscriber, model);
+  MP_EXPECTS(!samples.empty());
+  return weighted_percentile(std::move(samples), topic.constraint.ratio);
+}
+
+MitigationOutcome mitigate_high_latency_clients(const TopicState& topic,
+                                                const TopicConfig& config,
+                                                const DeliveryModel& model,
+                                                const MitigationParams& params) {
+  MP_EXPECTS(!config.regions.empty());
+  MitigationOutcome outcome;
+  outcome.config = config;
+
+  const std::size_t n_regions = model.clients().n_regions();
+
+  for (const auto& sub : topic.subscribers) {
+    // Disadvantaged: every delivery to this subscriber exceeds max_T, i.e.
+    // even the *fastest* publisher path is too slow.
+    const auto samples =
+        samples_for_subscriber(topic, outcome.config, sub.client, model);
+    MP_EXPECTS(!samples.empty());
+    const Millis fastest =
+        std::min_element(samples.begin(), samples.end(),
+                         [](const WeightedSample& a, const WeightedSample& b) {
+                           return a.value < b.value;
+                         })
+            ->value;
+    if (fastest <= topic.constraint.max) continue;
+    outcome.disadvantaged.push_back(sub.client);
+
+    const Millis current =
+        subscriber_percentile(topic, outcome.config, sub.client, model);
+
+    // Try force-adding each absent region; keep the one that minimizes the
+    // client's own percentile.
+    RegionId best_region = RegionId::invalid();
+    Millis best_percentile = current;
+    for (std::size_t i = 0; i < n_regions; ++i) {
+      const RegionId r{static_cast<RegionId::underlying_type>(i)};
+      if (outcome.config.regions.contains(r)) continue;
+      TopicConfig augmented = outcome.config;
+      augmented.regions.add(r);
+      const Millis p =
+          subscriber_percentile(topic, augmented, sub.client, model);
+      if (p < best_percentile) {
+        best_percentile = p;
+        best_region = r;
+      }
+    }
+    if (!best_region.valid()) continue;
+
+    const bool meets = best_percentile <= topic.constraint.max;
+    const bool significant =
+        best_percentile <= params.significant_improvement * current;
+    if (meets || significant) {
+      outcome.config.regions.add(best_region);
+      outcome.added_regions.push_back(best_region);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace multipub::core

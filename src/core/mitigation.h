@@ -1,0 +1,49 @@
+// High-latency client mitigation (paper §IV-D).
+//
+// A client may temporarily sit behind a bad connection; since the constraint
+// is a percentile over *all* deliveries, such a client can have every one of
+// its deliveries land above max_T while the configuration still counts as
+// feasible. The controller periodically scans for those clients and checks
+// whether force-adding one region to the topic's current region set would
+// meet — or significantly improve — that client's latencies; if so the
+// region is added (and dropped again once no longer needed).
+#pragma once
+
+#include <vector>
+
+#include "core/delivery_model.h"
+#include "core/topic_state.h"
+
+namespace multipub::core {
+
+struct MitigationParams {
+  /// A forced region is also accepted when it cannot fully meet max_T but
+  /// reduces the client's percentile to at most this fraction of its
+  /// current value ("improved significantly").
+  double significant_improvement = 0.7;
+};
+
+struct MitigationOutcome {
+  /// The (possibly augmented) configuration to deploy.
+  TopicConfig config;
+  /// Subscribers whose every delivery exceeded max_T under the input config.
+  std::vector<ClientId> disadvantaged;
+  /// Regions force-added on their behalf (empty when none helped).
+  std::vector<RegionId> added_regions;
+};
+
+/// The percentile (at the topic's ratio) of the delivery times of messages
+/// arriving at one specific subscriber under `config`.
+[[nodiscard]] Millis subscriber_percentile(const TopicState& topic,
+                                           const TopicConfig& config,
+                                           ClientId subscriber,
+                                           const DeliveryModel& model);
+
+/// Detects disadvantaged subscribers and force-adds helpful regions.
+/// Leaves the delivery mode unchanged. Pre: topic has publishers with
+/// messages; config non-empty.
+[[nodiscard]] MitigationOutcome mitigate_high_latency_clients(
+    const TopicState& topic, const TopicConfig& config,
+    const DeliveryModel& model, const MitigationParams& params = {});
+
+}  // namespace multipub::core

@@ -1,0 +1,99 @@
+// The MultiPub configuration optimizer (paper §IV).
+//
+// For each topic the controller enumerates every configuration — each
+// non-empty region subset, direct and routed — computes its delivery-time
+// percentile D̊_C and bandwidth cost Z_C, and selects:
+//   1. among constraint-satisfying configurations, the cheapest;
+//   2. ties broken by fewer regions, then by lower percentile (see
+//      Optimizer::better for why this deviates from the paper's §IV-B text);
+//   3. if nothing satisfies the constraint, the configuration with the
+//      lowest percentile (the most latency-minimizing one).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/cost_model.h"
+#include "core/delivery_model.h"
+#include "core/topic_state.h"
+#include "geo/latency.h"
+#include "geo/region.h"
+
+namespace multipub::core {
+
+/// Which percentile evaluation strategy the optimizer uses.
+enum class EvaluationStrategy {
+  /// Per-(publisher, subscriber) weighted samples — volume-independent.
+  kWeighted,
+  /// The paper's materialized per-message list — linear in message count.
+  /// Kept to reproduce the runtime analysis (Fig. 6).
+  kExactList,
+};
+
+struct OptimizerOptions {
+  ModePolicy mode_policy = ModePolicy::kBoth;
+  EvaluationStrategy strategy = EvaluationStrategy::kWeighted;
+  /// Restrict the search to a subset of regions (empty = all regions of the
+  /// catalog). Used by the pruning heuristic and by region sweeps.
+  geo::RegionSet candidates;
+};
+
+/// One evaluated configuration: the row the controller would sort.
+struct ConfigEvaluation {
+  TopicConfig config;
+  Millis percentile = 0.0;  ///< D̊_C.
+  Dollars cost = 0.0;       ///< Z_C for the observation interval.
+  bool feasible = false;    ///< D̊_C <= max_T.
+};
+
+/// The optimizer's decision for one topic.
+struct OptimizerResult {
+  TopicConfig config;
+  Millis percentile = 0.0;
+  Dollars cost = 0.0;
+  /// False when no configuration met the constraint and `config` is merely
+  /// the latency-minimizing fallback.
+  bool constraint_met = false;
+  std::size_t configs_evaluated = 0;
+};
+
+class Optimizer {
+ public:
+  /// All three inputs are borrowed and must outlive the optimizer.
+  Optimizer(const geo::RegionCatalog& catalog,
+            const geo::InterRegionLatency& backbone,
+            const geo::ClientLatencyMap& clients);
+
+  /// Full enumeration + selection. Pre: topic has >= 1 subscriber and >= 1
+  /// publisher with msg_count > 0.
+  [[nodiscard]] OptimizerResult optimize(const TopicState& topic,
+                                         const OptimizerOptions& options = {}) const;
+
+  /// Evaluates every candidate configuration without selecting (exposed for
+  /// benchmarks, tests and the what-if analyses of the examples).
+  [[nodiscard]] std::vector<ConfigEvaluation> evaluate_all(
+      const TopicState& topic, const OptimizerOptions& options = {}) const;
+
+  /// Evaluates one specific configuration (used by baselines and by the
+  /// high-latency mitigation pass).
+  [[nodiscard]] ConfigEvaluation evaluate(const TopicState& topic,
+                                          const TopicConfig& config,
+                                          EvaluationStrategy strategy =
+                                              EvaluationStrategy::kWeighted) const;
+
+  /// True when `lhs` is a strictly better choice than `rhs` under the
+  /// paper's ordering (§IV-B). Exposed for property tests.
+  [[nodiscard]] static bool better(const ConfigEvaluation& lhs,
+                                   const ConfigEvaluation& rhs);
+
+  [[nodiscard]] const DeliveryModel& delivery_model() const { return delivery_; }
+  [[nodiscard]] const CostModel& cost_model() const { return cost_; }
+
+ private:
+  const geo::RegionCatalog* catalog_;  // non-owning, never null
+  DeliveryModel delivery_;
+  CostModel cost_;
+};
+
+}  // namespace multipub::core

@@ -1,0 +1,49 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace multipub::core {
+
+std::vector<OptimizerResult> optimize_topics(const Optimizer& optimizer,
+                                             std::span<const TopicState> topics,
+                                             const OptimizerOptions& options,
+                                             unsigned threads) {
+  std::vector<OptimizerResult> results(topics.size());
+  if (topics.empty()) return results;
+
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(topics.size()));
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < topics.size(); ++i) {
+      results[i] = optimizer.optimize(topics[i], options);
+    }
+    return results;
+  }
+
+  // Work stealing via a shared atomic cursor: topics can have wildly
+  // different sizes, so static partitioning would leave workers idle.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= topics.size()) return;
+      results[i] = optimizer.optimize(topics[i], options);
+    }
+  };
+
+  std::vector<std::jthread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  pool.clear();  // joins
+  return results;
+}
+
+}  // namespace multipub::core

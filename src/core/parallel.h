@@ -1,0 +1,23 @@
+// Parallel optimization of independent topics (paper §IV-C / §V-F).
+//
+// "Since there is no global constraint, or inter-topic constraints, all
+// topics can then be considered as independent" — so the controller can
+// solve them concurrently. Optimizer::optimize is a pure const member; the
+// workers share one optimizer and partition the topic list.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/optimizer.h"
+
+namespace multipub::core {
+
+/// Optimizes every topic, one OptimizerResult per input in input order.
+/// `threads` = 0 picks the hardware concurrency. Deterministic: the result
+/// for each topic is independent of the thread schedule.
+[[nodiscard]] std::vector<OptimizerResult> optimize_topics(
+    const Optimizer& optimizer, std::span<const TopicState> topics,
+    const OptimizerOptions& options = {}, unsigned threads = 0);
+
+}  // namespace multipub::core

@@ -1,0 +1,60 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace multipub::core {
+namespace {
+
+/// Adds `keep` regions with the lowest latency from `client` to `out`.
+void add_closest(geo::RegionSet& out, const geo::ClientLatencyMap& clients,
+                 ClientId client, int keep) {
+  const auto row = clients.row(client);
+  std::vector<std::size_t> order(row.size());
+  std::iota(order.begin(), order.end(), 0);
+  const auto k = std::min<std::size_t>(static_cast<std::size_t>(keep),
+                                       order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return row[a] < row[b];
+                    });
+  for (std::size_t i = 0; i < k; ++i) {
+    out.add(RegionId{static_cast<RegionId::underlying_type>(order[i])});
+  }
+}
+
+}  // namespace
+
+geo::RegionSet prune_candidates(const TopicState& topic,
+                                const geo::ClientLatencyMap& clients,
+                                const geo::RegionCatalog& catalog,
+                                const PruningParams& params) {
+  MP_EXPECTS(params.keep_closest >= 1);
+  MP_EXPECTS(!catalog.empty());
+
+  geo::RegionSet out;
+  for (const auto& pub : topic.publishers) {
+    add_closest(out, clients, pub.client, params.keep_closest);
+  }
+  for (const auto& sub : topic.subscribers) {
+    add_closest(out, clients, sub.client, params.keep_closest);
+  }
+
+  // Keep the cheapest-egress region so the cost-minimal single-region
+  // configuration stays in the search space.
+  const geo::Region* cheapest = &catalog.all().front();
+  for (const auto& region : catalog.all()) {
+    if (region.internet_cost_per_gb < cheapest->internet_cost_per_gb) {
+      cheapest = &region;
+    }
+  }
+  out.add(cheapest->id);
+
+  MP_ENSURES(!out.empty());
+  return out;
+}
+
+}  // namespace multipub::core

@@ -1,0 +1,31 @@
+// Candidate-region pruning (paper §V-F).
+//
+// The optimizer is exponential in the number of candidate regions, and the
+// paper notes that "simple pruning can remove expensive regions with no or
+// very few subscribers". This heuristic restricts the search to regions
+// that are actually close to someone:
+//   - the union, over every client of the topic, of that client's
+//     `keep_closest` lowest-latency regions, plus
+//   - the region with the cheapest subscriber-egress tariff (so the cheap
+//     one-region fallback configuration always remains reachable).
+#pragma once
+
+#include "core/topic_state.h"
+#include "geo/latency.h"
+#include "geo/region.h"
+#include "geo/region_set.h"
+
+namespace multipub::core {
+
+struct PruningParams {
+  /// How many of each client's closest regions survive (>= 1).
+  int keep_closest = 2;
+};
+
+/// Returns the pruned candidate set; never empty, always a subset of the
+/// catalog's universe.
+[[nodiscard]] geo::RegionSet prune_candidates(
+    const TopicState& topic, const geo::ClientLatencyMap& clients,
+    const geo::RegionCatalog& catalog, const PruningParams& params = {});
+
+}  // namespace multipub::core

@@ -1,0 +1,45 @@
+#include "core/topic_state.h"
+
+namespace multipub::core {
+
+std::uint64_t TopicState::total_messages() const {
+  std::uint64_t n = 0;
+  for (const auto& p : publishers) n += p.msg_count;
+  return n;
+}
+
+Bytes TopicState::total_published_bytes() const {
+  Bytes n = 0;
+  for (const auto& p : publishers) n += p.total_bytes;
+  return n;
+}
+
+std::uint64_t TopicState::total_subscriber_weight() const {
+  std::uint64_t n = 0;
+  for (const auto& s : subscribers) n += s.weight;
+  return n;
+}
+
+std::uint64_t TopicState::total_deliveries() const {
+  return total_messages() * total_subscriber_weight();
+}
+
+std::vector<PublisherStats> uniform_publishers(const std::vector<ClientId>& ids,
+                                               std::uint64_t msg_count,
+                                               Bytes msg_bytes) {
+  std::vector<PublisherStats> out;
+  out.reserve(ids.size());
+  for (ClientId id : ids) {
+    out.push_back({id, msg_count, msg_count * msg_bytes});
+  }
+  return out;
+}
+
+std::vector<SubscriberStats> unit_subscribers(const std::vector<ClientId>& ids) {
+  std::vector<SubscriberStats> out;
+  out.reserve(ids.size());
+  for (ClientId id : ids) out.push_back({id, 1});
+  return out;
+}
+
+}  // namespace multipub::core

@@ -1,0 +1,70 @@
+// Observed per-topic state for one collection interval.
+//
+// This is the input to the optimizer: the region managers report, per topic,
+// who published how much and who is subscribed (paper §III-A3). Subscribers
+// carry an integer weight so that proportional bundling (paper §V-F) can
+// replace a cluster of nearby clients with one virtual client.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/constraint.h"
+
+namespace multipub::core {
+
+/// One publisher's traffic on the topic during the observation interval.
+struct PublisherStats {
+  ClientId client;
+  /// Number of messages published (N_M^P in the paper).
+  std::uint64_t msg_count = 0;
+  /// Sum of message sizes in bytes (sum of Omega(M_j^P)).
+  Bytes total_bytes = 0;
+};
+
+/// One subscriber (or a bundled virtual subscriber standing for `weight`
+/// real ones at nearly identical network positions).
+struct SubscriberStats {
+  ClientId client;
+  std::uint32_t weight = 1;
+  /// Fraction of the topic's publications this subscriber's content filter
+  /// matches (1.0 = plain topic subscription). Affects the cost model only:
+  /// filtering is independent of network position, so the latency
+  /// distribution of the messages that ARE delivered — and hence the
+  /// delivery-time percentile — is unchanged.
+  double selectivity = 1.0;
+};
+
+/// Everything the controller knows about one topic for one interval.
+struct TopicState {
+  TopicId topic;
+  DeliveryConstraint constraint;
+  std::vector<PublisherStats> publishers;
+  std::vector<SubscriberStats> subscribers;
+
+  /// Total messages published across all publishers (sum of N_M^P).
+  [[nodiscard]] std::uint64_t total_messages() const;
+
+  /// Total bytes published across all publishers.
+  [[nodiscard]] Bytes total_published_bytes() const;
+
+  /// Total subscriber weight (N_S, counting bundled multiplicities).
+  [[nodiscard]] std::uint64_t total_subscriber_weight() const;
+
+  /// |D_C| of the paper: total number of end-to-end deliveries in the
+  /// interval, i.e. total_messages() * total_subscriber_weight().
+  [[nodiscard]] std::uint64_t total_deliveries() const;
+};
+
+/// Convenience builder: `count` publishers each sending `msg_count`
+/// messages of `msg_bytes` bytes, clients drawn from `ids` in order.
+[[nodiscard]] std::vector<PublisherStats> uniform_publishers(
+    const std::vector<ClientId>& ids, std::uint64_t msg_count,
+    Bytes msg_bytes);
+
+/// Convenience builder for unit-weight subscribers.
+[[nodiscard]] std::vector<SubscriberStats> unit_subscribers(
+    const std::vector<ClientId>& ids);
+
+}  // namespace multipub::core

@@ -1,0 +1,77 @@
+#include "geo/king_synth.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace multipub::geo {
+namespace {
+
+/// Builds one client row homed at `home` and appends it to the population.
+void append_client(ClientPopulation& pop, const RegionCatalog& catalog,
+                   const InterRegionLatency& backbone, RegionId home,
+                   const KingSynthParams& params, Rng& rng) {
+  const double lastmile =
+      rng.lognormal_median(params.lastmile_median_ms, params.lastmile_sigma);
+  const double stretch =
+      std::max(1.0, rng.normal(params.stretch_mean, params.stretch_stddev));
+
+  std::vector<Millis> row(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const RegionId r{static_cast<RegionId::underlying_type>(i)};
+    const double backbone_leg = backbone.at(home, r);
+    const double jitter =
+        r == home ? 0.0 : std::abs(rng.normal(0.0, params.jitter_stddev_ms));
+    row[i] = lastmile + stretch * backbone_leg + jitter;
+  }
+  // The synthetic client must actually be closest to its home region, or
+  // experiment placement ("clients close to R") would be inconsistent. The
+  // construction guarantees it: the home column is lastmile + 0.
+  pop.latencies.add_client(row);
+  pop.home_region.push_back(home);
+}
+
+}  // namespace
+
+std::vector<ClientId> ClientPopulation::clients_near(RegionId region) const {
+  std::vector<ClientId> out;
+  for (std::size_t i = 0; i < home_region.size(); ++i) {
+    if (home_region[i] == region) {
+      out.emplace_back(static_cast<ClientId::underlying_type>(i));
+    }
+  }
+  return out;
+}
+
+ClientPopulation synthesize_population(const RegionCatalog& catalog,
+                                       const InterRegionLatency& backbone,
+                                       std::size_t per_region,
+                                       const KingSynthParams& params,
+                                       Rng& rng) {
+  MP_EXPECTS(catalog.size() == backbone.size());
+  ClientPopulation pop;
+  pop.latencies = ClientLatencyMap(catalog.size());
+  for (const auto& region : catalog.all()) {
+    for (std::size_t k = 0; k < per_region; ++k) {
+      append_client(pop, catalog, backbone, region.id, params, rng);
+    }
+  }
+  return pop;
+}
+
+ClientPopulation synthesize_local_population(const RegionCatalog& catalog,
+                                             const InterRegionLatency& backbone,
+                                             RegionId home, std::size_t count,
+                                             const KingSynthParams& params,
+                                             Rng& rng) {
+  MP_EXPECTS(catalog.size() == backbone.size());
+  MP_EXPECTS(home.valid() && home.index() < catalog.size());
+  ClientPopulation pop;
+  pop.latencies = ClientLatencyMap(catalog.size());
+  for (std::size_t k = 0; k < count; ++k) {
+    append_client(pop, catalog, backbone, home, params, rng);
+  }
+  return pop;
+}
+
+}  // namespace multipub::geo

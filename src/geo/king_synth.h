@@ -1,0 +1,66 @@
+// Synthetic King-dataset client population.
+//
+// The paper derives client-to-region latencies by pinging the ~1800 DNS
+// vantage points of the King dataset from VMs in all EC2 regions (700
+// responded). We do not have that dataset, so we synthesize an equivalent
+// population (substitution #3 in DESIGN.md):
+//
+//   L[C][R] = lastmile(C) + stretch(C) * L^R[home(C)][R] + jitter
+//
+// where home(C) is the region the client is geographically closest to,
+// lastmile is a lognormal access-network delay, and stretch > 1 models the
+// fact that public-Internet paths between a client and a *remote* region are
+// slower than the optimized inter-cloud backbone — the property that makes
+// routed delivery competitive (paper §II-B2, Experiment 2).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "geo/latency.h"
+#include "geo/region.h"
+
+namespace multipub::geo {
+
+/// Tunables for the synthetic population.
+struct KingSynthParams {
+  /// Median last-mile latency to the client's home region (ms).
+  double lastmile_median_ms = 18.0;
+  /// Lognormal sigma of the last-mile latency (0.45 yields a realistic
+  /// long-tailed access distribution: p95 around 2x the median).
+  double lastmile_sigma = 0.45;
+  /// Mean multiplicative stretch of client paths over backbone paths.
+  double stretch_mean = 1.25;
+  /// Stddev of the stretch (clamped below at 1.0).
+  double stretch_stddev = 0.10;
+  /// Additive per-(client,region) noise stddev (ms).
+  double jitter_stddev_ms = 3.0;
+};
+
+/// One synthesized client population: the latency matrix L plus each
+/// client's home region (the region used for "10 publishers close to R_i"
+/// placement in the experiments).
+struct ClientPopulation {
+  ClientLatencyMap latencies;
+  std::vector<RegionId> home_region;  // indexed by ClientId
+
+  [[nodiscard]] std::size_t size() const { return home_region.size(); }
+
+  /// Ids of all clients whose home region is `region`.
+  [[nodiscard]] std::vector<ClientId> clients_near(RegionId region) const;
+};
+
+/// Generates `per_region` clients homed at every region of the catalog.
+/// Deterministic in (params, rng seed).
+[[nodiscard]] ClientPopulation synthesize_population(
+    const RegionCatalog& catalog, const InterRegionLatency& backbone,
+    std::size_t per_region, const KingSynthParams& params, Rng& rng);
+
+/// Generates `count` clients all homed at `home` (Experiment 3's localized
+/// scenario: "100 publishers and 100 subscribers ... closest to region R").
+[[nodiscard]] ClientPopulation synthesize_local_population(
+    const RegionCatalog& catalog, const InterRegionLatency& backbone,
+    RegionId home, std::size_t count, const KingSynthParams& params, Rng& rng);
+
+}  // namespace multipub::geo

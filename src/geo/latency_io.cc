@@ -1,0 +1,162 @@
+#include "geo/latency_io.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace multipub::geo {
+namespace {
+
+void append_value(std::string& out, Millis value) {
+  if (value == kUnreachable) {
+    out += "inf";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+bool parse_value(const std::string& token, Millis* out) {
+  if (token == "inf") {
+    *out = kUnreachable;
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0' && !token.empty();
+}
+
+std::string at_line(int line, const std::string& message) {
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+}  // namespace
+
+std::string serialize_latencies(const InterRegionLatency& backbone,
+                                const ClientLatencyMap& clients) {
+  std::string out;
+  if (backbone.size() > 0) {
+    out += "backbone " + std::to_string(backbone.size()) + "\n";
+    for (std::size_t i = 0; i < backbone.size(); ++i) {
+      for (std::size_t j = 0; j < backbone.size(); ++j) {
+        if (j > 0) out += ' ';
+        append_value(out, backbone.at(RegionId{static_cast<int>(i)},
+                                      RegionId{static_cast<int>(j)}));
+      }
+      out += '\n';
+    }
+  }
+  if (clients.n_regions() > 0 && clients.n_clients() > 0) {
+    out += "clients " + std::to_string(clients.n_clients()) + " " +
+           std::to_string(clients.n_regions()) + "\n";
+    for (std::size_t c = 0; c < clients.n_clients(); ++c) {
+      const auto row = clients.row(ClientId{static_cast<int>(c)});
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        if (j > 0) out += ' ';
+        append_value(out, row[j]);
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::optional<ParsedLatencies> parse_latencies(std::string_view text,
+                                               std::string* error) {
+  ParsedLatencies out;
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+
+  // Reads the next non-empty, comment-stripped line; false at EOF.
+  auto next_line = [&](std::string* line) {
+    while (std::getline(stream, raw)) {
+      ++line_no;
+      if (const auto hash = raw.find('#'); hash != std::string::npos) {
+        raw.erase(hash);
+      }
+      std::istringstream probe(raw);
+      std::string first;
+      if (probe >> first) {
+        *line = raw;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::string line;
+  while (next_line(&line)) {
+    std::istringstream header(line);
+    std::string kind;
+    header >> kind;
+    if (kind == "backbone") {
+      std::size_t n = 0;
+      if (!(header >> n) || n == 0 || n > 64) {
+        if (error) *error = at_line(line_no, "bad backbone header");
+        return std::nullopt;
+      }
+      out.backbone = InterRegionLatency(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!next_line(&line)) {
+          if (error) *error = at_line(line_no, "backbone matrix truncated");
+          return std::nullopt;
+        }
+        std::istringstream row(line);
+        std::string token;
+        for (std::size_t j = 0; j < n; ++j) {
+          Millis value = 0.0;
+          if (!(row >> token) || !parse_value(token, &value)) {
+            if (error) *error = at_line(line_no, "bad backbone value");
+            return std::nullopt;
+          }
+          if (i == j) {
+            if (value != 0.0) {
+              if (error) *error = at_line(line_no, "diagonal must be 0");
+              return std::nullopt;
+            }
+            continue;
+          }
+          if (j > i) {  // set() writes both triangles; validate symmetry after
+            out.backbone.set(RegionId{static_cast<int>(i)},
+                             RegionId{static_cast<int>(j)}, value);
+          } else if (out.backbone.at(RegionId{static_cast<int>(i)},
+                                     RegionId{static_cast<int>(j)}) != value) {
+            if (error) *error = at_line(line_no, "backbone not symmetric");
+            return std::nullopt;
+          }
+        }
+      }
+    } else if (kind == "clients") {
+      std::size_t rows = 0, n = 0;
+      if (!(header >> rows >> n) || n == 0) {
+        if (error) *error = at_line(line_no, "bad clients header");
+        return std::nullopt;
+      }
+      out.clients = ClientLatencyMap(n);
+      for (std::size_t c = 0; c < rows; ++c) {
+        if (!next_line(&line)) {
+          if (error) *error = at_line(line_no, "client matrix truncated");
+          return std::nullopt;
+        }
+        std::istringstream row_stream(line);
+        std::vector<Millis> row(n);
+        std::string token;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (!(row_stream >> token) || !parse_value(token, &row[j])) {
+            if (error) *error = at_line(line_no, "bad client value");
+            return std::nullopt;
+          }
+        }
+        out.clients.add_client(row);
+      }
+    } else {
+      if (error) *error = at_line(line_no, "unknown section '" + kind + "'");
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+}  // namespace multipub::geo

@@ -1,0 +1,43 @@
+// Text serialization of the latency matrices.
+//
+// The paper's matrices are MEASURED artifacts (EC2 pings, King dataset);
+// ours are synthesized stand-ins. This module makes both interchangeable:
+// matrices serialize to a line-oriented text format that users can replace
+// with their own measurements, and everything downstream (optimizer, live
+// middleware, trace replay) consumes whichever matrix was loaded.
+//
+// Format:
+//   backbone <n>            # n x n one-way matrix, then n rows of n values
+//   <v11> <v12> ... <v1n>
+//   ...
+//   clients <rows> <n>      # client matrix, then one row per client
+//   <v11> ... <v1n>
+//   ...
+// '#' starts a comment; blank lines are ignored. Values are milliseconds;
+// "inf" marks unmeasured cells.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "geo/latency.h"
+
+namespace multipub::geo {
+
+/// Renders both matrices (either may be empty and is then omitted).
+[[nodiscard]] std::string serialize_latencies(
+    const InterRegionLatency& backbone, const ClientLatencyMap& clients);
+
+struct ParsedLatencies {
+  InterRegionLatency backbone;
+  ClientLatencyMap clients;
+};
+
+/// Parses the format above; nullopt + line-numbered `error` on failure.
+/// A file may contain either section or both; missing sections come back
+/// empty (size 0).
+[[nodiscard]] std::optional<ParsedLatencies> parse_latencies(
+    std::string_view text, std::string* error);
+
+}  // namespace multipub::geo

@@ -1,0 +1,106 @@
+#include "geo/modern.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.h"
+
+namespace multipub::geo {
+namespace {
+
+struct ModernRegion {
+  const char* name;
+  const char* city;
+  double lat;
+  double lon;
+  double alpha;  ///< $/GB to another AWS region (approx. 2024)
+  double beta;   ///< $/GB to the Internet, first tier (approx. 2024)
+};
+
+// Coordinates are the regions' metro areas; tariffs approximate the public
+// 2024 price sheet's first Internet-egress tier and typical inter-region
+// rates.
+constexpr ModernRegion kRegions[] = {
+    {"us-east-1", "N. Virginia", 38.9, -77.4, 0.02, 0.09},
+    {"us-east-2", "Ohio", 40.0, -83.0, 0.02, 0.09},
+    {"us-west-1", "N. California", 37.4, -122.0, 0.02, 0.09},
+    {"us-west-2", "Oregon", 45.8, -119.7, 0.02, 0.09},
+    {"ca-central-1", "Montreal", 45.5, -73.6, 0.02, 0.09},
+    {"ca-west-1", "Calgary", 51.0, -114.0, 0.02, 0.09},
+    {"sa-east-1", "Sao Paulo", -23.5, -46.6, 0.138, 0.15},
+    {"eu-west-1", "Dublin", 53.3, -6.3, 0.02, 0.09},
+    {"eu-west-2", "London", 51.5, -0.1, 0.02, 0.09},
+    {"eu-west-3", "Paris", 48.9, 2.4, 0.02, 0.09},
+    {"eu-central-1", "Frankfurt", 50.1, 8.7, 0.02, 0.09},
+    {"eu-central-2", "Zurich", 47.4, 8.5, 0.02, 0.09},
+    {"eu-north-1", "Stockholm", 59.3, 18.1, 0.02, 0.09},
+    {"eu-south-1", "Milan", 45.5, 9.2, 0.02, 0.09},
+    {"eu-south-2", "Spain", 40.4, -3.7, 0.02, 0.09},
+    {"il-central-1", "Tel Aviv", 32.1, 34.8, 0.08, 0.11},
+    {"me-south-1", "Bahrain", 26.1, 50.6, 0.0835, 0.117},
+    {"me-central-1", "UAE", 24.5, 54.4, 0.0835, 0.11},
+    {"af-south-1", "Cape Town", -33.9, 18.4, 0.147, 0.154},
+    {"ap-south-1", "Mumbai", 19.1, 72.9, 0.086, 0.1093},
+    {"ap-south-2", "Hyderabad", 17.4, 78.5, 0.086, 0.1093},
+    {"ap-southeast-1", "Singapore", 1.3, 103.8, 0.09, 0.12},
+    {"ap-southeast-2", "Sydney", -33.9, 151.2, 0.098, 0.114},
+    {"ap-southeast-3", "Jakarta", -6.2, 106.8, 0.10, 0.132},
+    {"ap-southeast-4", "Melbourne", -37.8, 145.0, 0.098, 0.114},
+    {"ap-northeast-1", "Tokyo", 35.7, 139.7, 0.09, 0.114},
+    {"ap-northeast-2", "Seoul", 37.6, 127.0, 0.08, 0.126},
+    {"ap-northeast-3", "Osaka", 34.7, 135.5, 0.09, 0.114},
+    {"ap-east-1", "Hong Kong", 22.3, 114.2, 0.09, 0.12},
+    {"cn-north-1", "Beijing", 39.9, 116.4, 0.09, 0.12},
+};
+
+constexpr std::size_t kRegionCount = std::size(kRegions);
+
+[[nodiscard]] double to_radians(double degrees) {
+  return degrees * std::numbers::pi / 180.0;
+}
+
+}  // namespace
+
+Millis great_circle_latency_ms(double lat1, double lon1, double lat2,
+                               double lon2, double routing_factor,
+                               double base_ms) {
+  MP_EXPECTS(routing_factor >= 1.0);
+  // Haversine great-circle distance on a 6371 km sphere.
+  const double phi1 = to_radians(lat1);
+  const double phi2 = to_radians(lat2);
+  const double d_phi = to_radians(lat2 - lat1);
+  const double d_lambda = to_radians(lon2 - lon1);
+  const double a = std::sin(d_phi / 2) * std::sin(d_phi / 2) +
+                   std::cos(phi1) * std::cos(phi2) *
+                       std::sin(d_lambda / 2) * std::sin(d_lambda / 2);
+  const double distance_km =
+      2.0 * 6371.0 * std::asin(std::min(1.0, std::sqrt(a)));
+  // Light in fiber covers ~200 km per ms; real routes are longer than the
+  // great circle by the routing factor, plus per-path equipment latency.
+  return distance_km / 200.0 * routing_factor + base_ms;
+}
+
+ModernAwsWorld modern_aws_world() {
+  std::vector<Region> regions;
+  regions.reserve(kRegionCount);
+  for (const auto& r : kRegions) {
+    regions.push_back({RegionId{}, r.name, r.city, r.alpha, r.beta});
+  }
+
+  ModernAwsWorld world;
+  world.catalog = RegionCatalog(std::move(regions));
+  world.backbone = InterRegionLatency(kRegionCount);
+  for (std::size_t i = 0; i < kRegionCount; ++i) {
+    for (std::size_t j = i + 1; j < kRegionCount; ++j) {
+      world.backbone.set(
+          RegionId{static_cast<RegionId::underlying_type>(i)},
+          RegionId{static_cast<RegionId::underlying_type>(j)},
+          great_circle_latency_ms(kRegions[i].lat, kRegions[i].lon,
+                                  kRegions[j].lat, kRegions[j].lon));
+    }
+  }
+  MP_ENSURES(world.backbone.complete());
+  return world;
+}
+
+}  // namespace multipub::geo

@@ -1,0 +1,35 @@
+// Modern AWS world: 30 regions, circa 2024.
+//
+// The paper's catalog is the 10-region EC2 of 2016; today's AWS spans 30+.
+// This module provides a deterministic modern-scale world to exercise the
+// heuristic optimizer (the paper's proposed answer to exponential growth):
+// real region names and city coordinates, backbone one-way latencies from
+// great-circle distance (fiber light speed ~200 km/ms, times a routing
+// inflation factor, plus a base hop cost), and approximate 2024 egress
+// tariffs. Absolute tariffs/latencies are estimates; the structure —
+// many cheap $0.09 regions, expensive Cape Town / Sao Paulo, continental
+// clusters — is faithful.
+#pragma once
+
+#include "geo/latency.h"
+#include "geo/region.h"
+
+namespace multipub::geo {
+
+struct ModernAwsWorld {
+  RegionCatalog catalog;
+  InterRegionLatency backbone;
+};
+
+/// The 30-region world. Deterministic (no RNG): derived from embedded
+/// coordinates and tariffs.
+[[nodiscard]] ModernAwsWorld modern_aws_world();
+
+/// One-way latency estimate between two coordinates (degrees):
+/// great-circle km / 200 km-per-ms * routing_factor + base_ms.
+[[nodiscard]] Millis great_circle_latency_ms(double lat1, double lon1,
+                                             double lat2, double lon2,
+                                             double routing_factor = 1.25,
+                                             double base_ms = 2.0);
+
+}  // namespace multipub::geo

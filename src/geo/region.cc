@@ -1,0 +1,52 @@
+#include "geo/region.h"
+
+#include "common/assert.h"
+
+namespace multipub::geo {
+
+RegionCatalog::RegionCatalog(std::vector<Region> regions)
+    : regions_(std::move(regions)) {
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    regions_[i].id = RegionId{static_cast<RegionId::underlying_type>(i)};
+    MP_EXPECTS(regions_[i].inter_region_cost_per_gb >= 0.0);
+    MP_EXPECTS(regions_[i].internet_cost_per_gb >= 0.0);
+  }
+}
+
+RegionCatalog RegionCatalog::ec2_2016() {
+  // Paper Table I. RegionId order matches the paper's R1..R10.
+  std::vector<Region> r{
+      {RegionId{}, "us-east-1", "N. Virginia", 0.02, 0.09},
+      {RegionId{}, "us-west-1", "N. California", 0.02, 0.09},
+      {RegionId{}, "us-west-2", "Oregon", 0.02, 0.09},
+      {RegionId{}, "eu-west-1", "Ireland", 0.02, 0.09},
+      {RegionId{}, "eu-central-1", "Frankfurt", 0.02, 0.09},
+      {RegionId{}, "ap-northeast-1", "Tokyo", 0.09, 0.14},
+      {RegionId{}, "ap-northeast-2", "Seoul", 0.08, 0.126},
+      {RegionId{}, "ap-southeast-1", "Singapore", 0.09, 0.12},
+      {RegionId{}, "ap-southeast-2", "Sydney", 0.14, 0.14},
+      {RegionId{}, "sa-east-1", "Sao Paulo", 0.16, 0.25},
+  };
+  return RegionCatalog(std::move(r));
+}
+
+RegionCatalog RegionCatalog::prefix(std::size_t n) const {
+  MP_EXPECTS(n <= regions_.size());
+  return RegionCatalog(
+      std::vector<Region>(regions_.begin(),
+                          regions_.begin() + static_cast<std::ptrdiff_t>(n)));
+}
+
+const Region& RegionCatalog::at(RegionId id) const {
+  MP_EXPECTS(id.valid() && id.index() < regions_.size());
+  return regions_[id.index()];
+}
+
+RegionId RegionCatalog::find(std::string_view name) const {
+  for (const auto& region : regions_) {
+    if (region.name == name) return region.id;
+  }
+  return RegionId::invalid();
+}
+
+}  // namespace multipub::geo

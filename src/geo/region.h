@@ -1,0 +1,65 @@
+// Cloud region catalog.
+//
+// A Region carries the two outgoing-bandwidth tariffs the paper's cost model
+// uses (Table I): $/GB towards another region of the same cloud (alpha) and
+// $/GB towards arbitrary Internet hosts (beta). RegionCatalog owns the
+// ordered list of regions; RegionId is a dense index into it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace multipub::geo {
+
+/// Static description of one cloud region.
+struct Region {
+  RegionId id;
+  std::string name;      ///< Provider identifier, e.g. "us-east-1".
+  std::string location;  ///< Human-readable location, e.g. "N. Virginia".
+  /// $/GB for data leaving this region towards another region of the same
+  /// cloud (Table I column $EC2); the paper's alpha(R) before the per-byte
+  /// conversion.
+  double inter_region_cost_per_gb = 0.0;
+  /// $/GB for data leaving this region towards any Internet host (Table I
+  /// column $Inet); the paper's beta(R) before the per-byte conversion.
+  double internet_cost_per_gb = 0.0;
+
+  /// alpha(R): cost per outgoing byte towards a different region.
+  [[nodiscard]] double alpha_per_byte() const {
+    return per_gb_to_per_byte(inter_region_cost_per_gb);
+  }
+  /// beta(R): cost per outgoing byte towards a client/subscriber.
+  [[nodiscard]] double beta_per_byte() const {
+    return per_gb_to_per_byte(internet_cost_per_gb);
+  }
+};
+
+/// Ordered, immutable-after-construction list of regions.
+class RegionCatalog {
+ public:
+  RegionCatalog() = default;
+  explicit RegionCatalog(std::vector<Region> regions);
+
+  /// The ten Amazon EC2 regions of the paper's Table I, with the paper's
+  /// outgoing-bandwidth tariffs.
+  [[nodiscard]] static RegionCatalog ec2_2016();
+
+  /// A catalog holding only the first `n` regions of this one (used by the
+  /// runtime-analysis experiment, which sweeps the region count).
+  [[nodiscard]] RegionCatalog prefix(std::size_t n) const;
+
+  [[nodiscard]] std::size_t size() const { return regions_.size(); }
+  [[nodiscard]] bool empty() const { return regions_.empty(); }
+  [[nodiscard]] const Region& at(RegionId id) const;
+  [[nodiscard]] const std::vector<Region>& all() const { return regions_; }
+
+  /// Looks a region up by provider name; RegionId::invalid() if absent.
+  [[nodiscard]] RegionId find(std::string_view name) const;
+
+ private:
+  std::vector<Region> regions_;
+};
+
+}  // namespace multipub::geo

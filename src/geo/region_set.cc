@@ -1,0 +1,86 @@
+#include "geo/region_set.h"
+
+#include <bit>
+
+#include "common/assert.h"
+
+namespace multipub::geo {
+
+RegionSet RegionSet::universe(std::size_t n_regions) {
+  MP_EXPECTS(n_regions <= 64);
+  if (n_regions == 64) return RegionSet(~std::uint64_t{0});
+  return RegionSet((std::uint64_t{1} << n_regions) - 1);
+}
+
+RegionSet RegionSet::single(RegionId region) {
+  RegionSet s;
+  s.add(region);
+  return s;
+}
+
+bool RegionSet::contains(RegionId region) const {
+  MP_EXPECTS(region.valid() && region.index() < 64);
+  return (mask_ >> region.index()) & 1;
+}
+
+int RegionSet::size() const { return std::popcount(mask_); }
+
+void RegionSet::add(RegionId region) {
+  MP_EXPECTS(region.valid() && region.index() < 64);
+  mask_ |= std::uint64_t{1} << region.index();
+}
+
+void RegionSet::remove(RegionId region) {
+  MP_EXPECTS(region.valid() && region.index() < 64);
+  mask_ &= ~(std::uint64_t{1} << region.index());
+}
+
+RegionSet RegionSet::with(RegionId region) const {
+  RegionSet s = *this;
+  s.add(region);
+  return s;
+}
+
+RegionSet RegionSet::without(RegionId region) const {
+  RegionSet s = *this;
+  s.remove(region);
+  return s;
+}
+
+std::vector<RegionId> RegionSet::to_vector() const {
+  std::vector<RegionId> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  for (std::uint64_t m = mask_; m != 0; m &= m - 1) {
+    out.emplace_back(static_cast<RegionId::underlying_type>(std::countr_zero(m)));
+  }
+  return out;
+}
+
+RegionId RegionSet::first() const {
+  if (mask_ == 0) return RegionId::invalid();
+  return RegionId{static_cast<RegionId::underlying_type>(std::countr_zero(mask_))};
+}
+
+std::string RegionSet::to_string() const {
+  std::string out = "{";
+  bool first_entry = true;
+  for (RegionId r : to_vector()) {
+    if (!first_entry) out += ',';
+    out += 'R';
+    out += std::to_string(r.value() + 1);  // paper numbering is 1-based
+    first_entry = false;
+  }
+  out += '}';
+  return out;
+}
+
+std::vector<RegionSet> all_nonempty_subsets(std::size_t n_regions) {
+  MP_EXPECTS(n_regions >= 1 && n_regions <= 24);  // enumeration guard
+  const std::uint64_t limit = std::uint64_t{1} << n_regions;
+  std::vector<RegionSet> out;
+  out.reserve(limit - 1);
+  for (std::uint64_t m = 1; m < limit; ++m) out.emplace_back(m);
+  return out;
+}
+
+}  // namespace multipub::geo

@@ -1,0 +1,67 @@
+// RegionSet: a small bitmask over regions.
+//
+// One row of the paper's assignment matrix — the set of regions serving one
+// topic — is "a bit vector" (paper §IV). RegionSet wraps a 64-bit mask with
+// set semantics plus the enumeration helpers the optimizer needs
+// (all non-empty subsets of a universe).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace multipub::geo {
+
+/// Set of RegionIds backed by a 64-bit mask (supports up to 64 regions;
+/// EC2 2016 has 10, and the optimizer is exponential in this count anyway).
+class RegionSet {
+ public:
+  constexpr RegionSet() = default;
+  constexpr explicit RegionSet(std::uint64_t mask) : mask_(mask) {}
+
+  /// The set {R_0, ..., R_{n-1}} covering a whole catalog of size n.
+  [[nodiscard]] static RegionSet universe(std::size_t n_regions);
+
+  [[nodiscard]] static RegionSet single(RegionId region);
+
+  [[nodiscard]] constexpr std::uint64_t mask() const { return mask_; }
+  [[nodiscard]] bool contains(RegionId region) const;
+  [[nodiscard]] bool empty() const { return mask_ == 0; }
+  [[nodiscard]] int size() const;
+
+  void add(RegionId region);
+  void remove(RegionId region);
+
+  [[nodiscard]] RegionSet with(RegionId region) const;
+  [[nodiscard]] RegionSet without(RegionId region) const;
+
+  /// Set union / intersection.
+  friend constexpr RegionSet operator|(RegionSet a, RegionSet b) {
+    return RegionSet(a.mask_ | b.mask_);
+  }
+  friend constexpr RegionSet operator&(RegionSet a, RegionSet b) {
+    return RegionSet(a.mask_ & b.mask_);
+  }
+
+  /// Member regions in ascending id order.
+  [[nodiscard]] std::vector<RegionId> to_vector() const;
+
+  /// Smallest member id; RegionId::invalid() when empty.
+  [[nodiscard]] RegionId first() const;
+
+  /// e.g. "{R1,R5,R8}" using 1-based paper numbering.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(RegionSet, RegionSet) = default;
+
+ private:
+  std::uint64_t mask_ = 0;
+};
+
+/// Enumerates every non-empty subset of universe(n_regions) —
+/// the 2^n - 1 assignment vectors the optimizer must consider.
+[[nodiscard]] std::vector<RegionSet> all_nonempty_subsets(std::size_t n_regions);
+
+}  // namespace multipub::geo

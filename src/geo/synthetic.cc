@@ -1,0 +1,56 @@
+#include "geo/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace multipub::geo {
+
+SyntheticWorld synthesize_world(std::size_t n_regions,
+                                const SyntheticWorldParams& params, Rng& rng) {
+  MP_EXPECTS(n_regions >= 1 && n_regions <= 64);
+  MP_EXPECTS(params.extent_ms > 0.0);
+
+  struct Point {
+    double x, y;
+  };
+  std::vector<Point> points;
+  points.reserve(n_regions);
+  std::vector<Region> regions;
+  regions.reserve(n_regions);
+  for (std::size_t i = 0; i < n_regions; ++i) {
+    points.push_back({rng.uniform(0.0, params.extent_ms),
+                      rng.uniform(0.0, params.extent_ms)});
+    const double alpha = rng.uniform(params.alpha_min, params.alpha_max);
+    // beta is at least alpha (Internet egress never undercuts the
+    // intra-cloud rate) and at least the configured floor.
+    const double beta =
+        std::max(alpha, rng.uniform(params.beta_min, params.beta_max));
+    regions.push_back({RegionId{}, "syn-" + std::to_string(i),
+                       "synthetic-" + std::to_string(i), alpha, beta});
+  }
+
+  SyntheticWorld world;
+  world.catalog = RegionCatalog(std::move(regions));
+  world.backbone = InterRegionLatency(n_regions);
+  for (std::size_t i = 0; i < n_regions; ++i) {
+    for (std::size_t j = i + 1; j < n_regions; ++j) {
+      const double dx = points[i].x - points[j].x;
+      const double dy = points[i].y - points[j].y;
+      const double distance = std::sqrt(dx * dx + dy * dy);
+      const double latency = params.backbone_base_ms +
+                             params.backbone_stretch * distance +
+                             std::abs(rng.normal(0.0, params.backbone_jitter_ms));
+      world.backbone.set(RegionId{static_cast<RegionId::underlying_type>(i)},
+                         RegionId{static_cast<RegionId::underlying_type>(j)},
+                         latency);
+    }
+  }
+  MP_ENSURES(world.backbone.complete());
+  return world;
+}
+
+}  // namespace multipub::geo

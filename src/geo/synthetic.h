@@ -1,0 +1,41 @@
+// Synthetic worlds: region catalogs and backbones of arbitrary size.
+//
+// The paper's brute-force controller is exponential in the region count and
+// its conclusion proposes heuristics "to support even larger-scale systems";
+// modern clouds have 30+ regions. To evaluate the heuristic optimizer beyond
+// the 10-region EC2 catalog we synthesize larger worlds: regions are placed
+// on a 2D plane (a crude geography), backbone latency grows with distance,
+// and tariffs are drawn from the EC2 price range.
+#pragma once
+
+#include "common/rng.h"
+#include "geo/latency.h"
+#include "geo/region.h"
+
+namespace multipub::geo {
+
+struct SyntheticWorldParams {
+  /// Plane is [0, extent] x [0, extent] "ms units".
+  double extent_ms = 150.0;
+  /// Latency = distance * stretch + base + jitter.
+  double backbone_stretch = 1.0;
+  double backbone_base_ms = 4.0;
+  double backbone_jitter_ms = 3.0;
+  /// Tariff ranges ($/GB), spanning the EC2 table's spread.
+  double alpha_min = 0.02, alpha_max = 0.16;
+  double beta_min = 0.09, beta_max = 0.25;
+};
+
+struct SyntheticWorld {
+  RegionCatalog catalog;
+  InterRegionLatency backbone;
+};
+
+/// Generates `n_regions` regions with plane-geometry latencies and random
+/// tariffs (alpha <= beta per region, as in every real tariff table).
+/// Deterministic in (params, rng state).
+[[nodiscard]] SyntheticWorld synthesize_world(std::size_t n_regions,
+                                              const SyntheticWorldParams& params,
+                                              Rng& rng);
+
+}  // namespace multipub::geo

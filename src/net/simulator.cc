@@ -1,0 +1,43 @@
+#include "net/simulator.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace multipub::net {
+
+void Simulator::schedule_at(Millis t, Action action) {
+  MP_EXPECTS(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_after(Millis delay, Action action) {
+  MP_EXPECTS(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the action must be moved out before pop.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  ++processed_;
+  event.action();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Millis t) {
+  MP_EXPECTS(t >= now_);
+  while (!queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace multipub::net

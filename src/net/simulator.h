@@ -1,0 +1,63 @@
+// Discrete-event simulator.
+//
+// The substrate on which the live MultiPub middleware runs (substitution #1
+// in DESIGN.md): virtual time in milliseconds, a priority queue of events,
+// deterministic FIFO ordering among same-timestamp events (a sequence number
+// breaks ties), so every run is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace multipub::net {
+
+/// Single-threaded virtual-time event loop.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current virtual time (ms since simulation start).
+  [[nodiscard]] Millis now() const { return now_; }
+
+  /// Schedules `action` at absolute virtual time `t`. Pre: t >= now().
+  void schedule_at(Millis t, Action action);
+
+  /// Schedules `action` `delay` ms from now. Pre: delay >= 0.
+  void schedule_after(Millis delay, Action action);
+
+  /// Executes the earliest pending event; returns false when idle.
+  bool step();
+
+  /// Runs until the queue drains.
+  void run();
+
+  /// Runs all events with timestamp <= t, then advances the clock to t.
+  void run_until(Millis t);
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    Millis time;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Millis now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace multipub::net

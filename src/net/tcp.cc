@@ -1,0 +1,208 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace multipub::net {
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+TcpEndpoint::TcpEndpoint(Handler handler) : handler_(std::move(handler)) {
+  MP_EXPECTS(handler_ != nullptr);
+}
+
+TcpEndpoint::~TcpEndpoint() { close_all(); }
+
+bool TcpEndpoint::listen(std::uint16_t port) {
+  MP_EXPECTS(listen_fd_ < 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = loopback(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0 || !set_nonblocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  return true;
+}
+
+int TcpEndpoint::connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+
+  sockaddr_in addr = loopback(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  const int handle = next_handle_++;
+  peers_[handle] = Peer{fd, {}};
+  return handle;
+}
+
+bool TcpEndpoint::send(int peer, const wire::Message& msg) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) return false;
+
+  const wire::EncodedMessage frame = wire::encode(msg);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(it->second.fd, frame.data() + sent,
+                             frame.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Loopback buffers are large; a full buffer here means the peer has
+      // stopped draining. Briefly wait for writability.
+      pollfd pfd{it->second.fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, 100) > 0) continue;
+    }
+    drop(peer);
+    return false;
+  }
+  return true;
+}
+
+void TcpEndpoint::accept_pending() {
+  while (listen_fd_ >= 0) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN: nothing pending
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    peers_[next_handle_++] = Peer{fd, {}};
+  }
+}
+
+bool TcpEndpoint::read_from(int handle) {
+  auto& peer = peers_.at(handle);
+  std::byte buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(peer.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      peer.inbox.insert(peer.inbox.end(), buffer, buffer + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    return false;  // closed or error
+  }
+
+  // Dispatch every complete frame in the buffer.
+  std::size_t offset = 0;
+  while (peer.inbox.size() - offset >= wire::kEncodedSize) {
+    const auto frame =
+        std::span<const std::byte>(peer.inbox).subspan(offset,
+                                                       wire::kEncodedSize);
+    const auto msg = wire::decode(frame);
+    if (!msg.has_value()) {
+      ++corrupt_;
+      MP_LOG_WARN("tcp") << "corrupt frame from peer " << handle
+                         << "; dropping connection";
+      return false;
+    }
+    ++received_;
+    handler_(*msg);
+    offset += wire::kEncodedSize;
+  }
+  peer.inbox.erase(peer.inbox.begin(),
+                   peer.inbox.begin() + static_cast<std::ptrdiff_t>(offset));
+  return true;
+}
+
+std::size_t TcpEndpoint::poll(int timeout_ms) {
+  std::vector<pollfd> fds;
+  std::vector<int> handles;
+  if (listen_fd_ >= 0) {
+    fds.push_back({listen_fd_, POLLIN, 0});
+    handles.push_back(-1);
+  }
+  for (const auto& [handle, peer] : peers_) {
+    fds.push_back({peer.fd, POLLIN, 0});
+    handles.push_back(handle);
+  }
+  if (fds.empty()) return 0;
+
+  const std::uint64_t before = received_;
+  if (::poll(fds.data(), fds.size(), timeout_ms) <= 0) return 0;
+
+  std::vector<int> to_drop;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    if (handles[i] == -1) {
+      accept_pending();
+    } else if (!read_from(handles[i])) {
+      to_drop.push_back(handles[i]);
+    }
+  }
+  for (int handle : to_drop) drop(handle);
+  return received_ - before;
+}
+
+void TcpEndpoint::drop(int handle) {
+  const auto it = peers_.find(handle);
+  if (it == peers_.end()) return;
+  ::close(it->second.fd);
+  peers_.erase(it);
+}
+
+void TcpEndpoint::close_all() {
+  for (auto& [handle, peer] : peers_) {
+    ::close(peer.fd);
+  }
+  peers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    port_ = 0;
+  }
+}
+
+}  // namespace multipub::net

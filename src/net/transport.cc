@@ -1,0 +1,121 @@
+#include "net/transport.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace multipub::net {
+
+Dollars CostLedger::total_cost(const geo::RegionCatalog& catalog) const {
+  MP_EXPECTS(catalog.size() == inter_region_bytes.size());
+  Dollars total = 0.0;
+  for (const auto& region : catalog.all()) {
+    total += static_cast<double>(inter_region_bytes[region.id.index()]) *
+             region.alpha_per_byte();
+    total += static_cast<double>(internet_bytes[region.id.index()]) *
+             region.beta_per_byte();
+  }
+  return total;
+}
+
+SimTransport::SimTransport(Simulator& sim, const geo::RegionCatalog& catalog,
+                           const geo::InterRegionLatency& backbone,
+                           const geo::ClientLatencyMap& clients)
+    : sim_(&sim),
+      catalog_(&catalog),
+      backbone_(&backbone),
+      clients_(&clients),
+      region_down_(catalog.size(), false),
+      ledger_(catalog.size()) {
+  MP_EXPECTS(catalog.size() == backbone.size());
+  MP_EXPECTS(catalog.size() == clients.n_regions());
+}
+
+void SimTransport::register_handler(Address address, Handler handler) {
+  MP_EXPECTS(handler != nullptr);
+  handlers_[address] = std::move(handler);
+}
+
+Millis SimTransport::latency(Address from, Address to) const {
+  using Kind = Address::Kind;
+  if (from.kind == Kind::kRegion && to.kind == Kind::kRegion) {
+    return backbone_->at(from.as_region(), to.as_region());
+  }
+  if (from.kind == Kind::kClient && to.kind == Kind::kRegion) {
+    return clients_->at(from.as_client(), to.as_region());
+  }
+  if (from.kind == Kind::kRegion && to.kind == Kind::kClient) {
+    return clients_->at(to.as_client(), from.as_region());
+  }
+  MP_EXPECTS(false && "client<->client links do not exist");
+  return kUnreachable;
+}
+
+void SimTransport::enable_jitter(const JitterSpec& spec, std::uint64_t seed) {
+  MP_EXPECTS(spec.relative >= 0.0 && spec.absolute_ms >= 0.0);
+  jitter_.emplace(Jitter{spec, Rng(seed)});
+}
+
+Dollars SimTransport::topic_cost(TopicId topic) const {
+  const auto it = topic_cost_.find(topic);
+  return it == topic_cost_.end() ? 0.0 : it->second;
+}
+
+void SimTransport::set_region_down(RegionId region, bool down) {
+  MP_EXPECTS(region.valid() && region.index() < region_down_.size());
+  region_down_[region.index()] = down;
+}
+
+bool SimTransport::region_down(RegionId region) const {
+  MP_EXPECTS(region.valid() && region.index() < region_down_.size());
+  return region_down_[region.index()];
+}
+
+void SimTransport::send(Address from, Address to, wire::Message msg) {
+  // Outage handling: a dead region neither sends nor receives. A dead
+  // sender emits nothing (and bills nothing); a message towards a dead
+  // destination is lost in transit.
+  if (from.kind == Address::Kind::kRegion && region_down(from.as_region())) {
+    ++dropped_;
+    return;
+  }
+  if (to.kind == Address::Kind::kRegion && region_down(to.as_region())) {
+    ++sent_;
+    ++dropped_;
+    return;
+  }
+
+  // Bill egress at the sender's tariff before the message is even delivered:
+  // the bytes leave the region regardless of what happens downstream.
+  if (from.kind == Address::Kind::kRegion) {
+    const Bytes billable = msg.billable_bytes();
+    const geo::Region& region = catalog_->at(from.as_region());
+    if (to.kind == Address::Kind::kRegion) {
+      ledger_.inter_region_bytes[from.as_region().index()] += billable;
+      topic_cost_[msg.topic] +=
+          static_cast<double>(billable) * region.alpha_per_byte();
+    } else {
+      ledger_.internet_bytes[from.as_region().index()] += billable;
+      topic_cost_[msg.topic] +=
+          static_cast<double>(billable) * region.beta_per_byte();
+    }
+  }
+
+  Millis delay = latency(from, to);
+  if (jitter_.has_value()) {
+    delay = delay * jitter_->rng.uniform(1.0, 1.0 + jitter_->spec.relative) +
+            std::abs(jitter_->rng.normal(0.0, jitter_->spec.absolute_ms));
+  }
+  ++sent_;
+  sim_->schedule_after(delay, [this, to, msg = std::move(msg)]() {
+    const auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      ++dropped_;
+      return;
+    }
+    it->second(msg);
+  });
+}
+
+}  // namespace multipub::net

@@ -1,0 +1,135 @@
+// Latency-aware, cost-accounting message transport over the simulator.
+//
+// Every node of the live system — clients, per-region brokers — has an
+// Address. send() looks the one-way latency up (client<->region in L,
+// region<->region in L^R), schedules delivery on the simulator, and bills
+// the message's billable bytes against the sending region's tariff:
+//   region -> region : alpha(from)   (inter-region rate)
+//   region -> client : beta(from)    (Internet rate)
+//   client -> region : free          (cloud ingress is not billed)
+// The resulting CostLedger is what the live-vs-model property tests compare
+// against Equations 3/4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "geo/latency.h"
+#include "geo/region.h"
+#include "net/simulator.h"
+#include "wire/message.h"
+
+namespace multipub::net {
+
+/// Node address: either a client endpoint or a region's broker.
+struct Address {
+  enum class Kind : std::uint8_t { kClient, kRegion };
+  Kind kind = Kind::kClient;
+  std::int32_t id = -1;
+
+  [[nodiscard]] static Address client(ClientId c) {
+    return {Kind::kClient, c.value()};
+  }
+  [[nodiscard]] static Address region(RegionId r) {
+    return {Kind::kRegion, r.value()};
+  }
+
+  [[nodiscard]] ClientId as_client() const { return ClientId{id}; }
+  [[nodiscard]] RegionId as_region() const { return RegionId{id}; }
+
+  friend bool operator==(Address, Address) = default;
+};
+
+struct AddressHash {
+  std::size_t operator()(Address a) const noexcept {
+    return (static_cast<std::size_t>(a.kind) << 32) ^
+           static_cast<std::size_t>(static_cast<std::uint32_t>(a.id));
+  }
+};
+
+/// Per-region egress accounting.
+struct CostLedger {
+  std::vector<Bytes> inter_region_bytes;  ///< indexed by RegionId
+  std::vector<Bytes> internet_bytes;      ///< indexed by RegionId
+
+  explicit CostLedger(std::size_t n_regions)
+      : inter_region_bytes(n_regions, 0), internet_bytes(n_regions, 0) {}
+
+  /// Dollar total under the catalog's tariffs (Eq. 3/4 shape).
+  [[nodiscard]] Dollars total_cost(const geo::RegionCatalog& catalog) const;
+};
+
+/// The simulated network. Borrows the simulator and matrices; they must
+/// outlive the transport.
+class SimTransport {
+ public:
+  using Handler = std::function<void(const wire::Message&)>;
+
+  SimTransport(Simulator& sim, const geo::RegionCatalog& catalog,
+               const geo::InterRegionLatency& backbone,
+               const geo::ClientLatencyMap& clients);
+
+  /// Installs (or replaces) the message handler for an address.
+  void register_handler(Address address, Handler handler);
+
+  /// Schedules delivery of `msg` to `to` after the one-way latency from
+  /// `from`. Bills billable_bytes() against `from` when `from` is a region.
+  /// Messages to unregistered addresses are counted as dropped (billing
+  /// still applies — the bytes left the region).
+  void send(Address from, Address to, wire::Message msg);
+
+  /// One-way latency between two addresses. Client<->client links do not
+  /// exist in the architecture (everything goes through a broker).
+  [[nodiscard]] Millis latency(Address from, Address to) const;
+
+  /// Fails (or restores) a region: while down, messages from or to the
+  /// region vanish — nothing egresses a dead region, so nothing is billed
+  /// for it either; messages towards it are counted as dropped.
+  void set_region_down(RegionId region, bool down);
+  [[nodiscard]] bool region_down(RegionId region) const;
+
+  /// Enables per-message latency jitter: each delivery takes
+  /// base * U(1, 1 + relative) + |N(0, absolute_ms)| instead of exactly the
+  /// matrix value. Default off (deterministic), which is what the analytic
+  /// equivalence tests rely on. Jitter draws come from a transport-owned
+  /// seeded stream, so runs stay reproducible.
+  struct JitterSpec {
+    double relative = 0.0;     ///< multiplicative spread, e.g. 0.1 = +0..10 %
+    double absolute_ms = 0.0;  ///< additive half-normal spread
+  };
+  void enable_jitter(const JitterSpec& spec, std::uint64_t seed);
+  void disable_jitter() { jitter_.reset(); }
+
+  [[nodiscard]] const CostLedger& ledger() const { return ledger_; }
+  [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
+  [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
+
+  /// Dollars billed so far attributable to one topic's traffic (publication
+  /// messages carry their topic). Sums over topics to the ledger total.
+  [[nodiscard]] Dollars topic_cost(TopicId topic) const;
+
+ private:
+  Simulator* sim_;
+  const geo::RegionCatalog* catalog_;
+  const geo::InterRegionLatency* backbone_;
+  const geo::ClientLatencyMap* clients_;
+  struct Jitter {
+    JitterSpec spec;
+    Rng rng;
+  };
+
+  std::unordered_map<Address, Handler, AddressHash> handlers_;
+  std::vector<bool> region_down_;  // indexed by RegionId
+  std::optional<Jitter> jitter_;
+  CostLedger ledger_;
+  std::unordered_map<TopicId, Dollars> topic_cost_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace multipub::net

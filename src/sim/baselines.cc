@@ -1,0 +1,34 @@
+#include "sim/baselines.h"
+
+#include "common/assert.h"
+
+namespace multipub::sim {
+
+core::ConfigEvaluation one_region_baseline(const core::Optimizer& optimizer,
+                                           const core::TopicState& topic) {
+  const std::size_t n = optimizer.cost_model().catalog().size();
+  MP_EXPECTS(n > 0);
+  std::optional<core::ConfigEvaluation> best;
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::TopicConfig config{
+        geo::RegionSet::single(RegionId{static_cast<RegionId::underlying_type>(i)}),
+        core::DeliveryMode::kDirect};
+    auto eval = optimizer.evaluate(topic, config);
+    const bool is_better =
+        !best || eval.cost < best->cost ||
+        (eval.cost == best->cost && eval.percentile < best->percentile);
+    if (is_better) best = eval;
+  }
+  return *best;
+}
+
+core::ConfigEvaluation all_regions_baseline(const core::Optimizer& optimizer,
+                                            const core::TopicState& topic,
+                                            core::DeliveryMode mode,
+                                            std::size_t n_regions) {
+  MP_EXPECTS(n_regions > 0);
+  const core::TopicConfig config{geo::RegionSet::universe(n_regions), mode};
+  return optimizer.evaluate(topic, config);
+}
+
+}  // namespace multipub::sim

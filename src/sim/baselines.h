@@ -1,0 +1,25 @@
+// Baseline deployment strategies (paper §II-B1/B2).
+//
+// Experiment 1 compares MultiPub against:
+//   - "One Region": a single statically chosen region — the cheapest one,
+//     ties broken towards lower delivery percentile;
+//   - "All Regions": every region serves the topic, with either direct or
+//     routed delivery (the paper's figure uses routed).
+#pragma once
+
+#include "core/optimizer.h"
+#include "sim/scenario.h"
+
+namespace multipub::sim {
+
+/// Evaluates the best single-region deployment: cheapest cost, ties broken
+/// by lower percentile (the region "that minimizes costs", paper §V-C).
+[[nodiscard]] core::ConfigEvaluation one_region_baseline(
+    const core::Optimizer& optimizer, const core::TopicState& topic);
+
+/// Evaluates the all-regions deployment under the given mode.
+[[nodiscard]] core::ConfigEvaluation all_regions_baseline(
+    const core::Optimizer& optimizer, const core::TopicState& topic,
+    core::DeliveryMode mode, std::size_t n_regions);
+
+}  // namespace multipub::sim

@@ -1,0 +1,177 @@
+#include "sim/live_runner.h"
+
+#include "common/assert.h"
+#include "common/stats.h"
+#include "core/cost_model.h"
+
+namespace multipub::sim {
+
+LiveSystem::LiveSystem(const Scenario& scenario) : scenario_(&scenario) {
+  transport_ = std::make_unique<net::SimTransport>(
+      sim_, scenario.catalog, scenario.backbone,
+      scenario.population.latencies);
+
+  managers_.reserve(scenario.catalog.size());
+  for (const auto& region : scenario.catalog.all()) {
+    managers_.push_back(std::make_unique<broker::RegionManager>(
+        region.id, sim_, *transport_));
+  }
+
+  controller_ = std::make_unique<broker::Controller>(
+      scenario.catalog, scenario.backbone, scenario.population.latencies);
+  controller_->set_constraint(scenario.topic.topic,
+                              scenario.topic.constraint);
+
+  publishers_.reserve(scenario.topic.publishers.size());
+  for (const auto& pub : scenario.topic.publishers) {
+    publishers_.push_back(std::make_unique<client::Publisher>(
+        pub.client, sim_, *transport_, scenario.population.latencies));
+  }
+  subscribers_.reserve(scenario.topic.subscribers.size());
+  for (const auto& sub : scenario.topic.subscribers) {
+    subscribers_.push_back(std::make_unique<client::Subscriber>(
+        sub.client, sim_, *transport_, scenario.population.latencies));
+  }
+  last_interval_counts_.assign(publishers_.size(), 0);
+}
+
+broker::RegionManager& LiveSystem::region_manager(RegionId region) {
+  MP_EXPECTS(region.valid() && region.index() < managers_.size());
+  return *managers_[region.index()];
+}
+
+void LiveSystem::deploy(const core::TopicConfig& config) {
+  const TopicId topic = scenario_->topic.topic;
+  for (auto& manager : managers_) {
+    manager->broker().set_topic_config(topic, config);
+  }
+  for (auto& publisher : publishers_) {
+    publisher->set_config(topic, config);
+  }
+  for (auto& subscriber : subscribers_) {
+    subscriber->subscribe(topic, config);
+  }
+  sim_.run();  // let the kSubscribe handshakes land
+}
+
+void LiveSystem::schedule_traffic(Millis start_offset_ms, double seconds,
+                                  Bytes payload_bytes, double rate_hz,
+                                  Rng& rng, Arrivals arrivals) {
+  MP_EXPECTS(start_offset_ms >= 0.0);
+  MP_EXPECTS(seconds > 0.0 && rate_hz > 0.0);
+  const TopicId topic = scenario_->topic.topic;
+  const double spacing_ms = 1000.0 / rate_hz;
+
+  const Millis start = sim_.now() + start_offset_ms;
+  const Millis horizon = 1000.0 * seconds;
+  for (std::size_t i = 0; i < publishers_.size(); ++i) {
+    client::Publisher* publisher = publishers_[i].get();
+    auto publish_at = [&](Millis t) {
+      sim_.schedule_at(start + t, [publisher, topic, payload_bytes] {
+        publisher->publish(topic, payload_bytes);
+      });
+    };
+
+    std::uint64_t count = 0;
+    if (arrivals == Arrivals::kFixedRate) {
+      const double phase = rng.uniform(0.0, spacing_ms);
+      count = static_cast<std::uint64_t>(seconds * rate_hz + 0.5);
+      MP_EXPECTS(count >= 1);
+      for (std::uint64_t k = 0; k < count; ++k) {
+        publish_at(phase + static_cast<double>(k) * spacing_ms);
+      }
+    } else {
+      // Poisson process: exponential gaps with mean spacing.
+      for (Millis t = rng.exponential(spacing_ms); t < horizon;
+           t += rng.exponential(spacing_ms)) {
+        publish_at(t);
+        ++count;
+      }
+      if (count == 0) {  // guarantee at least one message per publisher
+        publish_at(rng.uniform(0.0, horizon));
+        count = 1;
+      }
+    }
+    last_interval_counts_[i] = count;
+  }
+  last_payload_bytes_ = payload_bytes;
+}
+
+LiveRunResult LiveSystem::run_interval(double seconds, Bytes payload_bytes,
+                                       double rate_hz, Rng& rng) {
+  for (auto& subscriber : subscribers_) subscriber->clear_deliveries();
+  schedule_traffic(0.0, seconds, payload_bytes, rate_hz, rng);
+  sim_.run();  // drain: every publication reaches every subscriber
+
+  LiveRunResult result;
+  for (const auto& subscriber : subscribers_) {
+    const auto times = subscriber->delivery_times();
+    result.delivery_times.insert(result.delivery_times.end(), times.begin(),
+                                 times.end());
+  }
+  result.publications = 0;
+  for (std::uint64_t count : last_interval_counts_) {
+    result.publications += count;
+  }
+  result.deliveries = result.delivery_times.size();
+  if (!result.delivery_times.empty()) {
+    result.percentile =
+        percentile(result.delivery_times, scenario_->topic.constraint.ratio);
+  }
+
+  const Dollars billed = transport_->ledger().total_cost(scenario_->catalog);
+  result.interval_cost = billed - billed_so_far_;
+  billed_so_far_ = billed;
+  result.cost_per_day = core::scale_to_day(result.interval_cost, seconds);
+  return result;
+}
+
+std::vector<broker::Controller::Decision> LiveSystem::reconfigure_now(
+    const core::OptimizerOptions& options) {
+  for (auto& manager : managers_) {
+    controller_->ingest(manager->region(), manager->collect_reports());
+    controller_->observe_latencies(manager->region(),
+                                   manager->collect_latency_reports());
+  }
+  auto decisions = controller_->reconfigure(options);
+  for (const auto& decision : decisions) {
+    // Orphans (clients whose region died) are notified through an alive
+    // region manager: their own manager cannot reach them. Pick the first
+    // serving region of the new configuration — the controller already
+    // excluded unavailable regions from it.
+    if (!decision.orphans.empty()) {
+      const RegionId notifier = decision.result.config.regions.first();
+      for (ClientId orphan : decision.orphans) {
+        region_manager(notifier).notify_client(decision.topic,
+                                               decision.result.config, orphan);
+      }
+    }
+    if (!decision.changed) continue;
+    for (auto& manager : managers_) {
+      manager->apply_config(decision.topic, decision.result.config);
+    }
+    // Publishers always learn the new configuration from their own region
+    // manager; bootstrap-only publishers that never published yet keep the
+    // deployed config via their initial set_config.
+  }
+  return decisions;
+}
+
+std::vector<broker::Controller::Decision> LiveSystem::control_round(
+    const core::OptimizerOptions& options) {
+  auto decisions = reconfigure_now(options);
+  sim_.run();  // deliver kConfigUpdate / resubscription traffic
+  return decisions;
+}
+
+core::TopicState LiveSystem::observed_topic_state() const {
+  core::TopicState state = scenario_->topic;
+  for (std::size_t i = 0; i < state.publishers.size(); ++i) {
+    state.publishers[i].msg_count = last_interval_counts_[i];
+    state.publishers[i].total_bytes =
+        last_interval_counts_[i] * last_payload_bytes_;
+  }
+  return state;
+}
+
+}  // namespace multipub::sim

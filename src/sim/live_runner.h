@@ -1,0 +1,115 @@
+// Live (event-driven) execution of a scenario.
+//
+// While the figures are produced by the analytic engine (as in the paper),
+// LiveSystem instantiates the actual middleware — per-region brokers, region
+// managers, the controller, publisher and subscriber endpoints — over the
+// discrete-event transport, runs real publication traffic through it, and
+// measures delivery times and billed bytes. Property tests assert that the
+// measurements coincide with the analytic model (Eq. 1-4), and the examples
+// use it to demonstrate transparent reconfiguration.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "broker/controller.h"
+#include "broker/region_manager.h"
+#include "client/publisher.h"
+#include "client/subscriber.h"
+#include "net/simulator.h"
+#include "net/transport.h"
+#include "sim/scenario.h"
+
+namespace multipub::sim {
+
+/// Measurements from one traffic interval.
+struct LiveRunResult {
+  /// Every end-to-end delivery time observed by any subscriber.
+  std::vector<Millis> delivery_times;
+  /// The ratio_T-percentile of delivery_times (the topic's ratio).
+  Millis percentile = 0.0;
+  /// Billed cost of this interval (ledger delta).
+  Dollars interval_cost = 0.0;
+  Dollars cost_per_day = 0.0;
+  std::uint64_t publications = 0;
+  std::uint64_t deliveries = 0;
+};
+
+class LiveSystem {
+ public:
+  /// Builds brokers for every region of the scenario's catalog and one
+  /// endpoint per publisher/subscriber of its topic. Borrows the scenario;
+  /// it must outlive the system.
+  explicit LiveSystem(const Scenario& scenario);
+
+  /// Bootstraps a configuration everywhere: brokers' assignment rows,
+  /// publishers' send targets, subscribers' attachments. Runs the simulator
+  /// until the subscription handshakes have settled.
+  void deploy(const core::TopicConfig& config);
+
+  /// Publishes `seconds` worth of traffic (each publisher at `rate_hz`,
+  /// fixed spacing with a random phase drawn from `rng`), runs the simulator
+  /// until every message settles, and returns the measurements.
+  [[nodiscard]] LiveRunResult run_interval(double seconds, Bytes payload_bytes,
+                                           double rate_hz, Rng& rng);
+
+  /// One control round: region managers report, the controller re-optimizes,
+  /// changed configurations are deployed through the region managers (which
+  /// notify clients over the network). Runs the simulator until the control
+  /// traffic settles. Returns the controller's decisions.
+  std::vector<broker::Controller::Decision> control_round(
+      const core::OptimizerOptions& options = {});
+
+  /// Same as control_round but does NOT drain the simulator: the
+  /// kConfigUpdate traffic is merely scheduled. This is the form a
+  /// ControlLoop calls from inside a simulator event, where draining would
+  /// swallow all future traffic.
+  std::vector<broker::Controller::Decision> reconfigure_now(
+      const core::OptimizerOptions& options = {});
+
+  /// How publication instants are spaced within an interval.
+  enum class Arrivals {
+    kFixedRate,  ///< exact 1/rate spacing with a random phase (default)
+    kPoisson,    ///< exponential inter-arrival times with mean 1/rate
+  };
+
+  /// Schedules `seconds` of publication traffic starting `start_offset_ms`
+  /// after the current simulator time, without running the simulator.
+  /// Under kPoisson the per-publisher message count is whatever the process
+  /// produced (at least 1), matching real bursty publishers.
+  void schedule_traffic(Millis start_offset_ms, double seconds,
+                        Bytes payload_bytes, double rate_hz, Rng& rng,
+                        Arrivals arrivals = Arrivals::kFixedRate);
+
+  /// TopicState with the *actual* published message counts of the last
+  /// interval (for exact analytic cross-checks).
+  [[nodiscard]] core::TopicState observed_topic_state() const;
+
+  [[nodiscard]] broker::Controller& controller() { return *controller_; }
+  [[nodiscard]] net::SimTransport& transport() { return *transport_; }
+  [[nodiscard]] net::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<client::Subscriber>>&
+  subscribers() const {
+    return subscribers_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<client::Publisher>>&
+  publishers() const {
+    return publishers_;
+  }
+  [[nodiscard]] broker::RegionManager& region_manager(RegionId region);
+  [[nodiscard]] const Scenario& scenario() const { return *scenario_; }
+
+ private:
+  const Scenario* scenario_;
+  net::Simulator sim_;
+  std::unique_ptr<net::SimTransport> transport_;
+  std::vector<std::unique_ptr<broker::RegionManager>> managers_;
+  std::unique_ptr<broker::Controller> controller_;
+  std::vector<std::unique_ptr<client::Publisher>> publishers_;
+  std::vector<std::unique_ptr<client::Subscriber>> subscribers_;
+  Dollars billed_so_far_ = 0.0;
+  std::vector<std::uint64_t> last_interval_counts_;  // per publisher index
+  Bytes last_payload_bytes_ = 0;
+};
+
+}  // namespace multipub::sim

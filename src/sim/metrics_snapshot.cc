@@ -1,0 +1,53 @@
+#include "sim/metrics_snapshot.h"
+
+namespace multipub::sim {
+
+MetricsRegistry collect_metrics(LiveSystem& live) {
+  MetricsRegistry out;
+  const Scenario& scenario = live.scenario();
+  net::SimTransport& transport = live.transport();
+
+  out.set("transport.messages_sent",
+          static_cast<double>(transport.sent_count()));
+  out.set("transport.messages_dropped",
+          static_cast<double>(transport.dropped_count()));
+  out.set("transport.cost_usd",
+          transport.ledger().total_cost(scenario.catalog));
+
+  for (const auto& region : scenario.catalog.all()) {
+    const std::string prefix = "region." + region.name + ".";
+    out.set(prefix + "inter_region_bytes",
+            static_cast<double>(
+                transport.ledger().inter_region_bytes[region.id.index()]));
+    out.set(prefix + "internet_bytes",
+            static_cast<double>(
+                transport.ledger().internet_bytes[region.id.index()]));
+    auto& manager = live.region_manager(region.id);
+    out.set(prefix + "delivered",
+            static_cast<double>(manager.broker().delivered_count()));
+    out.set(prefix + "forwarded",
+            static_cast<double>(manager.broker().forwarded_count()));
+    out.set(prefix + "filtered",
+            static_cast<double>(manager.broker().filtered_count()));
+    out.set(prefix + "servers",
+            static_cast<double>(manager.provisioned_servers()));
+    out.set(prefix + "down", transport.region_down(region.id) ? 1.0 : 0.0);
+  }
+
+  double reconnects = 0.0, duplicates = 0.0, deliveries = 0.0;
+  for (const auto& sub : live.subscribers()) {
+    reconnects += static_cast<double>(sub->reconnect_count());
+    duplicates += static_cast<double>(sub->duplicate_count());
+    deliveries += static_cast<double>(sub->deliveries().size());
+  }
+  out.set("clients.reconnects", reconnects);
+  out.set("clients.duplicates", duplicates);
+  out.set("clients.deliveries", deliveries);
+
+  out.set("controller.latency_observations",
+          static_cast<double>(
+              live.controller().latency_estimator().observations()));
+  return out;
+}
+
+}  // namespace multipub::sim

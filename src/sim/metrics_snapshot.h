@@ -1,0 +1,21 @@
+// Snapshot a live system's operational state into a MetricsRegistry.
+//
+// Gives operators one flat, renderable view: transport counters and billed
+// bytes, per-region broker activity and provisioned servers, client-side
+// handover statistics, and the controller's monitoring state.
+#pragma once
+
+#include "common/metrics.h"
+#include "sim/live_runner.h"
+
+namespace multipub::sim {
+
+/// Collects the registry. Names are stable:
+///   transport.messages_sent / .messages_dropped / .cost_usd
+///   region.<name>.inter_region_bytes / .internet_bytes / .delivered /
+///                 .servers / .down
+///   clients.reconnects / .duplicates / .deliveries
+///   controller.latency_observations
+[[nodiscard]] MetricsRegistry collect_metrics(LiveSystem& live);
+
+}  // namespace multipub::sim

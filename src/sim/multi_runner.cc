@@ -1,0 +1,170 @@
+#include "sim/multi_runner.h"
+
+#include "common/assert.h"
+#include "common/stats.h"
+
+namespace multipub::sim {
+
+MultiTopicScenario make_multi_topic_scenario(
+    const std::vector<TopicSpec>& specs, Rng& rng,
+    const geo::KingSynthParams& synth) {
+  MP_EXPECTS(!specs.empty());
+  MultiTopicScenario out;
+  out.catalog = geo::RegionCatalog::ec2_2016();
+  out.backbone = geo::InterRegionLatency::ec2_2016();
+  out.population.latencies = geo::ClientLatencyMap(out.catalog.size());
+
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    const TopicSpec& spec = specs[t];
+    std::vector<ClientId> pub_ids, sub_ids;
+    for (const auto& place : spec.placements) {
+      auto local = geo::synthesize_local_population(
+          out.catalog, out.backbone, place.region,
+          place.publishers + place.subscribers, synth, rng);
+      for (std::size_t i = 0; i < local.size(); ++i) {
+        const ClientId id = out.population.latencies.add_client(
+            local.latencies.row(ClientId{static_cast<ClientId::underlying_type>(i)}));
+        out.population.home_region.push_back(place.region);
+        (i < place.publishers ? pub_ids : sub_ids).push_back(id);
+      }
+    }
+    core::TopicState topic;
+    topic.topic = TopicId{static_cast<TopicId::underlying_type>(t)};
+    topic.constraint = {spec.workload.ratio, spec.workload.max_t};
+    topic.publishers = core::uniform_publishers(
+        pub_ids, messages_per_interval(spec.workload),
+        spec.workload.message_bytes);
+    topic.subscribers = core::unit_subscribers(sub_ids);
+    out.topics.push_back(std::move(topic));
+    out.workloads.push_back(spec.workload);
+  }
+  return out;
+}
+
+MultiLiveSystem::MultiLiveSystem(const MultiTopicScenario& scenario)
+    : scenario_(&scenario) {
+  transport_ = std::make_unique<net::SimTransport>(
+      sim_, scenario.catalog, scenario.backbone,
+      scenario.population.latencies);
+  for (const auto& region : scenario.catalog.all()) {
+    managers_.push_back(std::make_unique<broker::RegionManager>(
+        region.id, sim_, *transport_));
+  }
+  controller_ = std::make_unique<broker::Controller>(
+      scenario.catalog, scenario.backbone, scenario.population.latencies);
+
+  for (const auto& topic : scenario.topics) {
+    controller_->set_constraint(topic.topic, topic.constraint);
+    for (const auto& pub : topic.publishers) {
+      publishers_.push_back(std::make_unique<client::Publisher>(
+          pub.client, sim_, *transport_, scenario.population.latencies));
+      topic_pubs_[topic.topic].push_back(publishers_.back().get());
+    }
+    for (const auto& sub : topic.subscribers) {
+      subscribers_.push_back(std::make_unique<client::Subscriber>(
+          sub.client, sim_, *transport_, scenario.population.latencies));
+      topic_subs_[topic.topic].push_back(subscribers_.back().get());
+    }
+  }
+}
+
+void MultiLiveSystem::deploy(TopicId topic, const core::TopicConfig& config) {
+  for (auto& manager : managers_) {
+    manager->broker().set_topic_config(topic, config);
+  }
+  for (client::Publisher* pub : topic_pubs_[topic]) {
+    pub->set_config(topic, config);
+  }
+  for (client::Subscriber* sub : topic_subs_[topic]) {
+    sub->subscribe(topic, config);
+  }
+  sim_.run();
+}
+
+void MultiLiveSystem::deploy_all(const core::TopicConfig& config) {
+  for (const auto& topic : scenario_->topics) {
+    deploy(topic.topic, config);
+  }
+}
+
+std::vector<TopicRunResult> MultiLiveSystem::run_interval(double seconds,
+                                                          Rng& rng) {
+  MP_EXPECTS(seconds > 0.0);
+  for (auto& sub : subscribers_) sub->clear_deliveries();
+
+  const Millis start = sim_.now();
+  for (std::size_t t = 0; t < scenario_->topics.size(); ++t) {
+    const auto& topic = scenario_->topics[t];
+    const auto& workload = scenario_->workloads[t];
+    const double spacing_ms = 1000.0 / workload.publish_rate_hz;
+    const auto per_pub =
+        static_cast<std::uint64_t>(seconds * workload.publish_rate_hz + 0.5);
+    for (client::Publisher* pub : topic_pubs_.at(topic.topic)) {
+      const double phase = rng.uniform(0.0, spacing_ms);
+      for (std::uint64_t k = 0; k < per_pub; ++k) {
+        sim_.schedule_at(start + phase + static_cast<double>(k) * spacing_ms,
+                         [pub, id = topic.topic,
+                          bytes = workload.message_bytes] {
+                           pub->publish(id, bytes);
+                         });
+      }
+    }
+  }
+  sim_.run();
+
+  std::vector<TopicRunResult> results;
+  for (std::size_t t = 0; t < scenario_->topics.size(); ++t) {
+    const auto& topic = scenario_->topics[t];
+    const auto& workload = scenario_->workloads[t];
+    TopicRunResult result;
+    result.topic = topic.topic;
+
+    std::vector<Millis> times;
+    for (client::Subscriber* sub : topic_subs_.at(topic.topic)) {
+      for (const auto& record : sub->deliveries()) {
+        times.push_back(record.delivery_time);
+      }
+    }
+    result.deliveries = times.size();
+    if (!times.empty()) {
+      result.percentile = percentile(times, topic.constraint.ratio);
+    }
+    for (client::Publisher* pub : topic_pubs_.at(topic.topic)) {
+      result.publications += static_cast<std::uint64_t>(
+          seconds * workload.publish_rate_hz + 0.5);
+      (void)pub;
+    }
+    const Dollars billed = transport_->topic_cost(topic.topic);
+    result.interval_cost = billed - billed_so_far_[topic.topic];
+    billed_so_far_[topic.topic] = billed;
+    results.push_back(result);
+  }
+  return results;
+}
+
+std::vector<broker::Controller::Decision> MultiLiveSystem::control_round(
+    const core::OptimizerOptions& options) {
+  for (auto& manager : managers_) {
+    controller_->ingest(manager->region(), manager->collect_reports());
+    controller_->observe_latencies(manager->region(),
+                                   manager->collect_latency_reports());
+  }
+  auto decisions = controller_->reconfigure(options);
+  for (const auto& decision : decisions) {
+    if (!decision.changed) continue;
+    for (auto& manager : managers_) {
+      manager->apply_config(decision.topic, decision.result.config);
+    }
+  }
+  sim_.run();
+  return decisions;
+}
+
+const std::vector<client::Subscriber*>& MultiLiveSystem::subscribers(
+    TopicId topic) const {
+  static const std::vector<client::Subscriber*> kEmpty;
+  const auto it = topic_subs_.find(topic);
+  return it == topic_subs_.end() ? kEmpty : it->second;
+}
+
+}  // namespace multipub::sim

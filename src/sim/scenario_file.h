@@ -1,0 +1,52 @@
+// Scenario files: declarative workload descriptions for the simulation
+// package.
+//
+// A plain-text, line-oriented format (comments with '#'):
+//
+//   # one client group per placement line: region, publishers, subscribers
+//   placement us-east-1 10 10
+//   placement ap-northeast-1 5 20
+//   rate 1.0          # publications per publisher per second
+//   size 1024         # payload bytes
+//   interval 60       # observation interval seconds
+//   ratio 75          # delivery guarantee percentile
+//   max_t 150         # delivery bound ms ("inf" for unconstrained)
+//   seed 2017         # synthetic-population RNG seed
+//
+// Unknown keys, malformed numbers and unknown regions are reported with
+// line numbers; parsing never throws.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/scenario.h"
+
+namespace multipub::sim {
+
+/// Parsed scenario description (world-independent; regions are named).
+struct ScenarioSpec {
+  struct Placement {
+    std::string region;
+    std::size_t publishers = 0;
+    std::size_t subscribers = 0;
+  };
+  std::vector<Placement> placements;
+  WorkloadSpec workload;
+  std::uint64_t seed = 2017;
+};
+
+/// Parses the file format above. On failure returns nullopt and writes a
+/// line-numbered message to `error`.
+[[nodiscard]] std::optional<ScenarioSpec> parse_scenario_spec(
+    std::string_view content, std::string* error);
+
+/// Materializes a Scenario over `catalog`/`backbone` (region names resolved
+/// against the catalog). On failure returns nullopt and explains in
+/// `error`.
+[[nodiscard]] std::optional<Scenario> build_scenario(
+    const ScenarioSpec& spec, const geo::RegionCatalog& catalog,
+    const geo::InterRegionLatency& backbone, std::string* error);
+
+}  // namespace multipub::sim

@@ -1,0 +1,38 @@
+#include "sim/sweep.h"
+
+#include "common/assert.h"
+#include "core/cost_model.h"
+
+namespace multipub::sim {
+
+std::vector<SweepPoint> sweep_max_t(const Scenario& scenario,
+                                    const SweepRange& range,
+                                    core::ModePolicy policy) {
+  MP_EXPECTS(range.step > 0.0);
+  MP_EXPECTS(range.from <= range.to);
+
+  const core::Optimizer optimizer = scenario.make_optimizer();
+  core::OptimizerOptions options;
+  options.mode_policy = policy;
+
+  std::vector<SweepPoint> out;
+  core::TopicState topic = scenario.topic;
+  for (Millis max_t = range.from; max_t <= range.to + 1e-9;
+       max_t += range.step) {
+    topic.constraint.max = max_t;
+    const auto result = optimizer.optimize(topic, options);
+
+    SweepPoint point;
+    point.max_t = max_t;
+    point.achieved_percentile = result.percentile;
+    point.cost_per_day =
+        core::scale_to_day(result.cost, scenario.interval_seconds);
+    point.n_regions = result.config.region_count();
+    point.mode = result.config.mode;
+    point.constraint_met = result.constraint_met;
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace multipub::sim

@@ -1,0 +1,38 @@
+// max_T sweeps: the x-axis of Figures 3, 4 and 5.
+//
+// Each experiment varies the per-topic delivery bound max_T and records, per
+// point, what MultiPub selects: the achieved percentile, the daily cost, the
+// region count and the delivery mode.
+#pragma once
+
+#include <vector>
+
+#include "core/optimizer.h"
+#include "sim/scenario.h"
+
+namespace multipub::sim {
+
+/// One row of a figure's data series.
+struct SweepPoint {
+  Millis max_t = 0.0;
+  Millis achieved_percentile = 0.0;
+  Dollars cost_per_day = 0.0;
+  int n_regions = 0;
+  core::DeliveryMode mode = core::DeliveryMode::kDirect;
+  bool constraint_met = false;
+};
+
+/// Inclusive sweep bounds with a fixed step (ms).
+struct SweepRange {
+  Millis from = 100.0;
+  Millis to = 200.0;
+  Millis step = 4.0;
+};
+
+/// Runs the optimizer once per max_T value. The scenario's topic constraint
+/// ratio is kept; only max_T varies.
+[[nodiscard]] std::vector<SweepPoint> sweep_max_t(
+    const Scenario& scenario, const SweepRange& range,
+    core::ModePolicy policy = core::ModePolicy::kBoth);
+
+}  // namespace multipub::sim

@@ -1,0 +1,149 @@
+#include "sim/trace.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace multipub::sim {
+namespace {
+
+template <typename T>
+bool parse_number(const std::string& token, T* out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+std::string at_line(int line, const char* message) {
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+}  // namespace
+
+void TraceRecorder::record(RegionId region,
+                           const std::vector<broker::TopicReport>& reports) {
+  if (!open_) {
+    intervals_.emplace_back();
+    open_ = true;
+  }
+  intervals_.back().ingests.push_back({region, reports});
+}
+
+void TraceRecorder::end_interval() { open_ = false; }
+
+std::string TraceRecorder::serialize() const {
+  std::string out;
+  for (const auto& interval : intervals_) {
+    out += "interval\n";
+    for (const auto& ingest : interval.ingests) {
+      for (const auto& report : ingest.reports) {
+        out += "report " + std::to_string(ingest.region.value()) + " " +
+               std::to_string(report.topic.value()) + "\n";
+        for (const auto& pub : report.publishers) {
+          out += "pub " + std::to_string(pub.client.value()) + " " +
+                 std::to_string(pub.msg_count) + " " +
+                 std::to_string(pub.total_bytes) + "\n";
+        }
+        for (ClientId sub : report.subscribers) {
+          out += "sub " + std::to_string(sub.value()) + "\n";
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<IntervalTrace>> parse_trace(std::string_view text,
+                                                      std::string* error) {
+  std::vector<IntervalTrace> out;
+  IntervalTrace* interval = nullptr;
+  TraceIngest* ingest = nullptr;
+  broker::TopicReport* report = nullptr;
+
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind)) continue;  // blank line
+
+    if (kind == "interval") {
+      out.emplace_back();
+      interval = &out.back();
+      ingest = nullptr;
+      report = nullptr;
+    } else if (kind == "report") {
+      if (interval == nullptr) {
+        if (error) *error = at_line(line_no, "report outside interval");
+        return std::nullopt;
+      }
+      std::string region_token, topic_token;
+      std::int32_t region_id = 0, topic_id = 0;
+      if (!(fields >> region_token >> topic_token) ||
+          !parse_number(region_token, &region_id) ||
+          !parse_number(topic_token, &topic_id)) {
+        if (error) *error = at_line(line_no, "bad report line");
+        return std::nullopt;
+      }
+      // Reuse the ingest when consecutive reports share the region.
+      if (ingest == nullptr || ingest->region != RegionId{region_id}) {
+        interval->ingests.push_back({RegionId{region_id}, {}});
+        ingest = &interval->ingests.back();
+      }
+      ingest->reports.emplace_back();
+      report = &ingest->reports.back();
+      report->topic = TopicId{topic_id};
+    } else if (kind == "pub") {
+      if (report == nullptr) {
+        if (error) *error = at_line(line_no, "pub outside report");
+        return std::nullopt;
+      }
+      std::string client_token, count_token, bytes_token;
+      std::int32_t client_id = 0;
+      std::uint64_t count = 0, bytes = 0;
+      if (!(fields >> client_token >> count_token >> bytes_token) ||
+          !parse_number(client_token, &client_id) ||
+          !parse_number(count_token, &count) ||
+          !parse_number(bytes_token, &bytes)) {
+        if (error) *error = at_line(line_no, "bad pub line");
+        return std::nullopt;
+      }
+      report->publishers.push_back({ClientId{client_id}, count, bytes});
+    } else if (kind == "sub") {
+      if (report == nullptr) {
+        if (error) *error = at_line(line_no, "sub outside report");
+        return std::nullopt;
+      }
+      std::string client_token;
+      std::int32_t client_id = 0;
+      if (!(fields >> client_token) ||
+          !parse_number(client_token, &client_id)) {
+        if (error) *error = at_line(line_no, "bad sub line");
+        return std::nullopt;
+      }
+      report->subscribers.emplace_back(client_id);
+    } else {
+      if (error) *error = at_line(line_no, "unknown record kind");
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<broker::Controller::Decision>> replay_trace(
+    const std::vector<IntervalTrace>& trace, broker::Controller& controller,
+    const core::OptimizerOptions& options) {
+  std::vector<std::vector<broker::Controller::Decision>> out;
+  out.reserve(trace.size());
+  for (const auto& interval : trace) {
+    for (const auto& ingest : interval.ingests) {
+      controller.ingest(ingest.region, ingest.reports);
+    }
+    out.push_back(controller.reconfigure(options));
+  }
+  return out;
+}
+
+}  // namespace multipub::sim

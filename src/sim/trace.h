@@ -1,0 +1,72 @@
+// Interval-trace recording and replay.
+//
+// Records the controller's inputs — every region's per-interval topic
+// reports — in a line-oriented text format, so production behaviour can be
+// replayed offline: against different constraints, a different tie-break, a
+// pruned candidate set, or the heuristic optimizer ("what would MultiPub
+// have done if...").
+//
+// Format (one record per line):
+//   interval
+//   report <region-id> <topic-id>
+//   pub <client-id> <msg-count> <total-bytes>
+//   sub <client-id>
+// `report` opens a topic report inside the current interval; `pub`/`sub`
+// rows belong to the most recent `report`. `interval` closes the previous
+// interval and opens the next.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "broker/controller.h"
+
+namespace multipub::sim {
+
+/// One region's reports within one interval.
+struct TraceIngest {
+  RegionId region;
+  std::vector<broker::TopicReport> reports;
+};
+
+/// Everything the controller was told during one interval.
+struct IntervalTrace {
+  std::vector<TraceIngest> ingests;
+};
+
+/// Collects ingests as they happen; serialize() renders the full history.
+class TraceRecorder {
+ public:
+  /// Records one region's reports for the current interval.
+  void record(RegionId region, const std::vector<broker::TopicReport>& reports);
+
+  /// Closes the current interval (a new one opens on the next record()).
+  void end_interval();
+
+  [[nodiscard]] const std::vector<IntervalTrace>& intervals() const {
+    return intervals_;
+  }
+
+  /// Text form of the complete trace (see format above).
+  [[nodiscard]] std::string serialize() const;
+
+ private:
+  std::vector<IntervalTrace> intervals_;
+  bool open_ = false;
+};
+
+/// Parses a serialized trace; nullopt + line-numbered `error` on failure.
+[[nodiscard]] std::optional<std::vector<IntervalTrace>> parse_trace(
+    std::string_view text, std::string* error);
+
+/// Replays a trace into a controller: for each interval, ingests every
+/// recorded report and runs one reconfigure round. Returns each round's
+/// decisions. The controller keeps its own constraints/options — that is
+/// the point: replay the same inputs under different policies.
+std::vector<std::vector<broker::Controller::Decision>> replay_trace(
+    const std::vector<IntervalTrace>& trace, broker::Controller& controller,
+    const core::OptimizerOptions& options = {});
+
+}  // namespace multipub::sim

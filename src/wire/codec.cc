@@ -1,0 +1,79 @@
+#include "wire/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace multipub::wire {
+namespace {
+
+/// Little-endian scalar writer. The host is assumed little-endian (x86-64 /
+/// AArch64 Linux targets); a static_assert guards the assumption.
+static_assert(std::endian::native == std::endian::little,
+              "codec assumes a little-endian host");
+
+template <typename T>
+void put(EncodedMessage& buf, std::size_t offset, T value) {
+  std::memcpy(buf.data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+[[nodiscard]] T get(std::span<const std::byte> buf, std::size_t offset) {
+  T value;
+  std::memcpy(&value, buf.data() + offset, sizeof(T));
+  return value;
+}
+
+[[nodiscard]] bool valid_type(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(MessageType::kSubscribe) &&
+         raw <= static_cast<std::uint8_t>(MessageType::kLatencyReport);
+}
+
+}  // namespace
+
+EncodedMessage encode(const Message& msg) {
+  EncodedMessage buf{};
+  put<std::uint8_t>(buf, 0, kMagic);
+  put<std::uint8_t>(buf, 1, kVersion);
+  put<std::uint8_t>(buf, 2, static_cast<std::uint8_t>(msg.type));
+  put<std::uint8_t>(buf, 3, static_cast<std::uint8_t>(msg.config_mode));
+  put<std::int32_t>(buf, 4, msg.topic.value());
+  put<std::int32_t>(buf, 8, msg.publisher.value());
+  put<std::int32_t>(buf, 12, msg.subscriber.value());
+  put<std::uint64_t>(buf, 16, msg.seq);
+  put<double>(buf, 24, msg.published_at);
+  put<std::uint64_t>(buf, 32, msg.payload_bytes);
+  put<std::uint64_t>(buf, 40, msg.config_regions.mask());
+  put<std::uint64_t>(buf, 48, msg.key);
+  put<std::uint64_t>(buf, 56, msg.filter.lo);
+  put<std::uint64_t>(buf, 64, msg.filter.hi);
+  return buf;
+}
+
+std::optional<Message> decode(std::span<const std::byte> frame) {
+  if (frame.size() != kEncodedSize) return std::nullopt;
+  if (get<std::uint8_t>(frame, 0) != kMagic) return std::nullopt;
+  if (get<std::uint8_t>(frame, 1) != kVersion) return std::nullopt;
+  const auto raw_type = get<std::uint8_t>(frame, 2);
+  if (!valid_type(raw_type)) return std::nullopt;
+  const auto raw_mode = get<std::uint8_t>(frame, 3);
+  if (raw_mode > static_cast<std::uint8_t>(WireMode::kRouted)) {
+    return std::nullopt;
+  }
+
+  Message msg;
+  msg.type = static_cast<MessageType>(raw_type);
+  msg.config_mode = static_cast<WireMode>(raw_mode);
+  msg.topic = TopicId{get<std::int32_t>(frame, 4)};
+  msg.publisher = ClientId{get<std::int32_t>(frame, 8)};
+  msg.subscriber = ClientId{get<std::int32_t>(frame, 12)};
+  msg.seq = get<std::uint64_t>(frame, 16);
+  msg.published_at = get<double>(frame, 24);
+  msg.payload_bytes = get<std::uint64_t>(frame, 32);
+  msg.config_regions = geo::RegionSet(get<std::uint64_t>(frame, 40));
+  msg.key = get<std::uint64_t>(frame, 48);
+  msg.filter.lo = get<std::uint64_t>(frame, 56);
+  msg.filter.hi = get<std::uint64_t>(frame, 64);
+  return msg;
+}
+
+}  // namespace multipub::wire

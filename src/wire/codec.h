@@ -1,0 +1,51 @@
+// Binary codec for protocol messages.
+//
+// Fixed-layout little-endian framing with a magic byte and version so a
+// decoder can reject foreign data. The in-memory simulation passes Message
+// structs directly; the codec exists so the protocol has a concrete wire
+// representation (and so framing bugs are caught by round-trip tests rather
+// than in a future socket transport).
+//
+// Layout (all integers little-endian):
+//   offset 0  : u8  magic (0xMB -> 0xAB)
+//   offset 1  : u8  version (2)
+//   offset 2  : u8  type
+//   offset 3  : u8  config_mode
+//   offset 4  : i32 topic
+//   offset 8  : i32 publisher
+//   offset 12 : i32 subscriber
+//   offset 16 : u64 seq
+//   offset 24 : f64 published_at
+//   offset 32 : u64 payload_bytes
+//   offset 40 : u64 config_regions mask
+//   offset 48 : u64 content key
+//   offset 56 : u64 filter lo
+//   offset 64 : u64 filter hi
+//   total 72 bytes
+// (v1 was 48 bytes without the content-filtering fields; v1 frames are
+// rejected, the protocol is not mixed-version.)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "wire/message.h"
+
+namespace multipub::wire {
+
+inline constexpr std::size_t kEncodedSize = 72;
+inline constexpr std::uint8_t kMagic = 0xAB;
+inline constexpr std::uint8_t kVersion = 2;
+
+using EncodedMessage = std::array<std::byte, kEncodedSize>;
+
+/// Serializes `msg` into its fixed 48-byte frame.
+[[nodiscard]] EncodedMessage encode(const Message& msg);
+
+/// Parses a frame; nullopt on bad magic/version/type or wrong size.
+[[nodiscard]] std::optional<Message> decode(std::span<const std::byte> frame);
+
+}  // namespace multipub::wire

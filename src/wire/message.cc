@@ -1,0 +1,37 @@
+#include "wire/message.h"
+
+namespace multipub::wire {
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kSubscribe:    return "SUBSCRIBE";
+    case MessageType::kUnsubscribe:  return "UNSUBSCRIBE";
+    case MessageType::kPublish:      return "PUBLISH";
+    case MessageType::kForward:      return "FORWARD";
+    case MessageType::kDeliver:      return "DELIVER";
+    case MessageType::kConfigUpdate: return "CONFIG_UPDATE";
+    case MessageType::kPing:          return "PING";
+    case MessageType::kPong:          return "PONG";
+    case MessageType::kLatencyReport: return "LATENCY_REPORT";
+  }
+  return "?";
+}
+
+Bytes Message::billable_bytes() const {
+  switch (type) {
+    case MessageType::kPublish:
+    case MessageType::kForward:
+    case MessageType::kDeliver:
+      return payload_bytes;
+    case MessageType::kSubscribe:
+    case MessageType::kUnsubscribe:
+    case MessageType::kConfigUpdate:
+    case MessageType::kPing:
+    case MessageType::kPong:
+    case MessageType::kLatencyReport:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace multipub::wire

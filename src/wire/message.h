@@ -1,0 +1,94 @@
+// Protocol messages exchanged between clients, brokers, region managers and
+// the controller.
+//
+// One Message struct covers the whole protocol; which fields are meaningful
+// depends on the type (documented per enumerator). payload_bytes carries
+// Omega(M) — the application payload size the cost model bills — rather than
+// the bytes themselves: the simulation never needs the content, only its
+// size, and this keeps a 10^6-message run allocation-free.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "geo/region_set.h"
+
+namespace multipub::wire {
+
+enum class MessageType : std::uint8_t {
+  kSubscribe = 1,     ///< client -> broker: subscriber, topic.
+  kUnsubscribe = 2,   ///< client -> broker: subscriber, topic.
+  kPublish = 3,       ///< publisher -> broker: topic, seq, published_at,
+                      ///< payload_bytes.
+  kForward = 4,       ///< broker -> broker (routed mode): same publication
+                      ///< fields as kPublish.
+  kDeliver = 5,       ///< broker -> subscriber: same publication fields.
+  kConfigUpdate = 6,  ///< region manager -> client: topic, config_regions,
+                      ///< config_mode.
+  kPing = 7,          ///< client -> broker latency probe: subscriber (the
+                      ///< probing client), seq, published_at (send time).
+  kPong = 8,          ///< broker -> client probe echo: same fields.
+  kLatencyReport = 9, ///< client -> broker: "my one-way latency to you is
+                      ///< published_at ms"; subscriber = reporting client.
+};
+
+[[nodiscard]] const char* to_string(MessageType type);
+
+/// Delivery mode on the wire (mirrors core::DeliveryMode without creating a
+/// wire -> core dependency).
+enum class WireMode : std::uint8_t { kDirect = 0, kRouted = 1 };
+
+/// Inclusive key interval for content-filtered subscriptions (the paper's
+/// §VII future work: "extend our model to support content-based pub/sub").
+/// Publications carry a 64-bit content key; a filtered subscription only
+/// receives publications whose key falls inside the interval. The default
+/// interval matches everything (plain topic-based semantics).
+struct KeyFilter {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = ~std::uint64_t{0};
+
+  [[nodiscard]] bool matches(std::uint64_t key) const {
+    return key >= lo && key <= hi;
+  }
+  [[nodiscard]] bool match_all() const {
+    return lo == 0 && hi == ~std::uint64_t{0};
+  }
+  [[nodiscard]] static KeyFilter all() { return {}; }
+
+  friend bool operator==(const KeyFilter&, const KeyFilter&) = default;
+};
+
+struct Message {
+  MessageType type = MessageType::kPublish;
+  TopicId topic;
+  /// Originating publisher (kPublish/kForward/kDeliver).
+  ClientId publisher;
+  /// Acting subscriber (kSubscribe/kUnsubscribe) or delivery target
+  /// (kDeliver).
+  ClientId subscriber;
+  /// Publication sequence number, unique per publisher.
+  std::uint64_t seq = 0;
+  /// Virtual timestamp at which the publisher emitted the publication;
+  /// subscribers compute delivery time as now() - published_at.
+  Millis published_at = 0.0;
+  /// Omega(M): application payload size in bytes (what the tariff bills).
+  Bytes payload_bytes = 0;
+  /// New assignment vector (kConfigUpdate).
+  geo::RegionSet config_regions;
+  /// New delivery mode (kConfigUpdate).
+  WireMode config_mode = WireMode::kDirect;
+  /// Content key of the publication (kPublish/kForward/kDeliver).
+  std::uint64_t key = 0;
+  /// Content filter of a subscription (kSubscribe).
+  KeyFilter filter;
+
+  /// Bytes billed by the cost model when this message leaves a cloud
+  /// region: the application payload for publication traffic, zero for
+  /// control-plane traffic (the paper's model only bills publication
+  /// dissemination).
+  [[nodiscard]] Bytes billable_bytes() const;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace multipub::wire

@@ -1,0 +1,279 @@
+#include "broker/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace multipub::broker {
+namespace {
+
+using testutil::TinyWorld;
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  TinyWorld world_;
+  Controller controller_{world_.catalog, world_.backbone, world_.clients};
+
+  static TopicReport report(TopicId topic,
+                            std::vector<core::PublisherStats> pubs,
+                            std::vector<ClientId> subs) {
+    TopicReport r;
+    r.topic = topic;
+    r.publishers = std::move(pubs);
+    r.subscribers = std::move(subs);
+    return r;
+  }
+};
+
+TEST_F(ControllerTest, AggregatesReportsAcrossRegions) {
+  controller_.set_constraint(TopicId{0}, {75.0, 200.0});
+  controller_.ingest(TinyWorld::kA,
+                     {report(TopicId{0}, {{TinyWorld::kNearA, 10, 10000}},
+                             {TinyWorld::kNearA2})});
+  controller_.ingest(TinyWorld::kB,
+                     {report(TopicId{0}, {}, {TinyWorld::kNearB})});
+
+  const auto state = controller_.aggregate(TopicId{0});
+  EXPECT_EQ(state.publishers.size(), 1u);
+  EXPECT_EQ(state.subscribers.size(), 2u);
+  EXPECT_EQ(state.constraint.max, 200.0);
+}
+
+TEST_F(ControllerTest, DirectModeDuplicatesAreDeduplicatedByMax) {
+  // Under direct delivery both regions saw the same 10 publications; the
+  // aggregate must count them once, not twice.
+  controller_.set_constraint(TopicId{0}, {75.0, 200.0});
+  controller_.ingest(TinyWorld::kA,
+                     {report(TopicId{0}, {{TinyWorld::kNearA, 10, 10000}},
+                             {TinyWorld::kNearA2})});
+  controller_.ingest(TinyWorld::kB,
+                     {report(TopicId{0}, {{TinyWorld::kNearA, 10, 10000}},
+                             {TinyWorld::kNearB})});
+
+  const auto state = controller_.aggregate(TopicId{0});
+  ASSERT_EQ(state.publishers.size(), 1u);
+  EXPECT_EQ(state.publishers[0].msg_count, 10u);
+  EXPECT_EQ(state.publishers[0].total_bytes, 10000u);
+}
+
+TEST_F(ControllerTest, ReconfigurePicksOptimizerAnswer) {
+  controller_.set_constraint(TopicId{0}, {75.0, kUnreachable});
+  controller_.ingest(
+      TinyWorld::kA,
+      {report(TopicId{0}, {{TinyWorld::kNearA, 10, 10000}},
+              {TinyWorld::kNearA2, TinyWorld::kNearB, TinyWorld::kNearC})});
+
+  const auto decisions = controller_.reconfigure();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0].changed);
+  // Unconstrained -> cheapest single region A (see optimizer tests).
+  EXPECT_EQ(decisions[0].result.config.regions,
+            geo::RegionSet::single(TinyWorld::kA));
+  ASSERT_NE(controller_.deployed_config(TopicId{0}), nullptr);
+  EXPECT_EQ(*controller_.deployed_config(TopicId{0}),
+            decisions[0].result.config);
+}
+
+TEST_F(ControllerTest, UnchangedOptimumIsReportedAsUnchanged) {
+  controller_.set_constraint(TopicId{0}, {75.0, kUnreachable});
+  const auto pubs = std::vector<core::PublisherStats>{
+      {TinyWorld::kNearA, 10, 10000}};
+  const auto subs = std::vector<ClientId>{TinyWorld::kNearA2};
+
+  controller_.ingest(TinyWorld::kA, {report(TopicId{0}, pubs, subs)});
+  auto first = controller_.reconfigure();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_TRUE(first[0].changed);
+
+  controller_.ingest(TinyWorld::kA, {report(TopicId{0}, pubs, subs)});
+  auto second = controller_.reconfigure();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_FALSE(second[0].changed);
+}
+
+TEST_F(ControllerTest, WorkloadShiftTriggersReconfiguration) {
+  // Interval 1: only a subscriber near A -> one cheap region A.
+  controller_.set_constraint(TopicId{0}, {75.0, 120.0});
+  controller_.ingest(TinyWorld::kA,
+                     {report(TopicId{0}, {{TinyWorld::kNearA, 10, 10000}},
+                             {TinyWorld::kNearA2})});
+  const auto first = controller_.reconfigure();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].result.config.regions,
+            geo::RegionSet::single(TinyWorld::kA));
+
+  // Interval 2: a subscriber near B appears; {A} alone gives nearB 115 ms >
+  // 120? no, 115 <= 120. Tighten story: subscriber near B with bound 110
+  // requires a second region.
+  controller_.set_constraint(TopicId{0}, {75.0, 110.0});
+  controller_.ingest(TinyWorld::kA,
+                     {report(TopicId{0}, {{TinyWorld::kNearA, 10, 10000}},
+                             {TinyWorld::kNearA2})});
+  controller_.ingest(TinyWorld::kB,
+                     {report(TopicId{0}, {}, {TinyWorld::kNearB})});
+  const auto second = controller_.reconfigure();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_TRUE(second[0].changed);
+  EXPECT_TRUE(second[0].result.constraint_met);
+  EXPECT_GE(second[0].result.config.region_count(), 2);
+}
+
+TEST_F(ControllerTest, TopicsAreIndependent) {
+  // Paper §IV-C: optimizing one topic must not affect another.
+  controller_.set_constraint(TopicId{0}, {75.0, kUnreachable});
+  controller_.set_constraint(TopicId{1}, {75.0, 110.0});
+  controller_.ingest(
+      TinyWorld::kA,
+      {report(TopicId{0}, {{TinyWorld::kNearA, 5, 5000}}, {TinyWorld::kNearA2}),
+       report(TopicId{1}, {{TinyWorld::kNearA, 5, 5000}},
+              {TinyWorld::kNearB})});
+
+  const auto decisions = controller_.reconfigure();
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_EQ(decisions[0].topic, TopicId{0});
+  EXPECT_EQ(decisions[1].topic, TopicId{1});
+  // Topic 0 unconstrained -> single cheap region; topic 1 needs B coverage.
+  EXPECT_EQ(decisions[0].result.config.regions,
+            geo::RegionSet::single(TinyWorld::kA));
+  EXPECT_TRUE(decisions[1].result.config.regions.contains(TinyWorld::kB));
+}
+
+TEST_F(ControllerTest, TopicWithoutSubscribersIsSkipped) {
+  controller_.set_constraint(TopicId{0}, {75.0, 100.0});
+  controller_.ingest(TinyWorld::kA,
+                     {report(TopicId{0}, {{TinyWorld::kNearA, 10, 10000}}, {})});
+  EXPECT_TRUE(controller_.reconfigure().empty());
+}
+
+TEST_F(ControllerTest, MitigationForceAddsRegionForStrandedSubscriber) {
+  // Custom world: four subscribers sit right next to cheap region X; one
+  // stranded subscriber is far from X (130 ms) but adjacent to pricier
+  // region Y. With ratio 75 the optimizer happily serves everyone from X —
+  // the stranded client's deliveries all miss the bound. §IV-D mitigation
+  // must force-add Y for them.
+  geo::RegionCatalog catalog({
+      {RegionId{}, "x", "X", 0.02, 0.05},
+      {RegionId{}, "y", "Y", 0.09, 0.20},
+  });
+  geo::InterRegionLatency backbone(2);
+  backbone.set(RegionId{0}, RegionId{1}, 60.0);
+
+  geo::ClientLatencyMap clients(2);
+  const ClientId pub = clients.add_client(std::vector<Millis>{10, 30});
+  std::vector<ClientId> near;
+  for (int i = 0; i < 4; ++i) {
+    near.push_back(clients.add_client(std::vector<Millis>{12, 80}));
+  }
+  const ClientId stranded = clients.add_client(std::vector<Millis>{130, 15});
+
+  Controller controller(catalog, backbone, clients);
+  controller.set_constraint(TopicId{0}, {75.0, 110.0});
+  controller.enable_mitigation(true);
+
+  std::vector<ClientId> subs = near;
+  subs.push_back(stranded);
+  controller.ingest(RegionId{0},
+                    {report(TopicId{0}, {{pub, 10, 10000}}, subs)});
+  const auto decisions = controller.reconfigure();
+  ASSERT_EQ(decisions.size(), 1u);
+
+  // Without mitigation the optimum is {X} alone (vanilla controller):
+  Controller vanilla(catalog, backbone, clients);
+  vanilla.set_constraint(TopicId{0}, {75.0, 110.0});
+  vanilla.ingest(RegionId{0},
+                 {report(TopicId{0}, {{pub, 10, 10000}}, subs)});
+  const auto plain = vanilla.reconfigure();
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_EQ(plain[0].result.config.regions,
+            geo::RegionSet::single(RegionId{0}));
+  EXPECT_TRUE(plain[0].mitigation_regions.empty());
+
+  // With mitigation, Y joins for the stranded client.
+  EXPECT_EQ(decisions[0].mitigation_regions,
+            std::vector<RegionId>{RegionId{1}});
+  EXPECT_TRUE(decisions[0].result.config.regions.contains(RegionId{1}));
+  EXPECT_TRUE(decisions[0].result.config.regions.contains(RegionId{0}));
+}
+
+TEST_F(ControllerTest, MitigationIdlesWhenEveryoneIsServed) {
+  controller_.set_constraint(TopicId{0}, {75.0, 300.0});
+  controller_.enable_mitigation(true);
+  controller_.ingest(
+      TinyWorld::kA,
+      {report(TopicId{0}, {{TinyWorld::kNearA, 10, 10000}},
+              {TinyWorld::kNearA2, TinyWorld::kNearB, TinyWorld::kNearC})});
+  const auto decisions = controller_.reconfigure();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0].mitigation_regions.empty());
+}
+
+TEST_F(ControllerTest, HeuristicSolverMatchesExhaustiveOnTinyWorld) {
+  controller_.set_constraint(TopicId{0}, {75.0, 110.0});
+  const auto pubs = std::vector<core::PublisherStats>{
+      {TinyWorld::kNearA, 10, 10000}};
+  const auto subs = std::vector<ClientId>{
+      TinyWorld::kNearA2, TinyWorld::kNearB, TinyWorld::kNearC};
+
+  controller_.ingest(TinyWorld::kA, {report(TopicId{0}, pubs, subs)});
+  const auto exhaustive = controller_.reconfigure();
+  ASSERT_EQ(exhaustive.size(), 1u);
+
+  Controller heuristic_controller(world_.catalog, world_.backbone,
+                                  world_.clients);
+  heuristic_controller.set_constraint(TopicId{0}, {75.0, 110.0});
+  heuristic_controller.set_solver(Controller::Solver::kHeuristic);
+  heuristic_controller.ingest(TinyWorld::kA, {report(TopicId{0}, pubs, subs)});
+  const auto heuristic = heuristic_controller.reconfigure();
+  ASSERT_EQ(heuristic.size(), 1u);
+
+  EXPECT_EQ(heuristic[0].result.config, exhaustive[0].result.config);
+  EXPECT_TRUE(heuristic[0].result.constraint_met);
+}
+
+TEST_F(ControllerTest, HeuristicSolverRespectsOutageMask) {
+  controller_.set_solver(Controller::Solver::kHeuristic);
+  controller_.set_constraint(TopicId{0}, {75.0, kUnreachable});
+  controller_.set_region_available(TinyWorld::kA, false);
+  controller_.ingest(
+      TinyWorld::kB,
+      {report(TopicId{0}, {{TinyWorld::kNearA, 10, 10000}},
+              {TinyWorld::kNearA2, TinyWorld::kNearB})});
+  const auto decisions = controller_.reconfigure();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_FALSE(decisions[0].result.config.regions.contains(TinyWorld::kA));
+}
+
+TEST_F(ControllerTest, AssignmentMatrixReflectsDeployments) {
+  controller_.set_constraint(TopicId{0}, {75.0, kUnreachable});
+  controller_.set_constraint(TopicId{1}, {75.0, 110.0});
+  controller_.ingest(
+      TinyWorld::kA,
+      {report(TopicId{0}, {{TinyWorld::kNearA, 5, 5000}}, {TinyWorld::kNearA2}),
+       report(TopicId{1}, {{TinyWorld::kNearA, 5, 5000}},
+              {TinyWorld::kNearB})});
+  (void)controller_.reconfigure();
+
+  const auto matrix = controller_.assignment_matrix();
+  ASSERT_EQ(matrix.size(), 2u);
+  EXPECT_EQ(matrix[0].topic, TopicId{0});
+  EXPECT_EQ(matrix[0].config.regions, geo::RegionSet::single(TinyWorld::kA));
+  EXPECT_EQ(matrix[1].topic, TopicId{1});
+  EXPECT_TRUE(matrix[1].config.regions.contains(TinyWorld::kB));
+
+  const std::string rendered = controller_.render_assignment_matrix();
+  EXPECT_NE(rendered.find("topic 0 | 1 0 0 |"), std::string::npos);
+  EXPECT_NE(rendered.find("topic 1 |"), std::string::npos);
+}
+
+TEST_F(ControllerTest, IntervalStateClearsAfterReconfigure) {
+  controller_.set_constraint(TopicId{0}, {75.0, kUnreachable});
+  controller_.ingest(TinyWorld::kA,
+                     {report(TopicId{0}, {{TinyWorld::kNearA, 10, 10000}},
+                             {TinyWorld::kNearA2})});
+  EXPECT_EQ(controller_.reconfigure().size(), 1u);
+  // No new reports: nothing to decide.
+  EXPECT_TRUE(controller_.reconfigure().empty());
+}
+
+}  // namespace
+}  // namespace multipub::broker

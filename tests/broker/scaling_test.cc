@@ -1,0 +1,103 @@
+#include "broker/scaling.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub::broker {
+namespace {
+
+IntraRegionScaler::Params small_servers() {
+  IntraRegionScaler::Params p;
+  p.server_capacity = 100.0;
+  return p;
+}
+
+TEST(IntraRegionScaler, LightLoadUsesOneServer) {
+  IntraRegionScaler scaler(small_servers());
+  const auto a = scaler.rebalance({{TopicId{0}, 30.0}, {TopicId{1}, 20.0}});
+  EXPECT_EQ(a.n_servers, 1);
+  EXPECT_DOUBLE_EQ(a.server_load[0], 50.0);
+  EXPECT_DOUBLE_EQ(a.max_utilization, 0.5);
+}
+
+TEST(IntraRegionScaler, PoolGrowsWithLoad) {
+  IntraRegionScaler scaler(small_servers());
+  // Total 450 over capacity 100 -> 5 servers.
+  std::vector<TopicLoad> loads;
+  for (int t = 0; t < 9; ++t) loads.push_back({TopicId{t}, 50.0});
+  const auto a = scaler.rebalance(loads);
+  EXPECT_EQ(a.n_servers, 5);
+  // LPT over equal loads: near-perfect balance, nothing above capacity.
+  for (double load : a.server_load) {
+    EXPECT_LE(load, 100.0 + 1e-9);
+  }
+}
+
+TEST(IntraRegionScaler, PoolShrinksWhenLoadFalls) {
+  IntraRegionScaler scaler(small_servers());
+  std::vector<TopicLoad> heavy;
+  for (int t = 0; t < 8; ++t) heavy.push_back({TopicId{t}, 50.0});
+  EXPECT_EQ(scaler.rebalance(heavy).n_servers, 4);
+
+  const auto shrunk = scaler.rebalance({{TopicId{0}, 50.0}});
+  EXPECT_EQ(shrunk.n_servers, 1);
+  EXPECT_EQ(scaler.server_of(TopicId{0}), 0);
+}
+
+TEST(IntraRegionScaler, StickyAssignmentsAvoidMigrations) {
+  IntraRegionScaler scaler(small_servers());
+  const std::vector<TopicLoad> loads{{TopicId{0}, 50.0},
+                                     {TopicId{1}, 50.0},
+                                     {TopicId{2}, 50.0},
+                                     {TopicId{3}, 50.0}};
+  (void)scaler.rebalance(loads);
+  const int s0 = scaler.server_of(TopicId{0});
+  const int s1 = scaler.server_of(TopicId{1});
+  const int s2 = scaler.server_of(TopicId{2});
+  const int s3 = scaler.server_of(TopicId{3});
+  EXPECT_EQ(scaler.migrations(), 0u);
+
+  // Small wobble (within stickiness slack): same servers, no migrations.
+  (void)scaler.rebalance({{TopicId{0}, 52.0},
+                          {TopicId{1}, 49.0},
+                          {TopicId{2}, 51.0},
+                          {TopicId{3}, 48.0}});
+  EXPECT_EQ(scaler.server_of(TopicId{0}), s0);
+  EXPECT_EQ(scaler.server_of(TopicId{1}), s1);
+  EXPECT_EQ(scaler.server_of(TopicId{2}), s2);
+  EXPECT_EQ(scaler.server_of(TopicId{3}), s3);
+  EXPECT_EQ(scaler.migrations(), 0u);
+}
+
+TEST(IntraRegionScaler, OverloadedTopicMigrates) {
+  IntraRegionScaler scaler(small_servers());
+  (void)scaler.rebalance({{TopicId{0}, 60.0}, {TopicId{1}, 50.0}});
+  // Topic 1 explodes: it cannot stay co-resident within slack.
+  const auto a = scaler.rebalance({{TopicId{0}, 60.0}, {TopicId{1}, 150.0}});
+  EXPECT_GE(a.n_servers, 3);
+  EXPECT_NE(scaler.server_of(TopicId{0}), -1);
+  EXPECT_NE(scaler.server_of(TopicId{1}), -1);
+}
+
+TEST(IntraRegionScaler, ZeroLoadTopicReleasesAssignment) {
+  IntraRegionScaler scaler(small_servers());
+  (void)scaler.rebalance({{TopicId{0}, 50.0}});
+  EXPECT_EQ(scaler.server_of(TopicId{0}), 0);
+  (void)scaler.rebalance({{TopicId{0}, 0.0}});
+  EXPECT_EQ(scaler.server_of(TopicId{0}), -1);
+}
+
+TEST(IntraRegionScaler, DeterministicAcrossRuns) {
+  std::vector<TopicLoad> loads;
+  for (int t = 0; t < 12; ++t) {
+    loads.push_back({TopicId{t}, 10.0 + 7.0 * static_cast<double>(t % 5)});
+  }
+  IntraRegionScaler a(small_servers()), b(small_servers());
+  (void)a.rebalance(loads);
+  (void)b.rebalance(loads);
+  for (int t = 0; t < 12; ++t) {
+    EXPECT_EQ(a.server_of(TopicId{t}), b.server_of(TopicId{t}));
+  }
+}
+
+}  // namespace
+}  // namespace multipub::broker

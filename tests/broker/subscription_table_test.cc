@@ -1,0 +1,116 @@
+#include "broker/subscription_table.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub::broker {
+namespace {
+
+TEST(SubscriptionTable, EmptyTopicHasNoSubscribers) {
+  SubscriptionTable table;
+  EXPECT_TRUE(table.subscriptions(TopicId{1}).empty());
+  EXPECT_EQ(table.topic_count(), 0u);
+}
+
+TEST(SubscriptionTable, SubscribeAndLookup) {
+  SubscriptionTable table;
+  EXPECT_TRUE(table.subscribe(TopicId{1}, ClientId{10}));
+  EXPECT_TRUE(table.subscribe(TopicId{1}, ClientId{20}));
+  EXPECT_TRUE(table.contains(TopicId{1}, ClientId{10}));
+  EXPECT_FALSE(table.contains(TopicId{2}, ClientId{10}));
+  EXPECT_EQ(table.subscriptions(TopicId{1}).size(), 2u);
+  EXPECT_EQ(table.subscription_count(), 2u);
+}
+
+TEST(SubscriptionTable, SubscribeIsIdempotent) {
+  SubscriptionTable table;
+  EXPECT_TRUE(table.subscribe(TopicId{1}, ClientId{10}));
+  EXPECT_FALSE(table.subscribe(TopicId{1}, ClientId{10}));
+  EXPECT_EQ(table.subscriptions(TopicId{1}).size(), 1u);
+}
+
+TEST(SubscriptionTable, UnsubscribeRemoves) {
+  SubscriptionTable table;
+  table.subscribe(TopicId{1}, ClientId{10});
+  EXPECT_TRUE(table.unsubscribe(TopicId{1}, ClientId{10}));
+  EXPECT_FALSE(table.contains(TopicId{1}, ClientId{10}));
+  // Topic with no subscribers disappears entirely.
+  EXPECT_EQ(table.topic_count(), 0u);
+}
+
+TEST(SubscriptionTable, UnsubscribeAbsentIsHarmless) {
+  SubscriptionTable table;
+  EXPECT_FALSE(table.unsubscribe(TopicId{1}, ClientId{10}));
+  table.subscribe(TopicId{1}, ClientId{10});
+  EXPECT_FALSE(table.unsubscribe(TopicId{1}, ClientId{99}));
+  EXPECT_FALSE(table.unsubscribe(TopicId{9}, ClientId{10}));
+  EXPECT_EQ(table.subscription_count(), 1u);
+}
+
+TEST(SubscriptionTable, PreservesSubscriptionOrder) {
+  SubscriptionTable table;
+  for (int i = 0; i < 5; ++i) table.subscribe(TopicId{1}, ClientId{i});
+  const auto& subs = table.subscriptions(TopicId{1});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(subs[static_cast<size_t>(i)].subscriber.value(), i);
+  }
+}
+
+TEST(SubscriptionTable, TopicsSortedAndLive) {
+  SubscriptionTable table;
+  table.subscribe(TopicId{5}, ClientId{1});
+  table.subscribe(TopicId{2}, ClientId{1});
+  table.subscribe(TopicId{9}, ClientId{1});
+  const auto topics = table.topics();
+  ASSERT_EQ(topics.size(), 3u);
+  EXPECT_EQ(topics[0], TopicId{2});
+  EXPECT_EQ(topics[1], TopicId{5});
+  EXPECT_EQ(topics[2], TopicId{9});
+}
+
+TEST(SubscriptionTable, DefaultFilterMatchesEverything) {
+  SubscriptionTable table;
+  table.subscribe(TopicId{1}, ClientId{10});
+  const auto& subs = table.subscriptions(TopicId{1});
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_TRUE(subs[0].filter.match_all());
+}
+
+TEST(SubscriptionTable, FilterIsStoredWithSubscription) {
+  SubscriptionTable table;
+  table.subscribe(TopicId{1}, ClientId{10}, wire::KeyFilter{5, 15});
+  const auto& subs = table.subscriptions(TopicId{1});
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_TRUE(subs[0].filter.matches(10));
+  EXPECT_FALSE(subs[0].filter.matches(16));
+}
+
+TEST(SubscriptionTable, ResubscribeReplacesFilter) {
+  SubscriptionTable table;
+  table.subscribe(TopicId{1}, ClientId{10}, wire::KeyFilter{0, 4});
+  EXPECT_FALSE(table.subscribe(TopicId{1}, ClientId{10},
+                               wire::KeyFilter{100, 200}));
+  const auto& subs = table.subscriptions(TopicId{1});
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_TRUE(subs[0].filter.matches(150));
+  EXPECT_FALSE(subs[0].filter.matches(2));
+}
+
+TEST(SubscriptionTable, SubscriberIdsInOrder) {
+  SubscriptionTable table;
+  table.subscribe(TopicId{1}, ClientId{30});
+  table.subscribe(TopicId{1}, ClientId{10});
+  const auto ids = table.subscriber_ids(TopicId{1});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], ClientId{30});
+  EXPECT_EQ(ids[1], ClientId{10});
+}
+
+TEST(SubscriptionTable, ClientMaySubscribeToManyTopics) {
+  SubscriptionTable table;
+  for (int t = 0; t < 10; ++t) table.subscribe(TopicId{t}, ClientId{1});
+  EXPECT_EQ(table.topic_count(), 10u);
+  EXPECT_EQ(table.subscription_count(), 10u);
+}
+
+}  // namespace
+}  // namespace multipub::broker

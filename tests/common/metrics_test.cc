@@ -1,0 +1,56 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub {
+namespace {
+
+TEST(MetricsRegistry, EmptyByDefault) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_FALSE(registry.contains("anything"));
+  EXPECT_DOUBLE_EQ(registry.value("anything"), 0.0);
+  EXPECT_EQ(registry.render(), "");
+}
+
+TEST(MetricsRegistry, GaugeSetOverwrites) {
+  MetricsRegistry registry;
+  registry.set("queue.depth", 5.0);
+  registry.set("queue.depth", 2.0);
+  EXPECT_DOUBLE_EQ(registry.value("queue.depth"), 2.0);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistry, CounterAddAccumulates) {
+  MetricsRegistry registry;
+  registry.add("messages", 3.0);
+  registry.add("messages", 4.0);
+  EXPECT_DOUBLE_EQ(registry.value("messages"), 7.0);
+}
+
+TEST(MetricsRegistry, AddCreatesAtDelta) {
+  MetricsRegistry registry;
+  registry.add("fresh", 1.5);
+  EXPECT_DOUBLE_EQ(registry.value("fresh"), 1.5);
+}
+
+TEST(MetricsRegistry, RenderIsSortedAndParsable) {
+  MetricsRegistry registry;
+  registry.set("zeta", 1.0);
+  registry.set("alpha", 0.5);
+  registry.set("mid.dle", 42.0);
+  const std::string text = registry.render();
+  EXPECT_EQ(text, "alpha 0.5\nmid.dle 42\nzeta 1\n");
+}
+
+TEST(MetricsRegistry, RenderRoundTripsPrecision) {
+  MetricsRegistry registry;
+  registry.set("pi", 3.141592653589793);
+  const std::string text = registry.render();
+  double parsed = 0.0;
+  ASSERT_EQ(std::sscanf(text.c_str(), "pi %lf", &parsed), 1);
+  EXPECT_DOUBLE_EQ(parsed, 3.141592653589793);
+}
+
+}  // namespace
+}  // namespace multipub

@@ -1,0 +1,87 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace multipub {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(10.0, 20.0);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LT(v, 20.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, LognormalMedianApproximatesMedian) {
+  Rng rng(123);
+  std::vector<double> draws;
+  for (int i = 0; i < 20000; ++i) draws.push_back(rng.lognormal_median(18.0, 0.45));
+  std::sort(draws.begin(), draws.end());
+  const double empirical_median = draws[draws.size() / 2];
+  EXPECT_NEAR(empirical_median, 18.0, 0.5);
+  // All draws positive.
+  EXPECT_GT(draws.front(), 0.0);
+}
+
+TEST(Rng, NormalZeroStddevIsDeterministic) {
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(rng.normal(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, ExponentialMeanApproximatesMean) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(250.0);
+  EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation) {
+  Rng a(42);
+  Rng fork1 = a.fork();
+  const double after_fork = a.uniform(0.0, 1.0);
+
+  // Recreate: forking consumes exactly one parent draw.
+  Rng b(42);
+  Rng fork2 = b.fork();
+  EXPECT_DOUBLE_EQ(fork1.uniform(0.0, 1.0), fork2.uniform(0.0, 1.0));
+  EXPECT_DOUBLE_EQ(after_fork, b.uniform(0.0, 1.0));
+}
+
+}  // namespace
+}  // namespace multipub

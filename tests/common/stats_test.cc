@@ -1,0 +1,126 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace multipub {
+namespace {
+
+TEST(PercentileRank, MatchesPaperFormula) {
+  // n^T = ceil(ratio/100 * |D|), Eq. 5.
+  EXPECT_EQ(percentile_rank(75.0, 100), 75u);
+  EXPECT_EQ(percentile_rank(95.0, 100), 95u);
+  EXPECT_EQ(percentile_rank(100.0, 100), 100u);
+  EXPECT_EQ(percentile_rank(75.0, 3), 3u);   // ceil(2.25)
+  EXPECT_EQ(percentile_rank(50.0, 3), 2u);   // ceil(1.5)
+  EXPECT_EQ(percentile_rank(1.0, 1), 1u);
+  EXPECT_EQ(percentile_rank(0.5, 1000), 5u);
+}
+
+TEST(PercentileRank, NeverZeroEvenForTinyRatios) {
+  EXPECT_EQ(percentile_rank(0.0001, 10), 1u);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<Millis> one{42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 50.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 100.0), 42.0);
+}
+
+TEST(Percentile, OrderStatisticOnKnownList) {
+  const std::vector<Millis> v{50, 10, 40, 20, 30};  // sorted: 10 20 30 40 50
+  EXPECT_DOUBLE_EQ(percentile(v, 20.0), 10.0);  // rank ceil(1)=1
+  EXPECT_DOUBLE_EQ(percentile(v, 40.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 60.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 61.0), 40.0);  // ceil(3.05)=4
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+}
+
+TEST(Percentile, InputOrderIrrelevant) {
+  std::vector<Millis> v{5, 3, 9, 1, 7, 2, 8, 4, 6};
+  std::mt19937 shuffle_rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(v.begin(), v.end(), shuffle_rng);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+  }
+}
+
+TEST(WeightedPercentile, UnitWeightsMatchPlainPercentile) {
+  const std::vector<Millis> plain{12, 7, 33, 21, 5, 18};
+  std::vector<WeightedSample> weighted;
+  for (Millis v : plain) weighted.push_back({v, 1});
+  for (double ratio : {10.0, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(weighted_percentile(weighted, ratio),
+                     percentile(plain, ratio))
+        << "ratio=" << ratio;
+  }
+}
+
+TEST(WeightedPercentile, EquivalentToExpandedList) {
+  const std::vector<WeightedSample> weighted{{10.0, 3}, {20.0, 1}, {5.0, 6}};
+  std::vector<Millis> expanded;
+  for (const auto& s : weighted) {
+    expanded.insert(expanded.end(), s.weight, s.value);
+  }
+  for (double ratio = 5.0; ratio <= 100.0; ratio += 5.0) {
+    EXPECT_DOUBLE_EQ(weighted_percentile(weighted, ratio),
+                     percentile(expanded, ratio))
+        << "ratio=" << ratio;
+  }
+}
+
+// Property sweep: random weighted lists must agree with their expansion at
+// every ratio.
+class WeightedEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedEquivalence, RandomListsAgreeWithExpansion) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_real_distribution<double> value_dist(0.0, 500.0);
+  std::uniform_int_distribution<std::uint64_t> weight_dist(1, 7);
+  std::uniform_int_distribution<int> size_dist(1, 40);
+
+  std::vector<WeightedSample> weighted;
+  std::vector<Millis> expanded;
+  const int n = size_dist(rng);
+  for (int i = 0; i < n; ++i) {
+    const WeightedSample s{value_dist(rng), weight_dist(rng)};
+    weighted.push_back(s);
+    expanded.insert(expanded.end(), s.weight, s.value);
+  }
+  for (double ratio : {1.0, 13.0, 50.0, 75.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(weighted_percentile(weighted, ratio),
+                     percentile(expanded, ratio))
+        << "seed=" << GetParam() << " ratio=" << ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedEquivalence, ::testing::Range(0, 25));
+
+TEST(WeightedPercentile, HeavyTailDominatesHighRatio) {
+  // 99 fast deliveries, 1 slow one: the 100th percentile is the slow one,
+  // the 99th is fast.
+  const std::vector<WeightedSample> samples{{10.0, 99}, {500.0, 1}};
+  EXPECT_DOUBLE_EQ(weighted_percentile(samples, 99.0), 10.0);
+  EXPECT_DOUBLE_EQ(weighted_percentile(samples, 100.0), 500.0);
+}
+
+TEST(Summarize, EmptyYieldsZeros) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, KnownValues) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook example
+}
+
+}  // namespace
+}  // namespace multipub

@@ -1,0 +1,54 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace multipub {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  RegionId r;
+  EXPECT_FALSE(r.valid());
+  EXPECT_EQ(r, RegionId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  const ClientId c{17};
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.value(), 17);
+  EXPECT_EQ(c.index(), 17u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(TopicId{1}, TopicId{2});
+  EXPECT_EQ(TopicId{3}, TopicId{3});
+  EXPECT_NE(TopicId{3}, TopicId{4});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<RegionId, ClientId>);
+  static_assert(!std::is_same_v<ClientId, TopicId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<TopicId> set;
+  set.insert(TopicId{1});
+  set.insert(TopicId{1});
+  set.insert(TopicId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Units, PerGbToPerByte) {
+  // $0.09/GB over a full GB must total $0.09 again.
+  const double per_byte = per_gb_to_per_byte(0.09);
+  EXPECT_DOUBLE_EQ(per_byte * kBytesPerGb, 0.09);
+  EXPECT_LT(per_byte, 1e-9);
+}
+
+TEST(Units, UnreachableComparesAboveEverything) {
+  EXPECT_GT(kUnreachable, 1e12);
+}
+
+}  // namespace
+}  // namespace multipub

@@ -1,0 +1,115 @@
+#include "core/bundling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "testutil.h"
+
+namespace multipub::core {
+namespace {
+
+using testutil::TinyWorld;
+
+TEST(Bundling, IdenticalClientsCollapse) {
+  geo::ClientLatencyMap clients(2);
+  std::vector<ClientId> subs;
+  for (int i = 0; i < 5; ++i) {
+    subs.push_back(clients.add_client(std::vector<Millis>{10, 50}));
+  }
+  TopicState topic;
+  topic.topic = TopicId{0};
+  topic.constraint = {75.0, 100.0};
+  topic.publishers = {{clients.add_client(std::vector<Millis>{12, 48}), 3, 3000}};
+  topic.subscribers = unit_subscribers(subs);
+
+  const auto bundled = bundle_clients(topic, clients, {.epsilon_ms = 0.5});
+  EXPECT_EQ(bundled.topic.subscribers.size(), 1u);
+  EXPECT_EQ(bundled.topic.subscribers[0].weight, 5u);
+  EXPECT_EQ(bundled.subscriber_members[0].size(), 5u);
+  EXPECT_EQ(bundled.topic.publishers.size(), 1u);
+}
+
+TEST(Bundling, DistantClientsStaySeparate) {
+  TinyWorld world;
+  const auto topic = testutil::tiny_topic();
+  const auto bundled = bundle_clients(topic, world.clients, {.epsilon_ms = 5.0});
+  // nearA2, nearB, nearC rows differ by far more than 5 ms.
+  EXPECT_EQ(bundled.topic.subscribers.size(), 3u);
+}
+
+TEST(Bundling, PreservesTotals) {
+  TinyWorld world;
+  auto topic = testutil::tiny_topic(10, 1000);
+  topic.publishers.push_back({TinyWorld::kNearA2, 7, 7 * 500});
+  const auto bundled = bundle_clients(topic, world.clients, {.epsilon_ms = 20.0});
+  EXPECT_EQ(bundled.topic.total_messages(), topic.total_messages());
+  EXPECT_EQ(bundled.topic.total_published_bytes(),
+            topic.total_published_bytes());
+  EXPECT_EQ(bundled.topic.total_subscriber_weight(),
+            topic.total_subscriber_weight());
+}
+
+TEST(Bundling, NearbyPublishersMergeTraffic) {
+  // nearA (10,100,80) and nearA2 (20,110,90) are within eps=15 of each other.
+  TinyWorld world;
+  TopicState topic;
+  topic.topic = TopicId{0};
+  topic.constraint = {75.0, 150.0};
+  topic.publishers = {{TinyWorld::kNearA, 10, 10000},
+                      {TinyWorld::kNearA2, 5, 2500}};
+  topic.subscribers = unit_subscribers({TinyWorld::kNearB});
+
+  const auto bundled = bundle_clients(topic, world.clients, {.epsilon_ms = 15.0});
+  ASSERT_EQ(bundled.topic.publishers.size(), 1u);
+  EXPECT_EQ(bundled.topic.publishers[0].msg_count, 15u);
+  EXPECT_EQ(bundled.topic.publishers[0].total_bytes, 12500u);
+  EXPECT_EQ(bundled.publisher_members[0].size(), 2u);
+}
+
+TEST(Bundling, ZeroEpsilonIsIdentityPartition) {
+  TinyWorld world;
+  const auto topic = testutil::tiny_topic();
+  const auto bundled = bundle_clients(topic, world.clients, {.epsilon_ms = 0.0});
+  EXPECT_EQ(bundled.topic.subscribers.size(), topic.subscribers.size());
+  EXPECT_EQ(bundled.topic.publishers.size(), topic.publishers.size());
+}
+
+TEST(Bundling, BundledAnswerStaysCloseToExact) {
+  // Optimizing the bundled problem must give the same configuration here:
+  // the merged clients share closest regions at this epsilon.
+  TinyWorld world;
+  auto topic = testutil::tiny_topic(10, 1000, 75.0, 110.0);
+  topic.publishers.push_back({TinyWorld::kNearA2, 10, 10000});
+
+  const Optimizer exact_opt(world.catalog, world.backbone, world.clients);
+  const auto exact = exact_opt.optimize(topic);
+
+  const auto bundled = bundle_clients(topic, world.clients, {.epsilon_ms = 15.0});
+  const Optimizer bundled_opt(world.catalog, world.backbone,
+                              bundled.latencies);
+  const auto approx = bundled_opt.optimize(bundled.topic);
+
+  EXPECT_EQ(exact.config, approx.config);
+  // Percentile drift bounded by epsilon-ish.
+  EXPECT_NEAR(exact.percentile, approx.percentile, 2 * 15.0);
+}
+
+TEST(Bundling, RolesAreNotMixed) {
+  // A client that both publishes and subscribes is represented separately
+  // per role; bundles never span roles.
+  geo::ClientLatencyMap clients(2);
+  const ClientId c = clients.add_client(std::vector<Millis>{10, 50});
+  TopicState topic;
+  topic.topic = TopicId{0};
+  topic.constraint = {75.0, 100.0};
+  topic.publishers = {{c, 3, 3000}};
+  topic.subscribers = unit_subscribers({c});
+  const auto bundled = bundle_clients(topic, clients, {.epsilon_ms = 10.0});
+  EXPECT_EQ(bundled.topic.publishers.size(), 1u);
+  EXPECT_EQ(bundled.topic.subscribers.size(), 1u);
+  EXPECT_NE(bundled.topic.publishers[0].client,
+            bundled.topic.subscribers[0].client);
+}
+
+}  // namespace
+}  // namespace multipub::core

@@ -1,0 +1,113 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace multipub::core {
+namespace {
+
+std::size_t count_with_mode(const std::vector<TopicConfig>& configs,
+                            DeliveryMode mode) {
+  std::size_t n = 0;
+  for (const auto& c : configs) {
+    if (c.mode == mode) ++n;
+  }
+  return n;
+}
+
+class EnumerationCount : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EnumerationCount, MatchesPaperFormula) {
+  // 2 * (2^N - 1) - N configurations (paper §IV).
+  const std::size_t n = GetParam();
+  const auto configs =
+      enumerate_configurations(geo::RegionSet::universe(n), ModePolicy::kBoth);
+  const std::size_t expected = 2 * ((std::size_t{1} << n) - 1) - n;
+  EXPECT_EQ(configs.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EnumerationCount,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 10));
+
+TEST(EnumerateConfigurations, SingletonsAppearOnceAsDirect) {
+  const auto configs =
+      enumerate_configurations(geo::RegionSet::universe(3), ModePolicy::kBoth);
+  std::size_t singletons = 0;
+  for (const auto& c : configs) {
+    if (c.region_count() == 1) {
+      ++singletons;
+      EXPECT_EQ(c.mode, DeliveryMode::kDirect);
+    }
+  }
+  EXPECT_EQ(singletons, 3u);
+}
+
+TEST(EnumerateConfigurations, MultiRegionSubsetsAppearInBothModes) {
+  const auto configs =
+      enumerate_configurations(geo::RegionSet::universe(3), ModePolicy::kBoth);
+  // 4 subsets of size >= 2 (three pairs + the triple), each twice.
+  EXPECT_EQ(count_with_mode(configs, DeliveryMode::kRouted), 4u);
+  EXPECT_EQ(count_with_mode(configs, DeliveryMode::kDirect), 3u + 4u);
+}
+
+TEST(EnumerateConfigurations, DirectOnlyPolicy) {
+  const auto configs = enumerate_configurations(geo::RegionSet::universe(4),
+                                                ModePolicy::kDirectOnly);
+  EXPECT_EQ(count_with_mode(configs, DeliveryMode::kRouted), 0u);
+  EXPECT_EQ(configs.size(), 15u);  // 2^4 - 1 subsets, one config each
+}
+
+TEST(EnumerateConfigurations, RoutedOnlyPolicyStillIncludesSingletons) {
+  const auto configs = enumerate_configurations(geo::RegionSet::universe(3),
+                                                ModePolicy::kRoutedOnly);
+  // Singletons are mode-less (canonical direct); multis routed.
+  std::size_t singles = 0, multis = 0;
+  for (const auto& c : configs) {
+    if (c.region_count() == 1) {
+      ++singles;
+      EXPECT_EQ(c.mode, DeliveryMode::kDirect);
+    } else {
+      ++multis;
+      EXPECT_EQ(c.mode, DeliveryMode::kRouted);
+    }
+  }
+  EXPECT_EQ(singles, 3u);
+  EXPECT_EQ(multis, 4u);
+}
+
+TEST(EnumerateConfigurations, RestrictedCandidateSet) {
+  geo::RegionSet candidates;
+  candidates.add(RegionId{2});
+  candidates.add(RegionId{7});
+  const auto configs = enumerate_configurations(candidates, ModePolicy::kBoth);
+  // Subsets: {2}, {7}, {2,7} -> 1 + 1 + 2 modes = 4 configs.
+  EXPECT_EQ(configs.size(), 4u);
+  for (const auto& c : configs) {
+    for (RegionId r : c.regions.to_vector()) {
+      EXPECT_TRUE(r == RegionId{2} || r == RegionId{7});
+    }
+  }
+}
+
+TEST(EnumerateConfigurations, NoDuplicates) {
+  const auto configs =
+      enumerate_configurations(geo::RegionSet::universe(5), ModePolicy::kBoth);
+  std::set<std::pair<std::uint64_t, int>> seen;
+  for (const auto& c : configs) {
+    EXPECT_TRUE(
+        seen.insert({c.regions.mask(), static_cast<int>(c.mode)}).second)
+        << "duplicate " << c.to_string();
+  }
+}
+
+TEST(TopicConfig, ToStringIsReadable) {
+  TopicConfig c{geo::RegionSet::single(RegionId{0}), DeliveryMode::kDirect};
+  EXPECT_EQ(c.to_string(), "{R1}/direct");
+  c.regions.add(RegionId{4});
+  c.mode = DeliveryMode::kRouted;
+  EXPECT_EQ(c.to_string(), "{R1,R5}/routed");
+}
+
+}  // namespace
+}  // namespace multipub::core

@@ -1,0 +1,154 @@
+#include "core/delivery_model.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace multipub::core {
+namespace {
+
+using testutil::TinyWorld;
+
+class DeliveryModelTest : public ::testing::Test {
+ protected:
+  TinyWorld world_;
+  DeliveryModel model_{world_.backbone, world_.clients};
+
+  static TopicConfig direct_ab() {
+    geo::RegionSet set;
+    set.add(TinyWorld::kA);
+    set.add(TinyWorld::kB);
+    return {set, DeliveryMode::kDirect};
+  }
+  static TopicConfig routed_ab() {
+    TopicConfig c = direct_ab();
+    c.mode = DeliveryMode::kRouted;
+    return c;
+  }
+};
+
+TEST_F(DeliveryModelTest, DirectEquation1HandChecked) {
+  const TopicConfig config = direct_ab();
+  // nearA2's closest of {A,B} is A: D = L[pub][A] + L[sub][A] = 10 + 20.
+  EXPECT_DOUBLE_EQ(model_.pair_delivery_time(TinyWorld::kNearA,
+                                             TinyWorld::kNearA2, config),
+                   30.0);
+  // nearB attaches to B: D = L[pub][B] + L[sub][B] = 100 + 15.
+  EXPECT_DOUBLE_EQ(
+      model_.pair_delivery_time(TinyWorld::kNearA, TinyWorld::kNearB, config),
+      115.0);
+  // nearC's closest of {A,B} is A (85 < 160): D = 10 + 85.
+  EXPECT_DOUBLE_EQ(
+      model_.pair_delivery_time(TinyWorld::kNearA, TinyWorld::kNearC, config),
+      95.0);
+}
+
+TEST_F(DeliveryModelTest, RoutedEquation2HandChecked) {
+  const TopicConfig config = routed_ab();
+  // Publisher's home among {A,B} is A (10 < 100).
+  // nearA2 (R^S = A = R^P): 10 + 0 + 20 = 30 (two hops).
+  EXPECT_DOUBLE_EQ(model_.pair_delivery_time(TinyWorld::kNearA,
+                                             TinyWorld::kNearA2, config),
+                   30.0);
+  // nearB (R^S = B): 10 + backbone(A,B)=80 + 15 = 105 (three hops).
+  EXPECT_DOUBLE_EQ(
+      model_.pair_delivery_time(TinyWorld::kNearA, TinyWorld::kNearB, config),
+      105.0);
+  // nearC (R^S = A): 10 + 0 + 85 = 95.
+  EXPECT_DOUBLE_EQ(
+      model_.pair_delivery_time(TinyWorld::kNearA, TinyWorld::kNearC, config),
+      95.0);
+}
+
+TEST_F(DeliveryModelTest, RoutedBeatsDirectWhenBackboneIsFast) {
+  // The paper's Experiment 2 insight in miniature: publisher->B via client
+  // path costs 100, via home region + backbone costs 10+80=90.
+  EXPECT_LT(model_.pair_delivery_time(TinyWorld::kNearA, TinyWorld::kNearB,
+                                      routed_ab()),
+            model_.pair_delivery_time(TinyWorld::kNearA, TinyWorld::kNearB,
+                                      direct_ab()));
+}
+
+TEST_F(DeliveryModelTest, SingleRegionModesCoincide) {
+  const geo::RegionSet only_a = geo::RegionSet::single(TinyWorld::kA);
+  const TopicConfig direct{only_a, DeliveryMode::kDirect};
+  const TopicConfig routed{only_a, DeliveryMode::kRouted};
+  for (ClientId sub :
+       {TinyWorld::kNearA2, TinyWorld::kNearB, TinyWorld::kNearC}) {
+    EXPECT_DOUBLE_EQ(
+        model_.pair_delivery_time(TinyWorld::kNearA, sub, direct),
+        model_.pair_delivery_time(TinyWorld::kNearA, sub, routed));
+  }
+}
+
+TEST_F(DeliveryModelTest, WeightedSamplesCarryMessageCounts) {
+  const auto topic = testutil::tiny_topic(/*msg_count=*/10);
+  const auto samples = model_.weighted_delivery_times(topic, direct_ab());
+  ASSERT_EQ(samples.size(), 3u);  // 1 publisher x 3 subscribers
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.weight, 10u);
+  }
+}
+
+TEST_F(DeliveryModelTest, PercentileHandChecked) {
+  const auto topic = testutil::tiny_topic(/*msg_count=*/10, 1000, 75.0);
+  // Direct {A,B}: expanded deliveries are 10x30, 10x95, 10x115.
+  // rank = ceil(0.75 * 30) = 23 -> value 115.
+  EXPECT_DOUBLE_EQ(model_.delivery_percentile(topic, direct_ab(), 75.0),
+                   115.0);
+  // Routed: 10x30, 10x95, 10x105 -> rank 23 -> 105.
+  EXPECT_DOUBLE_EQ(model_.delivery_percentile(topic, routed_ab(), 75.0),
+                   105.0);
+  // At ratio 66%: rank ceil(19.8) = 20 -> second block -> 95 for both.
+  EXPECT_DOUBLE_EQ(model_.delivery_percentile(topic, direct_ab(), 66.0), 95.0);
+}
+
+TEST_F(DeliveryModelTest, ExactListHasOneEntryPerDelivery) {
+  const auto topic = testutil::tiny_topic(/*msg_count=*/7);
+  const auto list = model_.exact_delivery_times(topic, direct_ab());
+  EXPECT_EQ(list.size(), topic.total_deliveries());
+  EXPECT_EQ(list.size(), 21u);  // 7 msgs x 3 subscribers
+}
+
+TEST_F(DeliveryModelTest, ZeroCountPublisherContributesNothing) {
+  auto topic = testutil::tiny_topic(/*msg_count=*/5);
+  topic.publishers.push_back({TinyWorld::kNearB, 0, 0});
+  const auto samples = model_.weighted_delivery_times(topic, direct_ab());
+  EXPECT_EQ(samples.size(), 3u);  // silent publisher filtered out
+}
+
+TEST_F(DeliveryModelTest, SubscriberWeightMultipliesSampleWeight) {
+  auto topic = testutil::tiny_topic(/*msg_count=*/4);
+  topic.subscribers[0].weight = 5;  // bundled virtual subscriber
+  const auto samples = model_.weighted_delivery_times(topic, direct_ab());
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].weight, 20u);  // 4 msgs x weight 5
+  EXPECT_EQ(samples[1].weight, 4u);
+}
+
+// Property: the weighted percentile and the paper's exact list agree for
+// every ratio and both modes.
+class ExactVsWeighted : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExactVsWeighted, Agree) {
+  TinyWorld world;
+  const DeliveryModel model(world.backbone, world.clients);
+  auto topic = testutil::tiny_topic(/*msg_count=*/13);
+  topic.publishers.push_back({TinyWorld::kNearB, 4, 4000});
+  topic.publishers.push_back({TinyWorld::kNearC, 9, 9000});
+
+  const double ratio = GetParam();
+  for (const auto& config :
+       enumerate_configurations(geo::RegionSet::universe(3))) {
+    EXPECT_DOUBLE_EQ(model.delivery_percentile(topic, config, ratio),
+                     model.exact_delivery_percentile(topic, config, ratio))
+        << config.to_string() << " at ratio " << ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, ExactVsWeighted,
+                         ::testing::Values(5.0, 25.0, 50.0, 75.0, 95.0,
+                                           100.0));
+
+}  // namespace
+}  // namespace multipub::core

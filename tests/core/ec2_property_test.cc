@@ -1,0 +1,152 @@
+// Property sweeps on the EC2 world with randomized workloads: the
+// optimizer's structural guarantees must hold regardless of where clients
+// sit and what they send.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+#include "core/heuristic.h"
+#include "core/optimizer.h"
+#include "geo/king_synth.h"
+
+namespace multipub::core {
+namespace {
+
+struct RandomWorkload {
+  geo::ClientPopulation population;
+  TopicState topic;
+};
+
+RandomWorkload random_workload(std::uint64_t seed,
+                               const geo::RegionCatalog& catalog,
+                               const geo::InterRegionLatency& backbone) {
+  Rng rng(seed);
+  RandomWorkload out;
+  out.population.latencies = geo::ClientLatencyMap(catalog.size());
+
+  const int n_pubs = static_cast<int>(rng.uniform_int(1, 8));
+  const int n_subs = static_cast<int>(rng.uniform_int(1, 12));
+  out.topic.topic = TopicId{0};
+  out.topic.constraint = {rng.uniform(50.0, 100.0), rng.uniform(40.0, 300.0)};
+
+  for (int i = 0; i < n_pubs + n_subs; ++i) {
+    const RegionId home{static_cast<RegionId::underlying_type>(
+        rng.uniform_int(0, static_cast<long>(catalog.size()) - 1))};
+    auto local = geo::synthesize_local_population(catalog, backbone, home, 1,
+                                                  {}, rng);
+    const ClientId id = out.population.latencies.add_client(
+        local.latencies.row(ClientId{0}));
+    out.population.home_region.push_back(home);
+    if (i < n_pubs) {
+      const auto msgs = static_cast<std::uint64_t>(rng.uniform_int(1, 50));
+      out.topic.publishers.push_back({id, msgs, msgs * 1024});
+    } else {
+      out.topic.subscribers.push_back({id, 1});
+    }
+  }
+  return out;
+}
+
+class Ec2Property : public ::testing::TestWithParam<int> {
+ protected:
+  geo::RegionCatalog catalog_ = geo::RegionCatalog::ec2_2016();
+  geo::InterRegionLatency backbone_ = geo::InterRegionLatency::ec2_2016();
+};
+
+TEST_P(Ec2Property, FeasibleAnswersSatisfyTheirConstraint) {
+  const auto workload = random_workload(
+      static_cast<std::uint64_t>(GetParam()), catalog_, backbone_);
+  const Optimizer optimizer(catalog_, backbone_,
+                            workload.population.latencies);
+  const auto result = optimizer.optimize(workload.topic);
+  if (result.constraint_met) {
+    EXPECT_LE(result.percentile, workload.topic.constraint.max);
+  }
+  EXPECT_FALSE(result.config.regions.empty());
+}
+
+TEST_P(Ec2Property, RelaxingTheBoundNeverRaisesCost) {
+  auto workload = random_workload(static_cast<std::uint64_t>(GetParam()) + 100,
+                                  catalog_, backbone_);
+  const Optimizer optimizer(catalog_, backbone_,
+                            workload.population.latencies);
+  double previous = std::numeric_limits<double>::infinity();
+  for (Millis max_t = 60.0; max_t <= 400.0; max_t += 20.0) {
+    workload.topic.constraint.max = max_t;
+    const auto result = optimizer.optimize(workload.topic);
+    if (!result.constraint_met) continue;
+    EXPECT_LE(result.cost, previous + 1e-15) << "max_t=" << max_t;
+    previous = result.cost;
+  }
+}
+
+TEST_P(Ec2Property, FallbackIsTheGlobalLatencyMinimum) {
+  auto workload = random_workload(static_cast<std::uint64_t>(GetParam()) + 200,
+                                  catalog_, backbone_);
+  workload.topic.constraint.max = 0.5;  // impossible
+  const Optimizer optimizer(catalog_, backbone_,
+                            workload.population.latencies);
+  const auto result = optimizer.optimize(workload.topic);
+  EXPECT_FALSE(result.constraint_met);
+  for (const auto& eval : optimizer.evaluate_all(workload.topic)) {
+    EXPECT_LE(result.percentile, eval.percentile + 1e-12);
+  }
+}
+
+TEST_P(Ec2Property, HeuristicFeasibilityMatchesExhaustive) {
+  const auto workload = random_workload(
+      static_cast<std::uint64_t>(GetParam()) + 300, catalog_, backbone_);
+  const Optimizer exact(catalog_, backbone_, workload.population.latencies);
+  const HeuristicOptimizer heuristic(catalog_, backbone_,
+                                     workload.population.latencies);
+  const auto e = exact.optimize(workload.topic);
+  const auto h = heuristic.optimize(workload.topic);
+  EXPECT_EQ(h.constraint_met, e.constraint_met);
+  if (e.constraint_met) {
+    // Dual-direction local search: small bounded gap.
+    EXPECT_LE(h.cost, e.cost * 1.15 + 1e-12);
+  }
+}
+
+TEST_P(Ec2Property, ExactAndWeightedEvaluatorsAgreeOnRandomWorkloads) {
+  const auto workload = random_workload(
+      static_cast<std::uint64_t>(GetParam()) + 500, catalog_, backbone_);
+  const Optimizer optimizer(catalog_, backbone_,
+                            workload.population.latencies);
+  // Check a scattering of configurations, both modes.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 501);
+  const DeliveryModel model(backbone_, workload.population.latencies);
+  for (int trial = 0; trial < 10; ++trial) {
+    geo::RegionSet regions(
+        static_cast<std::uint64_t>(rng.uniform_int(1, (1 << 10) - 1)));
+    const TopicConfig config{
+        regions, trial % 2 == 0 ? DeliveryMode::kDirect
+                                : DeliveryMode::kRouted};
+    const double ratio = workload.topic.constraint.ratio;
+    EXPECT_DOUBLE_EQ(
+        model.delivery_percentile(workload.topic, config, ratio),
+        model.exact_delivery_percentile(workload.topic, config, ratio))
+        << config.to_string();
+  }
+}
+
+TEST_P(Ec2Property, AddingASubscriberNeverLowersDirectCost) {
+  auto workload = random_workload(static_cast<std::uint64_t>(GetParam()) + 400,
+                                  catalog_, backbone_);
+  const Optimizer optimizer(catalog_, backbone_,
+                            workload.population.latencies);
+  const TopicConfig config{geo::RegionSet::universe(10),
+                           DeliveryMode::kDirect};
+  const auto before = optimizer.evaluate(workload.topic, config);
+
+  // Clone an existing subscriber (same position, new identity-by-weight).
+  workload.topic.subscribers.front().weight += 1;
+  const auto after = optimizer.evaluate(workload.topic, config);
+  EXPECT_GE(after.cost, before.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Ec2Property, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace multipub::core

@@ -1,0 +1,64 @@
+#include "core/latency_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub::core {
+namespace {
+
+geo::ClientLatencyMap two_by_two() {
+  geo::ClientLatencyMap map(2);
+  map.add_client(std::vector<Millis>{10, 100});
+  map.add_client(std::vector<Millis>{90, 20});
+  return map;
+}
+
+TEST(LatencyEstimator, StartsFromInitialMap) {
+  const LatencyEstimator est(two_by_two());
+  EXPECT_DOUBLE_EQ(est.estimate(ClientId{0}, RegionId{0}), 10.0);
+  EXPECT_DOUBLE_EQ(est.estimate(ClientId{1}, RegionId{1}), 20.0);
+  EXPECT_EQ(est.observations(), 0u);
+}
+
+TEST(LatencyEstimator, SingleObservationBlendsWithSmoothing) {
+  LatencyEstimator est(two_by_two(), 0.5);
+  est.observe(ClientId{0}, RegionId{0}, 30.0);
+  EXPECT_DOUBLE_EQ(est.estimate(ClientId{0}, RegionId{0}), 20.0);  // (10+30)/2
+  EXPECT_EQ(est.observations(), 1u);
+}
+
+TEST(LatencyEstimator, ConvergesToStableSignal) {
+  LatencyEstimator est(two_by_two(), 0.3);
+  for (int i = 0; i < 60; ++i) est.observe(ClientId{0}, RegionId{0}, 55.0);
+  EXPECT_NEAR(est.estimate(ClientId{0}, RegionId{0}), 55.0, 0.01);
+}
+
+TEST(LatencyEstimator, SmoothingOneTrustsNewestSample) {
+  LatencyEstimator est(two_by_two(), 1.0);
+  est.observe(ClientId{1}, RegionId{0}, 42.0);
+  EXPECT_DOUBLE_EQ(est.estimate(ClientId{1}, RegionId{0}), 42.0);
+}
+
+TEST(LatencyEstimator, SingleNoisySampleMovesEstimateOnlyPartway) {
+  LatencyEstimator est(two_by_two(), 0.3);
+  est.observe(ClientId{0}, RegionId{0}, 500.0);  // one outlier
+  EXPECT_LT(est.estimate(ClientId{0}, RegionId{0}), 200.0);
+  EXPECT_GT(est.estimate(ClientId{0}, RegionId{0}), 10.0);
+}
+
+TEST(LatencyEstimator, UnreachableCellAdoptsFirstSample) {
+  geo::ClientLatencyMap map(2);
+  map.add_client(std::vector<Millis>{kUnreachable, 50.0});
+  LatencyEstimator est(std::move(map), 0.3);
+  est.observe(ClientId{0}, RegionId{0}, 77.0);
+  EXPECT_DOUBLE_EQ(est.estimate(ClientId{0}, RegionId{0}), 77.0);
+}
+
+TEST(LatencyEstimator, OtherCellsUntouched) {
+  LatencyEstimator est(two_by_two(), 0.5);
+  est.observe(ClientId{0}, RegionId{0}, 30.0);
+  EXPECT_DOUBLE_EQ(est.estimate(ClientId{0}, RegionId{1}), 100.0);
+  EXPECT_DOUBLE_EQ(est.estimate(ClientId{1}, RegionId{0}), 90.0);
+}
+
+}  // namespace
+}  // namespace multipub::core

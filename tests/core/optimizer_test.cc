@@ -1,0 +1,243 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+#include "testutil.h"
+
+namespace multipub::core {
+namespace {
+
+using testutil::TinyWorld;
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  TinyWorld world_;
+  Optimizer optimizer_{world_.catalog, world_.backbone, world_.clients};
+};
+
+TEST_F(OptimizerTest, EvaluatesAllConfigurations) {
+  const auto topic = testutil::tiny_topic(10, 1000, 75.0, 200.0);
+  const auto result = optimizer_.optimize(topic);
+  EXPECT_EQ(result.configs_evaluated, 11u);  // 2*(2^3-1)-3
+}
+
+TEST_F(OptimizerTest, UnconstrainedPicksCheapest) {
+  // With max_T = infinity every configuration is feasible; the cheapest is
+  // a single cheap region serving everyone: region A (beta $0.09).
+  const auto topic = testutil::tiny_topic(10, 1000, 75.0, kUnreachable);
+  const auto result = optimizer_.optimize(topic);
+  EXPECT_TRUE(result.constraint_met);
+  EXPECT_EQ(result.config.regions, geo::RegionSet::single(TinyWorld::kA));
+  // 3 subscribers x 10^4 bytes at beta(A).
+  EXPECT_DOUBLE_EQ(result.cost, 3 * 10000.0 * per_gb_to_per_byte(0.09));
+}
+
+TEST_F(OptimizerTest, TightConstraintForcesMoreRegions) {
+  // Single-region percentiles (ratio 75 -> worst pair):
+  //   {A}: deliveries 30, 115... compute: subs all to A: nearA2 30,
+  //        nearB 10+105=115, nearC 95 -> p75 = 115.
+  //   {B}: nearA2 110+100=210... clearly worse.
+  // Bound 110 ms: {A} infeasible; {A,B} routed gives 105 -> feasible.
+  const auto topic = testutil::tiny_topic(10, 1000, 75.0, 110.0);
+  const auto result = optimizer_.optimize(topic);
+  EXPECT_TRUE(result.constraint_met);
+  EXPECT_LE(result.percentile, 110.0);
+  EXPECT_GE(result.config.region_count(), 2);
+}
+
+TEST_F(OptimizerTest, ImpossibleConstraintFallsBackToLatencyMinimizing) {
+  const auto topic = testutil::tiny_topic(10, 1000, 75.0, 1.0);
+  const auto result = optimizer_.optimize(topic);
+  EXPECT_FALSE(result.constraint_met);
+  // The fallback must be the global percentile minimum over all configs.
+  for (const auto& eval : optimizer_.evaluate_all(topic)) {
+    EXPECT_LE(result.percentile, eval.percentile);
+  }
+}
+
+TEST_F(OptimizerTest, OptimalityInvariant) {
+  // The chosen config is feasible and no feasible config is cheaper
+  // (with ties resolved by percentile then size).
+  for (const Millis max_t : {90.0, 100.0, 110.0, 120.0, 150.0, 200.0}) {
+    const auto topic = testutil::tiny_topic(10, 1000, 75.0, max_t);
+    const auto result = optimizer_.optimize(topic);
+    const auto evals = optimizer_.evaluate_all(topic);
+    bool any_feasible = false;
+    for (const auto& eval : evals) {
+      if (!eval.feasible) continue;
+      any_feasible = true;
+      EXPECT_LE(result.cost, eval.cost + 1e-15)
+          << "max_t=" << max_t << ": cheaper feasible config "
+          << eval.config.to_string();
+    }
+    EXPECT_EQ(result.constraint_met, any_feasible);
+  }
+}
+
+TEST_F(OptimizerTest, ModePolicyRestrictionsAreRespected) {
+  const auto topic = testutil::tiny_topic(10, 1000, 75.0, 105.0);
+
+  OptimizerOptions direct_only;
+  direct_only.mode_policy = ModePolicy::kDirectOnly;
+  for (const auto& eval : optimizer_.evaluate_all(topic, direct_only)) {
+    EXPECT_EQ(eval.config.mode, DeliveryMode::kDirect);
+  }
+
+  OptimizerOptions routed_only;
+  routed_only.mode_policy = ModePolicy::kRoutedOnly;
+  for (const auto& eval : optimizer_.evaluate_all(topic, routed_only)) {
+    if (eval.config.region_count() > 1) {
+      EXPECT_EQ(eval.config.mode, DeliveryMode::kRouted);
+    }
+  }
+}
+
+TEST_F(OptimizerTest, RoutedReachesLowerBoundThanDirectHere) {
+  // In TinyWorld the backbone is faster than client paths, so the minimum
+  // achievable percentile under routed-only is lower than direct-only
+  // (the Experiment 2 phenomenon).
+  const auto topic = testutil::tiny_topic(10, 1000, 75.0, 1.0);  // infeasible
+
+  OptimizerOptions direct_only;
+  direct_only.mode_policy = ModePolicy::kDirectOnly;
+  OptimizerOptions routed_only;
+  routed_only.mode_policy = ModePolicy::kRoutedOnly;
+
+  const auto best_direct = optimizer_.optimize(topic, direct_only);
+  const auto best_routed = optimizer_.optimize(topic, routed_only);
+  EXPECT_LT(best_routed.percentile, best_direct.percentile);
+}
+
+TEST_F(OptimizerTest, CandidateRestrictionShrinksSearch) {
+  const auto topic = testutil::tiny_topic(10, 1000, 75.0, 200.0);
+  OptimizerOptions options;
+  options.candidates = geo::RegionSet::single(TinyWorld::kB);
+  const auto result = optimizer_.optimize(topic, options);
+  EXPECT_EQ(result.configs_evaluated, 1u);
+  EXPECT_EQ(result.config.regions, geo::RegionSet::single(TinyWorld::kB));
+}
+
+TEST_F(OptimizerTest, ExactStrategyAgreesWithWeighted) {
+  const auto topic = testutil::tiny_topic(17, 512, 75.0, 120.0);
+  OptimizerOptions weighted;
+  OptimizerOptions exact;
+  exact.strategy = EvaluationStrategy::kExactList;
+  const auto a = optimizer_.optimize(topic, weighted);
+  const auto b = optimizer_.optimize(topic, exact);
+  EXPECT_EQ(a.config, b.config);
+  EXPECT_DOUBLE_EQ(a.percentile, b.percentile);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST_F(OptimizerTest, CostDecreasesMonotonicallyWithLooserBounds) {
+  // Core promise of the paper: relaxing max_T can only reduce (or keep) the
+  // optimal cost while the constraint stays satisfiable.
+  double previous_cost = std::numeric_limits<double>::infinity();
+  for (Millis max_t = 95.0; max_t <= 200.0; max_t += 5.0) {
+    const auto topic = testutil::tiny_topic(10, 1000, 75.0, max_t);
+    const auto result = optimizer_.optimize(topic);
+    if (result.constraint_met) {
+      EXPECT_LE(result.cost, previous_cost + 1e-15) << "max_t=" << max_t;
+      previous_cost = result.cost;
+    }
+  }
+  EXPECT_LT(previous_cost, std::numeric_limits<double>::infinity());
+}
+
+TEST(OptimizerOrdering, BetterPrefersFeasibleThenCostThenLatencyThenSize) {
+  ConfigEvaluation feasible_cheap;
+  feasible_cheap.feasible = true;
+  feasible_cheap.cost = 1.0;
+  feasible_cheap.percentile = 100.0;
+  feasible_cheap.config.regions = geo::RegionSet::universe(3);
+
+  ConfigEvaluation feasible_pricey = feasible_cheap;
+  feasible_pricey.cost = 2.0;
+
+  ConfigEvaluation infeasible_fast;
+  infeasible_fast.feasible = false;
+  infeasible_fast.cost = 0.1;
+  infeasible_fast.percentile = 10.0;
+
+  EXPECT_TRUE(Optimizer::better(feasible_cheap, feasible_pricey));
+  EXPECT_FALSE(Optimizer::better(feasible_pricey, feasible_cheap));
+  EXPECT_TRUE(Optimizer::better(feasible_pricey, infeasible_fast));
+
+  // Equal cost: fewer regions wins (reproduces Fig. 3a/3c; see
+  // Optimizer::better).
+  ConfigEvaluation smaller = feasible_cheap;
+  smaller.config.regions = geo::RegionSet::single(RegionId{0});
+  smaller.percentile = 120.0;  // even with a worse percentile
+  EXPECT_TRUE(Optimizer::better(smaller, feasible_cheap));
+
+  // Equal cost and region count: lower percentile wins.
+  ConfigEvaluation faster = feasible_cheap;
+  faster.percentile = 50.0;
+  EXPECT_TRUE(Optimizer::better(faster, feasible_cheap));
+
+  // Among infeasible: percentile wins irrespective of cost.
+  ConfigEvaluation infeasible_slow_cheap;
+  infeasible_slow_cheap.feasible = false;
+  infeasible_slow_cheap.cost = 0.0001;
+  infeasible_slow_cheap.percentile = 500.0;
+  EXPECT_TRUE(Optimizer::better(infeasible_fast, infeasible_slow_cheap));
+}
+
+// Property sweep over random worlds: the optimizer's answer must always be
+// the best under its own ordering (exhaustive cross-check).
+class RandomWorldOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomWorldOptimality, SelectionIsExhaustivelyOptimal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n_regions = 3;
+
+  geo::RegionCatalog catalog({
+      {RegionId{}, "r0", "r0", rng.uniform(0.01, 0.2), rng.uniform(0.05, 0.3)},
+      {RegionId{}, "r1", "r1", rng.uniform(0.01, 0.2), rng.uniform(0.05, 0.3)},
+      {RegionId{}, "r2", "r2", rng.uniform(0.01, 0.2), rng.uniform(0.05, 0.3)},
+  });
+  geo::InterRegionLatency backbone(n_regions);
+  backbone.set(RegionId{0}, RegionId{1}, rng.uniform(10, 150));
+  backbone.set(RegionId{0}, RegionId{2}, rng.uniform(10, 150));
+  backbone.set(RegionId{1}, RegionId{2}, rng.uniform(10, 150));
+
+  geo::ClientLatencyMap clients(n_regions);
+  TopicState topic;
+  topic.topic = TopicId{0};
+  topic.constraint = {rng.uniform(50, 100), rng.uniform(30, 250)};
+  for (int i = 0; i < 5; ++i) {
+    std::vector<Millis> row{rng.uniform(5, 200), rng.uniform(5, 200),
+                            rng.uniform(5, 200)};
+    const ClientId id = clients.add_client(row);
+    if (i < 2) {
+      topic.publishers.push_back(
+          {id, static_cast<std::uint64_t>(rng.uniform_int(1, 20)), 0});
+      topic.publishers.back().total_bytes =
+          topic.publishers.back().msg_count * 1024;
+    } else {
+      topic.subscribers.push_back({id, 1});
+    }
+  }
+
+  const Optimizer optimizer(catalog, backbone, clients);
+  const auto result = optimizer.optimize(topic);
+  const auto evals = optimizer.evaluate_all(topic);
+  for (const auto& eval : evals) {
+    ConfigEvaluation chosen;
+    chosen.config = result.config;
+    chosen.percentile = result.percentile;
+    chosen.cost = result.cost;
+    chosen.feasible = result.constraint_met;
+    EXPECT_FALSE(Optimizer::better(eval, chosen))
+        << "seed " << GetParam() << ": " << eval.config.to_string()
+        << " beats chosen " << result.config.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorldOptimality, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace multipub::core

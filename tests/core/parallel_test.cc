@@ -1,0 +1,80 @@
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace multipub::core {
+namespace {
+
+using testutil::TinyWorld;
+
+class ParallelTest : public ::testing::Test {
+ protected:
+  TinyWorld world_;
+  Optimizer optimizer_{world_.catalog, world_.backbone, world_.clients};
+
+  std::vector<TopicState> make_topics(std::size_t n) {
+    std::vector<TopicState> topics;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto topic = testutil::tiny_topic(
+          10 + i, 1000, 75.0, 90.0 + 10.0 * static_cast<double>(i % 5));
+      topic.topic = TopicId{static_cast<TopicId::underlying_type>(i)};
+      topics.push_back(std::move(topic));
+    }
+    return topics;
+  }
+};
+
+TEST_F(ParallelTest, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(optimize_topics(optimizer_, {}).empty());
+}
+
+TEST_F(ParallelTest, MatchesSequentialResults) {
+  const auto topics = make_topics(12);
+  const auto sequential = optimize_topics(optimizer_, topics, {}, 1);
+  const auto parallel = optimize_topics(optimizer_, topics, {}, 4);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < topics.size(); ++i) {
+    EXPECT_EQ(parallel[i].config, sequential[i].config) << "topic " << i;
+    EXPECT_DOUBLE_EQ(parallel[i].cost, sequential[i].cost);
+    EXPECT_DOUBLE_EQ(parallel[i].percentile, sequential[i].percentile);
+  }
+}
+
+TEST_F(ParallelTest, ResultsInInputOrder) {
+  const auto topics = make_topics(8);
+  const auto results = optimize_topics(optimizer_, topics, {}, 3);
+  for (std::size_t i = 0; i < topics.size(); ++i) {
+    // Each topic's answer must equal its own direct optimization.
+    const auto direct = optimizer_.optimize(topics[i]);
+    EXPECT_EQ(results[i].config, direct.config) << "topic " << i;
+  }
+}
+
+TEST_F(ParallelTest, MoreThreadsThanTopicsIsFine) {
+  const auto topics = make_topics(2);
+  const auto results = optimize_topics(optimizer_, topics, {}, 16);
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST_F(ParallelTest, DefaultThreadCountWorks) {
+  const auto topics = make_topics(5);
+  const auto results = optimize_topics(optimizer_, topics, {}, 0);
+  EXPECT_EQ(results.size(), 5u);
+}
+
+TEST_F(ParallelTest, OptionsAreAppliedToEveryTopic) {
+  const auto topics = make_topics(6);
+  OptimizerOptions routed_only;
+  routed_only.mode_policy = ModePolicy::kRoutedOnly;
+  const auto results = optimize_topics(optimizer_, topics, routed_only, 3);
+  for (const auto& r : results) {
+    if (r.config.region_count() > 1) {
+      EXPECT_EQ(r.config.mode, DeliveryMode::kRouted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace multipub::core

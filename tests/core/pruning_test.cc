@@ -1,0 +1,94 @@
+#include "core/pruning.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/optimizer.h"
+#include "geo/king_synth.h"
+#include "testutil.h"
+
+namespace multipub::core {
+namespace {
+
+using testutil::TinyWorld;
+
+TEST(Pruning, KeepsEveryClientsClosestRegion) {
+  TinyWorld world;
+  const auto topic = testutil::tiny_topic();
+  const auto pruned =
+      prune_candidates(topic, world.clients, world.catalog, {.keep_closest = 1});
+  // Closest regions: publisher nearA -> A; subs nearA2 -> A, nearB -> B,
+  // nearC -> C. Plus cheapest region A.
+  EXPECT_TRUE(pruned.contains(TinyWorld::kA));
+  EXPECT_TRUE(pruned.contains(TinyWorld::kB));
+  EXPECT_TRUE(pruned.contains(TinyWorld::kC));
+}
+
+TEST(Pruning, AlwaysKeepsCheapestRegion) {
+  TinyWorld world;
+  // Topic whose clients are all near B and C — cheapest region A must
+  // survive anyway so the cheap fallback stays reachable.
+  TopicState topic;
+  topic.topic = TopicId{0};
+  topic.constraint = {75.0, kUnreachable};
+  topic.publishers = {{TinyWorld::kNearB, 5, 5000}};
+  topic.subscribers = unit_subscribers({TinyWorld::kNearC});
+  const auto pruned =
+      prune_candidates(topic, world.clients, world.catalog, {.keep_closest = 1});
+  EXPECT_TRUE(pruned.contains(TinyWorld::kA));
+}
+
+TEST(Pruning, DropsRegionsNobodyIsCloseTo) {
+  // Ten EC2 regions, but all clients homed at Tokyo: keep_closest=2 should
+  // leave far fewer than 10 candidates.
+  const auto catalog = geo::RegionCatalog::ec2_2016();
+  const auto backbone = geo::InterRegionLatency::ec2_2016();
+  Rng rng(7);
+  const auto pop = geo::synthesize_local_population(
+      catalog, backbone, catalog.find("ap-northeast-1"), 30, {}, rng);
+
+  TopicState topic;
+  topic.topic = TopicId{0};
+  topic.constraint = {95.0, 100.0};
+  std::vector<ClientId> pubs, subs;
+  for (std::size_t i = 0; i < 15; ++i) {
+    pubs.emplace_back(static_cast<ClientId::underlying_type>(i));
+    subs.emplace_back(static_cast<ClientId::underlying_type>(15 + i));
+  }
+  topic.publishers = uniform_publishers(pubs, 10, 1024);
+  topic.subscribers = unit_subscribers(subs);
+
+  const auto pruned =
+      prune_candidates(topic, pop.latencies, catalog, {.keep_closest = 2});
+  EXPECT_LT(pruned.size(), 6);
+  EXPECT_GE(pruned.size(), 2);
+  EXPECT_TRUE(pruned.contains(catalog.find("ap-northeast-1")));
+}
+
+TEST(Pruning, PrunedSearchAgreesWithFullSearchWhenCandidatesSuffice) {
+  TinyWorld world;
+  const Optimizer optimizer(world.catalog, world.backbone, world.clients);
+  const auto topic = testutil::tiny_topic(10, 1000, 75.0, 110.0);
+
+  const auto pruned =
+      prune_candidates(topic, world.clients, world.catalog, {.keep_closest = 2});
+  OptimizerOptions restricted;
+  restricted.candidates = pruned;
+
+  const auto full = optimizer.optimize(topic);
+  const auto fast = optimizer.optimize(topic, restricted);
+  // In TinyWorld, keep_closest=2 keeps everything the optimum needs.
+  EXPECT_EQ(full.config, fast.config);
+  EXPECT_LE(fast.configs_evaluated, full.configs_evaluated);
+}
+
+TEST(Pruning, KeepClosestBoundedByRegionCount) {
+  TinyWorld world;
+  const auto topic = testutil::tiny_topic();
+  const auto pruned = prune_candidates(topic, world.clients, world.catalog,
+                                       {.keep_closest = 99});
+  EXPECT_EQ(pruned.size(), 3);  // cannot exceed the universe
+}
+
+}  // namespace
+}  // namespace multipub::core

@@ -1,0 +1,65 @@
+#include "core/topic_state.h"
+
+#include <gtest/gtest.h>
+
+#include "core/constraint.h"
+
+namespace multipub::core {
+namespace {
+
+TEST(TopicState, TotalsOverMixedPublishers) {
+  TopicState topic;
+  topic.publishers = {{ClientId{0}, 10, 10240},
+                      {ClientId{1}, 0, 0},
+                      {ClientId{2}, 5, 2560}};
+  topic.subscribers = {{ClientId{3}, 1, 1.0}, {ClientId{4}, 4, 1.0}};
+
+  EXPECT_EQ(topic.total_messages(), 15u);
+  EXPECT_EQ(topic.total_published_bytes(), 12800u);
+  EXPECT_EQ(topic.total_subscriber_weight(), 5u);
+  // |D_C| = messages x subscriber weight (paper §IV-A).
+  EXPECT_EQ(topic.total_deliveries(), 75u);
+}
+
+TEST(TopicState, EmptyTopicHasZeroTotals) {
+  const TopicState topic;
+  EXPECT_EQ(topic.total_messages(), 0u);
+  EXPECT_EQ(topic.total_published_bytes(), 0u);
+  EXPECT_EQ(topic.total_subscriber_weight(), 0u);
+  EXPECT_EQ(topic.total_deliveries(), 0u);
+}
+
+TEST(TopicState, UniformPublishersBuilder) {
+  const auto pubs =
+      uniform_publishers({ClientId{7}, ClientId{9}}, 12, 512);
+  ASSERT_EQ(pubs.size(), 2u);
+  EXPECT_EQ(pubs[0].client, ClientId{7});
+  EXPECT_EQ(pubs[0].msg_count, 12u);
+  EXPECT_EQ(pubs[0].total_bytes, 12u * 512u);
+  EXPECT_EQ(pubs[1].client, ClientId{9});
+}
+
+TEST(TopicState, UnitSubscribersBuilder) {
+  const auto subs = unit_subscribers({ClientId{1}, ClientId{2}});
+  ASSERT_EQ(subs.size(), 2u);
+  for (const auto& s : subs) {
+    EXPECT_EQ(s.weight, 1u);
+    EXPECT_DOUBLE_EQ(s.selectivity, 1.0);
+  }
+}
+
+TEST(DeliveryConstraint, SatisfiedBy) {
+  const DeliveryConstraint constraint{95.0, 200.0};
+  EXPECT_TRUE(constraint.satisfied_by(199.9));
+  EXPECT_TRUE(constraint.satisfied_by(200.0));
+  EXPECT_FALSE(constraint.satisfied_by(200.1));
+}
+
+TEST(DeliveryConstraint, DefaultIsUnconstrained) {
+  const DeliveryConstraint constraint;
+  EXPECT_TRUE(constraint.satisfied_by(1e12));
+  EXPECT_DOUBLE_EQ(constraint.ratio, 100.0);
+}
+
+}  // namespace
+}  // namespace multipub::core

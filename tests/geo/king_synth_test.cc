@@ -1,0 +1,101 @@
+#include "geo/king_synth.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub::geo {
+namespace {
+
+class KingSynthTest : public ::testing::Test {
+ protected:
+  RegionCatalog catalog_ = RegionCatalog::ec2_2016();
+  InterRegionLatency backbone_ = InterRegionLatency::ec2_2016();
+  KingSynthParams params_;
+};
+
+TEST_F(KingSynthTest, PerRegionCountsAndHomes) {
+  Rng rng(1);
+  const auto pop = synthesize_population(catalog_, backbone_, 7, params_, rng);
+  EXPECT_EQ(pop.size(), 70u);
+  EXPECT_EQ(pop.latencies.n_clients(), 70u);
+  for (const auto& region : catalog_.all()) {
+    EXPECT_EQ(pop.clients_near(region.id).size(), 7u);
+  }
+}
+
+TEST_F(KingSynthTest, HomeRegionIsActuallyClosest) {
+  Rng rng(2);
+  const auto pop = synthesize_population(catalog_, backbone_, 10, params_, rng);
+  const RegionSet all = RegionSet::universe(catalog_.size());
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    const ClientId c{static_cast<ClientId::underlying_type>(i)};
+    EXPECT_EQ(pop.latencies.closest_region(c, all), pop.home_region[i])
+        << "client " << i;
+  }
+}
+
+TEST_F(KingSynthTest, Deterministic) {
+  Rng rng_a(99), rng_b(99);
+  const auto a = synthesize_population(catalog_, backbone_, 5, params_, rng_a);
+  const auto b = synthesize_population(catalog_, backbone_, 5, params_, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const ClientId c{static_cast<ClientId::underlying_type>(i)};
+    for (std::size_t r = 0; r < catalog_.size(); ++r) {
+      const RegionId region{static_cast<RegionId::underlying_type>(r)};
+      EXPECT_DOUBLE_EQ(a.latencies.at(c, region), b.latencies.at(c, region));
+    }
+  }
+}
+
+TEST_F(KingSynthTest, ClientPathsAreSlowerThanBackbone) {
+  // The substitution's key property: a client's path to a remote region is
+  // at least as slow as last-mile + the backbone leg, so the inter-cloud
+  // backbone is the fast path (what makes routed delivery attractive).
+  Rng rng(3);
+  const auto pop = synthesize_population(catalog_, backbone_, 5, params_, rng);
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    const ClientId c{static_cast<ClientId::underlying_type>(i)};
+    const RegionId home = pop.home_region[i];
+    const Millis lastmile = pop.latencies.at(c, home);
+    for (std::size_t r = 0; r < catalog_.size(); ++r) {
+      const RegionId region{static_cast<RegionId::underlying_type>(r)};
+      EXPECT_GE(pop.latencies.at(c, region) + 1e-9,
+                lastmile + backbone_.at(home, region))
+          << "client " << i << " region " << r;
+    }
+  }
+}
+
+TEST_F(KingSynthTest, LocalPopulationHomesAtRequestedRegion) {
+  Rng rng(4);
+  const RegionId tokyo = catalog_.find("ap-northeast-1");
+  const auto pop = synthesize_local_population(catalog_, backbone_, tokyo, 42,
+                                               params_, rng);
+  EXPECT_EQ(pop.size(), 42u);
+  for (RegionId home : pop.home_region) {
+    EXPECT_EQ(home, tokyo);
+  }
+}
+
+TEST_F(KingSynthTest, LastMileDistributionIsPlausible) {
+  Rng rng(5);
+  const auto pop = synthesize_population(catalog_, backbone_, 50, params_, rng);
+  double sum = 0.0;
+  double max_seen = 0.0;
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    const ClientId c{static_cast<ClientId::underlying_type>(i)};
+    const Millis lastmile = pop.latencies.at(c, pop.home_region[i]);
+    EXPECT_GT(lastmile, 0.0);
+    sum += lastmile;
+    max_seen = std::max(max_seen, lastmile);
+  }
+  const double mean = sum / static_cast<double>(pop.size());
+  // Lognormal(median 18, sigma 0.45): mean around 18*exp(0.45^2/2) ~ 20.
+  EXPECT_GT(mean, 12.0);
+  EXPECT_LT(mean, 30.0);
+  // Long tail exists but is bounded in practice.
+  EXPECT_LT(max_seen, 200.0);
+}
+
+}  // namespace
+}  // namespace multipub::geo

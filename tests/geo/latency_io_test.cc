@@ -1,0 +1,125 @@
+#include "geo/latency_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/optimizer.h"
+#include "geo/king_synth.h"
+
+namespace multipub::geo {
+namespace {
+
+TEST(LatencyIo, RoundTripsEc2Matrices) {
+  const auto backbone = InterRegionLatency::ec2_2016();
+  Rng rng(1);
+  const auto pop = synthesize_population(RegionCatalog::ec2_2016(), backbone,
+                                         3, {}, rng);
+
+  const std::string text = serialize_latencies(backbone, pop.latencies);
+  std::string error;
+  const auto parsed = parse_latencies(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  ASSERT_EQ(parsed->backbone.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(parsed->backbone.at(RegionId{i}, RegionId{j}),
+                       backbone.at(RegionId{i}, RegionId{j}));
+    }
+  }
+  ASSERT_EQ(parsed->clients.n_clients(), 30u);
+  for (std::size_t c = 0; c < 30; ++c) {
+    for (int r = 0; r < 10; ++r) {
+      EXPECT_DOUBLE_EQ(
+          parsed->clients.at(ClientId{static_cast<int>(c)}, RegionId{r}),
+          pop.latencies.at(ClientId{static_cast<int>(c)}, RegionId{r}));
+    }
+  }
+}
+
+TEST(LatencyIo, UnreachableCellsRoundTrip) {
+  ClientLatencyMap map(2);
+  map.add_client(std::vector<Millis>{10.0, kUnreachable});
+  const std::string text = serialize_latencies(InterRegionLatency{}, map);
+  std::string error;
+  const auto parsed = parse_latencies(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->clients.at(ClientId{0}, RegionId{1}), kUnreachable);
+  EXPECT_DOUBLE_EQ(parsed->clients.at(ClientId{0}, RegionId{0}), 10.0);
+}
+
+TEST(LatencyIo, CommentsAndBlankLinesIgnored) {
+  const char* text = R"(
+# hand-measured backbone
+backbone 2
+
+0 12.5   # one-way ms
+12.5 0
+)";
+  std::string error;
+  const auto parsed = parse_latencies(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_DOUBLE_EQ(parsed->backbone.at(RegionId{0}, RegionId{1}), 12.5);
+}
+
+TEST(LatencyIo, RejectsAsymmetricBackbone) {
+  std::string error;
+  EXPECT_FALSE(parse_latencies("backbone 2\n0 5\n6 0\n", &error).has_value());
+  EXPECT_NE(error.find("symmetric"), std::string::npos);
+}
+
+TEST(LatencyIo, RejectsNonZeroDiagonal) {
+  std::string error;
+  EXPECT_FALSE(parse_latencies("backbone 2\n1 5\n5 0\n", &error).has_value());
+  EXPECT_NE(error.find("diagonal"), std::string::npos);
+}
+
+TEST(LatencyIo, RejectsTruncatedAndMalformed) {
+  std::string error;
+  EXPECT_FALSE(parse_latencies("backbone 3\n0 1 2\n", &error).has_value());
+  EXPECT_FALSE(parse_latencies("backbone 2\n0 x\nx 0\n", &error).has_value());
+  EXPECT_FALSE(parse_latencies("clients 2 2\n1 2\n", &error).has_value());
+  EXPECT_FALSE(parse_latencies("wat 1\n", &error).has_value());
+  EXPECT_FALSE(parse_latencies("backbone 0\n", &error).has_value());
+}
+
+TEST(LatencyIo, EmptyInputYieldsEmptyMatrices) {
+  std::string error;
+  const auto parsed = parse_latencies("", &error);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->backbone.size(), 0u);
+  EXPECT_EQ(parsed->clients.n_clients(), 0u);
+}
+
+TEST(LatencyIo, ParsedMatricesDriveTheOptimizer) {
+  // End-to-end: load matrices from text, optimize on them.
+  const char* text = R"(
+backbone 2
+0 50
+50 0
+clients 3 2
+10 90
+15 95
+80 12
+)";
+  std::string error;
+  const auto parsed = parse_latencies(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  RegionCatalog catalog({
+      {RegionId{}, "a", "A", 0.02, 0.09},
+      {RegionId{}, "b", "B", 0.09, 0.14},
+  });
+  core::TopicState topic;
+  topic.topic = TopicId{0};
+  topic.constraint = {75.0, 200.0};
+  topic.publishers = {{ClientId{0}, 10, 10240}};
+  topic.subscribers = core::unit_subscribers({ClientId{1}, ClientId{2}});
+
+  const core::Optimizer optimizer(catalog, parsed->backbone, parsed->clients);
+  const auto result = optimizer.optimize(topic);
+  EXPECT_TRUE(result.constraint_met);
+}
+
+}  // namespace
+}  // namespace multipub::geo

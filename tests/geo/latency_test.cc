@@ -1,0 +1,110 @@
+#include "geo/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub::geo {
+namespace {
+
+TEST(InterRegionLatency, DiagonalIsZero) {
+  const auto m = InterRegionLatency::ec2_2016();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const RegionId r{static_cast<RegionId::underlying_type>(i)};
+    EXPECT_DOUBLE_EQ(m.at(r, r), 0.0);
+  }
+}
+
+TEST(InterRegionLatency, Symmetric) {
+  const auto m = InterRegionLatency::ec2_2016();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      const RegionId a{static_cast<RegionId::underlying_type>(i)};
+      const RegionId b{static_cast<RegionId::underlying_type>(j)};
+      EXPECT_DOUBLE_EQ(m.at(a, b), m.at(b, a));
+    }
+  }
+}
+
+TEST(InterRegionLatency, Complete) {
+  EXPECT_TRUE(InterRegionLatency::ec2_2016().complete());
+  InterRegionLatency partial(3);
+  EXPECT_FALSE(partial.complete());
+  partial.set(RegionId{0}, RegionId{1}, 10);
+  partial.set(RegionId{0}, RegionId{2}, 20);
+  EXPECT_FALSE(partial.complete());
+  partial.set(RegionId{1}, RegionId{2}, 30);
+  EXPECT_TRUE(partial.complete());
+}
+
+TEST(InterRegionLatency, GeographicSanity) {
+  const auto m = InterRegionLatency::ec2_2016();
+  // Intra-continent pairs are much faster than cross-ocean pairs.
+  const RegionId virginia{0}, california{1}, ireland{3}, frankfurt{4},
+      tokyo{5}, sydney{8};
+  EXPECT_LT(m.at(ireland, frankfurt), m.at(virginia, tokyo));
+  EXPECT_LT(m.at(virginia, california), m.at(virginia, tokyo));
+  EXPECT_LT(m.at(ireland, frankfurt), 20.0);
+  EXPECT_GT(m.at(frankfurt, sydney), 100.0);
+}
+
+TEST(InterRegionLatency, PrefixIsTopLeftBlock) {
+  const auto m = InterRegionLatency::ec2_2016();
+  const auto p = m.prefix(4);
+  ASSERT_EQ(p.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(p.at(RegionId{i}, RegionId{j}),
+                       m.at(RegionId{i}, RegionId{j}));
+    }
+  }
+  EXPECT_TRUE(p.complete());
+}
+
+TEST(ClientLatencyMap, AddAndLookup) {
+  ClientLatencyMap map(3);
+  const ClientId c = map.add_client(std::vector<Millis>{10, 20, 30});
+  EXPECT_EQ(map.n_clients(), 1u);
+  EXPECT_DOUBLE_EQ(map.at(c, RegionId{0}), 10);
+  EXPECT_DOUBLE_EQ(map.at(c, RegionId{2}), 30);
+}
+
+TEST(ClientLatencyMap, IdsAreDense) {
+  ClientLatencyMap map(2);
+  const ClientId a = map.add_client(std::vector<Millis>{1, 2});
+  const ClientId b = map.add_client(std::vector<Millis>{3, 4});
+  EXPECT_EQ(a.value(), 0);
+  EXPECT_EQ(b.value(), 1);
+}
+
+TEST(ClientLatencyMap, ClosestRegionRespectsCandidateSet) {
+  ClientLatencyMap map(3);
+  const ClientId c = map.add_client(std::vector<Millis>{50, 10, 30});
+
+  EXPECT_EQ(map.closest_region(c, RegionSet::universe(3)), RegionId{1});
+  // Region 1 excluded: next best is region 2.
+  RegionSet without_1;
+  without_1.add(RegionId{0});
+  without_1.add(RegionId{2});
+  EXPECT_EQ(map.closest_region(c, without_1), RegionId{2});
+  EXPECT_DOUBLE_EQ(map.closest_latency(c, without_1), 30.0);
+  // Single candidate.
+  EXPECT_EQ(map.closest_region(c, RegionSet::single(RegionId{0})), RegionId{0});
+}
+
+TEST(ClientLatencyMap, ClosestRegionTieBreaksTowardsLowerId) {
+  ClientLatencyMap map(3);
+  const ClientId c = map.add_client(std::vector<Millis>{20, 20, 20});
+  EXPECT_EQ(map.closest_region(c, RegionSet::universe(3)), RegionId{0});
+}
+
+TEST(ClientLatencyMap, RowSpanMatchesEntries) {
+  ClientLatencyMap map(4);
+  const ClientId c = map.add_client(std::vector<Millis>{1, 2, 3, 4});
+  const auto row = map.row(c);
+  ASSERT_EQ(row.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(row[i], static_cast<double>(i + 1));
+  }
+}
+
+}  // namespace
+}  // namespace multipub::geo

@@ -1,0 +1,89 @@
+#include "geo/modern.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub::geo {
+namespace {
+
+TEST(GreatCircleLatency, ZeroDistanceIsBaseOnly) {
+  EXPECT_DOUBLE_EQ(great_circle_latency_ms(50.0, 8.0, 50.0, 8.0), 2.0);
+}
+
+TEST(GreatCircleLatency, KnownCityPairs) {
+  // Dublin <-> London: ~460 km great circle -> ~4.9 ms one-way incl. base.
+  const Millis dub_lon = great_circle_latency_ms(53.3, -6.3, 51.5, -0.1);
+  EXPECT_GT(dub_lon, 3.0);
+  EXPECT_LT(dub_lon, 7.0);
+
+  // N. Virginia <-> Tokyo: ~11000 km -> ~70 ms one-way.
+  const Millis iad_nrt = great_circle_latency_ms(38.9, -77.4, 35.7, 139.7);
+  EXPECT_GT(iad_nrt, 55.0);
+  EXPECT_LT(iad_nrt, 90.0);
+}
+
+TEST(GreatCircleLatency, SymmetricInArguments) {
+  EXPECT_DOUBLE_EQ(great_circle_latency_ms(10, 20, 30, 40),
+                   great_circle_latency_ms(30, 40, 10, 20));
+}
+
+class ModernAwsTest : public ::testing::Test {
+ protected:
+  ModernAwsWorld world_ = modern_aws_world();
+};
+
+TEST_F(ModernAwsTest, ThirtyRegions) {
+  EXPECT_EQ(world_.catalog.size(), 30u);
+  EXPECT_EQ(world_.backbone.size(), 30u);
+  EXPECT_TRUE(world_.backbone.complete());
+}
+
+TEST_F(ModernAwsTest, LookupByModernNames) {
+  EXPECT_TRUE(world_.catalog.find("eu-central-2").valid());
+  EXPECT_TRUE(world_.catalog.find("ap-southeast-4").valid());
+  EXPECT_TRUE(world_.catalog.find("af-south-1").valid());
+  EXPECT_FALSE(world_.catalog.find("mars-north-1").valid());
+}
+
+TEST_F(ModernAwsTest, TariffInvariants) {
+  for (const auto& region : world_.catalog.all()) {
+    EXPECT_GT(region.internet_cost_per_gb, 0.0) << region.name;
+    EXPECT_LE(region.inter_region_cost_per_gb, region.internet_cost_per_gb)
+        << region.name;
+  }
+  // Cape Town and Sao Paulo remain the expensive outliers.
+  const auto cheap = world_.catalog.find("us-east-1");
+  const auto cape = world_.catalog.find("af-south-1");
+  const auto sao = world_.catalog.find("sa-east-1");
+  EXPECT_GT(world_.catalog.at(cape).internet_cost_per_gb,
+            1.5 * world_.catalog.at(cheap).internet_cost_per_gb);
+  EXPECT_GT(world_.catalog.at(sao).internet_cost_per_gb,
+            1.5 * world_.catalog.at(cheap).internet_cost_per_gb);
+}
+
+TEST_F(ModernAwsTest, ContinentalClustersAreFast) {
+  const auto at = [&](const char* a, const char* b) {
+    return world_.backbone.at(world_.catalog.find(a),
+                              world_.catalog.find(b));
+  };
+  EXPECT_LT(at("eu-west-1", "eu-west-2"), 8.0);       // Dublin-London
+  EXPECT_LT(at("ap-northeast-1", "ap-northeast-3"), 8.0);  // Tokyo-Osaka
+  EXPECT_LT(at("us-east-1", "us-east-2"), 8.0);       // Virginia-Ohio
+  EXPECT_GT(at("eu-west-1", "ap-southeast-2"), 80.0);  // Dublin-Sydney
+  EXPECT_GT(at("us-west-2", "af-south-1"), 70.0);      // Oregon-Cape Town
+}
+
+TEST_F(ModernAwsTest, Deterministic) {
+  const auto again = modern_aws_world();
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = 0; j < 30; ++j) {
+      EXPECT_DOUBLE_EQ(
+          world_.backbone.at(RegionId{static_cast<int>(i)},
+                             RegionId{static_cast<int>(j)}),
+          again.backbone.at(RegionId{static_cast<int>(i)},
+                            RegionId{static_cast<int>(j)}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace multipub::geo

@@ -1,0 +1,102 @@
+#include "geo/region_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace multipub::geo {
+namespace {
+
+TEST(RegionSet, EmptyByDefault) {
+  RegionSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_FALSE(s.first().valid());
+}
+
+TEST(RegionSet, AddRemoveContains) {
+  RegionSet s;
+  s.add(RegionId{3});
+  s.add(RegionId{7});
+  EXPECT_TRUE(s.contains(RegionId{3}));
+  EXPECT_TRUE(s.contains(RegionId{7}));
+  EXPECT_FALSE(s.contains(RegionId{5}));
+  EXPECT_EQ(s.size(), 2);
+
+  s.remove(RegionId{3});
+  EXPECT_FALSE(s.contains(RegionId{3}));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(RegionSet, AddIsIdempotent) {
+  RegionSet s;
+  s.add(RegionId{2});
+  s.add(RegionId{2});
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(RegionSet, UniverseCoversExactlyN) {
+  const RegionSet u = RegionSet::universe(10);
+  EXPECT_EQ(u.size(), 10);
+  EXPECT_TRUE(u.contains(RegionId{0}));
+  EXPECT_TRUE(u.contains(RegionId{9}));
+  EXPECT_FALSE(u.contains(RegionId{10}));
+}
+
+TEST(RegionSet, UniverseOf64DoesNotOverflow) {
+  const RegionSet u = RegionSet::universe(64);
+  EXPECT_EQ(u.size(), 64);
+}
+
+TEST(RegionSet, WithWithoutAreNonMutating) {
+  const RegionSet s = RegionSet::single(RegionId{1});
+  const RegionSet larger = s.with(RegionId{4});
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(larger.size(), 2);
+  EXPECT_EQ(larger.without(RegionId{4}), s);
+}
+
+TEST(RegionSet, ToVectorAscending) {
+  RegionSet s;
+  s.add(RegionId{9});
+  s.add(RegionId{0});
+  s.add(RegionId{4});
+  const auto v = s.to_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], RegionId{0});
+  EXPECT_EQ(v[1], RegionId{4});
+  EXPECT_EQ(v[2], RegionId{9});
+  EXPECT_EQ(s.first(), RegionId{0});
+}
+
+TEST(RegionSet, ToStringUsesPaperNumbering) {
+  RegionSet s;
+  s.add(RegionId{0});
+  s.add(RegionId{4});
+  EXPECT_EQ(s.to_string(), "{R1,R5}");
+  EXPECT_EQ(RegionSet{}.to_string(), "{}");
+}
+
+class SubsetEnumeration : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SubsetEnumeration, CountsAndUniqueness) {
+  const std::size_t n = GetParam();
+  const auto subsets = all_nonempty_subsets(n);
+  EXPECT_EQ(subsets.size(), (std::uint64_t{1} << n) - 1);
+
+  std::set<std::uint64_t> seen;
+  for (const auto& s : subsets) {
+    EXPECT_FALSE(s.empty());
+    EXPECT_TRUE(seen.insert(s.mask()).second) << "duplicate subset";
+    // Every member must be inside the universe.
+    for (RegionId r : s.to_vector()) {
+      EXPECT_LT(r.index(), n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SubsetEnumeration,
+                         ::testing::Values(1, 2, 3, 5, 8, 10));
+
+}  // namespace
+}  // namespace multipub::geo

@@ -1,0 +1,72 @@
+#include "geo/region.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub::geo {
+namespace {
+
+TEST(RegionCatalog, Ec2HasTenRegionsInPaperOrder) {
+  const auto catalog = RegionCatalog::ec2_2016();
+  ASSERT_EQ(catalog.size(), 10u);
+  EXPECT_EQ(catalog.at(RegionId{0}).name, "us-east-1");
+  EXPECT_EQ(catalog.at(RegionId{4}).name, "eu-central-1");
+  EXPECT_EQ(catalog.at(RegionId{5}).name, "ap-northeast-1");
+  EXPECT_EQ(catalog.at(RegionId{9}).name, "sa-east-1");
+}
+
+TEST(RegionCatalog, TableOneTariffs) {
+  const auto catalog = RegionCatalog::ec2_2016();
+  // Spot-check the paper's Table I.
+  const Region& virginia = catalog.at(RegionId{0});
+  EXPECT_DOUBLE_EQ(virginia.inter_region_cost_per_gb, 0.02);
+  EXPECT_DOUBLE_EQ(virginia.internet_cost_per_gb, 0.09);
+
+  const Region& seoul = catalog.at(RegionId{6});
+  EXPECT_DOUBLE_EQ(seoul.inter_region_cost_per_gb, 0.08);
+  EXPECT_DOUBLE_EQ(seoul.internet_cost_per_gb, 0.126);
+
+  const Region& sao_paulo = catalog.at(RegionId{9});
+  EXPECT_DOUBLE_EQ(sao_paulo.inter_region_cost_per_gb, 0.16);
+  EXPECT_DOUBLE_EQ(sao_paulo.internet_cost_per_gb, 0.25);
+}
+
+TEST(RegionCatalog, IdsAreDenseIndices) {
+  const auto catalog = RegionCatalog::ec2_2016();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog.all()[i].id.index(), i);
+  }
+}
+
+TEST(RegionCatalog, FindByName) {
+  const auto catalog = RegionCatalog::ec2_2016();
+  EXPECT_EQ(catalog.find("eu-west-1"), RegionId{3});
+  EXPECT_FALSE(catalog.find("mars-north-1").valid());
+}
+
+TEST(RegionCatalog, PrefixKeepsOrderAndTariffs) {
+  const auto catalog = RegionCatalog::ec2_2016();
+  const auto five = catalog.prefix(5);
+  ASSERT_EQ(five.size(), 5u);
+  EXPECT_EQ(five.at(RegionId{4}).name, "eu-central-1");
+  EXPECT_DOUBLE_EQ(five.at(RegionId{0}).internet_cost_per_gb, 0.09);
+}
+
+TEST(Region, PerByteTariffsScale) {
+  const auto catalog = RegionCatalog::ec2_2016();
+  const Region& tokyo = catalog.at(RegionId{5});
+  EXPECT_DOUBLE_EQ(tokyo.alpha_per_byte() * kBytesPerGb, 0.09);
+  EXPECT_DOUBLE_EQ(tokyo.beta_per_byte() * kBytesPerGb, 0.14);
+}
+
+TEST(RegionCatalog, AsiaAndSouthAmericaAreExpensive) {
+  // The premise of the paper's Experiment 3: some regions' egress is much
+  // pricier than others.
+  const auto catalog = RegionCatalog::ec2_2016();
+  const double cheap = catalog.at(RegionId{0}).internet_cost_per_gb;
+  for (int i = 5; i <= 9; ++i) {
+    EXPECT_GT(catalog.at(RegionId{i}).internet_cost_per_gb, cheap);
+  }
+}
+
+}  // namespace
+}  // namespace multipub::geo

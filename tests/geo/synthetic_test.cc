@@ -1,0 +1,76 @@
+#include "geo/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub::geo {
+namespace {
+
+TEST(SyntheticWorld, RequestedSize) {
+  Rng rng(1);
+  const auto world = synthesize_world(17, {}, rng);
+  EXPECT_EQ(world.catalog.size(), 17u);
+  EXPECT_EQ(world.backbone.size(), 17u);
+  EXPECT_TRUE(world.backbone.complete());
+}
+
+TEST(SyntheticWorld, Deterministic) {
+  Rng a(9), b(9);
+  const auto w1 = synthesize_world(8, {}, a);
+  const auto w2 = synthesize_world(8, {}, b);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(w1.catalog.at(RegionId{i}).internet_cost_per_gb,
+                     w2.catalog.at(RegionId{i}).internet_cost_per_gb);
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(w1.backbone.at(RegionId{i}, RegionId{j}),
+                       w2.backbone.at(RegionId{i}, RegionId{j}));
+    }
+  }
+}
+
+TEST(SyntheticWorld, TariffInvariants) {
+  Rng rng(2);
+  const SyntheticWorldParams params;
+  const auto world = synthesize_world(32, params, rng);
+  for (const auto& region : world.catalog.all()) {
+    EXPECT_GE(region.inter_region_cost_per_gb, params.alpha_min);
+    EXPECT_LE(region.inter_region_cost_per_gb, params.alpha_max);
+    EXPECT_LE(region.inter_region_cost_per_gb, region.internet_cost_per_gb)
+        << region.name;
+    EXPECT_LE(region.internet_cost_per_gb, params.beta_max);
+  }
+}
+
+TEST(SyntheticWorld, BackboneLatenciesWithinPlaneBounds) {
+  Rng rng(3);
+  SyntheticWorldParams params;
+  params.extent_ms = 100.0;
+  params.backbone_jitter_ms = 0.0;
+  const auto world = synthesize_world(12, params, rng);
+  const double max_possible =
+      params.backbone_base_ms + params.backbone_stretch * 100.0 * 1.4143;
+  for (int i = 0; i < 12; ++i) {
+    for (int j = i + 1; j < 12; ++j) {
+      const Millis latency = world.backbone.at(RegionId{i}, RegionId{j});
+      EXPECT_GE(latency, params.backbone_base_ms);
+      EXPECT_LE(latency, max_possible);
+    }
+  }
+}
+
+TEST(SyntheticWorld, SingleRegionWorldIsValid) {
+  Rng rng(4);
+  const auto world = synthesize_world(1, {}, rng);
+  EXPECT_EQ(world.catalog.size(), 1u);
+  EXPECT_DOUBLE_EQ(world.backbone.at(RegionId{0}, RegionId{0}), 0.0);
+}
+
+TEST(SyntheticWorld, NamesAreUnique) {
+  Rng rng(5);
+  const auto world = synthesize_world(20, {}, rng);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(world.catalog.find("syn-" + std::to_string(i)), RegionId{i});
+  }
+}
+
+}  // namespace
+}  // namespace multipub::geo

@@ -1,0 +1,115 @@
+// Client churn: subscribers joining and leaving a live system.
+//
+// A new subscriber appears after deployment, probes the regions (so the
+// controller learns its latencies), attaches to the deployed configuration,
+// and is folded into the next optimization round; a leaving subscriber
+// disappears from the reports and stops influencing decisions.
+#include <gtest/gtest.h>
+
+#include "sim/live_runner.h"
+#include "sim/scenario.h"
+
+namespace multipub::sim {
+namespace {
+
+class ChurnTest : public ::testing::Test {
+ protected:
+  ChurnTest() : rng_(121) {
+    WorkloadSpec workload;
+    workload.interval_seconds = 10.0;
+    workload.ratio = 95.0;
+    // 120 ms: locals are easily served from one US region, but a Tokyo
+    // client cannot be reached from the US within the bound on the client
+    // path — only via an Asia region (and the fast backbone).
+    workload.max_t = 120.0;
+    scenario_ = make_scenario({{RegionId{0}, 2, 4}}, workload, rng_);
+  }
+
+  Rng rng_;
+  Scenario scenario_;
+};
+
+TEST_F(ChurnTest, JoiningSubscriberIsDiscoveredAndServed) {
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  const auto first = live.control_round();
+  ASSERT_EQ(first.size(), 1u);
+  // All clients are near Virginia: one cheap US region suffices.
+  ASSERT_EQ(first[0].result.config.region_count(), 1);
+
+  // A Tokyo-homed subscriber joins: synthesize its row into the live
+  // latency truth and attach it to the deployed configuration.
+  auto tokyo_client = geo::synthesize_local_population(
+      scenario_.catalog, scenario_.backbone, RegionId{5}, 1, {}, rng_);
+  const ClientId new_id = scenario_.population.latencies.add_client(
+      tokyo_client.latencies.row(ClientId{0}));
+
+  client::Subscriber joiner(new_id, live.simulator(), live.transport(),
+                            scenario_.population.latencies);
+  joiner.subscribe(scenario_.topic.topic, first[0].result.config);
+  joiner.probe_latencies(geo::RegionSet::universe(10));
+  live.simulator().run();
+
+  // Traffic reaches the joiner immediately (via the deployed config)...
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  EXPECT_EQ(joiner.deliveries().size(), 2u * 10u);
+
+  // ...and the next control round knows the joiner's latencies and adds an
+  // Asia-side region to honour the 140 ms bound for it.
+  const auto second = live.control_round();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_TRUE(second[0].changed);
+  EXPECT_GE(second[0].result.config.region_count(), 2);
+
+  // After reconfiguration, the joiner is attached to its (much closer) new
+  // region.
+  const RegionId attached = joiner.attached_region(scenario_.topic.topic);
+  EXPECT_LT(scenario_.population.latencies.at(new_id, attached), 60.0);
+}
+
+TEST_F(ChurnTest, LeavingSubscriberStopsInfluencingDecisions) {
+  // Start with a US + Tokyo split that forces two regions.
+  WorkloadSpec workload;
+  workload.interval_seconds = 10.0;
+  workload.ratio = 95.0;
+  workload.max_t = 140.0;
+  Rng rng(122);
+  Scenario scenario =
+      make_scenario({{RegionId{0}, 2, 4}, {RegionId{5}, 0, 2}}, workload, rng);
+
+  LiveSystem live(scenario);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(10.0, 1024, 1.0, rng);
+  const auto with_tokyo = live.control_round();
+  ASSERT_EQ(with_tokyo.size(), 1u);
+  ASSERT_GE(with_tokyo[0].result.config.region_count(), 2);
+
+  // The two Tokyo subscribers leave.
+  for (const auto& sub : live.subscribers()) {
+    if (scenario.population.home_region[sub->id().index()] == RegionId{5}) {
+      sub->unsubscribe(scenario.topic.topic);
+    }
+  }
+  live.simulator().run();
+
+  (void)live.run_interval(10.0, 1024, 1.0, rng);
+  const auto after = live.control_round();
+  ASSERT_EQ(after.size(), 1u);
+  // Only US clients remain: one region suffices, and the constraint holds.
+  EXPECT_EQ(after[0].result.config.region_count(), 1);
+  EXPECT_TRUE(after[0].result.constraint_met);
+}
+
+TEST_F(ChurnTest, EnsureClientGrowsWithUnreachableRows) {
+  geo::ClientLatencyMap map(3);
+  map.add_client(std::vector<Millis>{1, 2, 3});
+  map.ensure_client(ClientId{4});
+  EXPECT_EQ(map.n_clients(), 5u);
+  EXPECT_EQ(map.at(ClientId{3}, RegionId{0}), kUnreachable);
+  // Existing rows untouched.
+  EXPECT_DOUBLE_EQ(map.at(ClientId{0}, RegionId{2}), 3.0);
+}
+
+}  // namespace
+}  // namespace multipub::sim

@@ -1,0 +1,157 @@
+// Shape tests for the paper's experiments: the qualitative claims of
+// Figures 3-5 must hold on our synthetic latency world. (The bench binaries
+// print the full series; these tests pin the shapes so regressions fail CI.)
+#include <gtest/gtest.h>
+
+#include "sim/baselines.h"
+#include "sim/sweep.h"
+
+namespace multipub::sim {
+namespace {
+
+TEST(Experiment1Shape, MultiPubInterpolatesBetweenBaselines) {
+  Rng rng(51);
+  const Scenario scenario = make_experiment1_scenario(rng);
+  const auto optimizer = scenario.make_optimizer();
+
+  auto topic = scenario.topic;
+  topic.constraint.max = kUnreachable;
+  const auto one = one_region_baseline(optimizer, topic);
+  const auto all = all_regions_baseline(optimizer, topic,
+                                        core::DeliveryMode::kRouted, 10);
+
+  // Fig. 3a/3b: All-Regions is fast and expensive, One-Region slow and
+  // cheap.
+  EXPECT_LT(all.percentile, one.percentile);
+  EXPECT_LT(one.cost, all.cost);
+
+  // The savings order of magnitude matches the paper's 28 %.
+  const double saving = 1.0 - one.cost / all.cost;
+  EXPECT_GT(saving, 0.10);
+  EXPECT_LT(saving, 0.60);
+
+  // MultiPub sweeps between the two: at a bound no tighter than what
+  // All-Regions achieves it matches the fast end; with a loose bound it
+  // matches the cheap end.
+  const auto points = sweep_max_t(scenario, {all.percentile, 400.0, 5.0});
+  EXPECT_NEAR(points.back().cost_per_day,
+              core::scale_to_day(one.cost, scenario.interval_seconds), 1e-6);
+  for (const auto& p : points) {
+    EXPECT_TRUE(p.constraint_met) << "max_t=" << p.max_t;
+    EXPECT_LE(p.cost_per_day,
+              core::scale_to_day(all.cost, scenario.interval_seconds) + 1e-9);
+    EXPECT_GE(p.cost_per_day,
+              core::scale_to_day(one.cost, scenario.interval_seconds) - 1e-9);
+  }
+}
+
+TEST(Experiment1Shape, RegionCountDecreasesFromManyToOne) {
+  Rng rng(52);
+  const Scenario scenario = make_experiment1_scenario(rng);
+  const auto points = sweep_max_t(scenario, {110.0, 400.0, 10.0});
+  // Fig. 3c: tight bounds demand many regions, loose bounds one.
+  EXPECT_GE(points.front().n_regions, 3);
+  EXPECT_EQ(points.back().n_regions, 1);
+}
+
+TEST(Experiment2Shape, RoutedReachesLowerBoundsThanDirect) {
+  Rng rng(53);
+  const Scenario scenario = make_experiment2_scenario(rng);
+  const auto optimizer = scenario.make_optimizer();
+
+  // Fig. 4a: the minimum reachable percentile under routed-only is lower
+  // than under direct-only (optimized inter-cloud links).
+  auto topic = scenario.topic;
+  topic.constraint.max = 1.0;  // unreachable -> optimizer minimizes latency
+  core::OptimizerOptions direct_only;
+  direct_only.mode_policy = core::ModePolicy::kDirectOnly;
+  core::OptimizerOptions routed_only;
+  routed_only.mode_policy = core::ModePolicy::kRoutedOnly;
+
+  const auto best_direct = optimizer.optimize(topic, direct_only);
+  const auto best_routed = optimizer.optimize(topic, routed_only);
+  EXPECT_LT(best_routed.percentile, best_direct.percentile);
+}
+
+TEST(Experiment2Shape, MultiPubUsesRoutedUnderTightBoundsThenDirect) {
+  Rng rng(54);
+  const Scenario scenario = make_experiment2_scenario(rng);
+  const auto optimizer = scenario.make_optimizer();
+
+  auto topic = scenario.topic;
+  topic.constraint.max = 1.0;
+  core::OptimizerOptions direct_only;
+  direct_only.mode_policy = core::ModePolicy::kDirectOnly;
+  core::OptimizerOptions routed_only;
+  routed_only.mode_policy = core::ModePolicy::kRoutedOnly;
+  const Millis direct_floor = optimizer.optimize(topic, direct_only).percentile;
+  const Millis routed_floor = optimizer.optimize(topic, routed_only).percentile;
+  ASSERT_LT(routed_floor, direct_floor);
+
+  // Between the two floors only routed delivery can satisfy the constraint.
+  const Millis between = (routed_floor + direct_floor) / 2.0;
+  topic.constraint.max = between;
+  const auto chosen = optimizer.optimize(topic);
+  EXPECT_TRUE(chosen.constraint_met);
+  EXPECT_EQ(chosen.config.mode, core::DeliveryMode::kRouted);
+
+  // With a very loose bound the cheapest answer is a single region, which
+  // is canonically direct (Fig. 4's tail).
+  topic.constraint.max = 1000.0;
+  const auto relaxed = optimizer.optimize(topic);
+  EXPECT_EQ(relaxed.config.region_count(), 1);
+  EXPECT_EQ(relaxed.config.mode, core::DeliveryMode::kDirect);
+}
+
+class Experiment3Shape : public ::testing::TestWithParam<int> {};
+
+TEST_P(Experiment3Shape, RemoteCheapRegionUnlocksLargeSavings) {
+  // Fig. 5: clients local to an expensive region (Tokyo / Sao Paulo) can be
+  // served from a cheap faraway region once the bound is loose enough,
+  // producing savings of the paper's order (36 % / 65 %).
+  Rng rng(55);
+  const RegionId home{GetParam()};
+  const Scenario scenario = make_experiment3_scenario(home, rng);
+  const auto optimizer = scenario.make_optimizer();
+
+  // Tight bound: must stay local (expensive).
+  auto topic = scenario.topic;
+  topic.constraint.max = 80.0;
+  const auto local = optimizer.optimize(topic);
+  ASSERT_TRUE(local.constraint_met);
+  EXPECT_TRUE(local.config.regions.contains(home));
+
+  // Loose bound: a cheap region takes over.
+  topic.constraint.max = 700.0;
+  const auto remote = optimizer.optimize(topic);
+  ASSERT_TRUE(remote.constraint_met);
+  EXPECT_FALSE(remote.config.regions.contains(home));
+  EXPECT_EQ(remote.config.region_count(), 1);
+
+  const double saving = 1.0 - remote.cost / local.cost;
+  EXPECT_GT(saving, 0.20);
+  EXPECT_LT(saving, 0.80);
+}
+
+INSTANTIATE_TEST_SUITE_P(Homes, Experiment3Shape,
+                         ::testing::Values(5 /*Tokyo*/, 9 /*Sao Paulo*/));
+
+TEST(Experiment3Shape, SaoPauloSavingsExceedTokyoSavings) {
+  // The paper: 65 % savings for Sao Paulo vs 36 % for Tokyo, because
+  // sa-east-1 egress is the most expensive.
+  Rng rng(56);
+  auto run = [&rng](int home) {
+    const Scenario scenario = make_experiment3_scenario(RegionId{home}, rng);
+    const auto optimizer = scenario.make_optimizer();
+    auto topic = scenario.topic;
+    topic.constraint.max = 80.0;
+    const double local_cost = optimizer.optimize(topic).cost;
+    topic.constraint.max = 700.0;
+    const double remote_cost = optimizer.optimize(topic).cost;
+    return 1.0 - remote_cost / local_cost;
+  };
+  EXPECT_GT(run(9), run(5));
+}
+
+}  // namespace
+}  // namespace multipub::sim

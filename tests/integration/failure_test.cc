@@ -1,0 +1,192 @@
+// Region-outage injection: a region dies mid-run, the controller excludes
+// it, clients migrate, and service recovers. Messages in flight during the
+// outage are lost (MultiPub is best-effort pub/sub, as in the paper); the
+// assertions are about detection, exclusion and full recovery.
+#include <gtest/gtest.h>
+
+#include "sim/live_runner.h"
+#include "sim/scenario.h"
+
+namespace multipub::sim {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() : rng_(101) {
+    WorkloadSpec workload;
+    workload.interval_seconds = 10.0;
+    // Ratio 95: with clients split 50/50 across two continents, a single
+    // region could satisfy ratio 75 by sacrificing one quadrant of the
+    // traffic; 95 forces coverage on both sides.
+    workload.ratio = 95.0;
+    workload.max_t = 150.0;
+    scenario_ = make_scenario({{RegionId{0}, 2, 4}, {RegionId{5}, 2, 4}},
+                              workload, rng_);
+  }
+
+  Rng rng_;
+  Scenario scenario_;
+};
+
+TEST_F(FailureTest, DeadRegionDeliversNothingAndBillsNothing) {
+  LiveSystem live(scenario_);
+  const core::TopicConfig tokyo_only{geo::RegionSet(0b0000100000),
+                                     core::DeliveryMode::kDirect};
+  live.deploy(tokyo_only);
+  live.transport().set_region_down(RegionId{5}, true);
+
+  const auto run = live.run_interval(10.0, 1024, 1.0, rng_);
+  EXPECT_EQ(run.deliveries, 0u);
+  EXPECT_DOUBLE_EQ(run.interval_cost, 0.0);
+  EXPECT_GT(live.transport().dropped_count(), 0u);
+}
+
+TEST_F(FailureTest, ControllerExcludesFailedRegion) {
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  const auto healthy = live.control_round();
+  ASSERT_EQ(healthy.size(), 1u);
+  // With clients split US/Tokyo and a 150 ms bound, some Asia-Pacific
+  // region serves the Asian half (which one is the optimizer's business —
+  // Seoul often wins on price).
+  const geo::RegionSet asia(0b0111100000);
+  const geo::RegionSet serving_asia =
+      healthy[0].result.config.regions & asia;
+  ASSERT_FALSE(serving_asia.empty());
+
+  // Those regions go dark: the operator (or a health monitor) tells the
+  // controller, and the next round routes around them.
+  for (RegionId r : serving_asia.to_vector()) {
+    live.controller().set_region_available(r, false);
+  }
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  const auto degraded = live.control_round();
+  ASSERT_EQ(degraded.size(), 1u);
+  EXPECT_TRUE(
+      (degraded[0].result.config.regions & serving_asia).empty());
+}
+
+TEST_F(FailureTest, ServiceRecoversAfterFailover) {
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  (void)live.control_round();
+
+  // Outage: both the network truth and the controller's view.
+  live.transport().set_region_down(RegionId{5}, true);
+  live.controller().set_region_available(RegionId{5}, false);
+
+  // The interval during the outage loses the messages that needed Tokyo...
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  (void)live.control_round();
+
+  // ...but once clients have migrated, delivery is complete again.
+  const auto recovered = live.run_interval(10.0, 1024, 1.0, rng_);
+  EXPECT_EQ(recovered.deliveries,
+            recovered.publications * scenario_.topic.subscribers.size());
+  for (const auto& sub : live.subscribers()) {
+    EXPECT_NE(sub->attached_region(scenario_.topic.topic), RegionId{5});
+  }
+}
+
+TEST_F(FailureTest, RegionComesBackAndIsUsedAgain) {
+  // Determine the healthy optimum, fail one of its regions, then restore
+  // it: the deployment must return to the original configuration (the
+  // workload is deterministic).
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  const auto healthy = live.control_round();
+  ASSERT_EQ(healthy.size(), 1u);
+  const auto healthy_config = healthy[0].result.config;
+  const RegionId failed = healthy_config.regions.first();
+
+  live.controller().set_region_available(failed, false);
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  const auto without = live.control_round();
+  ASSERT_EQ(without.size(), 1u);
+  ASSERT_FALSE(without[0].result.config.regions.contains(failed));
+
+  live.controller().set_region_available(failed, true);
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  const auto with = live.control_round();
+  ASSERT_EQ(with.size(), 1u);
+  EXPECT_EQ(with[0].result.config, healthy_config);
+}
+
+TEST_F(FailureTest, AllRegionsDownKeepsLastCandidates) {
+  // Pathological: everything marked down. The controller refuses to deploy
+  // an empty set and keeps optimizing over the full catalog.
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  for (int r = 0; r < 10; ++r) {
+    live.controller().set_region_available(RegionId{r}, false);
+  }
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  const auto decisions = live.control_round();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_FALSE(decisions[0].result.config.regions.empty());
+}
+
+TEST_F(FailureTest, SilentRegionIsAutoDetectedAndRecovered) {
+  // Failure detection: the live driver stops ingesting one region's reports
+  // (as would happen when its manager is unreachable); after the configured
+  // number of silent rounds the controller marks it down by itself.
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  live.controller().enable_failure_detection(2);
+
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  const auto healthy = live.control_round();
+  ASSERT_EQ(healthy.size(), 1u);
+  const geo::RegionSet asia(0b0111100000);
+  const geo::RegionSet serving_asia = healthy[0].result.config.regions & asia;
+  ASSERT_FALSE(serving_asia.empty());
+  const RegionId failed = serving_asia.first();
+
+  // Simulate the dead manager by ingesting every region except `failed`.
+  auto partial_round = [&] {
+    for (const auto& region : scenario_.catalog.all()) {
+      if (region.id == failed) {
+        // Drain but do not deliver — the controller never hears from it.
+        (void)live.region_manager(region.id).collect_reports();
+        continue;
+      }
+      live.controller().ingest(
+          region.id, live.region_manager(region.id).collect_reports());
+    }
+    return live.controller().reconfigure();
+  };
+
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  (void)partial_round();  // 1 missed round: still trusted
+  EXPECT_TRUE(live.controller().region_available(failed));
+  EXPECT_EQ(live.controller().missed_rounds(failed), 1);
+
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  const auto degraded = partial_round();
+  EXPECT_FALSE(live.controller().region_available(failed));
+  ASSERT_EQ(degraded.size(), 1u);
+  EXPECT_FALSE(degraded[0].result.config.regions.contains(failed));
+
+  // The manager comes back: one ingest clears the suspicion.
+  live.controller().ingest(failed, {});
+  EXPECT_TRUE(live.controller().region_available(failed));
+  EXPECT_EQ(live.controller().missed_rounds(failed), 0);
+}
+
+TEST(TransportOutage, FlagIsQueryableAndReversible) {
+  Rng rng(102);
+  WorkloadSpec workload;
+  const Scenario scenario = make_scenario({{RegionId{0}, 1, 1}}, workload, rng);
+  LiveSystem live(scenario);
+  EXPECT_FALSE(live.transport().region_down(RegionId{3}));
+  live.transport().set_region_down(RegionId{3}, true);
+  EXPECT_TRUE(live.transport().region_down(RegionId{3}));
+  live.transport().set_region_down(RegionId{3}, false);
+  EXPECT_FALSE(live.transport().region_down(RegionId{3}));
+}
+
+}  // namespace
+}  // namespace multipub::sim

@@ -1,0 +1,149 @@
+// Reconfiguration-handover property suite.
+//
+// DESIGN.md documents a zero-loss reconfiguration protocol (make-before-
+// break subscribers, publisher config grace, broker drain windows, client
+// dedup). These tests drive live traffic through every transition shape —
+// shrink, grow, mode flips, full migration — with the control round firing
+// mid-stream, and assert that no publication is lost and none is delivered
+// twice.
+#include <gtest/gtest.h>
+
+#include "sim/control_loop.h"
+#include "sim/live_runner.h"
+
+namespace multipub::sim {
+namespace {
+
+struct Transition {
+  const char* name;
+  std::uint64_t from_mask;
+  core::DeliveryMode from_mode;
+  std::uint64_t to_mask;
+  core::DeliveryMode to_mode;
+};
+
+std::ostream& operator<<(std::ostream& os, const Transition& t) {
+  return os << t.name;
+}
+
+class HandoverTest : public ::testing::TestWithParam<Transition> {};
+
+TEST_P(HandoverTest, NoLossNoDuplicatesAcrossTransition) {
+  const Transition& t = GetParam();
+  Rng rng(91);
+  WorkloadSpec workload;
+  workload.interval_seconds = 20.0;
+  workload.ratio = 75.0;
+  workload.max_t = kUnreachable;
+  const Scenario scenario = make_scenario(
+      {{RegionId{0}, 2, 3}, {RegionId{5}, 2, 3}, {RegionId{9}, 1, 2}},
+      workload, rng);
+
+  LiveSystem live(scenario);
+  live.deploy({geo::RegionSet(t.from_mask), t.from_mode});
+
+  // 20 s of traffic at 1 Hz; the transition fires at t=10 s, mid-stream.
+  live.schedule_traffic(0.0, 20.0, 512, 1.0, rng);
+  const core::TopicConfig target{geo::RegionSet(t.to_mask), t.to_mode};
+  live.simulator().schedule_after(10'000.0, [&live, &scenario, target] {
+    const TopicId topic = scenario.topic.topic;
+    for (const auto& region : scenario.catalog.all()) {
+      live.region_manager(region.id).apply_config(topic, target);
+    }
+  });
+  live.simulator().run();
+
+  const std::size_t n_pubs = scenario.topic.publishers.size();
+  for (const auto& sub : live.subscribers()) {
+    EXPECT_EQ(sub->deliveries().size(), n_pubs * 20u)
+        << t.name << ": subscriber " << sub->id().value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Transitions, HandoverTest,
+    ::testing::Values(
+        Transition{"shrink_routed", 0x3FF, core::DeliveryMode::kRouted,
+                   0b0000000001, core::DeliveryMode::kDirect},
+        Transition{"grow_direct", 0b0000000001, core::DeliveryMode::kDirect,
+                   0b1000100001, core::DeliveryMode::kDirect},
+        Transition{"routed_to_direct", 0b1000100001,
+                   core::DeliveryMode::kRouted, 0b1000100001,
+                   core::DeliveryMode::kDirect},
+        Transition{"direct_to_routed", 0b1000100001,
+                   core::DeliveryMode::kDirect, 0b1000100001,
+                   core::DeliveryMode::kRouted},
+        Transition{"full_migration", 0b0000100001,
+                   core::DeliveryMode::kRouted, 0b0000000110,
+                   core::DeliveryMode::kRouted},
+        Transition{"shrink_and_flip", 0x3FF, core::DeliveryMode::kDirect,
+                   0b0000100001, core::DeliveryMode::kRouted}),
+    [](const ::testing::TestParamInfo<Transition>& info) {
+      return info.param.name;
+    });
+
+TEST(HandoverExtras, DuplicatesAreAbsorbedNotSurfaced) {
+  // Run a transition known to cause overlap and check the dedup filter did
+  // real work: some duplicates arrived, none surfaced.
+  Rng rng(92);
+  WorkloadSpec workload;
+  workload.interval_seconds = 20.0;
+  workload.ratio = 75.0;
+  workload.max_t = kUnreachable;
+  const Scenario scenario =
+      make_scenario({{RegionId{0}, 2, 4}, {RegionId{5}, 2, 4}}, workload, rng);
+
+  LiveSystem live(scenario);
+  live.deploy({geo::RegionSet(0x3FF), core::DeliveryMode::kDirect});
+  live.schedule_traffic(0.0, 20.0, 512, 2.0, rng);
+  live.simulator().schedule_after(10'000.0, [&] {
+    // Neither Virginia nor Tokyo serve any more: every subscriber moves,
+    // and during the grace overlap both old and new regions deliver.
+    const core::TopicConfig target{geo::RegionSet(0b0000011000),
+                                   core::DeliveryMode::kDirect};
+    for (const auto& region : scenario.catalog.all()) {
+      live.region_manager(region.id).apply_config(scenario.topic.topic,
+                                                  target);
+    }
+  });
+  live.simulator().run();
+
+  std::uint64_t duplicates = 0;
+  for (const auto& sub : live.subscribers()) {
+    duplicates += sub->duplicate_count();
+    EXPECT_EQ(sub->deliveries().size(), 4u * 40u);
+  }
+  // Direct mode to 10 regions with overlapping attachments: duplicates are
+  // expected during the grace window.
+  EXPECT_GT(duplicates, 0u);
+}
+
+TEST(HandoverExtras, FlappingSubscriberKeepsItsSubscription) {
+  // A -> B -> A inside one grace window: the delayed unsubscribe for A must
+  // not fire once the subscriber flapped back to A.
+  Rng rng(93);
+  WorkloadSpec workload;
+  workload.interval_seconds = 5.0;
+  workload.ratio = 75.0;
+  const Scenario scenario = make_scenario({{RegionId{0}, 1, 1}}, workload, rng);
+
+  LiveSystem live(scenario);
+  const core::TopicConfig config_a{geo::RegionSet(0b0000000001),
+                                   core::DeliveryMode::kDirect};
+  const core::TopicConfig config_b{geo::RegionSet(0b0000000010),
+                                   core::DeliveryMode::kDirect};
+  live.deploy(config_a);
+
+  auto& sub = *live.subscribers().front();
+  sub.subscribe(scenario.topic.topic, config_b);  // A -> B
+  sub.subscribe(scenario.topic.topic, config_a);  // B -> A (flap back)
+  live.simulator().run();
+
+  // Publications must still reach the subscriber through A.
+  (void)live.run_interval(5.0, 256, 1.0, rng);
+  EXPECT_EQ(sub.deliveries().size(), 5u);
+  EXPECT_EQ(sub.attached_region(scenario.topic.topic), RegionId{0});
+}
+
+}  // namespace
+}  // namespace multipub::sim

@@ -1,0 +1,141 @@
+// Latency monitoring end-to-end: clients probe regions with kPing, measure
+// RTT/2 from the kPong echo, report via kLatencyReport; region managers
+// drain the reports; the controller's estimator converges to the network's
+// true latencies — and reconfiguration reacts when a latency shifts.
+#include <gtest/gtest.h>
+
+#include "sim/live_runner.h"
+#include "sim/scenario.h"
+
+namespace multipub::sim {
+namespace {
+
+class LatencyMonitoringTest : public ::testing::Test {
+ protected:
+  LatencyMonitoringTest() : rng_(71) {
+    WorkloadSpec workload;
+    workload.interval_seconds = 10.0;
+    workload.ratio = 75.0;
+    workload.max_t = kUnreachable;
+    scenario_ = make_scenario({{RegionId{0}, 1, 3}, {RegionId{5}, 1, 3}},
+                              workload, rng_);
+  }
+
+  Rng rng_;
+  Scenario scenario_;
+};
+
+TEST_F(LatencyMonitoringTest, ProberMeasuresTrueOneWayLatency) {
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kDirect});
+
+  auto& subscriber = *live.subscribers().front();
+  subscriber.probe_latencies(geo::RegionSet::universe(10));
+  live.simulator().run();
+
+  EXPECT_EQ(subscriber.prober().pings_sent(), 10u);
+  EXPECT_EQ(subscriber.prober().pongs_received(), 10u);
+  for (const auto& [region, measured] : subscriber.prober().measurements()) {
+    EXPECT_NEAR(measured,
+                scenario_.population.latencies.at(subscriber.id(), region),
+                1e-9);
+  }
+}
+
+TEST_F(LatencyMonitoringTest, ControllerEstimatorReceivesReports) {
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kDirect});
+
+  for (const auto& sub : live.subscribers()) {
+    sub->probe_latencies(geo::RegionSet::universe(10));
+  }
+  live.simulator().run();
+  (void)live.run_interval(10.0, 512, 1.0, rng_);
+  (void)live.control_round();
+
+  // 6 subscribers x 10 regions probed.
+  EXPECT_EQ(live.controller().latency_estimator().observations(), 60u);
+}
+
+TEST_F(LatencyMonitoringTest, EstimatorTracksALatencyShift) {
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kDirect});
+
+  auto& subscriber = *live.subscribers().front();
+  const RegionId region{0};
+  const Millis original =
+      scenario_.population.latencies.at(subscriber.id(), region);
+
+  // The client's connection degrades: the *network truth* changes.
+  scenario_.population.latencies.set(subscriber.id(), region,
+                                     original + 200.0);
+
+  // Repeated probe/report/ingest rounds pull the estimate towards truth.
+  for (int round = 0; round < 20; ++round) {
+    subscriber.probe_latencies(geo::RegionSet::single(region));
+    live.simulator().run();
+    (void)live.run_interval(10.0, 512, 1.0, rng_);
+    (void)live.control_round();
+  }
+  EXPECT_NEAR(live.controller().latency_estimator().estimate(subscriber.id(),
+                                                             region),
+              original + 200.0, 2.0);
+}
+
+TEST_F(LatencyMonitoringTest, ProbesAreFreeOfCharge) {
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kDirect});
+  const Dollars before =
+      live.transport().ledger().total_cost(scenario_.catalog);
+  for (const auto& sub : live.subscribers()) {
+    sub->probe_latencies(geo::RegionSet::universe(10));
+  }
+  live.simulator().run();
+  EXPECT_DOUBLE_EQ(live.transport().ledger().total_cost(scenario_.catalog),
+                   before);
+}
+
+TEST_F(LatencyMonitoringTest, ReconfigurationFollowsShiftedLatencies) {
+  // All subscribers near Tokyo degrade badly towards Tokyo; with a bound in
+  // place the controller should stop using Tokyo for them once the
+  // estimator catches up... here we check the simpler direction: the chosen
+  // config before and after the shift differs.
+  WorkloadSpec workload;
+  workload.interval_seconds = 10.0;
+  workload.ratio = 75.0;
+  workload.max_t = 130.0;
+  Rng rng(72);
+  Scenario scenario =
+      make_scenario({{RegionId{0}, 2, 4}, {RegionId{5}, 2, 4}}, workload, rng);
+
+  LiveSystem live(scenario);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(10.0, 512, 1.0, rng);
+  const auto before = live.control_round();
+  ASSERT_EQ(before.size(), 1u);
+  const auto config_before = before[0].result.config;
+
+  // Tokyo's clients now see Tokyo 150 ms worse (regional incident), and
+  // probe every region so the controller learns it.
+  for (const auto& sub : live.subscribers()) {
+    const RegionId tokyo{5};
+    const Millis old = scenario.population.latencies.at(sub->id(), tokyo);
+    scenario.population.latencies.set(sub->id(), tokyo, old + 150.0);
+  }
+  for (int round = 0; round < 15; ++round) {
+    for (const auto& sub : live.subscribers()) {
+      sub->probe_latencies(geo::RegionSet::universe(10));
+    }
+    live.simulator().run();
+    (void)live.run_interval(10.0, 512, 1.0, rng);
+    const auto decisions = live.control_round();
+    if (!decisions.empty() && decisions[0].changed) {
+      EXPECT_NE(decisions[0].result.config, config_before);
+      return;  // reconfigured as expected
+    }
+  }
+  FAIL() << "controller never reacted to the latency shift";
+}
+
+}  // namespace
+}  // namespace multipub::sim

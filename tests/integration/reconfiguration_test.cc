@@ -1,0 +1,152 @@
+// End-to-end reconfiguration: the controller observes an interval, deploys a
+// better configuration through the region managers, clients transparently
+// reconnect, and subsequent traffic flows under the new configuration.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/live_runner.h"
+#include "sim/scenario.h"
+
+namespace multipub::sim {
+namespace {
+
+class ReconfigurationTest : public ::testing::Test {
+ protected:
+  ReconfigurationTest() : rng_(41) {
+    WorkloadSpec workload;
+    workload.interval_seconds = 15.0;
+    workload.ratio = 75.0;
+    workload.max_t = kUnreachable;  // cost-only optimization
+    scenario_ = make_scenario({{RegionId{0}, 2, 5}, {RegionId{5}, 2, 5}},
+                              workload, rng_);
+  }
+
+  Rng rng_;
+  Scenario scenario_;
+};
+
+TEST_F(ReconfigurationTest, ControllerConvergesToOptimizerAnswer) {
+  // Bootstrap deliberately suboptimal: all ten regions, routed.
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(15.0, 1024, 1.0, rng_);
+
+  const auto decisions = live.control_round();
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_TRUE(decisions[0].changed);
+
+  // The deployed config equals what the optimizer says for the observed
+  // state.
+  const auto expected =
+      scenario_.make_optimizer().optimize(live.observed_topic_state());
+  EXPECT_EQ(decisions[0].result.config, expected.config);
+}
+
+TEST_F(ReconfigurationTest, SubscribersReattachToNewClosestRegion) {
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(15.0, 1024, 1.0, rng_);
+  const auto decisions = live.control_round();
+  ASSERT_FALSE(decisions.empty());
+  const auto& config = decisions[0].result.config;
+
+  for (const auto& subscriber : live.subscribers()) {
+    const RegionId attached = subscriber->attached_region(scenario_.topic.topic);
+    const RegionId expected = scenario_.population.latencies.closest_region(
+        subscriber->id(), config.regions);
+    EXPECT_EQ(attached, expected);
+  }
+}
+
+TEST_F(ReconfigurationTest, TrafficAfterReconfigurationIsCompleteAndCheaper) {
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  const auto before = live.run_interval(15.0, 1024, 1.0, rng_);
+  (void)live.control_round();
+  const auto after = live.run_interval(15.0, 1024, 1.0, rng_);
+
+  // No losses across the reconfiguration...
+  EXPECT_EQ(after.deliveries,
+            after.publications * scenario_.topic.subscribers.size());
+  // ...and the optimized configuration bills strictly less than all-regions.
+  EXPECT_LT(after.interval_cost, before.interval_cost);
+}
+
+TEST_F(ReconfigurationTest, StableWorkloadYieldsNoFurtherChanges) {
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(15.0, 1024, 1.0, rng_);
+  (void)live.control_round();
+  (void)live.run_interval(15.0, 1024, 1.0, rng_);
+  const auto second = live.control_round();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_FALSE(second[0].changed);
+}
+
+TEST_F(ReconfigurationTest, PublishersLearnNewConfigViaRegionManagers) {
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(15.0, 1024, 1.0, rng_);
+  (void)live.control_round();
+
+  const auto* deployed =
+      live.controller().deployed_config(scenario_.topic.topic);
+  ASSERT_NE(deployed, nullptr);
+  for (const auto& publisher : live.publishers()) {
+    const auto* config = publisher->config(scenario_.topic.topic);
+    ASSERT_NE(config, nullptr);
+    EXPECT_EQ(*config, *deployed) << "publisher " << publisher->id().value();
+    EXPECT_GE(publisher->config_updates_received(), 1u);
+  }
+}
+
+TEST_F(ReconfigurationTest, AssignmentMatrixConsistentAcrossAllRegions) {
+  // After a deployment, every region's broker must hold the controller's
+  // assignment row (paper §III-A5: the new configuration is "sent in the
+  // form of a bit vector to the region managers which then incorporate them
+  // into their assignment matrix").
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(15.0, 1024, 1.0, rng_);
+  (void)live.control_round();
+
+  const auto* deployed =
+      live.controller().deployed_config(scenario_.topic.topic);
+  ASSERT_NE(deployed, nullptr);
+  for (const auto& region : scenario_.catalog.all()) {
+    const auto* row = live.region_manager(region.id).broker().topic_config(
+        scenario_.topic.topic);
+    ASSERT_NE(row, nullptr) << region.name;
+    EXPECT_EQ(*row, *deployed) << region.name;
+  }
+  // The controller's rendered matrix shows exactly one row.
+  const std::string rendered =
+      live.controller().render_assignment_matrix();
+  EXPECT_NE(rendered.find("topic 0 |"), std::string::npos);
+}
+
+TEST_F(ReconfigurationTest, TighterConstraintPullsInExpensiveAsiaRegion) {
+  // Round 1 (unconstrained): the cost optimum only ever uses cheap-egress
+  // regions (R1..R5 at $0.09/GB) — serving Tokyo-homed subscribers from an
+  // Asia region would raise the bill. Round 2 (tight bound): one continent
+  // cannot serve the other within 120 ms, so an Asia-Pacific region must
+  // join the set despite its price.
+  const geo::RegionSet asia(0b0111100000);  // R6..R9
+
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(15.0, 1024, 1.0, rng_);
+  const auto first = live.control_round();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].result.config.regions.mask() & asia.mask(), 0u);
+
+  live.controller().set_constraint(scenario_.topic.topic, {75.0, 120.0});
+  (void)live.run_interval(15.0, 1024, 1.0, rng_);
+  const auto second = live.control_round();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NE(second[0].result.config.regions.mask() & asia.mask(), 0u);
+}
+
+}  // namespace
+}  // namespace multipub::sim

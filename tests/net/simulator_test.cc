@@ -1,0 +1,92 @@
+#include "net/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace multipub::net {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsRunInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30.0, [&] { order.push_back(3); });
+  sim.schedule_at(10.0, [&] { order.push_back(1); });
+  sim.schedule_at(20.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+}
+
+TEST(Simulator, EqualTimestampsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ClockAdvancesDuringExecution) {
+  Simulator sim;
+  Millis seen = -1.0;
+  sim.schedule_after(42.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 42.5);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 5) sim.schedule_after(10.0, hop);
+  };
+  sim.schedule_after(0.0, hop);
+  sim.run();
+  EXPECT_EQ(hops, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 40.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<Millis> fired;
+  sim.schedule_at(10.0, [&] { fired.push_back(10.0); });
+  sim.schedule_at(50.0, [&] { fired.push_back(50.0); });
+  sim.schedule_at(90.0, [&] { fired.push_back(90.0); });
+
+  sim.run_until(50.0);
+  EXPECT_EQ(fired.size(), 2u);  // boundary event included
+  EXPECT_DOUBLE_EQ(sim.now(), 50.0);
+  EXPECT_EQ(sim.pending(), 1u);
+
+  sim.run_until(100.0);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, ProcessedCountsEveryEvent) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_after(1.0 * i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.processed(), 7u);
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  sim.schedule_at(25.0, [&] {
+    sim.schedule_after(0.0, [&] { EXPECT_DOUBLE_EQ(sim.now(), 25.0); });
+  });
+  sim.run();
+  EXPECT_EQ(sim.processed(), 2u);
+}
+
+}  // namespace
+}  // namespace multipub::net

@@ -1,0 +1,131 @@
+// TCP framing robustness: frames arriving split or coalesced across reads.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "net/tcp.h"
+
+namespace multipub::net {
+namespace {
+
+wire::Message sample(std::uint64_t seq) {
+  wire::Message msg;
+  msg.type = wire::MessageType::kPublish;
+  msg.topic = TopicId{1};
+  msg.publisher = ClientId{2};
+  msg.seq = seq;
+  msg.payload_bytes = 256;
+  return msg;
+}
+
+/// Raw blocking socket to 127.0.0.1:port (no framing logic of its own).
+class RawClient {
+ public:
+  explicit RawClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return connected_; }
+  void send_bytes(const std::byte* data, std::size_t n) {
+    ASSERT_EQ(::send(fd_, data, n, 0), static_cast<ssize_t>(n));
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+/// Pumps the endpoint until `received` frames arrived or time runs out.
+void pump_until(TcpEndpoint& endpoint, std::size_t target) {
+  for (int spins = 0; spins < 400; ++spins) {
+    endpoint.poll(5);
+    if (endpoint.received_count() >= target) return;
+  }
+}
+
+TEST(TcpPartialFrames, ByteByByteDelivery) {
+  std::vector<wire::Message> inbox;
+  TcpEndpoint server([&](const wire::Message& m) { inbox.push_back(m); });
+  ASSERT_TRUE(server.listen(0));
+  RawClient raw(server.port());
+  ASSERT_TRUE(raw.connected());
+
+  const auto frame = wire::encode(sample(7));
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    raw.send_bytes(frame.data() + i, 1);
+    server.poll(1);
+  }
+  pump_until(server, 1);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].seq, 7u);
+}
+
+TEST(TcpPartialFrames, SplitAcrossArbitraryBoundary) {
+  std::vector<wire::Message> inbox;
+  TcpEndpoint server([&](const wire::Message& m) { inbox.push_back(m); });
+  ASSERT_TRUE(server.listen(0));
+  RawClient raw(server.port());
+  ASSERT_TRUE(raw.connected());
+
+  const auto a = wire::encode(sample(1));
+  const auto b = wire::encode(sample(2));
+  // First frame + half of the second in one write; the rest later.
+  std::vector<std::byte> first(a.begin(), a.end());
+  first.insert(first.end(), b.begin(), b.begin() + 30);
+  raw.send_bytes(first.data(), first.size());
+  pump_until(server, 1);
+  EXPECT_EQ(inbox.size(), 1u);
+
+  raw.send_bytes(b.data() + 30, b.size() - 30);
+  pump_until(server, 2);
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(inbox[1].seq, 2u);
+}
+
+TEST(TcpPartialFrames, CoalescedBurstDecodesAll) {
+  std::vector<wire::Message> inbox;
+  TcpEndpoint server([&](const wire::Message& m) { inbox.push_back(m); });
+  ASSERT_TRUE(server.listen(0));
+  RawClient raw(server.port());
+  ASSERT_TRUE(raw.connected());
+
+  std::vector<std::byte> burst;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto frame = wire::encode(sample(i));
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  raw.send_bytes(burst.data(), burst.size());
+  pump_until(server, 50);
+  ASSERT_EQ(inbox.size(), 50u);
+  for (std::uint64_t i = 0; i < 50; ++i) EXPECT_EQ(inbox[i].seq, i);
+}
+
+TEST(TcpPartialFrames, GarbageDropsTheConnection) {
+  TcpEndpoint server([](const wire::Message&) {});
+  ASSERT_TRUE(server.listen(0));
+  RawClient raw(server.port());
+  ASSERT_TRUE(raw.connected());
+
+  std::byte junk[wire::kEncodedSize];
+  for (auto& b : junk) b = std::byte{0x5A};
+  raw.send_bytes(junk, sizeof(junk));
+  for (int spins = 0; spins < 100 && server.corrupt_frames() == 0; ++spins) {
+    server.poll(5);
+  }
+  EXPECT_EQ(server.corrupt_frames(), 1u);
+  EXPECT_EQ(server.connection_count(), 0u);  // dropped
+}
+
+}  // namespace
+}  // namespace multipub::net

@@ -1,0 +1,163 @@
+#include "net/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace multipub::net {
+namespace {
+
+wire::Message sample(std::uint64_t seq) {
+  wire::Message msg;
+  msg.type = wire::MessageType::kPublish;
+  msg.topic = TopicId{3};
+  msg.publisher = ClientId{7};
+  msg.seq = seq;
+  msg.published_at = 123.5;
+  msg.payload_bytes = 1024;
+  return msg;
+}
+
+/// Pumps both endpoints until `pred` holds or the budget is exhausted.
+template <typename Pred>
+bool pump(TcpEndpoint& a, TcpEndpoint& b, Pred pred, int budget_ms = 2000) {
+  for (int elapsed = 0; elapsed < budget_ms; elapsed += 10) {
+    a.poll(5);
+    b.poll(5);
+    if (pred()) return true;
+  }
+  return pred();
+}
+
+TEST(TcpEndpoint, ListenAssignsEphemeralPort) {
+  TcpEndpoint server([](const wire::Message&) {});
+  ASSERT_TRUE(server.listen(0));
+  EXPECT_GT(server.port(), 0);
+}
+
+TEST(TcpEndpoint, RoundTripsSingleMessage) {
+  std::vector<wire::Message> inbox;
+  TcpEndpoint server([&](const wire::Message& m) { inbox.push_back(m); });
+  ASSERT_TRUE(server.listen(0));
+
+  TcpEndpoint client([](const wire::Message&) {});
+  const int peer = client.connect_to(server.port());
+  ASSERT_GE(peer, 0);
+
+  const wire::Message msg = sample(42);
+  ASSERT_TRUE(client.send(peer, msg));
+  ASSERT_TRUE(pump(server, client, [&] { return inbox.size() == 1; }));
+  EXPECT_EQ(inbox[0], msg);
+}
+
+TEST(TcpEndpoint, PreservesOrderAcrossManyMessages) {
+  std::vector<wire::Message> inbox;
+  TcpEndpoint server([&](const wire::Message& m) { inbox.push_back(m); });
+  ASSERT_TRUE(server.listen(0));
+
+  TcpEndpoint client([](const wire::Message&) {});
+  const int peer = client.connect_to(server.port());
+  ASSERT_GE(peer, 0);
+
+  constexpr std::uint64_t kCount = 500;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(client.send(peer, sample(i)));
+  }
+  ASSERT_TRUE(pump(server, client, [&] { return inbox.size() == kCount; }));
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(inbox[i].seq, i);
+  }
+}
+
+TEST(TcpEndpoint, BidirectionalTraffic) {
+  std::vector<wire::Message> server_inbox, client_inbox;
+  TcpEndpoint server(
+      [&](const wire::Message& m) { server_inbox.push_back(m); });
+  ASSERT_TRUE(server.listen(0));
+  TcpEndpoint client(
+      [&](const wire::Message& m) { client_inbox.push_back(m); });
+  const int to_server = client.connect_to(server.port());
+  ASSERT_GE(to_server, 0);
+
+  ASSERT_TRUE(client.send(to_server, sample(1)));
+  ASSERT_TRUE(pump(server, client, [&] { return server_inbox.size() == 1; }));
+
+  // Server replies over the accepted connection (handle 0: its first peer).
+  ASSERT_EQ(server.connection_count(), 1u);
+  ASSERT_TRUE(server.send(0, sample(2)));
+  ASSERT_TRUE(pump(server, client, [&] { return client_inbox.size() == 1; }));
+  EXPECT_EQ(client_inbox[0].seq, 2u);
+}
+
+TEST(TcpEndpoint, MultipleClients) {
+  std::vector<wire::Message> inbox;
+  TcpEndpoint server([&](const wire::Message& m) { inbox.push_back(m); });
+  ASSERT_TRUE(server.listen(0));
+
+  TcpEndpoint c1([](const wire::Message&) {});
+  TcpEndpoint c2([](const wire::Message&) {});
+  const int p1 = c1.connect_to(server.port());
+  const int p2 = c2.connect_to(server.port());
+  ASSERT_GE(p1, 0);
+  ASSERT_GE(p2, 0);
+
+  ASSERT_TRUE(c1.send(p1, sample(100)));
+  ASSERT_TRUE(c2.send(p2, sample(200)));
+  ASSERT_TRUE(pump(server, c1, [&] {
+    c2.poll(1);
+    return inbox.size() == 2;
+  }));
+  EXPECT_EQ(server.connection_count(), 2u);
+}
+
+TEST(TcpEndpoint, AllMessageTypesSurviveTheSocket) {
+  std::vector<wire::Message> inbox;
+  TcpEndpoint server([&](const wire::Message& m) { inbox.push_back(m); });
+  ASSERT_TRUE(server.listen(0));
+  TcpEndpoint client([](const wire::Message&) {});
+  const int peer = client.connect_to(server.port());
+  ASSERT_GE(peer, 0);
+
+  std::vector<wire::Message> sent;
+  for (auto type : {wire::MessageType::kSubscribe, wire::MessageType::kPublish,
+                    wire::MessageType::kForward, wire::MessageType::kDeliver,
+                    wire::MessageType::kConfigUpdate, wire::MessageType::kPing,
+                    wire::MessageType::kPong,
+                    wire::MessageType::kLatencyReport}) {
+    wire::Message msg = sample(sent.size());
+    msg.type = type;
+    msg.config_regions = geo::RegionSet(0b1010101);
+    sent.push_back(msg);
+    ASSERT_TRUE(client.send(peer, msg));
+  }
+  ASSERT_TRUE(
+      pump(server, client, [&] { return inbox.size() == sent.size(); }));
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(inbox[i], sent[i]);
+  }
+}
+
+TEST(TcpEndpoint, ConnectToClosedPortFails) {
+  TcpEndpoint client([](const wire::Message&) {});
+  // Port 1 is privileged and almost certainly closed.
+  EXPECT_EQ(client.connect_to(1), -1);
+}
+
+TEST(TcpEndpoint, SendToUnknownPeerFails) {
+  TcpEndpoint client([](const wire::Message&) {});
+  EXPECT_FALSE(client.send(123, sample(0)));
+}
+
+TEST(TcpEndpoint, CloseAllDropsConnections) {
+  TcpEndpoint server([](const wire::Message&) {});
+  ASSERT_TRUE(server.listen(0));
+  TcpEndpoint client([](const wire::Message&) {});
+  const int peer = client.connect_to(server.port());
+  ASSERT_GE(peer, 0);
+  client.close_all();
+  EXPECT_EQ(client.connection_count(), 0u);
+  EXPECT_FALSE(client.send(peer, sample(0)));
+}
+
+}  // namespace
+}  // namespace multipub::net

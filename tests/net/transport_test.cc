@@ -1,0 +1,141 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace multipub::net {
+namespace {
+
+using testutil::TinyWorld;
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TinyWorld world_;
+  Simulator sim_;
+  SimTransport transport_{sim_, world_.catalog, world_.backbone,
+                          world_.clients};
+
+  static wire::Message publication(Bytes payload) {
+    wire::Message msg;
+    msg.type = wire::MessageType::kPublish;
+    msg.topic = TopicId{0};
+    msg.payload_bytes = payload;
+    return msg;
+  }
+};
+
+TEST_F(TransportTest, DeliversAfterClientToRegionLatency) {
+  Millis delivered_at = -1.0;
+  transport_.register_handler(Address::region(TinyWorld::kA),
+                              [&](const wire::Message&) {
+                                delivered_at = sim_.now();
+                              });
+  transport_.send(Address::client(TinyWorld::kNearA),
+                  Address::region(TinyWorld::kA), publication(100));
+  sim_.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 10.0);  // L[nearA][A] = 10
+}
+
+TEST_F(TransportTest, DeliversAfterBackboneLatency) {
+  Millis delivered_at = -1.0;
+  transport_.register_handler(Address::region(TinyWorld::kB),
+                              [&](const wire::Message&) {
+                                delivered_at = sim_.now();
+                              });
+  transport_.send(Address::region(TinyWorld::kA),
+                  Address::region(TinyWorld::kB), publication(100));
+  sim_.run();
+  EXPECT_DOUBLE_EQ(delivered_at, 80.0);  // backbone A-B
+}
+
+TEST_F(TransportTest, RegionToClientUsesSameMatrixAsClientToRegion) {
+  EXPECT_DOUBLE_EQ(transport_.latency(Address::region(TinyWorld::kB),
+                                      Address::client(TinyWorld::kNearB)),
+                   15.0);
+  EXPECT_DOUBLE_EQ(transport_.latency(Address::client(TinyWorld::kNearB),
+                                      Address::region(TinyWorld::kB)),
+                   15.0);
+}
+
+TEST_F(TransportTest, ClientEgressIsFree) {
+  transport_.register_handler(Address::region(TinyWorld::kA),
+                              [](const wire::Message&) {});
+  transport_.send(Address::client(TinyWorld::kNearA),
+                  Address::region(TinyWorld::kA), publication(1'000'000));
+  sim_.run();
+  EXPECT_DOUBLE_EQ(transport_.ledger().total_cost(world_.catalog), 0.0);
+}
+
+TEST_F(TransportTest, RegionToRegionBilledAtAlpha) {
+  transport_.register_handler(Address::region(TinyWorld::kB),
+                              [](const wire::Message&) {});
+  transport_.send(Address::region(TinyWorld::kA),
+                  Address::region(TinyWorld::kB), publication(1000));
+  sim_.run();
+  EXPECT_EQ(transport_.ledger().inter_region_bytes[0], 1000u);
+  EXPECT_EQ(transport_.ledger().internet_bytes[0], 0u);
+  EXPECT_DOUBLE_EQ(transport_.ledger().total_cost(world_.catalog),
+                   1000.0 * per_gb_to_per_byte(0.02));
+}
+
+TEST_F(TransportTest, RegionToClientBilledAtBeta) {
+  transport_.register_handler(Address::client(TinyWorld::kNearB),
+                              [](const wire::Message&) {});
+  wire::Message msg = publication(2000);
+  msg.type = wire::MessageType::kDeliver;
+  transport_.send(Address::region(TinyWorld::kB),
+                  Address::client(TinyWorld::kNearB), msg);
+  sim_.run();
+  EXPECT_EQ(transport_.ledger().internet_bytes[1], 2000u);
+  EXPECT_DOUBLE_EQ(transport_.ledger().total_cost(world_.catalog),
+                   2000.0 * per_gb_to_per_byte(0.14));
+}
+
+TEST_F(TransportTest, ControlMessagesAreNotBilled) {
+  transport_.register_handler(Address::client(TinyWorld::kNearA),
+                              [](const wire::Message&) {});
+  wire::Message msg;
+  msg.type = wire::MessageType::kConfigUpdate;
+  msg.payload_bytes = 999;  // even with a payload size set, control is free
+  transport_.send(Address::region(TinyWorld::kA),
+                  Address::client(TinyWorld::kNearA), msg);
+  sim_.run();
+  EXPECT_DOUBLE_EQ(transport_.ledger().total_cost(world_.catalog), 0.0);
+}
+
+TEST_F(TransportTest, UnregisteredDestinationCountsAsDropped) {
+  transport_.send(Address::region(TinyWorld::kA),
+                  Address::region(TinyWorld::kB), publication(500));
+  sim_.run();
+  EXPECT_EQ(transport_.dropped_count(), 1u);
+  // Billing still happened: the bytes left region A.
+  EXPECT_EQ(transport_.ledger().inter_region_bytes[0], 500u);
+}
+
+TEST_F(TransportTest, HandlerReplacementTakesEffect) {
+  int first = 0, second = 0;
+  const Address addr = Address::region(TinyWorld::kA);
+  transport_.register_handler(addr, [&](const wire::Message&) { ++first; });
+  transport_.register_handler(addr, [&](const wire::Message&) { ++second; });
+  transport_.send(Address::client(TinyWorld::kNearA), addr, publication(1));
+  sim_.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST_F(TransportTest, MessagePayloadSurvivesTransit) {
+  wire::Message received;
+  transport_.register_handler(Address::region(TinyWorld::kA),
+                              [&](const wire::Message& m) { received = m; });
+  wire::Message sent = publication(777);
+  sent.seq = 42;
+  sent.publisher = TinyWorld::kNearA;
+  transport_.send(Address::client(TinyWorld::kNearA),
+                  Address::region(TinyWorld::kA), sent);
+  sim_.run();
+  EXPECT_EQ(received, sent);
+}
+
+}  // namespace
+}  // namespace multipub::net

@@ -1,0 +1,90 @@
+#include "sim/baselines.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub::sim {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() : rng_(11), scenario_(make_experiment1_scenario(rng_)) {
+    scenario_.topic.constraint.max = kUnreachable;
+  }
+
+  Rng rng_;
+  Scenario scenario_;
+};
+
+TEST_F(BaselinesTest, OneRegionIsASingleRegion) {
+  const auto optimizer = scenario_.make_optimizer();
+  const auto baseline = one_region_baseline(optimizer, scenario_.topic);
+  EXPECT_EQ(baseline.config.region_count(), 1);
+}
+
+TEST_F(BaselinesTest, OneRegionIsCheapestSingleRegion) {
+  const auto optimizer = scenario_.make_optimizer();
+  const auto baseline = one_region_baseline(optimizer, scenario_.topic);
+  for (std::size_t i = 0; i < scenario_.catalog.size(); ++i) {
+    const core::TopicConfig single{
+        geo::RegionSet::single(RegionId{static_cast<RegionId::underlying_type>(i)}),
+        core::DeliveryMode::kDirect};
+    const auto eval = optimizer.evaluate(scenario_.topic, single);
+    EXPECT_LE(baseline.cost, eval.cost + 1e-15);
+  }
+}
+
+TEST_F(BaselinesTest, AllRegionsUsesEveryRegion) {
+  const auto optimizer = scenario_.make_optimizer();
+  const auto baseline =
+      all_regions_baseline(optimizer, scenario_.topic,
+                           core::DeliveryMode::kRouted, scenario_.catalog.size());
+  EXPECT_EQ(baseline.config.region_count(),
+            static_cast<int>(scenario_.catalog.size()));
+  EXPECT_EQ(baseline.config.mode, core::DeliveryMode::kRouted);
+}
+
+TEST_F(BaselinesTest, AllRegionsIsFasterThanOneRegion) {
+  // The global workload premise (Fig. 3a): serving from every region cuts
+  // the delivery percentile versus any single region.
+  const auto optimizer = scenario_.make_optimizer();
+  const auto one = one_region_baseline(optimizer, scenario_.topic);
+  const auto all =
+      all_regions_baseline(optimizer, scenario_.topic,
+                           core::DeliveryMode::kRouted, scenario_.catalog.size());
+  EXPECT_LT(all.percentile, one.percentile);
+}
+
+TEST_F(BaselinesTest, OneRegionIsCheaperThanAllRegions) {
+  // The other half of Fig. 3b.
+  const auto optimizer = scenario_.make_optimizer();
+  const auto one = one_region_baseline(optimizer, scenario_.topic);
+  const auto all =
+      all_regions_baseline(optimizer, scenario_.topic,
+                           core::DeliveryMode::kRouted, scenario_.catalog.size());
+  EXPECT_LT(one.cost, all.cost);
+}
+
+TEST_F(BaselinesTest, MultiPubNeverCostsMoreThanEitherBaselineWhenFeasible) {
+  // Whenever MultiPub's answer meets the constraint, it is at most as
+  // expensive as whichever baseline also meets it.
+  const auto optimizer = scenario_.make_optimizer();
+  auto topic = scenario_.topic;
+  for (Millis max_t : {120.0, 150.0, 180.0, 250.0}) {
+    topic.constraint.max = max_t;
+    const auto result = optimizer.optimize(topic);
+    if (!result.constraint_met) continue;
+    const auto one = one_region_baseline(optimizer, topic);
+    const auto all = all_regions_baseline(optimizer, topic,
+                                          core::DeliveryMode::kRouted,
+                                          scenario_.catalog.size());
+    if (one.feasible) {
+      EXPECT_LE(result.cost, one.cost + 1e-15);
+    }
+    if (all.feasible) {
+      EXPECT_LE(result.cost, all.cost + 1e-15);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace multipub::sim

@@ -1,0 +1,131 @@
+#include "sim/multi_runner.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub::sim {
+namespace {
+
+class MultiRunnerTest : public ::testing::Test {
+ protected:
+  MultiRunnerTest() : rng_(111) {
+    // Topic 0: a latency-tight US/EU alert topic.
+    TopicSpec alerts;
+    alerts.placements = {{RegionId{0}, 1, 3}, {RegionId{4}, 1, 3}};
+    alerts.workload.ratio = 95.0;
+    alerts.workload.max_t = 120.0;
+    alerts.workload.message_bytes = 512;
+    // Topic 1: a cost-driven Tokyo-local game topic.
+    TopicSpec game;
+    game.placements = {{RegionId{5}, 2, 4}};
+    game.workload.ratio = 95.0;
+    game.workload.max_t = kUnreachable;
+    game.workload.publish_rate_hz = 2.0;
+    scenario_ = make_multi_topic_scenario({alerts, game}, rng_);
+  }
+
+  Rng rng_;
+  MultiTopicScenario scenario_;
+};
+
+TEST_F(MultiRunnerTest, ScenarioBuildsDisjointDenseClients) {
+  ASSERT_EQ(scenario_.topics.size(), 2u);
+  EXPECT_EQ(scenario_.topics[0].publishers.size(), 2u);
+  EXPECT_EQ(scenario_.topics[0].subscribers.size(), 6u);
+  EXPECT_EQ(scenario_.topics[1].publishers.size(), 2u);
+  EXPECT_EQ(scenario_.topics[1].subscribers.size(), 4u);
+  EXPECT_EQ(scenario_.population.size(), 14u);
+  EXPECT_EQ(scenario_.topics[0].topic, TopicId{0});
+  EXPECT_EQ(scenario_.topics[1].topic, TopicId{1});
+}
+
+TEST_F(MultiRunnerTest, AllTopicsDeliverCompletely) {
+  MultiLiveSystem live(scenario_);
+  live.deploy_all({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  const auto results = live.run_interval(10.0, rng_);
+  ASSERT_EQ(results.size(), 2u);
+  // Topic 0: 2 pubs x 10 msgs x 6 subs.
+  EXPECT_EQ(results[0].deliveries, 2u * 10u * 6u);
+  // Topic 1: 2 pubs x 20 msgs (2 Hz) x 4 subs.
+  EXPECT_EQ(results[1].deliveries, 2u * 20u * 4u);
+}
+
+TEST_F(MultiRunnerTest, PerTopicCostsSumToLedgerTotal) {
+  MultiLiveSystem live(scenario_);
+  live.deploy_all({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  const auto results = live.run_interval(10.0, rng_);
+  const Dollars sum = results[0].interval_cost + results[1].interval_cost;
+  EXPECT_NEAR(sum, live.transport().ledger().total_cost(scenario_.catalog),
+              1e-12);
+  EXPECT_GT(results[0].interval_cost, 0.0);
+  EXPECT_GT(results[1].interval_cost, 0.0);
+}
+
+TEST_F(MultiRunnerTest, ControllerDecidesEachTopicIndependently) {
+  MultiLiveSystem live(scenario_);
+  live.deploy_all({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(10.0, rng_);
+  const auto decisions = live.control_round();
+  ASSERT_EQ(decisions.size(), 2u);
+
+  // Each decision equals the optimizer's answer for that topic alone (paper
+  // §IV-C: independence).
+  const core::Optimizer optimizer(scenario_.catalog, scenario_.backbone,
+                                  scenario_.population.latencies);
+  for (const auto& decision : decisions) {
+    const auto& topic =
+        scenario_.topics[static_cast<std::size_t>(decision.topic.value())];
+    // Rebuild the observed state with actual counts (10 s interval).
+    core::TopicState observed = topic;
+    const auto& workload =
+        scenario_.workloads[static_cast<std::size_t>(decision.topic.value())];
+    for (auto& pub : observed.publishers) {
+      pub.msg_count = static_cast<std::uint64_t>(
+          10.0 * workload.publish_rate_hz + 0.5);
+      pub.total_bytes = pub.msg_count * workload.message_bytes;
+    }
+    const auto expected = optimizer.optimize(observed);
+    EXPECT_EQ(decision.result.config, expected.config)
+        << "topic " << decision.topic.value();
+  }
+
+  // The tight alert topic needs both continents; the local game topic does
+  // not need Tokyo coverage requirements — it picks a cheap single region.
+  EXPECT_GE(decisions[0].result.config.region_count(), 2);
+  EXPECT_EQ(decisions[1].result.config.region_count(), 1);
+}
+
+TEST_F(MultiRunnerTest, ReconfiguringOneTopicDoesNotMoveTheOther) {
+  MultiLiveSystem live(scenario_);
+  live.deploy_all({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(10.0, rng_);
+  (void)live.control_round();
+
+  // Record topic 1 attachments, then change only topic 0's constraint.
+  std::vector<RegionId> before;
+  for (const auto* sub : live.subscribers(TopicId{1})) {
+    before.push_back(sub->attached_region(TopicId{1}));
+  }
+  live.controller().set_constraint(TopicId{0}, {95.0, 500.0});
+  (void)live.run_interval(10.0, rng_);
+  (void)live.control_round();
+
+  std::size_t i = 0;
+  for (const auto* sub : live.subscribers(TopicId{1})) {
+    EXPECT_EQ(sub->attached_region(TopicId{1}), before[i++]);
+  }
+}
+
+TEST_F(MultiRunnerTest, TrafficFlowsAfterReconfiguration) {
+  MultiLiveSystem live(scenario_);
+  live.deploy_all({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  (void)live.run_interval(10.0, rng_);
+  (void)live.control_round();
+  const auto after = live.run_interval(10.0, rng_);
+  EXPECT_EQ(after[0].deliveries, 2u * 10u * 6u);
+  EXPECT_EQ(after[1].deliveries, 2u * 20u * 4u);
+  // The optimized configs are cheaper than all-regions was.
+  EXPECT_GT(after[0].interval_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace multipub::sim

@@ -1,0 +1,144 @@
+#include "sim/scenario_file.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub::sim {
+namespace {
+
+constexpr const char* kValid = R"(
+# a two-continent workload
+placement us-east-1 10 10
+placement ap-northeast-1 5 20   # Tokyo heavy on subscribers
+rate 2.0
+size 512
+interval 30
+ratio 95
+max_t 150
+seed 7
+)";
+
+TEST(ScenarioFile, ParsesValidSpec) {
+  std::string error;
+  const auto spec = parse_scenario_spec(kValid, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  ASSERT_EQ(spec->placements.size(), 2u);
+  EXPECT_EQ(spec->placements[0].region, "us-east-1");
+  EXPECT_EQ(spec->placements[0].publishers, 10u);
+  EXPECT_EQ(spec->placements[1].subscribers, 20u);
+  EXPECT_DOUBLE_EQ(spec->workload.publish_rate_hz, 2.0);
+  EXPECT_EQ(spec->workload.message_bytes, 512u);
+  EXPECT_DOUBLE_EQ(spec->workload.interval_seconds, 30.0);
+  EXPECT_DOUBLE_EQ(spec->workload.ratio, 95.0);
+  EXPECT_DOUBLE_EQ(spec->workload.max_t, 150.0);
+  EXPECT_EQ(spec->seed, 7u);
+}
+
+TEST(ScenarioFile, DefaultsApplyWhenKeysOmitted) {
+  std::string error;
+  const auto spec = parse_scenario_spec("placement us-east-1 1 1\n", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_DOUBLE_EQ(spec->workload.publish_rate_hz, 1.0);
+  EXPECT_EQ(spec->workload.message_bytes, 1024u);
+  EXPECT_DOUBLE_EQ(spec->workload.ratio, 75.0);
+  EXPECT_EQ(spec->workload.max_t, kUnreachable);
+}
+
+TEST(ScenarioFile, InfMaxTIsUnconstrained) {
+  std::string error;
+  const auto spec =
+      parse_scenario_spec("placement us-east-1 1 1\nmax_t inf\n", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->workload.max_t, kUnreachable);
+}
+
+TEST(ScenarioFile, RejectsUnknownKeyWithLineNumber) {
+  std::string error;
+  const auto spec = parse_scenario_spec(
+      "placement us-east-1 1 1\nfrobnicate 3\n", &error);
+  EXPECT_FALSE(spec.has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("frobnicate"), std::string::npos);
+}
+
+TEST(ScenarioFile, RejectsMalformedNumbers) {
+  std::string error;
+  EXPECT_FALSE(parse_scenario_spec("placement us-east-1 x 1\n", &error)
+                   .has_value());
+  EXPECT_FALSE(
+      parse_scenario_spec("placement us-east-1 1 1\nratio fast\n", &error)
+          .has_value());
+  EXPECT_FALSE(
+      parse_scenario_spec("placement us-east-1 1 1\nrate\n", &error)
+          .has_value());
+}
+
+TEST(ScenarioFile, RejectsEmptyAndOutOfRange) {
+  std::string error;
+  EXPECT_FALSE(parse_scenario_spec("", &error).has_value());
+  EXPECT_NE(error.find("placement"), std::string::npos);
+  EXPECT_FALSE(
+      parse_scenario_spec("placement us-east-1 1 1\nratio 0\n", &error)
+          .has_value());
+  EXPECT_FALSE(
+      parse_scenario_spec("placement us-east-1 1 1\nratio 101\n", &error)
+          .has_value());
+}
+
+TEST(ScenarioFile, BuildsRunnableScenario) {
+  std::string error;
+  const auto spec = parse_scenario_spec(kValid, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+
+  const auto catalog = geo::RegionCatalog::ec2_2016();
+  const auto backbone = geo::InterRegionLatency::ec2_2016();
+  const auto scenario = build_scenario(*spec, catalog, backbone, &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->topic.publishers.size(), 15u);
+  EXPECT_EQ(scenario->topic.subscribers.size(), 30u);
+  EXPECT_EQ(scenario->topic.publishers[0].msg_count, 60u);  // 2 Hz x 30 s
+
+  // The scenario is actually optimizable.
+  const auto result = scenario->make_optimizer().optimize(scenario->topic);
+  EXPECT_FALSE(result.config.regions.empty());
+}
+
+TEST(ScenarioFile, BuildRejectsUnknownRegion) {
+  std::string error;
+  const auto spec =
+      parse_scenario_spec("placement atlantis-1 1 1\n", &error);
+  ASSERT_TRUE(spec.has_value());
+  const auto catalog = geo::RegionCatalog::ec2_2016();
+  const auto backbone = geo::InterRegionLatency::ec2_2016();
+  EXPECT_FALSE(build_scenario(*spec, catalog, backbone, &error).has_value());
+  EXPECT_NE(error.find("atlantis-1"), std::string::npos);
+}
+
+TEST(ScenarioFile, BuildRejectsPublisherlessScenario) {
+  std::string error;
+  const auto spec = parse_scenario_spec("placement us-east-1 0 5\n", &error);
+  ASSERT_TRUE(spec.has_value());
+  const auto catalog = geo::RegionCatalog::ec2_2016();
+  const auto backbone = geo::InterRegionLatency::ec2_2016();
+  EXPECT_FALSE(build_scenario(*spec, catalog, backbone, &error).has_value());
+}
+
+TEST(ScenarioFile, SameSeedSameScenario) {
+  std::string error;
+  const auto spec = parse_scenario_spec(kValid, &error);
+  ASSERT_TRUE(spec.has_value());
+  const auto catalog = geo::RegionCatalog::ec2_2016();
+  const auto backbone = geo::InterRegionLatency::ec2_2016();
+  const auto a = build_scenario(*spec, catalog, backbone, &error);
+  const auto b = build_scenario(*spec, catalog, backbone, &error);
+  ASSERT_TRUE(a && b);
+  for (std::size_t c = 0; c < a->population.latencies.n_clients(); ++c) {
+    const ClientId id{static_cast<ClientId::underlying_type>(c)};
+    for (int r = 0; r < 10; ++r) {
+      EXPECT_DOUBLE_EQ(a->population.latencies.at(id, RegionId{r}),
+                       b->population.latencies.at(id, RegionId{r}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace multipub::sim

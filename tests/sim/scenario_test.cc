@@ -1,0 +1,119 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub::sim {
+namespace {
+
+TEST(MessagesPerInterval, RoundsRateTimesSeconds) {
+  WorkloadSpec w;
+  w.publish_rate_hz = 1.0;
+  w.interval_seconds = 60.0;
+  EXPECT_EQ(messages_per_interval(w), 60u);
+  w.publish_rate_hz = 0.5;
+  EXPECT_EQ(messages_per_interval(w), 30u);
+  w.publish_rate_hz = 0.001;
+  EXPECT_EQ(messages_per_interval(w), 1u);  // never zero
+}
+
+TEST(MakeScenario, PlacementsProduceExpectedClients) {
+  Rng rng(1);
+  WorkloadSpec workload;
+  const auto scenario = make_scenario(
+      {{RegionId{0}, 2, 3}, {RegionId{5}, 1, 4}}, workload, rng);
+  EXPECT_EQ(scenario.topic.publishers.size(), 3u);
+  EXPECT_EQ(scenario.topic.subscribers.size(), 7u);
+  EXPECT_EQ(scenario.population.size(), 10u);
+  // Homes as requested.
+  EXPECT_EQ(scenario.population.clients_near(RegionId{0}).size(), 5u);
+  EXPECT_EQ(scenario.population.clients_near(RegionId{5}).size(), 5u);
+}
+
+TEST(MakeScenario, WorkloadKnobsFlowIntoTopicState) {
+  Rng rng(2);
+  WorkloadSpec workload;
+  workload.publish_rate_hz = 2.0;
+  workload.interval_seconds = 30.0;
+  workload.message_bytes = 512;
+  workload.ratio = 95.0;
+  workload.max_t = 150.0;
+  const auto scenario = make_scenario({{RegionId{0}, 1, 1}}, workload, rng);
+  ASSERT_EQ(scenario.topic.publishers.size(), 1u);
+  EXPECT_EQ(scenario.topic.publishers[0].msg_count, 60u);
+  EXPECT_EQ(scenario.topic.publishers[0].total_bytes, 60u * 512u);
+  EXPECT_DOUBLE_EQ(scenario.topic.constraint.ratio, 95.0);
+  EXPECT_DOUBLE_EQ(scenario.topic.constraint.max, 150.0);
+  EXPECT_DOUBLE_EQ(scenario.interval_seconds, 30.0);
+}
+
+TEST(MakeScenario, ClientIdsAreDenseAndDistinct) {
+  Rng rng(3);
+  WorkloadSpec workload;
+  const auto scenario =
+      make_scenario({{RegionId{1}, 5, 5}, {RegionId{2}, 5, 5}}, workload, rng);
+  std::vector<bool> seen(20, false);
+  for (const auto& p : scenario.topic.publishers) {
+    ASSERT_LT(p.client.index(), 20u);
+    EXPECT_FALSE(seen[p.client.index()]);
+    seen[p.client.index()] = true;
+  }
+  for (const auto& s : scenario.topic.subscribers) {
+    ASSERT_LT(s.client.index(), 20u);
+    EXPECT_FALSE(seen[s.client.index()]);
+    seen[s.client.index()] = true;
+  }
+}
+
+TEST(Experiment1Scenario, MatchesPaperWorkload) {
+  Rng rng(4);
+  const auto scenario = make_experiment1_scenario(rng);
+  EXPECT_EQ(scenario.topic.publishers.size(), 100u);
+  EXPECT_EQ(scenario.topic.subscribers.size(), 100u);
+  EXPECT_DOUBLE_EQ(scenario.topic.constraint.ratio, 75.0);
+  // 1 msg/s for 60 s and 1 KB messages.
+  EXPECT_EQ(scenario.topic.publishers[0].msg_count, 60u);
+  EXPECT_EQ(scenario.topic.publishers[0].total_bytes, 60u * 1024u);
+  // 10 + 10 clients homed at every region.
+  for (const auto& region : scenario.catalog.all()) {
+    EXPECT_EQ(scenario.population.clients_near(region.id).size(), 20u);
+  }
+}
+
+TEST(Experiment2Scenario, AsymmetricPlacement) {
+  Rng rng(5);
+  const auto scenario = make_experiment2_scenario(rng);
+  EXPECT_EQ(scenario.topic.publishers.size(), 100u);
+  EXPECT_EQ(scenario.topic.subscribers.size(), 50u);
+  // Publishers all in Asia-Pacific (regions 5..8).
+  for (const auto& p : scenario.topic.publishers) {
+    const RegionId home =
+        scenario.population.home_region[p.client.index()];
+    EXPECT_GE(home.value(), 5);
+    EXPECT_LE(home.value(), 8);
+  }
+}
+
+TEST(Experiment3Scenario, FullyLocalPopulation) {
+  Rng rng(6);
+  const RegionId sao_paulo{9};
+  const auto scenario = make_experiment3_scenario(sao_paulo, rng);
+  EXPECT_EQ(scenario.topic.publishers.size(), 100u);
+  EXPECT_EQ(scenario.topic.subscribers.size(), 100u);
+  EXPECT_DOUBLE_EQ(scenario.topic.constraint.ratio, 95.0);
+  for (RegionId home : scenario.population.home_region) {
+    EXPECT_EQ(home, sao_paulo);
+  }
+}
+
+TEST(Scenario, MakeOptimizerIsUsable) {
+  Rng rng(7);
+  auto scenario = make_experiment3_scenario(RegionId{5}, rng);
+  scenario.topic.constraint.max = kUnreachable;
+  const auto optimizer = scenario.make_optimizer();
+  const auto result = optimizer.optimize(scenario.topic);
+  EXPECT_TRUE(result.constraint_met);
+  EXPECT_EQ(result.configs_evaluated, 2u * 1023u - 10u);
+}
+
+}  // namespace
+}  // namespace multipub::sim

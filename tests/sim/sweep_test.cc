@@ -1,0 +1,60 @@
+#include "sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace multipub::sim {
+namespace {
+
+class SweepTest : public ::testing::Test {
+ protected:
+  SweepTest() : rng_(21), scenario_(make_experiment1_scenario(rng_)) {}
+
+  Rng rng_;
+  Scenario scenario_;
+};
+
+TEST_F(SweepTest, ProducesOnePointPerStep) {
+  const auto points = sweep_max_t(scenario_, {100.0, 200.0, 20.0});
+  EXPECT_EQ(points.size(), 6u);
+  EXPECT_DOUBLE_EQ(points.front().max_t, 100.0);
+  EXPECT_DOUBLE_EQ(points.back().max_t, 200.0);
+}
+
+TEST_F(SweepTest, AchievedPercentileRespectsBoundWhenMet) {
+  for (const auto& p : sweep_max_t(scenario_, {100.0, 220.0, 8.0})) {
+    if (p.constraint_met) {
+      EXPECT_LE(p.achieved_percentile, p.max_t) << "max_t=" << p.max_t;
+    }
+  }
+}
+
+TEST_F(SweepTest, CostIsMonotonicallyNonIncreasingOverFeasiblePoints) {
+  // Looser bounds can only unlock cheaper configurations (Fig. 3b's shape).
+  double previous = std::numeric_limits<double>::infinity();
+  bool any_feasible = false;
+  for (const auto& p : sweep_max_t(scenario_, {100.0, 220.0, 8.0})) {
+    if (!p.constraint_met) continue;
+    any_feasible = true;
+    EXPECT_LE(p.cost_per_day, previous + 1e-9) << "max_t=" << p.max_t;
+    previous = p.cost_per_day;
+  }
+  EXPECT_TRUE(any_feasible);
+}
+
+TEST_F(SweepTest, RegionCountShrinksTowardsOne) {
+  const auto points = sweep_max_t(scenario_, {100.0, 300.0, 10.0});
+  EXPECT_GE(points.front().n_regions, points.back().n_regions);
+  EXPECT_EQ(points.back().n_regions, 1);  // very loose bound -> one region
+}
+
+TEST_F(SweepTest, ModePolicyIsForwarded) {
+  for (const auto& p : sweep_max_t(scenario_, {100.0, 200.0, 25.0},
+                                   core::ModePolicy::kDirectOnly)) {
+    EXPECT_EQ(p.mode, core::DeliveryMode::kDirect);
+  }
+}
+
+}  // namespace
+}  // namespace multipub::sim

@@ -1,0 +1,142 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/live_runner.h"
+
+namespace multipub::sim {
+namespace {
+
+broker::TopicReport sample_report(TopicId topic) {
+  broker::TopicReport report;
+  report.topic = topic;
+  report.publishers = {{ClientId{0}, 10, 10240}, {ClientId{1}, 5, 5120}};
+  report.subscribers = {ClientId{2}, ClientId{3}};
+  return report;
+}
+
+TEST(TraceRecorder, SerializeRoundTrips) {
+  TraceRecorder recorder;
+  recorder.record(RegionId{0}, {sample_report(TopicId{0})});
+  recorder.record(RegionId{5}, {sample_report(TopicId{0}),
+                                sample_report(TopicId{1})});
+  recorder.end_interval();
+  recorder.record(RegionId{0}, {sample_report(TopicId{0})});
+  recorder.end_interval();
+
+  std::string error;
+  const auto parsed = parse_trace(recorder.serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->size(), 2u);
+  ASSERT_EQ((*parsed)[0].ingests.size(), 2u);
+  EXPECT_EQ((*parsed)[0].ingests[0].region, RegionId{0});
+  EXPECT_EQ((*parsed)[0].ingests[1].region, RegionId{5});
+  ASSERT_EQ((*parsed)[0].ingests[1].reports.size(), 2u);
+  const auto& report = (*parsed)[0].ingests[0].reports[0];
+  ASSERT_EQ(report.publishers.size(), 2u);
+  EXPECT_EQ(report.publishers[0].msg_count, 10u);
+  EXPECT_EQ(report.publishers[1].total_bytes, 5120u);
+  ASSERT_EQ(report.subscribers.size(), 2u);
+  EXPECT_EQ(report.subscribers[1], ClientId{3});
+}
+
+TEST(TraceParse, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_trace("report 0 0\n", &error).has_value());
+  EXPECT_NE(error.find("outside interval"), std::string::npos);
+  EXPECT_FALSE(parse_trace("interval\npub 1 2 3\n", &error).has_value());
+  EXPECT_FALSE(
+      parse_trace("interval\nreport 0 0\npub x 2 3\n", &error).has_value());
+  EXPECT_FALSE(parse_trace("interval\nbogus\n", &error).has_value());
+  // Empty input is a valid empty trace.
+  EXPECT_TRUE(parse_trace("", &error).has_value());
+}
+
+TEST(TraceReplay, ReproducesControllerDecisions) {
+  // Record a live run's reports, replay them into a fresh controller, and
+  // require the identical decisions.
+  Rng rng(161);
+  WorkloadSpec workload;
+  workload.interval_seconds = 10.0;
+  workload.ratio = 95.0;
+  workload.max_t = 140.0;
+  const Scenario scenario =
+      make_scenario({{RegionId{0}, 2, 3}, {RegionId{5}, 2, 3}}, workload, rng);
+
+  LiveSystem live(scenario);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+
+  TraceRecorder recorder;
+  std::vector<std::vector<broker::Controller::Decision>> live_decisions;
+  for (int round = 0; round < 3; ++round) {
+    (void)live.run_interval(10.0, 1024, 1.0, rng);
+    // Mirror control_round, but tee the reports into the recorder.
+    for (const auto& region : scenario.catalog.all()) {
+      const auto reports = live.region_manager(region.id).collect_reports();
+      recorder.record(region.id, reports);
+      live.controller().ingest(region.id, reports);
+    }
+    recorder.end_interval();
+    live_decisions.push_back(live.controller().reconfigure());
+    live.simulator().run();
+  }
+
+  std::string error;
+  const auto trace = parse_trace(recorder.serialize(), &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+
+  broker::Controller replayed(scenario.catalog, scenario.backbone,
+                              scenario.population.latencies);
+  replayed.set_constraint(scenario.topic.topic, scenario.topic.constraint);
+  const auto decisions = replay_trace(*trace, replayed);
+
+  ASSERT_EQ(decisions.size(), live_decisions.size());
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    ASSERT_EQ(decisions[i].size(), live_decisions[i].size()) << "round " << i;
+    for (std::size_t d = 0; d < decisions[i].size(); ++d) {
+      EXPECT_EQ(decisions[i][d].result.config,
+                live_decisions[i][d].result.config)
+          << "round " << i;
+    }
+  }
+}
+
+TEST(TraceReplay, WhatIfWithDifferentConstraint) {
+  // The same trace replayed under a looser constraint produces a cheaper
+  // deployment — the offline what-if workflow.
+  Rng rng(162);
+  WorkloadSpec workload;
+  workload.interval_seconds = 10.0;
+  workload.ratio = 95.0;
+  workload.max_t = 130.0;
+  const Scenario scenario =
+      make_scenario({{RegionId{0}, 2, 3}, {RegionId{5}, 2, 3}}, workload, rng);
+
+  LiveSystem live(scenario);
+  live.deploy({geo::RegionSet::universe(10), core::DeliveryMode::kRouted});
+  TraceRecorder recorder;
+  (void)live.run_interval(10.0, 1024, 1.0, rng);
+  for (const auto& region : scenario.catalog.all()) {
+    recorder.record(region.id,
+                    live.region_manager(region.id).collect_reports());
+  }
+  recorder.end_interval();
+
+  auto run_with = [&](Millis max_t) {
+    broker::Controller controller(scenario.catalog, scenario.backbone,
+                                  scenario.population.latencies);
+    controller.set_constraint(scenario.topic.topic, {95.0, max_t});
+    const auto decisions = replay_trace(recorder.intervals(), controller);
+    EXPECT_EQ(decisions.size(), 1u);
+    EXPECT_EQ(decisions[0].size(), 1u);
+    return decisions[0][0].result;
+  };
+
+  const auto tight = run_with(130.0);
+  const auto loose = run_with(500.0);
+  EXPECT_LE(loose.cost, tight.cost);
+  EXPECT_LT(loose.config.region_count(), tight.config.region_count());
+}
+
+}  // namespace
+}  // namespace multipub::sim

@@ -1,0 +1,102 @@
+#include "flags.h"
+
+#include <gtest/gtest.h>
+
+namespace multipub::tools {
+namespace {
+
+/// Builds argv from string literals (argv[0] is the program name).
+class Argv {
+ public:
+  explicit Argv(std::initializer_list<const char*> args) {
+    strings_.emplace_back("prog");
+    for (const char* a : args) strings_.emplace_back(a);
+    for (auto& s : strings_) pointers_.push_back(s.data());
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(pointers_.size()); }
+  [[nodiscard]] char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> pointers_;
+};
+
+TEST(Flags, EqualsForm) {
+  Argv a({"--ratio=95", "--mode=routed"});
+  Flags flags(a.argc(), a.argv());
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio", 0), 95.0);
+  EXPECT_EQ(flags.get("mode", ""), "routed");
+  EXPECT_TRUE(flags.errors().empty());
+}
+
+TEST(Flags, SpaceForm) {
+  Argv a({"--ratio", "75", "--size", "2048"});
+  Flags flags(a.argc(), a.argv());
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio", 0), 75.0);
+  EXPECT_EQ(flags.get_int("size", 0), 2048);
+}
+
+TEST(Flags, BooleanForms) {
+  Argv a({"--live", "--heuristic=false", "--exact-list", "--verbose", "0"});
+  Flags flags(a.argc(), a.argv());
+  EXPECT_TRUE(flags.get_bool("live", false));
+  EXPECT_FALSE(flags.get_bool("heuristic", true));
+  EXPECT_TRUE(flags.get_bool("exact-list", false));
+  EXPECT_FALSE(flags.get_bool("verbose", true));
+  EXPECT_TRUE(flags.get_bool("absent", true));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  Argv a({});
+  Flags flags(a.argc(), a.argv());
+  EXPECT_FALSE(flags.has("anything"));
+  EXPECT_DOUBLE_EQ(flags.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(flags.get_int("y", 7), 7);
+  EXPECT_EQ(flags.get("z", "fallback"), "fallback");
+}
+
+TEST(Flags, RangeParsing) {
+  Argv a({"--sweep=100:200:4"});
+  Flags flags(a.argc(), a.argv());
+  const auto range = flags.get_range("sweep");
+  ASSERT_TRUE(range.has_value());
+  EXPECT_DOUBLE_EQ((*range)[0], 100.0);
+  EXPECT_DOUBLE_EQ((*range)[1], 200.0);
+  EXPECT_DOUBLE_EQ((*range)[2], 4.0);
+}
+
+TEST(Flags, MissingRangeIsNullopt) {
+  Argv a({});
+  Flags flags(a.argc(), a.argv());
+  EXPECT_FALSE(flags.get_range("sweep").has_value());
+}
+
+TEST(Flags, MalformedNumberIsReported) {
+  Argv a({"--ratio=abc"});
+  Flags flags(a.argc(), a.argv());
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio", 50.0), 50.0);
+  EXPECT_FALSE(flags.errors().empty());
+}
+
+TEST(Flags, PositionalArgumentIsReported) {
+  Argv a({"oops"});
+  Flags flags(a.argc(), a.argv());
+  ASSERT_EQ(flags.errors().size(), 1u);
+  EXPECT_NE(flags.errors()[0].find("oops"), std::string::npos);
+}
+
+TEST(Flags, LastValueWinsOnRepeat) {
+  Argv a({"--seed=1", "--seed=2"});
+  Flags flags(a.argc(), a.argv());
+  EXPECT_EQ(flags.get_int("seed", 0), 2);
+}
+
+TEST(Flags, NegativeNumbersAsValues) {
+  // A negative value is not mistaken for a flag (doesn't start with --).
+  Argv a({"--offset", "-5"});
+  Flags flags(a.argc(), a.argv());
+  EXPECT_EQ(flags.get_int("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace multipub::tools

@@ -1,0 +1,132 @@
+#include "wire/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace multipub::wire {
+namespace {
+
+Message sample_message() {
+  Message msg;
+  msg.type = MessageType::kPublish;
+  msg.topic = TopicId{7};
+  msg.publisher = ClientId{123};
+  msg.subscriber = ClientId{456};
+  msg.seq = 0xDEADBEEFCAFEULL;
+  msg.published_at = 12345.678;
+  msg.payload_bytes = 1024;
+  msg.config_regions = geo::RegionSet(0b1011001);
+  msg.config_mode = WireMode::kRouted;
+  msg.key = 0x1122334455667788ULL;
+  msg.filter = {100, 5000};
+  return msg;
+}
+
+TEST(Codec, RoundTripPreservesEveryField) {
+  const Message original = sample_message();
+  const auto decoded = decode(encode(original));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(Codec, RoundTripAllMessageTypes) {
+  for (auto type : {MessageType::kSubscribe, MessageType::kUnsubscribe,
+                    MessageType::kPublish, MessageType::kForward,
+                    MessageType::kDeliver, MessageType::kConfigUpdate}) {
+    Message msg = sample_message();
+    msg.type = type;
+    const auto decoded = decode(encode(msg));
+    ASSERT_TRUE(decoded.has_value()) << to_string(type);
+    EXPECT_EQ(decoded->type, type);
+  }
+}
+
+TEST(Codec, RoundTripInvalidIds) {
+  Message msg = sample_message();
+  msg.publisher = ClientId::invalid();
+  msg.subscriber = ClientId::invalid();
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->publisher.valid());
+  EXPECT_FALSE(decoded->subscriber.valid());
+}
+
+TEST(Codec, RejectsWrongSize) {
+  const auto frame = encode(sample_message());
+  EXPECT_FALSE(decode(std::span(frame).subspan(0, 10)).has_value());
+  std::vector<std::byte> too_long(frame.begin(), frame.end());
+  too_long.push_back(std::byte{0});
+  EXPECT_FALSE(decode(too_long).has_value());
+}
+
+TEST(Codec, RejectsBadMagic) {
+  auto frame = encode(sample_message());
+  frame[0] = std::byte{0x00};
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(Codec, RejectsUnknownVersion) {
+  auto frame = encode(sample_message());
+  frame[1] = std::byte{99};
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(Codec, RejectsUnknownMessageType) {
+  auto frame = encode(sample_message());
+  frame[2] = std::byte{0};  // below kSubscribe
+  EXPECT_FALSE(decode(frame).has_value());
+  frame[2] = std::byte{200};
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(Codec, RejectsUnknownMode) {
+  auto frame = encode(sample_message());
+  frame[3] = std::byte{7};
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(Codec, FrameSizeIsStable) {
+  // Wire compatibility: the v2 frame is exactly 72 bytes.
+  EXPECT_EQ(encode(sample_message()).size(), kEncodedSize);
+  EXPECT_EQ(kEncodedSize, 72u);
+}
+
+TEST(Codec, KeyFilterRoundTrips) {
+  Message msg = sample_message();
+  msg.filter = {42, 42};  // single-key filter
+  const auto decoded = decode(encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->filter.matches(42));
+  EXPECT_FALSE(decoded->filter.matches(43));
+  EXPECT_FALSE(decoded->filter.match_all());
+}
+
+TEST(KeyFilter, Semantics) {
+  EXPECT_TRUE(KeyFilter::all().match_all());
+  EXPECT_TRUE(KeyFilter::all().matches(0));
+  EXPECT_TRUE(KeyFilter::all().matches(~std::uint64_t{0}));
+  const KeyFilter range{10, 20};
+  EXPECT_FALSE(range.matches(9));
+  EXPECT_TRUE(range.matches(10));
+  EXPECT_TRUE(range.matches(20));
+  EXPECT_FALSE(range.matches(21));
+}
+
+TEST(Message, BillableBytesOnlyForPublicationTraffic) {
+  Message msg = sample_message();
+  msg.payload_bytes = 4096;
+  msg.type = MessageType::kPublish;
+  EXPECT_EQ(msg.billable_bytes(), 4096u);
+  msg.type = MessageType::kForward;
+  EXPECT_EQ(msg.billable_bytes(), 4096u);
+  msg.type = MessageType::kDeliver;
+  EXPECT_EQ(msg.billable_bytes(), 4096u);
+  msg.type = MessageType::kSubscribe;
+  EXPECT_EQ(msg.billable_bytes(), 0u);
+  msg.type = MessageType::kConfigUpdate;
+  EXPECT_EQ(msg.billable_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace multipub::wire

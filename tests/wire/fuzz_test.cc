@@ -1,0 +1,89 @@
+// Codec robustness: decode() must never crash, loop or accept garbage as a
+// valid frame silently — whatever bytes arrive from the network.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "wire/codec.h"
+
+namespace multipub::wire {
+namespace {
+
+class CodecFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecFuzz, RandomBytesNeverCrash) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::uniform_int_distribution<std::size_t> size_dist(0, 2 * kEncodedSize);
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::byte> junk(size_dist(rng));
+    for (auto& b : junk) b = static_cast<std::byte>(byte_dist(rng));
+    const auto decoded = decode(junk);
+    if (junk.size() != kEncodedSize) {
+      EXPECT_FALSE(decoded.has_value());
+      continue;
+    }
+    // Even size-correct random frames must carry the magic to pass.
+    if (decoded.has_value()) {
+      EXPECT_EQ(junk[0], static_cast<std::byte>(kMagic));
+      EXPECT_EQ(junk[1], static_cast<std::byte>(kVersion));
+    }
+  }
+}
+
+TEST_P(CodecFuzz, BitFlippedFramesEitherRejectOrStayWellFormed) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  std::uniform_int_distribution<std::size_t> pos_dist(0, kEncodedSize - 1);
+  std::uniform_int_distribution<int> bit_dist(0, 7);
+
+  Message msg;
+  msg.type = MessageType::kPublish;
+  msg.topic = TopicId{1};
+  msg.publisher = ClientId{2};
+  msg.seq = 33;
+  msg.published_at = 99.5;
+  msg.payload_bytes = 512;
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto frame = encode(msg);
+    const std::size_t pos = pos_dist(rng);
+    frame[pos] ^= static_cast<std::byte>(1 << bit_dist(rng));
+    const auto decoded = decode(frame);
+    if (!decoded.has_value()) continue;  // rejected: fine
+    // Accepted: the decoded message must re-encode to the same frame
+    // (decode is the inverse of encode on its accepted domain).
+    EXPECT_EQ(encode(*decoded), frame);
+  }
+}
+
+TEST_P(CodecFuzz, RandomMessagesRoundTrip) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  std::uniform_int_distribution<int> type_dist(1, 9);
+  std::uniform_int_distribution<std::int32_t> id_dist(-1, 1 << 20);
+  std::uniform_int_distribution<std::uint64_t> u64_dist;
+  std::uniform_real_distribution<double> time_dist(0.0, 1e9);
+
+  for (int trial = 0; trial < 2000; ++trial) {
+    Message msg;
+    msg.type = static_cast<MessageType>(type_dist(rng));
+    msg.topic = TopicId{id_dist(rng)};
+    msg.publisher = ClientId{id_dist(rng)};
+    msg.subscriber = ClientId{id_dist(rng)};
+    msg.seq = u64_dist(rng);
+    msg.published_at = time_dist(rng);
+    msg.payload_bytes = u64_dist(rng);
+    msg.config_regions = geo::RegionSet(u64_dist(rng));
+    msg.config_mode = static_cast<WireMode>(trial % 2);
+    msg.key = u64_dist(rng);
+    msg.filter = {u64_dist(rng), u64_dist(rng)};
+    const auto decoded = decode(encode(msg));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, msg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace multipub::wire

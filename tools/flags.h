@@ -1,0 +1,115 @@
+// Minimal command-line flag parsing for the tools.
+//
+// Supports --name=value and --name value forms plus boolean --name. No
+// external dependency; errors collect into a list the tool prints with its
+// usage text.
+#pragma once
+
+#include <array>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace multipub::tools {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (!arg.starts_with("--")) {
+        errors_.push_back("unexpected positional argument: " +
+                          std::string(arg));
+        continue;
+      }
+      arg.remove_prefix(2);
+      if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+        values_[std::string(arg.substr(0, eq))] =
+            std::string(arg.substr(eq + 1));
+        continue;
+      }
+      // --name value (when the next token is not a flag) or boolean --name.
+      if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        values_[std::string(arg)] = argv[++i];
+      } else {
+        values_[std::string(arg)] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.count(name) > 0;
+  }
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] double get_double(const std::string& name, double fallback) {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      errors_.push_back("flag --" + name + " expects a number, got '" +
+                        it->second + "'");
+      return fallback;
+    }
+    return v;
+  }
+
+  [[nodiscard]] long get_int(const std::string& name, long fallback) {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      errors_.push_back("flag --" + name + " expects an integer, got '" +
+                        it->second + "'");
+      return fallback;
+    }
+    return v;
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0";
+  }
+
+  /// "a:b:c" triple of doubles (sweep ranges).
+  [[nodiscard]] std::optional<std::array<double, 3>> get_range(
+      const std::string& name) {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    std::array<double, 3> out{};
+    std::size_t pos = 0;
+    const std::string& s = it->second;
+    for (int k = 0; k < 3; ++k) {
+      const std::size_t next = k < 2 ? s.find(':', pos) : s.size();
+      if (next == std::string::npos) {
+        errors_.push_back("flag --" + name + " expects from:to:step");
+        return std::nullopt;
+      }
+      out[static_cast<std::size_t>(k)] =
+          std::strtod(s.substr(pos, next - pos).c_str(), nullptr);
+      pos = next + 1;
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& errors() const {
+    return errors_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace multipub::tools
