@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bundling.dir/bench_ablation_bundling.cc.o"
+  "CMakeFiles/bench_ablation_bundling.dir/bench_ablation_bundling.cc.o.d"
+  "bench_ablation_bundling"
+  "bench_ablation_bundling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bundling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

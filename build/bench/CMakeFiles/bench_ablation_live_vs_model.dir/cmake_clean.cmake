@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_live_vs_model.dir/bench_ablation_live_vs_model.cc.o"
+  "CMakeFiles/bench_ablation_live_vs_model.dir/bench_ablation_live_vs_model.cc.o.d"
+  "bench_ablation_live_vs_model"
+  "bench_ablation_live_vs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_live_vs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

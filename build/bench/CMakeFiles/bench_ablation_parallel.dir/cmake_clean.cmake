@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parallel.dir/bench_ablation_parallel.cc.o"
+  "CMakeFiles/bench_ablation_parallel.dir/bench_ablation_parallel.cc.o.d"
+  "bench_ablation_parallel"
+  "bench_ablation_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

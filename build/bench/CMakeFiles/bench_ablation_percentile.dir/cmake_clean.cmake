@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_percentile.dir/bench_ablation_percentile.cc.o"
+  "CMakeFiles/bench_ablation_percentile.dir/bench_ablation_percentile.cc.o.d"
+  "bench_ablation_percentile"
+  "bench_ablation_percentile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_percentile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pruning.dir/bench_ablation_pruning.cc.o"
+  "CMakeFiles/bench_ablation_pruning.dir/bench_ablation_pruning.cc.o.d"
+  "bench_ablation_pruning"
+  "bench_ablation_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

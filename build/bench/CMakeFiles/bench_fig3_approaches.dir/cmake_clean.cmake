@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_approaches.dir/bench_fig3_approaches.cc.o"
+  "CMakeFiles/bench_fig3_approaches.dir/bench_fig3_approaches.cc.o.d"
+  "bench_fig3_approaches"
+  "bench_fig3_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

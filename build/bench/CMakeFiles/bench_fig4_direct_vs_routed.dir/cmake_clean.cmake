@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_direct_vs_routed.dir/bench_fig4_direct_vs_routed.cc.o"
+  "CMakeFiles/bench_fig4_direct_vs_routed.dir/bench_fig4_direct_vs_routed.cc.o.d"
+  "bench_fig4_direct_vs_routed"
+  "bench_fig4_direct_vs_routed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_direct_vs_routed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

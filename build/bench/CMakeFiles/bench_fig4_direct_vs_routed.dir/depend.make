@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig4_direct_vs_routed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_localized.dir/bench_fig5_localized.cc.o"
+  "CMakeFiles/bench_fig5_localized.dir/bench_fig5_localized.cc.o.d"
+  "bench_fig5_localized"
+  "bench_fig5_localized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_localized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

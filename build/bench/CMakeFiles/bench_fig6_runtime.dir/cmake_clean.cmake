@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_runtime.dir/bench_fig6_runtime.cc.o"
+  "CMakeFiles/bench_fig6_runtime.dir/bench_fig6_runtime.cc.o.d"
+  "bench_fig6_runtime"
+  "bench_fig6_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

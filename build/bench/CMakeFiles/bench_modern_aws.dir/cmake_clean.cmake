@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modern_aws.dir/bench_modern_aws.cc.o"
+  "CMakeFiles/bench_modern_aws.dir/bench_modern_aws.cc.o.d"
+  "bench_modern_aws"
+  "bench_modern_aws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modern_aws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

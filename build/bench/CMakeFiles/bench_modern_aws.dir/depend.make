@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_modern_aws.
+# This may be replaced when dependencies are built.

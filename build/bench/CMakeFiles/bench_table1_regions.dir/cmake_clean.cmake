@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_regions.dir/bench_table1_regions.cc.o"
+  "CMakeFiles/bench_table1_regions.dir/bench_table1_regions.cc.o.d"
+  "bench_table1_regions"
+  "bench_table1_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

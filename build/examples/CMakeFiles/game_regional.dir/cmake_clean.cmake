@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_regional.dir/game_regional.cpp.o"
+  "CMakeFiles/game_regional.dir/game_regional.cpp.o.d"
+  "game_regional"
+  "game_regional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_regional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

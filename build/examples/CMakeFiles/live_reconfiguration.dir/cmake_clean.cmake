@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_reconfiguration.dir/live_reconfiguration.cpp.o"
+  "CMakeFiles/live_reconfiguration.dir/live_reconfiguration.cpp.o.d"
+  "live_reconfiguration"
+  "live_reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

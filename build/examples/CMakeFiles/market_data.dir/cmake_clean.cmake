@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_data.dir/market_data.cpp.o"
+  "CMakeFiles/market_data.dir/market_data.cpp.o.d"
+  "market_data"
+  "market_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

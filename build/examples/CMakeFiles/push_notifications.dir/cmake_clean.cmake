@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/push_notifications.dir/push_notifications.cpp.o"
+  "CMakeFiles/push_notifications.dir/push_notifications.cpp.o.d"
+  "push_notifications"
+  "push_notifications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/push_notifications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

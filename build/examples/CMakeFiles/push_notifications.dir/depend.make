@@ -1,0 +1,2 @@
+# Empty dependencies file for push_notifications.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_bridge.dir/tcp_bridge.cpp.o"
+  "CMakeFiles/tcp_bridge.dir/tcp_bridge.cpp.o.d"
+  "tcp_bridge"
+  "tcp_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

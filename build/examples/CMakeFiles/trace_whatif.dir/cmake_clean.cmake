@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_whatif.dir/trace_whatif.cpp.o"
+  "CMakeFiles/trace_whatif.dir/trace_whatif.cpp.o.d"
+  "trace_whatif"
+  "trace_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broker/broker.cc" "src/broker/CMakeFiles/multipub_broker.dir/broker.cc.o" "gcc" "src/broker/CMakeFiles/multipub_broker.dir/broker.cc.o.d"
+  "/root/repo/src/broker/controller.cc" "src/broker/CMakeFiles/multipub_broker.dir/controller.cc.o" "gcc" "src/broker/CMakeFiles/multipub_broker.dir/controller.cc.o.d"
+  "/root/repo/src/broker/region_manager.cc" "src/broker/CMakeFiles/multipub_broker.dir/region_manager.cc.o" "gcc" "src/broker/CMakeFiles/multipub_broker.dir/region_manager.cc.o.d"
+  "/root/repo/src/broker/scaling.cc" "src/broker/CMakeFiles/multipub_broker.dir/scaling.cc.o" "gcc" "src/broker/CMakeFiles/multipub_broker.dir/scaling.cc.o.d"
+  "/root/repo/src/broker/subscription_table.cc" "src/broker/CMakeFiles/multipub_broker.dir/subscription_table.cc.o" "gcc" "src/broker/CMakeFiles/multipub_broker.dir/subscription_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/multipub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/multipub_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/multipub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/multipub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/multipub_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipub_broker.dir/broker.cc.o"
+  "CMakeFiles/multipub_broker.dir/broker.cc.o.d"
+  "CMakeFiles/multipub_broker.dir/controller.cc.o"
+  "CMakeFiles/multipub_broker.dir/controller.cc.o.d"
+  "CMakeFiles/multipub_broker.dir/region_manager.cc.o"
+  "CMakeFiles/multipub_broker.dir/region_manager.cc.o.d"
+  "CMakeFiles/multipub_broker.dir/scaling.cc.o"
+  "CMakeFiles/multipub_broker.dir/scaling.cc.o.d"
+  "CMakeFiles/multipub_broker.dir/subscription_table.cc.o"
+  "CMakeFiles/multipub_broker.dir/subscription_table.cc.o.d"
+  "libmultipub_broker.a"
+  "libmultipub_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipub_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multipub_broker.
+# This may be replaced when dependencies are built.

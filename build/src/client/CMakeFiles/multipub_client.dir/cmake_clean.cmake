@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipub_client.dir/probing.cc.o"
+  "CMakeFiles/multipub_client.dir/probing.cc.o.d"
+  "CMakeFiles/multipub_client.dir/publisher.cc.o"
+  "CMakeFiles/multipub_client.dir/publisher.cc.o.d"
+  "CMakeFiles/multipub_client.dir/subscriber.cc.o"
+  "CMakeFiles/multipub_client.dir/subscriber.cc.o.d"
+  "libmultipub_client.a"
+  "libmultipub_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipub_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipub_common.dir/logging.cc.o"
+  "CMakeFiles/multipub_common.dir/logging.cc.o.d"
+  "CMakeFiles/multipub_common.dir/metrics.cc.o"
+  "CMakeFiles/multipub_common.dir/metrics.cc.o.d"
+  "CMakeFiles/multipub_common.dir/rng.cc.o"
+  "CMakeFiles/multipub_common.dir/rng.cc.o.d"
+  "CMakeFiles/multipub_common.dir/stats.cc.o"
+  "CMakeFiles/multipub_common.dir/stats.cc.o.d"
+  "libmultipub_common.a"
+  "libmultipub_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipub_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

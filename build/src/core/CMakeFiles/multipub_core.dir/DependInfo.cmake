@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bundling.cc" "src/core/CMakeFiles/multipub_core.dir/bundling.cc.o" "gcc" "src/core/CMakeFiles/multipub_core.dir/bundling.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/multipub_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/multipub_core.dir/config.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/multipub_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/multipub_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/delivery_model.cc" "src/core/CMakeFiles/multipub_core.dir/delivery_model.cc.o" "gcc" "src/core/CMakeFiles/multipub_core.dir/delivery_model.cc.o.d"
+  "/root/repo/src/core/heuristic.cc" "src/core/CMakeFiles/multipub_core.dir/heuristic.cc.o" "gcc" "src/core/CMakeFiles/multipub_core.dir/heuristic.cc.o.d"
+  "/root/repo/src/core/latency_estimator.cc" "src/core/CMakeFiles/multipub_core.dir/latency_estimator.cc.o" "gcc" "src/core/CMakeFiles/multipub_core.dir/latency_estimator.cc.o.d"
+  "/root/repo/src/core/mitigation.cc" "src/core/CMakeFiles/multipub_core.dir/mitigation.cc.o" "gcc" "src/core/CMakeFiles/multipub_core.dir/mitigation.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/multipub_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/multipub_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/parallel.cc" "src/core/CMakeFiles/multipub_core.dir/parallel.cc.o" "gcc" "src/core/CMakeFiles/multipub_core.dir/parallel.cc.o.d"
+  "/root/repo/src/core/pruning.cc" "src/core/CMakeFiles/multipub_core.dir/pruning.cc.o" "gcc" "src/core/CMakeFiles/multipub_core.dir/pruning.cc.o.d"
+  "/root/repo/src/core/topic_state.cc" "src/core/CMakeFiles/multipub_core.dir/topic_state.cc.o" "gcc" "src/core/CMakeFiles/multipub_core.dir/topic_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/multipub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/multipub_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

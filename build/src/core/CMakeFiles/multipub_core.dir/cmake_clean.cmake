@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipub_core.dir/bundling.cc.o"
+  "CMakeFiles/multipub_core.dir/bundling.cc.o.d"
+  "CMakeFiles/multipub_core.dir/config.cc.o"
+  "CMakeFiles/multipub_core.dir/config.cc.o.d"
+  "CMakeFiles/multipub_core.dir/cost_model.cc.o"
+  "CMakeFiles/multipub_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/multipub_core.dir/delivery_model.cc.o"
+  "CMakeFiles/multipub_core.dir/delivery_model.cc.o.d"
+  "CMakeFiles/multipub_core.dir/heuristic.cc.o"
+  "CMakeFiles/multipub_core.dir/heuristic.cc.o.d"
+  "CMakeFiles/multipub_core.dir/latency_estimator.cc.o"
+  "CMakeFiles/multipub_core.dir/latency_estimator.cc.o.d"
+  "CMakeFiles/multipub_core.dir/mitigation.cc.o"
+  "CMakeFiles/multipub_core.dir/mitigation.cc.o.d"
+  "CMakeFiles/multipub_core.dir/optimizer.cc.o"
+  "CMakeFiles/multipub_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/multipub_core.dir/parallel.cc.o"
+  "CMakeFiles/multipub_core.dir/parallel.cc.o.d"
+  "CMakeFiles/multipub_core.dir/pruning.cc.o"
+  "CMakeFiles/multipub_core.dir/pruning.cc.o.d"
+  "CMakeFiles/multipub_core.dir/topic_state.cc.o"
+  "CMakeFiles/multipub_core.dir/topic_state.cc.o.d"
+  "libmultipub_core.a"
+  "libmultipub_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipub_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmultipub_core.a"
+)

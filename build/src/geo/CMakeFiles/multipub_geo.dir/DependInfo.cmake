@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/king_synth.cc" "src/geo/CMakeFiles/multipub_geo.dir/king_synth.cc.o" "gcc" "src/geo/CMakeFiles/multipub_geo.dir/king_synth.cc.o.d"
+  "/root/repo/src/geo/latency.cc" "src/geo/CMakeFiles/multipub_geo.dir/latency.cc.o" "gcc" "src/geo/CMakeFiles/multipub_geo.dir/latency.cc.o.d"
+  "/root/repo/src/geo/latency_io.cc" "src/geo/CMakeFiles/multipub_geo.dir/latency_io.cc.o" "gcc" "src/geo/CMakeFiles/multipub_geo.dir/latency_io.cc.o.d"
+  "/root/repo/src/geo/modern.cc" "src/geo/CMakeFiles/multipub_geo.dir/modern.cc.o" "gcc" "src/geo/CMakeFiles/multipub_geo.dir/modern.cc.o.d"
+  "/root/repo/src/geo/region.cc" "src/geo/CMakeFiles/multipub_geo.dir/region.cc.o" "gcc" "src/geo/CMakeFiles/multipub_geo.dir/region.cc.o.d"
+  "/root/repo/src/geo/region_set.cc" "src/geo/CMakeFiles/multipub_geo.dir/region_set.cc.o" "gcc" "src/geo/CMakeFiles/multipub_geo.dir/region_set.cc.o.d"
+  "/root/repo/src/geo/synthetic.cc" "src/geo/CMakeFiles/multipub_geo.dir/synthetic.cc.o" "gcc" "src/geo/CMakeFiles/multipub_geo.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/multipub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipub_geo.dir/king_synth.cc.o"
+  "CMakeFiles/multipub_geo.dir/king_synth.cc.o.d"
+  "CMakeFiles/multipub_geo.dir/latency.cc.o"
+  "CMakeFiles/multipub_geo.dir/latency.cc.o.d"
+  "CMakeFiles/multipub_geo.dir/latency_io.cc.o"
+  "CMakeFiles/multipub_geo.dir/latency_io.cc.o.d"
+  "CMakeFiles/multipub_geo.dir/modern.cc.o"
+  "CMakeFiles/multipub_geo.dir/modern.cc.o.d"
+  "CMakeFiles/multipub_geo.dir/region.cc.o"
+  "CMakeFiles/multipub_geo.dir/region.cc.o.d"
+  "CMakeFiles/multipub_geo.dir/region_set.cc.o"
+  "CMakeFiles/multipub_geo.dir/region_set.cc.o.d"
+  "CMakeFiles/multipub_geo.dir/synthetic.cc.o"
+  "CMakeFiles/multipub_geo.dir/synthetic.cc.o.d"
+  "libmultipub_geo.a"
+  "libmultipub_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipub_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/simulator.cc" "src/net/CMakeFiles/multipub_net.dir/simulator.cc.o" "gcc" "src/net/CMakeFiles/multipub_net.dir/simulator.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/multipub_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/multipub_net.dir/tcp.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/net/CMakeFiles/multipub_net.dir/transport.cc.o" "gcc" "src/net/CMakeFiles/multipub_net.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/multipub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/multipub_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/multipub_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipub_net.dir/simulator.cc.o"
+  "CMakeFiles/multipub_net.dir/simulator.cc.o.d"
+  "CMakeFiles/multipub_net.dir/tcp.cc.o"
+  "CMakeFiles/multipub_net.dir/tcp.cc.o.d"
+  "CMakeFiles/multipub_net.dir/transport.cc.o"
+  "CMakeFiles/multipub_net.dir/transport.cc.o.d"
+  "libmultipub_net.a"
+  "libmultipub_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipub_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

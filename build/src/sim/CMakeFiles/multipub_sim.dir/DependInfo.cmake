@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/baselines.cc" "src/sim/CMakeFiles/multipub_sim.dir/baselines.cc.o" "gcc" "src/sim/CMakeFiles/multipub_sim.dir/baselines.cc.o.d"
+  "/root/repo/src/sim/control_loop.cc" "src/sim/CMakeFiles/multipub_sim.dir/control_loop.cc.o" "gcc" "src/sim/CMakeFiles/multipub_sim.dir/control_loop.cc.o.d"
+  "/root/repo/src/sim/live_runner.cc" "src/sim/CMakeFiles/multipub_sim.dir/live_runner.cc.o" "gcc" "src/sim/CMakeFiles/multipub_sim.dir/live_runner.cc.o.d"
+  "/root/repo/src/sim/metrics_snapshot.cc" "src/sim/CMakeFiles/multipub_sim.dir/metrics_snapshot.cc.o" "gcc" "src/sim/CMakeFiles/multipub_sim.dir/metrics_snapshot.cc.o.d"
+  "/root/repo/src/sim/multi_runner.cc" "src/sim/CMakeFiles/multipub_sim.dir/multi_runner.cc.o" "gcc" "src/sim/CMakeFiles/multipub_sim.dir/multi_runner.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/sim/CMakeFiles/multipub_sim.dir/scenario.cc.o" "gcc" "src/sim/CMakeFiles/multipub_sim.dir/scenario.cc.o.d"
+  "/root/repo/src/sim/scenario_file.cc" "src/sim/CMakeFiles/multipub_sim.dir/scenario_file.cc.o" "gcc" "src/sim/CMakeFiles/multipub_sim.dir/scenario_file.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/sim/CMakeFiles/multipub_sim.dir/sweep.cc.o" "gcc" "src/sim/CMakeFiles/multipub_sim.dir/sweep.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/multipub_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/multipub_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/multipub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/multipub_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/multipub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/multipub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/multipub_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/multipub_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/multipub_client.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

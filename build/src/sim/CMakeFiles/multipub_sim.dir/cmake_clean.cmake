@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipub_sim.dir/baselines.cc.o"
+  "CMakeFiles/multipub_sim.dir/baselines.cc.o.d"
+  "CMakeFiles/multipub_sim.dir/control_loop.cc.o"
+  "CMakeFiles/multipub_sim.dir/control_loop.cc.o.d"
+  "CMakeFiles/multipub_sim.dir/live_runner.cc.o"
+  "CMakeFiles/multipub_sim.dir/live_runner.cc.o.d"
+  "CMakeFiles/multipub_sim.dir/metrics_snapshot.cc.o"
+  "CMakeFiles/multipub_sim.dir/metrics_snapshot.cc.o.d"
+  "CMakeFiles/multipub_sim.dir/multi_runner.cc.o"
+  "CMakeFiles/multipub_sim.dir/multi_runner.cc.o.d"
+  "CMakeFiles/multipub_sim.dir/scenario.cc.o"
+  "CMakeFiles/multipub_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/multipub_sim.dir/scenario_file.cc.o"
+  "CMakeFiles/multipub_sim.dir/scenario_file.cc.o.d"
+  "CMakeFiles/multipub_sim.dir/sweep.cc.o"
+  "CMakeFiles/multipub_sim.dir/sweep.cc.o.d"
+  "CMakeFiles/multipub_sim.dir/trace.cc.o"
+  "CMakeFiles/multipub_sim.dir/trace.cc.o.d"
+  "libmultipub_sim.a"
+  "libmultipub_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipub_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/codec.cc" "src/wire/CMakeFiles/multipub_wire.dir/codec.cc.o" "gcc" "src/wire/CMakeFiles/multipub_wire.dir/codec.cc.o.d"
+  "/root/repo/src/wire/message.cc" "src/wire/CMakeFiles/multipub_wire.dir/message.cc.o" "gcc" "src/wire/CMakeFiles/multipub_wire.dir/message.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/multipub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/multipub_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

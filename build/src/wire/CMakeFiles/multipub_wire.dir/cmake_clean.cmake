@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipub_wire.dir/codec.cc.o"
+  "CMakeFiles/multipub_wire.dir/codec.cc.o.d"
+  "CMakeFiles/multipub_wire.dir/message.cc.o"
+  "CMakeFiles/multipub_wire.dir/message.cc.o.d"
+  "libmultipub_wire.a"
+  "libmultipub_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipub_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

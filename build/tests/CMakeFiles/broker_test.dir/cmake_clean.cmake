@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broker_test.dir/broker/broker_test.cc.o"
+  "CMakeFiles/broker_test.dir/broker/broker_test.cc.o.d"
+  "CMakeFiles/broker_test.dir/broker/controller_test.cc.o"
+  "CMakeFiles/broker_test.dir/broker/controller_test.cc.o.d"
+  "CMakeFiles/broker_test.dir/broker/region_manager_test.cc.o"
+  "CMakeFiles/broker_test.dir/broker/region_manager_test.cc.o.d"
+  "CMakeFiles/broker_test.dir/broker/scaling_test.cc.o"
+  "CMakeFiles/broker_test.dir/broker/scaling_test.cc.o.d"
+  "CMakeFiles/broker_test.dir/broker/subscription_table_test.cc.o"
+  "CMakeFiles/broker_test.dir/broker/subscription_table_test.cc.o.d"
+  "broker_test"
+  "broker_test.pdb"
+  "broker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

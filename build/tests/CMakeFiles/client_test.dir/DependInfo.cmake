@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/client/client_test.cc" "tests/CMakeFiles/client_test.dir/client/client_test.cc.o" "gcc" "tests/CMakeFiles/client_test.dir/client/client_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/multipub_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/multipub_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/multipub_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/multipub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/multipub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/multipub_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/multipub_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/multipub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bundling_test.cc" "tests/CMakeFiles/core_test.dir/core/bundling_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/bundling_test.cc.o.d"
+  "/root/repo/tests/core/config_test.cc" "tests/CMakeFiles/core_test.dir/core/config_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/config_test.cc.o.d"
+  "/root/repo/tests/core/cost_model_test.cc" "tests/CMakeFiles/core_test.dir/core/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cost_model_test.cc.o.d"
+  "/root/repo/tests/core/delivery_model_test.cc" "tests/CMakeFiles/core_test.dir/core/delivery_model_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/delivery_model_test.cc.o.d"
+  "/root/repo/tests/core/ec2_property_test.cc" "tests/CMakeFiles/core_test.dir/core/ec2_property_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/ec2_property_test.cc.o.d"
+  "/root/repo/tests/core/heuristic_test.cc" "tests/CMakeFiles/core_test.dir/core/heuristic_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/heuristic_test.cc.o.d"
+  "/root/repo/tests/core/latency_estimator_test.cc" "tests/CMakeFiles/core_test.dir/core/latency_estimator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/latency_estimator_test.cc.o.d"
+  "/root/repo/tests/core/mitigation_test.cc" "tests/CMakeFiles/core_test.dir/core/mitigation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/mitigation_test.cc.o.d"
+  "/root/repo/tests/core/optimizer_test.cc" "tests/CMakeFiles/core_test.dir/core/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/optimizer_test.cc.o.d"
+  "/root/repo/tests/core/parallel_test.cc" "tests/CMakeFiles/core_test.dir/core/parallel_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/parallel_test.cc.o.d"
+  "/root/repo/tests/core/pruning_test.cc" "tests/CMakeFiles/core_test.dir/core/pruning_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pruning_test.cc.o.d"
+  "/root/repo/tests/core/topic_state_test.cc" "tests/CMakeFiles/core_test.dir/core/topic_state_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/topic_state_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/multipub_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/multipub_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/multipub_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/multipub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/multipub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/multipub_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/multipub_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/multipub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/bundling_test.cc.o"
+  "CMakeFiles/core_test.dir/core/bundling_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/config_test.cc.o"
+  "CMakeFiles/core_test.dir/core/config_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/cost_model_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cost_model_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/delivery_model_test.cc.o"
+  "CMakeFiles/core_test.dir/core/delivery_model_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/ec2_property_test.cc.o"
+  "CMakeFiles/core_test.dir/core/ec2_property_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/heuristic_test.cc.o"
+  "CMakeFiles/core_test.dir/core/heuristic_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/latency_estimator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/latency_estimator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/mitigation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/mitigation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/optimizer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/optimizer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/parallel_test.cc.o"
+  "CMakeFiles/core_test.dir/core/parallel_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pruning_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pruning_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/topic_state_test.cc.o"
+  "CMakeFiles/core_test.dir/core/topic_state_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_test.dir/geo/king_synth_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/king_synth_test.cc.o.d"
+  "CMakeFiles/geo_test.dir/geo/latency_io_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/latency_io_test.cc.o.d"
+  "CMakeFiles/geo_test.dir/geo/latency_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/latency_test.cc.o.d"
+  "CMakeFiles/geo_test.dir/geo/modern_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/modern_test.cc.o.d"
+  "CMakeFiles/geo_test.dir/geo/region_set_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/region_set_test.cc.o.d"
+  "CMakeFiles/geo_test.dir/geo/region_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/region_test.cc.o.d"
+  "CMakeFiles/geo_test.dir/geo/synthetic_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/synthetic_test.cc.o.d"
+  "geo_test"
+  "geo_test.pdb"
+  "geo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/churn_test.cc" "tests/CMakeFiles/integration_test.dir/integration/churn_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/churn_test.cc.o.d"
+  "/root/repo/tests/integration/content_filter_test.cc" "tests/CMakeFiles/integration_test.dir/integration/content_filter_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/content_filter_test.cc.o.d"
+  "/root/repo/tests/integration/experiment_shape_test.cc" "tests/CMakeFiles/integration_test.dir/integration/experiment_shape_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/experiment_shape_test.cc.o.d"
+  "/root/repo/tests/integration/failure_test.cc" "tests/CMakeFiles/integration_test.dir/integration/failure_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/failure_test.cc.o.d"
+  "/root/repo/tests/integration/handover_test.cc" "tests/CMakeFiles/integration_test.dir/integration/handover_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/handover_test.cc.o.d"
+  "/root/repo/tests/integration/latency_monitoring_test.cc" "tests/CMakeFiles/integration_test.dir/integration/latency_monitoring_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/latency_monitoring_test.cc.o.d"
+  "/root/repo/tests/integration/live_vs_model_test.cc" "tests/CMakeFiles/integration_test.dir/integration/live_vs_model_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/live_vs_model_test.cc.o.d"
+  "/root/repo/tests/integration/reconfiguration_test.cc" "tests/CMakeFiles/integration_test.dir/integration/reconfiguration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/reconfiguration_test.cc.o.d"
+  "/root/repo/tests/integration/soak_test.cc" "tests/CMakeFiles/integration_test.dir/integration/soak_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/soak_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/multipub_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/multipub_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/multipub_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/multipub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/multipub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/multipub_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/multipub_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/multipub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/churn_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/churn_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/content_filter_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/content_filter_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/experiment_shape_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/experiment_shape_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/failure_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/failure_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/handover_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/handover_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/latency_monitoring_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/latency_monitoring_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/live_vs_model_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/live_vs_model_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/reconfiguration_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/reconfiguration_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/soak_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/soak_test.cc.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/baselines_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/baselines_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/control_loop_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/control_loop_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/metrics_snapshot_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/metrics_snapshot_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/multi_runner_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/multi_runner_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/poisson_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/poisson_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/scenario_file_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/scenario_file_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/scenario_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/scenario_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/sweep_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/sweep_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/trace_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/trace_test.cc.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

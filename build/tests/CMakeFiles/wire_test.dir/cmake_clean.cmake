@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_test.dir/wire/codec_test.cc.o"
+  "CMakeFiles/wire_test.dir/wire/codec_test.cc.o.d"
+  "CMakeFiles/wire_test.dir/wire/fuzz_test.cc.o"
+  "CMakeFiles/wire_test.dir/wire/fuzz_test.cc.o.d"
+  "wire_test"
+  "wire_test.pdb"
+  "wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipub_sim_cli.dir/multipub_sim.cc.o"
+  "CMakeFiles/multipub_sim_cli.dir/multipub_sim.cc.o.d"
+  "multipub-sim"
+  "multipub-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipub_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
