@@ -1,0 +1,141 @@
+// Speedup benchmark: batched EvaluationEngine vs. the seed's per-config
+// reference path, on the Fig-6b-style scenario (100 clients spread over the
+// first N EC2 regions), kWeighted strategy, N in {6, 8, 10}.
+//
+// Prints a human-readable table and writes BENCH_optimizer.json (an array of
+// {n_regions, configs, reference_ms, engine_ms, speedup, identical}) so CI
+// and scripts can track the ratio. Also cross-checks that both paths return
+// identical results on every measured run.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/evaluation_engine.h"
+#include "core/optimizer.h"
+#include "sim/scenario.h"
+
+using namespace multipub;
+
+namespace {
+
+sim::Scenario scaled_scenario(std::size_t n_regions, std::size_t clients_total) {
+  Rng rng(2017);
+  const std::size_t per_region =
+      std::max<std::size_t>(1, clients_total / n_regions);
+  std::vector<sim::PlacementSpec> placements;
+  for (std::size_t r = 0; r < n_regions; ++r) {
+    placements.push_back({RegionId{static_cast<RegionId::underlying_type>(r)},
+                          per_region, per_region});
+  }
+  sim::WorkloadSpec workload;
+  workload.ratio = 75.0;
+  workload.max_t = 150.0;
+  workload.interval_seconds = 60.0;
+  sim::Scenario scenario = sim::make_scenario(placements, workload, rng);
+  if (n_regions < 10) {
+    scenario.catalog = scenario.catalog.prefix(n_regions);
+    scenario.backbone = scenario.backbone.prefix(n_regions);
+    geo::ClientLatencyMap truncated(n_regions);
+    for (std::size_t c = 0; c < scenario.population.latencies.n_clients();
+         ++c) {
+      const auto row = scenario.population.latencies.row(
+          ClientId{static_cast<ClientId::underlying_type>(c)});
+      truncated.add_client(row.subspan(0, n_regions));
+    }
+    scenario.population.latencies = std::move(truncated);
+  }
+  return scenario;
+}
+
+/// Best-of-`reps` wall time in milliseconds for `iters` calls of `fn`.
+template <typename Fn>
+double time_ms(int reps, int iters, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count() / iters;
+    best = std::min(best, ms);
+  }
+  return best;
+}
+
+bool same_result(const core::OptimizerResult& a,
+                 const core::OptimizerResult& b) {
+  return a.config == b.config && a.percentile == b.percentile &&
+         a.cost == b.cost && a.constraint_met == b.constraint_met &&
+         a.configs_evaluated == b.configs_evaluated;
+}
+
+}  // namespace
+
+int main() {
+  struct Line {
+    std::size_t n_regions = 0;
+    std::size_t configs = 0;
+    double reference_ms = 0.0;
+    double engine_ms = 0.0;
+    bool identical = false;
+  };
+  std::vector<Line> lines;
+
+  for (std::size_t n : {std::size_t{6}, std::size_t{8}, std::size_t{10}}) {
+    const sim::Scenario scenario = scaled_scenario(n, 100);
+    const auto optimizer = scenario.make_optimizer();
+    core::EvaluationEngine engine(optimizer);
+    const core::OptimizerOptions options;  // kWeighted, kBoth, all regions
+
+    Line line;
+    line.n_regions = n;
+    const auto ref = optimizer.optimize_reference(scenario.topic, options);
+    line.configs = ref.configs_evaluated;
+    line.identical = same_result(ref, engine.optimize(scenario.topic, options));
+
+    const int iters = n >= 10 ? 3 : 10;
+    line.reference_ms = time_ms(5, iters, [&] {
+      (void)optimizer.optimize_reference(scenario.topic, options);
+    });
+    line.engine_ms = time_ms(5, iters, [&] {
+      (void)engine.optimize(scenario.topic, options);
+    });
+    lines.push_back(line);
+  }
+
+  std::printf("%-10s %10s %14s %12s %10s %10s\n", "n_regions", "configs",
+              "reference_ms", "engine_ms", "speedup", "identical");
+  for (const auto& line : lines) {
+    std::printf("%-10zu %10zu %14.3f %12.3f %9.1fx %10s\n", line.n_regions,
+                line.configs, line.reference_ms, line.engine_ms,
+                line.reference_ms / line.engine_ms,
+                line.identical ? "yes" : "NO");
+  }
+
+  std::FILE* out = std::fopen("BENCH_optimizer.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_optimizer.json\n");
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto& line = lines[i];
+    std::fprintf(out,
+                 "  {\"n_regions\": %zu, \"configs\": %zu, "
+                 "\"reference_ms\": %.6f, \"engine_ms\": %.6f, "
+                 "\"speedup\": %.3f, \"identical\": %s}%s\n",
+                 line.n_regions, line.configs, line.reference_ms,
+                 line.engine_ms, line.reference_ms / line.engine_ms,
+                 line.identical ? "true" : "false",
+                 i + 1 < lines.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+
+  // Non-zero exit when the engine diverges, so CI can run this as a check.
+  for (const auto& line : lines) {
+    if (!line.identical) return 1;
+  }
+  return 0;
+}

@@ -25,6 +25,11 @@ Millis percentile(std::span<const Millis> samples, double ratio) {
 }
 
 Millis weighted_percentile(std::vector<WeightedSample> samples, double ratio) {
+  return weighted_percentile_inplace(samples, ratio);
+}
+
+Millis weighted_percentile_inplace(std::span<WeightedSample> samples,
+                                   double ratio) {
   MP_EXPECTS(!samples.empty());
   std::uint64_t total = 0;
   for (const auto& s : samples) total += s.weight;

@@ -45,6 +45,12 @@ struct WeightedSample {
 [[nodiscard]] Millis weighted_percentile(std::vector<WeightedSample> samples,
                                          double ratio);
 
+/// In-place variant for callers that own a reusable scratch buffer (the
+/// optimizer's evaluation engine): identical order statistic, zero
+/// allocations, reorders `samples`. Pre: samples non-empty, total weight > 0.
+[[nodiscard]] Millis weighted_percentile_inplace(std::span<WeightedSample> samples,
+                                                 double ratio);
+
 /// Plain summary statistics over a sample list.
 struct Summary {
   std::uint64_t count = 0;

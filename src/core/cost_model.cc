@@ -26,16 +26,37 @@ std::vector<double> CostModel::subscribers_per_region(
 
 CostModel::Breakdown CostModel::cost_breakdown(const TopicState& topic,
                                                const TopicConfig& config) const {
+  ServingAssignment assignment;
+  resolve_serving(topic, config.regions, *clients_,
+                  config.mode == DeliveryMode::kRouted, assignment);
+  std::vector<double> counts;
+  return cost_breakdown(topic, config, assignment, counts);
+}
+
+CostModel::Breakdown CostModel::cost_breakdown(
+    const TopicState& topic, const TopicConfig& config,
+    const ServingAssignment& assignment,
+    std::vector<double>& counts_scratch) const {
+  MP_EXPECTS(!config.regions.empty());
+  MP_EXPECTS(assignment.sub_region.size() == topic.subscribers.size());
   Breakdown out;
-  const auto subs_per_region =
-      subscribers_per_region(topic, config.regions);
+
+  // N_S^{R_i}, accumulated exactly as subscribers_per_region does (same
+  // per-region addition order) so both entry points price identically.
+  counts_scratch.assign(catalog_->size(), 0.0);
+  for (std::size_t i = 0; i < topic.subscribers.size(); ++i) {
+    const auto& sub = topic.subscribers[i];
+    MP_EXPECTS(sub.selectivity > 0.0 && sub.selectivity <= 1.0);
+    counts_scratch[assignment.sub_region[i].index()] +=
+        static_cast<double>(sub.weight) * sub.selectivity;
+  }
   const Bytes published_bytes = topic.total_published_bytes();
 
   // Eq. 3: every serving region R_i sends each published byte once per local
   // subscriber at beta(R_i). Regions without subscribers contribute zero,
   // whichever mode.
   for (RegionId r : config.regions.to_vector()) {
-    out.subscriber_egress += subs_per_region[r.index()] *
+    out.subscriber_egress += counts_scratch[r.index()] *
                              static_cast<double>(published_bytes) *
                              catalog_->at(r).beta_per_byte();
   }
@@ -44,13 +65,13 @@ CostModel::Breakdown CostModel::cost_breakdown(const TopicState& topic,
   // its closest serving region R^P to the other N_R - 1 serving regions at
   // alpha(R^P).
   if (config.mode == DeliveryMode::kRouted && config.regions.size() > 1) {
+    MP_EXPECTS(assignment.pub_region.size() == topic.publishers.size());
     const double forwards = static_cast<double>(config.regions.size() - 1);
-    for (const auto& pub : topic.publishers) {
+    for (std::size_t p = 0; p < topic.publishers.size(); ++p) {
+      const auto& pub = topic.publishers[p];
       if (pub.total_bytes == 0) continue;
-      const RegionId home =
-          clients_->closest_region(pub.client, config.regions);
       out.inter_region += forwards * static_cast<double>(pub.total_bytes) *
-                          catalog_->at(home).alpha_per_byte();
+                          catalog_->at(assignment.pub_region[p]).alpha_per_byte();
     }
   }
   return out;

@@ -13,6 +13,7 @@
 
 #include "common/types.h"
 #include "core/config.h"
+#include "core/serving.h"
 #include "core/topic_state.h"
 #include "geo/latency.h"
 #include "geo/region.h"
@@ -47,6 +48,15 @@ class CostModel {
   };
   [[nodiscard]] Breakdown cost_breakdown(const TopicState& topic,
                                          const TopicConfig& config) const;
+
+  /// Zero-allocation variant: serving regions were resolved once by the
+  /// caller (shared with the delivery model) and `counts_scratch` is a
+  /// reusable per-region accumulator (resized/zeroed here). Produces results
+  /// bit-identical to cost_breakdown — same accumulation order.
+  [[nodiscard]] Breakdown cost_breakdown(const TopicState& topic,
+                                         const TopicConfig& config,
+                                         const ServingAssignment& assignment,
+                                         std::vector<double>& counts_scratch) const;
 
   [[nodiscard]] const geo::RegionCatalog& catalog() const { return *catalog_; }
 

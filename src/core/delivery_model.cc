@@ -29,46 +29,48 @@ Millis DeliveryModel::pair_delivery_time(ClientId publisher,
 
 std::vector<WeightedSample> DeliveryModel::weighted_delivery_times(
     const TopicState& topic, const TopicConfig& config) const {
+  // Resolve the per-client serving regions once, then delegate to the
+  // buffer-reusing overload (one resolution shared by both hops).
+  ServingAssignment assignment;
+  resolve_serving(topic, config.regions, *clients_,
+                  config.mode == DeliveryMode::kRouted, assignment);
   std::vector<WeightedSample> out;
-  out.reserve(topic.publishers.size() * topic.subscribers.size());
+  weighted_delivery_times(topic, config, assignment, out);
+  return out;
+}
 
-  // Hoist the per-client region resolutions out of the pair loop: each
-  // subscriber's serving region and last leg, and (routed mode) each
-  // publisher's home region and first leg, depend only on the config.
-  struct SubInfo {
-    RegionId region;
-    Millis last_leg;
-  };
-  std::vector<SubInfo> subs;
-  subs.reserve(topic.subscribers.size());
-  for (const auto& sub : topic.subscribers) {
-    const RegionId r = clients_->closest_region(sub.client, config.regions);
-    subs.push_back({r, clients_->at(sub.client, r)});
-  }
+void DeliveryModel::weighted_delivery_times(
+    const TopicState& topic, const TopicConfig& config,
+    const ServingAssignment& assignment,
+    std::vector<WeightedSample>& out) const {
+  MP_EXPECTS(assignment.sub_region.size() == topic.subscribers.size());
+  out.clear();
+  out.reserve(topic.publishers.size() * topic.subscribers.size());
+  const auto& subs = assignment.sub_region;
 
   if (config.mode == DeliveryMode::kDirect) {
     for (const auto& pub : topic.publishers) {
       if (pub.msg_count == 0) continue;
       const auto pub_row = clients_->row(pub.client);
       for (std::size_t i = 0; i < subs.size(); ++i) {
-        out.push_back({pub_row[subs[i].region.index()] + subs[i].last_leg,
+        out.push_back({pub_row[subs[i].index()] + assignment.sub_last_leg[i],
                        pub.msg_count * topic.subscribers[i].weight});
       }
     }
   } else {
-    for (const auto& pub : topic.publishers) {
+    MP_EXPECTS(assignment.pub_region.size() == topic.publishers.size());
+    for (std::size_t p = 0; p < topic.publishers.size(); ++p) {
+      const auto& pub = topic.publishers[p];
       if (pub.msg_count == 0) continue;
-      const RegionId pub_region =
-          clients_->closest_region(pub.client, config.regions);
-      const Millis first_leg = clients_->at(pub.client, pub_region);
+      const RegionId pub_region = assignment.pub_region[p];
+      const Millis first_leg = assignment.pub_first_leg[p];
       for (std::size_t i = 0; i < subs.size(); ++i) {
-        out.push_back({first_leg + backbone_->at(pub_region, subs[i].region) +
-                           subs[i].last_leg,
+        out.push_back({first_leg + backbone_->at(pub_region, subs[i]) +
+                           assignment.sub_last_leg[i],
                        pub.msg_count * topic.subscribers[i].weight});
       }
     }
   }
-  return out;
 }
 
 Millis DeliveryModel::delivery_percentile(const TopicState& topic,

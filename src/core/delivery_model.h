@@ -26,6 +26,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "core/config.h"
+#include "core/serving.h"
 #include "core/topic_state.h"
 #include "geo/latency.h"
 
@@ -46,6 +47,15 @@ class DeliveryModel {
   /// publisher msg_count * subscriber weight.
   [[nodiscard]] std::vector<WeightedSample> weighted_delivery_times(
       const TopicState& topic, const TopicConfig& config) const;
+
+  /// Zero-allocation variant: the caller resolved the serving regions once
+  /// (shared with the cost model) and owns the reusable output buffer, which
+  /// is cleared and refilled. `assignment` must cover the topic's
+  /// subscribers, and its publishers too under routed mode.
+  void weighted_delivery_times(const TopicState& topic,
+                               const TopicConfig& config,
+                               const ServingAssignment& assignment,
+                               std::vector<WeightedSample>& out) const;
 
   /// The ratio-percentile of the interval's deliveries (D̊_C), weighted path.
   /// Pre: topic has at least one publisher with msg_count > 0 and one

@@ -1,0 +1,490 @@
+#include "core/evaluation_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace multipub::core {
+
+EvaluationEngine::EvaluationEngine(const Optimizer& optimizer)
+    : optimizer_(&optimizer) {}
+
+void EvaluationEngine::prepare(const TopicState& topic,
+                               const OptimizerOptions& options) {
+  MP_EXPECTS(!topic.subscribers.empty());
+  MP_EXPECTS(topic.total_messages() > 0);
+  topic_ = &topic;
+  options_ = options;
+
+  const auto& catalog = optimizer_->cost_model().catalog();
+  const auto& clients = optimizer_->delivery_model().clients();
+  const auto& backbone = optimizer_->delivery_model().backbone();
+
+  const geo::RegionSet candidates =
+      options.candidates.empty() ? geo::RegionSet::universe(catalog.size())
+                                 : options.candidates;
+  members_ = candidates.to_vector();
+  k_ = members_.size();
+  MP_EXPECTS(k_ >= 1 && k_ <= 24);  // mirrors enumerate_configurations
+
+  routed_tracked_ = options.mode_policy != ModePolicy::kDirectOnly && k_ > 1;
+  max_t_ = topic.constraint.max;
+
+  const std::uint64_t total_weight =
+      topic.total_messages() * topic.total_subscriber_weight();
+  MP_EXPECTS(total_weight > 0);
+  rank_needed_ = percentile_rank(topic.constraint.ratio, total_weight);
+  published_bytes_ = static_cast<double>(topic.total_published_bytes());
+
+  beta_.resize(k_);
+  alpha_.resize(k_);
+  for (std::size_t j = 0; j < k_; ++j) {
+    beta_[j] = catalog.at(members_[j]).beta_per_byte();
+    alpha_[j] = catalog.at(members_[j]).alpha_per_byte();
+  }
+  backbone_mm_.resize(k_ * k_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    for (std::size_t j = 0; j < k_; ++j) {
+      backbone_mm_[i * k_ + j] = backbone.at(members_[i], members_[j]);
+    }
+  }
+
+  const std::size_t S = topic.subscribers.size();
+  const std::size_t P = topic.publishers.size();
+
+  sub_lat_.resize(S * k_);
+  sub_weight_.resize(S);
+  sub_weight_sel_.resize(S);
+  for (std::size_t s = 0; s < S; ++s) {
+    const auto& sub = topic.subscribers[s];
+    MP_EXPECTS(sub.selectivity > 0.0 && sub.selectivity <= 1.0);
+    const auto row = clients.row(sub.client);
+    for (std::size_t j = 0; j < k_; ++j) {
+      sub_lat_[s * k_ + j] = row[members_[j].index()];
+    }
+    sub_weight_[s] = sub.weight;
+    sub_weight_sel_[s] = static_cast<double>(sub.weight) * sub.selectivity;
+  }
+
+  pub_lat_.resize(P * k_);
+  active_pubs_.clear();
+  active_msgs_.clear();
+  for (std::size_t p = 0; p < P; ++p) {
+    const auto& pub = topic.publishers[p];
+    const auto row = clients.row(pub.client);
+    for (std::size_t j = 0; j < k_; ++j) {
+      pub_lat_[p * k_ + j] = row[members_[j].index()];
+    }
+    if (pub.msg_count > 0) {
+      active_pubs_.push_back(static_cast<std::uint32_t>(p));
+      active_msgs_.push_back(pub.msg_count);
+    }
+  }
+
+  // Preference lists: members sorted per client by (latency, region id) —
+  // ascending member index breaks latency ties exactly like the reference
+  // closest_region scan (members_ is ascending in global id).
+  pref_order_.resize((S + P) * k_);
+  sub_rank_.resize(S * k_);
+  pub_rank_.resize(P * k_);
+  const auto build_pref = [this](const Millis* lat, std::uint16_t* order,
+                                 std::uint16_t* rank) {
+    for (std::size_t j = 0; j < k_; ++j) {
+      order[j] = static_cast<std::uint16_t>(j);
+    }
+    std::sort(order, order + k_, [lat](std::uint16_t a, std::uint16_t b) {
+      if (lat[a] != lat[b]) return lat[a] < lat[b];
+      return a < b;
+    });
+    for (std::size_t t = 0; t < k_; ++t) {
+      rank[order[t]] = static_cast<std::uint16_t>(t);
+    }
+  };
+  for (std::size_t s = 0; s < S; ++s) {
+    build_pref(&sub_lat_[s * k_], &pref_order_[s * k_], &sub_rank_[s * k_]);
+  }
+  for (std::size_t p = 0; p < P; ++p) {
+    build_pref(&pub_lat_[p * k_], &pref_order_[(S + p) * k_],
+               &pub_rank_[p * k_]);
+  }
+
+  // Lattice-walk state.
+  cur_sub_member_.assign(S, -1);
+  cur_pub_member_.assign(P, -1);
+  contrib_d_.assign(S, 0);
+  contrib_r_.assign(S, 0);
+  count_d_ = 0;
+  count_r_ = 0;
+  levels_.resize(k_);
+  egress_counts_.resize(k_);
+  rows_.assign(std::size_t{1} << k_, Row{});
+}
+
+void EvaluationEngine::push_member(std::size_t j, Level& level) {
+  level.moved_subs.clear();
+  level.moved_subs_old_member.clear();
+  level.moved_subs_old_contrib_d.clear();
+  level.moved_subs_old_contrib_r.clear();
+  level.moved_pubs.clear();
+  level.moved_pubs_old_member.clear();
+  level.pubs_moved = false;
+  level.old_count_d = count_d_;
+  level.old_count_r = count_r_;
+
+  const std::size_t S = topic_->subscribers.size();
+  for (std::size_t s = 0; s < S; ++s) {
+    const std::int32_t cur = cur_sub_member_[s];
+    // The added region steals the subscriber only when it is strictly
+    // preferred (lower (latency, id) rank) over the current serving region.
+    if (cur >= 0 && sub_rank_[s * k_ + j] >=
+                        sub_rank_[s * k_ + static_cast<std::size_t>(cur)]) {
+      continue;
+    }
+    level.moved_subs.push_back(static_cast<std::uint32_t>(s));
+    level.moved_subs_old_member.push_back(cur);
+    level.moved_subs_old_contrib_d.push_back(contrib_d_[s]);
+    level.moved_subs_old_contrib_r.push_back(contrib_r_[s]);
+    cur_sub_member_[s] = static_cast<std::int32_t>(j);
+  }
+  if (routed_tracked_) {
+    const std::size_t P = topic_->publishers.size();
+    for (std::size_t p = 0; p < P; ++p) {
+      const std::int32_t cur = cur_pub_member_[p];
+      if (cur >= 0 && pub_rank_[p * k_ + j] >=
+                          pub_rank_[p * k_ + static_cast<std::size_t>(cur)]) {
+        continue;
+      }
+      level.moved_pubs.push_back(static_cast<std::uint32_t>(p));
+      level.moved_pubs_old_member.push_back(cur);
+      cur_pub_member_[p] = static_cast<std::int32_t>(j);
+    }
+    level.pubs_moved = !level.moved_pubs.empty();
+  }
+
+  // Direct-mode feasibility weight: per-subscriber contributions only change
+  // for stolen subscribers (the publisher leg L[P][R^S] depends on R^S only).
+  for (const std::uint32_t s : level.moved_subs) {
+    const Millis sl = sub_lat_[s * k_ + j];
+    std::uint64_t c = 0;
+    for (std::size_t a = 0; a < active_pubs_.size(); ++a) {
+      const std::size_t p = active_pubs_[a];
+      c += active_msgs_[a] * ((pub_lat_[p * k_ + j] + sl) <= max_t_ ? 1u : 0u);
+    }
+    const std::uint64_t nc = c * sub_weight_[s];
+    count_d_ += nc - contrib_d_[s];
+    contrib_d_[s] = nc;
+  }
+
+  if (!routed_tracked_) return;
+  const auto routed_contrib = [this](std::size_t s) {
+    const auto ms = static_cast<std::size_t>(cur_sub_member_[s]);
+    const Millis sl = sub_lat_[s * k_ + ms];
+    std::uint64_t c = 0;
+    for (std::size_t a = 0; a < active_pubs_.size(); ++a) {
+      const std::size_t p = active_pubs_[a];
+      const auto mp = static_cast<std::size_t>(cur_pub_member_[p]);
+      const Millis v =
+          (pub_lat_[p * k_ + mp] + backbone_mm_[mp * k_ + ms]) + sl;
+      c += active_msgs_[a] * (v <= max_t_ ? 1u : 0u);
+    }
+    return c * sub_weight_[s];
+  };
+  if (level.pubs_moved) {
+    // A publisher changed home: every (publisher, subscriber) pair may have
+    // changed — recompute all routed contributions (integer sums, exact).
+    level.contrib_r_snapshot.assign(contrib_r_.begin(), contrib_r_.end());
+    count_r_ = 0;
+    const std::size_t S2 = topic_->subscribers.size();
+    for (std::size_t s = 0; s < S2; ++s) {
+      contrib_r_[s] = routed_contrib(s);
+      count_r_ += contrib_r_[s];
+    }
+  } else {
+    for (const std::uint32_t s : level.moved_subs) {
+      const std::uint64_t nc = routed_contrib(s);
+      count_r_ += nc - contrib_r_[s];
+      contrib_r_[s] = nc;
+    }
+  }
+}
+
+void EvaluationEngine::pop_member(Level& level) {
+  count_d_ = level.old_count_d;
+  count_r_ = level.old_count_r;
+  for (std::size_t i = 0; i < level.moved_subs.size(); ++i) {
+    const std::uint32_t s = level.moved_subs[i];
+    cur_sub_member_[s] = level.moved_subs_old_member[i];
+    contrib_d_[s] = level.moved_subs_old_contrib_d[i];
+    if (routed_tracked_ && !level.pubs_moved) {
+      contrib_r_[s] = level.moved_subs_old_contrib_r[i];
+    }
+  }
+  if (routed_tracked_ && level.pubs_moved) {
+    std::copy(level.contrib_r_snapshot.begin(), level.contrib_r_snapshot.end(),
+              contrib_r_.begin());
+  }
+  for (std::size_t i = 0; i < level.moved_pubs.size(); ++i) {
+    cur_pub_member_[level.moved_pubs[i]] = level.moved_pubs_old_member[i];
+  }
+}
+
+void EvaluationEngine::emit_row(std::uint64_t mask, int size) {
+  Row& row = rows_[mask];
+
+  // Eq. 3 subscriber egress, accumulated exactly like CostModel::
+  // cost_breakdown: per-region N_S in subscriber order, then one term per
+  // subset member in ascending region id.
+  std::fill(egress_counts_.begin(), egress_counts_.end(), 0.0);
+  const std::size_t S = topic_->subscribers.size();
+  for (std::size_t s = 0; s < S; ++s) {
+    egress_counts_[static_cast<std::size_t>(cur_sub_member_[s])] +=
+        sub_weight_sel_[s];
+  }
+  double egress = 0.0;
+  for (std::size_t j = 0; j < k_; ++j) {
+    if ((mask >> j) & 1) {
+      egress += egress_counts_[j] * published_bytes_ * beta_[j];
+    }
+  }
+  row.cost_direct = egress;
+  row.feasible_direct = count_d_ >= rank_needed_;
+
+  if (routed_tracked_ && size > 1) {
+    // Eq. 4 inter-region forwarding, publisher order as the reference.
+    const double forwards = static_cast<double>(size - 1);
+    double inter = 0.0;
+    const std::size_t P = topic_->publishers.size();
+    for (std::size_t p = 0; p < P; ++p) {
+      const auto& pub = topic_->publishers[p];
+      if (pub.total_bytes == 0) continue;
+      inter += forwards * static_cast<double>(pub.total_bytes) *
+               alpha_[static_cast<std::size_t>(cur_pub_member_[p])];
+    }
+    row.cost_routed = egress + inter;
+    row.feasible_routed = count_r_ >= rank_needed_;
+  }
+}
+
+void EvaluationEngine::dfs(std::size_t next_member, std::uint64_t mask,
+                           int size) {
+  for (std::size_t j = next_member; j < k_; ++j) {
+    Level& level = levels_[static_cast<std::size_t>(size)];
+    push_member(j, level);
+    emit_row(mask | (std::uint64_t{1} << j), size + 1);
+    dfs(j + 1, mask | (std::uint64_t{1} << j), size + 1);
+    pop_member(level);
+  }
+}
+
+void EvaluationEngine::walk_lattice() { dfs(0, 0, 0); }
+
+geo::RegionSet EvaluationEngine::global_set(std::uint64_t mask) const {
+  geo::RegionSet out;
+  for (std::size_t j = 0; j < k_; ++j) {
+    if ((mask >> j) & 1) out.add(members_[j]);
+  }
+  return out;
+}
+
+Millis EvaluationEngine::percentile_of(std::uint64_t mask, DeliveryMode mode) {
+  Row& row = rows_[mask];
+  Millis& slot =
+      mode == DeliveryMode::kDirect ? row.pct_direct : row.pct_routed;
+  if (slot >= 0.0) return slot;
+
+  // Resolve serving members with a first-hit scan over each client's
+  // preference list (identical assignment to closest_region).
+  const std::size_t S = topic_->subscribers.size();
+  const auto first_member = [this, mask](std::size_t pref_row) {
+    const std::uint16_t* order = &pref_order_[pref_row * k_];
+    for (std::size_t t = 0; t < k_; ++t) {
+      if ((mask >> order[t]) & 1) return static_cast<std::size_t>(order[t]);
+    }
+    MP_ENSURES(false && "non-empty subset must have a first member");
+    return std::size_t{0};
+  };
+
+  samples_.clear();
+  if (mode == DeliveryMode::kDirect) {
+    for (std::size_t a = 0; a < active_pubs_.size(); ++a) {
+      const std::size_t p = active_pubs_[a];
+      for (std::size_t s = 0; s < S; ++s) {
+        const std::size_t ms = first_member(s);
+        samples_.push_back(
+            {pub_lat_[p * k_ + ms] + sub_lat_[s * k_ + ms],
+             active_msgs_[a] * sub_weight_[s]});
+      }
+    }
+  } else {
+    for (std::size_t a = 0; a < active_pubs_.size(); ++a) {
+      const std::size_t p = active_pubs_[a];
+      const std::size_t mp = first_member(S + p);
+      for (std::size_t s = 0; s < S; ++s) {
+        const std::size_t ms = first_member(s);
+        samples_.push_back(
+            {(pub_lat_[p * k_ + mp] + backbone_mm_[mp * k_ + ms]) +
+                 sub_lat_[s * k_ + ms],
+             active_msgs_[a] * sub_weight_[s]});
+      }
+    }
+  }
+  slot = weighted_percentile_inplace(samples_, topic_->constraint.ratio);
+  return slot;
+}
+
+OptimizerResult EvaluationEngine::optimize(const TopicState& topic,
+                                           const OptimizerOptions& options) {
+  if (options.strategy == EvaluationStrategy::kExactList) {
+    return optimizer_->optimize_reference(topic, options);
+  }
+  prepare(topic, options);
+  walk_lattice();
+
+  const std::uint64_t limit = std::uint64_t{1} << k_;
+  const bool allow_direct = options.mode_policy != ModePolicy::kRoutedOnly;
+  const bool allow_routed = options.mode_policy != ModePolicy::kDirectOnly;
+
+  struct Best {
+    std::uint64_t mask = 0;
+    DeliveryMode mode = DeliveryMode::kDirect;
+    double cost = 0.0;
+    int size = 0;
+  };
+  Best best;
+  bool have_best = false;
+
+  // Pass A — feasible configurations only, replayed in the reference
+  // enumeration order (mask ascending, direct before routed) so ties keep
+  // the earliest candidate exactly like Optimizer::optimize_reference.
+  // The ordering mirrors Optimizer::better's feasible branch: cost, then
+  // region count, then (lazily computed) percentile.
+  const auto consider_feasible = [&](std::uint64_t m, DeliveryMode mode,
+                                     double cost, int size) {
+    if (!have_best) {
+      best = {m, mode, cost, size};
+      have_best = true;
+      return;
+    }
+    bool wins = false;
+    if (!Optimizer::almost_equal(cost, best.cost)) {
+      wins = cost < best.cost;
+    } else if (size != best.size) {
+      wins = size < best.size;
+    } else {
+      const Millis pc = percentile_of(m, mode);
+      const Millis pb = percentile_of(best.mask, best.mode);
+      wins = !Optimizer::almost_equal(pc, pb) && pc < pb;
+    }
+    if (wins) best = {m, mode, cost, size};
+  };
+  for (std::uint64_t m = 1; m < limit; ++m) {
+    const Row& row = rows_[m];
+    const int size = std::popcount(m);
+    if (size == 1) {
+      if (row.feasible_direct) {
+        consider_feasible(m, DeliveryMode::kDirect, row.cost_direct, 1);
+      }
+      continue;
+    }
+    if (allow_direct && row.feasible_direct) {
+      consider_feasible(m, DeliveryMode::kDirect, row.cost_direct, size);
+    }
+    if (allow_routed && row.feasible_routed) {
+      consider_feasible(m, DeliveryMode::kRouted, row.cost_routed, size);
+    }
+  }
+
+  const bool constraint_met = have_best;
+
+  // Pass B — nothing feasible: the latency-minimizing fallback needs the
+  // percentile of every configuration (Optimizer::better's infeasible
+  // branch: percentile, then cost, then size).
+  if (!have_best) {
+    const auto consider_infeasible = [&](std::uint64_t m, DeliveryMode mode,
+                                         double cost, int size) {
+      const Millis pc = percentile_of(m, mode);
+      if (!have_best) {
+        best = {m, mode, cost, size};
+        have_best = true;
+        return;
+      }
+      const Millis pb = percentile_of(best.mask, best.mode);
+      bool wins = false;
+      if (!Optimizer::almost_equal(pc, pb)) {
+        wins = pc < pb;
+      } else if (!Optimizer::almost_equal(cost, best.cost)) {
+        wins = cost < best.cost;
+      } else {
+        wins = size < best.size;
+      }
+      if (wins) best = {m, mode, cost, size};
+    };
+    for (std::uint64_t m = 1; m < limit; ++m) {
+      const Row& row = rows_[m];
+      const int size = std::popcount(m);
+      if (size == 1) {
+        consider_infeasible(m, DeliveryMode::kDirect, row.cost_direct, 1);
+        continue;
+      }
+      if (allow_direct) {
+        consider_infeasible(m, DeliveryMode::kDirect, row.cost_direct, size);
+      }
+      if (allow_routed) {
+        consider_infeasible(m, DeliveryMode::kRouted, row.cost_routed, size);
+      }
+    }
+  }
+  MP_ENSURES(have_best);
+
+  OptimizerResult result;
+  result.config = {global_set(best.mask), best.mode};
+  result.percentile = percentile_of(best.mask, best.mode);
+  result.cost = best.cost;
+  result.constraint_met = constraint_met;
+  result.configs_evaluated =
+      k_ + (limit - 1 - k_) *
+               (options.mode_policy == ModePolicy::kBoth ? 2 : 1);
+  return result;
+}
+
+std::vector<ConfigEvaluation> EvaluationEngine::evaluate_all(
+    const TopicState& topic, const OptimizerOptions& options) {
+  if (options.strategy == EvaluationStrategy::kExactList) {
+    return optimizer_->evaluate_all_reference(topic, options);
+  }
+  prepare(topic, options);
+  walk_lattice();
+
+  const std::uint64_t limit = std::uint64_t{1} << k_;
+  const bool allow_direct = options.mode_policy != ModePolicy::kRoutedOnly;
+  const bool allow_routed = options.mode_policy != ModePolicy::kDirectOnly;
+
+  std::vector<ConfigEvaluation> evals;
+  const auto emit = [&](std::uint64_t m, DeliveryMode mode, double cost,
+                        bool feasible) {
+    ConfigEvaluation eval;
+    eval.config = {global_set(m), mode};
+    eval.percentile = percentile_of(m, mode);
+    eval.cost = cost;
+    eval.feasible = feasible;
+    evals.push_back(std::move(eval));
+  };
+  for (std::uint64_t m = 1; m < limit; ++m) {
+    const Row& row = rows_[m];
+    if (std::popcount(m) == 1) {
+      emit(m, DeliveryMode::kDirect, row.cost_direct, row.feasible_direct);
+      continue;
+    }
+    if (allow_direct) {
+      emit(m, DeliveryMode::kDirect, row.cost_direct, row.feasible_direct);
+    }
+    if (allow_routed) {
+      emit(m, DeliveryMode::kRouted, row.cost_routed, row.feasible_routed);
+    }
+  }
+  return evals;
+}
+
+}  // namespace multipub::core

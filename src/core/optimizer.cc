@@ -1,6 +1,9 @@
 #include "core/optimizer.h"
 
+#include <cmath>
+
 #include "common/assert.h"
+#include "core/evaluation_engine.h"
 
 namespace multipub::core {
 
@@ -27,7 +30,7 @@ ConfigEvaluation Optimizer::evaluate(const TopicState& topic,
   return eval;
 }
 
-std::vector<ConfigEvaluation> Optimizer::evaluate_all(
+std::vector<ConfigEvaluation> Optimizer::evaluate_all_reference(
     const TopicState& topic, const OptimizerOptions& options) const {
   MP_EXPECTS(!topic.subscribers.empty());
   MP_EXPECTS(topic.total_messages() > 0);
@@ -46,6 +49,26 @@ std::vector<ConfigEvaluation> Optimizer::evaluate_all(
   return evals;
 }
 
+std::vector<ConfigEvaluation> Optimizer::evaluate_all(
+    const TopicState& topic, const OptimizerOptions& options) const {
+  if (options.strategy == EvaluationStrategy::kExactList) {
+    return evaluate_all_reference(topic, options);
+  }
+  EvaluationEngine engine(*this);
+  return engine.evaluate_all(topic, options);
+}
+
+bool Optimizer::almost_equal(double a, double b) {
+  if (a == b) return true;  // covers exact ties and matching infinities
+  if (!std::isfinite(a) || !std::isfinite(b)) return false;
+  // Relative epsilon: percentiles are exact order statistics (some sample's
+  // value) and costs are short sums of like-signed products, so genuinely
+  // different configurations differ by far more than 1e-9 relative while
+  // association-order noise stays within a few ulps.
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= 1e-9 * scale;
+}
+
 bool Optimizer::better(const ConfigEvaluation& lhs,
                        const ConfigEvaluation& rhs) {
   // Feasible configurations always beat infeasible ones.
@@ -58,24 +81,25 @@ bool Optimizer::better(const ConfigEvaluation& lhs,
     // One-Region baseline, even though the five equal-cost $0.09 regions
     // together have a strictly lower percentile. We match the figures (the
     // observed system behaviour); DESIGN.md records the deviation.
-    if (lhs.cost != rhs.cost) return lhs.cost < rhs.cost;
+    if (!almost_equal(lhs.cost, rhs.cost)) return lhs.cost < rhs.cost;
     if (lhs.config.region_count() != rhs.config.region_count()) {
       return lhs.config.region_count() < rhs.config.region_count();
     }
+    if (almost_equal(lhs.percentile, rhs.percentile)) return false;
     return lhs.percentile < rhs.percentile;
   }
   // Among infeasible: the most latency-minimizing one, irrespective of cost
   // (paper §IV-B); remaining ties broken by cost then size for determinism.
-  if (lhs.percentile != rhs.percentile) {
+  if (!almost_equal(lhs.percentile, rhs.percentile)) {
     return lhs.percentile < rhs.percentile;
   }
-  if (lhs.cost != rhs.cost) return lhs.cost < rhs.cost;
+  if (!almost_equal(lhs.cost, rhs.cost)) return lhs.cost < rhs.cost;
   return lhs.config.region_count() < rhs.config.region_count();
 }
 
-OptimizerResult Optimizer::optimize(const TopicState& topic,
-                                    const OptimizerOptions& options) const {
-  const auto evals = evaluate_all(topic, options);
+OptimizerResult Optimizer::optimize_reference(
+    const TopicState& topic, const OptimizerOptions& options) const {
+  const auto evals = evaluate_all_reference(topic, options);
   MP_ENSURES(!evals.empty());
 
   const ConfigEvaluation* best = &evals.front();
@@ -90,6 +114,15 @@ OptimizerResult Optimizer::optimize(const TopicState& topic,
   result.constraint_met = best->feasible;
   result.configs_evaluated = evals.size();
   return result;
+}
+
+OptimizerResult Optimizer::optimize(const TopicState& topic,
+                                    const OptimizerOptions& options) const {
+  if (options.strategy == EvaluationStrategy::kExactList) {
+    return optimize_reference(topic, options);
+  }
+  EvaluationEngine engine(*this);
+  return engine.optimize(topic, options);
 }
 
 }  // namespace multipub::core

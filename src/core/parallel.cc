@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/assert.h"
+#include "core/evaluation_engine.h"
 
 namespace multipub::core {
 
@@ -20,20 +21,25 @@ std::vector<OptimizerResult> optimize_topics(const Optimizer& optimizer,
   threads = std::min<unsigned>(threads, static_cast<unsigned>(topics.size()));
 
   if (threads == 1) {
+    EvaluationEngine engine(optimizer);
     for (std::size_t i = 0; i < topics.size(); ++i) {
-      results[i] = optimizer.optimize(topics[i], options);
+      results[i] = engine.optimize(topics[i], options);
     }
     return results;
   }
 
   // Work stealing via a shared atomic cursor: topics can have wildly
   // different sizes, so static partitioning would leave workers idle.
+  // Each worker owns one EvaluationEngine whose scratch buffers amortize
+  // across all topics it processes; per-topic results do not depend on which
+  // worker ran them, so the thread count never changes the output.
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
+    EvaluationEngine engine(optimizer);
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= topics.size()) return;
-      results[i] = optimizer.optimize(topics[i], options);
+      results[i] = engine.optimize(topics[i], options);
     }
   };
 

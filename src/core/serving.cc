@@ -1,0 +1,32 @@
+#include "core/serving.h"
+
+#include "common/assert.h"
+
+namespace multipub::core {
+
+void resolve_serving(const TopicState& topic, geo::RegionSet regions,
+                     const geo::ClientLatencyMap& clients,
+                     bool with_publishers, ServingAssignment& out) {
+  MP_EXPECTS(!regions.empty());
+  out.sub_region.clear();
+  out.sub_last_leg.clear();
+  out.pub_region.clear();
+  out.pub_first_leg.clear();
+  out.sub_region.reserve(topic.subscribers.size());
+  out.sub_last_leg.reserve(topic.subscribers.size());
+  for (const auto& sub : topic.subscribers) {
+    const RegionId r = clients.closest_region(sub.client, regions);
+    out.sub_region.push_back(r);
+    out.sub_last_leg.push_back(clients.at(sub.client, r));
+  }
+  if (!with_publishers) return;
+  out.pub_region.reserve(topic.publishers.size());
+  out.pub_first_leg.reserve(topic.publishers.size());
+  for (const auto& pub : topic.publishers) {
+    const RegionId r = clients.closest_region(pub.client, regions);
+    out.pub_region.push_back(r);
+    out.pub_first_leg.push_back(clients.at(pub.client, r));
+  }
+}
+
+}  // namespace multipub::core

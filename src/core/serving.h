@@ -1,0 +1,39 @@
+// Serving-region resolution shared by the delivery and cost models.
+//
+// Under a configuration, each client attaches to its closest serving region
+// (paper §III-B). Both models need that resolution — the delivery model for
+// the first/last legs of Eq. 1/2, the cost model for N_S^{R_i} and for the
+// routed forwarding source R^P of Eq. 4. The seed code resolved it twice per
+// configuration with an O(N) scan per client; ServingAssignment lets a
+// caller (the evaluation engine, or any batched evaluator) resolve once and
+// hand the result to both models.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/topic_state.h"
+#include "geo/latency.h"
+
+namespace multipub::core {
+
+/// Per-client serving-region resolution for one configuration. Entries are
+/// parallel to TopicState::subscribers / TopicState::publishers. Publisher
+/// entries are only required by routed-mode evaluations; direct-mode callers
+/// may leave them empty.
+struct ServingAssignment {
+  std::vector<RegionId> sub_region;   ///< R^S per subscriber.
+  std::vector<Millis> sub_last_leg;   ///< L[S][R^S] per subscriber.
+  std::vector<RegionId> pub_region;   ///< R^P per publisher.
+  std::vector<Millis> pub_first_leg;  ///< L[P][R^P] per publisher.
+};
+
+/// Fills `out` (reusing its capacity) with every client's closest serving
+/// region among `regions`, matching ClientLatencyMap::closest_region exactly
+/// (ties towards the lower region id). `with_publishers` controls whether
+/// publisher entries are resolved (needed for routed mode).
+void resolve_serving(const TopicState& topic, geo::RegionSet regions,
+                     const geo::ClientLatencyMap& clients,
+                     bool with_publishers, ServingAssignment& out);
+
+}  // namespace multipub::core

@@ -64,6 +64,26 @@ TEST_F(ParallelTest, DefaultThreadCountWorks) {
   EXPECT_EQ(results.size(), 5u);
 }
 
+TEST_F(ParallelTest, ThreadCountNeverChangesResults) {
+  // Workers own per-thread evaluation engines; which worker picks up which
+  // topic is a race, so every field must be bit-identical (EXPECT_EQ, not
+  // DOUBLE_EQ) no matter how the topics were distributed.
+  const auto topics = make_topics(23);
+  const auto baseline = optimize_topics(optimizer_, topics, {}, 1);
+  for (unsigned threads : {2u, 3u, 5u, 8u, 16u}) {
+    const auto results = optimize_topics(optimizer_, topics, {}, threads);
+    ASSERT_EQ(results.size(), baseline.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].config, baseline[i].config)
+          << "topic " << i << " threads " << threads;
+      EXPECT_EQ(results[i].percentile, baseline[i].percentile);
+      EXPECT_EQ(results[i].cost, baseline[i].cost);
+      EXPECT_EQ(results[i].constraint_met, baseline[i].constraint_met);
+      EXPECT_EQ(results[i].configs_evaluated, baseline[i].configs_evaluated);
+    }
+  }
+}
+
 TEST_F(ParallelTest, OptionsAreAppliedToEveryTopic) {
   const auto topics = make_topics(6);
   OptimizerOptions routed_only;
