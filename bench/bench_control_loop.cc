@@ -1,0 +1,222 @@
+// Control-plane round-latency benchmark: incremental (dirty-topic)
+// reconfiguration vs. the full-scan reference, as topic count and per-round
+// churn vary.
+//
+// For each (topics, churn%) cell two controllers are fed the identical
+// delta-report stream; one runs Controller::reconfigure() (incremental), the
+// other reconfigure_full(). Prints a table and writes BENCH_control_loop.json
+// (an array of {topics, churn_pct, rounds, incremental_ms, full_ms, speedup,
+// identical}). Exits non-zero when the deployed matrices ever diverge or the
+// speedup at 1000 topics / 5% churn drops below 5x.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "broker/controller.h"
+#include "common/rng.h"
+#include "geo/king_synth.h"
+#include "geo/synthetic.h"
+
+using namespace multipub;
+
+namespace {
+
+constexpr std::size_t kRegions = 8;
+constexpr std::size_t kClientsPerRegion = 5;
+constexpr int kRounds = 6;
+
+/// Per-topic ground truth: which clients publish/subscribe, and at which
+/// home region each is reported.
+struct TopicTruth {
+  struct Member {
+    ClientId client;
+    RegionId home;
+  };
+  std::vector<Member> publishers;
+  std::vector<Member> subscribers;
+  std::uint64_t msg_count = 10;  // per publisher; churn bumps this
+};
+
+struct Cell {
+  int topics = 0;
+  int churn_pct = 0;
+  double incremental_ms = 0.0;  // mean per round
+  double full_ms = 0.0;
+  bool identical = true;
+};
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Builds the per-region reports covering exactly `topics` and feeds the
+/// identical stream to both controllers.
+void ingest(const std::vector<TopicTruth>& truth,
+            const std::vector<int>& topics, bool full_snapshot,
+            broker::Controller& a, broker::Controller& b) {
+  std::map<RegionId, std::vector<broker::TopicReport>> per_region;
+  for (int t : topics) {
+    const TopicTruth& tt = truth[static_cast<std::size_t>(t)];
+    const TopicId id{static_cast<TopicId::underlying_type>(t)};
+    std::map<RegionId, broker::TopicReport> views;
+    for (const auto& pub : tt.publishers) {
+      auto& view = views[pub.home];
+      view.topic = id;
+      view.publishers.push_back({pub.client, tt.msg_count,
+                                 tt.msg_count * 1024});
+    }
+    for (const auto& sub : tt.subscribers) {
+      auto& view = views[sub.home];
+      view.topic = id;
+      view.subscribers.push_back(sub.client);
+    }
+    for (auto& [region, view] : views) {
+      per_region[region].push_back(std::move(view));
+    }
+  }
+  for (auto& [region, reports] : per_region) {
+    a.ingest(region, reports, full_snapshot);
+    b.ingest(region, reports, full_snapshot);
+  }
+}
+
+Cell run_cell(int n_topics, int churn_pct) {
+  Rng rng(9000 + static_cast<std::uint64_t>(n_topics) * 100 +
+          static_cast<std::uint64_t>(churn_pct));
+  const auto world = geo::synthesize_world(kRegions, {}, rng);
+  const auto population = geo::synthesize_population(
+      world.catalog, world.backbone, kClientsPerRegion, {}, rng);
+
+  auto random_client = [&] {
+    return ClientId{static_cast<ClientId::underlying_type>(rng.uniform_int(
+        0, static_cast<std::int64_t>(population.size()) - 1))};
+  };
+
+  std::vector<TopicTruth> truth(static_cast<std::size_t>(n_topics));
+  for (auto& tt : truth) {
+    for (int p = 0; p < 2; ++p) {
+      const ClientId c = random_client();
+      tt.publishers.push_back(
+          {c, population.home_region[static_cast<std::size_t>(c.value())]});
+    }
+    for (int s = 0; s < 3; ++s) {
+      const ClientId c = random_client();
+      tt.subscribers.push_back(
+          {c, population.home_region[static_cast<std::size_t>(c.value())]});
+    }
+    tt.msg_count = static_cast<std::uint64_t>(rng.uniform_int(5, 50));
+  }
+
+  broker::Controller incremental(world.catalog, world.backbone,
+                                 population.latencies);
+  broker::Controller full(world.catalog, world.backbone, population.latencies);
+  incremental.set_solver(broker::Controller::Solver::kHeuristic);
+  full.set_solver(broker::Controller::Solver::kHeuristic);
+  for (int t = 0; t < n_topics; ++t) {
+    const TopicId id{static_cast<TopicId::underlying_type>(t)};
+    const core::DeliveryConstraint constraint{90.0,
+                                              rng.uniform(150.0, 400.0)};
+    incremental.set_constraint(id, constraint);
+    full.set_constraint(id, constraint);
+  }
+
+  // Warm-up: full snapshot + one round on both paths (everything is new).
+  std::vector<int> all(static_cast<std::size_t>(n_topics));
+  for (int t = 0; t < n_topics; ++t) all[static_cast<std::size_t>(t)] = t;
+  ingest(truth, all, /*full_snapshot=*/true, incremental, full);
+  (void)incremental.reconfigure();
+  (void)full.reconfigure_full();
+
+  Cell cell;
+  cell.topics = n_topics;
+  cell.churn_pct = churn_pct;
+  const int churned =
+      std::max(1, n_topics * churn_pct / 100);
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<int> dirty;
+    for (int i = 0; i < churned; ++i) {
+      const int t = static_cast<int>(rng.uniform_int(0, n_topics - 1));
+      truth[static_cast<std::size_t>(t)].msg_count += 7;  // beyond any gate
+      dirty.push_back(t);
+    }
+    ingest(truth, dirty, /*full_snapshot=*/false, incremental, full);
+
+    auto t0 = std::chrono::steady_clock::now();
+    (void)incremental.reconfigure();
+    cell.incremental_ms += ms_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    (void)full.reconfigure_full();
+    cell.full_ms += ms_since(t0);
+
+    if (incremental.render_assignment_matrix() !=
+        full.render_assignment_matrix()) {
+      cell.identical = false;
+    }
+  }
+  cell.incremental_ms /= kRounds;
+  cell.full_ms /= kRounds;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Cell> cells;
+  for (int topics : {100, 300, 1000}) {
+    for (int churn : {1, 5, 25}) {
+      cells.push_back(run_cell(topics, churn));
+    }
+  }
+
+  std::printf("%-8s %8s %16s %12s %10s %10s\n", "topics", "churn%",
+              "incremental_ms", "full_ms", "speedup", "identical");
+  for (const auto& cell : cells) {
+    std::printf("%-8d %8d %16.3f %12.3f %9.1fx %10s\n", cell.topics,
+                cell.churn_pct, cell.incremental_ms, cell.full_ms,
+                cell.full_ms / cell.incremental_ms,
+                cell.identical ? "yes" : "NO");
+  }
+
+  std::FILE* out = std::fopen("BENCH_control_loop.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_control_loop.json\n");
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& cell = cells[i];
+    std::fprintf(out,
+                 "  {\"topics\": %d, \"churn_pct\": %d, \"rounds\": %d, "
+                 "\"incremental_ms\": %.6f, \"full_ms\": %.6f, "
+                 "\"speedup\": %.3f, \"identical\": %s}%s\n",
+                 cell.topics, cell.churn_pct, kRounds, cell.incremental_ms,
+                 cell.full_ms, cell.full_ms / cell.incremental_ms,
+                 cell.identical ? "true" : "false",
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+
+  // CI gates: bit-identical everywhere, and the headline speedup holds.
+  for (const auto& cell : cells) {
+    if (!cell.identical) {
+      std::fprintf(stderr, "DIVERGENCE at %d topics / %d%% churn\n",
+                   cell.topics, cell.churn_pct);
+      return 1;
+    }
+    if (cell.topics == 1000 && cell.churn_pct == 5 &&
+        cell.full_ms < 5.0 * cell.incremental_ms) {
+      std::fprintf(stderr,
+                   "speedup below 5x at 1000 topics / 5%% churn "
+                   "(incremental %.3f ms, full %.3f ms)\n",
+                   cell.incremental_ms, cell.full_ms);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -30,7 +30,7 @@ int main() {
   sim::TraceRecorder recorder;
   for (const auto& region : scenario.catalog.all()) {
     recorder.record(region.id,
-                    live.region_manager(region.id).collect_reports());
+                    live.region_manager(region.id).collect_reports().reports);
   }
   recorder.end_interval();
   const std::string trace_text = recorder.serialize();

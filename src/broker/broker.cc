@@ -46,10 +46,14 @@ const core::TopicConfig* Broker::topic_config(TopicId topic) const {
 void Broker::handle(const wire::Message& msg) {
   switch (msg.type) {
     case wire::MessageType::kSubscribe:
-      subs_.subscribe(msg.topic, msg.subscriber, msg.filter);
+      if (subs_.subscribe(msg.topic, msg.subscriber, msg.filter)) {
+        membership_changed_.insert(msg.topic);
+      }
       break;
     case wire::MessageType::kUnsubscribe:
-      subs_.unsubscribe(msg.topic, msg.subscriber);
+      if (subs_.unsubscribe(msg.topic, msg.subscriber)) {
+        membership_changed_.insert(msg.topic);
+      }
       break;
     case wire::MessageType::kPublish:
       on_publish(msg);
@@ -96,8 +100,8 @@ void Broker::on_publish(const wire::Message& msg) {
   //    serving set.
   if (const core::TopicConfig* config = topic_config(msg.topic);
       config != nullptr && msg.config_mode == wire::WireMode::kRouted) {
-    const geo::RegionSet targets =
-        config->regions | draining_regions(msg.topic);
+    const geo::RegionSet draining = draining_regions(msg.topic);
+    const geo::RegionSet targets = config->regions | draining;
     for (RegionId peer : targets.to_vector()) {
       if (peer == self_) continue;
       wire::Message forward = msg;
@@ -105,6 +109,9 @@ void Broker::on_publish(const wire::Message& msg) {
       transport_->send(net::Address::region(self_),
                        net::Address::region(peer), forward);
       ++forwarded_;
+      if (draining.contains(peer) && !config->regions.contains(peer)) {
+        ++drain_forwarded_;
+      }
     }
   }
   deliver_locally(msg);

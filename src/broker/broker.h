@@ -8,6 +8,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include "broker/subscription_table.h"
 #include "core/config.h"
@@ -66,6 +67,15 @@ class Broker {
   /// Clears the collected statistics (end of a collection interval).
   void reset_traffic();
 
+  /// Topics whose local subscriber set changed since the last
+  /// clear_membership_changes() (a subscriber actually joined or left —
+  /// idempotent re-subscribes and no-op unsubscribes do not count). The
+  /// region manager drains this to build delta reports.
+  [[nodiscard]] const std::unordered_set<TopicId>& membership_changes() const {
+    return membership_changed_;
+  }
+  void clear_membership_changes() { membership_changed_.clear(); }
+
   /// Latency samples clients reported this interval (drained by the region
   /// manager alongside the traffic statistics).
   [[nodiscard]] const std::vector<LatencyReport>& latency_reports() const {
@@ -88,6 +98,13 @@ class Broker {
   /// Publications fanned out to peer regions since construction.
   [[nodiscard]] std::uint64_t forwarded_count() const { return forwarded_; }
 
+  /// Subset of forwarded_count(): duplicate fan-outs sent to regions that
+  /// are ONLY in a drain window (no longer in the serving set). Measures the
+  /// bandwidth price of reconfiguration hand-overs.
+  [[nodiscard]] std::uint64_t drain_forwarded_count() const {
+    return drain_forwarded_;
+  }
+
   /// Deliveries suppressed by content filters since construction.
   [[nodiscard]] std::uint64_t filtered_count() const { return filtered_; }
 
@@ -107,10 +124,12 @@ class Broker {
   std::unordered_map<TopicId, core::TopicConfig> configs_;
   std::unordered_map<TopicId, Drain> draining_;
   std::unordered_map<TopicId, TopicTraffic> traffic_;
+  std::unordered_set<TopicId> membership_changed_;
   std::vector<LatencyReport> latency_reports_;
   Millis drain_grace_ms_ = 1000.0;
   std::uint64_t delivered_ = 0;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t drain_forwarded_ = 0;
   std::uint64_t filtered_ = 0;
 };
 

@@ -17,14 +17,21 @@ Controller::Controller(const geo::RegionCatalog& catalog,
 void Controller::observe_latencies(RegionId region,
                                    const std::vector<LatencyReport>& reports) {
   for (const auto& report : reports) {
-    estimator_.observe(report.client, region, report.one_way_ms);
+    if (estimator_.observe(report.client, region, report.one_way_ms)) {
+      // The optimizer reads the estimator's live matrix: a moved estimate
+      // can change the optimum of every topic this client participates in.
+      store_.touch_client(report.client, core::DirtyReason::kLatency);
+    }
   }
 }
 
 void Controller::set_constraint(TopicId topic,
                                 const core::DeliveryConstraint& constraint) {
-  MP_EXPECTS(constraint.ratio > 0.0 && constraint.ratio <= 100.0);
-  constraints_[topic] = constraint;
+  store_.set_constraint(topic, constraint);
+}
+
+void Controller::set_traffic_threshold(double threshold) {
+  store_.set_traffic_threshold(threshold);
 }
 
 void Controller::enable_failure_detection(int missed_rounds) {
@@ -41,7 +48,8 @@ int Controller::missed_rounds(RegionId region) const {
 }
 
 void Controller::ingest(RegionId region,
-                        const std::vector<TopicReport>& reports) {
+                        const std::vector<TopicReport>& reports,
+                        bool full_snapshot) {
   if (failure_detection_rounds_ > 0 &&
       region.index() < reported_this_round_.size()) {
     // Any ingest — even an empty report list — proves the region's manager
@@ -51,41 +59,32 @@ void Controller::ingest(RegionId region,
     unavailable_.remove(region);
   }
   for (const auto& report : reports) {
-    auto& agg = interval_[report.topic];
     auto& seen_at = last_seen_at_[report.topic];
     for (const auto& pub : report.publishers) {
-      auto& existing = agg.publishers[pub.client];
-      // Direct delivery: every serving region saw the same messages — keep
-      // the maximum rather than the sum.
-      if (pub.msg_count > existing.msg_count) {
-        existing = pub;
-      }
-      existing.client = pub.client;
       seen_at[pub.client] = region;
     }
     for (ClientId sub : report.subscribers) {
-      agg.subscribers.insert(sub);
       seen_at[sub] = region;
     }
+    store_.apply_report(region, report.topic, report.publishers,
+                        report.subscribers);
+  }
+  if (full_snapshot) {
+    std::vector<TopicId> reported;
+    reported.reserve(reports.size());
+    for (const auto& report : reports) {
+      reported.push_back(report.topic);
+    }
+    store_.reconcile_region(region, reported);
   }
 }
 
 core::TopicState Controller::aggregate(TopicId topic) const {
+  if (const core::TopicState* state = store_.state(topic)) {
+    return *state;
+  }
   core::TopicState state;
   state.topic = topic;
-  if (const auto it = constraints_.find(topic); it != constraints_.end()) {
-    state.constraint = it->second;
-  }
-  const auto it = interval_.find(topic);
-  if (it == interval_.end()) return state;
-
-  for (const auto& [client, stats] : it->second.publishers) {
-    state.publishers.push_back(stats);
-  }
-  std::vector<ClientId> subs(it->second.subscribers.begin(),
-                             it->second.subscribers.end());
-  std::sort(subs.begin(), subs.end());
-  state.subscribers = core::unit_subscribers(subs);
   return state;
 }
 
@@ -109,6 +108,16 @@ void Controller::enable_mitigation(bool enabled,
 
 std::vector<Controller::Decision> Controller::reconfigure(
     const core::OptimizerOptions& options) {
+  return reconfigure_impl(options, /*full_scan=*/false);
+}
+
+std::vector<Controller::Decision> Controller::reconfigure_full(
+    const core::OptimizerOptions& options) {
+  return reconfigure_impl(options, /*full_scan=*/true);
+}
+
+std::vector<Controller::Decision> Controller::reconfigure_impl(
+    const core::OptimizerOptions& options, bool full_scan) {
   // Failure detection: regions silent for too many consecutive rounds are
   // treated as down until they report again.
   if (failure_detection_rounds_ > 0) {
@@ -130,10 +139,10 @@ std::vector<Controller::Decision> Controller::reconfigure(
 
   // Outages shrink the candidate set for every topic.
   core::OptimizerOptions effective = options;
+  const std::size_t n_regions = optimizer_.cost_model().catalog().size();
   {
-    const std::size_t n = optimizer_.cost_model().catalog().size();
     const geo::RegionSet base = effective.candidates.empty()
-                                    ? geo::RegionSet::universe(n)
+                                    ? geo::RegionSet::universe(n_regions)
                                     : effective.candidates;
     const geo::RegionSet masked =
         geo::RegionSet(base.mask() & ~unavailable_.mask());
@@ -142,12 +151,78 @@ std::vector<Controller::Decision> Controller::reconfigure(
     if (!masked.empty()) effective.candidates = masked;
   }
 
+  // A changed candidate universe (outage, recovery, caller-tweaked options)
+  // or solver policy invalidates every cached outcome at once: the
+  // optimizer's epsilon tie-breaks mean no per-topic containment check can
+  // prove a cached selection still wins.
+  RoundFingerprint fingerprint;
+  fingerprint.candidates_mask = (effective.candidates.empty()
+                                     ? geo::RegionSet::universe(n_regions)
+                                     : effective.candidates)
+                                    .mask();
+  fingerprint.mode_policy = effective.mode_policy;
+  fingerprint.strategy = effective.strategy;
+  fingerprint.solver = solver_;
+  fingerprint.mitigation = mitigation_enabled_;
+  if (has_last_fingerprint_ && !(fingerprint == last_fingerprint_)) {
+    store_.mark_all_dirty(core::DirtyReason::kAvailability);
+  }
+  last_fingerprint_ = fingerprint;
+  has_last_fingerprint_ = true;
+
+  const std::vector<TopicId> dirty = store_.dirty_topics();
+  stats_ = RoundStats{};
+  stats_.tracked = store_.size();
+  stats_.dirty = dirty.size();
+  stats_.full_scan = full_scan;
+  for (TopicId topic : dirty) {
+    const unsigned reasons = store_.dirty_reasons(topic);
+    for (int bit = 0; bit < core::kDirtyReasonCount; ++bit) {
+      if ((reasons & (1u << bit)) != 0) ++stats_.dirty_by_reason[bit];
+    }
+  }
+
+  const auto collect_orphans = [&](Decision& decision) {
+    // Failover bookkeeping: clients last seen at a now-dead region cannot
+    // be reached by that region's manager.
+    if (unavailable_.empty()) return;
+    if (const auto seen = last_seen_at_.find(decision.topic);
+        seen != last_seen_at_.end()) {
+      for (const auto& [client, region] : seen->second) {
+        if (unavailable_.contains(region)) {
+          decision.orphans.push_back(client);
+        }
+      }
+      std::sort(decision.orphans.begin(), decision.orphans.end());
+    }
+  };
+
   std::vector<Decision> decisions;
-  for (const auto& [topic, agg] : interval_) {
-    const core::TopicState state = aggregate(topic);
+  for (TopicId topic : store_.topic_ids()) {
+    const bool work = full_scan || store_.dirty(topic);
+    if (!work) {
+      // Clean topic: replay the last outcome without touching the solver.
+      const auto cached = last_outcomes_.find(topic);
+      if (cached == last_outcomes_.end()) continue;
+      ++stats_.skipped_clean;
+      Decision decision;
+      decision.topic = topic;
+      decision.result = cached->second.result;
+      decision.result.configs_evaluated = 0;  // marks a carried decision
+      decision.mitigation_regions = cached->second.mitigation_regions;
+      decision.changed = false;
+      collect_orphans(decision);
+      decisions.push_back(std::move(decision));
+      continue;
+    }
+
+    const core::TopicState& state = *store_.state(topic);
     // A topic with no subscribers or no traffic cannot be optimized (there
     // is no delivery to constrain); skip until it has both.
-    if (state.subscribers.empty() || state.total_messages() == 0) continue;
+    if (state.subscribers.empty() || state.total_messages() == 0) {
+      ++stats_.skipped_empty;
+      continue;
+    }
 
     Decision decision;
     decision.topic = topic;
@@ -164,6 +239,7 @@ std::vector<Controller::Decision> Controller::reconfigure(
     } else {
       decision.result = optimizer_.optimize(state, effective);
     }
+    ++stats_.evaluated;
 
     // High-latency client mitigation (paper §IV-D): force-add regions for
     // subscribers whose every delivery misses max_T, then re-price the
@@ -183,19 +259,7 @@ std::vector<Controller::Decision> Controller::reconfigure(
       }
     }
 
-    // Failover bookkeeping: clients last seen at a now-dead region cannot
-    // be reached by that region's manager.
-    if (!unavailable_.empty()) {
-      if (const auto seen = last_seen_at_.find(topic);
-          seen != last_seen_at_.end()) {
-        for (const auto& [client, region] : seen->second) {
-          if (unavailable_.contains(region)) {
-            decision.orphans.push_back(client);
-          }
-        }
-        std::sort(decision.orphans.begin(), decision.orphans.end());
-      }
-    }
+    collect_orphans(decision);
 
     const auto deployed = deployed_.find(topic);
     decision.changed = deployed == deployed_.end() ||
@@ -207,9 +271,12 @@ std::vector<Controller::Decision> Controller::reconfigure(
           << decision.result.config.to_string() << " (D=" << decision.result.percentile
           << "ms, Z=$" << decision.result.cost << ")";
     }
-    decisions.push_back(decision);
+    last_outcomes_[topic] = {decision.result, decision.mitigation_regions};
+    decisions.push_back(std::move(decision));
   }
-  interval_.clear();
+
+  store_.clear_dirty();
+  stats_.round = ++rounds_;
   return decisions;
 }
 

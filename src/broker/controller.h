@@ -1,16 +1,25 @@
 // The MultiPub controller (paper §III-A4/A5).
 //
-// Installed in one region, the controller aggregates the region managers'
-// per-interval reports into one TopicState per topic, re-runs the optimizer,
-// and emits the configurations that changed. It owns the per-topic delivery
-// constraints and the latency matrices (paper: "it keeps track of the
-// latencies between every client and each of the cloud regions, as well as
-// between each pair of cloud regions").
+// Installed in one region, the controller folds the region managers'
+// per-interval reports into a persistent TopicStore (one aggregated
+// TopicState per topic, with dirty tracking), re-optimizes the topics that
+// changed, and emits the configurations that changed. It owns the per-topic
+// delivery constraints and the latency matrices (paper: "it keeps track of
+// the latencies between every client and each of the cloud regions, as well
+// as between each pair of cloud regions").
+//
+// Reconfiguration is incremental: reconfigure() only runs the optimizer for
+// DIRTY topics (traffic / membership / constraint / availability / latency
+// changes since the previous round) and carries the deployed configuration
+// forward for clean ones. reconfigure_full() keeps the seed's full scan as
+// the reference path — both produce bit-identical deployed assignment
+// matrices (see incremental_diff_test).
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <map>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "broker/region_manager.h"
@@ -18,6 +27,7 @@
 #include "core/latency_estimator.h"
 #include "core/mitigation.h"
 #include "core/optimizer.h"
+#include "core/topic_store.h"
 
 namespace multipub::broker {
 
@@ -35,17 +45,23 @@ class Controller {
   void set_constraint(TopicId topic, const core::DeliveryConstraint& constraint);
 
   /// Ingests one region's interval reports (called once per region per
-  /// interval). Publisher statistics are deduplicated across regions by
-  /// taking the maximum per publisher: under direct delivery every serving
-  /// region observes the same publications.
-  void ingest(RegionId region, const std::vector<TopicReport>& reports);
+  /// interval). Reports may be deltas — only the topics whose activity
+  /// changed at that region — or, with `full_snapshot`, the region's
+  /// complete topic list, in which case topics the region did NOT report
+  /// are dropped from its view (self-healing against lost deltas).
+  /// Publisher statistics are deduplicated across regions by taking the
+  /// maximum per publisher: under direct delivery every serving region
+  /// observes the same publications.
+  void ingest(RegionId region, const std::vector<TopicReport>& reports,
+              bool full_snapshot = false);
 
   /// One topic's outcome of a reconfiguration round.
   struct Decision {
     TopicId topic;
     core::OptimizerResult result;
     /// False when the optimal configuration equals the deployed one (no
-    /// deployment necessary).
+    /// deployment necessary). Carried-forward decisions of clean topics are
+    /// always unchanged and report configs_evaluated == 0.
     bool changed = false;
     /// Clients whose last-reported region is currently unavailable: their
     /// own region manager cannot notify them, so the deployment driver must
@@ -57,11 +73,34 @@ class Controller {
     std::vector<RegionId> mitigation_regions;
   };
 
-  /// Optimizes every topic seen this interval, remembers the deployed
-  /// configuration, clears the interval aggregation, and returns all
-  /// decisions ordered by topic id.
+  /// What one reconfiguration round did (incremental observability).
+  struct RoundStats {
+    std::uint64_t round = 0;        ///< 1-based counter; 0 = no round yet
+    std::size_t tracked = 0;        ///< topics in the store
+    std::size_t dirty = 0;          ///< dirty at round start
+    std::size_t evaluated = 0;      ///< optimizer actually ran
+    std::size_t skipped_clean = 0;  ///< clean; deployed config carried forward
+    std::size_t skipped_empty = 0;  ///< no subscribers or no traffic
+    /// Dirty topics per DirtyReason bit (index i = bit 1 << i; a topic dirty
+    /// for several reasons counts once per reason).
+    std::array<std::size_t, core::kDirtyReasonCount> dirty_by_reason{};
+    bool full_scan = false;
+  };
+
+  /// Incremental round: optimizes only the dirty topics, carries the
+  /// deployed configuration forward for clean ones, and returns one
+  /// decision per previously-optimized topic, ordered by topic id.
   [[nodiscard]] std::vector<Decision> reconfigure(
       const core::OptimizerOptions& options = {});
+
+  /// Reference round: optimizes every tracked topic regardless of dirtiness
+  /// (the seed's behaviour). Kept for differential tests and as the
+  /// --incremental off escape hatch; produces the same deployed matrix as
+  /// reconfigure() fed with the same reports.
+  [[nodiscard]] std::vector<Decision> reconfigure_full(
+      const core::OptimizerOptions& options = {});
+
+  [[nodiscard]] const RoundStats& last_round_stats() const { return stats_; }
 
   /// The configuration currently deployed for a topic (nullptr before the
   /// first reconfigure round that saw it).
@@ -85,9 +124,15 @@ class Controller {
   [[nodiscard]] core::TopicState aggregate(TopicId topic) const;
 
   [[nodiscard]] const core::Optimizer& optimizer() const { return optimizer_; }
+  [[nodiscard]] const core::TopicStore& topic_store() const { return store_; }
+
+  /// Noise gate for dirty tracking: relative per-publisher traffic deltas at
+  /// or below `threshold` do not dirty a topic (see TopicStoreOptions).
+  void set_traffic_threshold(double threshold);
 
   /// Folds one region's drained latency reports into the estimator: each
   /// sample is a measured client<->region one-way latency (paper §III-C).
+  /// Samples that move an estimate dirty the client's topics.
   void observe_latencies(RegionId region,
                          const std::vector<LatencyReport>& reports);
 
@@ -124,9 +169,27 @@ class Controller {
   }
 
  private:
-  struct Aggregation {
-    std::map<ClientId, core::PublisherStats> publishers;
-    std::unordered_set<ClientId> subscribers;
+  /// Cached outcome of a topic's last optimization, replayed for clean
+  /// topics without rerunning the solver.
+  struct CachedOutcome {
+    core::OptimizerResult result;
+    std::vector<RegionId> mitigation_regions;
+  };
+
+  std::vector<Decision> reconfigure_impl(const core::OptimizerOptions& options,
+                                         bool full_scan);
+  /// Everything besides the topic state that can flip an optimization
+  /// outcome. When it differs from the previous round's, every cached
+  /// decision is invalid (the optimizer's epsilon tie-breaks make even
+  /// "unrelated" topics sensitive to the candidate universe).
+  struct RoundFingerprint {
+    std::uint64_t candidates_mask = 0;
+    core::ModePolicy mode_policy{};
+    core::EvaluationStrategy strategy{};
+    Solver solver{};
+    bool mitigation = false;
+    friend bool operator==(const RoundFingerprint&,
+                           const RoundFingerprint&) = default;
   };
 
   core::LatencyEstimator estimator_;  // must precede the solvers (borrowed)
@@ -143,8 +206,12 @@ class Controller {
   /// publishing target for publishers) — the failover notification map.
   std::unordered_map<TopicId, std::unordered_map<ClientId, RegionId>>
       last_seen_at_;
-  std::unordered_map<TopicId, core::DeliveryConstraint> constraints_;
-  std::map<TopicId, Aggregation> interval_;  // ordered for determinism
+  core::TopicStore store_;
+  std::unordered_map<TopicId, CachedOutcome> last_outcomes_;
+  RoundFingerprint last_fingerprint_;
+  bool has_last_fingerprint_ = false;
+  std::uint64_t rounds_ = 0;
+  RoundStats stats_;
   std::unordered_map<TopicId, core::TopicConfig> deployed_;
 };
 

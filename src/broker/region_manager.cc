@@ -1,68 +1,171 @@
 #include "broker/region_manager.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 
+#include "common/assert.h"
 #include "common/logging.h"
 
 namespace multipub::broker {
+
+namespace {
+
+bool same_stats(const std::vector<core::PublisherStats>& a,
+                const std::vector<core::PublisherStats>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].client != b[i].client || a[i].msg_count != b[i].msg_count ||
+        a[i].total_bytes != b[i].total_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 RegionManager::RegionManager(RegionId self, net::Simulator& sim,
                              net::SimTransport& transport)
     : transport_(&transport), broker_(self, sim, transport) {}
 
-std::vector<TopicReport> RegionManager::collect_reports() {
-  // Union of topics with traffic and topics with subscriptions.
-  std::unordered_set<TopicId> topic_ids;
+void RegionManager::set_refresh_period(int period) {
+  MP_EXPECTS(period >= 1);
+  refresh_period_ = period;
+}
+
+void RegionManager::set_known_publisher_cap(std::size_t cap) {
+  MP_EXPECTS(cap >= 1);
+  known_publisher_cap_ = cap;
+}
+
+std::size_t RegionManager::known_publisher_count(TopicId topic) const {
+  const auto it = known_publishers_.find(topic);
+  return it == known_publishers_.end() ? 0 : it->second.size();
+}
+
+void RegionManager::remember_publisher(TopicId topic, ClientId publisher) {
+  auto& known = known_publishers_[topic];
+  if (known.size() >= known_publisher_cap_ && known.count(publisher) == 0) {
+    known.erase(known.begin());  // bounded memory beats perfect recall
+  }
+  known.insert(publisher);
+}
+
+ReportBatch RegionManager::collect_reports() {
+  return collect_impl(/*force_full=*/false);
+}
+
+std::vector<TopicReport> RegionManager::collect_full_reports() {
+  return collect_impl(/*force_full=*/true).reports;
+}
+
+ReportBatch RegionManager::collect_impl(bool force_full) {
+  const bool full = force_full || collections_ == 0 ||
+                    refresh_period_ <= 1 ||
+                    collections_ % static_cast<std::uint64_t>(
+                                       refresh_period_) ==
+                        0;
+  ++collections_;
+
+  // This interval's traffic, sorted per topic for deterministic reports.
+  std::map<TopicId, std::vector<core::PublisherStats>> current;
   for (const auto& [topic, traffic] : broker_.traffic()) {
-    topic_ids.insert(topic);
-  }
-  for (TopicId topic : broker_.subscriptions().topics()) {
-    topic_ids.insert(topic);
+    auto& pubs = current[topic];
+    pubs.reserve(traffic.size());
+    for (const auto& [publisher, observed] : traffic) {
+      pubs.push_back({publisher, observed.msg_count, observed.total_bytes});
+      remember_publisher(topic, publisher);
+    }
+    std::sort(pubs.begin(), pubs.end(),
+              [](const core::PublisherStats& a, const core::PublisherStats& b) {
+                return a.client < b.client;
+              });
   }
 
-  std::vector<TopicId> ordered(topic_ids.begin(), topic_ids.end());
-  std::sort(ordered.begin(), ordered.end());
+  // Which topics make the report: everything for a full snapshot; for a
+  // delta, topics whose traffic changed (including dropping to zero) plus
+  // topics with membership changes.
+  std::set<TopicId> topics;
+  if (full) {
+    for (const auto& [topic, pubs] : current) topics.insert(topic);
+    for (TopicId topic : broker_.subscriptions().topics()) {
+      topics.insert(topic);
+    }
+  } else {
+    for (const auto& [topic, pubs] : current) {
+      const auto it = last_traffic_.find(topic);
+      if (it == last_traffic_.end() || !same_stats(it->second, pubs)) {
+        topics.insert(topic);
+      }
+    }
+    for (const auto& [topic, pubs] : last_traffic_) {
+      if (current.count(topic) == 0) topics.insert(topic);  // went quiet
+    }
+    for (TopicId topic : broker_.membership_changes()) {
+      topics.insert(topic);
+    }
+  }
 
-  std::vector<TopicReport> reports;
-  reports.reserve(ordered.size());
-  for (TopicId topic : ordered) {
+  ReportBatch batch;
+  batch.full_snapshot = full;
+  batch.reports.reserve(topics.size());
+  for (TopicId topic : topics) {
     TopicReport report;
     report.topic = topic;
-    if (const auto it = broker_.traffic().find(topic);
-        it != broker_.traffic().end()) {
-      for (const auto& [publisher, observed] : it->second) {
-        report.publishers.push_back(
-            {publisher, observed.msg_count, observed.total_bytes});
-        known_publishers_[topic].insert(publisher);
-      }
-      // Deterministic report ordering regardless of hash-map iteration.
-      std::sort(report.publishers.begin(), report.publishers.end(),
-                [](const core::PublisherStats& a, const core::PublisherStats& b) {
-                  return a.client < b.client;
-                });
+    if (const auto it = current.find(topic); it != current.end()) {
+      report.publishers = it->second;
     }
     report.subscribers = broker_.subscriptions().subscriber_ids(topic);
-    reports.push_back(std::move(report));
+    batch.reports.push_back(std::move(report));
   }
 
-  // Dynamoth-lite: resize this region's server pool for the observed load.
-  // Load model: egress-dominated — inbound bytes fanned out to each local
-  // subscriber.
+  // Dynamoth-lite: resize this region's server pool for the observed load —
+  // from the COMPLETE current traffic, not the delta, so steady topics keep
+  // their server assignments. Load model: egress-dominated — inbound bytes
+  // fanned out to each local subscriber.
   std::vector<TopicLoad> loads;
-  loads.reserve(reports.size());
-  for (const auto& report : reports) {
+  loads.reserve(current.size());
+  for (const auto& [topic, pubs] : current) {
     double inbound = 0.0;
-    for (const auto& pub : report.publishers) {
+    for (const auto& pub : pubs) {
       inbound += static_cast<double>(pub.total_bytes);
     }
     loads.push_back(
-        {report.topic,
-         inbound * static_cast<double>(1 + report.subscribers.size())});
+        {topic,
+         inbound * static_cast<double>(
+                       1 + broker_.subscriptions().subscriber_ids(topic).size())});
   }
   scaler_.rebalance(loads);
 
+  last_traffic_.clear();
+  for (auto& [topic, pubs] : current) {
+    last_traffic_.emplace(topic, std::move(pubs));
+  }
   broker_.reset_traffic();
-  return reports;
+  broker_.clear_membership_changes();
+  prune_known_publishers();
+  return batch;
+}
+
+void RegionManager::prune_known_publishers() {
+  for (auto it = known_publishers_.begin(); it != known_publishers_.end();) {
+    const TopicId topic = it->first;
+    const core::TopicConfig* config = broker_.topic_config(topic);
+    const bool serves_here =
+        config == nullptr || config->regions.contains(region());
+    const bool active =
+        last_traffic_.count(topic) > 0 ||
+        !broker_.subscriptions().subscriber_ids(topic).empty();
+    // Only prune when the deployed configuration PROVES the topic moved away
+    // and nothing local still depends on it: quiet publishers of topics we
+    // do serve must keep hearing about config changes.
+    if (!serves_here && !active) {
+      it = known_publishers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::vector<LatencyReport> RegionManager::collect_latency_reports() {
@@ -79,7 +182,7 @@ void RegionManager::apply_config(TopicId topic,
   if (const auto it = broker_.traffic().find(topic);
       it != broker_.traffic().end()) {
     for (const auto& [publisher, observed] : it->second) {
-      known_publishers_[topic].insert(publisher);
+      remember_publisher(topic, publisher);
     }
   }
   broker_.set_topic_config(topic, config);

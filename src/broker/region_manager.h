@@ -5,8 +5,16 @@
 // controller deploys a new configuration — updates the broker's assignment
 // matrix row and notifies the affected local clients with kConfigUpdate
 // messages.
+//
+// Reports are DELTAS: a topic appears in a batch only when its traffic
+// differs from what this manager last reported or its local subscriber set
+// changed. Every refresh_period()-th collection is a full snapshot
+// (full_snapshot = true) so the controller can self-heal from any lost or
+// reordered delta. collect_full_reports() forces the seed's unconditional
+// snapshot for the non-incremental reference pipeline.
 #pragma once
 
+#include <cstddef>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -18,12 +26,21 @@
 namespace multipub::broker {
 
 /// What one region tells the controller about one topic for one interval.
+/// In a delta batch both lists are authoritative for this region: an empty
+/// publisher list means the topic's traffic here stopped.
 struct TopicReport {
   TopicId topic;
   /// Publishers that sent publications to this region, with their traffic.
   std::vector<core::PublisherStats> publishers;
   /// Subscribers currently attached to this region for the topic.
   std::vector<ClientId> subscribers;
+};
+
+/// One interval's reports plus whether they cover EVERY topic this region
+/// knows (so the controller may drop state for topics not listed).
+struct ReportBatch {
+  std::vector<TopicReport> reports;
+  bool full_snapshot = false;
 };
 
 class RegionManager {
@@ -39,10 +56,21 @@ class RegionManager {
   [[nodiscard]] const Broker& broker() const { return broker_; }
   [[nodiscard]] RegionId region() const { return broker_.region(); }
 
-  /// Snapshot of all topics seen this interval (traffic or subscriptions),
-  /// then resets the broker's traffic counters. Reports are ordered by
-  /// topic id for determinism.
-  [[nodiscard]] std::vector<TopicReport> collect_reports();
+  /// Delta report for this interval: topics whose traffic or local
+  /// membership changed since the previous collection, ordered by topic id.
+  /// The first collection and every refresh_period()-th one are full
+  /// snapshots. Resets the broker's traffic counters.
+  [[nodiscard]] ReportBatch collect_reports();
+
+  /// The seed's unconditional snapshot of every topic with traffic or
+  /// subscriptions (always a full snapshot) — the non-incremental reference
+  /// path. Resets the broker's traffic counters.
+  [[nodiscard]] std::vector<TopicReport> collect_full_reports();
+
+  /// How often collect_reports() sends a full snapshot (every Nth call);
+  /// <= 1 means every collection is full. The first collection always is.
+  void set_refresh_period(int period);
+  [[nodiscard]] int refresh_period() const { return refresh_period_; }
 
   /// Drains the latency samples clients reported to this region this
   /// interval (for the controller's latency estimator).
@@ -68,14 +96,38 @@ class RegionManager {
   void notify_client(TopicId topic, const core::TopicConfig& config,
                      ClientId client);
 
+  /// Cap on remembered publishers per topic (an arbitrary entry is evicted
+  /// at the cap). Bounds known_publishers_ memory under publisher churn.
+  void set_known_publisher_cap(std::size_t cap);
+  [[nodiscard]] std::size_t known_publisher_cap() const {
+    return known_publisher_cap_;
+  }
+  [[nodiscard]] std::size_t known_publisher_count(TopicId topic) const;
+  [[nodiscard]] std::size_t known_publisher_topic_count() const {
+    return known_publishers_.size();
+  }
+
  private:
+  ReportBatch collect_impl(bool force_full);
+  void remember_publisher(TopicId topic, ClientId publisher);
+  /// Drops known_publishers_ entries for topics this region provably no
+  /// longer serves and that have no local activity left.
+  void prune_known_publishers();
+
   net::SimTransport* transport_;
   Broker broker_;
   IntraRegionScaler scaler_;
   /// Publishers ever seen per topic — kept across intervals so that a
   /// publisher that was quiet during the last interval still learns about
-  /// configuration changes.
+  /// configuration changes. Pruned when the topic leaves this region and
+  /// capped per topic (see set_known_publisher_cap).
   std::unordered_map<TopicId, std::unordered_set<ClientId>> known_publishers_;
+  /// Per-topic traffic as last reported to the controller (sorted by
+  /// client) — the baseline delta reports diff against.
+  std::unordered_map<TopicId, std::vector<core::PublisherStats>> last_traffic_;
+  int refresh_period_ = 16;
+  std::uint64_t collections_ = 0;
+  std::size_t known_publisher_cap_ = 4096;
 };
 
 }  // namespace multipub::broker

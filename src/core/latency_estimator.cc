@@ -10,7 +10,7 @@ LatencyEstimator::LatencyEstimator(geo::ClientLatencyMap initial,
   MP_EXPECTS(smoothing > 0.0 && smoothing <= 1.0);
 }
 
-void LatencyEstimator::observe(ClientId client, RegionId region,
+bool LatencyEstimator::observe(ClientId client, RegionId region,
                                Millis sample) {
   MP_EXPECTS(sample >= 0.0);
   map_.ensure_client(client);  // churn: first sample from a new client
@@ -21,6 +21,7 @@ void LatencyEstimator::observe(ClientId client, RegionId region,
                                    smoothing_ * sample;
   map_.set(client, region, blended);
   ++observations_;
+  return blended != previous;
 }
 
 }  // namespace multipub::core

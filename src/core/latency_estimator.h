@@ -23,8 +23,10 @@ class LatencyEstimator {
   explicit LatencyEstimator(geo::ClientLatencyMap initial,
                             double smoothing = 0.3);
 
-  /// Folds one measured one-way latency sample into the estimate.
-  void observe(ClientId client, RegionId region, Millis sample);
+  /// Folds one measured one-way latency sample into the estimate. Returns
+  /// true when the stored estimate actually moved (the controller uses this
+  /// to dirty the topics the client participates in).
+  bool observe(ClientId client, RegionId region, Millis sample);
 
   /// The current estimate matrix (what the optimizer should use).
   [[nodiscard]] const geo::ClientLatencyMap& map() const { return map_; }

@@ -1,0 +1,276 @@
+#include "core/topic_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace multipub::core {
+
+namespace {
+
+bool same_publishers(const std::vector<PublisherStats>& a,
+                     const std::vector<PublisherStats>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].client != b[i].client || a[i].msg_count != b[i].msg_count ||
+        a[i].total_bytes != b[i].total_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool same_subscribers(const std::vector<SubscriberStats>& a,
+                      const std::vector<SubscriberStats>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].client != b[i].client || a[i].weight != b[i].weight ||
+        a[i].selectivity != b[i].selectivity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Relative change of one counter against its stored value.
+double relative_delta(std::uint64_t stored, std::uint64_t incoming) {
+  const double old_value = static_cast<double>(stored);
+  const double new_value = static_cast<double>(incoming);
+  return std::abs(new_value - old_value) / std::max(1.0, old_value);
+}
+
+/// True when `incoming` differs from `stored` only by per-publisher stat
+/// drift within `threshold` (same publisher set, both sorted by client).
+bool within_threshold(const std::vector<PublisherStats>& stored,
+                      const std::vector<PublisherStats>& incoming,
+                      double threshold) {
+  if (stored.size() != incoming.size()) return false;
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    if (stored[i].client != incoming[i].client) return false;
+    if (relative_delta(stored[i].msg_count, incoming[i].msg_count) >
+            threshold ||
+        relative_delta(stored[i].total_bytes, incoming[i].total_bytes) >
+            threshold) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(DirtyReason reason) {
+  switch (reason) {
+    case DirtyReason::kNew: return "new";
+    case DirtyReason::kTraffic: return "traffic";
+    case DirtyReason::kMembership: return "membership";
+    case DirtyReason::kConstraint: return "constraint";
+    case DirtyReason::kAvailability: return "availability";
+    case DirtyReason::kLatency: return "latency";
+    case DirtyReason::kRefresh: return "refresh";
+    case DirtyReason::kForced: return "forced";
+  }
+  return "?";
+}
+
+TopicStore::TopicStore(const TopicStoreOptions& options) : options_(options) {
+  MP_EXPECTS(options.traffic_threshold >= 0.0);
+}
+
+void TopicStore::set_traffic_threshold(double threshold) {
+  MP_EXPECTS(threshold >= 0.0);
+  options_.traffic_threshold = threshold;
+}
+
+TopicStore::Entry& TopicStore::entry_for(TopicId topic) {
+  const auto [it, inserted] = entries_.try_emplace(topic);
+  if (inserted) {
+    it->second.aggregate.topic = topic;
+    mark(topic, it->second, DirtyReason::kNew);
+  }
+  return it->second;
+}
+
+void TopicStore::mark(TopicId topic, Entry& entry, DirtyReason reason) {
+  entry.dirty |= reason_bit(reason);
+  dirty_.insert(topic);
+}
+
+void TopicStore::mark_dirty(TopicId topic, DirtyReason reason) {
+  const auto it = entries_.find(topic);
+  if (it == entries_.end()) return;
+  mark(topic, it->second, reason);
+}
+
+void TopicStore::mark_all_dirty(DirtyReason reason) {
+  for (auto& [topic, entry] : entries_) {
+    mark(topic, entry, reason);
+  }
+}
+
+void TopicStore::clear_dirty() {
+  for (TopicId topic : dirty_) {
+    entries_.at(topic).dirty = 0;
+  }
+  dirty_.clear();
+}
+
+void TopicStore::set_constraint(TopicId topic,
+                                const DeliveryConstraint& constraint) {
+  MP_EXPECTS(constraint.ratio > 0.0 && constraint.ratio <= 100.0);
+  Entry& entry = entry_for(topic);
+  if (entry.aggregate.constraint == constraint) return;
+  entry.aggregate.constraint = constraint;
+  mark(topic, entry, DirtyReason::kConstraint);
+}
+
+void TopicStore::apply_report(RegionId region, TopicId topic,
+                              const std::vector<PublisherStats>& publishers,
+                              const std::vector<ClientId>& subscribers) {
+  Entry& entry = entry_for(topic);
+
+  RegionView incoming;
+  incoming.publishers = publishers;
+  std::sort(incoming.publishers.begin(), incoming.publishers.end(),
+            [](const PublisherStats& a, const PublisherStats& b) {
+              return a.client < b.client;
+            });
+  incoming.subscribers = subscribers;
+  std::sort(incoming.subscribers.begin(), incoming.subscribers.end());
+
+  const auto view_it = entry.views.find(region);
+  if (view_it != entry.views.end()) {
+    const RegionView& stored = view_it->second;
+    // Noise gate: drift of an unchanged publisher set within the threshold
+    // is rejected outright (the stored stats stay), keeping the stored state
+    // and the dirty set consistent with each other.
+    if (within_threshold(stored.publishers, incoming.publishers,
+                         options_.traffic_threshold)) {
+      incoming.publishers = stored.publishers;
+    }
+    if (same_publishers(incoming.publishers, stored.publishers) &&
+        incoming.subscribers == stored.subscribers) {
+      return;  // nothing changed for this region
+    }
+  }
+
+  if (incoming.publishers.empty() && incoming.subscribers.empty()) {
+    if (view_it == entry.views.end()) return;
+    entry.views.erase(view_it);
+  } else {
+    entry.views[region] = std::move(incoming);
+  }
+  rebuild_aggregate(topic, entry);
+}
+
+void TopicStore::reconcile_region(RegionId region,
+                                  const std::vector<TopicId>& reported) {
+  const std::set<TopicId> alive(reported.begin(), reported.end());
+  const DirtyReason refresh = DirtyReason::kRefresh;
+  for (auto& [topic, entry] : entries_) {
+    if (alive.count(topic) > 0) continue;
+    const auto view_it = entry.views.find(region);
+    if (view_it == entry.views.end()) continue;
+    entry.views.erase(view_it);
+    rebuild_aggregate(topic, entry, &refresh);
+  }
+}
+
+void TopicStore::touch_client(ClientId client, DirtyReason reason) {
+  const auto it = client_topics_.find(client);
+  if (it == client_topics_.end()) return;
+  for (TopicId topic : it->second) {
+    mark_dirty(topic, reason);
+  }
+}
+
+void TopicStore::rebuild_aggregate(TopicId topic, Entry& entry,
+                                   const DirtyReason* override_reason) {
+  // Cross-region merge. Publishers are deduplicated by taking the maximum
+  // msg_count per client: under direct delivery every serving region
+  // observes the same publications.
+  std::map<ClientId, PublisherStats> merged_pubs;
+  std::set<ClientId> merged_subs;
+  for (const auto& [region, view] : entry.views) {
+    for (const PublisherStats& pub : view.publishers) {
+      const auto [it, inserted] = merged_pubs.try_emplace(pub.client, pub);
+      if (!inserted && pub.msg_count > it->second.msg_count) {
+        it->second = pub;
+      }
+    }
+    merged_subs.insert(view.subscribers.begin(), view.subscribers.end());
+  }
+
+  std::vector<PublisherStats> new_pubs;
+  new_pubs.reserve(merged_pubs.size());
+  for (const auto& [client, stats] : merged_pubs) {
+    new_pubs.push_back(stats);
+  }
+  const std::vector<SubscriberStats> new_subs = unit_subscribers(
+      std::vector<ClientId>(merged_subs.begin(), merged_subs.end()));
+
+  const bool traffic_changed =
+      !same_publishers(entry.aggregate.publishers, new_pubs);
+  const bool membership_changed =
+      !same_subscribers(entry.aggregate.subscribers, new_subs);
+  if (!traffic_changed && !membership_changed) return;
+
+  entry.aggregate.publishers = std::move(new_pubs);
+  entry.aggregate.subscribers = new_subs;
+  reindex_participants(topic, entry);
+
+  if (override_reason != nullptr) {
+    mark(topic, entry, *override_reason);
+  } else {
+    if (traffic_changed) mark(topic, entry, DirtyReason::kTraffic);
+    if (membership_changed) mark(topic, entry, DirtyReason::kMembership);
+  }
+}
+
+void TopicStore::reindex_participants(TopicId topic, Entry& entry) {
+  std::set<ClientId> now;
+  for (const PublisherStats& pub : entry.aggregate.publishers) {
+    now.insert(pub.client);
+  }
+  for (const SubscriberStats& sub : entry.aggregate.subscribers) {
+    now.insert(sub.client);
+  }
+
+  for (ClientId former : entry.participants) {
+    if (now.count(former) > 0) continue;
+    const auto it = client_topics_.find(former);
+    if (it == client_topics_.end()) continue;
+    it->second.erase(topic);
+    if (it->second.empty()) client_topics_.erase(it);
+  }
+  for (ClientId client : now) {
+    client_topics_[client].insert(topic);
+  }
+  entry.participants.assign(now.begin(), now.end());
+}
+
+const TopicState* TopicStore::state(TopicId topic) const {
+  const auto it = entries_.find(topic);
+  return it == entries_.end() ? nullptr : &it->second.aggregate;
+}
+
+std::vector<TopicId> TopicStore::topic_ids() const {
+  std::vector<TopicId> out;
+  out.reserve(entries_.size());
+  for (const auto& [topic, entry] : entries_) {
+    out.push_back(topic);
+  }
+  return out;
+}
+
+std::vector<TopicId> TopicStore::dirty_topics() const {
+  return std::vector<TopicId>(dirty_.begin(), dirty_.end());
+}
+
+unsigned TopicStore::dirty_reasons(TopicId topic) const {
+  const auto it = entries_.find(topic);
+  return it == entries_.end() ? 0u : it->second.dirty;
+}
+
+}  // namespace multipub::core

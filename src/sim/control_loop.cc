@@ -20,12 +20,21 @@ void ControlLoop::fire(std::size_t remaining) {
   RoundRecord record;
   record.at = system_->simulator().now();
   record.decisions = system_->reconfigure_now(options_);
+  record.stats = system_->controller().last_round_stats();
   history_.push_back(std::move(record));
 
   if (remaining > 1) {
     system_->simulator().schedule_after(
         period_ms_, [this, remaining] { fire(remaining - 1); });
   }
+}
+
+std::size_t ControlLoop::total_evaluated() const {
+  std::size_t n = 0;
+  for (const auto& record : history_) {
+    n += record.stats.evaluated;
+  }
+  return n;
 }
 
 std::size_t ControlLoop::rounds_with_changes() const {

@@ -21,6 +21,9 @@ class ControlLoop {
   struct RoundRecord {
     Millis at = 0.0;  ///< virtual time the round fired
     std::vector<broker::Controller::Decision> decisions;
+    /// The controller's incremental accounting for this round (how many
+    /// topics were dirty / optimized / carried forward).
+    broker::Controller::RoundStats stats;
   };
 
   /// Borrows the live system; it must outlive the loop.
@@ -39,6 +42,11 @@ class ControlLoop {
 
   /// Number of rounds whose decisions changed at least one topic.
   [[nodiscard]] std::size_t rounds_with_changes() const;
+
+  /// Total optimizer invocations across all executed rounds (with the
+  /// incremental pipeline this is proportional to churn, not to rounds x
+  /// topics).
+  [[nodiscard]] std::size_t total_evaluated() const;
 
  private:
   void fire(std::size_t remaining);

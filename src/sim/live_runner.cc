@@ -129,11 +129,19 @@ LiveRunResult LiveSystem::run_interval(double seconds, Bytes payload_bytes,
 std::vector<broker::Controller::Decision> LiveSystem::reconfigure_now(
     const core::OptimizerOptions& options) {
   for (auto& manager : managers_) {
-    controller_->ingest(manager->region(), manager->collect_reports());
+    if (incremental_) {
+      const broker::ReportBatch batch = manager->collect_reports();
+      controller_->ingest(manager->region(), batch.reports,
+                          batch.full_snapshot);
+    } else {
+      controller_->ingest(manager->region(), manager->collect_full_reports(),
+                          /*full_snapshot=*/true);
+    }
     controller_->observe_latencies(manager->region(),
                                    manager->collect_latency_reports());
   }
-  auto decisions = controller_->reconfigure(options);
+  auto decisions = incremental_ ? controller_->reconfigure(options)
+                                : controller_->reconfigure_full(options);
   for (const auto& decision : decisions) {
     // Orphans (clients whose region died) are notified through an alive
     // region manager: their own manager cannot reach them. Pick the first

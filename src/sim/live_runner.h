@@ -60,6 +60,13 @@ class LiveSystem {
   std::vector<broker::Controller::Decision> control_round(
       const core::OptimizerOptions& options = {});
 
+  /// Chooses the control-plane pipeline. Incremental (default): region
+  /// managers send delta reports and the controller re-optimizes dirty
+  /// topics only. Off: full snapshots + Controller::reconfigure_full every
+  /// round (the seed's behaviour, kept as the differential reference).
+  void set_incremental(bool incremental) { incremental_ = incremental; }
+  [[nodiscard]] bool incremental() const { return incremental_; }
+
   /// Same as control_round but does NOT drain the simulator: the
   /// kConfigUpdate traffic is merely scheduled. This is the form a
   /// ControlLoop calls from inside a simulator event, where draining would
@@ -110,6 +117,7 @@ class LiveSystem {
   Dollars billed_so_far_ = 0.0;
   std::vector<std::uint64_t> last_interval_counts_;  // per publisher index
   Bytes last_payload_bytes_ = 0;
+  bool incremental_ = true;
 };
 
 }  // namespace multipub::sim

@@ -27,6 +27,8 @@ MetricsRegistry collect_metrics(LiveSystem& live) {
             static_cast<double>(manager.broker().delivered_count()));
     out.set(prefix + "forwarded",
             static_cast<double>(manager.broker().forwarded_count()));
+    out.set(prefix + "drain_forwarded",
+            static_cast<double>(manager.broker().drain_forwarded_count()));
     out.set(prefix + "filtered",
             static_cast<double>(manager.broker().filtered_count()));
     out.set(prefix + "servers",
@@ -47,7 +49,18 @@ MetricsRegistry collect_metrics(LiveSystem& live) {
   out.set("controller.latency_observations",
           static_cast<double>(
               live.controller().latency_estimator().observations()));
+
+  const broker::Controller::RoundStats& stats =
+      live.controller().last_round_stats();
+  out.set("controller.rounds", static_cast<double>(stats.round));
+  out.set("controller.topics_tracked", static_cast<double>(stats.tracked));
+  out.set("controller.dirty_last_round", static_cast<double>(stats.dirty));
+  out.set("controller.evaluated_last_round",
+          static_cast<double>(stats.evaluated));
+  out.set("controller.skipped_clean_last_round",
+          static_cast<double>(stats.skipped_clean));
   return out;
+
 }
 
 }  // namespace multipub::sim

@@ -13,9 +13,12 @@ namespace multipub::sim {
 /// Collects the registry. Names are stable:
 ///   transport.messages_sent / .messages_dropped / .cost_usd
 ///   region.<name>.inter_region_bytes / .internet_bytes / .delivered /
-///                 .servers / .down
+///                 .forwarded / .drain_forwarded / .filtered / .servers /
+///                 .down
 ///   clients.reconnects / .duplicates / .deliveries
-///   controller.latency_observations
+///   controller.latency_observations / .rounds / .topics_tracked /
+///             .dirty_last_round / .evaluated_last_round /
+///             .skipped_clean_last_round
 [[nodiscard]] MetricsRegistry collect_metrics(LiveSystem& live);
 
 }  // namespace multipub::sim

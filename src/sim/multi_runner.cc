@@ -145,11 +145,19 @@ std::vector<TopicRunResult> MultiLiveSystem::run_interval(double seconds,
 std::vector<broker::Controller::Decision> MultiLiveSystem::control_round(
     const core::OptimizerOptions& options) {
   for (auto& manager : managers_) {
-    controller_->ingest(manager->region(), manager->collect_reports());
+    if (incremental_) {
+      const broker::ReportBatch batch = manager->collect_reports();
+      controller_->ingest(manager->region(), batch.reports,
+                          batch.full_snapshot);
+    } else {
+      controller_->ingest(manager->region(), manager->collect_full_reports(),
+                          /*full_snapshot=*/true);
+    }
     controller_->observe_latencies(manager->region(),
                                    manager->collect_latency_reports());
   }
-  auto decisions = controller_->reconfigure(options);
+  auto decisions = incremental_ ? controller_->reconfigure(options)
+                                : controller_->reconfigure_full(options);
   for (const auto& decision : decisions) {
     if (!decision.changed) continue;
     for (auto& manager : managers_) {

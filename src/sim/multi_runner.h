@@ -69,6 +69,11 @@ class MultiLiveSystem {
   std::vector<broker::Controller::Decision> control_round(
       const core::OptimizerOptions& options = {});
 
+  /// Incremental (default) vs full-snapshot control plane — see
+  /// LiveSystem::set_incremental.
+  void set_incremental(bool incremental) { incremental_ = incremental; }
+  [[nodiscard]] bool incremental() const { return incremental_; }
+
   [[nodiscard]] broker::Controller& controller() { return *controller_; }
   [[nodiscard]] net::SimTransport& transport() { return *transport_; }
   [[nodiscard]] net::Simulator& simulator() { return sim_; }
@@ -88,6 +93,7 @@ class MultiLiveSystem {
   std::unordered_map<TopicId, std::vector<client::Publisher*>> topic_pubs_;
   std::unordered_map<TopicId, std::vector<client::Subscriber*>> topic_subs_;
   std::unordered_map<TopicId, Dollars> billed_so_far_;
+  bool incremental_ = true;
 };
 
 }  // namespace multipub::sim

@@ -113,6 +113,29 @@ TEST_F(BrokerTest, RoutedModeForwardsToPeersExactlyOnce) {
   EXPECT_EQ(transport_.ledger().inter_region_bytes[TinyWorld::kB.index()], 0u);
 }
 
+TEST_F(BrokerTest, DrainForwardedCountsDuplicateFanOut) {
+  Broker broker_a(TinyWorld::kA, sim_, transport_);
+  broker_a.set_topic_config(TopicId{0}, config_ab(core::DeliveryMode::kRouted));
+  EXPECT_EQ(broker_a.drain_forwarded_count(), 0u);
+
+  // The serving set shrinks to {A}: B enters the drain window, and routed
+  // publications keep fanning out to it — counted as drain forwards.
+  geo::RegionSet only_a;
+  only_a.add(TinyWorld::kA);
+  broker_a.set_topic_config(TopicId{0},
+                            {only_a, core::DeliveryMode::kRouted});
+  broker_a.handle(
+      publish_msg(TinyWorld::kNearA, 1000, wire::WireMode::kRouted));
+  EXPECT_EQ(broker_a.drain_forwarded_count(), 1u);
+
+  // Once the grace period expires, the duplicate fan-out stops.
+  sim_.run();  // runs past the scheduled drain expiry
+  EXPECT_TRUE(broker_a.draining_regions(TopicId{0}).empty());
+  broker_a.handle(
+      publish_msg(TinyWorld::kNearA, 1000, wire::WireMode::kRouted));
+  EXPECT_EQ(broker_a.drain_forwarded_count(), 1u);
+}
+
 TEST_F(BrokerTest, RoutedDeliveryTimingMatchesEquation2) {
   Broker broker_a(TinyWorld::kA, sim_, transport_);
   Broker broker_b(TinyWorld::kB, sim_, transport_);

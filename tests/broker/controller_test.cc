@@ -270,9 +270,18 @@ TEST_F(ControllerTest, IntervalStateClearsAfterReconfigure) {
   controller_.ingest(TinyWorld::kA,
                      {report(TopicId{0}, {{TinyWorld::kNearA, 10, 10000}},
                              {TinyWorld::kNearA2})});
-  EXPECT_EQ(controller_.reconfigure().size(), 1u);
-  // No new reports: nothing to decide.
-  EXPECT_TRUE(controller_.reconfigure().empty());
+  const auto first = controller_.reconfigure();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(controller_.last_round_stats().evaluated, 1u);
+  // No new reports: the topic is clean, so the cached decision is carried
+  // forward without re-optimizing.
+  const auto second = controller_.reconfigure();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_FALSE(second[0].changed);
+  EXPECT_EQ(second[0].result.configs_evaluated, 0u);
+  EXPECT_EQ(second[0].result.config, first[0].result.config);
+  EXPECT_EQ(controller_.last_round_stats().evaluated, 0u);
+  EXPECT_EQ(controller_.last_round_stats().skipped_clean, 1u);
 }
 
 }  // namespace

@@ -55,7 +55,9 @@ TEST_F(RegionManagerTest, ReportsCoverTrafficAndSubscriptions) {
   subscribe(TinyWorld::kNearA2, TopicId{0});
   subscribe(TinyWorld::kNearB, TopicId{1});  // subscription-only topic
 
-  const auto reports = manager_.collect_reports();
+  const auto batch = manager_.collect_reports();
+  EXPECT_TRUE(batch.full_snapshot);  // the first collection always is
+  const auto& reports = batch.reports;
   ASSERT_EQ(reports.size(), 2u);
   EXPECT_EQ(reports[0].topic, TopicId{0});
   ASSERT_EQ(reports[0].publishers.size(), 1u);
@@ -72,17 +74,101 @@ TEST_F(RegionManagerTest, CollectResetsTrafficButKeepsSubscriptions) {
   subscribe(TinyWorld::kNearA2, TopicId{0});
   (void)manager_.collect_reports();
 
+  // Second interval: the traffic stopped, which IS a change — the delta
+  // reports the topic once with an empty (authoritative) publisher list.
   const auto second = manager_.collect_reports();
-  ASSERT_EQ(second.size(), 1u);  // subscription persists
-  EXPECT_TRUE(second[0].publishers.empty());
-  EXPECT_EQ(second[0].subscribers.size(), 1u);
+  EXPECT_FALSE(second.full_snapshot);
+  ASSERT_EQ(second.reports.size(), 1u);
+  EXPECT_TRUE(second.reports[0].publishers.empty());
+  EXPECT_EQ(second.reports[0].subscribers.size(), 1u);
+
+  // Third interval: nothing changed anymore — the delta is empty.
+  EXPECT_TRUE(manager_.collect_reports().reports.empty());
+}
+
+TEST_F(RegionManagerTest, DeltaSkipsTopicsWithUnchangedTraffic) {
+  subscribe(TinyWorld::kNearA2, TopicId{0});
+  publish(TinyWorld::kNearA, TopicId{0}, 100);
+  (void)manager_.collect_reports();
+
+  // Identical traffic next interval: not worth reporting.
+  publish(TinyWorld::kNearA, TopicId{0}, 100);
+  EXPECT_TRUE(manager_.collect_reports().reports.empty());
+
+  // Different traffic: reported again.
+  publish(TinyWorld::kNearA, TopicId{0}, 100);
+  publish(TinyWorld::kNearA, TopicId{0}, 100);
+  const auto third = manager_.collect_reports();
+  ASSERT_EQ(third.reports.size(), 1u);
+  EXPECT_EQ(third.reports[0].publishers[0].msg_count, 2u);
+}
+
+TEST_F(RegionManagerTest, MembershipChangeTriggersDeltaReport) {
+  publish(TinyWorld::kNearA, TopicId{0}, 100);
+  (void)manager_.collect_reports();
+  publish(TinyWorld::kNearA, TopicId{0}, 100);  // same traffic as before
+
+  subscribe(TinyWorld::kNearA2, TopicId{0});
+  const auto batch = manager_.collect_reports();
+  ASSERT_EQ(batch.reports.size(), 1u);
+  EXPECT_EQ(batch.reports[0].subscribers,
+            std::vector<ClientId>{TinyWorld::kNearA2});
+}
+
+TEST_F(RegionManagerTest, PeriodicRefreshIsAFullSnapshot) {
+  manager_.set_refresh_period(2);
+  subscribe(TinyWorld::kNearA2, TopicId{0});
+  EXPECT_TRUE(manager_.collect_reports().full_snapshot);   // first
+  EXPECT_FALSE(manager_.collect_reports().full_snapshot);  // delta (empty)
+  const auto refresh = manager_.collect_reports();         // every 2nd
+  EXPECT_TRUE(refresh.full_snapshot);
+  // The refresh re-reports even unchanged topics, so the controller can
+  // reconcile.
+  ASSERT_EQ(refresh.reports.size(), 1u);
+  EXPECT_EQ(refresh.reports[0].subscribers.size(), 1u);
+}
+
+TEST_F(RegionManagerTest, KnownPublishersArePrunedWhenTopicLeavesRegion) {
+  publish(TinyWorld::kNearA, TopicId{0}, 100);
+  (void)manager_.collect_reports();
+  EXPECT_EQ(manager_.known_publisher_count(TopicId{0}), 1u);
+
+  // The deployed configuration moves the topic away from this region and no
+  // local activity remains: the remembered publishers are dropped.
+  manager_.broker().set_topic_config(
+      TopicId{0}, {geo::RegionSet(0b010), core::DeliveryMode::kRouted});
+  (void)manager_.collect_reports();
+  EXPECT_EQ(manager_.known_publisher_count(TopicId{0}), 0u);
+  EXPECT_EQ(manager_.known_publisher_topic_count(), 0u);
+}
+
+TEST_F(RegionManagerTest, KnownPublishersKeptWhileRegionStillServes) {
+  publish(TinyWorld::kNearA, TopicId{0}, 100);
+  (void)manager_.collect_reports();
+
+  // Region A (bit 0) stays in the serving set: the quiet publisher must
+  // keep hearing about configuration changes.
+  manager_.broker().set_topic_config(
+      TopicId{0}, {geo::RegionSet(0b011), core::DeliveryMode::kRouted});
+  (void)manager_.collect_reports();
+  EXPECT_EQ(manager_.known_publisher_count(TopicId{0}), 1u);
+}
+
+TEST_F(RegionManagerTest, KnownPublisherCapBoundsPerTopicMemory) {
+  manager_.set_known_publisher_cap(2);
+  publish(TinyWorld::kNearA, TopicId{0}, 10);
+  publish(TinyWorld::kNearA2, TopicId{0}, 10);
+  publish(TinyWorld::kNearB, TopicId{0}, 10);
+  publish(TinyWorld::kNearC, TopicId{0}, 10);
+  (void)manager_.collect_reports();
+  EXPECT_LE(manager_.known_publisher_count(TopicId{0}), 2u);
 }
 
 TEST_F(RegionManagerTest, PublishersSortedDeterministically) {
   publish(TinyWorld::kNearB, TopicId{0}, 10);
   publish(TinyWorld::kNearA, TopicId{0}, 10);
   publish(TinyWorld::kNearC, TopicId{0}, 10);
-  const auto reports = manager_.collect_reports();
+  const auto reports = manager_.collect_reports().reports;
   ASSERT_EQ(reports.size(), 1u);
   ASSERT_EQ(reports[0].publishers.size(), 3u);
   EXPECT_LT(reports[0].publishers[0].client, reports[0].publishers[1].client);

@@ -153,8 +153,9 @@ TEST_F(FailureTest, SilentRegionIsAutoDetectedAndRecovered) {
         (void)live.region_manager(region.id).collect_reports();
         continue;
       }
-      live.controller().ingest(
-          region.id, live.region_manager(region.id).collect_reports());
+      const auto batch = live.region_manager(region.id).collect_reports();
+      live.controller().ingest(region.id, batch.reports,
+                               batch.full_snapshot);
     }
     return live.controller().reconfigure();
   };

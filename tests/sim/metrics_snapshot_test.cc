@@ -53,6 +53,21 @@ TEST_F(MetricsSnapshotTest, OutageAndServersAreVisible) {
   EXPECT_GE(metrics.value("region.us-east-1.servers"), 1.0);
 }
 
+TEST_F(MetricsSnapshotTest, ControlPlaneCountersAreExposed) {
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::single(RegionId{0}),
+               core::DeliveryMode::kDirect});
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  (void)live.control_round();
+
+  auto metrics = collect_metrics(live);
+  EXPECT_DOUBLE_EQ(metrics.value("controller.rounds"), 1.0);
+  EXPECT_GE(metrics.value("controller.topics_tracked"), 1.0);
+  // First sighting of the topic: it was dirty and got evaluated.
+  EXPECT_GE(metrics.value("controller.evaluated_last_round"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.value("region.us-east-1.drain_forwarded"), 0.0);
+}
+
 TEST_F(MetricsSnapshotTest, RenderContainsEveryRegion) {
   LiveSystem live(scenario_);
   auto metrics = collect_metrics(live);

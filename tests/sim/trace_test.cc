@@ -72,9 +72,10 @@ TEST(TraceReplay, ReproducesControllerDecisions) {
     (void)live.run_interval(10.0, 1024, 1.0, rng);
     // Mirror control_round, but tee the reports into the recorder.
     for (const auto& region : scenario.catalog.all()) {
-      const auto reports = live.region_manager(region.id).collect_reports();
-      recorder.record(region.id, reports);
-      live.controller().ingest(region.id, reports);
+      const auto batch = live.region_manager(region.id).collect_reports();
+      recorder.record(region.id, batch.reports);
+      live.controller().ingest(region.id, batch.reports,
+                               batch.full_snapshot);
     }
     recorder.end_interval();
     live_decisions.push_back(live.controller().reconfigure());
@@ -118,7 +119,7 @@ TEST(TraceReplay, WhatIfWithDifferentConstraint) {
   (void)live.run_interval(10.0, 1024, 1.0, rng);
   for (const auto& region : scenario.catalog.all()) {
     recorder.record(region.id,
-                    live.region_manager(region.id).collect_reports());
+                    live.region_manager(region.id).collect_reports().reports);
   }
   recorder.end_interval();
 

@@ -73,6 +73,8 @@ World:
 Validation:
   --live                   run the event-driven middleware for one interval
                            and print measured vs. analytic numbers
+  --incremental on|off     with --live: incremental (dirty-topic) control
+                           plane vs. the full-scan reference (default on)
   --explain K              print the K best configurations with their
                            percentile/cost (what-if table)
   --metrics                with --live: dump the metrics snapshot
@@ -290,6 +292,11 @@ int main(int argc, char** argv) {
   if (flags.get_bool("exact-list", false)) {
     options.strategy = core::EvaluationStrategy::kExactList;
   }
+  const std::string incremental = flags.get("incremental", "on");
+  if (incremental != "on" && incremental != "off") {
+    std::fprintf(stderr, "--incremental must be 'on' or 'off'\n");
+    return 2;
+  }
 
   const char* world_label = synthetic_regions > 0 ? "synthetic"
                             : flags.get_bool("modern-aws", false)
@@ -378,6 +385,7 @@ int main(int argc, char** argv) {
   // --- Live validation ---
   if (flags.get_bool("live", false)) {
     sim::LiveSystem live(scenario);
+    live.set_incremental(incremental == "on");
     live.deploy(chosen);
     const auto run = live.run_interval(workload.interval_seconds,
                                        workload.message_bytes,
@@ -385,6 +393,12 @@ int main(int argc, char** argv) {
     (void)live.control_round();  // let the controller record the deployment
     std::printf("\nlive validation over one interval (%zu events):\n",
                 static_cast<std::size_t>(live.simulator().processed()));
+    const auto& round = live.controller().last_round_stats();
+    std::printf(
+        "  control   : %s pipeline, %zu tracked, %zu dirty, %zu optimized, "
+        "%zu carried\n",
+        incremental == "on" ? "incremental" : "full-scan", round.tracked,
+        round.dirty, round.evaluated, round.skipped_clean);
     std::printf("  measured  : p=%.1fms  $%.2f/day  (%llu deliveries)\n",
                 run.percentile, run.cost_per_day,
                 static_cast<unsigned long long>(run.deliveries));
