@@ -1,0 +1,297 @@
+// Data-plane throughput benchmark: typed-event scheduling + batched fan-out
+// vs. the seed's std::function-per-hop path.
+//
+// One synthetic world (8 regions, 10k clients), 500 routed topics each
+// served by 3 regions with 50 subscribers, publishers driven by
+// self-rescheduling simulator actions. The same workload runs twice — once
+// per engine, freshly constructed from identical seeds — and the bench
+// reports events/sec for each plus the speedup. Prints a table and writes
+// BENCH_dataplane.json. Exits non-zero when any counter (processed events,
+// transport sent/dropped, broker delivered/forwarded, ledger bytes)
+// diverges between the engines, or when the speedup drops below 3x on a
+// full-size run (>= 10^6 publications; the CI smoke run passes a small
+// count and only gates on identity).
+//
+// Usage: bench_dataplane [total_publications] [both|fast|legacy]
+// (default 1000000 both; single-engine mode is for profiling and skips the
+// comparison gates)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "broker/broker.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "geo/king_synth.h"
+#include "geo/synthetic.h"
+#include "net/simulator.h"
+#include "net/transport.h"
+#include "wire/message.h"
+
+using namespace multipub;
+
+namespace {
+
+constexpr std::size_t kRegions = 8;
+constexpr std::size_t kClientsPerRegion = 1250;  // 10k clients total
+constexpr std::size_t kTopics = 500;
+constexpr std::size_t kServingPerTopic = 3;
+constexpr std::size_t kSubsPerTopic = 50;
+constexpr Bytes kPayload = 1024;
+constexpr std::uint64_t kWorldSeed = 4242;
+constexpr std::uint64_t kMembersSeed = 4243;
+
+struct RunResult {
+  double seconds = 0.0;
+  std::uint64_t events = 0;  // simulator events processed while measuring
+  std::uint64_t sent = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t forwarded = 0;
+  std::vector<Bytes> inter_region_bytes;
+  std::vector<Bytes> internet_bytes;
+
+  [[nodiscard]] double events_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+  }
+};
+
+/// Builds the identical world + workload and drives `total_pubs`
+/// publications through the chosen engine.
+RunResult run_engine(bool fast, std::uint64_t total_pubs) {
+  Rng world_rng(kWorldSeed);
+  const auto world = geo::synthesize_world(kRegions, {}, world_rng);
+  const auto population = geo::synthesize_population(
+      world.catalog, world.backbone, kClientsPerRegion, {}, world_rng);
+
+  net::Simulator sim;
+  net::SimTransport transport(sim, world.catalog, world.backbone,
+                              population.latencies);
+  // Must happen before anything is scheduled: switching engines requires an
+  // empty queue.
+  transport.set_fast_path(fast);
+
+  std::vector<std::unique_ptr<broker::Broker>> brokers;
+  for (std::size_t r = 0; r < kRegions; ++r) {
+    brokers.push_back(std::make_unique<broker::Broker>(
+        RegionId{static_cast<RegionId::underlying_type>(r)}, sim, transport));
+  }
+
+  // Raw counting handlers for every client — the bench measures the data
+  // plane, not the client::Subscriber bookkeeping.
+  auto deliveries = std::make_shared<std::uint64_t>(0);
+  for (std::size_t c = 0; c < population.size(); ++c) {
+    transport.register_handler(
+        net::Address::client(ClientId{static_cast<ClientId::underlying_type>(
+            c)}),
+        [deliveries](const wire::Message&) { ++*deliveries; });
+  }
+
+  // Topology: topic t is served by {t, t+3, t+5} mod 8 (distinct for 8
+  // regions) in routed mode; subscribers round-robin across the serving
+  // regions; one publisher targeting the first serving region.
+  Rng members_rng(kMembersSeed);
+  auto random_client = [&] {
+    return ClientId{static_cast<ClientId::underlying_type>(
+        members_rng.uniform_int(0,
+                                static_cast<std::int64_t>(population.size()) -
+                                    1))};
+  };
+
+  std::vector<ClientId> topic_publisher(kTopics);
+  std::vector<RegionId> topic_entry(kTopics);  // region the publisher hits
+  for (std::size_t t = 0; t < kTopics; ++t) {
+    geo::RegionSet serving;
+    const std::size_t base = t % kRegions;
+    serving.add(RegionId{static_cast<RegionId::underlying_type>(base)});
+    serving.add(RegionId{
+        static_cast<RegionId::underlying_type>((base + 3) % kRegions)});
+    serving.add(RegionId{
+        static_cast<RegionId::underlying_type>((base + 5) % kRegions)});
+    const core::TopicConfig config{serving, core::DeliveryMode::kRouted};
+    const TopicId topic{static_cast<TopicId::underlying_type>(t)};
+    for (auto& b : brokers) b->set_topic_config(topic, config);
+
+    const auto serving_vec = serving.to_vector();
+    for (std::size_t s = 0; s < kSubsPerTopic; ++s) {
+      const ClientId sub = random_client();
+      const RegionId at = serving_vec[s % serving_vec.size()];
+      wire::Message msg;
+      msg.type = wire::MessageType::kSubscribe;
+      msg.topic = topic;
+      msg.subscriber = sub;
+      transport.send(net::Address::client(sub), net::Address::region(at),
+                     msg);
+    }
+    topic_publisher[t] = random_client();
+    topic_entry[t] = serving_vec.front();
+  }
+  sim.run();  // settle the subscription handshakes outside the measurement
+
+  // Publications: one self-rescheduling driver per topic, `per_topic` sends
+  // each, 0.8 ms apart with the topic index as phase — dense enough to keep
+  // a deep in-flight window, the regime a global-scale broker actually runs
+  // in. Driver actions are generic Actions on both engines, so their cost
+  // is shared overhead.
+  const std::uint64_t per_topic =
+      std::max<std::uint64_t>(1, total_pubs / kTopics);
+  struct Driver {
+    net::Simulator* sim;
+    net::SimTransport* transport;
+    TopicId topic;
+    ClientId publisher;
+    RegionId entry;
+    std::uint64_t remaining;
+    std::uint64_t seq = 0;
+
+    void fire() {
+      wire::Message msg;
+      msg.type = wire::MessageType::kPublish;
+      msg.topic = topic;
+      msg.publisher = publisher;
+      msg.seq = seq++;
+      msg.published_at = sim->now();
+      msg.payload_bytes = kPayload;
+      // Routed intent travels on the message (the broker fans out what the
+      // publication asks for, not what its own config says).
+      msg.config_mode = wire::WireMode::kRouted;
+      transport->send(net::Address::client(publisher),
+                      net::Address::region(entry), msg);
+      if (--remaining > 0) {
+        sim->schedule_after(0.8, [this] { fire(); });
+      }
+    }
+  };
+  std::vector<std::unique_ptr<Driver>> drivers;
+  for (std::size_t t = 0; t < kTopics; ++t) {
+    auto driver = std::make_unique<Driver>();
+    driver->sim = &sim;
+    driver->transport = &transport;
+    driver->topic = TopicId{static_cast<TopicId::underlying_type>(t)};
+    driver->publisher = topic_publisher[t];
+    driver->entry = topic_entry[t];
+    driver->remaining = per_topic;
+    Driver* raw = driver.get();
+    sim.schedule_after(static_cast<double>(t) * 0.01, [raw] { raw->fire(); });
+    drivers.push_back(std::move(driver));
+  }
+
+  RunResult result;
+  const std::uint64_t processed_before = sim.processed();
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  result.events = sim.processed() - processed_before;
+  result.sent = transport.sent_count();
+  result.dropped = transport.dropped_count();
+  for (const auto& b : brokers) {
+    result.delivered += b->delivered_count();
+    result.forwarded += b->forwarded_count();
+  }
+  result.inter_region_bytes = transport.ledger().inter_region_bytes;
+  result.internet_bytes = transport.ledger().internet_bytes;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t total_pubs = 1000000;
+  if (argc > 1) {
+    total_pubs = std::strtoull(argv[1], nullptr, 10);
+    if (total_pubs == 0) {
+      std::fprintf(stderr, "usage: %s [total_publications]\n", argv[0]);
+      return 2;
+    }
+  }
+  const std::uint64_t actual_pubs =
+      std::max<std::uint64_t>(1, total_pubs / kTopics) * kTopics;
+  const char* mode = argc > 2 ? argv[2] : "both";
+  if (std::string_view{mode} != "both") {
+    // Profiling mode: one engine, no comparison.
+    const bool fast_only = std::string_view{mode} == "fast";
+    const RunResult r = run_engine(fast_only, total_pubs);
+    std::printf("%s: %llu events in %.3f s = %.0f events/sec\n", mode,
+                static_cast<unsigned long long>(r.events), r.seconds,
+                r.events_per_sec());
+    return 0;
+  }
+
+  std::printf("dataplane bench: %llu publications, %zu clients, %zu regions, "
+              "%zu routed topics\n",
+              static_cast<unsigned long long>(actual_pubs),
+              kRegions * kClientsPerRegion, kRegions, kTopics);
+
+  const RunResult legacy = run_engine(/*fast=*/false, total_pubs);
+  const RunResult fast = run_engine(/*fast=*/true, total_pubs);
+
+  const bool identical = legacy.events == fast.events &&
+                         legacy.sent == fast.sent &&
+                         legacy.dropped == fast.dropped &&
+                         legacy.delivered == fast.delivered &&
+                         legacy.forwarded == fast.forwarded &&
+                         legacy.inter_region_bytes == fast.inter_region_bytes &&
+                         legacy.internet_bytes == fast.internet_bytes;
+  const double speedup =
+      legacy.events_per_sec() > 0.0
+          ? fast.events_per_sec() / legacy.events_per_sec()
+          : 0.0;
+
+  std::printf("%-8s %14s %10s %16s %14s\n", "engine", "events", "seconds",
+              "events_per_sec", "deliveries");
+  std::printf("%-8s %14llu %10.3f %16.0f %14llu\n", "legacy",
+              static_cast<unsigned long long>(legacy.events), legacy.seconds,
+              legacy.events_per_sec(),
+              static_cast<unsigned long long>(legacy.delivered));
+  std::printf("%-8s %14llu %10.3f %16.0f %14llu\n", "fast",
+              static_cast<unsigned long long>(fast.events), fast.seconds,
+              fast.events_per_sec(),
+              static_cast<unsigned long long>(fast.delivered));
+  std::printf("speedup %.2fx, counters %s\n", speedup,
+              identical ? "identical" : "DIVERGED");
+
+  std::FILE* out = std::fopen("BENCH_dataplane.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_dataplane.json\n");
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"publications\": %llu,\n"
+      "  \"clients\": %zu,\n"
+      "  \"regions\": %zu,\n"
+      "  \"topics\": %zu,\n"
+      "  \"legacy\": {\"events\": %llu, \"seconds\": %.6f, "
+      "\"events_per_sec\": %.0f},\n"
+      "  \"fast\": {\"events\": %llu, \"seconds\": %.6f, "
+      "\"events_per_sec\": %.0f},\n"
+      "  \"speedup\": %.3f,\n"
+      "  \"identical\": %s\n"
+      "}\n",
+      static_cast<unsigned long long>(actual_pubs),
+      kRegions * kClientsPerRegion, kRegions, kTopics,
+      static_cast<unsigned long long>(legacy.events), legacy.seconds,
+      legacy.events_per_sec(), static_cast<unsigned long long>(fast.events),
+      fast.seconds, fast.events_per_sec(), speedup,
+      identical ? "true" : "false");
+  std::fclose(out);
+
+  if (!identical) {
+    std::fprintf(stderr, "ENGINE DIVERGENCE (see table above)\n");
+    return 1;
+  }
+  // The throughput gate only applies to full-size runs; the CI smoke run
+  // uses a small count where fixed overheads dominate.
+  if (actual_pubs >= 1000000 && speedup < 3.0) {
+    std::fprintf(stderr, "speedup below 3x (%.2fx)\n", speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -98,26 +98,31 @@ void Broker::on_publish(const wire::Message& msg) {
   //  - the fan-out TARGETS include regions in the drain window — remote
   //    subscribers may still be attached to a region that just left the
   //    serving set.
+  // The target list is built into a reusable scratch buffer and handed to
+  // the transport as one batch: one shared message, no per-peer copy here.
+  // A region in both the serving and the draining set appears once — the
+  // union is still a set.
   if (const core::TopicConfig* config = topic_config(msg.topic);
       config != nullptr && msg.config_mode == wire::WireMode::kRouted) {
     const geo::RegionSet draining = draining_regions(msg.topic);
     const geo::RegionSet targets = config->regions | draining;
-    for (RegionId peer : targets.to_vector()) {
+    fanout_scratch_.clear();
+    for (RegionId peer : targets) {
       if (peer == self_) continue;
-      wire::Message forward = msg;
-      forward.type = wire::MessageType::kForward;
-      transport_->send(net::Address::region(self_),
-                       net::Address::region(peer), forward);
+      fanout_scratch_.push_back(net::Address::region(peer));
       ++forwarded_;
       if (draining.contains(peer) && !config->regions.contains(peer)) {
         ++drain_forwarded_;
       }
     }
+    transport_->send_batch(net::Address::region(self_), fanout_scratch_, msg,
+                           wire::MessageType::kForward);
   }
   deliver_locally(msg);
 }
 
 void Broker::deliver_locally(const wire::Message& msg) {
+  deliver_scratch_.clear();
   for (const Subscription& sub : subs_.subscriptions(msg.topic)) {
     // Content-based matching: filtered subscriptions only receive
     // publications whose key falls inside their interval.
@@ -125,13 +130,13 @@ void Broker::deliver_locally(const wire::Message& msg) {
       ++filtered_;
       continue;
     }
-    wire::Message deliver = msg;
-    deliver.type = wire::MessageType::kDeliver;
-    deliver.subscriber = sub.subscriber;
-    transport_->send(net::Address::region(self_),
-                     net::Address::client(sub.subscriber), deliver);
+    deliver_scratch_.push_back(net::Address::client(sub.subscriber));
     ++delivered_;
   }
+  // The batch stamps kDeliver and the per-target subscriber as each
+  // delivery is scheduled.
+  transport_->send_batch(net::Address::region(self_), deliver_scratch_, msg,
+                         wire::MessageType::kDeliver);
 }
 
 void Broker::reset_traffic() { traffic_.clear(); }

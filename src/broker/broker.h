@@ -126,6 +126,11 @@ class Broker {
   std::unordered_map<TopicId, TopicTraffic> traffic_;
   std::unordered_set<TopicId> membership_changed_;
   std::vector<LatencyReport> latency_reports_;
+  // Reusable fan-out target buffers: the transport batches from a span, so
+  // these never outlive a call and the hot path stops allocating once the
+  // high-water mark is reached.
+  std::vector<net::Address> fanout_scratch_;
+  std::vector<net::Address> deliver_scratch_;
   Millis drain_grace_ms_ = 1000.0;
   std::uint64_t delivered_ = 0;
   std::uint64_t forwarded_ = 0;

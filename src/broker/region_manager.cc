@@ -134,7 +134,7 @@ ReportBatch RegionManager::collect_impl(bool force_full) {
     loads.push_back(
         {topic,
          inbound * static_cast<double>(
-                       1 + broker_.subscriptions().subscriber_ids(topic).size())});
+                       1 + broker_.subscriptions().subscriptions(topic).size())});
   }
   scaler_.rebalance(loads);
 
@@ -156,7 +156,7 @@ void RegionManager::prune_known_publishers() {
         config == nullptr || config->regions.contains(region());
     const bool active =
         last_traffic_.count(topic) > 0 ||
-        !broker_.subscriptions().subscriber_ids(topic).empty();
+        !broker_.subscriptions().subscriptions(topic).empty();
     // Only prune when the deployed configuration PROVES the topic moved away
     // and nothing local still depends on it: quiet publishers of topics we
     // do serve must keep hearing about config changes.
@@ -196,9 +196,9 @@ void RegionManager::apply_config(TopicId topic,
                            : wire::WireMode::kDirect;
 
   const net::Address self = net::Address::region(region());
-  // Notify local subscribers...
-  for (ClientId sub : broker_.subscriptions().subscriber_ids(topic)) {
-    transport_->send(self, net::Address::client(sub), update);
+  // Notify local subscribers (by-reference view; no per-call vector)...
+  for (const Subscription& sub : broker_.subscriptions().subscriptions(topic)) {
+    transport_->send(self, net::Address::client(sub.subscriber), update);
   }
   // ...and every publisher this region has ever served for the topic.
   if (const auto it = known_publishers_.find(topic);

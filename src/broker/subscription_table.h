@@ -36,7 +36,10 @@ class SubscriptionTable {
   [[nodiscard]] const std::vector<Subscription>& subscriptions(
       TopicId topic) const;
 
-  /// Just the subscriber ids, in subscription order.
+  /// Just the subscriber ids, in subscription order. Builds a fresh vector
+  /// on every call — reach for the by-reference subscriptions() view
+  /// instead unless you genuinely need an owned ClientId vector (e.g. a
+  /// report that outlives the table's current state).
   [[nodiscard]] std::vector<ClientId> subscriber_ids(TopicId topic) const;
 
   [[nodiscard]] bool contains(TopicId topic, ClientId subscriber) const;

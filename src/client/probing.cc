@@ -11,7 +11,7 @@ LatencyProber::LatencyProber(ClientId self, net::Simulator& sim,
 }
 
 void LatencyProber::probe(geo::RegionSet regions) {
-  for (RegionId region : regions.to_vector()) {
+  for (RegionId region : regions) {
     wire::Message ping;
     ping.type = wire::MessageType::kPing;
     ping.subscriber = self_;

@@ -50,7 +50,7 @@ void Publisher::publish(TopicId topic, Bytes payload_bytes,
 
   const net::Address self = net::Address::client(id_);
   if (config->mode == core::DeliveryMode::kDirect) {
-    for (RegionId region : config->regions.to_vector()) {
+    for (RegionId region : config->regions) {
       transport_->send(self, net::Address::region(region), msg);
     }
   } else {

@@ -55,7 +55,7 @@ CostModel::Breakdown CostModel::cost_breakdown(
   // Eq. 3: every serving region R_i sends each published byte once per local
   // subscriber at beta(R_i). Regions without subscribers contribute zero,
   // whichever mode.
-  for (RegionId r : config.regions.to_vector()) {
+  for (RegionId r : config.regions) {
     out.subscriber_egress += counts_scratch[r.index()] *
                              static_cast<double>(published_bytes) *
                              catalog_->at(r).beta_per_byte();

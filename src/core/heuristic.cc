@@ -71,7 +71,7 @@ HeuristicResult HeuristicOptimizer::optimize(
         for (DeliveryMode mode : modes) consider({regions, mode});
       };
 
-      for (RegionId r : current.config.regions.to_vector()) {
+      for (RegionId r : current.config.regions) {
         const geo::RegionSet without = current.config.regions.without(r);
         consider_set(without);  // removal
         for (std::size_t i = 0; i < n; ++i) {

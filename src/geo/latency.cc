@@ -79,39 +79,35 @@ bool InterRegionLatency::complete() const {
 
 ClientId ClientLatencyMap::add_client(std::span<const Millis> row) {
   MP_EXPECTS(row.size() == n_regions_);
-  rows_.emplace_back(row.begin(), row.end());
-  return ClientId{static_cast<ClientId::underlying_type>(rows_.size() - 1)};
-}
-
-Millis ClientLatencyMap::at(ClientId client, RegionId region) const {
-  MP_EXPECTS(client.valid() && client.index() < rows_.size());
-  MP_EXPECTS(region.valid() && region.index() < n_regions_);
-  return rows_[client.index()][region.index()];
+  cells_.insert(cells_.end(), row.begin(), row.end());
+  ++n_clients_;
+  return ClientId{static_cast<ClientId::underlying_type>(n_clients_ - 1)};
 }
 
 void ClientLatencyMap::ensure_client(ClientId client) {
   MP_EXPECTS(client.valid());
-  while (rows_.size() <= client.index()) {
-    rows_.emplace_back(n_regions_, kUnreachable);
+  while (n_clients_ <= client.index()) {
+    cells_.insert(cells_.end(), n_regions_, kUnreachable);
+    ++n_clients_;
   }
 }
 
 void ClientLatencyMap::set(ClientId client, RegionId region, Millis value) {
-  MP_EXPECTS(client.valid() && client.index() < rows_.size());
+  MP_EXPECTS(client.valid() && client.index() < n_clients_);
   MP_EXPECTS(region.valid() && region.index() < n_regions_);
   MP_EXPECTS(value >= 0.0);
-  rows_[client.index()][region.index()] = value;
+  cells_[client.index() * n_regions_ + region.index()] = value;
 }
 
 std::span<const Millis> ClientLatencyMap::row(ClientId client) const {
-  MP_EXPECTS(client.valid() && client.index() < rows_.size());
-  return rows_[client.index()];
+  MP_EXPECTS(client.valid() && client.index() < n_clients_);
+  return {cells_.data() + client.index() * n_regions_, n_regions_};
 }
 
 RegionId ClientLatencyMap::closest_region(ClientId client,
                                           RegionSet candidates) const {
   MP_EXPECTS(!candidates.empty());
-  const auto& row = rows_[client.index()];
+  const std::span<const Millis> row = this->row(client);
   RegionId best = RegionId::invalid();
   Millis best_latency = kUnreachable;
   for (std::size_t i = 0; i < n_regions_; ++i) {

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/types.h"
 #include "geo/region_set.h"
 
@@ -60,10 +61,16 @@ class ClientLatencyMap {
   /// order) and returns its ClientId. Pre: row.size() == n_regions().
   ClientId add_client(std::span<const Millis> row);
 
-  [[nodiscard]] std::size_t n_clients() const { return rows_.size(); }
+  [[nodiscard]] std::size_t n_clients() const { return n_clients_; }
   [[nodiscard]] std::size_t n_regions() const { return n_regions_; }
 
-  [[nodiscard]] Millis at(ClientId client, RegionId region) const;
+  /// Inline and a single indexed load: this sits on the data plane's
+  /// per-hop path (every client-bound delivery looks its latency up here).
+  [[nodiscard]] Millis at(ClientId client, RegionId region) const {
+    MP_EXPECTS(client.valid() && client.index() < n_clients_);
+    MP_EXPECTS(region.valid() && region.index() < n_regions_);
+    return cells_[client.index() * n_regions_ + region.index()];
+  }
   [[nodiscard]] std::span<const Millis> row(ClientId client) const;
 
   /// Overwrites one cell (used by the controller's latency monitoring,
@@ -87,7 +94,8 @@ class ClientLatencyMap {
 
  private:
   std::size_t n_regions_ = 0;
-  std::vector<std::vector<Millis>> rows_;
+  std::size_t n_clients_ = 0;
+  std::vector<Millis> cells_;  // row-major n_clients x n_regions
 };
 
 }  // namespace multipub::geo

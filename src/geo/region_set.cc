@@ -50,9 +50,7 @@ RegionSet RegionSet::without(RegionId region) const {
 std::vector<RegionId> RegionSet::to_vector() const {
   std::vector<RegionId> out;
   out.reserve(static_cast<std::size_t>(size()));
-  for (std::uint64_t m = mask_; m != 0; m &= m - 1) {
-    out.emplace_back(static_cast<RegionId::underlying_type>(std::countr_zero(m)));
-  }
+  for (RegionId r : *this) out.push_back(r);
   return out;
 }
 
@@ -64,7 +62,7 @@ RegionId RegionSet::first() const {
 std::string RegionSet::to_string() const {
   std::string out = "{";
   bool first_entry = true;
-  for (RegionId r : to_vector()) {
+  for (RegionId r : *this) {
     if (!first_entry) out += ',';
     out += 'R';
     out += std::to_string(r.value() + 1);  // paper numbering is 1-based

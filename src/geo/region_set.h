@@ -6,7 +6,10 @@
 // (all non-empty subsets of a universe).
 #pragma once
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -45,7 +48,48 @@ class RegionSet {
     return RegionSet(a.mask_ & b.mask_);
   }
 
-  /// Member regions in ascending id order.
+  /// Allocation-free forward iterator over the members in ascending id
+  /// order (lowest set bit first). This is what hot paths — broker fan-out,
+  /// publisher replication — use; to_vector() stays around for tests and
+  /// callers that genuinely need a materialised vector.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = RegionId;
+    using difference_type = std::ptrdiff_t;
+
+    constexpr const_iterator() = default;
+    constexpr explicit const_iterator(std::uint64_t remaining)
+        : remaining_(remaining) {}
+
+    [[nodiscard]] constexpr RegionId operator*() const {
+      return RegionId{
+          static_cast<RegionId::underlying_type>(std::countr_zero(remaining_))};
+    }
+    constexpr const_iterator& operator++() {
+      remaining_ &= remaining_ - 1;  // clear the lowest set bit
+      return *this;
+    }
+    constexpr const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    friend constexpr bool operator==(const_iterator, const_iterator) = default;
+
+   private:
+    std::uint64_t remaining_ = 0;
+  };
+
+  [[nodiscard]] constexpr const_iterator begin() const {
+    return const_iterator(mask_);
+  }
+  [[nodiscard]] constexpr const_iterator end() const {
+    return const_iterator(0);
+  }
+
+  /// Member regions in ascending id order, materialised. Allocates — hot
+  /// paths should range-for the set directly via begin()/end().
   [[nodiscard]] std::vector<RegionId> to_vector() const;
 
   /// Smallest member id; RegionId::invalid() when empty.

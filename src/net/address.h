@@ -1,0 +1,40 @@
+// Node addressing for the simulated network.
+//
+// Split out of transport.h so the simulator's typed delivery events can name
+// endpoints without depending on the transport itself.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace multipub::net {
+
+/// Node address: either a client endpoint or a region's broker.
+struct Address {
+  enum class Kind : std::uint8_t { kClient, kRegion };
+  Kind kind = Kind::kClient;
+  std::int32_t id = -1;
+
+  [[nodiscard]] static Address client(ClientId c) {
+    return {Kind::kClient, c.value()};
+  }
+  [[nodiscard]] static Address region(RegionId r) {
+    return {Kind::kRegion, r.value()};
+  }
+
+  [[nodiscard]] ClientId as_client() const { return ClientId{id}; }
+  [[nodiscard]] RegionId as_region() const { return RegionId{id}; }
+
+  friend bool operator==(Address, Address) = default;
+};
+
+struct AddressHash {
+  std::size_t operator()(Address a) const noexcept {
+    return (static_cast<std::size_t>(a.kind) << 32) ^
+           static_cast<std::size_t>(static_cast<std::uint32_t>(a.id));
+  }
+};
+
+}  // namespace multipub::net

@@ -1,14 +1,175 @@
 #include "net/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.h"
 
 namespace multipub::net {
 
+namespace {
+constexpr std::uint32_t kKindAction = 0;
+constexpr std::uint32_t kKindDelivery = 1;
+constexpr std::size_t kArity = 4;
+// Aimed-for events per rung bucket == steady-state near-heap depth: small
+// enough that the near heap's sift path stays in L1/L2.
+constexpr std::size_t kBucketTarget = 2048;
+constexpr std::size_t kMaxBuckets = 8192;
+}  // namespace
+
+void Simulator::heap_push(const CompactEvent& event) {
+  std::size_t i = heap_.size();
+  heap_.push_back(event);
+  // Hole-based sift-up: shift parents down instead of swapping.
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(event, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = event;
+}
+
+void Simulator::far_push(const CompactEvent& event) {
+  ++compact_pending_;
+  if (rung_count_ > 0) {
+    // Compare in double first: casting an out-of-range value to size_t is
+    // UB, and a pathological far-future timestamp must simply go to top_.
+    const double idx_d = (event.time - rung_start_) / rung_width_;
+    if (idx_d < static_cast<double>(rung_count_)) {
+      const auto idx = static_cast<std::size_t>(idx_d);
+      if (idx < rung_cur_) {
+        // Its bucket has already been promoted — the near heap is now the
+        // only store allowed to hold it.
+        heap_push(event);
+      } else {
+        rung_[idx].push_back(event);
+      }
+      return;
+    }
+  }
+  if (top_.empty()) {
+    top_min_ = event.time;
+    top_max_ = event.time;
+  } else {
+    top_min_ = std::min(top_min_, event.time);
+    top_max_ = std::max(top_max_, event.time);
+  }
+  top_.push_back(event);
+}
+
+void Simulator::build_rung() {
+  // One pass: distribute the top list over constant-width buckets sized so
+  // a bucket holds ~kBucketTarget events. Width 0 (all-equal timestamps)
+  // degenerates to a single bucket. The mapping here must be the EXACT
+  // computation far_push uses, so an event at the coverage boundary (FP
+  // rounding can push floor((max-start)/width) to rung_count_) stays in the
+  // top list rather than being force-clamped into the last bucket — that
+  // keeps "top events never precede bucket events" airtight. At least the
+  // top-minimum always lands in bucket 0, so the rebuild loop terminates.
+  rung_count_ = std::clamp<std::size_t>(top_.size() / kBucketTarget + 1, 1,
+                                        kMaxBuckets);
+  if (rung_.size() < rung_count_) rung_.resize(rung_count_);
+  rung_start_ = top_min_;
+  rung_width_ = (top_max_ - top_min_) / static_cast<double>(rung_count_);
+  if (!(rung_width_ > 0.0)) rung_width_ = 1.0;
+  rung_cur_ = 0;
+  std::size_t kept = 0;
+  Millis kept_min = 0.0, kept_max = 0.0;
+  for (const CompactEvent& event : top_) {
+    const double idx_d = (event.time - rung_start_) / rung_width_;
+    if (idx_d < static_cast<double>(rung_count_)) {
+      rung_[static_cast<std::size_t>(idx_d)].push_back(event);
+      continue;
+    }
+    if (kept == 0) {
+      kept_min = event.time;
+      kept_max = event.time;
+    } else {
+      kept_min = std::min(kept_min, event.time);
+      kept_max = std::max(kept_max, event.time);
+    }
+    top_[kept++] = event;
+  }
+  top_.resize(kept);
+  top_min_ = kept_min;
+  top_max_ = kept_max;
+}
+
+void Simulator::refill() {
+  while (heap_.empty()) {
+    if (rung_cur_ < rung_count_) {
+      for (const CompactEvent& event : rung_[rung_cur_]) heap_push(event);
+      rung_[rung_cur_].clear();
+      ++rung_cur_;
+      continue;
+    }
+    if (top_.empty()) return;  // fully drained
+    build_rung();
+  }
+}
+
+Simulator::CompactEvent Simulator::heap_pop() {
+  const CompactEvent top = heap_.front();
+  const CompactEvent last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      const std::size_t end_child = std::min(first_child + kArity, n);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < end_child; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+void Simulator::set_legacy_scheduling(bool on) {
+  MP_EXPECTS(pending() == 0);
+  legacy_ = on;
+}
+
+std::uint32_t Simulator::acquire_action_slot() {
+  if (!action_free_.empty()) {
+    const std::uint32_t slot = action_free_.back();
+    action_free_.pop_back();
+    return slot;
+  }
+  // Slot ids must fit CompactEvent's 24-bit field (16M concurrent events).
+  MP_EXPECTS(action_pool_.size() < (1u << CompactEvent::kSlotBits));
+  action_pool_.emplace_back();
+  return static_cast<std::uint32_t>(action_pool_.size() - 1);
+}
+
+std::uint32_t Simulator::acquire_delivery_slot() {
+  if (!delivery_free_.empty()) {
+    const std::uint32_t slot = delivery_free_.back();
+    delivery_free_.pop_back();
+    return slot;
+  }
+  MP_EXPECTS(delivery_pool_.size() < (1u << CompactEvent::kSlotBits));
+  delivery_pool_.emplace_back();
+  return static_cast<std::uint32_t>(delivery_pool_.size() - 1);
+}
+
 void Simulator::schedule_at(Millis t, Action action) {
   MP_EXPECTS(t >= now_);
-  queue_.push(Event{t, next_seq_++, std::move(action)});
+  if (legacy_) {
+    legacy_queue_.push(Event{t, next_seq_++, std::move(action)});
+    return;
+  }
+  const std::uint32_t slot = acquire_action_slot();
+  action_pool_[slot] = std::move(action);
+  far_push(CompactEvent::make(t, next_seq_++, kKindAction, slot));
 }
 
 void Simulator::schedule_after(Millis delay, Action action) {
@@ -16,14 +177,63 @@ void Simulator::schedule_after(Millis delay, Action action) {
   schedule_at(now_ + delay, std::move(action));
 }
 
+void Simulator::schedule_delivery_at(Millis t, DeliverySink& sink,
+                                     Address from, Address to,
+                                     const wire::Message& msg) {
+  MP_EXPECTS(t >= now_);
+  MP_EXPECTS(!legacy_);
+  const std::uint32_t slot = acquire_delivery_slot();
+  DeliveryEvent& event = delivery_pool_[slot];
+  event.sink = &sink;
+  event.from = from;
+  event.to = to;
+  event.msg = msg;
+  far_push(CompactEvent::make(t, next_seq_++, kKindDelivery, slot));
+}
+
+void Simulator::schedule_delivery_after(Millis delay, DeliverySink& sink,
+                                        Address from, Address to,
+                                        const wire::Message& msg) {
+  MP_EXPECTS(delay >= 0.0);
+  schedule_delivery_at(now_ + delay, sink, from, to, msg);
+}
+
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the action must be moved out before pop.
-  Event event = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  if (legacy_) {
+    if (legacy_queue_.empty()) return false;
+    // priority_queue::top() is const; the action must be moved out before
+    // pop.
+    Event event = std::move(const_cast<Event&>(legacy_queue_.top()));
+    legacy_queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.action();
+    return true;
+  }
+
+  if (heap_.empty()) {
+    refill();
+    if (heap_.empty()) return false;
+  }
+  const CompactEvent event = heap_pop();
+  --compact_pending_;
   now_ = event.time;
   ++processed_;
-  event.action();
+  const std::uint32_t slot = event.slot();
+  if (event.kind() == kKindAction) {
+    // Move the callback out and release the slot before invoking: the
+    // action may schedule new events, growing or reusing the pool.
+    Action action = std::move(action_pool_[slot]);
+    action_pool_[slot] = nullptr;
+    action_free_.push_back(slot);
+    action();
+  } else {
+    // Trivially-copyable payload: a stack copy keeps the dispatch safe
+    // against pool reallocation when the handler schedules further hops.
+    const DeliveryEvent delivery = delivery_pool_[slot];
+    delivery_free_.push_back(slot);
+    delivery.sink->deliver(delivery);
+  }
   return true;
 }
 
@@ -34,8 +244,16 @@ void Simulator::run() {
 
 void Simulator::run_until(Millis t) {
   MP_EXPECTS(t >= now_);
-  while (!queue_.empty() && queue_.top().time <= t) {
-    step();
+  if (legacy_) {
+    while (!legacy_queue_.empty() && legacy_queue_.top().time <= t) {
+      step();
+    }
+  } else {
+    for (;;) {
+      if (heap_.empty()) refill();
+      if (heap_.empty() || heap_.front().time > t) break;
+      step();
+    }
   }
   now_ = t;
 }

@@ -4,6 +4,17 @@
 // in DESIGN.md): virtual time in milliseconds, a priority queue of events,
 // deterministic FIFO ordering among same-timestamp events (a sequence number
 // breaks ties), so every run is reproducible.
+//
+// Two event representations share one (time, seq) order:
+//  - generic Actions (std::function) for control-plane callbacks, and
+//  - typed DeliveryEvents — one message hop, dispatched straight to the
+//    transport that scheduled it — so the data plane never pays a heap
+//    allocation per hop: the queue holds a 16-byte handle and the payload
+//    lives in a recycled pool slot.
+// The seed's std::function-per-event engine is retained behind
+// set_legacy_scheduling(true) as the differential-test / benchmark
+// reference; both engines consume the same sequence counter, so dispatch
+// order is bit-identical between them.
 #pragma once
 
 #include <cstdint>
@@ -12,8 +23,31 @@
 #include <vector>
 
 #include "common/types.h"
+#include "net/address.h"
+#include "wire/message.h"
 
 namespace multipub::net {
+
+class DeliverySink;
+
+/// One in-flight message hop: deliver `msg` (sent by `from`) to `to` via the
+/// transport that scheduled it. Plain trivially-copyable data — scheduling a
+/// delivery never touches the heap beyond the simulator's recycled pools.
+struct DeliveryEvent {
+  DeliverySink* sink = nullptr;
+  Address from;
+  Address to;
+  wire::Message msg;
+};
+
+/// Receiver of typed delivery events (implemented by SimTransport).
+class DeliverySink {
+ public:
+  virtual void deliver(const DeliveryEvent& event) = 0;
+
+ protected:
+  ~DeliverySink() = default;
+};
 
 /// Single-threaded virtual-time event loop.
 class Simulator {
@@ -29,6 +63,16 @@ class Simulator {
   /// Schedules `action` `delay` ms from now. Pre: delay >= 0.
   void schedule_after(Millis delay, Action action);
 
+  /// Schedules a typed message delivery at absolute virtual time `t`; the
+  /// event is dispatched back to `sink` when it fires. Pre: t >= now() and
+  /// legacy scheduling is off (the legacy engine predates typed events).
+  void schedule_delivery_at(Millis t, DeliverySink& sink, Address from,
+                            Address to, const wire::Message& msg);
+
+  /// Same, `delay` ms from now. Pre: delay >= 0.
+  void schedule_delivery_after(Millis delay, DeliverySink& sink, Address from,
+                               Address to, const wire::Message& msg);
+
   /// Executes the earliest pending event; returns false when idle.
   bool step();
 
@@ -38,13 +82,61 @@ class Simulator {
   /// Runs all events with timestamp <= t, then advances the clock to t.
   void run_until(Millis t);
 
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  /// Switches to (or away from) the seed's std::function-per-event engine.
+  /// Only allowed while the queue is empty; kept as the reference path for
+  /// the data-plane differential tests and bench_dataplane.
+  void set_legacy_scheduling(bool on);
+  [[nodiscard]] bool legacy_scheduling() const { return legacy_; }
+
+  [[nodiscard]] std::size_t pending() const {
+    return legacy_ ? legacy_queue_.size() : compact_pending_;
+  }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
  private:
+  /// 16-byte queue entry of the default engine; the payload (an Action or a
+  /// DeliveryEvent) lives in the matching pool at index `slot`. seq, kind
+  /// and slot share one word: seq occupies the HIGH bits, so comparing the
+  /// packed words compares seq — the FIFO tie-break for equal timestamps —
+  /// and kind/slot below it never influence the order (seq is unique).
+  struct CompactEvent {
+    Millis time;
+    std::uint64_t packed;  // seq:39 | kind:1 | slot:24
+
+    static constexpr std::uint64_t kSlotBits = 24;
+    static constexpr std::uint64_t kKindShift = kSlotBits;
+    static constexpr std::uint64_t kSeqShift = kSlotBits + 1;
+
+    [[nodiscard]] static CompactEvent make(Millis time, std::uint64_t seq,
+                                           std::uint32_t kind,
+                                           std::uint32_t slot) {
+      return {time, seq << kSeqShift |
+                        std::uint64_t{kind} << kKindShift | slot};
+    }
+    [[nodiscard]] std::uint32_t kind() const {
+      return static_cast<std::uint32_t>(packed >> kKindShift & 1);
+    }
+    [[nodiscard]] std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(packed & ((1u << kSlotBits) - 1));
+    }
+  };
+  /// (time, seq) is a TOTAL order (seq is unique), so any correct min-heap
+  /// pops the exact same sequence — the container choice cannot affect
+  /// determinism.
+  [[nodiscard]] static bool before(const CompactEvent& a,
+                                   const CompactEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.packed < b.packed;  // high bits are seq
+  }
+  void heap_push(const CompactEvent& event);
+  CompactEvent heap_pop();
+
+  /// Seed engine's queue entry: the callback is heap-allocated by
+  /// std::function whenever its captures exceed the small-buffer size,
+  /// i.e. on every captured-message hop.
   struct Event {
     Millis time;
-    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    std::uint64_t seq;
     Action action;
   };
   struct Later {
@@ -54,10 +146,54 @@ class Simulator {
     }
   };
 
+  [[nodiscard]] std::uint32_t acquire_action_slot();
+  [[nodiscard]] std::uint32_t acquire_delivery_slot();
+
+  /// Routes a compact event to the near heap, a rung bucket, or the top
+  /// list (two-level store, see the member comment below).
+  void far_push(const CompactEvent& event);
+  /// Promotes rung buckets (rebuilding the rung from the top list when it
+  /// runs out) until the near heap has events or everything is drained.
+  /// Pre: the near heap is empty.
+  void refill();
+  void build_rung();
+
   Millis now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  bool legacy_ = false;
+
+  // Two-level event store for the default engine (a single-rung ladder
+  // queue). Pops are absorbed by a small NEAR heap (4-ary min-heap, stays
+  // cache-resident); far-future events wait unsorted — first in the TOP
+  // list, then distributed once into the RUNG's constant-width time buckets
+  // — and are only heapified when the horizon reaches their bucket. Every
+  // event is bucketed O(1) times, so the steady-state cost per event stays
+  // flat even with ~10^6 in flight (where a single big heap spends its time
+  // in cache misses).
+  //
+  // Ordering stays EXACT: bucket_of(t) = floor((t - start) / width) is
+  // monotone in t under IEEE rounding (subtraction, division by a positive
+  // constant and floor are all monotone), so an event in a lower bucket
+  // never has a later time than one in a higher bucket, and the near heap
+  // — which always holds every not-yet-popped event of the buckets below
+  // rung_cur_ — contains the global minimum whenever it is non-empty. Ties
+  // are settled inside the near heap by the total (time, seq) order.
+  std::vector<CompactEvent> heap_;       // near events
+  std::vector<std::vector<CompactEvent>> rung_;  // reused bucket storage
+  std::vector<CompactEvent> top_;        // beyond the rung's coverage
+  std::size_t rung_count_ = 0;           // active buckets this generation
+  std::size_t rung_cur_ = 0;             // next bucket to promote
+  Millis rung_start_ = 0.0;
+  Millis rung_width_ = 1.0;
+  Millis top_min_ = 0.0, top_max_ = 0.0;
+  std::size_t compact_pending_ = 0;      // near + rung + top
+  std::vector<Action> action_pool_;
+  std::vector<std::uint32_t> action_free_;
+  std::vector<DeliveryEvent> delivery_pool_;
+  std::vector<std::uint32_t> delivery_free_;
+
+  std::priority_queue<Event, std::vector<Event>, Later> legacy_queue_;
 };
 
 }  // namespace multipub::net

@@ -1,11 +1,16 @@
 #include "net/transport.h"
 
 #include <cmath>
+#include <type_traits>
 #include <utility>
 
 #include "common/assert.h"
 
 namespace multipub::net {
+
+static_assert(std::is_trivially_copyable_v<DeliveryEvent>,
+              "the typed event fast path relies on DeliveryEvent being "
+              "plain copyable data (no per-hop heap traffic)");
 
 Dollars CostLedger::total_cost(const geo::RegionCatalog& catalog) const {
   MP_EXPECTS(catalog.size() == inter_region_bytes.size());
@@ -26,15 +31,37 @@ SimTransport::SimTransport(Simulator& sim, const geo::RegionCatalog& catalog,
       catalog_(&catalog),
       backbone_(&backbone),
       clients_(&clients),
+      region_handlers_(catalog.size()),
       region_down_(catalog.size(), false),
       ledger_(catalog.size()) {
   MP_EXPECTS(catalog.size() == backbone.size());
   MP_EXPECTS(catalog.size() == clients.n_regions());
 }
 
+void SimTransport::set_fast_path(bool on) {
+  fast_path_ = on;
+  sim_->set_legacy_scheduling(!on);
+}
+
 void SimTransport::register_handler(Address address, Handler handler) {
   MP_EXPECTS(handler != nullptr);
+  MP_EXPECTS(address.id >= 0);
+  const auto index = static_cast<std::size_t>(address.id);
+  auto& dense = address.kind == Address::Kind::kClient ? client_handlers_
+                                                       : region_handlers_;
+  if (index >= dense.size()) dense.resize(index + 1);
+  dense[index] = handler;
   handlers_[address] = std::move(handler);
+}
+
+const SimTransport::Handler* SimTransport::find_handler(
+    Address address) const {
+  const auto& dense = address.kind == Address::Kind::kClient
+                          ? client_handlers_
+                          : region_handlers_;
+  const auto index = static_cast<std::size_t>(address.id);
+  if (index >= dense.size() || !dense[index]) return nullptr;
+  return &dense[index];
 }
 
 Millis SimTransport::latency(Address from, Address to) const {
@@ -70,6 +97,16 @@ void SimTransport::set_region_down(RegionId region, bool down) {
 bool SimTransport::region_down(RegionId region) const {
   MP_EXPECTS(region.valid() && region.index() < region_down_.size());
   return region_down_[region.index()];
+}
+
+void SimTransport::deliver(const DeliveryEvent& event) {
+  const Handler* handler = find_handler(event.to);
+  if (handler == nullptr) {
+    ++dropped_;
+    ++dropped_unregistered_;
+    return;
+  }
+  (*handler)(event.msg);
 }
 
 void SimTransport::send(Address from, Address to, wire::Message msg) {
@@ -108,14 +145,92 @@ void SimTransport::send(Address from, Address to, wire::Message msg) {
             std::abs(jitter_->rng.normal(0.0, jitter_->spec.absolute_ms));
   }
   ++sent_;
+  if (fast_path_) {
+    sim_->schedule_delivery_after(delay, *this, from, to, msg);
+    return;
+  }
   sim_->schedule_after(delay, [this, to, msg = std::move(msg)]() {
     const auto it = handlers_.find(to);
     if (it == handlers_.end()) {
       ++dropped_;
+      ++dropped_unregistered_;
       return;
     }
     it->second(msg);
   });
+}
+
+void SimTransport::send_batch(Address from, std::span<const Address> targets,
+                              const wire::Message& msg,
+                              wire::MessageType stamped_type) {
+  if (targets.empty()) return;
+  if (!fast_path_) {
+    // Reference path: the seed data plane materialised one message copy per
+    // peer and pushed each through send() — per-target billing, map handler
+    // lookup, and a heap-allocating callback per hop.
+    wire::Message copy = msg;
+    copy.type = stamped_type;
+    for (const Address to : targets) {
+      copy.subscriber = to.kind == Address::Kind::kClient ? to.as_client()
+                                                          : msg.subscriber;
+      send(from, to, copy);
+    }
+    return;
+  }
+
+  const bool from_region = from.kind == Address::Kind::kRegion;
+  if (from_region && region_down(from.as_region())) {
+    // Exactly what the per-target send() loop records: one drop each,
+    // nothing sent, nothing billed.
+    dropped_ += targets.size();
+    return;
+  }
+
+  wire::Message stamped = msg;
+  stamped.type = stamped_type;
+
+  // Sender-side billing facts are shared by the whole batch; the per-target
+  // += order below matches the per-target send() loop bit for bit.
+  const double billable = static_cast<double>(stamped.billable_bytes());
+  const Bytes billable_bytes = stamped.billable_bytes();
+  std::size_t from_index = 0;
+  double alpha = 0.0, beta = 0.0;
+  Dollars* topic_dollars = nullptr;
+  if (from_region) {
+    const geo::Region& region = catalog_->at(from.as_region());
+    from_index = from.as_region().index();
+    alpha = region.alpha_per_byte();
+    beta = region.beta_per_byte();
+    topic_dollars = &topic_cost_[stamped.topic];
+  }
+
+  for (const Address to : targets) {
+    if (to.kind == Address::Kind::kRegion && region_down(to.as_region())) {
+      ++sent_;
+      ++dropped_;
+      continue;
+    }
+    if (from_region) {
+      if (to.kind == Address::Kind::kRegion) {
+        ledger_.inter_region_bytes[from_index] += billable_bytes;
+        *topic_dollars += billable * alpha;
+      } else {
+        ledger_.internet_bytes[from_index] += billable_bytes;
+        *topic_dollars += billable * beta;
+      }
+    }
+    Millis delay = latency(from, to);
+    if (jitter_.has_value()) {
+      delay = delay * jitter_->rng.uniform(1.0, 1.0 + jitter_->spec.relative) +
+              std::abs(jitter_->rng.normal(0.0, jitter_->spec.absolute_ms));
+    }
+    ++sent_;
+    // Per-target stamp; region targets keep the original subscriber so a
+    // mixed batch cannot leak one client's stamp into a broker-bound copy.
+    stamped.subscriber = to.kind == Address::Kind::kClient ? to.as_client()
+                                                           : msg.subscriber;
+    sim_->schedule_delivery_after(delay, *this, from, to, stamped);
+  }
 }
 
 }  // namespace multipub::net

@@ -9,11 +9,19 @@
 //   client -> region : free          (cloud ingress is not billed)
 // The resulting CostLedger is what the live-vs-model property tests compare
 // against Equations 3/4.
+//
+// Data-plane fast path: by default deliveries travel as typed simulator
+// events (no per-hop heap allocation) and are dispatched through dense
+// per-kind handler tables; send_batch() bills and schedules a whole fan-out
+// from one shared message. set_fast_path(false) reverts to the seed's
+// std::function-per-hop scheduling — kept as the observationally-identical
+// reference for the differential tests and bench_dataplane.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -21,36 +29,11 @@
 #include "common/types.h"
 #include "geo/latency.h"
 #include "geo/region.h"
+#include "net/address.h"
 #include "net/simulator.h"
 #include "wire/message.h"
 
 namespace multipub::net {
-
-/// Node address: either a client endpoint or a region's broker.
-struct Address {
-  enum class Kind : std::uint8_t { kClient, kRegion };
-  Kind kind = Kind::kClient;
-  std::int32_t id = -1;
-
-  [[nodiscard]] static Address client(ClientId c) {
-    return {Kind::kClient, c.value()};
-  }
-  [[nodiscard]] static Address region(RegionId r) {
-    return {Kind::kRegion, r.value()};
-  }
-
-  [[nodiscard]] ClientId as_client() const { return ClientId{id}; }
-  [[nodiscard]] RegionId as_region() const { return RegionId{id}; }
-
-  friend bool operator==(Address, Address) = default;
-};
-
-struct AddressHash {
-  std::size_t operator()(Address a) const noexcept {
-    return (static_cast<std::size_t>(a.kind) << 32) ^
-           static_cast<std::size_t>(static_cast<std::uint32_t>(a.id));
-  }
-};
 
 /// Per-region egress accounting.
 struct CostLedger {
@@ -66,7 +49,7 @@ struct CostLedger {
 
 /// The simulated network. Borrows the simulator and matrices; they must
 /// outlive the transport.
-class SimTransport {
+class SimTransport : public DeliverySink {
  public:
   using Handler = std::function<void(const wire::Message&)>;
 
@@ -83,6 +66,17 @@ class SimTransport {
   /// still applies — the bytes left the region).
   void send(Address from, Address to, wire::Message msg);
 
+  /// Fan-out form of send(): bills and schedules one delivery per target
+  /// from a single shared message, stamping `type` to `stamped_type` and —
+  /// for client targets — `subscriber` to the target as each delivery is
+  /// scheduled. Equivalent to the per-target copy-and-send loop (same
+  /// billing order, same jitter draws, same counters) without materialising
+  /// a wire::Message per target on the caller's side. The span only needs
+  /// to live for the duration of the call, so callers can reuse a scratch
+  /// buffer.
+  void send_batch(Address from, std::span<const Address> targets,
+                  const wire::Message& msg, wire::MessageType stamped_type);
+
   /// One-way latency between two addresses. Client<->client links do not
   /// exist in the architecture (everything goes through a broker).
   [[nodiscard]] Millis latency(Address from, Address to) const;
@@ -92,6 +86,17 @@ class SimTransport {
   /// for it either; messages towards it are counted as dropped.
   void set_region_down(RegionId region, bool down);
   [[nodiscard]] bool region_down(RegionId region) const;
+
+  /// Selects the scheduling implementation. On (default): typed delivery
+  /// events + dense handler dispatch. Off: the seed's per-hop
+  /// std::function path, retained as the bit-identical reference. Only
+  /// meaningful before traffic is scheduled (the simulator queue must be
+  /// empty when switching).
+  void set_fast_path(bool on);
+  [[nodiscard]] bool fast_path() const { return fast_path_; }
+
+  /// Typed delivery dispatch (DeliverySink); called by the simulator.
+  void deliver(const DeliveryEvent& event) override;
 
   /// Enables per-message latency jitter: each delivery takes
   /// base * U(1, 1 + relative) + |N(0, absolute_ms)| instead of exactly the
@@ -109,11 +114,22 @@ class SimTransport {
   [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
   [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
 
+  /// Subset of dropped_count(): deliveries that reached an address nobody
+  /// registered a handler for. These are the silent drops (a down region at
+  /// least shows up in region metrics); surfaced as transport.dropped_unregistered
+  /// in sim::collect_metrics.
+  [[nodiscard]] std::uint64_t dropped_unregistered_count() const {
+    return dropped_unregistered_;
+  }
+
   /// Dollars billed so far attributable to one topic's traffic (publication
   /// messages carry their topic). Sums over topics to the ledger total.
   [[nodiscard]] Dollars topic_cost(TopicId topic) const;
 
  private:
+  /// Dense handler slot for `address`, or nullptr when never registered.
+  [[nodiscard]] const Handler* find_handler(Address address) const;
+
   Simulator* sim_;
   const geo::RegionCatalog* catalog_;
   const geo::InterRegionLatency* backbone_;
@@ -123,13 +139,19 @@ class SimTransport {
     Rng rng;
   };
 
+  // The map is what the legacy (seed) path looks handlers up in; the dense
+  // vectors serve the fast path. register_handler keeps both in sync.
   std::unordered_map<Address, Handler, AddressHash> handlers_;
+  std::vector<Handler> client_handlers_;
+  std::vector<Handler> region_handlers_;
   std::vector<bool> region_down_;  // indexed by RegionId
   std::optional<Jitter> jitter_;
   CostLedger ledger_;
   std::unordered_map<TopicId, Dollars> topic_cost_;
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_unregistered_ = 0;
+  bool fast_path_ = true;
 };
 
 }  // namespace multipub::net

@@ -67,6 +67,16 @@ class LiveSystem {
   void set_incremental(bool incremental) { incremental_ = incremental; }
   [[nodiscard]] bool incremental() const { return incremental_; }
 
+  /// Selects the data-plane scheduling path. On (default): typed simulator
+  /// delivery events + batched fan-out (allocation-free per hop). Off: the
+  /// seed's std::function-per-hop reference, kept observationally
+  /// bit-identical for differential tests and bench_dataplane. Must be
+  /// called before any traffic is scheduled (right after construction).
+  void set_data_plane_fast_path(bool on) { transport_->set_fast_path(on); }
+  [[nodiscard]] bool data_plane_fast_path() const {
+    return transport_->fast_path();
+  }
+
   /// Same as control_round but does NOT drain the simulator: the
   /// kConfigUpdate traffic is merely scheduled. This is the form a
   /// ControlLoop calls from inside a simulator event, where draining would

@@ -11,6 +11,11 @@ MetricsRegistry collect_metrics(LiveSystem& live) {
           static_cast<double>(transport.sent_count()));
   out.set("transport.messages_dropped",
           static_cast<double>(transport.dropped_count()));
+  // Silent drops: deliveries that reached an address nobody registered a
+  // handler for (misrouted or stale traffic). Down-region drops at least
+  // show up in region.<name>.down; these would otherwise be invisible.
+  out.set("transport.dropped_unregistered",
+          static_cast<double>(transport.dropped_unregistered_count()));
   out.set("transport.cost_usd",
           transport.ledger().total_cost(scenario.catalog));
 

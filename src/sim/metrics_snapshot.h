@@ -11,7 +11,8 @@
 namespace multipub::sim {
 
 /// Collects the registry. Names are stable:
-///   transport.messages_sent / .messages_dropped / .cost_usd
+///   transport.messages_sent / .messages_dropped / .dropped_unregistered /
+///             .cost_usd
 ///   region.<name>.inter_region_bytes / .internet_bytes / .delivered /
 ///                 .forwarded / .drain_forwarded / .filtered / .servers /
 ///                 .down

@@ -136,6 +136,64 @@ TEST_F(BrokerTest, DrainForwardedCountsDuplicateFanOut) {
   EXPECT_EQ(broker_a.drain_forwarded_count(), 1u);
 }
 
+TEST_F(BrokerTest, RoutedFanOutSendsOneCopyPerPeerAcrossServingAndDraining) {
+  // Region B sits in BOTH the new serving set and the drain window after a
+  // reconfiguration {A,B} -> {A,B,C}; the fan-out targets are the UNION, so
+  // B must receive exactly one copy (and C, newly serving, one too).
+  Broker broker_a(TinyWorld::kA, sim_, transport_);
+  std::uint64_t to_b = 0, to_c = 0;
+  transport_.register_handler(net::Address::region(TinyWorld::kB),
+                              [&](const wire::Message&) { ++to_b; });
+  transport_.register_handler(net::Address::region(TinyWorld::kC),
+                              [&](const wire::Message&) { ++to_c; });
+
+  broker_a.set_topic_config(TopicId{0}, config_ab(core::DeliveryMode::kRouted));
+  geo::RegionSet abc;
+  abc.add(TinyWorld::kA);
+  abc.add(TinyWorld::kB);
+  abc.add(TinyWorld::kC);
+  broker_a.set_topic_config(TopicId{0}, {abc, core::DeliveryMode::kRouted});
+  ASSERT_TRUE(broker_a.draining_regions(TopicId{0}).contains(TinyWorld::kB));
+
+  broker_a.handle(
+      publish_msg(TinyWorld::kNearA, 1000, wire::WireMode::kRouted));
+  sim_.run_until(sim_.now() + 500.0);  // deliver forwards, stay in the window
+
+  EXPECT_EQ(to_b, 1u);
+  EXPECT_EQ(to_c, 1u);
+  EXPECT_EQ(broker_a.forwarded_count(), 2u);
+  // B still serves, so neither forward is a drain-only duplicate.
+  EXPECT_EQ(broker_a.drain_forwarded_count(), 0u);
+  EXPECT_EQ(transport_.ledger().inter_region_bytes[TinyWorld::kA.index()],
+            2000u);
+}
+
+TEST_F(BrokerTest, DrainOnlyPeerStillGetsExactlyOneCopy) {
+  // {A,B} -> {A,C}: B is drain-only, C newly serving; one copy each, and
+  // only B's copy counts as a drain forward.
+  Broker broker_a(TinyWorld::kA, sim_, transport_);
+  std::uint64_t to_b = 0, to_c = 0;
+  transport_.register_handler(net::Address::region(TinyWorld::kB),
+                              [&](const wire::Message&) { ++to_b; });
+  transport_.register_handler(net::Address::region(TinyWorld::kC),
+                              [&](const wire::Message&) { ++to_c; });
+
+  broker_a.set_topic_config(TopicId{0}, config_ab(core::DeliveryMode::kRouted));
+  geo::RegionSet ac;
+  ac.add(TinyWorld::kA);
+  ac.add(TinyWorld::kC);
+  broker_a.set_topic_config(TopicId{0}, {ac, core::DeliveryMode::kRouted});
+
+  broker_a.handle(
+      publish_msg(TinyWorld::kNearA, 1000, wire::WireMode::kRouted));
+  sim_.run_until(sim_.now() + 500.0);
+
+  EXPECT_EQ(to_b, 1u);
+  EXPECT_EQ(to_c, 1u);
+  EXPECT_EQ(broker_a.forwarded_count(), 2u);
+  EXPECT_EQ(broker_a.drain_forwarded_count(), 1u);
+}
+
 TEST_F(BrokerTest, RoutedDeliveryTimingMatchesEquation2) {
   Broker broker_a(TinyWorld::kA, sim_, transport_);
   Broker broker_b(TinyWorld::kB, sim_, transport_);

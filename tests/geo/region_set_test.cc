@@ -69,6 +69,43 @@ TEST(RegionSet, ToVectorAscending) {
   EXPECT_EQ(s.first(), RegionId{0});
 }
 
+TEST(RegionSet, IteratorVisitsMembersAscendingWithoutAllocating) {
+  RegionSet s;
+  s.add(RegionId{9});
+  s.add(RegionId{0});
+  s.add(RegionId{63});
+  s.add(RegionId{17});
+
+  std::vector<RegionId> seen;
+  for (RegionId r : s) seen.push_back(r);
+  EXPECT_EQ(seen, s.to_vector());
+  EXPECT_EQ(seen, (std::vector<RegionId>{RegionId{0}, RegionId{9},
+                                         RegionId{17}, RegionId{63}}));
+}
+
+TEST(RegionSet, IteratorOnEmptySetIsEmptyRange) {
+  const RegionSet s;
+  EXPECT_EQ(s.begin(), s.end());
+  int visits = 0;
+  for (RegionId r : s) {
+    (void)r;
+    ++visits;
+  }
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(RegionSet, IteratorSupportsPostIncrementAndStdAlgorithms) {
+  RegionSet s;
+  s.add(RegionId{2});
+  s.add(RegionId{5});
+  auto it = s.begin();
+  const auto before = it++;
+  EXPECT_EQ((*before).value(), 2);
+  EXPECT_EQ((*it).value(), 5);
+  EXPECT_EQ(std::distance(s.begin(), s.end()),
+            static_cast<std::ptrdiff_t>(s.size()));
+}
+
 TEST(RegionSet, ToStringUsesPaperNumbering) {
   RegionSet s;
   s.add(RegionId{0});

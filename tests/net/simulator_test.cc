@@ -2,10 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
+
+#include "common/rng.h"
 
 namespace multipub::net {
 namespace {
+
+/// Records the insertion markers (carried in msg.seq) of typed deliveries.
+struct RecordingSink : DeliverySink {
+  explicit RecordingSink(std::vector<int>& order) : order(&order) {}
+  void deliver(const DeliveryEvent& event) override {
+    order->push_back(static_cast<int>(event.msg.seq));
+  }
+  std::vector<int>* order;
+};
 
 TEST(Simulator, StartsAtZero) {
   Simulator sim;
@@ -77,6 +90,127 @@ TEST(Simulator, ProcessedCountsEveryEvent) {
   for (int i = 0; i < 7; ++i) sim.schedule_after(1.0 * i, [] {});
   sim.run();
   EXPECT_EQ(sim.processed(), 7u);
+}
+
+TEST(Simulator, TypedDeliveriesInterleaveWithActionsInFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  RecordingSink sink(order);
+  wire::Message msg;
+
+  // Same timestamp, alternating kinds: dispatch must follow insertion order
+  // regardless of the event's representation.
+  for (int i = 0; i < 10; ++i) {
+    if (i % 2 == 0) {
+      sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+    } else {
+      msg.seq = static_cast<std::uint64_t>(i);
+      sim.schedule_delivery_at(5.0, sink, Address::client(ClientId{0}),
+                               Address::client(ClientId{1}), msg);
+    }
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, MixedEventOrderingPropertyRandomized) {
+  // Property: for any mix of typed and generic events at clashing
+  // timestamps, dispatch order equals a stable sort by time — i.e. the
+  // (time, seq) FIFO contract of the seed engine, bit for bit.
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    Simulator sim;
+    std::vector<int> order;
+    RecordingSink sink(order);
+    std::vector<std::pair<Millis, int>> scheduled;  // (time, marker)
+
+    const int n = 100;
+    wire::Message msg;
+    for (int i = 0; i < n; ++i) {
+      // A handful of distinct instants guarantees plenty of ties.
+      const Millis t = 5.0 * static_cast<double>(rng.uniform_int(0, 4));
+      scheduled.emplace_back(t, i);
+      if (rng.uniform_int(0, 1) == 0) {
+        sim.schedule_at(t, [&order, i] { order.push_back(i); });
+      } else {
+        msg.seq = static_cast<std::uint64_t>(i);
+        sim.schedule_delivery_at(t, sink, Address::client(ClientId{0}),
+                                 Address::client(ClientId{1}), msg);
+      }
+    }
+    sim.run();
+
+    std::stable_sort(scheduled.begin(), scheduled.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    ASSERT_EQ(order.size(), scheduled.size());
+    for (std::size_t i = 0; i < scheduled.size(); ++i) {
+      EXPECT_EQ(order[i], scheduled[i].second) << "trial " << trial;
+    }
+    EXPECT_EQ(sim.processed(), static_cast<std::uint64_t>(n));
+  }
+}
+
+TEST(Simulator, DeliveryHandlersCanScheduleFurtherEvents) {
+  // Pool-reuse path: a delivery dispatch schedules both another delivery
+  // and an action, exercising slot recycling mid-dispatch.
+  Simulator sim;
+  std::vector<int> order;
+  struct ChainSink : DeliverySink {
+    Simulator* sim;
+    std::vector<int>* order;
+    void deliver(const DeliveryEvent& event) override {
+      order->push_back(static_cast<int>(event.msg.seq));
+      if (event.msg.seq < 3) {
+        wire::Message next = event.msg;
+        ++next.seq;
+        sim->schedule_delivery_after(1.0, *this, event.from, event.to, next);
+        sim->schedule_after(0.5, [this] { order->push_back(-1); });
+      }
+    }
+  };
+  ChainSink sink;
+  sink.sim = &sim;
+  sink.order = &order;
+  wire::Message msg;
+  msg.seq = 0;
+  sim.schedule_delivery_at(0.0, sink, Address::client(ClientId{0}),
+                           Address::client(ClientId{1}), msg);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, -1, 1, -1, 2, -1, 3}));
+}
+
+TEST(Simulator, LegacySchedulingPreservesFifoContract) {
+  Simulator sim;
+  sim.set_legacy_scheduling(true);
+  ASSERT_TRUE(sim.legacy_scheduling());
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  // Queue is drained, so switching back is allowed.
+  sim.set_legacy_scheduling(false);
+  EXPECT_FALSE(sim.legacy_scheduling());
+}
+
+TEST(Simulator, LegacyAndFastEnginesDispatchIdenticallyForActions) {
+  for (bool legacy : {false, true}) {
+    Simulator sim;
+    sim.set_legacy_scheduling(legacy);
+    std::vector<int> order;
+    sim.schedule_at(30.0, [&] { order.push_back(3); });
+    sim.schedule_at(10.0, [&] { order.push_back(1); });
+    sim.schedule_at(10.0, [&] { order.push_back(2); });
+    sim.run_until(10.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2})) << "legacy=" << legacy;
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3})) << "legacy=" << legacy;
+    EXPECT_EQ(sim.processed(), 3u);
+  }
 }
 
 TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "testutil.h"
 
 namespace multipub::net {
@@ -135,6 +139,170 @@ TEST_F(TransportTest, MessagePayloadSurvivesTransit) {
                   Address::region(TinyWorld::kA), sent);
   sim_.run();
   EXPECT_EQ(received, sent);
+}
+
+TEST_F(TransportTest, SendBatchStampsTypeAndPerTargetSubscriber) {
+  std::map<int, wire::Message> received;  // keyed by client id
+  for (ClientId c : {TinyWorld::kNearA, TinyWorld::kNearA2, TinyWorld::kNearB}) {
+    transport_.register_handler(Address::client(c),
+                                [&received, c](const wire::Message& m) {
+                                  received[c.value()] = m;
+                                });
+  }
+  const std::vector<Address> targets = {Address::client(TinyWorld::kNearA),
+                                        Address::client(TinyWorld::kNearA2),
+                                        Address::client(TinyWorld::kNearB)};
+  wire::Message msg = publication(1000);
+  msg.publisher = TinyWorld::kNearC;
+  msg.seq = 7;
+  transport_.send_batch(Address::region(TinyWorld::kA), targets, msg,
+                        wire::MessageType::kDeliver);
+  sim_.run();
+
+  ASSERT_EQ(received.size(), 3u);
+  for (ClientId c : {TinyWorld::kNearA, TinyWorld::kNearA2, TinyWorld::kNearB}) {
+    const wire::Message& m = received.at(c.value());
+    EXPECT_EQ(m.type, wire::MessageType::kDeliver);
+    EXPECT_EQ(m.subscriber, c);  // stamped per target
+    EXPECT_EQ(m.publisher, TinyWorld::kNearC);
+    EXPECT_EQ(m.seq, 7u);
+    EXPECT_EQ(m.payload_bytes, 1000u);
+  }
+  // One billable egress per target at region A's Internet rate.
+  EXPECT_EQ(transport_.ledger().internet_bytes[0], 3000u);
+  EXPECT_EQ(transport_.sent_count(), 3u);
+}
+
+TEST_F(TransportTest, SendBatchMatchesPerTargetSendLoopExactly) {
+  // The batch must be observationally identical to the seed's per-target
+  // copy-and-send loop: same ledger, same topic cost, same delivery times.
+  TinyWorld world2;
+  Simulator sim2;
+  SimTransport reference(sim2, world2.catalog, world2.backbone,
+                         world2.clients);
+
+  std::vector<std::pair<Millis, wire::Message>> got_batch, got_loop;
+  for (ClientId c : {TinyWorld::kNearA, TinyWorld::kNearB}) {
+    transport_.register_handler(Address::client(c),
+                                [&, this](const wire::Message& m) {
+                                  got_batch.emplace_back(sim_.now(), m);
+                                });
+    reference.register_handler(Address::client(c),
+                               [&](const wire::Message& m) {
+                                 got_loop.emplace_back(sim2.now(), m);
+                               });
+  }
+  transport_.register_handler(Address::region(TinyWorld::kB),
+                              [&, this](const wire::Message& m) {
+                                got_batch.emplace_back(sim_.now(), m);
+                              });
+  reference.register_handler(Address::region(TinyWorld::kB),
+                             [&](const wire::Message& m) {
+                               got_loop.emplace_back(sim2.now(), m);
+                             });
+
+  const wire::Message msg = publication(1234);
+  const std::vector<Address> targets = {Address::region(TinyWorld::kB),
+                                        Address::client(TinyWorld::kNearA),
+                                        Address::client(TinyWorld::kNearB)};
+  transport_.send_batch(Address::region(TinyWorld::kA), targets, msg,
+                        wire::MessageType::kForward);
+  for (const Address to : targets) {
+    wire::Message copy = msg;
+    copy.type = wire::MessageType::kForward;
+    if (to.kind == Address::Kind::kClient) copy.subscriber = to.as_client();
+    reference.send(Address::region(TinyWorld::kA), to, copy);
+  }
+  sim_.run();
+  sim2.run();
+
+  ASSERT_EQ(got_batch.size(), got_loop.size());
+  for (std::size_t i = 0; i < got_batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got_batch[i].first, got_loop[i].first);
+    EXPECT_EQ(got_batch[i].second, got_loop[i].second);
+  }
+  EXPECT_EQ(transport_.sent_count(), reference.sent_count());
+  EXPECT_EQ(transport_.ledger().inter_region_bytes,
+            reference.ledger().inter_region_bytes);
+  EXPECT_EQ(transport_.ledger().internet_bytes,
+            reference.ledger().internet_bytes);
+  EXPECT_DOUBLE_EQ(transport_.topic_cost(TopicId{0}),
+                   reference.topic_cost(TopicId{0}));
+}
+
+TEST_F(TransportTest, SendBatchFromDownRegionDropsEverythingUnbilled) {
+  transport_.set_region_down(TinyWorld::kA, true);
+  const std::vector<Address> targets = {Address::client(TinyWorld::kNearA),
+                                        Address::client(TinyWorld::kNearB)};
+  transport_.send_batch(Address::region(TinyWorld::kA), targets,
+                        publication(500), wire::MessageType::kDeliver);
+  sim_.run();
+  EXPECT_EQ(transport_.sent_count(), 0u);
+  EXPECT_EQ(transport_.dropped_count(), 2u);
+  EXPECT_DOUBLE_EQ(transport_.ledger().total_cost(world_.catalog), 0.0);
+}
+
+TEST_F(TransportTest, SendBatchSkipsDownTargetButBillsTheRest) {
+  wire::Message seen;
+  transport_.register_handler(Address::region(TinyWorld::kC),
+                              [&](const wire::Message& m) { seen = m; });
+  transport_.set_region_down(TinyWorld::kB, true);
+  const std::vector<Address> targets = {Address::region(TinyWorld::kB),
+                                        Address::region(TinyWorld::kC)};
+  transport_.send_batch(Address::region(TinyWorld::kA), targets,
+                        publication(500), wire::MessageType::kForward);
+  sim_.run();
+  EXPECT_EQ(transport_.sent_count(), 2u);   // the drop still counts as a send
+  EXPECT_EQ(transport_.dropped_count(), 1u);
+  EXPECT_EQ(transport_.ledger().inter_region_bytes[0], 500u);  // C only
+  EXPECT_EQ(seen.type, wire::MessageType::kForward);
+}
+
+TEST_F(TransportTest, UnregisteredDeliveriesAreCountedSeparately) {
+  for (bool fast : {true, false}) {
+    TinyWorld world;
+    Simulator sim;
+    SimTransport transport(sim, world.catalog, world.backbone, world.clients);
+    transport.set_fast_path(fast);
+    transport.send(Address::region(TinyWorld::kA),
+                   Address::region(TinyWorld::kB), publication(500));
+    sim.run();
+    EXPECT_EQ(transport.dropped_count(), 1u) << "fast=" << fast;
+    EXPECT_EQ(transport.dropped_unregistered_count(), 1u) << "fast=" << fast;
+    // A drop at a down region is NOT an unregistered drop.
+    transport.set_region_down(TinyWorld::kC, true);
+    transport.send(Address::region(TinyWorld::kA),
+                   Address::region(TinyWorld::kC), publication(500));
+    sim.run();
+    EXPECT_EQ(transport.dropped_count(), 2u) << "fast=" << fast;
+    EXPECT_EQ(transport.dropped_unregistered_count(), 1u) << "fast=" << fast;
+  }
+}
+
+TEST_F(TransportTest, FastAndLegacyPathsDeliverIdentically) {
+  for (bool fast : {true, false}) {
+    TinyWorld world;
+    Simulator sim;
+    SimTransport transport(sim, world.catalog, world.backbone, world.clients);
+    transport.set_fast_path(fast);
+    EXPECT_EQ(transport.fast_path(), fast);
+    EXPECT_EQ(sim.legacy_scheduling(), !fast);
+
+    std::vector<std::pair<Millis, wire::Message>> got;
+    transport.register_handler(Address::region(TinyWorld::kB),
+                               [&](const wire::Message& m) {
+                                 got.emplace_back(sim.now(), m);
+                               });
+    wire::Message msg = publication(777);
+    msg.seq = 13;
+    transport.send(Address::region(TinyWorld::kA),
+                   Address::region(TinyWorld::kB), msg);
+    sim.run();
+    ASSERT_EQ(got.size(), 1u) << "fast=" << fast;
+    EXPECT_DOUBLE_EQ(got[0].first, 80.0) << "fast=" << fast;
+    EXPECT_EQ(got[0].second, msg) << "fast=" << fast;
+    EXPECT_EQ(transport.ledger().inter_region_bytes[0], 777u);
+  }
 }
 
 }  // namespace

@@ -30,6 +30,8 @@ TEST_F(MetricsSnapshotTest, CountsMatchObservableActivity) {
   EXPECT_DOUBLE_EQ(metrics.value("clients.reconnects"), 0.0);
   EXPECT_DOUBLE_EQ(metrics.value("clients.duplicates"), 0.0);
   EXPECT_DOUBLE_EQ(metrics.value("transport.messages_dropped"), 0.0);
+  EXPECT_TRUE(metrics.contains("transport.dropped_unregistered"));
+  EXPECT_DOUBLE_EQ(metrics.value("transport.dropped_unregistered"), 0.0);
   EXPECT_GT(metrics.value("transport.messages_sent"), 0.0);
   EXPECT_NEAR(metrics.value("transport.cost_usd"), run.interval_cost, 1e-12);
   // Only us-east-1 serves: it delivered and billed; Tokyo is idle.
