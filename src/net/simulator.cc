@@ -36,6 +36,15 @@ void Simulator::far_push(const CompactEvent& event) {
     // Compare in double first: casting an out-of-range value to size_t is
     // UB, and a pathological far-future timestamp must simply go to top_.
     const double idx_d = (event.time - rung_start_) / rung_width_;
+    if (idx_d < 0.0) {
+      // Legal after run_until stops short of the rung's coverage (the rung
+      // was built from far-future events, then the clock was advanced to a
+      // time below rung_start_): a new event may land before the rung
+      // entirely. It precedes every rung/top event, so the near heap is its
+      // ordering-preserving home — and the cast below stays in range.
+      heap_push(event);
+      return;
+    }
     if (idx_d < static_cast<double>(rung_count_)) {
       const auto idx = static_cast<std::size_t>(idx_d);
       if (idx < rung_cur_) {

@@ -22,6 +22,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/types.h"
 #include "net/address.h"
 #include "wire/message.h"
@@ -106,10 +107,15 @@ class Simulator {
     static constexpr std::uint64_t kSlotBits = 24;
     static constexpr std::uint64_t kKindShift = kSlotBits;
     static constexpr std::uint64_t kSeqShift = kSlotBits + 1;
+    static constexpr std::uint64_t kSeqBits = 64 - kSeqShift;  // 39
 
     [[nodiscard]] static CompactEvent make(Millis time, std::uint64_t seq,
                                            std::uint32_t kind,
                                            std::uint32_t slot) {
+      // A seq past 39 bits would silently spill into kind/slot and corrupt
+      // both dispatch and the FIFO tie-break; fail loudly instead (the slot
+      // pools already assert their 24-bit limit).
+      MP_EXPECTS(seq < (std::uint64_t{1} << kSeqBits));
       return {time, seq << kSeqShift |
                         std::uint64_t{kind} << kKindShift | slot};
     }

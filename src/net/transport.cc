@@ -50,6 +50,11 @@ void SimTransport::register_handler(Address address, Handler handler) {
   auto& dense = address.kind == Address::Kind::kClient ? client_handlers_
                                                        : region_handlers_;
   if (index >= dense.size()) dense.resize(index + 1);
+  // Growing the deque above is safe mid-delivery (existing elements stay
+  // put), but overwriting the std::function deliver() is currently invoking
+  // would destroy it under its own feet.
+  MP_EXPECTS(&dense[index] != active_handler_ &&
+             "cannot replace a handler from within its own delivery");
   dense[index] = handler;
   handlers_[address] = std::move(handler);
 }
@@ -106,7 +111,12 @@ void SimTransport::deliver(const DeliveryEvent& event) {
     ++dropped_unregistered_;
     return;
   }
+  // Mark the slot as executing so register_handler can reject replacing it
+  // mid-call (the deque keeps the reference stable against table growth).
+  const Handler* previous = active_handler_;
+  active_handler_ = handler;
   (*handler)(event.msg);
+  active_handler_ = previous;
 }
 
 void SimTransport::send(Address from, Address to, wire::Message msg) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
 #include <span>
@@ -140,10 +141,17 @@ class SimTransport : public DeliverySink {
   };
 
   // The map is what the legacy (seed) path looks handlers up in; the dense
-  // vectors serve the fast path. register_handler keeps both in sync.
+  // tables serve the fast path. register_handler keeps both in sync. Deques
+  // (not vectors): deliver() invokes the handler through a reference into
+  // the table, and a handler may register NEW handlers (client churn), which
+  // grows the table — deque growth leaves existing elements in place, so the
+  // executing std::function is never moved mid-call. Replacing the handler
+  // currently executing is the one remaining hazard; register_handler
+  // asserts against it (tracked via active_handler_).
   std::unordered_map<Address, Handler, AddressHash> handlers_;
-  std::vector<Handler> client_handlers_;
-  std::vector<Handler> region_handlers_;
+  std::deque<Handler> client_handlers_;
+  std::deque<Handler> region_handlers_;
+  const Handler* active_handler_ = nullptr;  // set while deliver() dispatches
   std::vector<bool> region_down_;  // indexed by RegionId
   std::optional<Jitter> jitter_;
   CostLedger ledger_;

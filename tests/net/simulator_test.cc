@@ -181,6 +181,23 @@ TEST(Simulator, DeliveryHandlersCanScheduleFurtherEvents) {
   EXPECT_EQ(order, (std::vector<int>{0, -1, 1, -1, 2, -1, 3}));
 }
 
+TEST(Simulator, LateScheduleBeforeRungCoverageStaysOrdered) {
+  // Regression: run_until can stop with the clock far below the rung's
+  // start (the rung was built from far-future events). A later schedule
+  // below rung_start_ would produce a negative bucket index; it must go to
+  // the near heap, not be cast to an out-of-range size_t.
+  Simulator sim;
+  std::vector<Millis> fired;
+  sim.schedule_at(5000.0, [&] { fired.push_back(5000.0); });
+  sim.run_until(1000.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 1000.0);
+  sim.schedule_at(1100.0, [&] { fired.push_back(1100.0); });
+  sim.schedule_at(1050.0, [&] { fired.push_back(1050.0); });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<Millis>{1050.0, 1100.0, 5000.0}));
+  EXPECT_EQ(sim.processed(), 3u);
+}
+
 TEST(Simulator, LegacySchedulingPreservesFifoContract) {
   Simulator sim;
   sim.set_legacy_scheduling(true);

@@ -128,6 +128,35 @@ TEST_F(TransportTest, HandlerReplacementTakesEffect) {
   EXPECT_EQ(second, 1);
 }
 
+TEST_F(TransportTest, HandlerMayRegisterNewHandlersMidDelivery) {
+  // Regression: client churn registers handlers from within a delivery
+  // handler, growing the dense table the executing handler lives in. The
+  // deque-backed table must leave the executing std::function in place
+  // (a vector reallocation would move it mid-call — UB under ASan).
+  bool relayed = false;
+  transport_.register_handler(
+      Address::client(TinyWorld::kNearA), [&](const wire::Message& m) {
+        if (m.type == wire::MessageType::kDeliver) {
+          relayed = true;
+          return;
+        }
+        // Enough new registrations to force the table past any initial
+        // capacity while this handler is on the stack.
+        for (int i = 100; i < 400; ++i) {
+          transport_.register_handler(Address::client(ClientId{i}),
+                                      [](const wire::Message&) {});
+        }
+        wire::Message copy = m;
+        copy.type = wire::MessageType::kDeliver;
+        transport_.send(Address::region(TinyWorld::kA),
+                        Address::client(TinyWorld::kNearA), copy);
+      });
+  transport_.send(Address::region(TinyWorld::kA),
+                  Address::client(TinyWorld::kNearA), publication(10));
+  sim_.run();
+  EXPECT_TRUE(relayed);
+}
+
 TEST_F(TransportTest, MessagePayloadSurvivesTransit) {
   wire::Message received;
   transport_.register_handler(Address::region(TinyWorld::kA),
