@@ -140,7 +140,7 @@ std::vector<Controller::Decision> Controller::reconfigure_impl(
   // Outages shrink the candidate set for every topic.
   core::OptimizerOptions effective = options;
   const std::size_t n_regions = optimizer_.cost_model().catalog().size();
-  {
+  if (outage_exclusion_enabled_) {
     const geo::RegionSet base = effective.candidates.empty()
                                     ? geo::RegionSet::universe(n_regions)
                                     : effective.candidates;

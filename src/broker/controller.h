@@ -142,6 +142,24 @@ class Controller {
   void set_region_available(RegionId region, bool available);
   [[nodiscard]] bool region_available(RegionId region) const;
 
+  /// The regions currently considered down (manual marks + failure
+  /// detection) — the set the next round's candidate masking will use.
+  [[nodiscard]] const geo::RegionSet& unavailable_regions() const {
+    return unavailable_;
+  }
+
+  /// Chaos/testing hook: when disabled, reconfigure rounds STOP masking
+  /// unavailable regions out of the candidate sets (availability is still
+  /// tracked for orphan bookkeeping). This deliberately re-introduces the
+  /// bug class where the controller routes topics through dead regions —
+  /// the chaos harness's dead-region oracles must catch it. On by default.
+  void set_outage_exclusion_enabled(bool enabled) {
+    outage_exclusion_enabled_ = enabled;
+  }
+  [[nodiscard]] bool outage_exclusion_enabled() const {
+    return outage_exclusion_enabled_;
+  }
+
   /// Enables the paper's §IV-D pass: after each topic's optimization, scan
   /// for subscribers whose every delivery misses max_T and force-add a
   /// region when it meets (or significantly improves) their latencies.
@@ -197,6 +215,7 @@ class Controller {
   core::HeuristicOptimizer heuristic_;
   Solver solver_ = Solver::kExhaustive;
   geo::RegionSet unavailable_;
+  bool outage_exclusion_enabled_ = true;
   bool mitigation_enabled_ = false;
   core::MitigationParams mitigation_params_;
   int failure_detection_rounds_ = 0;  ///< 0 = disabled

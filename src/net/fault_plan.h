@@ -1,0 +1,124 @@
+// Scheduled fault injection for the simulated network.
+//
+// A FaultPlan is a set of rules the transport consults for every message it
+// is about to put on the wire. Each rule matches a directed link — a (from,
+// to) endpoint pattern, so partitions can be asymmetric — and is active
+// inside a virtual-time window [start, end):
+//
+//   kPartition : matching messages are lost in transit (sent, not billed,
+//                counted as dropped — same accounting as a send towards a
+//                dead region),
+//   kDelay     : matching messages take delay * factor + extra_ms instead
+//                of their nominal latency (applied after jitter),
+//   kDrop      : matching messages are lost with probability p, drawn from
+//                the plan's own seeded stream.
+//
+// Everything is a pure function of (rule set, seed, send order), and the
+// send order is fixed by the deterministic simulator, so a chaos run is
+// bit-reproducible from its seed. The plan is passive: it never schedules
+// anything itself; SimTransport::set_fault_plan() wires it into send() /
+// send_batch(), and a null plan (the default) leaves the data path exactly
+// as before.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/address.h"
+
+namespace multipub::net {
+
+/// One side of a link pattern. kAny* forms are wildcards; kRegion/kClient
+/// match one concrete endpoint.
+struct FaultEndpoint {
+  enum class Kind : std::uint8_t {
+    kAny,        ///< any endpoint
+    kAnyRegion,  ///< any region broker
+    kAnyClient,  ///< any client
+    kRegion,     ///< the region with this id
+    kClient,     ///< the client with this id
+  };
+  Kind kind = Kind::kAny;
+  std::int32_t id = -1;
+
+  [[nodiscard]] static FaultEndpoint any() { return {}; }
+  [[nodiscard]] static FaultEndpoint any_region() {
+    return {Kind::kAnyRegion, -1};
+  }
+  [[nodiscard]] static FaultEndpoint any_client() {
+    return {Kind::kAnyClient, -1};
+  }
+  [[nodiscard]] static FaultEndpoint region(RegionId r) {
+    return {Kind::kRegion, r.value()};
+  }
+  [[nodiscard]] static FaultEndpoint client(ClientId c) {
+    return {Kind::kClient, c.value()};
+  }
+
+  [[nodiscard]] bool matches(Address address) const;
+
+  friend bool operator==(const FaultEndpoint&, const FaultEndpoint&) = default;
+};
+
+/// One injected fault. Fields beyond (kind, from, to, window) are only
+/// meaningful for their kind.
+struct FaultRule {
+  enum class Kind : std::uint8_t { kPartition, kDelay, kDrop };
+  Kind kind = Kind::kPartition;
+  FaultEndpoint from;
+  FaultEndpoint to;
+  Millis start = 0.0;           ///< window start (inclusive, virtual ms)
+  Millis end = kUnreachable;    ///< window end (exclusive)
+  double delay_factor = 1.0;    ///< kDelay: multiplies the nominal latency
+  Millis delay_extra_ms = 0.0;  ///< kDelay: added on top
+  double drop_probability = 0.0;  ///< kDrop: loss probability in [0, 1]
+};
+
+class FaultPlan {
+ public:
+  /// `seed` feeds the probabilistic-drop stream; two plans with the same
+  /// seed and the same consult sequence make identical drop decisions.
+  explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
+
+  /// Installs a rule; returns a handle for remove(). Rules are consulted in
+  /// insertion order.
+  int add(const FaultRule& rule);
+  void remove(int id);
+  void clear() { rules_.clear(); }
+  [[nodiscard]] std::size_t active_rules() const { return rules_.size(); }
+
+  /// What the plan decided for one message on the (from -> to) link at
+  /// virtual time `now`.
+  struct Outcome {
+    bool dropped = false;
+    double delay_factor = 1.0;
+    Millis delay_extra_ms = 0.0;
+  };
+
+  /// Consults every active rule in insertion order. Delay rules compound
+  /// (factors multiply, extras add); the first matching partition — or drop
+  /// rule whose coin lands — stops the scan. Each consulted kDrop rule
+  /// takes one draw from the seeded stream; since every coin outcome is
+  /// itself deterministic in the seed, so is the whole stream.
+  [[nodiscard]] Outcome apply(Address from, Address to, Millis now);
+
+  /// Messages lost to partitions / to probabilistic drop; messages whose
+  /// latency a delay rule touched.
+  [[nodiscard]] std::uint64_t partition_dropped() const {
+    return partition_dropped_;
+  }
+  [[nodiscard]] std::uint64_t random_dropped() const { return random_dropped_; }
+  [[nodiscard]] std::uint64_t delayed() const { return delayed_; }
+
+ private:
+  std::vector<std::pair<int, FaultRule>> rules_;
+  Rng rng_;
+  int next_id_ = 0;
+  std::uint64_t partition_dropped_ = 0;
+  std::uint64_t random_dropped_ = 0;
+  std::uint64_t delayed_ = 0;
+};
+
+}  // namespace multipub::net

@@ -94,6 +94,12 @@ Dollars SimTransport::topic_cost(TopicId topic) const {
   return it == topic_cost_.end() ? 0.0 : it->second;
 }
 
+Dollars SimTransport::topic_cost_total() const {
+  Dollars total = 0.0;
+  for (const auto& [topic, dollars] : topic_cost_) total += dollars;
+  return total;
+}
+
 void SimTransport::set_region_down(RegionId region, bool down) {
   MP_EXPECTS(region.valid() && region.index() < region_down_.size());
   region_down_[region.index()] = down;
@@ -105,12 +111,22 @@ bool SimTransport::region_down(RegionId region) const {
 }
 
 void SimTransport::deliver(const DeliveryEvent& event) {
+  // Drop-on-arrival: the destination region died while this message was in
+  // flight. The bytes were billed at departure (they left the sender), but
+  // a dead datacenter processes nothing.
+  if (event.to.kind == Address::Kind::kRegion &&
+      region_down(event.to.as_region())) {
+    ++dropped_;
+    ++dropped_dead_arrival_;
+    return;
+  }
   const Handler* handler = find_handler(event.to);
   if (handler == nullptr) {
     ++dropped_;
     ++dropped_unregistered_;
     return;
   }
+  ++delivered_;
   // Mark the slot as executing so register_handler can reject replacing it
   // mid-call (the deque keeps the reference stable against table growth).
   const Handler* previous = active_handler_;
@@ -125,12 +141,27 @@ void SimTransport::send(Address from, Address to, wire::Message msg) {
   // destination is lost in transit.
   if (from.kind == Address::Kind::kRegion && region_down(from.as_region())) {
     ++dropped_;
+    ++dropped_sender_down_;
     return;
   }
   if (to.kind == Address::Kind::kRegion && region_down(to.as_region())) {
     ++sent_;
     ++dropped_;
     return;
+  }
+
+  // Injected faults: a partitioned or coin-flipped-away message is lost in
+  // transit (sent, dropped, not billed — like a send towards a dead
+  // region); delay rules stretch the latency below.
+  FaultPlan::Outcome fault;
+  if (fault_plan_ != nullptr) {
+    fault = fault_plan_->apply(from, to, sim_->now());
+    if (fault.dropped) {
+      ++sent_;
+      ++dropped_;
+      ++dropped_faulted_;
+      return;
+    }
   }
 
   // Bill egress at the sender's tariff before the message is even delivered:
@@ -154,18 +185,25 @@ void SimTransport::send(Address from, Address to, wire::Message msg) {
     delay = delay * jitter_->rng.uniform(1.0, 1.0 + jitter_->spec.relative) +
             std::abs(jitter_->rng.normal(0.0, jitter_->spec.absolute_ms));
   }
+  delay = delay * fault.delay_factor + fault.delay_extra_ms;
   ++sent_;
   if (fast_path_) {
     sim_->schedule_delivery_after(delay, *this, from, to, msg);
     return;
   }
   sim_->schedule_after(delay, [this, to, msg = std::move(msg)]() {
+    if (to.kind == Address::Kind::kRegion && region_down(to.as_region())) {
+      ++dropped_;
+      ++dropped_dead_arrival_;
+      return;
+    }
     const auto it = handlers_.find(to);
     if (it == handlers_.end()) {
       ++dropped_;
       ++dropped_unregistered_;
       return;
     }
+    ++delivered_;
     it->second(msg);
   });
 }
@@ -193,6 +231,7 @@ void SimTransport::send_batch(Address from, std::span<const Address> targets,
     // Exactly what the per-target send() loop records: one drop each,
     // nothing sent, nothing billed.
     dropped_ += targets.size();
+    dropped_sender_down_ += targets.size();
     return;
   }
 
@@ -220,6 +259,19 @@ void SimTransport::send_batch(Address from, std::span<const Address> targets,
       ++dropped_;
       continue;
     }
+    // Same consult position as send(): after the dead-region checks, before
+    // billing, one apply() per target — so fault-RNG and jitter draws line
+    // up exactly with the per-target reference loop.
+    FaultPlan::Outcome fault;
+    if (fault_plan_ != nullptr) {
+      fault = fault_plan_->apply(from, to, sim_->now());
+      if (fault.dropped) {
+        ++sent_;
+        ++dropped_;
+        ++dropped_faulted_;
+        continue;
+      }
+    }
     if (from_region) {
       if (to.kind == Address::Kind::kRegion) {
         ledger_.inter_region_bytes[from_index] += billable_bytes;
@@ -234,6 +286,7 @@ void SimTransport::send_batch(Address from, std::span<const Address> targets,
       delay = delay * jitter_->rng.uniform(1.0, 1.0 + jitter_->spec.relative) +
               std::abs(jitter_->rng.normal(0.0, jitter_->spec.absolute_ms));
     }
+    delay = delay * fault.delay_factor + fault.delay_extra_ms;
     ++sent_;
     // Per-target stamp; region targets keep the original subscriber so a
     // mixed batch cannot leak one client's stamp into a broker-bound copy.

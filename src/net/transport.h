@@ -31,6 +31,7 @@
 #include "geo/latency.h"
 #include "geo/region.h"
 #include "net/address.h"
+#include "net/fault_plan.h"
 #include "net/simulator.h"
 #include "wire/message.h"
 
@@ -84,9 +85,22 @@ class SimTransport : public DeliverySink {
 
   /// Fails (or restores) a region: while down, messages from or to the
   /// region vanish — nothing egresses a dead region, so nothing is billed
-  /// for it either; messages towards it are counted as dropped.
+  /// for it either; messages towards it are counted as dropped. The check
+  /// applies at BOTH ends of the hop: a message already in flight towards a
+  /// region that dies before it lands is dropped on arrival (see
+  /// dropped_dead_arrival_count) — a dead datacenter does not process the
+  /// packets that were racing its failure.
   void set_region_down(RegionId region, bool down);
   [[nodiscard]] bool region_down(RegionId region) const;
+
+  /// Installs (or, with nullptr, removes) a fault-injection plan. Borrowed;
+  /// must outlive the transport or be detached first. The plan is consulted
+  /// on every send — after the dead-region checks, before billing — so a
+  /// partitioned or randomly dropped message counts as sent and dropped but
+  /// bills nothing (the accounting of a send towards a dead region).
+  /// Delay rules stretch the hop's latency after jitter is applied.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  [[nodiscard]] FaultPlan* fault_plan() const { return fault_plan_; }
 
   /// Selects the scheduling implementation. On (default): typed delivery
   /// events + dense handler dispatch. Off: the seed's per-hop
@@ -115,6 +129,13 @@ class SimTransport : public DeliverySink {
   [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
   [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
 
+  /// Handler invocations (messages that actually arrived somewhere). With a
+  /// drained queue the transport's books must balance:
+  ///   sent == delivered + (dropped - dropped_sender_down)
+  /// — every message that left a sender was either handed to a handler or
+  /// lost in flight. The chaos harness checks this after every interval.
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+
   /// Subset of dropped_count(): deliveries that reached an address nobody
   /// registered a handler for. These are the silent drops (a down region at
   /// least shows up in region metrics); surfaced as transport.dropped_unregistered
@@ -123,9 +144,33 @@ class SimTransport : public DeliverySink {
     return dropped_unregistered_;
   }
 
+  /// Subset of dropped_count(): sends suppressed because the SENDING region
+  /// was down — these never left the region (nothing was sent or billed).
+  [[nodiscard]] std::uint64_t dropped_sender_down_count() const {
+    return dropped_sender_down_;
+  }
+
+  /// Subset of dropped_count(): messages that were in flight towards a
+  /// region when it died and were discarded on arrival.
+  [[nodiscard]] std::uint64_t dropped_dead_arrival_count() const {
+    return dropped_dead_arrival_;
+  }
+
+  /// Subset of dropped_count(): messages lost to the installed FaultPlan
+  /// (partitions and probabilistic drop).
+  [[nodiscard]] std::uint64_t dropped_faulted_count() const {
+    return dropped_faulted_;
+  }
+
   /// Dollars billed so far attributable to one topic's traffic (publication
   /// messages carry their topic). Sums over topics to the ledger total.
   [[nodiscard]] Dollars topic_cost(TopicId topic) const;
+
+  /// Sum of topic_cost over every topic seen. Both sides bill in the same
+  /// branch of send(), so with a correct transport this equals the ledger's
+  /// total_cost up to floating-point association — the chaos harness's
+  /// cost-conservation oracle.
+  [[nodiscard]] Dollars topic_cost_total() const;
 
  private:
   /// Dense handler slot for `address`, or nullptr when never registered.
@@ -154,11 +199,16 @@ class SimTransport : public DeliverySink {
   const Handler* active_handler_ = nullptr;  // set while deliver() dispatches
   std::vector<bool> region_down_;  // indexed by RegionId
   std::optional<Jitter> jitter_;
+  FaultPlan* fault_plan_ = nullptr;  // borrowed, may be null
   CostLedger ledger_;
   std::unordered_map<TopicId, Dollars> topic_cost_;
   std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t dropped_unregistered_ = 0;
+  std::uint64_t dropped_sender_down_ = 0;
+  std::uint64_t dropped_dead_arrival_ = 0;
+  std::uint64_t dropped_faulted_ = 0;
   bool fast_path_ = true;
 };
 

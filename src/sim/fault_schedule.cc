@@ -1,0 +1,241 @@
+#include "sim/fault_schedule.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace multipub::sim {
+namespace {
+
+bool parse_int(const std::string& token, int* out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_double(const std::string& token, double* out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parse_endpoint(const std::string& token, FaultEndpointSpec* out,
+                    std::string* error) {
+  using Kind = FaultEndpointSpec::Kind;
+  *out = FaultEndpointSpec{};
+  if (token == "*") {
+    out->kind = Kind::kAny;
+    return true;
+  }
+  if (token == "region:*") {
+    out->kind = Kind::kAnyRegion;
+    return true;
+  }
+  if (token == "client:*") {
+    out->kind = Kind::kAnyClient;
+    return true;
+  }
+  if (token.starts_with("client:")) {
+    int id = -1;
+    if (!parse_int(token.substr(7), &id) || id < 0) {
+      if (error) *error = "bad client id in '" + token + "'";
+      return false;
+    }
+    out->kind = Kind::kClient;
+    out->client = id;
+    return true;
+  }
+  // 'region:<name>' or a bare region name; resolved against a catalog later.
+  out->kind = Kind::kRegion;
+  out->region = token.starts_with("region:") ? token.substr(7) : token;
+  if (out->region.empty()) {
+    if (error) *error = "empty region name in '" + token + "'";
+    return false;
+  }
+  return true;
+}
+
+/// %.17g survives a text round-trip for every double.
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string format_endpoint(const FaultEndpointSpec& endpoint) {
+  using Kind = FaultEndpointSpec::Kind;
+  switch (endpoint.kind) {
+    case Kind::kAny:
+      return "*";
+    case Kind::kAnyRegion:
+      return "region:*";
+    case Kind::kAnyClient:
+      return "client:*";
+    case Kind::kClient:
+      return "client:" + std::to_string(endpoint.client);
+    case Kind::kRegion:
+      return endpoint.region;
+  }
+  return "*";
+}
+
+bool parse_window(const std::string& start_tok, const std::string& rounds_tok,
+                  FaultEvent* event, std::string* error) {
+  if (!parse_int(start_tok, &event->start_round) || event->start_round < 0) {
+    if (error) *error = "bad start round '" + start_tok + "'";
+    return false;
+  }
+  if (!parse_int(rounds_tok, &event->rounds) || event->rounds < 1) {
+    if (error) *error = "bad round count '" + rounds_tok + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultEvent> parse_fault_tokens(
+    const std::vector<std::string>& tokens, std::string* error) {
+  auto fail = [&](const std::string& message) -> std::optional<FaultEvent> {
+    if (error) *error = message;
+    return std::nullopt;
+  };
+  if (tokens.empty()) return fail("missing fault kind");
+  const std::string& kind = tokens[0];
+  FaultEvent event;
+
+  if (kind == "outage") {
+    if (tokens.size() != 4) {
+      return fail("'outage' expects <region> <start> <rounds>");
+    }
+    event.kind = FaultEvent::Kind::kOutage;
+    if (!parse_endpoint(tokens[1], &event.from, error)) return std::nullopt;
+    if (event.from.kind != FaultEndpointSpec::Kind::kRegion) {
+      return fail("'outage' needs a concrete region name, got '" + tokens[1] +
+                  "'");
+    }
+    if (!parse_window(tokens[2], tokens[3], &event, error)) return std::nullopt;
+    return event;
+  }
+  if (kind == "partition") {
+    if (tokens.size() != 5) {
+      return fail("'partition' expects <src> <dst> <start> <rounds>");
+    }
+    event.kind = FaultEvent::Kind::kPartition;
+    if (!parse_endpoint(tokens[1], &event.from, error) ||
+        !parse_endpoint(tokens[2], &event.to, error)) {
+      return std::nullopt;
+    }
+    if (!parse_window(tokens[3], tokens[4], &event, error)) return std::nullopt;
+    return event;
+  }
+  if (kind == "delay") {
+    if (tokens.size() != 7) {
+      return fail(
+          "'delay' expects <src> <dst> <start> <rounds> <factor> <extra_ms>");
+    }
+    event.kind = FaultEvent::Kind::kDelay;
+    if (!parse_endpoint(tokens[1], &event.from, error) ||
+        !parse_endpoint(tokens[2], &event.to, error)) {
+      return std::nullopt;
+    }
+    if (!parse_window(tokens[3], tokens[4], &event, error)) return std::nullopt;
+    if (!parse_double(tokens[5], &event.delay_factor) ||
+        event.delay_factor <= 0.0) {
+      return fail("bad delay factor '" + tokens[5] + "'");
+    }
+    if (!parse_double(tokens[6], &event.delay_extra_ms) ||
+        event.delay_extra_ms < 0.0) {
+      return fail("bad delay extra '" + tokens[6] + "'");
+    }
+    return event;
+  }
+  if (kind == "drop") {
+    if (tokens.size() != 6) {
+      return fail("'drop' expects <src> <dst> <start> <rounds> <probability>");
+    }
+    event.kind = FaultEvent::Kind::kDrop;
+    if (!parse_endpoint(tokens[1], &event.from, error) ||
+        !parse_endpoint(tokens[2], &event.to, error)) {
+      return std::nullopt;
+    }
+    if (!parse_window(tokens[3], tokens[4], &event, error)) return std::nullopt;
+    if (!parse_double(tokens[5], &event.drop_probability) ||
+        event.drop_probability < 0.0 || event.drop_probability > 1.0) {
+      return fail("drop probability must be in [0, 1], got '" + tokens[5] +
+                  "'");
+    }
+    return event;
+  }
+  return fail("unknown fault kind '" + kind + "'");
+}
+
+std::optional<FaultSchedule> parse_fault_schedule(std::string_view content,
+                                                  std::string* error) {
+  FaultSchedule schedule;
+  std::istringstream stream{std::string(content)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    std::istringstream line(raw);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (line >> token) tokens.push_back(token);
+    if (tokens.empty()) continue;
+    if (tokens[0] != "fault") {
+      if (error) {
+        *error = "line " + std::to_string(line_no) + ": expected 'fault', got '" +
+                 tokens[0] + "'";
+      }
+      return std::nullopt;
+    }
+    std::string detail;
+    auto event = parse_fault_tokens(
+        std::vector<std::string>(tokens.begin() + 1, tokens.end()), &detail);
+    if (!event) {
+      if (error) *error = "line " + std::to_string(line_no) + ": " + detail;
+      return std::nullopt;
+    }
+    schedule.push_back(std::move(*event));
+  }
+  return schedule;
+}
+
+std::string format_fault_event(const FaultEvent& event) {
+  const std::string window = " " + std::to_string(event.start_round) + " " +
+                             std::to_string(event.rounds);
+  switch (event.kind) {
+    case FaultEvent::Kind::kOutage:
+      return "fault outage " + format_endpoint(event.from) + window;
+    case FaultEvent::Kind::kPartition:
+      return "fault partition " + format_endpoint(event.from) + " " +
+             format_endpoint(event.to) + window;
+    case FaultEvent::Kind::kDelay:
+      return "fault delay " + format_endpoint(event.from) + " " +
+             format_endpoint(event.to) + window + " " +
+             format_double(event.delay_factor) + " " +
+             format_double(event.delay_extra_ms);
+    case FaultEvent::Kind::kDrop:
+      return "fault drop " + format_endpoint(event.from) + " " +
+             format_endpoint(event.to) + window + " " +
+             format_double(event.drop_probability);
+  }
+  return {};
+}
+
+std::string format_fault_schedule(const FaultSchedule& schedule) {
+  std::string out;
+  for (const auto& event : schedule) {
+    out += format_fault_event(event);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace multipub::sim

@@ -1,0 +1,93 @@
+// Declarative fault schedules for the chaos harness.
+//
+// A FaultSchedule is a list of fault events expressed in control ROUNDS
+// (the ChaosRunner maps rounds onto the transport's virtual-time fault
+// windows) with world-independent endpoints (regions by name), so the same
+// schedule text works in scenario files, in the chaos tool's output, and —
+// pasted as a string literal — in regression tests. One line per event:
+//
+//   fault outage <region> <start_round> <rounds>
+//   fault partition <src> <dst> <start_round> <rounds>
+//   fault delay <src> <dst> <start_round> <rounds> <factor> <extra_ms>
+//   fault drop <src> <dst> <start_round> <rounds> <probability>
+//
+// <src>/<dst> endpoints: '*' (anything), 'region:*', 'client:*',
+// 'client:<id>', 'region:<name>' or a bare region name. Windows cover
+// rounds [start_round, start_round + rounds).
+//
+// format_fault_schedule() and parse_fault_schedule() round-trip exactly
+// (numbers are printed with %.17g), which is what lets the shrinker print a
+// minimal reproducing schedule that a regression test reconstructs from one
+// literal.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace multipub::sim {
+
+/// One side of a fault's link pattern, with the region still by NAME (the
+/// chaos runner resolves names against a catalog when installing rules).
+struct FaultEndpointSpec {
+  enum class Kind : std::uint8_t {
+    kAny,
+    kAnyRegion,
+    kAnyClient,
+    kRegion,  ///< `region` holds the catalog name
+    kClient,  ///< `client` holds the id
+  };
+  Kind kind = Kind::kAny;
+  std::string region;
+  std::int32_t client = -1;
+
+  friend bool operator==(const FaultEndpointSpec&,
+                         const FaultEndpointSpec&) = default;
+};
+
+/// One scheduled fault, active for rounds [start_round, start_round+rounds).
+struct FaultEvent {
+  enum class Kind : std::uint8_t { kOutage, kPartition, kDelay, kDrop };
+  Kind kind = Kind::kOutage;
+  /// kOutage: `from` names the dying region (`to` unused). Other kinds:
+  /// directed (from -> to) link pattern.
+  FaultEndpointSpec from;
+  FaultEndpointSpec to;
+  int start_round = 0;
+  int rounds = 1;
+  double delay_factor = 1.0;      ///< kDelay
+  Millis delay_extra_ms = 0.0;    ///< kDelay
+  double drop_probability = 0.0;  ///< kDrop
+
+  /// Active during round `r`?
+  [[nodiscard]] bool covers(int r) const {
+    return r >= start_round && r < start_round + rounds;
+  }
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+using FaultSchedule = std::vector<FaultEvent>;
+
+/// Parses one event from the whitespace tokens FOLLOWING the 'fault' key
+/// (shared with the scenario-file parser). On failure returns nullopt and
+/// explains in `error`.
+[[nodiscard]] std::optional<FaultEvent> parse_fault_tokens(
+    const std::vector<std::string>& tokens, std::string* error);
+
+/// Parses a whole schedule: one 'fault ...' line per event, '#' comments
+/// and blank lines ignored. Line numbers are reported in `error`.
+[[nodiscard]] std::optional<FaultSchedule> parse_fault_schedule(
+    std::string_view content, std::string* error);
+
+/// One canonical 'fault ...' line (no trailing newline).
+[[nodiscard]] std::string format_fault_event(const FaultEvent& event);
+
+/// The whole schedule, one line per event, each newline-terminated. Exact
+/// round-trip: parse_fault_schedule(format_fault_schedule(s)) == s.
+[[nodiscard]] std::string format_fault_schedule(const FaultSchedule& schedule);
+
+}  // namespace multipub::sim

@@ -16,6 +16,17 @@ MetricsRegistry collect_metrics(LiveSystem& live) {
   // show up in region.<name>.down; these would otherwise be invisible.
   out.set("transport.dropped_unregistered",
           static_cast<double>(transport.dropped_unregistered_count()));
+  out.set("transport.messages_delivered",
+          static_cast<double>(transport.delivered_count()));
+  // Drop taxonomy: sends suppressed at a dead sender (never left), messages
+  // discarded on arrival at a region that died mid-flight, and losses
+  // injected by an installed FaultPlan (partitions + probabilistic drop).
+  out.set("transport.dropped_sender_down",
+          static_cast<double>(transport.dropped_sender_down_count()));
+  out.set("transport.dropped_dead_arrival",
+          static_cast<double>(transport.dropped_dead_arrival_count()));
+  out.set("transport.dropped_faulted",
+          static_cast<double>(transport.dropped_faulted_count()));
   out.set("transport.cost_usd",
           transport.ledger().total_cost(scenario.catalog));
 

@@ -11,8 +11,9 @@
 namespace multipub::sim {
 
 /// Collects the registry. Names are stable:
-///   transport.messages_sent / .messages_dropped / .dropped_unregistered /
-///             .cost_usd
+///   transport.messages_sent / .messages_delivered / .messages_dropped /
+///             .dropped_unregistered / .dropped_sender_down /
+///             .dropped_dead_arrival / .dropped_faulted / .cost_usd
 ///   region.<name>.inter_region_bytes / .internet_bytes / .delivered /
 ///                 .forwarded / .drain_forwarded / .filtered / .servers /
 ///                 .down

@@ -16,6 +16,7 @@
 #include "geo/king_synth.h"
 #include "geo/latency.h"
 #include "geo/region.h"
+#include "sim/fault_schedule.h"
 
 namespace multipub::sim {
 
@@ -47,6 +48,9 @@ struct Scenario {
   geo::ClientPopulation population;
   core::TopicState topic;
   double interval_seconds = 60.0;
+  /// Optional scheduled faults (scenario-file 'fault' stanzas); consumed by
+  /// the chaos runner, ignored by the plain control loop.
+  FaultSchedule faults;
 
   /// Optimizer wired to this scenario's matrices. The returned object
   /// borrows the scenario; keep the scenario alive while using it.

@@ -104,6 +104,15 @@ std::optional<ScenarioSpec> parse_scenario_spec(std::string_view content,
         if (error) *error = at_line(line_no, "bad max_t");
         return std::nullopt;
       }
+    } else if (key == "fault") {
+      std::string detail;
+      auto event = parse_fault_tokens(
+          std::vector<std::string>(tokens.begin() + 1, tokens.end()), &detail);
+      if (!event) {
+        if (error) *error = at_line(line_no, detail);
+        return std::nullopt;
+      }
+      spec.faults.push_back(std::move(*event));
     } else if (key == "seed") {
       std::size_t seed = 0;
       if (!want(1) || !parse_size(tokens[1], &seed)) {
@@ -167,6 +176,21 @@ std::optional<Scenario> build_scenario(const ScenarioSpec& spec,
       pub_ids, messages_per_interval(spec.workload),
       spec.workload.message_bytes);
   scenario.topic.subscribers = core::unit_subscribers(sub_ids);
+
+  // Fault endpoints stay name-based in the schedule, but reject names the
+  // catalog can't resolve now so the error carries the scenario's context.
+  for (const auto& event : spec.faults) {
+    for (const auto* endpoint : {&event.from, &event.to}) {
+      if (endpoint->kind == FaultEndpointSpec::Kind::kRegion &&
+          !catalog.find(endpoint->region).valid()) {
+        if (error) {
+          *error = "fault references unknown region '" + endpoint->region + "'";
+        }
+        return std::nullopt;
+      }
+    }
+  }
+  scenario.faults = spec.faults;
   return scenario;
 }
 

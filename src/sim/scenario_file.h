@@ -13,6 +13,13 @@
 //   max_t 150         # delivery bound ms ("inf" for unconstrained)
 //   seed 2017         # synthetic-population RNG seed
 //
+//   # optional scheduled faults (rounds are control rounds, see
+//   # sim/fault_schedule.h for the grammar and endpoint syntax):
+//   fault outage ap-northeast-1 4 3
+//   fault partition us-east-1 ap-northeast-1 2 2
+//   fault delay region:* region:* 1 5 2.0 25
+//   fault drop us-east-1 client:* 3 1 0.25
+//
 // Unknown keys, malformed numbers and unknown regions are reported with
 // line numbers; parsing never throws.
 #pragma once
@@ -34,6 +41,7 @@ struct ScenarioSpec {
   };
   std::vector<Placement> placements;
   WorkloadSpec workload;
+  FaultSchedule faults;
   std::uint64_t seed = 2017;
 };
 

@@ -1,0 +1,253 @@
+// Chaos harness: oracle unit tests (one positive + one negative per
+// oracle), end-to-end campaigns (bit-reproducibility, healthy runs under
+// faults, deliberately-broken invariants caught and shrunk to minimal
+// schedules), and a bounded soak.
+#include "sim/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/fault_schedule.h"
+#include "sim/scenario.h"
+#include "testutil.h"
+
+namespace multipub::sim {
+namespace {
+
+bool has_oracle(const std::vector<OracleViolation>& violations,
+                const std::string& oracle) {
+  return std::any_of(
+      violations.begin(), violations.end(),
+      [&](const OracleViolation& v) { return v.oracle == oracle; });
+}
+
+/// A healthy observation every oracle accepts; tests flip one field each.
+RoundObservation healthy_observation() {
+  RoundObservation obs;
+  obs.round = 5;
+  obs.clean_streak = 3;
+  obs.pending_events = 0;
+  obs.sent = 100;
+  obs.delivered = 90;
+  obs.dropped = 12;
+  obs.dropped_sender_down = 2;  // 100 == 90 + 12 - 2
+  obs.ledger_total = 1.25;
+  obs.topic_total = 1.25;
+  obs.universe = geo::RegionSet::universe(4);
+  obs.have_deployed = true;
+  obs.deployed = {geo::RegionSet(0b0011), core::DeliveryMode::kDirect};
+  return obs;
+}
+
+TEST(InvariantOracles, HealthyObservationPassesAll) {
+  EXPECT_TRUE(check_invariants(healthy_observation()).empty());
+}
+
+TEST(InvariantOracles, CostConservation) {
+  auto obs = healthy_observation();
+  obs.topic_total = 1.25 + 1e-12;  // summation-order noise is fine
+  EXPECT_FALSE(has_oracle(check_invariants(obs), "cost-conservation"));
+
+  obs.topic_total = 1.30;  // a whole missing billing is not
+  EXPECT_TRUE(has_oracle(check_invariants(obs), "cost-conservation"));
+}
+
+TEST(InvariantOracles, CounterConservation) {
+  auto obs = healthy_observation();
+  obs.pending_events = 3;
+  EXPECT_TRUE(has_oracle(check_invariants(obs), "counter-conservation"));
+
+  obs = healthy_observation();
+  obs.delivered = 91;  // one message both delivered and dropped
+  EXPECT_TRUE(has_oracle(check_invariants(obs), "counter-conservation"));
+  obs.dropped = 13;
+  obs.sent = 102;
+  EXPECT_FALSE(has_oracle(check_invariants(obs), "counter-conservation"));
+}
+
+TEST(InvariantOracles, DeadRegionSilence) {
+  auto obs = healthy_observation();
+  obs.down_set = geo::RegionSet::single(RegionId{2});
+  obs.deployed = {geo::RegionSet(0b0011), core::DeliveryMode::kDirect};
+  obs.down_regions.push_back({RegionId{2}, 0, 0});
+  EXPECT_TRUE(check_invariants(obs).empty());
+
+  obs.down_regions[0].broker_delta = 7;  // a dead broker forwarded traffic
+  EXPECT_TRUE(has_oracle(check_invariants(obs), "dead-region-silence"));
+
+  obs.down_regions[0].broker_delta = 0;
+  obs.down_regions[0].egress_delta = 1024;  // a dead region billed egress
+  EXPECT_TRUE(has_oracle(check_invariants(obs), "dead-region-silence"));
+}
+
+TEST(InvariantOracles, DeadRegionExclusion) {
+  auto obs = healthy_observation();
+  obs.down_set = geo::RegionSet::single(RegionId{3});
+  EXPECT_FALSE(has_oracle(check_invariants(obs), "dead-region-exclusion"));
+
+  obs.down_set = geo::RegionSet::single(RegionId{1});  // inside deployed
+  EXPECT_TRUE(has_oracle(check_invariants(obs), "dead-region-exclusion"));
+
+  // Everything down: the controller deliberately keeps the last candidate
+  // set, so the oracle stands down.
+  obs.down_set = geo::RegionSet::universe(4);
+  EXPECT_FALSE(has_oracle(check_invariants(obs), "dead-region-exclusion"));
+}
+
+TEST(InvariantOracles, ControllerConvergence) {
+  auto obs = healthy_observation();
+  obs.check_convergence = true;
+  obs.analytic = obs.deployed;
+  EXPECT_TRUE(check_invariants(obs).empty());
+
+  obs.analytic = {geo::RegionSet(0b0100), core::DeliveryMode::kRouted};
+  EXPECT_TRUE(has_oracle(check_invariants(obs), "controller-convergence"));
+}
+
+TEST(InvariantOracles, ConstraintConformance) {
+  auto obs = healthy_observation();
+  obs.check_conformance = true;
+  obs.max_t = 150.0;
+  obs.measured_percentile = 149.0;
+  EXPECT_TRUE(check_invariants(obs).empty());
+
+  obs.measured_percentile = 151.0;
+  EXPECT_TRUE(has_oracle(check_invariants(obs), "constraint-conformance"));
+}
+
+/// End-to-end campaigns over the failure-test workload: clients split
+/// across two continents, a bound tight enough that outages force real
+/// reconfigurations.
+class ChaosCampaignTest : public ::testing::Test {
+ protected:
+  ChaosCampaignTest() : rng_(101) {
+    WorkloadSpec workload;
+    workload.interval_seconds = 5.0;
+    workload.ratio = 95.0;
+    workload.max_t = 150.0;
+    scenario_ = make_scenario({{RegionId{0}, 2, 4}, {RegionId{5}, 2, 4}},
+                              workload, rng_);
+    options_.rounds = 10;
+    options_.interval_seconds = 5.0;
+  }
+
+  /// Outage + partition + drop + delay, faults clear by round 6 so the
+  /// convergence oracles arm for the tail.
+  FaultSchedule mixed_schedule() {
+    return testutil::chaos_schedule(
+        "fault outage ap-northeast-1 2 2\n"
+        "fault partition us-east-1 ap-northeast-1 1 1\n"
+        "fault delay region:* region:* 4 1 2.0 20\n"
+        "fault drop ap-northeast-1 * 5 1 0.25\n");
+  }
+
+  Rng rng_;
+  Scenario scenario_;
+  ChaosOptions options_;
+};
+
+TEST_F(ChaosCampaignTest, HealthySystemSurvivesMixedFaults) {
+  ChaosRunner runner(scenario_, options_);
+  const ChaosReport report = runner.run_schedule(mixed_schedule(), 42);
+  EXPECT_TRUE(report.passed()) << report.render();
+  EXPECT_GT(report.deliveries, 0u);
+}
+
+TEST_F(ChaosCampaignTest, SameSeedProducesBitIdenticalReports) {
+  ChaosRunner runner(scenario_, options_);
+  const ChaosReport a = runner.run(4242);
+  const ChaosReport b = runner.run(4242);
+  EXPECT_EQ(a.render(), b.render());
+  EXPECT_EQ(a.schedule, b.schedule);
+
+  const ChaosReport c = runner.run(4243);
+  EXPECT_NE(a.render(), c.render());  // the seed actually matters
+}
+
+TEST_F(ChaosCampaignTest, GeneratedSchedulesAreValidAndRoundTrip) {
+  Rng rng(9);
+  const FaultSchedule schedule = generate_schedule(scenario_, options_, rng);
+  EXPECT_EQ(schedule.size(),
+            static_cast<std::size_t>(options_.fault_events));
+  for (const auto& event : schedule) {
+    EXPECT_GE(event.start_round, 0);
+    // Clean tail: every fault clears k+1 rounds before the end.
+    EXPECT_LE(event.start_round + event.rounds,
+              options_.rounds - options_.convergence_rounds - 1);
+  }
+  std::string error;
+  const auto reparsed =
+      parse_fault_schedule(format_fault_schedule(schedule), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(schedule, *reparsed);
+}
+
+TEST_F(ChaosCampaignTest, BrokenOutageExclusionIsCaughtAndShrunk) {
+  options_.break_outage_exclusion = true;
+  ChaosRunner runner(scenario_, options_);
+  const ChaosReport report = runner.run_schedule(mixed_schedule(), 42);
+
+  ASSERT_FALSE(report.passed());
+  EXPECT_EQ(report.minimal_oracle, "dead-region-exclusion");
+  // The acceptance bar: a minimal schedule of at most 3 fault events (here
+  // it should be exactly the outage).
+  EXPECT_LE(report.minimal_schedule.size(), 3u);
+  ASSERT_EQ(report.minimal_schedule.size(), 1u);
+  EXPECT_EQ(report.minimal_schedule[0].kind, FaultEvent::Kind::kOutage);
+
+  // The printed repro really is pasteable: round-trip it through the
+  // testutil helper and it reproduces the violation from scratch.
+  const FaultSchedule repro = testutil::chaos_schedule(
+      format_fault_schedule(report.minimal_schedule));
+  ChaosOptions probe_options = options_;
+  probe_options.rounds = report.minimal_rounds;
+  probe_options.shrink_on_failure = false;
+  ChaosRunner probe(scenario_, probe_options);
+  const ChaosReport confirmed = probe.run_schedule(repro, report.seed);
+  ASSERT_FALSE(confirmed.passed());
+  EXPECT_EQ(confirmed.violations.front().oracle, "dead-region-exclusion");
+}
+
+TEST_F(ChaosCampaignTest, FrozenControlPlaneFailsConvergence) {
+  options_.freeze_control_plane = true;
+  ChaosRunner runner(scenario_, options_);
+  const ChaosReport report = runner.run_schedule({}, 42);
+
+  ASSERT_FALSE(report.passed());
+  EXPECT_EQ(report.minimal_oracle, "controller-convergence");
+  // The defect is fault-independent, so the shrinker ends at zero events.
+  EXPECT_TRUE(report.minimal_schedule.empty());
+}
+
+TEST_F(ChaosCampaignTest, ReportRenderIsDeterministicAndComplete) {
+  options_.break_outage_exclusion = true;
+  ChaosRunner runner(scenario_, options_);
+  const ChaosReport report = runner.run_schedule(mixed_schedule(), 42);
+  const std::string text = report.render();
+  EXPECT_NE(text.find("seed=42"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("minimal repro"), std::string::npos);
+  EXPECT_NE(text.find("fault outage ap-northeast-1"), std::string::npos);
+}
+
+TEST_F(ChaosCampaignTest, BoundedSoakAcrossSeedsAndPaths) {
+  // A small randomized campaign per (seed, data-plane path): generated
+  // schedules, all oracles armed. Kept bounded — this is the tier-1 smoke;
+  // the CI soak target runs longer campaigns.
+  options_.rounds = 8;
+  for (const bool fast_path : {true, false}) {
+    options_.fast_path = fast_path;
+    ChaosRunner runner(scenario_, options_);
+    for (const std::uint64_t seed : {11u, 12u, 13u}) {
+      const ChaosReport report = runner.run(seed);
+      EXPECT_TRUE(report.passed())
+          << "fast_path=" << fast_path << "\n" << report.render();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace multipub::sim

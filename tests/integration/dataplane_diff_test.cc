@@ -5,6 +5,10 @@
 // shifts, jittered latencies, churn, reconfigurations and a region outage
 // with recovery, every observable — delivery times, broker counters, the
 // CostLedger, and the full metrics snapshot — must stay bit-identical.
+//
+// Parameterized over the control-plane pipeline (incremental vs full-scan,
+// applied to BOTH systems) so each scheduling path is proven under each
+// reconfiguration path.
 #include <gtest/gtest.h>
 
 #include "sim/live_runner.h"
@@ -14,7 +18,10 @@
 namespace multipub::sim {
 namespace {
 
-TEST(DataPlaneDiff, FastPathIsBitIdenticalToSeedPathAcrossLiveRounds) {
+class DataPlaneDiff : public ::testing::TestWithParam<bool> {};
+
+TEST_P(DataPlaneDiff, FastPathIsBitIdenticalToSeedPathAcrossLiveRounds) {
+  const bool incremental = GetParam();
   Rng rng(2026);
   WorkloadSpec workload;
   workload.interval_seconds = 10.0;
@@ -26,6 +33,8 @@ TEST(DataPlaneDiff, FastPathIsBitIdenticalToSeedPathAcrossLiveRounds) {
   LiveSystem fast(scenario);
   LiveSystem seed(scenario);
   seed.set_data_plane_fast_path(false);
+  fast.set_incremental(incremental);
+  seed.set_incremental(incremental);
   ASSERT_TRUE(fast.data_plane_fast_path());
   ASSERT_FALSE(seed.data_plane_fast_path());
 
@@ -147,6 +156,11 @@ TEST(DataPlaneDiff, FastPathIsBitIdenticalToSeedPathAcrossLiveRounds) {
   // The scenario actually exercised the outage branch.
   ASSERT_NE(failed.value(), -1);
 }
+
+INSTANTIATE_TEST_SUITE_P(ControlPlane, DataPlaneDiff, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Incremental" : "FullScan";
+                         });
 
 }  // namespace
 }  // namespace multipub::sim

@@ -334,5 +334,74 @@ TEST_F(TransportTest, FastAndLegacyPathsDeliverIdentically) {
   }
 }
 
+TEST_F(TransportTest, RegionDyingMidFlightDropsArrivalsOnBothPaths) {
+  // A message already in flight towards a region that dies before it lands
+  // is discarded on arrival: the bytes were billed at departure, but a dead
+  // datacenter processes nothing. Both scheduling paths must agree.
+  for (const bool fast : {true, false}) {
+    TinyWorld world;
+    Simulator sim;
+    SimTransport transport(sim, world.catalog, world.backbone, world.clients);
+    transport.set_fast_path(fast);
+
+    std::uint64_t delivered = 0;
+    transport.register_handler(Address::region(TinyWorld::kB),
+                               [&](const wire::Message&) { ++delivered; });
+
+    // A -> B takes 80 ms; B dies at t=40, while the message is in flight.
+    transport.send(Address::region(TinyWorld::kA),
+                   Address::region(TinyWorld::kB), publication(500));
+    sim.schedule_at(40.0, [&] {
+      transport.set_region_down(TinyWorld::kB, true);
+    });
+    sim.run();
+
+    EXPECT_EQ(delivered, 0u) << "fast=" << fast;
+    EXPECT_EQ(transport.sent_count(), 1u) << "fast=" << fast;
+    EXPECT_EQ(transport.dropped_count(), 1u) << "fast=" << fast;
+    EXPECT_EQ(transport.dropped_dead_arrival_count(), 1u) << "fast=" << fast;
+    EXPECT_EQ(transport.delivered_count(), 0u) << "fast=" << fast;
+    // Billed at departure regardless: the bytes left A.
+    EXPECT_EQ(transport.ledger().inter_region_bytes[TinyWorld::kA.index()],
+              500u);
+
+    // After the region recovers, traffic flows (and is counted) again.
+    transport.set_region_down(TinyWorld::kB, false);
+    transport.send(Address::region(TinyWorld::kA),
+                   Address::region(TinyWorld::kB), publication(500));
+    sim.run();
+    EXPECT_EQ(delivered, 1u) << "fast=" << fast;
+    EXPECT_EQ(transport.delivered_count(), 1u) << "fast=" << fast;
+  }
+}
+
+TEST_F(TransportTest, CounterBooksBalanceAcrossDropKinds) {
+  // sent == delivered + (dropped - dropped_sender_down) once the queue
+  // drains — the identity the chaos harness's counter oracle checks.
+  transport_.register_handler(Address::region(TinyWorld::kB),
+                              [](const wire::Message&) {});
+  // One clean delivery, one to an unregistered address, one towards a dead
+  // region, one from a dead region.
+  transport_.send(Address::region(TinyWorld::kA),
+                  Address::region(TinyWorld::kB), publication(10));
+  transport_.send(Address::region(TinyWorld::kA),
+                  Address::client(TinyWorld::kNearC), publication(10));
+  transport_.set_region_down(TinyWorld::kC, true);
+  transport_.send(Address::region(TinyWorld::kA),
+                  Address::region(TinyWorld::kC), publication(10));
+  transport_.send(Address::region(TinyWorld::kC),
+                  Address::region(TinyWorld::kB), publication(10));
+  sim_.run();
+
+  EXPECT_EQ(transport_.sent_count(), 3u);
+  EXPECT_EQ(transport_.delivered_count(), 1u);
+  EXPECT_EQ(transport_.dropped_count(), 3u);
+  EXPECT_EQ(transport_.dropped_sender_down_count(), 1u);
+  EXPECT_EQ(transport_.dropped_unregistered_count(), 1u);
+  EXPECT_EQ(transport_.sent_count(),
+            transport_.delivered_count() + transport_.dropped_count() -
+                transport_.dropped_sender_down_count());
+}
+
 }  // namespace
 }  // namespace multipub::net

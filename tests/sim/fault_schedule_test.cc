@@ -1,0 +1,155 @@
+// Fault-schedule text format: exact round-tripping (the chaos shrinker's
+// printed repro must reconstruct the same schedule), malformed-input
+// rejection with useful messages, and the scenario-file 'fault' stanza.
+#include "sim/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/scenario_file.h"
+#include "testutil.h"
+
+namespace multipub::sim {
+namespace {
+
+using testutil::TinyWorld;
+
+FaultSchedule parse_ok(const std::string& text) {
+  std::string error;
+  auto schedule = parse_fault_schedule(text, &error);
+  EXPECT_TRUE(schedule.has_value()) << error;
+  return schedule.value_or(FaultSchedule{});
+}
+
+std::string parse_error(const std::string& text) {
+  std::string error;
+  auto schedule = parse_fault_schedule(text, &error);
+  EXPECT_FALSE(schedule.has_value()) << "parsed " << schedule->size()
+                                     << " events from: " << text;
+  return error;
+}
+
+TEST(FaultScheduleParse, AllKindsAndEndpointForms) {
+  const auto schedule = parse_ok(
+      "# comment\n"
+      "fault outage region-b 4 3\n"
+      "fault partition region-a region:region-b 2 2   # trailing comment\n"
+      "fault delay region:* client:* 1 5 2.5 25\n"
+      "fault drop * client:7 0 1 0.25\n");
+  ASSERT_EQ(schedule.size(), 4u);
+
+  EXPECT_EQ(schedule[0].kind, FaultEvent::Kind::kOutage);
+  EXPECT_EQ(schedule[0].from.kind, FaultEndpointSpec::Kind::kRegion);
+  EXPECT_EQ(schedule[0].from.region, "region-b");
+  EXPECT_EQ(schedule[0].start_round, 4);
+  EXPECT_EQ(schedule[0].rounds, 3);
+  EXPECT_TRUE(schedule[0].covers(4));
+  EXPECT_TRUE(schedule[0].covers(6));
+  EXPECT_FALSE(schedule[0].covers(7));
+
+  EXPECT_EQ(schedule[1].kind, FaultEvent::Kind::kPartition);
+  EXPECT_EQ(schedule[1].to.region, "region-b");  // region: prefix stripped
+
+  EXPECT_EQ(schedule[2].kind, FaultEvent::Kind::kDelay);
+  EXPECT_EQ(schedule[2].from.kind, FaultEndpointSpec::Kind::kAnyRegion);
+  EXPECT_EQ(schedule[2].to.kind, FaultEndpointSpec::Kind::kAnyClient);
+  EXPECT_DOUBLE_EQ(schedule[2].delay_factor, 2.5);
+  EXPECT_DOUBLE_EQ(schedule[2].delay_extra_ms, 25.0);
+
+  EXPECT_EQ(schedule[3].kind, FaultEvent::Kind::kDrop);
+  EXPECT_EQ(schedule[3].from.kind, FaultEndpointSpec::Kind::kAny);
+  EXPECT_EQ(schedule[3].to.kind, FaultEndpointSpec::Kind::kClient);
+  EXPECT_EQ(schedule[3].to.client, 7);
+  EXPECT_DOUBLE_EQ(schedule[3].drop_probability, 0.25);
+}
+
+TEST(FaultScheduleParse, FormatParsesBackToTheSameSchedule) {
+  // Deliberately awkward doubles: %.17g must survive the text round-trip.
+  const auto original = parse_ok(
+      "fault outage region-c 0 1\n"
+      "fault partition client:3 region-a 5 2\n"
+      "fault delay region-b * 1 9 1.0999999999999999 0.10000000000000001\n"
+      "fault drop region:* region:* 2 3 0.33333333333333331\n");
+  const std::string text = format_fault_schedule(original);
+  const auto reparsed = parse_ok(text);
+  EXPECT_EQ(original, reparsed);
+  // And formatting is a fixed point: the canonical text reprints itself.
+  EXPECT_EQ(text, format_fault_schedule(reparsed));
+}
+
+TEST(FaultScheduleParse, MalformedInputsAreRejectedWithLineNumbers) {
+  EXPECT_NE(parse_error("fault outage region:* 0 1").find("concrete region"),
+            std::string::npos);
+  EXPECT_NE(parse_error("fault outage region-a 0").find("expects"),
+            std::string::npos);
+  EXPECT_NE(parse_error("fault meteor region-a 0 1").find("unknown fault kind"),
+            std::string::npos);
+  EXPECT_NE(parse_error("fault drop a b 0 1 1.5").find("[0, 1]"),
+            std::string::npos);
+  EXPECT_NE(parse_error("fault delay a b 0 1 0 5").find("factor"),
+            std::string::npos);
+  EXPECT_NE(parse_error("fault delay a b 0 1 2.0 -1").find("extra"),
+            std::string::npos);
+  EXPECT_NE(parse_error("fault partition a b -1 1").find("start"),
+            std::string::npos);
+  EXPECT_NE(parse_error("fault partition a b 1 0").find("round count"),
+            std::string::npos);
+  EXPECT_NE(parse_error("fault drop client:x b 0 1 0.5").find("client id"),
+            std::string::npos);
+  EXPECT_NE(parse_error("blackout region-a 0 1").find("expected 'fault'"),
+            std::string::npos);
+  // Errors carry the (1-based) offending line.
+  EXPECT_NE(parse_error("fault outage region-a 0 1\n\nfault outage b 0\n")
+                .find("line 3"),
+            std::string::npos);
+}
+
+TEST(ScenarioFileFaults, FaultStanzasFlowIntoTheScenario) {
+  const std::string text =
+      "placement region-a 2 2\n"
+      "placement region-b 1 3\n"
+      "rate 1.0\n"
+      "fault outage region-b 4 2\n"
+      "fault drop region-a region-b 1 1 0.5\n";
+  std::string error;
+  auto spec = parse_scenario_spec(text, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  ASSERT_EQ(spec->faults.size(), 2u);
+
+  TinyWorld world;
+  auto scenario = build_scenario(*spec, world.catalog, world.backbone, &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->faults, spec->faults);
+}
+
+TEST(ScenarioFileFaults, MalformedFaultLineGetsTheScenarioLineNumber) {
+  std::string error;
+  auto spec = parse_scenario_spec(
+      "placement region-a 1 1\nfault outage region-a 0\n", &error);
+  EXPECT_FALSE(spec.has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("expects"), std::string::npos);
+}
+
+TEST(ScenarioFileFaults, UnknownFaultRegionIsRejectedAtBuildTime) {
+  std::string error;
+  auto spec = parse_scenario_spec(
+      "placement region-a 1 1\nfault outage atlantis 0 1\n", &error);
+  ASSERT_TRUE(spec.has_value()) << error;  // names resolve at build time
+
+  TinyWorld world;
+  auto scenario = build_scenario(*spec, world.catalog, world.backbone, &error);
+  EXPECT_FALSE(scenario.has_value());
+  EXPECT_NE(error.find("atlantis"), std::string::npos);
+}
+
+TEST(ScenarioFileFaults, ChaosScheduleHelperReconstructsLiterals) {
+  const auto schedule = testutil::chaos_schedule(
+      "fault outage region-b 4 3\nfault drop * * 0 1 0.5\n");
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule[0].from.region, "region-b");
+}
+
+}  // namespace
+}  // namespace multipub::sim

@@ -5,11 +5,15 @@
 // 3 regions and 4 clients with round, distinct numbers.
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <string_view>
 #include <vector>
 
 #include "core/topic_state.h"
 #include "geo/latency.h"
 #include "geo/region.h"
+#include "sim/fault_schedule.h"
 
 namespace multipub::testutil {
 
@@ -73,6 +77,20 @@ struct TinyWorld {
   topic.subscribers = core::unit_subscribers(
       {TinyWorld::kNearA2, TinyWorld::kNearB, TinyWorld::kNearC});
   return topic;
+}
+
+/// Reconstructs a fault schedule from the literal the chaos harness prints
+/// in its oracle reports ("fault ..." lines). Regression tests paste that
+/// string verbatim; aborts the test on parse errors so a stale literal is
+/// loud, not silently empty.
+[[nodiscard]] inline sim::FaultSchedule chaos_schedule(std::string_view text) {
+  std::string error;
+  auto schedule = sim::parse_fault_schedule(text, &error);
+  if (!schedule) {
+    ADD_FAILURE() << "bad chaos schedule literal: " << error;
+    return {};
+  }
+  return *schedule;
 }
 
 }  // namespace multipub::testutil
