@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/bundling.h"
 #include "sim/scenario.h"
 
@@ -39,6 +40,7 @@ int main() {
               exact.config.to_string().c_str(), exact.percentile, exact.cost,
               exact_ms);
 
+  bench::BenchReport report("ablation_bundling");
   std::printf("%8s %8s %8s %12s %-22s %10s %10s %8s\n", "eps(ms)", "v-pubs",
               "v-subs", "solve(ms)", "config", "p75(ms)", "drift(ms)",
               "same");
@@ -61,8 +63,19 @@ int main() {
                 approx.config.to_string().c_str(), true_eval.percentile,
                 true_eval.percentile - exact.percentile,
                 approx.config == exact.config ? "yes" : "no");
+    report.row()
+        .num("epsilon_ms", eps)
+        .uinteger("virtual_pubs", bundled.topic.publishers.size())
+        .uinteger("virtual_subs", bundled.topic.subscribers.size())
+        .num("solve_ms", solve_ms)
+        .num("exact_solve_ms", exact_ms)
+        .str("config", approx.config.to_string())
+        .num("p75_ms", true_eval.percentile)
+        .num("drift_ms", true_eval.percentile - exact.percentile)
+        .boolean("same_config", approx.config == exact.config);
   }
   std::printf("\nexpectation: drift stays within ~epsilon; aggressive epsilon\n"
               "trades optimality for a much smaller problem.\n");
+  if (!report.write()) return 1;
   return 0;
 }

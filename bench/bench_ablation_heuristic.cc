@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/heuristic.h"
 #include "geo/king_synth.h"
 #include "geo/synthetic.h"
@@ -23,7 +24,7 @@ double now_ms() {
       .count();
 }
 
-void ec2_comparison() {
+void ec2_comparison(bench::BenchReport& report) {
   std::printf("--- EC2 world (10 regions): heuristic vs. exhaustive ---\n");
   Rng rng(2017);
   const sim::Scenario scenario = sim::make_experiment1_scenario(rng);
@@ -51,10 +52,21 @@ void ec2_comparison() {
                 max_t, e.cost, t1 - t0, e.configs_evaluated, h.cost, t2 - t1,
                 h.configs_evaluated, gap,
                 h.config == e.config ? "yes" : "no");
+    report.row()
+        .str("study", "ec2_comparison")
+        .num("max_t", max_t)
+        .num("exact_cost", e.cost)
+        .num("exact_ms", t1 - t0)
+        .uinteger("exact_evals", e.configs_evaluated)
+        .num("heuristic_cost", h.cost)
+        .num("heuristic_ms", t2 - t1)
+        .uinteger("heuristic_evals", h.configs_evaluated)
+        .num("gap_pct", gap)
+        .boolean("same_config", h.config == e.config);
   }
 }
 
-void synthetic_scaling() {
+void synthetic_scaling(bench::BenchReport& report) {
   std::printf("\n--- synthetic worlds: heuristic scaling (brute force would "
               "need 2*(2^N-1)-N evals) ---\n");
   std::printf("%8s %12s %10s %10s %-24s\n", "regions", "brute evals",
@@ -89,6 +101,15 @@ void synthetic_scaling() {
                 static_cast<std::size_t>(h.config.region_count()),
                 core::to_string(h.config.mode),
                 h.constraint_met ? "(met)" : "(best effort)");
+    report.row()
+        .str("study", "synthetic_scaling")
+        .uinteger("regions", n)
+        .num("brute_force_evals", brute)
+        .uinteger("heuristic_evals", h.configs_evaluated)
+        .num("heuristic_ms", t1 - t0)
+        .integer("result_regions", h.config.region_count())
+        .str("result_mode", core::to_string(h.config.mode))
+        .boolean("constraint_met", h.constraint_met);
   }
 }
 
@@ -96,7 +117,9 @@ void synthetic_scaling() {
 
 int main() {
   std::printf("=== Ablation: heuristic optimizer ===\n");
-  ec2_comparison();
-  synthetic_scaling();
+  bench::BenchReport report("ablation_heuristic");
+  ec2_comparison(report);
+  synthetic_scaling(report);
+  if (!report.write()) return 1;
   return 0;
 }

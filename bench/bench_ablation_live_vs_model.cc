@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/cost_model.h"
 #include "core/delivery_model.h"
 #include "sim/live_runner.h"
@@ -41,6 +42,7 @@ int main() {
       {"all regions routed", 0x3FF, core::DeliveryMode::kRouted},
   };
 
+  bench::BenchReport report("ablation_live_vs_model");
   std::printf("%-20s %12s %12s %14s %14s %10s\n", "config", "live p75",
               "model p75", "live $", "model $", "events/s");
   for (const Case& c : cases) {
@@ -60,8 +62,17 @@ int main() {
     std::printf("%-20s %12.2f %12.2f %14.6f %14.6f %10.0f\n", c.label,
                 run.percentile, predicted, run.interval_cost, predicted_cost,
                 static_cast<double>(live.simulator().processed()) / wall_s);
+    report.row()
+        .str("config", c.label)
+        .num("live_p75_ms", run.percentile)
+        .num("model_p75_ms", predicted)
+        .num("live_cost", run.interval_cost)
+        .num("model_cost", predicted_cost)
+        .num("events_per_sec",
+             static_cast<double>(live.simulator().processed()) / wall_s);
   }
   std::printf("\nexpectation: live == model to floating-point precision in\n"
               "both columns pairs (the property suite asserts it).\n");
+  if (!report.write()) return 1;
   return 0;
 }

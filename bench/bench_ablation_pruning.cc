@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/pruning.h"
 #include "sim/scenario.h"
 
@@ -19,7 +20,8 @@ double now_ms() {
       .count();
 }
 
-void run_case(const char* label, const sim::Scenario& scenario, Millis max_t,
+void run_case(bench::BenchReport& report, const char* label,
+              const sim::Scenario& scenario, Millis max_t,
               int keep_closest) {
   auto topic = scenario.topic;
   topic.constraint.max = max_t;
@@ -46,6 +48,15 @@ void run_case(const char* label, const sim::Scenario& scenario, Millis max_t,
               label, keep_closest, full.configs_evaluated,
               pruned.configs_evaluated, t1 - t0, t3 - t2, same ? "yes" : "no",
               cost_gap);
+  report.row()
+      .str("workload", label)
+      .integer("keep_closest", keep_closest)
+      .uinteger("full_configs", full.configs_evaluated)
+      .uinteger("pruned_configs", pruned.configs_evaluated)
+      .num("full_ms", t1 - t0)
+      .num("pruned_ms", t3 - t2)
+      .boolean("same_answer", same)
+      .num("cost_gap_pct", cost_gap);
 }
 
 }  // namespace
@@ -58,13 +69,15 @@ int main() {
   const auto exp2 = sim::make_experiment2_scenario(rng);
   const auto exp3 = sim::make_experiment3_scenario(RegionId{5}, rng);
 
+  bench::BenchReport report("ablation_pruning");
   for (int m : {1, 2, 3}) {
-    run_case("exp1-global  max_T=150", exp1, 150.0, m);
-    run_case("exp2-asym    max_T=130", exp2, 130.0, m);
-    run_case("exp3-tokyo   max_T=200", exp3, 200.0, m);
+    run_case(report, "exp1-global  max_T=150", exp1, 150.0, m);
+    run_case(report, "exp2-asym    max_T=130", exp2, 130.0, m);
+    run_case(report, "exp3-tokyo   max_T=200", exp3, 200.0, m);
     std::printf("\n");
   }
   std::printf("expectation: m>=2 preserves the optimum while cutting the\n"
               "search space by an order of magnitude on localized topics.\n");
+  if (!report.write()) return 1;
   return 0;
 }

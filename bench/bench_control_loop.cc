@@ -4,16 +4,18 @@
 //
 // For each (topics, churn%) cell two controllers are fed the identical
 // delta-report stream; one runs Controller::reconfigure() (incremental), the
-// other reconfigure_full(). Prints a table and writes BENCH_control_loop.json
-// (an array of {topics, churn_pct, rounds, incremental_ms, full_ms, speedup,
-// identical}). Exits non-zero when the deployed matrices ever diverge or the
-// speedup at 1000 topics / 5% churn drops below 5x.
+// other reconfigure_full(). Prints a table and writes
+// BENCH_control_loop.json in the shared {"bench", "rows"} shape (rows of
+// {topics, churn_pct, rounds, incremental_ms, full_ms, speedup, identical}).
+// Exits non-zero when the deployed matrices ever diverge or the speedup at
+// 1000 topics / 5% churn drops below 5x.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <map>
 #include <vector>
 
+#include "bench_json.h"
 #include "broker/controller.h"
 #include "common/rng.h"
 #include "geo/king_synth.h"
@@ -182,25 +184,18 @@ int main() {
                 cell.identical ? "yes" : "NO");
   }
 
-  std::FILE* out = std::fopen("BENCH_control_loop.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_control_loop.json\n");
-    return 1;
+  bench::BenchReport report("control_loop");
+  for (const auto& cell : cells) {
+    report.row()
+        .integer("topics", cell.topics)
+        .integer("churn_pct", cell.churn_pct)
+        .integer("rounds", kRounds)
+        .num("incremental_ms", cell.incremental_ms)
+        .num("full_ms", cell.full_ms)
+        .num("speedup", cell.full_ms / cell.incremental_ms)
+        .boolean("identical", cell.identical);
   }
-  std::fprintf(out, "[\n");
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const auto& cell = cells[i];
-    std::fprintf(out,
-                 "  {\"topics\": %d, \"churn_pct\": %d, \"rounds\": %d, "
-                 "\"incremental_ms\": %.6f, \"full_ms\": %.6f, "
-                 "\"speedup\": %.3f, \"identical\": %s}%s\n",
-                 cell.topics, cell.churn_pct, kRounds, cell.incremental_ms,
-                 cell.full_ms, cell.full_ms / cell.incremental_ms,
-                 cell.identical ? "true" : "false",
-                 i + 1 < cells.size() ? "," : "");
-  }
-  std::fprintf(out, "]\n");
-  std::fclose(out);
+  if (!report.write()) return 1;
 
   // CI gates: bit-identical everywhere, and the headline speedup holds.
   for (const auto& cell : cells) {

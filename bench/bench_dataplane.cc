@@ -1,29 +1,42 @@
-// Data-plane throughput benchmark: typed-event scheduling + batched fan-out
-// vs. the seed's std::function-per-hop path.
+// Data-plane throughput benchmark: the seed's std::function-per-hop path,
+// the single-threaded typed-event fast path, and the sharded parallel plane
+// (DESIGN.md §11) at 2, 4 and 8 worker threads.
 //
 // One synthetic world (8 regions, 10k clients), 500 routed topics each
 // served by 3 regions with 50 subscribers, publishers driven by
-// self-rescheduling simulator actions. The same workload runs twice — once
-// per engine, freshly constructed from identical seeds — and the bench
-// reports events/sec for each plus the speedup. Prints a table and writes
-// BENCH_dataplane.json. Exits non-zero when any counter (processed events,
-// transport sent/dropped, broker delivered/forwarded, ledger bytes)
-// diverges between the engines, or when the speedup drops below 3x on a
-// full-size run (>= 10^6 publications; the CI smoke run passes a small
-// count and only gates on identity).
+// self-rescheduling simulator actions hinted at their owning shard. The
+// same workload runs once per engine configuration, freshly constructed
+// from identical seeds, and the bench reports events/sec per configuration
+// plus the speedups. Prints a table and writes BENCH_dataplane.json in the
+// shared {"bench", "rows"} shape with one row per (engine, threads).
 //
-// Usage: bench_dataplane [total_publications] [both|fast|legacy]
-// (default 1000000 both; single-engine mode is for profiling and skips the
-// comparison gates)
+// Exit gates:
+//   - any counter (processed events, transport sent/dropped, broker
+//     delivered/forwarded, ledger byte vectors) diverging between any two
+//     configurations fails ALWAYS — determinism is independent of machine
+//     size and publication count;
+//   - fast-vs-legacy speedup below 3x fails on full-size runs
+//     (>= 10^6 publications);
+//   - sharded 8-thread speedup over the single-threaded fast path below 3x
+//     fails on full-size runs on machines with >= 8 hardware threads (the
+//     rows always record hardware_concurrency, so a small CI box still
+//     publishes honest numbers without tripping a gate it cannot meet).
+//
+// Usage: bench_dataplane [total_publications] [both|fast|legacy|shards=K]
+// (default 1000000 both; single-configuration mode is for profiling and
+// skips the comparison gates)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "broker/broker.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "core/config.h"
 #include "geo/king_synth.h"
@@ -39,7 +52,6 @@ namespace {
 constexpr std::size_t kRegions = 8;
 constexpr std::size_t kClientsPerRegion = 1250;  // 10k clients total
 constexpr std::size_t kTopics = 500;
-constexpr std::size_t kServingPerTopic = 3;
 constexpr std::size_t kSubsPerTopic = 50;
 constexpr Bytes kPayload = 1024;
 constexpr std::uint64_t kWorldSeed = 4242;
@@ -52,6 +64,7 @@ struct RunResult {
   std::uint64_t dropped = 0;
   std::uint64_t delivered = 0;
   std::uint64_t forwarded = 0;
+  std::uint64_t client_deliveries = 0;
   std::vector<Bytes> inter_region_bytes;
   std::vector<Bytes> internet_bytes;
 
@@ -60,9 +73,18 @@ struct RunResult {
   }
 };
 
+/// One engine configuration under test. shards == 0 is the seed legacy
+/// engine; shards == 1 the single-threaded fast path; shards > 1 the
+/// parallel plane with that many worker threads.
+struct EngineConfig {
+  const char* label;
+  std::uint32_t shards;
+};
+
 /// Builds the identical world + workload and drives `total_pubs`
-/// publications through the chosen engine.
-RunResult run_engine(bool fast, std::uint64_t total_pubs) {
+/// publications through the chosen engine configuration.
+RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs) {
+  const bool fast = engine.shards > 0;
   Rng world_rng(kWorldSeed);
   const auto world = geo::synthesize_world(kRegions, {}, world_rng);
   const auto population = geo::synthesize_population(
@@ -74,6 +96,26 @@ RunResult run_engine(bool fast, std::uint64_t total_pubs) {
   // Must happen before anything is scheduled: switching engines requires an
   // empty queue.
   transport.set_fast_path(fast);
+  if (engine.shards > 1) {
+    // The LiveSystem partitioning recipe: regions round-robin over shards,
+    // clients follow their home region so the client<->home-broker chatter
+    // stays intra-shard; the conservative window is the minimum cross-shard
+    // link latency.
+    net::ShardMap map;
+    map.shards = engine.shards;
+    for (std::size_t r = 0; r < kRegions; ++r) {
+      map.region_shard.push_back(static_cast<std::uint32_t>(r) %
+                                 engine.shards);
+    }
+    for (std::size_t c = 0; c < population.size(); ++c) {
+      map.client_shard.push_back(
+          map.region_shard[static_cast<std::size_t>(
+              population.home_region[c].value())]);
+    }
+    const Millis lookahead = transport.min_cross_shard_latency(map);
+    transport.set_shards(engine.shards);
+    sim.configure_shards(std::move(map), lookahead);
+  }
 
   std::vector<std::unique_ptr<broker::Broker>> brokers;
   for (std::size_t r = 0; r < kRegions; ++r) {
@@ -82,13 +124,18 @@ RunResult run_engine(bool fast, std::uint64_t total_pubs) {
   }
 
   // Raw counting handlers for every client — the bench measures the data
-  // plane, not the client::Subscriber bookkeeping.
-  auto deliveries = std::make_shared<std::uint64_t>(0);
+  // plane, not the client::Subscriber bookkeeping. Shard-local lanes: each
+  // delivery executes on the shard owning its client, so the lanes are
+  // single-writer and the merged total is K-invariant.
+  auto deliveries = std::make_shared<ShardedCounter>(
+      std::max<std::uint32_t>(1, engine.shards));
   for (std::size_t c = 0; c < population.size(); ++c) {
     transport.register_handler(
         net::Address::client(ClientId{static_cast<ClientId::underlying_type>(
             c)}),
-        [deliveries](const wire::Message&) { ++*deliveries; });
+        [deliveries, &sim](const wire::Message&) {
+          deliveries->add(sim.current_shard());
+        });
   }
 
   // Topology: topic t is served by {t, t+3, t+5} mod 8 (distinct for 8
@@ -135,8 +182,9 @@ RunResult run_engine(bool fast, std::uint64_t total_pubs) {
   // Publications: one self-rescheduling driver per topic, `per_topic` sends
   // each, 0.8 ms apart with the topic index as phase — dense enough to keep
   // a deep in-flight window, the regime a global-scale broker actually runs
-  // in. Driver actions are generic Actions on both engines, so their cost
-  // is shared overhead.
+  // in. Each driver is hinted at its publisher's address, so on the sharded
+  // plane it lives on the shard owning that client and its self-reschedules
+  // stay shard-local.
   const std::uint64_t per_topic =
       std::max<std::uint64_t>(1, total_pubs / kTopics);
   struct Driver {
@@ -176,7 +224,9 @@ RunResult run_engine(bool fast, std::uint64_t total_pubs) {
     driver->entry = topic_entry[t];
     driver->remaining = per_topic;
     Driver* raw = driver.get();
-    sim.schedule_after(static_cast<double>(t) * 0.01, [raw] { raw->fire(); });
+    sim.schedule_at(sim.now() + static_cast<double>(t) * 0.01,
+                    net::Address::client(driver->publisher),
+                    [raw] { raw->fire(); });
     drivers.push_back(std::move(driver));
   }
 
@@ -194,9 +244,19 @@ RunResult run_engine(bool fast, std::uint64_t total_pubs) {
     result.delivered += b->delivered_count();
     result.forwarded += b->forwarded_count();
   }
+  result.client_deliveries = deliveries->total();
   result.inter_region_bytes = transport.ledger().inter_region_bytes;
   result.internet_bytes = transport.ledger().internet_bytes;
   return result;
+}
+
+bool counters_identical(const RunResult& a, const RunResult& b) {
+  return a.events == b.events && a.sent == b.sent &&
+         a.dropped == b.dropped && a.delivered == b.delivered &&
+         a.forwarded == b.forwarded &&
+         a.client_deliveries == b.client_deliveries &&
+         a.inter_region_bytes == b.inter_region_bytes &&
+         a.internet_bytes == b.internet_bytes;
 }
 
 }  // namespace
@@ -206,91 +266,121 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     total_pubs = std::strtoull(argv[1], nullptr, 10);
     if (total_pubs == 0) {
-      std::fprintf(stderr, "usage: %s [total_publications]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [total_publications] [both|fast|legacy|"
+                   "shards=K]\n",
+                   argv[0]);
       return 2;
     }
   }
   const std::uint64_t actual_pubs =
       std::max<std::uint64_t>(1, total_pubs / kTopics) * kTopics;
-  const char* mode = argc > 2 ? argv[2] : "both";
-  if (std::string_view{mode} != "both") {
-    // Profiling mode: one engine, no comparison.
-    const bool fast_only = std::string_view{mode} == "fast";
-    const RunResult r = run_engine(fast_only, total_pubs);
-    std::printf("%s: %llu events in %.3f s = %.0f events/sec\n", mode,
+  const std::string_view mode = argc > 2 ? argv[2] : "both";
+  if (mode != "both") {
+    // Profiling mode: one configuration, no comparison.
+    EngineConfig engine{"fast", 1};
+    if (mode == "legacy") {
+      engine = {"legacy", 0};
+    } else if (mode.substr(0, 7) == "shards=") {
+      engine.label = "sharded";
+      engine.shards = static_cast<std::uint32_t>(
+          std::strtoul(mode.substr(7).data(), nullptr, 10));
+      if (engine.shards < 2) {
+        std::fprintf(stderr, "shards=K needs K >= 2\n");
+        return 2;
+      }
+    } else if (mode != "fast") {
+      std::fprintf(stderr, "unknown mode '%s'\n", std::string(mode).c_str());
+      return 2;
+    }
+    const RunResult r = run_engine(engine, total_pubs);
+    std::printf("%s: %llu events in %.3f s = %.0f events/sec\n",
+                std::string(mode).c_str(),
                 static_cast<unsigned long long>(r.events), r.seconds,
                 r.events_per_sec());
     return 0;
   }
 
+  const unsigned hw_threads = std::thread::hardware_concurrency();
   std::printf("dataplane bench: %llu publications, %zu clients, %zu regions, "
-              "%zu routed topics\n",
+              "%zu routed topics, %u hardware threads\n",
               static_cast<unsigned long long>(actual_pubs),
-              kRegions * kClientsPerRegion, kRegions, kTopics);
+              kRegions * kClientsPerRegion, kRegions, kTopics, hw_threads);
 
-  const RunResult legacy = run_engine(/*fast=*/false, total_pubs);
-  const RunResult fast = run_engine(/*fast=*/true, total_pubs);
-
-  const bool identical = legacy.events == fast.events &&
-                         legacy.sent == fast.sent &&
-                         legacy.dropped == fast.dropped &&
-                         legacy.delivered == fast.delivered &&
-                         legacy.forwarded == fast.forwarded &&
-                         legacy.inter_region_bytes == fast.inter_region_bytes &&
-                         legacy.internet_bytes == fast.internet_bytes;
-  const double speedup =
-      legacy.events_per_sec() > 0.0
-          ? fast.events_per_sec() / legacy.events_per_sec()
-          : 0.0;
-
-  std::printf("%-8s %14s %10s %16s %14s\n", "engine", "events", "seconds",
-              "events_per_sec", "deliveries");
-  std::printf("%-8s %14llu %10.3f %16.0f %14llu\n", "legacy",
-              static_cast<unsigned long long>(legacy.events), legacy.seconds,
-              legacy.events_per_sec(),
-              static_cast<unsigned long long>(legacy.delivered));
-  std::printf("%-8s %14llu %10.3f %16.0f %14llu\n", "fast",
-              static_cast<unsigned long long>(fast.events), fast.seconds,
-              fast.events_per_sec(),
-              static_cast<unsigned long long>(fast.delivered));
-  std::printf("speedup %.2fx, counters %s\n", speedup,
-              identical ? "identical" : "DIVERGED");
-
-  std::FILE* out = std::fopen("BENCH_dataplane.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_dataplane.json\n");
-    return 1;
+  const EngineConfig engines[] = {
+      {"legacy", 0},  {"fast", 1},    {"sharded", 2},
+      {"sharded", 4}, {"sharded", 8},
+  };
+  std::vector<RunResult> results;
+  for (const EngineConfig& engine : engines) {
+    results.push_back(run_engine(engine, total_pubs));
   }
-  std::fprintf(
-      out,
-      "{\n"
-      "  \"publications\": %llu,\n"
-      "  \"clients\": %zu,\n"
-      "  \"regions\": %zu,\n"
-      "  \"topics\": %zu,\n"
-      "  \"legacy\": {\"events\": %llu, \"seconds\": %.6f, "
-      "\"events_per_sec\": %.0f},\n"
-      "  \"fast\": {\"events\": %llu, \"seconds\": %.6f, "
-      "\"events_per_sec\": %.0f},\n"
-      "  \"speedup\": %.3f,\n"
-      "  \"identical\": %s\n"
-      "}\n",
-      static_cast<unsigned long long>(actual_pubs),
-      kRegions * kClientsPerRegion, kRegions, kTopics,
-      static_cast<unsigned long long>(legacy.events), legacy.seconds,
-      legacy.events_per_sec(), static_cast<unsigned long long>(fast.events),
-      fast.seconds, fast.events_per_sec(), speedup,
-      identical ? "true" : "false");
-  std::fclose(out);
+  const RunResult& legacy = results[0];
+  const RunResult& fast = results[1];
 
-  if (!identical) {
+  bench::BenchReport report("dataplane");
+  std::printf("%-8s %8s %14s %10s %16s %12s\n", "engine", "threads", "events",
+              "seconds", "events_per_sec", "vs_legacy");
+  bool all_identical = true;
+  for (std::size_t i = 0; i < std::size(engines); ++i) {
+    const EngineConfig& engine = engines[i];
+    const RunResult& r = results[i];
+    // Observable identity is pairwise against the legacy reference; with
+    // the fast path proven identical too, this chains to every pair.
+    const bool identical = counters_identical(r, legacy);
+    all_identical = all_identical && identical;
+    const double vs_legacy = legacy.events_per_sec() > 0.0
+                                 ? r.events_per_sec() / legacy.events_per_sec()
+                                 : 0.0;
+    const std::uint32_t threads = std::max<std::uint32_t>(1, engine.shards);
+    std::printf("%-8s %8u %14llu %10.3f %16.0f %11.2fx%s\n", engine.label,
+                threads, static_cast<unsigned long long>(r.events), r.seconds,
+                r.events_per_sec(), vs_legacy,
+                identical ? "" : "  COUNTERS DIVERGED");
+    report.row()
+        .str("engine", engine.label)
+        .uinteger("threads", threads)
+        .uinteger("publications", actual_pubs)
+        .uinteger("clients", kRegions * kClientsPerRegion)
+        .uinteger("regions", kRegions)
+        .uinteger("topics", kTopics)
+        .uinteger("events", r.events)
+        .num("seconds", r.seconds)
+        .num("events_per_sec", r.events_per_sec())
+        .num("speedup_vs_legacy", vs_legacy)
+        .num("speedup_vs_fast",
+             fast.events_per_sec() > 0.0
+                 ? r.events_per_sec() / fast.events_per_sec()
+                 : 0.0)
+        .boolean("identical", identical)
+        .uinteger("hardware_concurrency", hw_threads);
+  }
+  const double fast_speedup = fast.events_per_sec() / legacy.events_per_sec();
+  const double shard8_speedup =
+      results[4].events_per_sec() / fast.events_per_sec();
+  std::printf("fast vs legacy %.2fx, 8-thread sharded vs fast %.2fx, "
+              "counters %s\n",
+              fast_speedup, shard8_speedup,
+              all_identical ? "identical" : "DIVERGED");
+
+  if (!report.write()) return 1;
+
+  if (!all_identical) {
     std::fprintf(stderr, "ENGINE DIVERGENCE (see table above)\n");
     return 1;
   }
-  // The throughput gate only applies to full-size runs; the CI smoke run
-  // uses a small count where fixed overheads dominate.
-  if (actual_pubs >= 1000000 && speedup < 3.0) {
-    std::fprintf(stderr, "speedup below 3x (%.2fx)\n", speedup);
+  // The throughput gates only apply to full-size runs; the CI smoke run
+  // uses a small count where fixed overheads dominate. The parallel gate
+  // additionally needs the hardware to exist: conservative windows cannot
+  // speed anything up on a box with fewer cores than shards.
+  if (actual_pubs >= 1000000 && fast_speedup < 3.0) {
+    std::fprintf(stderr, "fast-path speedup below 3x (%.2fx)\n",
+                 fast_speedup);
+    return 1;
+  }
+  if (actual_pubs >= 1000000 && hw_threads >= 8 && shard8_speedup < 3.0) {
+    std::fprintf(stderr, "8-thread sharded speedup below 3x (%.2fx)\n",
+                 shard8_speedup);
     return 1;
   }
   return 0;

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "sim/baselines.h"
 #include "sim/sweep.h"
 
@@ -40,6 +41,7 @@ int main() {
   // Sweep max_T across the interesting range (paper: 100..200 ms).
   const sim::SweepRange range{all.percentile - 30.0, one.percentile + 40.0,
                               4.0};
+  bench::BenchReport report("fig3_approaches");
   std::printf("%8s | %12s %9s | %12s %9s %9s | %8s %-7s\n", "max_T",
               "mp p75(ms)", "met", "mp $/day", "one $", "all $", "regions",
               "mode");
@@ -48,6 +50,15 @@ int main() {
                 p.max_t, p.achieved_percentile,
                 p.constraint_met ? "yes" : "no", p.cost_per_day, one_day,
                 all_day, p.n_regions, core::to_string(p.mode));
+    report.row()
+        .num("max_t", p.max_t)
+        .num("p75_ms", p.achieved_percentile)
+        .boolean("constraint_met", p.constraint_met)
+        .num("cost_per_day", p.cost_per_day)
+        .num("one_region_cost_per_day", one_day)
+        .num("all_regions_cost_per_day", all_day)
+        .integer("n_regions", p.n_regions)
+        .str("mode", core::to_string(p.mode));
   }
 
   std::printf("\nshape checks (paper's qualitative claims):\n");
@@ -80,5 +91,6 @@ int main() {
   }
   std::printf("\n  range [%.1f%%, %.1f%%] around the paper's 28%%\n",
               min_saving, max_saving);
+  if (!report.write()) return 1;
   return 0;
 }

@@ -6,6 +6,7 @@
 // sweep and prints the achieved p75 (4a) and daily cost (4b) per variant.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "sim/sweep.h"
 
 using namespace multipub;
@@ -41,6 +42,7 @@ int main() {
   const auto routed = sim::sweep_max_t(scenario, range,
                                        core::ModePolicy::kRoutedOnly);
 
+  bench::BenchReport report("fig4_direct_vs_routed");
   std::printf("%8s | %-9s %9s %10s | %9s %10s | %9s %10s\n", "max_T",
               "mp mode", "mp p75", "mp $/day", "D p75", "D $/day", "R p75",
               "R $/day");
@@ -50,6 +52,15 @@ int main() {
                 both[i].achieved_percentile, both[i].cost_per_day,
                 direct[i].achieved_percentile, direct[i].cost_per_day,
                 routed[i].achieved_percentile, routed[i].cost_per_day);
+    report.row()
+        .num("max_t", both[i].max_t)
+        .str("mp_mode", core::to_string(both[i].mode))
+        .num("mp_p75_ms", both[i].achieved_percentile)
+        .num("mp_cost_per_day", both[i].cost_per_day)
+        .num("direct_p75_ms", direct[i].achieved_percentile)
+        .num("direct_cost_per_day", direct[i].cost_per_day)
+        .num("routed_p75_ms", routed[i].achieved_percentile)
+        .num("routed_cost_per_day", routed[i].cost_per_day);
   }
 
   // Shape checks: between the floors MultiPub must pick routed; with loose
@@ -68,5 +79,6 @@ int main() {
   std::printf("  loose bound -> one region, direct         : %s\n",
               tail.n_regions == 1 && tail.mode == core::DeliveryMode::kDirect
                   ? "PASS" : "FAIL");
+  if (!report.write()) return 1;
   return 0;
 }

@@ -6,13 +6,15 @@
 // with savings of the paper's order (36 % / 65 %).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "sim/sweep.h"
 
 using namespace multipub;
 
 namespace {
 
-void run_home(const char* label, RegionId home, double paper_saving) {
+void run_home(bench::BenchReport& report, const char* label, RegionId home,
+              double paper_saving) {
   Rng rng(2017);
   const sim::Scenario scenario = sim::make_experiment3_scenario(home, rng);
   const auto optimizer = scenario.make_optimizer();
@@ -43,6 +45,12 @@ void run_home(const char* label, RegionId home, double paper_saving) {
     std::printf("%8.0f %-24s %10.1f %12.2f\n", p.max_t,
                 result.config.to_string().c_str(), p.achieved_percentile,
                 p.cost_per_day);
+    report.row()
+        .str("home", scenario.catalog.at(home).name)
+        .num("max_t", p.max_t)
+        .str("config", result.config.to_string())
+        .num("p95_ms", p.achieved_percentile)
+        .num("cost_per_day", p.cost_per_day);
   }
 
   const double local_day =
@@ -61,7 +69,9 @@ void run_home(const char* label, RegionId home, double paper_saving) {
 int main() {
   std::printf("=== Figure 5: localized pub/sub delivery (ratio 95%%) ===\n\n");
   const auto catalog = geo::RegionCatalog::ec2_2016();
-  run_home("a", catalog.find("ap-northeast-1"), 36.0);
-  run_home("b", catalog.find("sa-east-1"), 65.0);
+  bench::BenchReport report("fig5_localized");
+  run_home(report, "a", catalog.find("ap-northeast-1"), 36.0);
+  run_home(report, "b", catalog.find("sa-east-1"), 65.0);
+  if (!report.write()) return 1;
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/heuristic.h"
 #include "core/pruning.h"
 #include "geo/king_synth.h"
@@ -53,6 +54,7 @@ int main() {
               "ratio 75%%\n", pubs.size(), subs.size());
   std::printf("brute force would evaluate 2*(2^30-1)-30 = 2147483586 "
               "configurations per point.\n\n");
+  bench::BenchReport report("modern_aws");
   std::printf("%8s %9s %12s %9s %-7s %7s %8s %s\n", "max_T", "p75(ms)",
               "$/day", "regions", "mode", "evals", "ms", "met");
   for (Millis max_t = 60.0; max_t <= 260.0; max_t += 20.0) {
@@ -67,6 +69,15 @@ int main() {
                 core::to_string(result.config.mode),
                 result.configs_evaluated, solve_ms,
                 result.constraint_met ? "yes" : "no");
+    report.row()
+        .num("max_t", max_t)
+        .num("p75_ms", result.percentile)
+        .num("cost_per_day", core::scale_to_day(result.cost, 60.0))
+        .integer("regions", result.config.region_count())
+        .str("mode", core::to_string(result.config.mode))
+        .uinteger("evals", result.configs_evaluated)
+        .num("solve_ms", solve_ms)
+        .boolean("constraint_met", result.constraint_met);
   }
 
   // Pruning recipe: a globally spread topic keeps all 30 candidates (every
@@ -97,5 +108,6 @@ int main() {
               local_pruned.size(),
               2.0 * (std::pow(2.0, local_pruned.size()) - 1.0) -
                   local_pruned.size());
+  if (!report.write()) return 1;
   return 0;
 }

@@ -2,15 +2,17 @@
 // reference path, on the Fig-6b-style scenario (100 clients spread over the
 // first N EC2 regions), kWeighted strategy, N in {6, 8, 10}.
 //
-// Prints a human-readable table and writes BENCH_optimizer.json (an array of
-// {n_regions, configs, reference_ms, engine_ms, speedup, identical}) so CI
-// and scripts can track the ratio. Also cross-checks that both paths return
-// identical results on every measured run.
+// Prints a human-readable table and writes BENCH_optimizer.json in the
+// shared {"bench", "rows"} shape (rows of {n_regions, configs, reference_ms,
+// engine_ms, speedup, identical}) so CI and scripts can track the ratio.
+// Also cross-checks that both paths return identical results on every
+// measured run.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/evaluation_engine.h"
 #include "core/optimizer.h"
 #include "sim/scenario.h"
@@ -113,25 +115,17 @@ int main() {
                 line.identical ? "yes" : "NO");
   }
 
-  std::FILE* out = std::fopen("BENCH_optimizer.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_optimizer.json\n");
-    return 1;
+  bench::BenchReport report("optimizer");
+  for (const auto& line : lines) {
+    report.row()
+        .uinteger("n_regions", line.n_regions)
+        .uinteger("configs", line.configs)
+        .num("reference_ms", line.reference_ms)
+        .num("engine_ms", line.engine_ms)
+        .num("speedup", line.reference_ms / line.engine_ms)
+        .boolean("identical", line.identical);
   }
-  std::fprintf(out, "[\n");
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const auto& line = lines[i];
-    std::fprintf(out,
-                 "  {\"n_regions\": %zu, \"configs\": %zu, "
-                 "\"reference_ms\": %.6f, \"engine_ms\": %.6f, "
-                 "\"speedup\": %.3f, \"identical\": %s}%s\n",
-                 line.n_regions, line.configs, line.reference_ms,
-                 line.engine_ms, line.reference_ms / line.engine_ms,
-                 line.identical ? "true" : "false",
-                 i + 1 < lines.size() ? "," : "");
-  }
-  std::fprintf(out, "]\n");
-  std::fclose(out);
+  if (!report.write()) return 1;
 
   // Non-zero exit when the engine diverges, so CI can run this as a check.
   for (const auto& line : lines) {

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_json.h"
 #include "geo/latency.h"
 #include "geo/region.h"
 
@@ -49,5 +50,17 @@ int main() {
   }
 
   std::printf("\nvalidation: %s\n", ok ? "PASS" : "FAIL");
+
+  bench::BenchReport report("table1_regions");
+  for (const auto& region : catalog.all()) {
+    report.row()
+        .integer("region", region.id.value() + 1)
+        .str("name", region.name)
+        .str("location", region.location)
+        .num("inter_region_cost_per_gb", region.inter_region_cost_per_gb)
+        .num("internet_cost_per_gb", region.internet_cost_per_gb)
+        .boolean("validation", ok);
+  }
+  if (!report.write()) return EXIT_FAILURE;
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

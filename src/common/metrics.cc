@@ -4,6 +4,16 @@
 
 namespace multipub {
 
+void ShardedCounter::configure(std::size_t lanes) {
+  cells_.assign(lanes == 0 ? 1 : lanes, Cell{});
+}
+
+std::uint64_t ShardedCounter::total() const {
+  std::uint64_t sum = 0;
+  for (const Cell& cell : cells_) sum += cell.value;
+  return sum;
+}
+
 void MetricsRegistry::set(std::string name, double value) {
   values_[std::move(name)] = value;
 }

@@ -7,11 +7,49 @@
 // registry on demand.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace multipub {
+
+/// Counter that is race-free under concurrent increment without a lock or an
+/// atomic on the hot path: each writer owns one LANE (a cache-line-padded
+/// cell) and bumps it with a plain store; total() merges the lanes in fixed
+/// lane order on a quiescent counter. The contract mirrors the sharded data
+/// plane's phase structure:
+///   - between barriers, at most one thread writes each lane;
+///   - total()/lane() are only called while no writer is running.
+/// Integer addition is commutative, so the merged value is independent of
+/// how work was distributed over lanes — a K-shard run and a 1-shard run of
+/// the same workload report bit-identical counts.
+class ShardedCounter {
+ public:
+  explicit ShardedCounter(std::size_t lanes = 1) { configure(lanes); }
+
+  /// Resets to `lanes` zeroed lanes. Pre: no concurrent access.
+  void configure(std::size_t lanes);
+
+  void add(std::size_t lane, std::uint64_t delta = 1) {
+    cells_[lane].value += delta;
+  }
+
+  [[nodiscard]] std::size_t lanes() const { return cells_.size(); }
+  [[nodiscard]] std::uint64_t lane(std::size_t i) const {
+    return cells_[i].value;
+  }
+
+  /// Deterministic merge: sums lanes in ascending lane order.
+  [[nodiscard]] std::uint64_t total() const;
+
+ private:
+  struct alignas(64) Cell {  // one cache line per lane: no false sharing
+    std::uint64_t value = 0;
+  };
+  std::vector<Cell> cells_;
+};
 
 class MetricsRegistry {
  public:

@@ -41,4 +41,20 @@ Rng Rng::fork() {
   return Rng(engine_());
 }
 
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                 std::uint64_t stream_key) {
+  // The golden-ratio increment decorrelates (base, key) pairs that differ in
+  // only a few bits before the finalizer scrambles them.
+  return mix64(base_seed + 0x9e3779b97f4a7c15ULL * (stream_key + 1));
+}
+
 }  // namespace multipub

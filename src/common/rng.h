@@ -43,4 +43,19 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// SplitMix64 finalizer: a high-quality 64->64 bit mixer (Steele et al.,
+/// "Fast Splittable Pseudorandom Number Generators"). Bijective, so distinct
+/// inputs never collide.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
+/// Seed of the substream identified by `stream_key` within the family rooted
+/// at `base_seed`. A pure function of its two inputs: unlike Rng::fork(),
+/// deriving one stream does not disturb any other, so components that need a
+/// private stream per entity (e.g. one jitter stream per network link) get
+/// the SAME stream regardless of the order — or the thread — in which the
+/// entities first draw. That order-independence is what makes sharded
+/// parallel runs bit-identical to single-threaded ones.
+[[nodiscard]] std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                               std::uint64_t stream_key);
+
 }  // namespace multipub

@@ -47,7 +47,7 @@ FaultPlan::Outcome FaultPlan::apply(Address from, Address to, Millis now) {
     if (!rule.from.matches(from) || !rule.to.matches(to)) continue;
     switch (rule.kind) {
       case FaultRule::Kind::kPartition:
-        ++partition_dropped_;
+        partition_dropped_.fetch_add(1, std::memory_order_relaxed);
         outcome.dropped = true;
         return outcome;
       case FaultRule::Kind::kDrop:
@@ -55,7 +55,7 @@ FaultPlan::Outcome FaultPlan::apply(Address from, Address to, Millis now) {
         // coin outcomes are themselves deterministic in the seed, so the
         // stream position — and with it every later decision — is too.
         if (rng_.uniform(0.0, 1.0) < rule.drop_probability) {
-          ++random_dropped_;
+          random_dropped_.fetch_add(1, std::memory_order_relaxed);
           outcome.dropped = true;
           return outcome;
         }
@@ -67,9 +67,52 @@ FaultPlan::Outcome FaultPlan::apply(Address from, Address to, Millis now) {
     }
   }
   if (outcome.delay_factor != 1.0 || outcome.delay_extra_ms != 0.0) {
-    ++delayed_;
+    delayed_.fetch_add(1, std::memory_order_relaxed);
   }
   return outcome;
+}
+
+FaultPlan::Outcome FaultPlan::apply(Address from, Address to, Millis now,
+                                    Rng& coin) const {
+  // Same scan as the stateful overload, but the coin stream is the caller's
+  // and the plan's own stream is untouched; the tallies are relaxed atomics,
+  // so shard workers can consult one shared plan concurrently.
+  Outcome outcome;
+  for (const auto& [id, rule] : rules_) {
+    if (now < rule.start || now >= rule.end) continue;
+    if (!rule.from.matches(from) || !rule.to.matches(to)) continue;
+    switch (rule.kind) {
+      case FaultRule::Kind::kPartition:
+        partition_dropped_.fetch_add(1, std::memory_order_relaxed);
+        outcome.dropped = true;
+        return outcome;
+      case FaultRule::Kind::kDrop:
+        if (coin.uniform(0.0, 1.0) < rule.drop_probability) {
+          random_dropped_.fetch_add(1, std::memory_order_relaxed);
+          outcome.dropped = true;
+          return outcome;
+        }
+        break;
+      case FaultRule::Kind::kDelay:
+        outcome.delay_factor *= rule.delay_factor;
+        outcome.delay_extra_ms += rule.delay_extra_ms;
+        break;
+    }
+  }
+  if (outcome.delay_factor != 1.0 || outcome.delay_extra_ms != 0.0) {
+    delayed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return outcome;
+}
+
+double FaultPlan::lookahead_scale() const {
+  double scale = 1.0;
+  for (const auto& [id, rule] : rules_) {
+    if (rule.kind != FaultRule::Kind::kDelay) continue;
+    scale *= std::min(1.0, rule.delay_factor);
+  }
+  MP_EXPECTS(scale > 0.0);  // add() rejects non-positive factors
+  return scale;
 }
 
 }  // namespace multipub::net

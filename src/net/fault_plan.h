@@ -21,6 +21,7 @@
 // as before.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -80,7 +81,13 @@ class FaultPlan {
  public:
   /// `seed` feeds the probabilistic-drop stream; two plans with the same
   /// seed and the same consult sequence make identical drop decisions.
-  explicit FaultPlan(std::uint64_t seed) : rng_(seed) {}
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  /// Root of the plan's drop-coin stream family. The transport derives one
+  /// per-link coin stream from it (common::derive_stream_seed), so coin
+  /// order is a per-link property — independent of how sends from different
+  /// links interleave, and therefore of the shard count.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   /// Installs a rule; returns a handle for remove(). Rules are consulted in
   /// insertion order.
@@ -104,21 +111,44 @@ class FaultPlan {
   /// itself deterministic in the seed, so is the whole stream.
   [[nodiscard]] Outcome apply(Address from, Address to, Millis now);
 
+  /// Form for callers that own the coin stream (the transport keeps one
+  /// per link so sharded runs stay deterministic): same rule scan, but drop
+  /// coins come from `coin` and the plan's own stream stays untouched. The
+  /// tallies are bumped with relaxed atomics — increments commute, so the
+  /// totals are shard-count-invariant and the call is safe from concurrent
+  /// shard workers.
+  [[nodiscard]] Outcome apply(Address from, Address to, Millis now,
+                              Rng& coin) const;
+
+  /// Most pessimistic factor active delay rules could shrink a latency by:
+  /// the product of every rule's min(1, delay_factor), ignoring windows and
+  /// link patterns (conservative). Extras are nonnegative by add()'s
+  /// contract, so `min_link_latency * lookahead_scale()` is a valid
+  /// conservative window width for the sharded simulator under this plan.
+  [[nodiscard]] double lookahead_scale() const;
+
   /// Messages lost to partitions / to probabilistic drop; messages whose
   /// latency a delay rule touched.
   [[nodiscard]] std::uint64_t partition_dropped() const {
-    return partition_dropped_;
+    return partition_dropped_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] std::uint64_t random_dropped() const { return random_dropped_; }
-  [[nodiscard]] std::uint64_t delayed() const { return delayed_; }
+  [[nodiscard]] std::uint64_t random_dropped() const {
+    return random_dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t delayed() const {
+    return delayed_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<std::pair<int, FaultRule>> rules_;
+  std::uint64_t seed_;
   Rng rng_;
   int next_id_ = 0;
-  std::uint64_t partition_dropped_ = 0;
-  std::uint64_t random_dropped_ = 0;
-  std::uint64_t delayed_ = 0;
+  // mutable + relaxed: the const apply() tallies too. Totals are sums of
+  // commuting increments, hence independent of worker interleaving.
+  mutable std::atomic<std::uint64_t> partition_dropped_{0};
+  mutable std::atomic<std::uint64_t> random_dropped_{0};
+  mutable std::atomic<std::uint64_t> delayed_{0};
 };
 
 }  // namespace multipub::net

@@ -1,6 +1,7 @@
 #include "net/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/assert.h"
@@ -17,7 +18,10 @@ constexpr std::size_t kBucketTarget = 2048;
 constexpr std::size_t kMaxBuckets = 8192;
 }  // namespace
 
-void Simulator::heap_push(const CompactEvent& event) {
+thread_local Simulator::EventStore* Simulator::tls_store_ = nullptr;
+thread_local std::uint32_t Simulator::tls_shard_ = 0;
+
+void Simulator::EventStore::heap_push(const CompactEvent& event) {
   std::size_t i = heap_.size();
   heap_.push_back(event);
   // Hole-based sift-up: shift parents down instead of swapping.
@@ -30,7 +34,7 @@ void Simulator::heap_push(const CompactEvent& event) {
   heap_[i] = event;
 }
 
-void Simulator::far_push(const CompactEvent& event) {
+void Simulator::EventStore::far_push(const CompactEvent& event) {
   ++compact_pending_;
   if (rung_count_ > 0) {
     // Compare in double first: casting an out-of-range value to size_t is
@@ -67,7 +71,7 @@ void Simulator::far_push(const CompactEvent& event) {
   top_.push_back(event);
 }
 
-void Simulator::build_rung() {
+void Simulator::EventStore::build_rung() {
   // One pass: distribute the top list over constant-width buckets sized so
   // a bucket holds ~kBucketTarget events. Width 0 (all-equal timestamps)
   // degenerates to a single bucket. The mapping here must be the EXACT
@@ -105,7 +109,7 @@ void Simulator::build_rung() {
   top_max_ = kept_max;
 }
 
-void Simulator::refill() {
+void Simulator::EventStore::refill() {
   while (heap_.empty()) {
     if (rung_cur_ < rung_count_) {
       for (const CompactEvent& event : rung_[rung_cur_]) heap_push(event);
@@ -118,7 +122,7 @@ void Simulator::refill() {
   }
 }
 
-Simulator::CompactEvent Simulator::heap_pop() {
+Simulator::CompactEvent Simulator::EventStore::heap_pop() {
   const CompactEvent top = heap_.front();
   const CompactEvent last = heap_.back();
   heap_.pop_back();
@@ -142,12 +146,7 @@ Simulator::CompactEvent Simulator::heap_pop() {
   return top;
 }
 
-void Simulator::set_legacy_scheduling(bool on) {
-  MP_EXPECTS(pending() == 0);
-  legacy_ = on;
-}
-
-std::uint32_t Simulator::acquire_action_slot() {
+std::uint32_t Simulator::EventStore::acquire_action_slot() {
   if (!action_free_.empty()) {
     const std::uint32_t slot = action_free_.back();
     action_free_.pop_back();
@@ -159,7 +158,7 @@ std::uint32_t Simulator::acquire_action_slot() {
   return static_cast<std::uint32_t>(action_pool_.size() - 1);
 }
 
-std::uint32_t Simulator::acquire_delivery_slot() {
+std::uint32_t Simulator::EventStore::acquire_delivery_slot() {
   if (!delivery_free_.empty()) {
     const std::uint32_t slot = delivery_free_.back();
     delivery_free_.pop_back();
@@ -170,64 +169,34 @@ std::uint32_t Simulator::acquire_delivery_slot() {
   return static_cast<std::uint32_t>(delivery_pool_.size() - 1);
 }
 
-void Simulator::schedule_at(Millis t, Action action) {
-  MP_EXPECTS(t >= now_);
-  if (legacy_) {
-    legacy_queue_.push(Event{t, next_seq_++, std::move(action)});
-    return;
-  }
+void Simulator::EventStore::insert_action(Millis t, Simulator::Action action) {
   const std::uint32_t slot = acquire_action_slot();
   action_pool_[slot] = std::move(action);
-  far_push(CompactEvent::make(t, next_seq_++, kKindAction, slot));
+  far_push(CompactEvent::make(t, seq++, kKindAction, slot));
 }
 
-void Simulator::schedule_after(Millis delay, Action action) {
-  MP_EXPECTS(delay >= 0.0);
-  schedule_at(now_ + delay, std::move(action));
-}
-
-void Simulator::schedule_delivery_at(Millis t, DeliverySink& sink,
-                                     Address from, Address to,
-                                     const wire::Message& msg) {
-  MP_EXPECTS(t >= now_);
-  MP_EXPECTS(!legacy_);
+void Simulator::EventStore::insert_delivery(Millis t, DeliverySink& sink,
+                                            Address from, Address to,
+                                            const wire::Message& msg) {
   const std::uint32_t slot = acquire_delivery_slot();
   DeliveryEvent& event = delivery_pool_[slot];
   event.sink = &sink;
   event.from = from;
   event.to = to;
   event.msg = msg;
-  far_push(CompactEvent::make(t, next_seq_++, kKindDelivery, slot));
+  far_push(CompactEvent::make(t, seq++, kKindDelivery, slot));
 }
 
-void Simulator::schedule_delivery_after(Millis delay, DeliverySink& sink,
-                                        Address from, Address to,
-                                        const wire::Message& msg) {
-  MP_EXPECTS(delay >= 0.0);
-  schedule_delivery_at(now_ + delay, sink, from, to, msg);
+Millis Simulator::EventStore::next_time() {
+  if (heap_.empty()) refill();
+  return heap_.empty() ? kUnreachable : heap_.front().time;
 }
 
-bool Simulator::step() {
-  if (legacy_) {
-    if (legacy_queue_.empty()) return false;
-    // priority_queue::top() is const; the action must be moved out before
-    // pop.
-    Event event = std::move(const_cast<Event&>(legacy_queue_.top()));
-    legacy_queue_.pop();
-    now_ = event.time;
-    ++processed_;
-    event.action();
-    return true;
-  }
-
-  if (heap_.empty()) {
-    refill();
-    if (heap_.empty()) return false;
-  }
+void Simulator::EventStore::dispatch_one() {
   const CompactEvent event = heap_pop();
   --compact_pending_;
-  now_ = event.time;
-  ++processed_;
+  clock = event.time;
+  ++processed;
   const std::uint32_t slot = event.slot();
   if (event.kind() == kKindAction) {
     // Move the callback out and release the slot before invoking: the
@@ -243,28 +212,282 @@ bool Simulator::step() {
     delivery_free_.push_back(slot);
     delivery.sink->deliver(delivery);
   }
-  return true;
 }
 
-void Simulator::run() {
-  while (step()) {
+Simulator::~Simulator() { shutdown_workers(); }
+
+void Simulator::set_legacy_scheduling(bool on) {
+  MP_EXPECTS(pending() == 0);
+  MP_EXPECTS(!sharded());
+  legacy_ = on;
+}
+
+std::size_t Simulator::pending() const {
+  if (legacy_) return legacy_queue_.size();
+  std::size_t total = 0;
+  for (const auto& store : stores_) total += store->compact_pending_;
+  return total;
+}
+
+std::uint64_t Simulator::processed() const {
+  std::uint64_t total = processed_base_;
+  for (const auto& store : stores_) total += store->processed;
+  return total;
+}
+
+void Simulator::configure_shards(ShardMap map, Millis lookahead) {
+  MP_EXPECTS(!legacy_);
+  MP_EXPECTS(pending() == 0);
+  MP_EXPECTS(tls_store_ == nullptr);
+  MP_EXPECTS(map.shards >= 1);
+  shutdown_workers();
+  const std::uint32_t k = map.shards;
+  map_ = std::move(map);
+  // Fresh stores: pools and per-shard sequence counters restart, the clocks
+  // carry the current time forward, and already-dispatched counts fold into
+  // the base so processed() stays monotone.
+  for (const auto& store : stores_) processed_base_ += store->processed;
+  stores_.clear();
+  stores_.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    stores_.push_back(std::make_unique<EventStore>());
+    stores_.back()->clock = now_;
+  }
+  mail_.assign(static_cast<std::size_t>(k) * k, Mailbox{});
+  if (k == 1) {
+    lookahead_ = 0.0;
+    return;
+  }
+  MP_EXPECTS(lookahead > 0.0);
+  lookahead_ = lookahead;
+  gate_ = std::make_unique<std::barrier<>>(k);
+  workers_.reserve(k - 1);
+  for (std::uint32_t i = 1; i < k; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
+void Simulator::set_lookahead(Millis lookahead) {
+  MP_EXPECTS(sharded());
+  MP_EXPECTS(tls_store_ == nullptr);
+  MP_EXPECTS(lookahead > 0.0);
+  lookahead_ = lookahead;
+}
+
+void Simulator::shutdown_workers() {
+  if (workers_.empty()) return;
+  command_ = Command::kShutdown;
+  gate_->arrive_and_wait();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  gate_.reset();
+}
+
+void Simulator::schedule_at(Millis t, Action action) {
+  MP_EXPECTS(t >= now());
+  if (legacy_) {
+    legacy_queue_.push(Event{t, legacy_seq_++, std::move(action)});
+    return;
+  }
+  // Inside a window the action stays on the dispatching shard (timers are
+  // entity-local); outside, shard 0 hosts un-hinted actions.
+  EventStore& store = tls_store_ != nullptr ? *tls_store_ : *stores_[0];
+  store.insert_action(t, std::move(action));
+}
+
+void Simulator::schedule_at(Millis t, Address owner, Action action) {
+  MP_EXPECTS(t >= now());
+  if (legacy_) {
+    legacy_queue_.push(Event{t, legacy_seq_++, std::move(action)});
+    return;
+  }
+  EventStore& store = *stores_[owner_shard(owner)];
+  // Cross-shard actions have no sequenced channel — only deliveries do — so
+  // from inside a window the owner must be local.
+  MP_EXPECTS(tls_store_ == nullptr || tls_store_ == &store);
+  store.insert_action(t, std::move(action));
+}
+
+void Simulator::schedule_after(Millis delay, Action action) {
+  MP_EXPECTS(delay >= 0.0);
+  schedule_at(now() + delay, std::move(action));
+}
+
+void Simulator::schedule_delivery_at(Millis t, DeliverySink& sink,
+                                     Address from, Address to,
+                                     const wire::Message& msg) {
+  MP_EXPECTS(t >= now());
+  MP_EXPECTS(!legacy_);
+  if (!sharded()) {
+    stores_[0]->insert_delivery(t, sink, from, to, msg);
+    return;
+  }
+  const std::uint32_t dst = map_.shard_of(to);
+  if (tls_store_ == nullptr) {
+    // No window running (control plane, test setup): every store is
+    // quiescent, insert straight into the owner's.
+    stores_[dst]->insert_delivery(t, sink, from, to, msg);
+    return;
+  }
+  if (dst == tls_shard_) {
+    tls_store_->insert_delivery(t, sink, from, to, msg);
+    return;
+  }
+  // Cross-shard: park in the (src, dst) mailbox until the window barrier.
+  mail_[static_cast<std::size_t>(tls_shard_) * stores_.size() + dst]
+      .items.push_back(MailItem{t, DeliveryEvent{&sink, from, to, msg}});
+}
+
+void Simulator::schedule_delivery_after(Millis delay, DeliverySink& sink,
+                                        Address from, Address to,
+                                        const wire::Message& msg) {
+  MP_EXPECTS(delay >= 0.0);
+  schedule_delivery_at(now() + delay, sink, from, to, msg);
+}
+
+bool Simulator::step() {
+  if (legacy_) {
+    if (legacy_queue_.empty()) return false;
+    // priority_queue::top() is const; the action must be moved out before
+    // pop.
+    Event event = std::move(const_cast<Event&>(legacy_queue_.top()));
+    legacy_queue_.pop();
+    now_ = event.time;
+    ++processed_base_;
+    event.action();
+    return true;
+  }
+  MP_EXPECTS(!sharded());  // the parallel plane runs whole windows
+  EventStore& store = *stores_[0];
+  if (store.next_time() == kUnreachable) return false;
+  tls_store_ = &store;
+  store.dispatch_one();
+  tls_store_ = nullptr;
+  now_ = store.clock;
+  return true;
+}
+
+Millis Simulator::global_next_time() {
+  Millis t_min = kUnreachable;
+  for (const auto& store : stores_) t_min = std::min(t_min, store->next_time());
+  return t_min;
+}
+
+void Simulator::run_window(std::uint32_t shard) {
+  EventStore& store = *stores_[shard];
+  tls_store_ = &store;
+  tls_shard_ = shard;
+  const Millis end = window_end_;
+  while (store.next_time() < end) store.dispatch_one();
+  tls_store_ = nullptr;
+  tls_shard_ = 0;
+}
+
+void Simulator::drain_inboxes(std::uint32_t shard) {
+  const std::size_t k = stores_.size();
+  EventStore& store = *stores_[shard];
+  // Fixed merge order — source shard ascending, FIFO within a source — with
+  // fresh destination-local sequence numbers: the interleaving is a pure
+  // function of the schedule-independent send order, never of thread timing.
+  for (std::size_t src = 0; src < k; ++src) {
+    Mailbox& box = mail_[src * k + shard];
+    for (const MailItem& item : box.items) {
+      // Conservative-window invariant: a cross-shard send arrives no
+      // earlier than the end of the window that produced it (the window is
+      // at most the minimum cross-shard latency wide).
+      MP_EXPECTS(item.time >= window_end_);
+      store.insert_delivery(item.time, *item.event.sink, item.event.from,
+                            item.event.to, item.event.msg);
+    }
+    box.items.clear();
+  }
+}
+
+void Simulator::worker_loop(std::uint32_t shard) {
+  // Every command is read exactly once per publication phase, and the
+  // driver never rewrites command_ until a LATER phase this thread helped
+  // complete — kRunWindow is covered by its own B/C barriers, kEndRun by
+  // the explicit ack below, kShutdown by being final on this barrier.
+  // Without the ack, a worker waking late from the kEndRun phase could see
+  // the command already overwritten for the next phase and desynchronize.
+  for (;;) {
+    gate_->arrive_and_wait();  // window (or control command) published
+    const Command command = command_;
+    if (command == Command::kShutdown) return;
+    if (command == Command::kEndRun) {
+      gate_->arrive_and_wait();  // ack: the driver may publish again
+      continue;
+    }
+    run_window(shard);
+    gate_->arrive_and_wait();  // all shards done writing mailboxes
+    drain_inboxes(shard);
+    gate_->arrive_and_wait();  // all inboxes drained
+  }
+}
+
+void Simulator::run_windows(Millis limit) {
+  MP_EXPECTS(tls_store_ == nullptr);
+  for (;;) {
+    const Millis t_min = global_next_time();
+    if (!(t_min < limit)) break;
+    // Window [t_min, t_min + lookahead): every event a shard dispatches in
+    // it can only reach another shard at t >= window_end_ (delays are at
+    // least the lookahead, jitter and fault factors only stretch them —
+    // drain_inboxes asserts this). IEEE addition is monotone, so computed
+    // arrival times respect the bound too; nextafter keeps the window
+    // non-empty even when lookahead_ vanishes against the ulp of t_min.
+    Millis end = t_min + lookahead_;
+    if (!(end > t_min)) end = std::nextafter(t_min, kUnreachable);
+    window_end_ = std::min(end, limit);
+    command_ = Command::kRunWindow;
+    gate_->arrive_and_wait();
+    run_window(0);  // the driving thread doubles as shard 0's worker
+    gate_->arrive_and_wait();
+    drain_inboxes(0);
+    gate_->arrive_and_wait();
+  }
+  command_ = Command::kEndRun;
+  gate_->arrive_and_wait();  // end-of-run published
+  gate_->arrive_and_wait();  // every worker has read it; command_ is ours
+}
+
+void Simulator::run() {
+  if (!sharded()) {
+    while (step()) {
+    }
+    return;
+  }
+  run_windows(kUnreachable);
+  // The run's end time is schedule-independent: the max event timestamp any
+  // shard dispatched (or the previous time when nothing ran).
+  Millis end = now_;
+  for (const auto& store : stores_) end = std::max(end, store->clock);
+  now_ = end;
+  for (const auto& store : stores_) store->clock = end;
+}
+
 void Simulator::run_until(Millis t) {
-  MP_EXPECTS(t >= now_);
+  MP_EXPECTS(t >= now());
   if (legacy_) {
     while (!legacy_queue_.empty() && legacy_queue_.top().time <= t) {
       step();
     }
-  } else {
-    for (;;) {
-      if (heap_.empty()) refill();
-      if (heap_.empty() || heap_.front().time > t) break;
+    now_ = t;
+    return;
+  }
+  if (!sharded()) {
+    EventStore& store = *stores_[0];
+    while (store.next_time() <= t) {
       step();
     }
+    now_ = t;
+    store.clock = t;
+    return;
   }
+  // Exclusive bound just past t: events at exactly t still run.
+  run_windows(std::nextafter(t, kUnreachable));
   now_ = t;
+  for (const auto& store : stores_) store->clock = t;
 }
 
 }  // namespace multipub::net

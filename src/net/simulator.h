@@ -13,13 +13,27 @@
 //    lives in a recycled pool slot.
 // The seed's std::function-per-event engine is retained behind
 // set_legacy_scheduling(true) as the differential-test / benchmark
-// reference; both engines consume the same sequence counter, so dispatch
-// order is bit-identical between them.
+// reference; both engines consume one sequence counter per store, so
+// dispatch order is bit-identical between them.
+//
+// Sharded parallel mode (DESIGN.md §11): configure_shards() partitions the
+// address space over K shards, each with its own two-level event store and
+// worker thread, synchronized by conservative time windows. Every window
+// [T, T + lookahead) is executed by all shards in parallel; an event may
+// only schedule a cross-shard delivery at least `lookahead` (the minimum
+// cross-shard link latency) in the future, so no event inside a window can
+// affect another shard within the same window. Cross-shard deliveries land
+// in per-(source, destination) mailboxes and are drained at the window
+// barrier in fixed source-shard order, which makes the interleaving — and
+// with it every observable — bit-identical to the single-threaded run.
 #pragma once
 
+#include <barrier>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "common/assert.h"
@@ -50,16 +64,53 @@ class DeliverySink {
   ~DeliverySink() = default;
 };
 
-/// Single-threaded virtual-time event loop.
+/// Static entity-to-shard assignment for the sharded data plane. Every
+/// address (client or region broker) lives on exactly one shard; all events
+/// OWNED by an entity (deliveries to it, its timers) execute on that shard.
+struct ShardMap {
+  std::uint32_t shards = 1;
+  std::vector<std::uint32_t> region_shard;  ///< indexed by RegionId
+  std::vector<std::uint32_t> client_shard;  ///< indexed by ClientId
+
+  [[nodiscard]] std::uint32_t shard_of(Address address) const {
+    const auto index = static_cast<std::size_t>(address.id);
+    const auto& table =
+        address.kind == Address::Kind::kClient ? client_shard : region_shard;
+    MP_EXPECTS(address.id >= 0 && index < table.size());
+    return table[index];
+  }
+};
+
+/// Virtual-time event loop; single-threaded by default, optionally sharded
+/// over worker threads via configure_shards().
 class Simulator {
  public:
   using Action = std::function<void()>;
 
-  /// Current virtual time (ms since simulation start).
-  [[nodiscard]] Millis now() const { return now_; }
+  Simulator() { stores_.push_back(std::make_unique<EventStore>()); }
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time (ms since simulation start). Inside a sharded
+  /// window this is the executing shard's clock — the timestamp of the
+  /// event being dispatched, exactly as in a single-threaded run.
+  [[nodiscard]] Millis now() const {
+    return tls_store_ != nullptr ? tls_store_->clock : now_;
+  }
 
   /// Schedules `action` at absolute virtual time `t`. Pre: t >= now().
+  /// In sharded mode the action runs on the CALLING shard (entity timers
+  /// are entity-local); from outside a window it lands on shard 0 — use the
+  /// owner-hinted overload for actions that touch a specific entity.
   void schedule_at(Millis t, Action action);
+
+  /// Owner-hinted form for sharded mode: the action executes on the shard
+  /// that owns `owner` (e.g. a publisher's client address for a traffic
+  /// injection). From inside a window the owner must be on the calling
+  /// shard — cross-shard effects must travel as deliveries, which are the
+  /// only sequenced cross-shard channel.
+  void schedule_at(Millis t, Address owner, Action action);
 
   /// Schedules `action` `delay` ms from now. Pre: delay >= 0.
   void schedule_after(Millis delay, Action action);
@@ -67,6 +118,9 @@ class Simulator {
   /// Schedules a typed message delivery at absolute virtual time `t`; the
   /// event is dispatched back to `sink` when it fires. Pre: t >= now() and
   /// legacy scheduling is off (the legacy engine predates typed events).
+  /// In sharded mode the event is routed to the shard owning `to`: directly
+  /// into its store when the sender shares the shard (or no window is
+  /// running), through the sequenced mailbox otherwise.
   void schedule_delivery_at(Millis t, DeliverySink& sink, Address from,
                             Address to, const wire::Message& msg);
 
@@ -74,7 +128,8 @@ class Simulator {
   void schedule_delivery_after(Millis delay, DeliverySink& sink, Address from,
                                Address to, const wire::Message& msg);
 
-  /// Executes the earliest pending event; returns false when idle.
+  /// Executes the earliest pending event; returns false when idle. Only
+  /// meaningful single-threaded (the sharded plane runs whole windows).
   bool step();
 
   /// Runs until the queue drains.
@@ -84,15 +139,47 @@ class Simulator {
   void run_until(Millis t);
 
   /// Switches to (or away from) the seed's std::function-per-event engine.
-  /// Only allowed while the queue is empty; kept as the reference path for
-  /// the data-plane differential tests and bench_dataplane.
+  /// Only allowed while the queue is empty and unsharded; kept as the
+  /// reference path for the data-plane differential tests and
+  /// bench_dataplane.
   void set_legacy_scheduling(bool on);
   [[nodiscard]] bool legacy_scheduling() const { return legacy_; }
 
-  [[nodiscard]] std::size_t pending() const {
-    return legacy_ ? legacy_queue_.size() : compact_pending_;
+  /// Splits the simulation into `map.shards` parallel shards with the given
+  /// conservative window width (the minimum cross-shard link latency; see
+  /// SimTransport::min_cross_shard_latency). Spawns shards-1 worker threads;
+  /// the calling thread doubles as shard 0's worker inside run(). Only
+  /// allowed while the queue is empty and legacy scheduling is off.
+  /// `map.shards == 1` restores single-threaded operation.
+  void configure_shards(ShardMap map, Millis lookahead);
+  [[nodiscard]] std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(stores_.size());
   }
-  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+  [[nodiscard]] bool sharded() const { return stores_.size() > 1; }
+
+  /// Refreshes the window width (e.g. after a FaultPlan starts shrinking
+  /// latencies). Only between runs. Pre: sharded, lookahead > 0.
+  void set_lookahead(Millis lookahead);
+  [[nodiscard]] Millis lookahead() const { return lookahead_; }
+
+  /// Shard of the event being dispatched on the calling thread; 0 outside
+  /// dispatch. Counters indexed by this are race-free lane-wise.
+  [[nodiscard]] std::uint32_t current_shard() const { return tls_shard_; }
+
+  /// Shard that OWNS `address` under the current map (0 when unsharded).
+  /// Per-sender state (e.g. the transport's per-link RNG streams) keyed by
+  /// this is single-writer: during a window only the owner shard dispatches
+  /// the sender's events, and outside windows every shard is quiescent.
+  [[nodiscard]] std::uint32_t owner_shard(Address address) const {
+    return sharded() ? map_.shard_of(address) : 0;
+  }
+
+  /// True while the calling thread is dispatching an event (single-threaded
+  /// step or a sharded window).
+  [[nodiscard]] bool dispatching() const { return tls_store_ != nullptr; }
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::uint64_t processed() const;
 
  private:
   /// 16-byte queue entry of the default engine; the payload (an Action or a
@@ -126,16 +213,89 @@ class Simulator {
       return static_cast<std::uint32_t>(packed & ((1u << kSlotBits) - 1));
     }
   };
-  /// (time, seq) is a TOTAL order (seq is unique), so any correct min-heap
-  /// pops the exact same sequence — the container choice cannot affect
-  /// determinism.
+  /// (time, seq) is a TOTAL order (seq is unique per store), so any correct
+  /// min-heap pops the exact same sequence — the container choice cannot
+  /// affect determinism.
   [[nodiscard]] static bool before(const CompactEvent& a,
                                    const CompactEvent& b) {
     if (a.time != b.time) return a.time < b.time;
     return a.packed < b.packed;  // high bits are seq
   }
-  void heap_push(const CompactEvent& event);
-  CompactEvent heap_pop();
+
+  /// One shard's complete event state: the two-level store (see the member
+  /// comment below), the recycled payload pools, its own sequence counter
+  /// (assigned in insertion order, exactly as the single-threaded engine
+  /// would) and its clock. In single-threaded mode there is exactly one.
+  struct EventStore {
+    void heap_push(const CompactEvent& event);
+    CompactEvent heap_pop();
+    /// Routes a compact event to the near heap, a rung bucket, or the top
+    /// list.
+    void far_push(const CompactEvent& event);
+    /// Promotes rung buckets (rebuilding the rung from the top list when it
+    /// runs out) until the near heap has events or everything is drained.
+    void refill();
+    void build_rung();
+
+    [[nodiscard]] std::uint32_t acquire_action_slot();
+    [[nodiscard]] std::uint32_t acquire_delivery_slot();
+    void insert_action(Millis t, Simulator::Action action);
+    void insert_delivery(Millis t, DeliverySink& sink, Address from,
+                         Address to, const wire::Message& msg);
+    /// Timestamp of the earliest pending event (kUnreachable when empty);
+    /// refills the near heap as a side effect.
+    [[nodiscard]] Millis next_time();
+    /// Pops and invokes the earliest event, advancing `clock` to its time.
+    void dispatch_one();
+
+    Millis clock = 0.0;
+    std::uint64_t seq = 0;
+    std::uint64_t processed = 0;
+
+    // Two-level event store for the default engine (a single-rung ladder
+    // queue). Pops are absorbed by a small NEAR heap (4-ary min-heap, stays
+    // cache-resident); far-future events wait unsorted — first in the TOP
+    // list, then distributed once into the RUNG's constant-width time
+    // buckets — and are only heapified when the horizon reaches their
+    // bucket. Every event is bucketed O(1) times, so the steady-state cost
+    // per event stays flat even with ~10^6 in flight (where a single big
+    // heap spends its time in cache misses).
+    //
+    // Ordering stays EXACT: bucket_of(t) = floor((t - start) / width) is
+    // monotone in t under IEEE rounding (subtraction, division by a
+    // positive constant and floor are all monotone), so an event in a lower
+    // bucket never has a later time than one in a higher bucket, and the
+    // near heap — which always holds every not-yet-popped event of the
+    // buckets below rung_cur_ — contains the global minimum whenever it is
+    // non-empty. Ties are settled inside the near heap by the total
+    // (time, seq) order.
+    std::vector<CompactEvent> heap_;                // near events
+    std::vector<std::vector<CompactEvent>> rung_;   // reused bucket storage
+    std::vector<CompactEvent> top_;  // beyond the rung's coverage
+    std::size_t rung_count_ = 0;     // active buckets this generation
+    std::size_t rung_cur_ = 0;       // next bucket to promote
+    Millis rung_start_ = 0.0;
+    Millis rung_width_ = 1.0;
+    Millis top_min_ = 0.0, top_max_ = 0.0;
+    std::size_t compact_pending_ = 0;  // near + rung + top
+    std::vector<Action> action_pool_;
+    std::vector<std::uint32_t> action_free_;
+    std::vector<DeliveryEvent> delivery_pool_;
+    std::vector<std::uint32_t> delivery_free_;
+  };
+
+  /// Cross-shard delivery in flight between two window barriers.
+  struct MailItem {
+    Millis time;
+    DeliveryEvent event;
+  };
+  /// One (source shard, destination shard) channel. Written only by the
+  /// source shard during a window, drained only by the destination shard at
+  /// the barrier — never both in the same phase, so no lock is needed. The
+  /// padding keeps concurrent writers off each other's cache lines.
+  struct alignas(64) Mailbox {
+    std::vector<MailItem> items;
+  };
 
   /// Seed engine's queue entry: the callback is heap-allocated by
   /// std::function whenever its captures exceed the small-buffer size,
@@ -152,52 +312,41 @@ class Simulator {
     }
   };
 
-  [[nodiscard]] std::uint32_t acquire_action_slot();
-  [[nodiscard]] std::uint32_t acquire_delivery_slot();
+  enum class Command : std::uint8_t { kRunWindow, kEndRun, kShutdown };
 
-  /// Routes a compact event to the near heap, a rung bucket, or the top
-  /// list (two-level store, see the member comment below).
-  void far_push(const CompactEvent& event);
-  /// Promotes rung buckets (rebuilding the rung from the top list when it
-  /// runs out) until the near heap has events or everything is drained.
-  /// Pre: the near heap is empty.
-  void refill();
-  void build_rung();
+  /// Earliest pending timestamp across all stores (kUnreachable when idle).
+  [[nodiscard]] Millis global_next_time();
+  /// Runs windows until no store has an event before `limit` (exclusive).
+  void run_windows(Millis limit);
+  /// Executes every event of `shard` with time < window_end_.
+  void run_window(std::uint32_t shard);
+  /// Moves the shard's inbound mailbox items into its store, in source-shard
+  /// ascending FIFO order, assigning fresh shard-local sequence numbers.
+  void drain_inboxes(std::uint32_t shard);
+  void worker_loop(std::uint32_t shard);
+  void shutdown_workers();
 
   Millis now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t processed_ = 0;
+  std::uint64_t legacy_seq_ = 0;
+  /// Events dispatched outside the current stores: by the legacy engine,
+  /// or by stores retired when configure_shards() rebuilt them.
+  std::uint64_t processed_base_ = 0;
   bool legacy_ = false;
 
-  // Two-level event store for the default engine (a single-rung ladder
-  // queue). Pops are absorbed by a small NEAR heap (4-ary min-heap, stays
-  // cache-resident); far-future events wait unsorted — first in the TOP
-  // list, then distributed once into the RUNG's constant-width time buckets
-  // — and are only heapified when the horizon reaches their bucket. Every
-  // event is bucketed O(1) times, so the steady-state cost per event stays
-  // flat even with ~10^6 in flight (where a single big heap spends its time
-  // in cache misses).
-  //
-  // Ordering stays EXACT: bucket_of(t) = floor((t - start) / width) is
-  // monotone in t under IEEE rounding (subtraction, division by a positive
-  // constant and floor are all monotone), so an event in a lower bucket
-  // never has a later time than one in a higher bucket, and the near heap
-  // — which always holds every not-yet-popped event of the buckets below
-  // rung_cur_ — contains the global minimum whenever it is non-empty. Ties
-  // are settled inside the near heap by the total (time, seq) order.
-  std::vector<CompactEvent> heap_;       // near events
-  std::vector<std::vector<CompactEvent>> rung_;  // reused bucket storage
-  std::vector<CompactEvent> top_;        // beyond the rung's coverage
-  std::size_t rung_count_ = 0;           // active buckets this generation
-  std::size_t rung_cur_ = 0;             // next bucket to promote
-  Millis rung_start_ = 0.0;
-  Millis rung_width_ = 1.0;
-  Millis top_min_ = 0.0, top_max_ = 0.0;
-  std::size_t compact_pending_ = 0;      // near + rung + top
-  std::vector<Action> action_pool_;
-  std::vector<std::uint32_t> action_free_;
-  std::vector<DeliveryEvent> delivery_pool_;
-  std::vector<std::uint32_t> delivery_free_;
+  std::vector<std::unique_ptr<EventStore>> stores_;  // one per shard
+  ShardMap map_;
+  Millis lookahead_ = 0.0;
+  std::vector<Mailbox> mail_;  // K*K, index = src * K + dst
+  std::vector<std::thread> workers_;
+  std::unique_ptr<std::barrier<>> gate_;
+  Command command_ = Command::kEndRun;
+  Millis window_end_ = 0.0;
+
+  // Shard context of the calling thread while it dispatches a window.
+  // Static: runs of different Simulator instances never overlap on one
+  // thread, and both are reset to null/0 outside dispatch.
+  static thread_local EventStore* tls_store_;
+  static thread_local std::uint32_t tls_shard_;
 
   std::priority_queue<Event, std::vector<Event>, Later> legacy_queue_;
 };

@@ -12,6 +12,26 @@ static_assert(std::is_trivially_copyable_v<DeliveryEvent>,
               "the typed event fast path relies on DeliveryEvent being "
               "plain copyable data (no per-hop heap traffic)");
 
+namespace {
+
+/// Packed directed-link identity: (kind, id) of both endpoints. Address ids
+/// are nonnegative int32, so kind fits above them in each half.
+[[nodiscard]] std::uint64_t link_key(Address from, Address to) {
+  const auto half = [](Address a) {
+    return static_cast<std::uint64_t>(
+               a.kind == Address::Kind::kClient ? 1u : 0u)
+               << 31 |
+           static_cast<std::uint32_t>(a.id);
+  };
+  return half(from) << 32 | half(to);
+}
+
+/// Domain separator so a fault plan and a jitter config that happen to share
+/// a seed still produce unrelated per-link streams.
+constexpr std::uint64_t kCoinDomain = 0xc01fc01fc01fc01fULL;
+
+}  // namespace
+
 Dollars CostLedger::total_cost(const geo::RegionCatalog& catalog) const {
   MP_EXPECTS(catalog.size() == inter_region_bytes.size());
   Dollars total = 0.0;
@@ -33,9 +53,11 @@ SimTransport::SimTransport(Simulator& sim, const geo::RegionCatalog& catalog,
       clients_(&clients),
       region_handlers_(catalog.size()),
       region_down_(catalog.size(), false),
+      bills_(catalog.size()),
       ledger_(catalog.size()) {
   MP_EXPECTS(catalog.size() == backbone.size());
   MP_EXPECTS(catalog.size() == clients.n_regions());
+  lanes_.push_back(std::make_unique<ShardLane>());
 }
 
 void SimTransport::set_fast_path(bool on) {
@@ -43,9 +65,56 @@ void SimTransport::set_fast_path(bool on) {
   sim_->set_legacy_scheduling(!on);
 }
 
+void SimTransport::set_shards(std::uint32_t shards) {
+  MP_EXPECTS(shards >= 1);
+  // Fresh lanes and counter layouts: a shard-count change re-baselines the
+  // books, so it belongs before any traffic (next to configure_shards).
+  sent_.configure(shards);
+  delivered_.configure(shards);
+  dropped_.configure(shards);
+  dropped_unregistered_.configure(shards);
+  dropped_sender_down_.configure(shards);
+  dropped_dead_arrival_.configure(shards);
+  dropped_faulted_.configure(shards);
+  lanes_.clear();
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    lanes_.push_back(std::make_unique<ShardLane>());
+  }
+}
+
+Millis SimTransport::min_cross_shard_latency(const ShardMap& map) const {
+  Millis best = kUnreachable;
+  const std::size_t regions = catalog_->size();
+  MP_EXPECTS(map.region_shard.size() >= regions);
+  for (std::size_t a = 0; a < regions; ++a) {
+    for (std::size_t b = 0; b < regions; ++b) {
+      if (a == b || map.region_shard[a] == map.region_shard[b]) continue;
+      const Millis l = backbone_->at(RegionId{static_cast<std::int32_t>(a)},
+                                     RegionId{static_cast<std::int32_t>(b)});
+      best = std::min(best, l);
+    }
+  }
+  const std::size_t n_clients =
+      std::min(map.client_shard.size(), clients_->n_clients());
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    for (std::size_t r = 0; r < regions; ++r) {
+      if (map.client_shard[c] == map.region_shard[r]) continue;
+      // Client links are symmetric: at(c, r) covers both directions.
+      const Millis l = clients_->at(ClientId{static_cast<std::int32_t>(c)},
+                                    RegionId{static_cast<std::int32_t>(r)});
+      best = std::min(best, l);
+    }
+  }
+  return best;
+}
+
 void SimTransport::register_handler(Address address, Handler handler) {
   MP_EXPECTS(handler != nullptr);
   MP_EXPECTS(address.id >= 0);
+  // During parallel windows the tables must stay immutable (workers read
+  // them concurrently); churn-driven registration is only legal from
+  // single-threaded dispatch or between runs.
+  MP_EXPECTS(!sim_->sharded() || !sim_->dispatching());
   const auto index = static_cast<std::size_t>(address.id);
   auto& dense = address.kind == Address::Kind::kClient ? client_handlers_
                                                        : region_handlers_;
@@ -53,7 +122,7 @@ void SimTransport::register_handler(Address address, Handler handler) {
   // Growing the deque above is safe mid-delivery (existing elements stay
   // put), but overwriting the std::function deliver() is currently invoking
   // would destroy it under its own feet.
-  MP_EXPECTS(&dense[index] != active_handler_ &&
+  MP_EXPECTS(&dense[index] != lane(sim_->current_shard()).active_handler &&
              "cannot replace a handler from within its own delivery");
   dense[index] = handler;
   handlers_[address] = std::move(handler);
@@ -86,17 +155,77 @@ Millis SimTransport::latency(Address from, Address to) const {
 
 void SimTransport::enable_jitter(const JitterSpec& spec, std::uint64_t seed) {
   MP_EXPECTS(spec.relative >= 0.0 && spec.absolute_ms >= 0.0);
-  jitter_.emplace(Jitter{spec, Rng(seed)});
+  jitter_.emplace(Jitter{spec, seed});
+  reset_streams(/*jitter=*/true, /*coins=*/false);
+}
+
+void SimTransport::disable_jitter() {
+  jitter_.reset();
+  reset_streams(/*jitter=*/true, /*coins=*/false);
+}
+
+void SimTransport::set_fault_plan(FaultPlan* plan) {
+  fault_plan_ = plan;
+  reset_streams(/*jitter=*/false, /*coins=*/true);
+}
+
+void SimTransport::reset_streams(bool jitter, bool coins) {
+  for (auto& lane : lanes_) {
+    if (jitter) lane->jitter_streams.clear();
+    if (coins) lane->coin_streams.clear();
+  }
+}
+
+Millis SimTransport::jittered(ShardLane& lane, Address from, Address to,
+                              Millis delay) {
+  const std::uint64_t key = link_key(from, to);
+  auto it = lane.jitter_streams.find(key);
+  if (it == lane.jitter_streams.end()) {
+    it = lane.jitter_streams
+             .emplace(key, Rng(derive_stream_seed(jitter_->seed, key)))
+             .first;
+  }
+  Rng& stream = it->second;
+  return delay * stream.uniform(1.0, 1.0 + jitter_->spec.relative) +
+         std::abs(stream.normal(0.0, jitter_->spec.absolute_ms));
+}
+
+Rng& SimTransport::coin_stream(ShardLane& lane, Address from, Address to) {
+  const std::uint64_t key = link_key(from, to);
+  auto it = lane.coin_streams.find(key);
+  if (it == lane.coin_streams.end()) {
+    it = lane.coin_streams
+             .emplace(key, Rng(derive_stream_seed(
+                               fault_plan_->seed() ^ kCoinDomain, key)))
+             .first;
+  }
+  return it->second;
+}
+
+const CostLedger& SimTransport::ledger() const {
+  for (std::size_t r = 0; r < bills_.size(); ++r) {
+    ledger_.inter_region_bytes[r] = bills_[r].inter_region;
+    ledger_.internet_bytes[r] = bills_[r].internet;
+  }
+  return ledger_;
 }
 
 Dollars SimTransport::topic_cost(TopicId topic) const {
-  const auto it = topic_cost_.find(topic);
-  return it == topic_cost_.end() ? 0.0 : it->second;
+  // Region-id order: a deterministic merge of the per-region partial sums
+  // (each of which accumulated in its region's own send order).
+  Dollars total = 0.0;
+  for (const RegionBill& bill : bills_) {
+    const auto it = bill.topic_cost.find(topic);
+    if (it != bill.topic_cost.end()) total += it->second;
+  }
+  return total;
 }
 
 Dollars SimTransport::topic_cost_total() const {
   Dollars total = 0.0;
-  for (const auto& [topic, dollars] : topic_cost_) total += dollars;
+  for (const RegionBill& bill : bills_) {
+    for (const auto& [topic, dollars] : bill.topic_cost) total += dollars;
+  }
   return total;
 }
 
@@ -111,55 +240,64 @@ bool SimTransport::region_down(RegionId region) const {
 }
 
 void SimTransport::deliver(const DeliveryEvent& event) {
+  const std::size_t shard = sim_->current_shard();
   // Drop-on-arrival: the destination region died while this message was in
   // flight. The bytes were billed at departure (they left the sender), but
   // a dead datacenter processes nothing.
   if (event.to.kind == Address::Kind::kRegion &&
       region_down(event.to.as_region())) {
-    ++dropped_;
-    ++dropped_dead_arrival_;
+    dropped_.add(shard);
+    dropped_dead_arrival_.add(shard);
     return;
   }
   const Handler* handler = find_handler(event.to);
   if (handler == nullptr) {
-    ++dropped_;
-    ++dropped_unregistered_;
+    dropped_.add(shard);
+    dropped_unregistered_.add(shard);
     return;
   }
-  ++delivered_;
+  delivered_.add(shard);
   // Mark the slot as executing so register_handler can reject replacing it
   // mid-call (the deque keeps the reference stable against table growth).
-  const Handler* previous = active_handler_;
-  active_handler_ = handler;
+  ShardLane& self = lane(shard);
+  const Handler* previous = self.active_handler;
+  self.active_handler = handler;
   (*handler)(event.msg);
-  active_handler_ = previous;
+  self.active_handler = previous;
 }
 
 void SimTransport::send(Address from, Address to, wire::Message msg) {
+  const std::size_t shard = sim_->current_shard();
   // Outage handling: a dead region neither sends nor receives. A dead
   // sender emits nothing (and bills nothing); a message towards a dead
   // destination is lost in transit.
   if (from.kind == Address::Kind::kRegion && region_down(from.as_region())) {
-    ++dropped_;
-    ++dropped_sender_down_;
+    dropped_.add(shard);
+    dropped_sender_down_.add(shard);
     return;
   }
   if (to.kind == Address::Kind::kRegion && region_down(to.as_region())) {
-    ++sent_;
-    ++dropped_;
+    sent_.add(shard);
+    dropped_.add(shard);
     return;
   }
 
   // Injected faults: a partitioned or coin-flipped-away message is lost in
   // transit (sent, dropped, not billed — like a send towards a dead
-  // region); delay rules stretch the latency below.
+  // region); delay rules stretch the latency below. The sender's OWNER
+  // shard keys the stream lane: every send on a link draws from one stream
+  // in per-link send order, whether it runs inside a window (where the
+  // executing shard IS the owner shard) or from the quiescent control
+  // plane — the link's position never forks across lanes.
+  ShardLane& sender_lane = lane(sim_->owner_shard(from));
   FaultPlan::Outcome fault;
   if (fault_plan_ != nullptr) {
-    fault = fault_plan_->apply(from, to, sim_->now());
+    fault = fault_plan_->apply(from, to, sim_->now(),
+                               coin_stream(sender_lane, from, to));
     if (fault.dropped) {
-      ++sent_;
-      ++dropped_;
-      ++dropped_faulted_;
+      sent_.add(shard);
+      dropped_.add(shard);
+      dropped_faulted_.add(shard);
       return;
     }
   }
@@ -169,41 +307,42 @@ void SimTransport::send(Address from, Address to, wire::Message msg) {
   if (from.kind == Address::Kind::kRegion) {
     const Bytes billable = msg.billable_bytes();
     const geo::Region& region = catalog_->at(from.as_region());
+    RegionBill& bill = bills_[from.as_region().index()];
     if (to.kind == Address::Kind::kRegion) {
-      ledger_.inter_region_bytes[from.as_region().index()] += billable;
-      topic_cost_[msg.topic] +=
+      bill.inter_region += billable;
+      bill.topic_cost[msg.topic] +=
           static_cast<double>(billable) * region.alpha_per_byte();
     } else {
-      ledger_.internet_bytes[from.as_region().index()] += billable;
-      topic_cost_[msg.topic] +=
+      bill.internet += billable;
+      bill.topic_cost[msg.topic] +=
           static_cast<double>(billable) * region.beta_per_byte();
     }
   }
 
   Millis delay = latency(from, to);
   if (jitter_.has_value()) {
-    delay = delay * jitter_->rng.uniform(1.0, 1.0 + jitter_->spec.relative) +
-            std::abs(jitter_->rng.normal(0.0, jitter_->spec.absolute_ms));
+    delay = jittered(sender_lane, from, to, delay);
   }
   delay = delay * fault.delay_factor + fault.delay_extra_ms;
-  ++sent_;
+  sent_.add(shard);
   if (fast_path_) {
     sim_->schedule_delivery_after(delay, *this, from, to, msg);
     return;
   }
   sim_->schedule_after(delay, [this, to, msg = std::move(msg)]() {
+    const std::size_t arrival_shard = sim_->current_shard();
     if (to.kind == Address::Kind::kRegion && region_down(to.as_region())) {
-      ++dropped_;
-      ++dropped_dead_arrival_;
+      dropped_.add(arrival_shard);
+      dropped_dead_arrival_.add(arrival_shard);
       return;
     }
     const auto it = handlers_.find(to);
     if (it == handlers_.end()) {
-      ++dropped_;
-      ++dropped_unregistered_;
+      dropped_.add(arrival_shard);
+      dropped_unregistered_.add(arrival_shard);
       return;
     }
-    ++delivered_;
+    delivered_.add(arrival_shard);
     it->second(msg);
   });
 }
@@ -226,12 +365,16 @@ void SimTransport::send_batch(Address from, std::span<const Address> targets,
     return;
   }
 
+  const std::size_t shard = sim_->current_shard();
+  // Stream lane by the sender's owner shard, as in send(): one stream per
+  // link, regardless of where the call executes.
+  ShardLane& sender_lane = lane(sim_->owner_shard(from));
   const bool from_region = from.kind == Address::Kind::kRegion;
   if (from_region && region_down(from.as_region())) {
     // Exactly what the per-target send() loop records: one drop each,
     // nothing sent, nothing billed.
-    dropped_ += targets.size();
-    dropped_sender_down_ += targets.size();
+    dropped_.add(shard, targets.size());
+    dropped_sender_down_.add(shard, targets.size());
     return;
   }
 
@@ -242,52 +385,52 @@ void SimTransport::send_batch(Address from, std::span<const Address> targets,
   // += order below matches the per-target send() loop bit for bit.
   const double billable = static_cast<double>(stamped.billable_bytes());
   const Bytes billable_bytes = stamped.billable_bytes();
-  std::size_t from_index = 0;
+  RegionBill* bill = nullptr;
   double alpha = 0.0, beta = 0.0;
   Dollars* topic_dollars = nullptr;
   if (from_region) {
     const geo::Region& region = catalog_->at(from.as_region());
-    from_index = from.as_region().index();
+    bill = &bills_[from.as_region().index()];
     alpha = region.alpha_per_byte();
     beta = region.beta_per_byte();
-    topic_dollars = &topic_cost_[stamped.topic];
+    topic_dollars = &bill->topic_cost[stamped.topic];
   }
 
   for (const Address to : targets) {
     if (to.kind == Address::Kind::kRegion && region_down(to.as_region())) {
-      ++sent_;
-      ++dropped_;
+      sent_.add(shard);
+      dropped_.add(shard);
       continue;
     }
     // Same consult position as send(): after the dead-region checks, before
-    // billing, one apply() per target — so fault-RNG and jitter draws line
+    // billing, one apply() per target — so fault-coin and jitter draws line
     // up exactly with the per-target reference loop.
     FaultPlan::Outcome fault;
     if (fault_plan_ != nullptr) {
-      fault = fault_plan_->apply(from, to, sim_->now());
+      fault = fault_plan_->apply(from, to, sim_->now(),
+                                 coin_stream(sender_lane, from, to));
       if (fault.dropped) {
-        ++sent_;
-        ++dropped_;
-        ++dropped_faulted_;
+        sent_.add(shard);
+        dropped_.add(shard);
+        dropped_faulted_.add(shard);
         continue;
       }
     }
     if (from_region) {
       if (to.kind == Address::Kind::kRegion) {
-        ledger_.inter_region_bytes[from_index] += billable_bytes;
+        bill->inter_region += billable_bytes;
         *topic_dollars += billable * alpha;
       } else {
-        ledger_.internet_bytes[from_index] += billable_bytes;
+        bill->internet += billable_bytes;
         *topic_dollars += billable * beta;
       }
     }
     Millis delay = latency(from, to);
     if (jitter_.has_value()) {
-      delay = delay * jitter_->rng.uniform(1.0, 1.0 + jitter_->spec.relative) +
-              std::abs(jitter_->rng.normal(0.0, jitter_->spec.absolute_ms));
+      delay = jittered(sender_lane, from, to, delay);
     }
     delay = delay * fault.delay_factor + fault.delay_extra_ms;
-    ++sent_;
+    sent_.add(shard);
     // Per-target stamp; region targets keep the original subscriber so a
     // mixed batch cannot leak one client's stamp into a broker-bound copy.
     stamped.subscriber = to.kind == Address::Kind::kClient ? to.as_client()

@@ -21,11 +21,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "geo/latency.h"
@@ -98,8 +100,11 @@ class SimTransport : public DeliverySink {
   /// on every send — after the dead-region checks, before billing — so a
   /// partitioned or randomly dropped message counts as sent and dropped but
   /// bills nothing (the accounting of a send towards a dead region).
-  /// Delay rules stretch the hop's latency after jitter is applied.
-  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  /// Delay rules stretch the hop's latency after jitter is applied. Drop
+  /// coins are drawn from transport-owned per-link streams rooted at the
+  /// plan's seed (see enable_jitter for why per-link), so installing a plan
+  /// resets any streams of a previously installed one.
+  void set_fault_plan(FaultPlan* plan);
   [[nodiscard]] FaultPlan* fault_plan() const { return fault_plan_; }
 
   /// Selects the scheduling implementation. On (default): typed delivery
@@ -116,50 +121,71 @@ class SimTransport : public DeliverySink {
   /// Enables per-message latency jitter: each delivery takes
   /// base * U(1, 1 + relative) + |N(0, absolute_ms)| instead of exactly the
   /// matrix value. Default off (deterministic), which is what the analytic
-  /// equivalence tests rely on. Jitter draws come from a transport-owned
-  /// seeded stream, so runs stay reproducible.
+  /// equivalence tests rely on. Every LINK (directed from->to pair) draws
+  /// from its own stream, derived from `seed` and the link identity alone —
+  /// so a link's jitter sequence depends only on how many messages IT
+  /// carried, never on how sends interleave globally. That makes jittered
+  /// runs reproducible AND bit-identical across shard counts.
   struct JitterSpec {
     double relative = 0.0;     ///< multiplicative spread, e.g. 0.1 = +0..10 %
     double absolute_ms = 0.0;  ///< additive half-normal spread
   };
   void enable_jitter(const JitterSpec& spec, std::uint64_t seed);
-  void disable_jitter() { jitter_.reset(); }
+  void disable_jitter();
 
-  [[nodiscard]] const CostLedger& ledger() const { return ledger_; }
-  [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
-  [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
+  /// Sizes the per-shard state (counter lanes, stream tables, handler
+  /// guards) for a K-shard simulator. Resets all counters and streams, so
+  /// it must be called before traffic — right next to the simulator's
+  /// configure_shards(). K = 1 restores single-threaded layout.
+  void set_shards(std::uint32_t shards);
+
+  /// Smallest finite latency of any link whose endpoints `map` places on
+  /// different shards (region<->region and client<->region, both
+  /// directions) — the conservative lookahead for configure_shards().
+  /// kUnreachable when no cross-shard link exists.
+  [[nodiscard]] Millis min_cross_shard_latency(const ShardMap& map) const;
+
+  /// Materialized per-region egress ledger (rebuilt from the shard-safe
+  /// per-region bills on every call; main thread only, between runs).
+  [[nodiscard]] const CostLedger& ledger() const;
+  [[nodiscard]] std::uint64_t sent_count() const { return sent_.total(); }
+  [[nodiscard]] std::uint64_t dropped_count() const {
+    return dropped_.total();
+  }
 
   /// Handler invocations (messages that actually arrived somewhere). With a
   /// drained queue the transport's books must balance:
   ///   sent == delivered + (dropped - dropped_sender_down)
   /// — every message that left a sender was either handed to a handler or
   /// lost in flight. The chaos harness checks this after every interval.
-  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+  [[nodiscard]] std::uint64_t delivered_count() const {
+    return delivered_.total();
+  }
 
   /// Subset of dropped_count(): deliveries that reached an address nobody
   /// registered a handler for. These are the silent drops (a down region at
   /// least shows up in region metrics); surfaced as transport.dropped_unregistered
   /// in sim::collect_metrics.
   [[nodiscard]] std::uint64_t dropped_unregistered_count() const {
-    return dropped_unregistered_;
+    return dropped_unregistered_.total();
   }
 
   /// Subset of dropped_count(): sends suppressed because the SENDING region
   /// was down — these never left the region (nothing was sent or billed).
   [[nodiscard]] std::uint64_t dropped_sender_down_count() const {
-    return dropped_sender_down_;
+    return dropped_sender_down_.total();
   }
 
   /// Subset of dropped_count(): messages that were in flight towards a
   /// region when it died and were discarded on arrival.
   [[nodiscard]] std::uint64_t dropped_dead_arrival_count() const {
-    return dropped_dead_arrival_;
+    return dropped_dead_arrival_.total();
   }
 
   /// Subset of dropped_count(): messages lost to the installed FaultPlan
   /// (partitions and probabilistic drop).
   [[nodiscard]] std::uint64_t dropped_faulted_count() const {
-    return dropped_faulted_;
+    return dropped_faulted_.total();
   }
 
   /// Dollars billed so far attributable to one topic's traffic (publication
@@ -176,14 +202,47 @@ class SimTransport : public DeliverySink {
   /// Dense handler slot for `address`, or nullptr when never registered.
   [[nodiscard]] const Handler* find_handler(Address address) const;
 
+  struct Jitter {
+    JitterSpec spec;
+    std::uint64_t seed = 0;
+  };
+
+  /// Per-shard mutable hot state, touched only by the thread dispatching
+  /// that shard's window (sends execute on the SENDER's shard, so a link's
+  /// streams always live in its sender's lane). Heap-allocated one per
+  /// lane: no false sharing between workers.
+  struct ShardLane {
+    const Handler* active_handler = nullptr;  // set while deliver() runs
+    /// Per-link RNG streams, keyed by the packed (from, to) link id and
+    /// created on first use from derive_stream_seed(base, link) — the same
+    /// stream regardless of which lane or creation order, so draws are a
+    /// per-link sequence independent of global interleaving.
+    std::unordered_map<std::uint64_t, Rng> jitter_streams;
+    std::unordered_map<std::uint64_t, Rng> coin_streams;
+  };
+  [[nodiscard]] ShardLane& lane(std::size_t index) { return *lanes_[index]; }
+  /// The link's jitter draw applied to `delay` (pre: jitter enabled).
+  [[nodiscard]] Millis jittered(ShardLane& lane, Address from, Address to,
+                                Millis delay);
+  /// The link's fault-coin stream (pre: a plan is installed).
+  [[nodiscard]] Rng& coin_stream(ShardLane& lane, Address from, Address to);
+  void reset_streams(bool jitter, bool coins);
+
+  /// Egress billed to one sending region. Written only from that region's
+  /// shard (single writer per window); merged on demand by ledger() /
+  /// topic_cost(). The byte counts merge order-free (integers); the
+  /// per-topic dollars accumulate in the region's own send order, which is
+  /// shard-count-invariant.
+  struct alignas(64) RegionBill {
+    Bytes inter_region = 0;
+    Bytes internet = 0;
+    std::unordered_map<TopicId, Dollars> topic_cost;
+  };
+
   Simulator* sim_;
   const geo::RegionCatalog* catalog_;
   const geo::InterRegionLatency* backbone_;
   const geo::ClientLatencyMap* clients_;
-  struct Jitter {
-    JitterSpec spec;
-    Rng rng;
-  };
 
   // The map is what the legacy (seed) path looks handlers up in; the dense
   // tables serve the fast path. register_handler keeps both in sync. Deques
@@ -192,23 +251,25 @@ class SimTransport : public DeliverySink {
   // grows the table — deque growth leaves existing elements in place, so the
   // executing std::function is never moved mid-call. Replacing the handler
   // currently executing is the one remaining hazard; register_handler
-  // asserts against it (tracked via active_handler_).
+  // asserts against it (tracked via the lane's active_handler). During
+  // parallel windows the tables are read-only (registration is a setup /
+  // single-threaded-dispatch affair; register_handler asserts this).
   std::unordered_map<Address, Handler, AddressHash> handlers_;
   std::deque<Handler> client_handlers_;
   std::deque<Handler> region_handlers_;
-  const Handler* active_handler_ = nullptr;  // set while deliver() dispatches
+  std::vector<std::unique_ptr<ShardLane>> lanes_;  // one per shard
   std::vector<bool> region_down_;  // indexed by RegionId
   std::optional<Jitter> jitter_;
   FaultPlan* fault_plan_ = nullptr;  // borrowed, may be null
-  CostLedger ledger_;
-  std::unordered_map<TopicId, Dollars> topic_cost_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t dropped_unregistered_ = 0;
-  std::uint64_t dropped_sender_down_ = 0;
-  std::uint64_t dropped_dead_arrival_ = 0;
-  std::uint64_t dropped_faulted_ = 0;
+  std::vector<RegionBill> bills_;   // indexed by sending RegionId
+  mutable CostLedger ledger_;       // materialized view of bills_
+  ShardedCounter sent_;
+  ShardedCounter delivered_;
+  ShardedCounter dropped_;
+  ShardedCounter dropped_unregistered_;
+  ShardedCounter dropped_sender_down_;
+  ShardedCounter dropped_dead_arrival_;
+  ShardedCounter dropped_faulted_;
   bool fast_path_ = true;
 };
 

@@ -39,6 +39,10 @@ struct ChaosOptions {
   int convergence_rounds = 2;
   bool incremental = true;      ///< control-plane pipeline under test
   bool fast_path = true;        ///< data-plane scheduling path under test
+  /// Data-plane shard (worker-thread) count under test. Observables — and
+  /// therefore the whole report — must be identical for every value; >1
+  /// requires fast_path.
+  std::uint32_t shards = 1;
   /// Negative-path demo: disables the controller's outage exclusion so it
   /// keeps routing topics through dead regions. The dead-region-exclusion
   /// oracle must catch this with a minimal schedule.

@@ -40,6 +40,55 @@ broker::RegionManager& LiveSystem::region_manager(RegionId region) {
   return *managers_[region.index()];
 }
 
+void LiveSystem::set_shards(std::uint32_t shards) {
+  MP_EXPECTS(shards >= 1);
+  shards_ = shards;
+  if (shards == 1) {
+    if (sim_.sharded()) sim_.configure_shards(net::ShardMap{}, 0.0);
+    transport_->set_shards(1);
+    base_lookahead_ = kUnreachable;
+    return;
+  }
+  // The parallel plane runs on the typed-event engine; the legacy reference
+  // path stays single-threaded.
+  MP_EXPECTS(transport_->fast_path());
+  net::ShardMap map;
+  map.shards = shards;
+  map.region_shard.resize(scenario_->catalog.size());
+  for (std::size_t r = 0; r < map.region_shard.size(); ++r) {
+    map.region_shard[r] = static_cast<std::uint32_t>(r % shards);
+  }
+  // Clients are co-sharded with their home region: the dominant client
+  // traffic (attach, publish-in, deliver-out) stays intra-shard, and the
+  // home link — typically the shortest a client has — never constrains the
+  // window width.
+  map.client_shard.resize(scenario_->population.size());
+  for (std::size_t c = 0; c < map.client_shard.size(); ++c) {
+    map.client_shard[c] = map.region_shard[scenario_->population
+                                               .home_region[c]
+                                               .index()];
+  }
+  base_lookahead_ = transport_->min_cross_shard_latency(map);
+  MP_EXPECTS(base_lookahead_ > 0.0 && base_lookahead_ < kUnreachable);
+  transport_->set_shards(shards);
+  sim_.configure_shards(std::move(map), base_lookahead_);
+}
+
+void LiveSystem::drain() {
+  if (shards_ > 1) {
+    // The window width is the min cross-shard latency, shrunk by whatever
+    // the current fault rules could shrink a latency by. Jitter only
+    // stretches delays (factor >= 1, half-normal addend >= 0), so it needs
+    // no adjustment.
+    double scale = 1.0;
+    if (const net::FaultPlan* plan = transport_->fault_plan()) {
+      scale = plan->lookahead_scale();
+    }
+    sim_.set_lookahead(base_lookahead_ * scale);
+  }
+  sim_.run();
+}
+
 void LiveSystem::deploy(const core::TopicConfig& config) {
   const TopicId topic = scenario_->topic.topic;
   for (auto& manager : managers_) {
@@ -51,7 +100,7 @@ void LiveSystem::deploy(const core::TopicConfig& config) {
   for (auto& subscriber : subscribers_) {
     subscriber->subscribe(topic, config);
   }
-  sim_.run();  // let the kSubscribe handshakes land
+  drain();  // let the kSubscribe handshakes land
 }
 
 void LiveSystem::schedule_traffic(Millis start_offset_ms, double seconds,
@@ -66,8 +115,11 @@ void LiveSystem::schedule_traffic(Millis start_offset_ms, double seconds,
   const Millis horizon = 1000.0 * seconds;
   for (std::size_t i = 0; i < publishers_.size(); ++i) {
     client::Publisher* publisher = publishers_[i].get();
+    // Owner-hinted: the publish action must run on the shard that owns the
+    // publisher's client (a no-op hint on a single-threaded simulator).
+    const net::Address owner = net::Address::client(publisher->id());
     auto publish_at = [&](Millis t) {
-      sim_.schedule_at(start + t, [publisher, topic, payload_bytes] {
+      sim_.schedule_at(start + t, owner, [publisher, topic, payload_bytes] {
         publisher->publish(topic, payload_bytes);
       });
     };
@@ -101,7 +153,7 @@ LiveRunResult LiveSystem::run_interval(double seconds, Bytes payload_bytes,
                                        double rate_hz, Rng& rng) {
   for (auto& subscriber : subscribers_) subscriber->clear_deliveries();
   schedule_traffic(0.0, seconds, payload_bytes, rate_hz, rng);
-  sim_.run();  // drain: every publication reaches every subscriber
+  drain();  // drain: every publication reaches every subscriber
 
   LiveRunResult result;
   for (const auto& subscriber : subscribers_) {
@@ -168,7 +220,7 @@ std::vector<broker::Controller::Decision> LiveSystem::reconfigure_now(
 std::vector<broker::Controller::Decision> LiveSystem::control_round(
     const core::OptimizerOptions& options) {
   auto decisions = reconfigure_now(options);
-  sim_.run();  // deliver kConfigUpdate / resubscription traffic
+  drain();  // deliver kConfigUpdate / resubscription traffic
   return decisions;
 }
 

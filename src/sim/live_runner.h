@@ -77,6 +77,17 @@ class LiveSystem {
     return transport_->fast_path();
   }
 
+  /// Splits the data plane over `shards` worker threads (DESIGN.md §11):
+  /// regions round-robin over shards, clients follow their home region, and
+  /// the simulator synchronizes on conservative windows as wide as the
+  /// minimum cross-shard link latency (rescaled under an installed
+  /// FaultPlan's delay rules before every drain). Observables stay
+  /// bit-identical to the single-threaded fast path for every shard count.
+  /// Requires the fast path; call before deploy()/traffic, like
+  /// set_data_plane_fast_path. `shards == 1` is the single-threaded plane.
+  void set_shards(std::uint32_t shards);
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+
   /// Same as control_round but does NOT drain the simulator: the
   /// kConfigUpdate traffic is merely scheduled. This is the form a
   /// ControlLoop calls from inside a simulator event, where draining would
@@ -117,6 +128,10 @@ class LiveSystem {
   [[nodiscard]] const Scenario& scenario() const { return *scenario_; }
 
  private:
+  /// Drains the simulator, refreshing the sharded window width first (an
+  /// active FaultPlan may have gained or lost delay rules since last time).
+  void drain();
+
   const Scenario* scenario_;
   net::Simulator sim_;
   std::unique_ptr<net::SimTransport> transport_;
@@ -128,6 +143,8 @@ class LiveSystem {
   std::vector<std::uint64_t> last_interval_counts_;  // per publisher index
   Bytes last_payload_bytes_ = 0;
   bool incremental_ = true;
+  std::uint32_t shards_ = 1;
+  Millis base_lookahead_ = kUnreachable;  // min cross-shard latency, unscaled
 };
 
 }  // namespace multipub::sim

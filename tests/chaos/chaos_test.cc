@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -120,8 +121,11 @@ TEST(InvariantOracles, ConstraintConformance) {
 
 /// End-to-end campaigns over the failure-test workload: clients split
 /// across two continents, a bound tight enough that outages force real
-/// reconfigurations.
-class ChaosCampaignTest : public ::testing::Test {
+/// reconfigurations. Parameterized over the data-plane shard count — every
+/// campaign, including the negative-path ones with their shrunk repro
+/// schedules, must behave identically whether the plane runs single-threaded
+/// or sharded across workers.
+class ChaosCampaignTest : public ::testing::TestWithParam<std::uint32_t> {
  protected:
   ChaosCampaignTest() : rng_(101) {
     WorkloadSpec workload;
@@ -132,6 +136,7 @@ class ChaosCampaignTest : public ::testing::Test {
                               workload, rng_);
     options_.rounds = 10;
     options_.interval_seconds = 5.0;
+    options_.shards = GetParam();
   }
 
   /// Outage + partition + drop + delay, faults clear by round 6 so the
@@ -149,14 +154,14 @@ class ChaosCampaignTest : public ::testing::Test {
   ChaosOptions options_;
 };
 
-TEST_F(ChaosCampaignTest, HealthySystemSurvivesMixedFaults) {
+TEST_P(ChaosCampaignTest, HealthySystemSurvivesMixedFaults) {
   ChaosRunner runner(scenario_, options_);
   const ChaosReport report = runner.run_schedule(mixed_schedule(), 42);
   EXPECT_TRUE(report.passed()) << report.render();
   EXPECT_GT(report.deliveries, 0u);
 }
 
-TEST_F(ChaosCampaignTest, SameSeedProducesBitIdenticalReports) {
+TEST_P(ChaosCampaignTest, SameSeedProducesBitIdenticalReports) {
   ChaosRunner runner(scenario_, options_);
   const ChaosReport a = runner.run(4242);
   const ChaosReport b = runner.run(4242);
@@ -167,7 +172,7 @@ TEST_F(ChaosCampaignTest, SameSeedProducesBitIdenticalReports) {
   EXPECT_NE(a.render(), c.render());  // the seed actually matters
 }
 
-TEST_F(ChaosCampaignTest, GeneratedSchedulesAreValidAndRoundTrip) {
+TEST_P(ChaosCampaignTest, GeneratedSchedulesAreValidAndRoundTrip) {
   Rng rng(9);
   const FaultSchedule schedule = generate_schedule(scenario_, options_, rng);
   EXPECT_EQ(schedule.size(),
@@ -185,7 +190,7 @@ TEST_F(ChaosCampaignTest, GeneratedSchedulesAreValidAndRoundTrip) {
   EXPECT_EQ(schedule, *reparsed);
 }
 
-TEST_F(ChaosCampaignTest, BrokenOutageExclusionIsCaughtAndShrunk) {
+TEST_P(ChaosCampaignTest, BrokenOutageExclusionIsCaughtAndShrunk) {
   options_.break_outage_exclusion = true;
   ChaosRunner runner(scenario_, options_);
   const ChaosReport report = runner.run_schedule(mixed_schedule(), 42);
@@ -211,7 +216,7 @@ TEST_F(ChaosCampaignTest, BrokenOutageExclusionIsCaughtAndShrunk) {
   EXPECT_EQ(confirmed.violations.front().oracle, "dead-region-exclusion");
 }
 
-TEST_F(ChaosCampaignTest, FrozenControlPlaneFailsConvergence) {
+TEST_P(ChaosCampaignTest, FrozenControlPlaneFailsConvergence) {
   options_.freeze_control_plane = true;
   ChaosRunner runner(scenario_, options_);
   const ChaosReport report = runner.run_schedule({}, 42);
@@ -222,7 +227,7 @@ TEST_F(ChaosCampaignTest, FrozenControlPlaneFailsConvergence) {
   EXPECT_TRUE(report.minimal_schedule.empty());
 }
 
-TEST_F(ChaosCampaignTest, ReportRenderIsDeterministicAndComplete) {
+TEST_P(ChaosCampaignTest, ReportRenderIsDeterministicAndComplete) {
   options_.break_outage_exclusion = true;
   ChaosRunner runner(scenario_, options_);
   const ChaosReport report = runner.run_schedule(mixed_schedule(), 42);
@@ -233,12 +238,14 @@ TEST_F(ChaosCampaignTest, ReportRenderIsDeterministicAndComplete) {
   EXPECT_NE(text.find("fault outage ap-northeast-1"), std::string::npos);
 }
 
-TEST_F(ChaosCampaignTest, BoundedSoakAcrossSeedsAndPaths) {
+TEST_P(ChaosCampaignTest, BoundedSoakAcrossSeedsAndPaths) {
   // A small randomized campaign per (seed, data-plane path): generated
   // schedules, all oracles armed. Kept bounded — this is the tier-1 smoke;
-  // the CI soak target runs longer campaigns.
+  // the CI soak target runs longer campaigns. The seed scheduling path only
+  // exists single-threaded, so the sharded campaigns pin fast_path on.
   options_.rounds = 8;
   for (const bool fast_path : {true, false}) {
+    if (!fast_path && options_.shards > 1) continue;
     options_.fast_path = fast_path;
     ChaosRunner runner(scenario_, options_);
     for (const std::uint64_t seed : {11u, 12u, 13u}) {
@@ -247,6 +254,45 @@ TEST_F(ChaosCampaignTest, BoundedSoakAcrossSeedsAndPaths) {
           << "fast_path=" << fast_path << "\n" << report.render();
     }
   }
+}
+
+INSTANTIATE_TEST_SUITE_P(DataPlaneShards, ChaosCampaignTest,
+                         ::testing::Values(1u, 4u),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& i) {
+                           return "Shards" + std::to_string(i.param);
+                         });
+
+TEST(ChaosShardEquivalence, ReportRenderIsByteIdenticalAcrossShardCounts) {
+  // The strongest cross-K statement the harness can make: the FULL rendered
+  // report — per-round observations, counters, costs, violations, schedule —
+  // is byte-identical whether the plane ran on one shard or four. A report
+  // that mentioned its shard count would rightly fail here.
+  Rng rng(101);
+  WorkloadSpec workload;
+  workload.interval_seconds = 5.0;
+  workload.ratio = 95.0;
+  workload.max_t = 150.0;
+  const Scenario scenario =
+      make_scenario({{RegionId{0}, 2, 4}, {RegionId{5}, 2, 4}}, workload, rng);
+
+  ChaosOptions options;
+  options.rounds = 10;
+  options.interval_seconds = 5.0;
+  const FaultSchedule schedule = testutil::chaos_schedule(
+      "fault outage ap-northeast-1 2 2\n"
+      "fault partition us-east-1 ap-northeast-1 1 1\n"
+      "fault delay region:* region:* 4 1 2.0 20\n"
+      "fault drop ap-northeast-1 * 5 1 0.25\n");
+
+  options.shards = 1;
+  const ChaosReport one = ChaosRunner(scenario, options).run_schedule(
+      schedule, 42);
+  options.shards = 4;
+  const ChaosReport four = ChaosRunner(scenario, options).run_schedule(
+      schedule, 42);
+  ASSERT_TRUE(one.passed()) << one.render();
+  EXPECT_EQ(one.render(), four.render());
+  EXPECT_EQ(one.deliveries, four.deliveries);
 }
 
 }  // namespace

@@ -9,7 +9,16 @@
 // Parameterized over the control-plane pipeline (incremental vs full-scan,
 // applied to BOTH systems) so each scheduling path is proven under each
 // reconfiguration path.
+// A second sweep proves the sharded parallel plane (DESIGN.md §11): the
+// same script over shard counts {1, 2, 4, 8}, every observable compared
+// against the single-threaded fast path — the shard count must never be
+// observable.
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "sim/live_runner.h"
 #include "sim/metrics_snapshot.h"
@@ -161,6 +170,121 @@ INSTANTIATE_TEST_SUITE_P(ControlPlane, DataPlaneDiff, ::testing::Bool(),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "Incremental" : "FullScan";
                          });
+
+TEST_P(DataPlaneDiff, ShardedPlaneIsBitIdenticalForEveryShardCount) {
+  const bool incremental = GetParam();
+  Rng rng(2026);
+  WorkloadSpec workload;
+  workload.interval_seconds = 10.0;
+  workload.ratio = 95.0;
+  workload.max_t = 150.0;
+  const Scenario scenario =
+      make_scenario({{RegionId{0}, 2, 4}, {RegionId{5}, 2, 4}}, workload, rng);
+
+  // The reference never calls set_shards at all; the candidates sweep the
+  // shard counts, including the trivial K = 1 (same plane, exercised
+  // through the configuration path).
+  const std::vector<std::uint32_t> shard_counts{1, 2, 4, 8};
+  auto reference = std::make_unique<LiveSystem>(scenario);
+  std::vector<std::unique_ptr<LiveSystem>> candidates;
+  std::vector<LiveSystem*> systems{reference.get()};
+  for (std::uint32_t shards : shard_counts) {
+    candidates.push_back(std::make_unique<LiveSystem>(scenario));
+    candidates.back()->set_shards(shards);
+    ASSERT_EQ(candidates.back()->shards(), shards);
+    systems.push_back(candidates.back().get());
+  }
+
+  const net::SimTransport::JitterSpec jitter{0.05, 1.5};
+  for (LiveSystem* sys : systems) {
+    sys->set_incremental(incremental);
+    sys->transport().enable_jitter(jitter, 99);
+  }
+
+  const core::TopicConfig bootstrap{geo::RegionSet::universe(10),
+                                    core::DeliveryMode::kRouted};
+  for (LiveSystem* sys : systems) sys->deploy(bootstrap);
+
+  // Identical traffic: one generator per system, all seeded alike; the
+  // per-round rates come from a shared side stream.
+  std::vector<Rng> traffic;
+  for (std::size_t i = 0; i < systems.size(); ++i) traffic.emplace_back(555);
+  Rng rng_rounds(556);
+
+  const TopicId topic = scenario.topic.topic;
+  RegionId failed{-1};
+  for (int round = 0; round < 12; ++round) {
+    const double rate_hz = rng_rounds.uniform(0.5, 3.0);
+    std::vector<LiveRunResult> runs;
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+      runs.push_back(systems[i]->run_interval(10.0, 1024, rate_hz,
+                                              traffic[i]));
+    }
+    for (std::size_t i = 1; i < systems.size(); ++i) {
+      ASSERT_EQ(runs[i].delivery_times, runs[0].delivery_times)
+          << "round " << round << " shards " << shard_counts[i - 1];
+      ASSERT_EQ(runs[i].interval_cost, runs[0].interval_cost)
+          << "round " << round << " shards " << shard_counts[i - 1];
+    }
+
+    if (round == 3) {
+      for (LiveSystem* sys : systems) {
+        sys->subscribers().back()->unsubscribe(topic);
+        sys->simulator().run();
+      }
+    }
+    if (round == 9) {
+      const auto* config = reference->controller().deployed_config(topic);
+      ASSERT_NE(config, nullptr);
+      for (LiveSystem* sys : systems) {
+        sys->subscribers().back()->subscribe(topic, *config);
+        sys->simulator().run();
+      }
+    }
+    if (round == 4) {
+      const auto* config = reference->controller().deployed_config(topic);
+      ASSERT_NE(config, nullptr);
+      failed = config->regions.first();
+      for (LiveSystem* sys : systems) {
+        sys->transport().set_region_down(failed, true);
+        sys->controller().set_region_available(failed, false);
+      }
+    }
+    if (round == 7) {
+      for (LiveSystem* sys : systems) {
+        sys->transport().set_region_down(failed, false);
+        sys->controller().set_region_available(failed, true);
+      }
+    }
+
+    for (LiveSystem* sys : systems) (void)sys->control_round();
+    const std::string matrix =
+        reference->controller().render_assignment_matrix();
+    const std::string snapshot = collect_metrics(*reference).render();
+    for (std::size_t i = 1; i < systems.size(); ++i) {
+      LiveSystem& sys = *systems[i];
+      ASSERT_EQ(sys.controller().render_assignment_matrix(), matrix)
+          << "round " << round << " shards " << shard_counts[i - 1];
+      ASSERT_EQ(sys.transport().ledger().inter_region_bytes,
+                reference->transport().ledger().inter_region_bytes)
+          << "round " << round << " shards " << shard_counts[i - 1];
+      ASSERT_EQ(sys.transport().ledger().internet_bytes,
+                reference->transport().ledger().internet_bytes)
+          << "round " << round << " shards " << shard_counts[i - 1];
+      ASSERT_EQ(sys.transport().sent_count(),
+                reference->transport().sent_count())
+          << "round " << round << " shards " << shard_counts[i - 1];
+      ASSERT_EQ(sys.transport().topic_cost(topic),
+                reference->transport().topic_cost(topic))
+          << "round " << round << " shards " << shard_counts[i - 1];
+      // The full rendered snapshot covers broker counters, client books and
+      // the controller state in one sweep.
+      ASSERT_EQ(collect_metrics(sys).render(), snapshot)
+          << "round " << round << " shards " << shard_counts[i - 1];
+    }
+  }
+  ASSERT_NE(failed.value(), -1);
+}
 
 }  // namespace
 }  // namespace multipub::sim

@@ -98,5 +98,32 @@ TEST(Flags, NegativeNumbersAsValues) {
   EXPECT_EQ(flags.get_int("offset", 0), -5);
 }
 
+TEST(Flags, AllowOnlyAcceptsTheDeclaredVocabulary) {
+  Argv a({"--shards=4", "--fast-path", "on", "--live"});
+  Flags flags(a.argc(), a.argv());
+  flags.allow_only({"shards", "threads", "fast-path", "live"});
+  EXPECT_TRUE(flags.errors().empty());
+}
+
+TEST(Flags, AllowOnlyRejectsUnknownFlags) {
+  // The historical bug: --shard (typo for --shards) parsed fine and the
+  // tool silently ran single-threaded. It must be an error now.
+  Argv a({"--shard=4", "--live"});
+  Flags flags(a.argc(), a.argv());
+  flags.allow_only({"shards", "live"});
+  ASSERT_EQ(flags.errors().size(), 1u);
+  EXPECT_NE(flags.errors()[0].find("--shard"), std::string::npos);
+}
+
+TEST(Flags, AllowOnlyReportsEveryUnknownFlagInNameOrder) {
+  Argv a({"--zeta=1", "--alpha=2", "--known=3"});
+  Flags flags(a.argc(), a.argv());
+  flags.allow_only({"known"});
+  ASSERT_EQ(flags.errors().size(), 2u);
+  // Deterministic order (sorted by flag name), independent of argv order.
+  EXPECT_NE(flags.errors()[0].find("--alpha"), std::string::npos);
+  EXPECT_NE(flags.errors()[1].find("--zeta"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace multipub::tools

@@ -2,15 +2,19 @@
 //
 // Supports --name=value and --name value forms plus boolean --name. No
 // external dependency; errors collect into a list the tool prints with its
-// usage text.
+// usage text. Tools declare their complete vocabulary with allow_only() so
+// an unrecognized flag is an error rather than silently ignored — a typo
+// like --shard=4 must not run the single-threaded default as if nothing
+// happened.
 #pragma once
 
 #include <array>
 #include <cstdlib>
+#include <initializer_list>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace multipub::tools {
@@ -36,6 +40,20 @@ class Flags {
         values_[std::string(arg)] = argv[++i];
       } else {
         values_[std::string(arg)] = "true";
+      }
+    }
+  }
+
+  /// Declares the tool's complete flag vocabulary: every parsed flag
+  /// outside `known` becomes an error (in flag-name order, so the output is
+  /// deterministic). Call once, right after construction and before the
+  /// errors() check.
+  void allow_only(std::initializer_list<std::string_view> known) {
+    for (const auto& [name, value] : values_) {
+      bool found = false;
+      for (const std::string_view k : known) found = found || k == name;
+      if (!found) {
+        errors_.push_back("unknown flag --" + name + " (see --help)");
       }
     }
   }
@@ -108,7 +126,8 @@ class Flags {
   }
 
  private:
-  std::unordered_map<std::string, std::string> values_;
+  // Ordered so allow_only() reports unknown flags deterministically.
+  std::map<std::string, std::string> values_;
   std::vector<std::string> errors_;
 };
 

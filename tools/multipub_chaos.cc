@@ -56,6 +56,9 @@ Workload:
 Paths under test:
   --incremental on|off     control-plane pipeline (default on)
   --fast-path on|off       data-plane scheduling path (default on)
+  --shards K               data-plane worker threads (default 1; K > 1
+                           requires --fast-path on; the report must be
+                           byte-identical for every K)
 
 Negative-path demos (the harness must catch them; exit code flips):
   --break-outage-exclusion controller keeps routing through dead regions
@@ -73,6 +76,13 @@ int main(int argc, char** argv) {
     usage();
     return 0;
   }
+  // A mistyped flag (--shard, --fastpath, ...) must fail loudly, not run a
+  // different campaign than the one asked for.
+  flags.allow_only({
+      "help", "seed", "rounds", "faults", "interval", "rate", "k",
+      "no-shrink", "schedule", "print-schedule", "scenario", "incremental",
+      "fast-path", "shards", "break-outage-exclusion", "freeze-control-plane",
+  });
 
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_int("seed", 7));
@@ -96,6 +106,19 @@ int main(int argc, char** argv) {
   }
   options.incremental = incremental == "on";
   options.fast_path = fast_path == "on";
+  const long shards = flags.get_int("shards", 1);
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 2;
+  }
+  if (shards > 1 && !options.fast_path) {
+    std::fprintf(stderr,
+                 "--shards %ld requires --fast-path on: the seed scheduling "
+                 "path only exists single-threaded\n",
+                 shards);
+    return 2;
+  }
+  options.shards = static_cast<std::uint32_t>(shards);
   if (options.rounds < 1) {
     std::fprintf(stderr, "--rounds must be >= 1\n");
     return 2;

@@ -75,6 +75,13 @@ Validation:
                            and print measured vs. analytic numbers
   --incremental on|off     with --live: incremental (dirty-topic) control
                            plane vs. the full-scan reference (default on)
+  --fast-path on|off       with --live: typed-event data-plane scheduling
+                           vs. the seed's std::function-per-hop reference
+                           (default on)
+  --shards K               with --live: run the data plane on K worker
+                           threads (conservative time windows, DESIGN.md
+                           §11; default 1; K > 1 requires --fast-path on)
+  --threads K              alias for --shards
   --explain K              print the K best configurations with their
                            percentile/cost (what-if table)
   --metrics                with --live: dump the metrics snapshot
@@ -95,6 +102,15 @@ int main(int argc, char** argv) {
     usage();
     return 0;
   }
+  // Anything outside this vocabulary is an error: a mistyped toggle (e.g.
+  // --shard=4 or --fastpath off) must not silently fall back to defaults.
+  flags.allow_only({
+      "help", "scenario", "pubs-per-region", "subs-per-region", "placement",
+      "rate", "size", "interval", "ratio", "max-t", "sweep", "mode",
+      "heuristic", "exact-list", "synthetic-regions", "modern-aws", "seed",
+      "latencies", "dump-latencies", "live", "incremental", "fast-path",
+      "shards", "threads", "explain", "metrics",
+  });
 
   const long seed = flags.get_int("seed", 2017);
   Rng rng(static_cast<std::uint64_t>(seed));
@@ -162,17 +178,19 @@ int main(int argc, char** argv) {
          static_cast<std::size_t>(
              std::strtol(spec.substr(c2 + 1).c_str(), nullptr, 10))});
   }
-  if (placements.empty() && !flags.has("scenario")) {
-    std::fprintf(stderr,
-                 "no workload: pass --scenario, --pubs-per-region/"
-                 "--subs-per-region or --placement (see --help)\n");
-    return 1;
-  }
-
+  // Flag errors (unknown flags, malformed numbers) first: a typo must not
+  // be masked by the missing-workload hint below.
   if (!flags.errors().empty()) {
     for (const auto& error : flags.errors()) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
     }
+    return 1;
+  }
+
+  if (placements.empty() && !flags.has("scenario")) {
+    std::fprintf(stderr,
+                 "no workload: pass --scenario, --pubs-per-region/"
+                 "--subs-per-region or --placement (see --help)\n");
     return 1;
   }
 
@@ -297,6 +315,39 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--incremental must be 'on' or 'off'\n");
     return 2;
   }
+  const std::string fast_path = flags.get("fast-path", "on");
+  if (fast_path != "on" && fast_path != "off") {
+    std::fprintf(stderr, "--fast-path must be 'on' or 'off'\n");
+    return 2;
+  }
+  // --threads is an alias for --shards; when both appear they must agree —
+  // picking one silently would make the other a no-op.
+  const long shards_flag = flags.get_int("shards", 0);
+  const long threads_flag = flags.get_int("threads", 0);
+  if (shards_flag > 0 && threads_flag > 0 && shards_flag != threads_flag) {
+    std::fprintf(stderr, "--shards %ld and --threads %ld disagree\n",
+                 shards_flag, threads_flag);
+    return 2;
+  }
+  const long shards = shards_flag > 0 ? shards_flag : threads_flag;
+  if (shards < 0 || (flags.has("shards") && shards_flag < 1) ||
+      (flags.has("threads") && threads_flag < 1)) {
+    std::fprintf(stderr, "--shards/--threads must be >= 1\n");
+    return 2;
+  }
+  if (shards > 1 && fast_path == "off") {
+    std::fprintf(stderr,
+                 "--shards %ld requires --fast-path on: the seed scheduling "
+                 "path only exists single-threaded\n",
+                 shards);
+    return 2;
+  }
+  if ((shards > 1 || flags.has("fast-path")) && !flags.get_bool("live", false)) {
+    std::fprintf(stderr,
+                 "--shards/--threads/--fast-path only apply to the live "
+                 "middleware: add --live\n");
+    return 2;
+  }
 
   const char* world_label = synthetic_regions > 0 ? "synthetic"
                             : flags.get_bool("modern-aws", false)
@@ -386,6 +437,8 @@ int main(int argc, char** argv) {
   if (flags.get_bool("live", false)) {
     sim::LiveSystem live(scenario);
     live.set_incremental(incremental == "on");
+    live.set_data_plane_fast_path(fast_path == "on");
+    if (shards > 0) live.set_shards(static_cast<std::uint32_t>(shards));
     live.deploy(chosen);
     const auto run = live.run_interval(workload.interval_seconds,
                                        workload.message_bytes,
@@ -399,6 +452,8 @@ int main(int argc, char** argv) {
         "%zu carried\n",
         incremental == "on" ? "incremental" : "full-scan", round.tracked,
         round.dirty, round.evaluated, round.skipped_clean);
+    std::printf("  data plane: %s scheduling, %u shard(s)\n",
+                fast_path == "on" ? "fast-path" : "legacy", live.shards());
     std::printf("  measured  : p=%.1fms  $%.2f/day  (%llu deliveries)\n",
                 run.percentile, run.cost_per_day,
                 static_cast<unsigned long long>(run.deliveries));
