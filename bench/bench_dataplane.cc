@@ -22,23 +22,39 @@
 //     rows always record hardware_concurrency, so a small CI box still
 //     publishes honest numbers without tripping a gate it cannot meet).
 //
-// Usage: bench_dataplane [total_publications] [both|fast|legacy|shards=K]
-// (default 1000000 both; single-configuration mode is for profiling and
-// skips the comparison gates)
+// With --cohorts on the subscriber side runs on the cohort-compressed
+// plane (DESIGN.md §12): clients fold into weighted cohorts keyed by (home,
+// topic set, latency row) and each broker fans out one weighted event per
+// flock. Cohorts require the typed-event fast path, so the legacy engine
+// drops out of the comparison and the reference becomes the single-threaded
+// fast path; the K-invariance gate (identical counters for every shard
+// count) still applies bit-for-bit.
+//
+// Usage: bench_dataplane [--pubs N] [--mode both|fast|legacy|shards=K]
+//                        [--clients N] [--cohorts on|off]
+// (default: 1M publications, 10k clients, per-client plane, mode both;
+// single-configuration --mode values are for profiling and skip the
+// comparison gates)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "bench_json.h"
 #include "broker/broker.h"
+#include "client/client_registry.h"
+#include "client/cohort_pool.h"
+#include "client/topic_set_pool.h"
+#include "common/arena.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "core/config.h"
+#include "flags.h"
 #include "geo/king_synth.h"
 #include "geo/synthetic.h"
 #include "net/simulator.h"
@@ -50,7 +66,7 @@ using namespace multipub;
 namespace {
 
 constexpr std::size_t kRegions = 8;
-constexpr std::size_t kClientsPerRegion = 1250;  // 10k clients total
+constexpr std::size_t kDefaultClients = 10000;
 constexpr std::size_t kTopics = 500;
 constexpr std::size_t kSubsPerTopic = 50;
 constexpr Bytes kPayload = 1024;
@@ -82,13 +98,16 @@ struct EngineConfig {
 };
 
 /// Builds the identical world + workload and drives `total_pubs`
-/// publications through the chosen engine configuration.
-RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs) {
+/// publications through the chosen engine configuration over `n_clients`
+/// clients, on the per-client or the cohort-compressed subscriber plane.
+RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs,
+                     std::size_t n_clients, bool cohorts) {
   const bool fast = engine.shards > 0;
   Rng world_rng(kWorldSeed);
   const auto world = geo::synthesize_world(kRegions, {}, world_rng);
   const auto population = geo::synthesize_population(
-      world.catalog, world.backbone, kClientsPerRegion, {}, world_rng);
+      world.catalog, world.backbone,
+      std::max<std::size_t>(1, n_clients / kRegions), {}, world_rng);
 
   net::Simulator sim;
   net::SimTransport transport(sim, world.catalog, world.backbone,
@@ -96,11 +115,68 @@ RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs) {
   // Must happen before anything is scheduled: switching engines requires an
   // empty queue.
   transport.set_fast_path(fast);
+
+  // Membership first (the RNG draw order is the bench's contract: the
+  // per-client plane replays the exact historical stream): topic t is
+  // served by {t, t+3, t+5} mod 8 (distinct for 8 regions) in routed mode;
+  // subscribers round-robin across the serving regions; one publisher
+  // targeting the first serving region.
+  Rng members_rng(kMembersSeed);
+  auto random_client = [&] {
+    return ClientId{static_cast<ClientId::underlying_type>(
+        members_rng.uniform_int(0,
+                                static_cast<std::int64_t>(population.size()) -
+                                    1))};
+  };
+  std::vector<std::vector<ClientId>> topic_subs(kTopics);
+  std::vector<ClientId> topic_publisher(kTopics);
+  for (std::size_t t = 0; t < kTopics; ++t) {
+    topic_subs[t].reserve(kSubsPerTopic);
+    for (std::size_t s = 0; s < kSubsPerTopic; ++s) {
+      topic_subs[t].push_back(random_client());
+    }
+    topic_publisher[t] = random_client();
+  }
+
+  // Cohort plane: fold every client into the registry before any sharding —
+  // the flock universe must be closed when shard ownership is assigned.
+  std::unique_ptr<Arena> arena;
+  std::unique_ptr<client::TopicSetPool> topic_sets;
+  std::unique_ptr<client::ClientRegistry> registry;
+  std::unique_ptr<client::CohortPool> pool;
+  if (cohorts) {
+    std::vector<std::vector<TopicId>> client_topics(population.size());
+    for (std::size_t t = 0; t < kTopics; ++t) {
+      for (const ClientId sub : topic_subs[t]) {
+        client_topics[static_cast<std::size_t>(sub.value())].push_back(
+            TopicId{static_cast<TopicId::underlying_type>(t)});
+      }
+    }
+    arena = std::make_unique<Arena>();
+    topic_sets = std::make_unique<client::TopicSetPool>(*arena);
+    registry = std::make_unique<client::ClientRegistry>(
+        population.size(), kRegions, /*row_bucket_ms=*/0.0, *arena);
+    pool = std::make_unique<client::CohortPool>(*registry, *topic_sets, sim,
+                                                transport);
+    for (std::size_t c = 0; c < population.size(); ++c) {
+      auto& topics = client_topics[c];
+      std::sort(topics.begin(), topics.end(),
+                [](TopicId a, TopicId b) { return a.value() < b.value(); });
+      topics.erase(std::unique(topics.begin(), topics.end()), topics.end());
+      const ClientId id{static_cast<ClientId::underlying_type>(c)};
+      registry->add(population.home_region[c], population.latencies.row(id),
+                    topics.empty() ? client::TopicSetPool::kEmpty
+                                   : topic_sets->intern(topics));
+      pool->enroll(id);
+    }
+    transport.set_cohort_directory(pool.get());
+  }
+
   if (engine.shards > 1) {
     // The LiveSystem partitioning recipe: regions round-robin over shards,
     // clients follow their home region so the client<->home-broker chatter
     // stays intra-shard; the conservative window is the minimum cross-shard
-    // link latency.
+    // link latency. Flocks run on their home region's shard.
     net::ShardMap map;
     map.shards = engine.shards;
     for (std::size_t r = 0; r < kRegions; ++r) {
@@ -111,6 +187,15 @@ RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs) {
       map.client_shard.push_back(
           map.region_shard[static_cast<std::size_t>(
               population.home_region[c].value())]);
+    }
+    if (pool != nullptr) {
+      pool->freeze();
+      map.cohort_shard.resize(pool->flock_count());
+      for (std::size_t f = 0; f < map.cohort_shard.size(); ++f) {
+        map.cohort_shard[f] =
+            map.region_shard[static_cast<std::size_t>(
+                pool->flock_home(static_cast<std::int32_t>(f)).value())];
+      }
     }
     const Millis lookahead = transport.min_cross_shard_latency(map);
     transport.set_shards(engine.shards);
@@ -126,30 +211,22 @@ RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs) {
   // Raw counting handlers for every client — the bench measures the data
   // plane, not the client::Subscriber bookkeeping. Shard-local lanes: each
   // delivery executes on the shard owning its client, so the lanes are
-  // single-writer and the merged total is K-invariant.
+  // single-writer and the merged total is K-invariant. The cohort plane
+  // needs neither handlers nor per-client endpoints: the pool accumulates
+  // weighted deliveries itself.
   auto deliveries = std::make_shared<ShardedCounter>(
       std::max<std::uint32_t>(1, engine.shards));
-  for (std::size_t c = 0; c < population.size(); ++c) {
-    transport.register_handler(
-        net::Address::client(ClientId{static_cast<ClientId::underlying_type>(
-            c)}),
-        [deliveries, &sim](const wire::Message&) {
-          deliveries->add(sim.current_shard());
-        });
+  if (!cohorts) {
+    for (std::size_t c = 0; c < population.size(); ++c) {
+      transport.register_handler(
+          net::Address::client(ClientId{
+              static_cast<ClientId::underlying_type>(c)}),
+          [deliveries, &sim](const wire::Message&) {
+            deliveries->add(sim.current_shard());
+          });
+    }
   }
 
-  // Topology: topic t is served by {t, t+3, t+5} mod 8 (distinct for 8
-  // regions) in routed mode; subscribers round-robin across the serving
-  // regions; one publisher targeting the first serving region.
-  Rng members_rng(kMembersSeed);
-  auto random_client = [&] {
-    return ClientId{static_cast<ClientId::underlying_type>(
-        members_rng.uniform_int(0,
-                                static_cast<std::int64_t>(population.size()) -
-                                    1))};
-  };
-
-  std::vector<ClientId> topic_publisher(kTopics);
   std::vector<RegionId> topic_entry(kTopics);  // region the publisher hits
   for (std::size_t t = 0; t < kTopics; ++t) {
     geo::RegionSet serving;
@@ -164,17 +241,22 @@ RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs) {
     for (auto& b : brokers) b->set_topic_config(topic, config);
 
     const auto serving_vec = serving.to_vector();
-    for (std::size_t s = 0; s < kSubsPerTopic; ++s) {
-      const ClientId sub = random_client();
-      const RegionId at = serving_vec[s % serving_vec.size()];
-      wire::Message msg;
-      msg.type = wire::MessageType::kSubscribe;
-      msg.topic = topic;
-      msg.subscriber = sub;
-      transport.send(net::Address::client(sub), net::Address::region(at),
-                     msg);
+    if (cohorts) {
+      // One weighted kSubscribe per flock, attached at the flock's closest
+      // serving region.
+      pool->deploy(topic, config);
+    } else {
+      for (std::size_t s = 0; s < kSubsPerTopic; ++s) {
+        const ClientId sub = topic_subs[t][s];
+        const RegionId at = serving_vec[s % serving_vec.size()];
+        wire::Message msg;
+        msg.type = wire::MessageType::kSubscribe;
+        msg.topic = topic;
+        msg.subscriber = sub;
+        transport.send(net::Address::client(sub), net::Address::region(at),
+                       msg);
+      }
     }
-    topic_publisher[t] = random_client();
     topic_entry[t] = serving_vec.front();
   }
   sim.run();  // settle the subscription handshakes outside the measurement
@@ -244,7 +326,8 @@ RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs) {
     result.delivered += b->delivered_count();
     result.forwarded += b->forwarded_count();
   }
-  result.client_deliveries = deliveries->total();
+  result.client_deliveries =
+      cohorts ? pool->total_delivery_weight() : deliveries->total();
   result.inter_region_bytes = transport.ledger().inter_region_bytes;
   result.internet_bytes = transport.ledger().internet_bytes;
   return result;
@@ -262,40 +345,59 @@ bool counters_identical(const RunResult& a, const RunResult& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::uint64_t total_pubs = 1000000;
-  if (argc > 1) {
-    total_pubs = std::strtoull(argv[1], nullptr, 10);
-    if (total_pubs == 0) {
-      std::fprintf(stderr,
-                   "usage: %s [total_publications] [both|fast|legacy|"
-                   "shards=K]\n",
-                   argv[0]);
-      return 2;
-    }
+  tools::Flags flags(argc, argv);
+  if (flags.has("help")) {
+    std::printf(
+        "bench_dataplane — data-plane engine comparison\n"
+        "  --pubs N              total publications (default 1000000)\n"
+        "  --mode both|fast|legacy|shards=K  engine selection (default\n"
+        "                        both; a single engine skips the gates)\n"
+        "  --clients N           total clients (default 10000)\n"
+        "  --cohorts on|off      cohort-compressed subscriber plane\n"
+        "                        (default off; drops the legacy engine)\n");
+    return 0;
   }
+  flags.allow_only({"help", "pubs", "mode", "clients", "cohorts"});
+  const long pubs_flag = flags.get_int("pubs", 1000000);
+  const long clients_flag =
+      flags.get_int("clients", static_cast<long>(kDefaultClients));
+  const bool cohorts = flags.get_bool("cohorts", false);
+  const std::string mode = flags.get("mode", "both");
+  if (!flags.errors().empty() || pubs_flag <= 0 || clients_flag <= 0) {
+    for (const auto& error : flags.errors()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+    }
+    std::fprintf(stderr, "see --help\n");
+    return 2;
+  }
+  const auto total_pubs = static_cast<std::uint64_t>(pubs_flag);
+  const auto n_clients = static_cast<std::size_t>(clients_flag);
   const std::uint64_t actual_pubs =
       std::max<std::uint64_t>(1, total_pubs / kTopics) * kTopics;
-  const std::string_view mode = argc > 2 ? argv[2] : "both";
   if (mode != "both") {
     // Profiling mode: one configuration, no comparison.
     EngineConfig engine{"fast", 1};
+    const std::string_view mode_view = mode;
     if (mode == "legacy") {
       engine = {"legacy", 0};
-    } else if (mode.substr(0, 7) == "shards=") {
+    } else if (mode_view.substr(0, 7) == "shards=") {
       engine.label = "sharded";
       engine.shards = static_cast<std::uint32_t>(
-          std::strtoul(mode.substr(7).data(), nullptr, 10));
+          std::strtoul(mode.c_str() + 7, nullptr, 10));
       if (engine.shards < 2) {
         std::fprintf(stderr, "shards=K needs K >= 2\n");
         return 2;
       }
     } else if (mode != "fast") {
-      std::fprintf(stderr, "unknown mode '%s'\n", std::string(mode).c_str());
+      std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
       return 2;
     }
-    const RunResult r = run_engine(engine, total_pubs);
-    std::printf("%s: %llu events in %.3f s = %.0f events/sec\n",
-                std::string(mode).c_str(),
+    if (cohorts && engine.shards == 0) {
+      std::fprintf(stderr, "cohorts require the fast path, not legacy\n");
+      return 2;
+    }
+    const RunResult r = run_engine(engine, total_pubs, n_clients, cohorts);
+    std::printf("%s: %llu events in %.3f s = %.0f events/sec\n", mode.c_str(),
                 static_cast<unsigned long long>(r.events), r.seconds,
                 r.events_per_sec());
     return 0;
@@ -303,51 +405,59 @@ int main(int argc, char** argv) {
 
   const unsigned hw_threads = std::thread::hardware_concurrency();
   std::printf("dataplane bench: %llu publications, %zu clients, %zu regions, "
-              "%zu routed topics, %u hardware threads\n",
-              static_cast<unsigned long long>(actual_pubs),
-              kRegions * kClientsPerRegion, kRegions, kTopics, hw_threads);
+              "%zu routed topics, %u hardware threads, %s plane\n",
+              static_cast<unsigned long long>(actual_pubs), n_clients,
+              kRegions, kTopics, hw_threads,
+              cohorts ? "cohort" : "per-client");
 
-  const EngineConfig engines[] = {
-      {"legacy", 0},  {"fast", 1},    {"sharded", 2},
-      {"sharded", 4}, {"sharded", 8},
-  };
+  // The cohort plane has no legacy twin, so its reference engine is the
+  // single-threaded fast path; the per-client comparison keeps the seed
+  // engine as reference.
+  std::vector<EngineConfig> engines;
+  if (!cohorts) engines.push_back({"legacy", 0});
+  engines.push_back({"fast", 1});
+  engines.push_back({"sharded", 2});
+  engines.push_back({"sharded", 4});
+  engines.push_back({"sharded", 8});
   std::vector<RunResult> results;
   for (const EngineConfig& engine : engines) {
-    results.push_back(run_engine(engine, total_pubs));
+    results.push_back(run_engine(engine, total_pubs, n_clients, cohorts));
   }
-  const RunResult& legacy = results[0];
-  const RunResult& fast = results[1];
+  const RunResult& reference = results[0];
+  const RunResult& fast = results[cohorts ? 0 : 1];
 
   bench::BenchReport report("dataplane");
   std::printf("%-8s %8s %14s %10s %16s %12s\n", "engine", "threads", "events",
-              "seconds", "events_per_sec", "vs_legacy");
+              "seconds", "events_per_sec", "vs_ref");
   bool all_identical = true;
-  for (std::size_t i = 0; i < std::size(engines); ++i) {
+  for (std::size_t i = 0; i < engines.size(); ++i) {
     const EngineConfig& engine = engines[i];
     const RunResult& r = results[i];
-    // Observable identity is pairwise against the legacy reference; with
-    // the fast path proven identical too, this chains to every pair.
-    const bool identical = counters_identical(r, legacy);
+    // Observable identity is pairwise against the reference; with every
+    // configuration proven identical to it, this chains to every pair.
+    const bool identical = counters_identical(r, reference);
     all_identical = all_identical && identical;
-    const double vs_legacy = legacy.events_per_sec() > 0.0
-                                 ? r.events_per_sec() / legacy.events_per_sec()
-                                 : 0.0;
+    const double vs_ref =
+        reference.events_per_sec() > 0.0
+            ? r.events_per_sec() / reference.events_per_sec()
+            : 0.0;
     const std::uint32_t threads = std::max<std::uint32_t>(1, engine.shards);
     std::printf("%-8s %8u %14llu %10.3f %16.0f %11.2fx%s\n", engine.label,
                 threads, static_cast<unsigned long long>(r.events), r.seconds,
-                r.events_per_sec(), vs_legacy,
+                r.events_per_sec(), vs_ref,
                 identical ? "" : "  COUNTERS DIVERGED");
     report.row()
         .str("engine", engine.label)
         .uinteger("threads", threads)
         .uinteger("publications", actual_pubs)
-        .uinteger("clients", kRegions * kClientsPerRegion)
+        .uinteger("clients", n_clients)
+        .boolean("cohorts", cohorts)
         .uinteger("regions", kRegions)
         .uinteger("topics", kTopics)
         .uinteger("events", r.events)
         .num("seconds", r.seconds)
         .num("events_per_sec", r.events_per_sec())
-        .num("speedup_vs_legacy", vs_legacy)
+        .num("speedup_vs_reference", vs_ref)
         .num("speedup_vs_fast",
              fast.events_per_sec() > 0.0
                  ? r.events_per_sec() / fast.events_per_sec()
@@ -355,13 +465,19 @@ int main(int argc, char** argv) {
         .boolean("identical", identical)
         .uinteger("hardware_concurrency", hw_threads);
   }
-  const double fast_speedup = fast.events_per_sec() / legacy.events_per_sec();
+  const double fast_speedup =
+      fast.events_per_sec() / reference.events_per_sec();
   const double shard8_speedup =
-      results[4].events_per_sec() / fast.events_per_sec();
-  std::printf("fast vs legacy %.2fx, 8-thread sharded vs fast %.2fx, "
-              "counters %s\n",
-              fast_speedup, shard8_speedup,
-              all_identical ? "identical" : "DIVERGED");
+      results.back().events_per_sec() / fast.events_per_sec();
+  if (cohorts) {
+    std::printf("8-thread sharded vs fast %.2fx, counters %s\n",
+                shard8_speedup, all_identical ? "identical" : "DIVERGED");
+  } else {
+    std::printf("fast vs legacy %.2fx, 8-thread sharded vs fast %.2fx, "
+                "counters %s\n",
+                fast_speedup, shard8_speedup,
+                all_identical ? "identical" : "DIVERGED");
+  }
 
   if (!report.write()) return 1;
 
@@ -373,7 +489,7 @@ int main(int argc, char** argv) {
   // uses a small count where fixed overheads dominate. The parallel gate
   // additionally needs the hardware to exist: conservative windows cannot
   // speed anything up on a box with fewer cores than shards.
-  if (actual_pubs >= 1000000 && fast_speedup < 3.0) {
+  if (!cohorts && actual_pubs >= 1000000 && fast_speedup < 3.0) {
     std::fprintf(stderr, "fast-path speedup below 3x (%.2fx)\n",
                  fast_speedup);
     return 1;

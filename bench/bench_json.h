@@ -22,6 +22,22 @@
 
 namespace multipub::bench {
 
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), 0 where the proc filesystem is unavailable. The
+/// high-water mark is process-wide and monotone, so a row records the peak
+/// up to its creation — a sweep's rows show where memory actually grew.
+inline unsigned long long peak_rss_bytes() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  unsigned long long kb = 0;
+  while (std::fgets(line, sizeof line, status) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu", &kb) == 1) break;
+  }
+  std::fclose(status);
+  return kb * 1024ULL;
+}
+
 /// One output row; fields render in insertion order.
 class JsonRow {
  public:
@@ -74,8 +90,11 @@ class BenchReport {
  public:
   explicit BenchReport(std::string name) : name_(std::move(name)) {}
 
+  /// Every row leads with peak_rss_bytes, captured at row creation, so all
+  /// benches publish their memory footprint without per-binary plumbing.
   JsonRow& row() {
     rows_.emplace_back();
+    rows_.back().uinteger("peak_rss_bytes", peak_rss_bytes());
     return rows_.back();
   }
 

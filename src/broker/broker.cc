@@ -46,12 +46,34 @@ const core::TopicConfig* Broker::topic_config(TopicId topic) const {
 void Broker::handle(const wire::Message& msg) {
   switch (msg.type) {
     case wire::MessageType::kSubscribe:
-      if (subs_.subscribe(msg.topic, msg.subscriber, msg.filter)) {
+      if (transport_->cohort_directory() != nullptr) {
+        // Cohort plane: msg.subscriber carries a flock id, and msg.seq says
+        // whether this attach changes the region's member set (the pool
+        // mirrors the per-client table transitions exactly; a re-attach to
+        // the same region arrives with seq 0, like the idempotent
+        // re-subscribe below).
+        (void)subs_.subscribe(msg.topic, msg.subscriber, msg.filter);
+        if (msg.seq != 0) membership_changed_.insert(msg.topic);
+      } else if (subs_.subscribe(msg.topic, msg.subscriber, msg.filter)) {
         membership_changed_.insert(msg.topic);
       }
       break;
     case wire::MessageType::kUnsubscribe:
-      if (subs_.unsubscribe(msg.topic, msg.subscriber)) {
+      if (const net::CohortDirectory* dir = transport_->cohort_directory();
+          dir != nullptr) {
+        // A flock entry outlives single-member departures: it goes away
+        // only when nobody is left behind it or the flock re-attached
+        // elsewhere — the exact moments the per-client table would have
+        // dropped its last member entry for this region.
+        const std::int32_t flock = msg.subscriber.value();
+        if (subs_.contains(msg.topic, msg.subscriber)) {
+          membership_changed_.insert(msg.topic);
+          if (dir->flock_weight(flock) == 0 ||
+              dir->flock_attachment(flock) != self_) {
+            (void)subs_.unsubscribe(msg.topic, msg.subscriber);
+          }
+        }
+      } else if (subs_.unsubscribe(msg.topic, msg.subscriber)) {
         membership_changed_.insert(msg.topic);
       }
       break;
@@ -123,7 +145,23 @@ void Broker::on_publish(const wire::Message& msg) {
 
 void Broker::deliver_locally(const wire::Message& msg) {
   deliver_scratch_.clear();
+  const net::CohortDirectory* dir = transport_->cohort_directory();
   for (const Subscription& sub : subs_.subscriptions(msg.topic)) {
+    if (dir != nullptr) {
+      // Cohort plane: the entry is a flock; its live weight is the member
+      // count the per-client loop would have iterated. A retired cohort
+      // (weight 0) contributes nothing to fan-out.
+      const std::int32_t flock = sub.subscriber.value();
+      const std::uint64_t weight = dir->flock_weight(flock);
+      if (weight == 0) continue;
+      if (!sub.filter.matches(msg.key)) {
+        filtered_ += weight;
+        continue;
+      }
+      deliver_scratch_.push_back(net::Address::cohort(flock));
+      delivered_ += weight;
+      continue;
+    }
     // Content-based matching: filtered subscriptions only receive
     // publications whose key falls inside their interval.
     if (!sub.filter.matches(msg.key)) {

@@ -110,13 +110,26 @@ ReportBatch RegionManager::collect_impl(bool force_full) {
   ReportBatch batch;
   batch.full_snapshot = full;
   batch.reports.reserve(topics.size());
+  const net::CohortDirectory* dir = transport_->cohort_directory();
   for (TopicId topic : topics) {
     TopicReport report;
     report.topic = topic;
     if (const auto it = current.find(topic); it != current.end()) {
       report.publishers = it->second;
     }
-    report.subscribers = broker_.subscriptions().subscriber_ids(topic);
+    if (dir != nullptr) {
+      // Cohort plane: expand flock entries back to member client ids — the
+      // controller's view stays per-client (it canonicalizes by sorting, so
+      // the expansion order is immaterial).
+      for (const Subscription& sub :
+           broker_.subscriptions().subscriptions(topic)) {
+        const auto members = dir->flock_members(sub.subscriber.value());
+        report.subscribers.insert(report.subscribers.end(), members.begin(),
+                                  members.end());
+      }
+    } else {
+      report.subscribers = broker_.subscriptions().subscriber_ids(topic);
+    }
     batch.reports.push_back(std::move(report));
   }
 
@@ -131,10 +144,14 @@ ReportBatch RegionManager::collect_impl(bool force_full) {
     for (const auto& pub : pubs) {
       inbound += static_cast<double>(pub.total_bytes);
     }
-    loads.push_back(
-        {topic,
-         inbound * static_cast<double>(
-                       1 + broker_.subscriptions().subscriptions(topic).size())});
+    // Local fan-out degree: per-client entries count 1 each; a flock entry
+    // counts its live member weight.
+    std::size_t fanout = 0;
+    for (const Subscription& sub :
+         broker_.subscriptions().subscriptions(topic)) {
+      fanout += dir != nullptr ? dir->flock_weight(sub.subscriber.value()) : 1;
+    }
+    loads.push_back({topic, inbound * static_cast<double>(1 + fanout)});
   }
   scaler_.rebalance(loads);
 
@@ -197,7 +214,19 @@ void RegionManager::apply_config(TopicId topic,
 
   const net::Address self = net::Address::region(region());
   // Notify local subscribers (by-reference view; no per-call vector)...
+  const net::CohortDirectory* dir = transport_->cohort_directory();
   for (const Subscription& sub : broker_.subscriptions().subscriptions(topic)) {
+    if (dir != nullptr) {
+      // One weighted update per flock — the per-client plane would have
+      // sent one copy per member.
+      const std::uint32_t weight = dir->flock_weight(sub.subscriber.value());
+      if (weight == 0) continue;
+      update.weight = weight;
+      transport_->send(self, net::Address::cohort(sub.subscriber.value()),
+                       update);
+      update.weight = 1;
+      continue;
+    }
     transport_->send(self, net::Address::client(sub.subscriber), update);
   }
   // ...and every publisher this region has ever served for the topic.
@@ -224,6 +253,21 @@ void RegionManager::notify_client(TopicId topic,
                            : wire::WireMode::kDirect;
   transport_->send(net::Address::region(region()),
                    net::Address::client(client), update);
+}
+
+void RegionManager::notify_flock(TopicId topic, const core::TopicConfig& config,
+                                 std::int32_t flock, std::uint32_t weight) {
+  if (weight == 0) return;
+  wire::Message update;
+  update.type = wire::MessageType::kConfigUpdate;
+  update.topic = topic;
+  update.config_regions = config.regions;
+  update.config_mode = config.mode == core::DeliveryMode::kRouted
+                           ? wire::WireMode::kRouted
+                           : wire::WireMode::kDirect;
+  update.weight = weight;
+  transport_->send(net::Address::region(region()), net::Address::cohort(flock),
+                   update);
 }
 
 }  // namespace multipub::broker

@@ -96,6 +96,12 @@ class RegionManager {
   void notify_client(TopicId topic, const core::TopicConfig& config,
                      ClientId client);
 
+  /// Cohort-plane twin of notify_client: one weighted kConfigUpdate for a
+  /// whole flock (its members are identical, so they are orphaned — and
+  /// re-homed — together). No-op at weight 0.
+  void notify_flock(TopicId topic, const core::TopicConfig& config,
+                    std::int32_t flock, std::uint32_t weight);
+
   /// Cap on remembered publishers per topic (an arbitrary entry is evicted
   /// at the cap). Bounds known_publishers_ memory under publisher churn.
   void set_known_publisher_cap(std::size_t cap);

@@ -1,0 +1,466 @@
+#include "client/cohort_pool.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/assert.h"
+
+namespace multipub::client {
+
+CohortPool::CohortPool(ClientRegistry& registry, TopicSetPool& topic_sets,
+                       net::Simulator& sim, net::SimTransport& transport)
+    : registry_(&registry),
+      topic_sets_(&topic_sets),
+      sim_(&sim),
+      transport_(&transport) {}
+
+CohortPool::~CohortPool() {
+  if (transport_->cohort_directory() == this) {
+    transport_->set_cohort_directory(nullptr);
+  }
+  for (std::size_t fid = 0; fid < flocks_.size(); ++fid) {
+    transport_->unregister_handler(
+        net::Address::cohort(static_cast<std::int32_t>(fid)));
+  }
+}
+
+std::int32_t CohortPool::enroll(ClientId client) {
+  MP_EXPECTS(registry_->cohort_of(client) < 0);
+  const std::int32_t set = registry_->topic_set(client);
+  if (set == TopicSetPool::kEmpty) return -1;
+  const std::int32_t slot =
+      cohort_slot(registry_->home(client), set, registry_->row_of(client));
+  Cohort& cohort = cohorts_[static_cast<std::size_t>(slot)];
+  cohort.members.push_back(client);
+  registry_->set_cohort(client, slot,
+                        static_cast<std::int32_t>(cohort.members.size()) - 1);
+  return slot;
+}
+
+std::size_t CohortPool::retired_cohort_count() const {
+  std::size_t retired = 0;
+  for (const Cohort& cohort : cohorts_) {
+    if (cohort.members.empty()) ++retired;
+  }
+  return retired;
+}
+
+RegionId CohortPool::cohort_home(std::int32_t cohort) const {
+  MP_EXPECTS(cohort >= 0 &&
+             static_cast<std::size_t>(cohort) < cohorts_.size());
+  return cohorts_[static_cast<std::size_t>(cohort)].home;
+}
+
+std::uint32_t CohortPool::cohort_weight(std::int32_t cohort) const {
+  MP_EXPECTS(cohort >= 0 &&
+             static_cast<std::size_t>(cohort) < cohorts_.size());
+  return static_cast<std::uint32_t>(
+      cohorts_[static_cast<std::size_t>(cohort)].members.size());
+}
+
+void CohortPool::deploy(TopicId topic, const core::TopicConfig& config,
+                        wire::KeyFilter filter) {
+  MP_EXPECTS(!config.regions.empty());
+  for (Cohort& cohort : cohorts_) {
+    if (cohort.members.empty()) continue;
+    for (const auto& [t, fid] : cohort.flocks) {
+      if (t != topic) continue;
+      flocks_[static_cast<std::size_t>(fid)].filter = filter;
+      attach(fid, registry_->closest_region(cohort.row, config.regions));
+    }
+  }
+}
+
+void CohortPool::subscribe_client(ClientId client, TopicId topic,
+                                  const core::TopicConfig& config,
+                                  wire::KeyFilter filter) {
+  MP_EXPECTS(!config.regions.empty());
+  MP_EXPECTS(registry_->alive(client));
+  const std::int32_t row = registry_->row_of(client);
+  const RegionId target = registry_->closest_region(row, config.regions);
+  const std::int32_t set = registry_->topic_set(client);
+  if (topic_sets_->contains(set, topic)) {
+    // Idempotent re-subscribe, mirroring Subscriber::subscribe when the
+    // closest region is the current attachment. A member can never compute
+    // a DIFFERENT closest region than its flock — everyone in the cohort
+    // shares the latency row — so a flock-splitting re-attach cannot arise.
+    const std::int32_t fid = flock_of(client, topic);
+    MP_EXPECTS(fid >= 0);
+    const Flock& flock = flocks_[static_cast<std::size_t>(fid)];
+    MP_EXPECTS(flock.attachment == target);
+    MP_EXPECTS(flock.filter == filter &&
+               "cohort flocks are uniformly filtered");
+    send_control(fid, target, wire::MessageType::kSubscribe, 1, 0);
+    return;
+  }
+  const std::int32_t new_set = topic_sets_->with(set, topic);
+  if (registry_->cohort_of(client) >= 0) leave_cohort(client);
+  const std::int32_t slot =
+      cohort_slot(registry_->home(client), new_set, row);
+  Cohort& cohort = cohorts_[static_cast<std::size_t>(slot)];
+  // Seed the subscribed flock's attachment before the member joins: an
+  // empty (new or revived) cohort attaches where this first member would; a
+  // populated one must already sit exactly there.
+  for (const auto& [t, fid] : cohort.flocks) {
+    if (t != topic) continue;
+    Flock& flock = flocks_[static_cast<std::size_t>(fid)];
+    if (cohort.members.empty() || !flock.attachment.valid()) {
+      flock.attachment = target;
+      flock.filter = filter;
+    } else {
+      MP_EXPECTS(flock.attachment == target);
+      MP_EXPECTS(flock.filter == filter &&
+                 "cohort flocks are uniformly filtered");
+    }
+  }
+  registry_->set_topic_set(client, new_set);
+  add_member(client, new_set);
+}
+
+void CohortPool::unsubscribe_client(ClientId client, TopicId topic) {
+  const std::int32_t set = registry_->topic_set(client);
+  if (!topic_sets_->contains(set, topic)) return;  // mirror: not attached
+  const std::int32_t old_cohort = registry_->cohort_of(client);
+  MP_EXPECTS(old_cohort >= 0);
+  // Retained topics move with the client; remember where their flocks sit
+  // so a brand-new smaller cohort starts attached in the same places.
+  std::vector<std::tuple<TopicId, RegionId, wire::KeyFilter>> retained;
+  for (const auto& [t, fid] :
+       cohorts_[static_cast<std::size_t>(old_cohort)].flocks) {
+    if (t != topic) {
+      const Flock& flock = flocks_[static_cast<std::size_t>(fid)];
+      retained.emplace_back(t, flock.attachment, flock.filter);
+    }
+  }
+  leave_cohort(client);
+  const std::int32_t new_set = topic_sets_->without(set, topic);
+  registry_->set_topic_set(client, new_set);
+  if (new_set == TopicSetPool::kEmpty) return;
+  const std::int32_t slot = cohort_slot(
+      registry_->home(client), new_set, registry_->row_of(client));
+  Cohort& cohort = cohorts_[static_cast<std::size_t>(slot)];
+  for (const auto& [t, fid] : cohort.flocks) {
+    Flock& flock = flocks_[static_cast<std::size_t>(fid)];
+    for (const auto& [rt, ra, rf] : retained) {
+      if (rt != t || !ra.valid()) continue;
+      if (cohort.members.empty() || !flock.attachment.valid()) {
+        flock.attachment = ra;
+        flock.filter = rf;
+      } else {
+        // Same row + same config history => same closest region.
+        MP_EXPECTS(flock.attachment == ra);
+      }
+    }
+  }
+  add_member(client, new_set);
+}
+
+void CohortPool::kill_client(ClientId client) {
+  if (registry_->cohort_of(client) >= 0) remove_member(client);
+  registry_->set_alive(client, false);
+}
+
+std::int32_t CohortPool::flock_of(ClientId client, TopicId topic) const {
+  const std::int32_t cohort = registry_->cohort_of(client);
+  if (cohort < 0) return -1;
+  for (const auto& [t, fid] :
+       cohorts_[static_cast<std::size_t>(cohort)].flocks) {
+    if (t == topic) return fid;
+  }
+  return -1;
+}
+
+RegionId CohortPool::attached_region(ClientId client, TopicId topic) const {
+  const std::int32_t fid = flock_of(client, topic);
+  return fid < 0 ? RegionId::invalid()
+                 : flocks_[static_cast<std::size_t>(fid)].attachment;
+}
+
+void CohortPool::clear_arrivals() {
+  for (Cohort& cohort : cohorts_) {
+    cohort.arrivals.clear();
+    cohort.interval_deliveries_w = 0;
+  }
+}
+
+void CohortPool::append_delivery_times(ClientId member,
+                                       std::vector<Millis>& out) const {
+  const std::int32_t cohort = registry_->cohort_of(member);
+  if (cohort < 0) return;
+  for (const Arrival& arrival :
+       cohorts_[static_cast<std::size_t>(cohort)].arrivals) {
+    bool covered;
+    if (arrival.member.valid()) {
+      covered = arrival.member == member;
+    } else if (arrival.fresh.empty()) {
+      covered = true;  // whole-flock arrival: every member got a copy
+    } else {
+      covered = std::find(arrival.fresh.begin(), arrival.fresh.end(),
+                          member) != arrival.fresh.end();
+    }
+    if (covered) out.push_back(arrival.value);
+  }
+}
+
+std::uint64_t CohortPool::reconnect_weight() const {
+  std::uint64_t total = 0;
+  for (const Cohort& cohort : cohorts_) total += cohort.reconnects_w;
+  return total;
+}
+
+std::uint64_t CohortPool::duplicate_weight() const {
+  std::uint64_t total = 0;
+  for (const Cohort& cohort : cohorts_) total += cohort.duplicates_w;
+  return total;
+}
+
+std::uint64_t CohortPool::interval_delivery_weight() const {
+  std::uint64_t total = 0;
+  for (const Cohort& cohort : cohorts_) total += cohort.interval_deliveries_w;
+  return total;
+}
+
+std::uint64_t CohortPool::total_delivery_weight() const {
+  std::uint64_t total = 0;
+  for (const Cohort& cohort : cohorts_) total += cohort.total_deliveries_w;
+  return total;
+}
+
+std::uint32_t CohortPool::flock_weight(std::int32_t flock) const {
+  return static_cast<std::uint32_t>(cohort_of_flock(flock).members.size());
+}
+
+std::span<const ClientId> CohortPool::flock_members(std::int32_t flock) const {
+  return cohort_of_flock(flock).members;
+}
+
+Millis CohortPool::flock_latency(std::int32_t flock, RegionId region) const {
+  return registry_->row_latency(cohort_of_flock(flock).row, region);
+}
+
+RegionId CohortPool::flock_home(std::int32_t flock) const {
+  return cohort_of_flock(flock).home;
+}
+
+RegionId CohortPool::flock_attachment(std::int32_t flock) const {
+  MP_EXPECTS(flock >= 0 && static_cast<std::size_t>(flock) < flocks_.size());
+  return flocks_[static_cast<std::size_t>(flock)].attachment;
+}
+
+CohortPool::Cohort& CohortPool::cohort_of_flock(std::int32_t flock) {
+  MP_EXPECTS(flock >= 0 && static_cast<std::size_t>(flock) < flocks_.size());
+  return cohorts_[static_cast<std::size_t>(
+      flocks_[static_cast<std::size_t>(flock)].cohort)];
+}
+
+const CohortPool::Cohort& CohortPool::cohort_of_flock(
+    std::int32_t flock) const {
+  MP_EXPECTS(flock >= 0 && static_cast<std::size_t>(flock) < flocks_.size());
+  return cohorts_[static_cast<std::size_t>(
+      flocks_[static_cast<std::size_t>(flock)].cohort)];
+}
+
+std::int32_t CohortPool::cohort_slot(RegionId home, std::int32_t topic_set,
+                                     std::int32_t row) {
+  const std::uint64_t key = cohort_key(home, topic_set, row);
+  if (const auto it = by_key_.find(key); it != by_key_.end()) {
+    return it->second;
+  }
+  MP_EXPECTS(!frozen_ &&
+             "the cohort universe is closed once the simulator is sharded");
+  const auto slot = static_cast<std::int32_t>(cohorts_.size());
+  Cohort cohort;
+  cohort.home = home;
+  cohort.topic_set = topic_set;
+  cohort.row = row;
+  for (const TopicId topic : topic_sets_->view(topic_set)) {
+    const auto fid = static_cast<std::int32_t>(flocks_.size());
+    Flock flock;
+    flock.cohort = slot;
+    flock.topic = topic;
+    flocks_.push_back(flock);
+    cohort.flocks.emplace_back(topic, fid);
+    transport_->register_handler(
+        net::Address::cohort(fid),
+        [this, fid](const wire::Message& msg) { handle(fid, msg); });
+  }
+  cohorts_.push_back(std::move(cohort));
+  by_key_.emplace(key, slot);
+  return slot;
+}
+
+void CohortPool::remove_member(ClientId client) {
+  const std::int32_t slot = registry_->cohort_of(client);
+  const std::int32_t index = registry_->index_in_cohort(client);
+  MP_EXPECTS(slot >= 0 && index >= 0);
+  auto& members = cohorts_[static_cast<std::size_t>(slot)].members;
+  MP_EXPECTS(static_cast<std::size_t>(index) < members.size() &&
+             members[static_cast<std::size_t>(index)] == client);
+  const ClientId last = members.back();
+  members[static_cast<std::size_t>(index)] = last;
+  members.pop_back();
+  if (last != client) registry_->set_cohort(last, slot, index);
+  registry_->set_cohort(client, -1, -1);
+}
+
+void CohortPool::leave_cohort(ClientId client) {
+  const std::int32_t slot = registry_->cohort_of(client);
+  MP_EXPECTS(slot >= 0);
+  remove_member(client);
+  Cohort& cohort = cohorts_[static_cast<std::size_t>(slot)];
+  for (const auto& [t, fid] : cohort.flocks) {
+    Flock& flock = flocks_[static_cast<std::size_t>(fid)];
+    if (!flock.attachment.valid()) continue;
+    send_control(fid, flock.attachment, wire::MessageType::kUnsubscribe, 1,
+                 0);
+    // Last member out: the broker drops the flock's entry on arrival.
+    if (cohort.members.empty()) flock.presence.remove(flock.attachment);
+  }
+}
+
+void CohortPool::add_member(ClientId client, std::int32_t topic_set) {
+  const std::int32_t slot = cohort_slot(registry_->home(client), topic_set,
+                                        registry_->row_of(client));
+  Cohort& cohort = cohorts_[static_cast<std::size_t>(slot)];
+  cohort.members.push_back(client);
+  registry_->set_cohort(client, slot,
+                        static_cast<std::int32_t>(cohort.members.size()) - 1);
+  registry_->set_topic_set(client, topic_set);
+  for (const auto& [t, fid] : cohort.flocks) {
+    Flock& flock = flocks_[static_cast<std::size_t>(fid)];
+    MP_EXPECTS(flock.attachment.valid() &&
+               "a member can only join a fully deployed cohort");
+    flock.presence.add(flock.attachment);
+    // A joining member is a new per-client table entry everywhere, so every
+    // one of these is membership-marking (seq 1).
+    send_control(fid, flock.attachment, wire::MessageType::kSubscribe, 1, 1);
+  }
+}
+
+void CohortPool::attach(std::int32_t flock_id, RegionId region) {
+  Flock& flock = flocks_[static_cast<std::size_t>(flock_id)];
+  Cohort& cohort = cohorts_[static_cast<std::size_t>(flock.cohort)];
+  const auto weight = static_cast<std::uint32_t>(cohort.members.size());
+  if (weight == 0) return;  // retired flock: the per-client loop is empty
+  if (flock.attachment.valid() && flock.attachment != region) {
+    // Reconnection (paper §III-A5), make-before-break: join the new region
+    // now, leave the old one after the grace period — one weighted
+    // good-bye standing for every member's.
+    const RegionId old_region = flock.attachment;
+    cohort.reconnects_w += weight;
+    sim_->schedule_after(handover_grace_ms_, [this, flock_id, old_region] {
+      Flock& current = flocks_[static_cast<std::size_t>(flock_id)];
+      if (current.attachment == old_region) {
+        return;  // flapped back during the grace period: still attached
+      }
+      current.presence.remove(old_region);
+      const auto grace_weight = static_cast<std::uint32_t>(
+          cohorts_[static_cast<std::size_t>(current.cohort)].members.size());
+      send_control(flock_id, old_region, wire::MessageType::kUnsubscribe,
+                   grace_weight, 0);
+    });
+  }
+  // The kSubscribe marks membership only when the region's table would gain
+  // entries — i.e. when the flock has no entry there yet.
+  const std::uint64_t membership_seq =
+      flock.presence.contains(region) ? 0 : 1;
+  flock.presence.add(region);
+  flock.attachment = region;
+  send_control(flock_id, region, wire::MessageType::kSubscribe, weight,
+               membership_seq);
+}
+
+void CohortPool::send_control(std::int32_t flock_id, RegionId to,
+                              wire::MessageType type, std::uint32_t weight,
+                              std::uint64_t membership_seq) {
+  if (weight == 0) return;  // zero members: the per-client loop sends nothing
+  const Flock& flock = flocks_[static_cast<std::size_t>(flock_id)];
+  wire::Message msg;
+  msg.type = type;
+  msg.topic = flock.topic;
+  msg.subscriber = ClientId{flock_id};  // the broker table's flock handle
+  msg.seq = membership_seq;
+  msg.weight = weight;
+  if (type == wire::MessageType::kSubscribe) msg.filter = flock.filter;
+  transport_->send(net::Address::cohort(flock_id), net::Address::region(to),
+                   msg);
+}
+
+void CohortPool::handle(std::int32_t flock_id, const wire::Message& msg) {
+  switch (msg.type) {
+    case wire::MessageType::kDeliver:
+      on_deliver(flock_id, msg);
+      break;
+    case wire::MessageType::kConfigUpdate: {
+      const Flock& flock = flocks_[static_cast<std::size_t>(flock_id)];
+      // Only react while attached, like Subscriber's subscription check.
+      if (!flock.attachment.valid() || msg.config_regions.empty()) break;
+      const Cohort& cohort =
+          cohorts_[static_cast<std::size_t>(flock.cohort)];
+      attach(flock_id,
+             registry_->closest_region(cohort.row, msg.config_regions));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void CohortPool::on_deliver(std::int32_t flock_id, const wire::Message& msg) {
+  Flock& flock = flocks_[static_cast<std::size_t>(flock_id)];
+  Cohort& cohort = cohorts_[static_cast<std::size_t>(flock.cohort)];
+  const Millis value = sim_->now() - msg.published_at;
+  const SeenKey key{msg.topic.value(), msg.publisher.value(), msg.seq};
+  SeenEntry& entry = cohort.seen[key];
+  if (!msg.subscriber.valid()) {
+    // Whole-flock delivery standing for msg.weight per-member copies.
+    if (entry.all) {
+      cohort.duplicates_w += msg.weight;
+      return;
+    }
+    if (entry.members.empty()) {
+      cohort.arrivals.push_back(
+          {msg.topic, ClientId::invalid(), msg.weight, value, {}});
+      cohort.interval_deliveries_w += msg.weight;
+      cohort.total_deliveries_w += msg.weight;
+    } else {
+      // A fault already split this publication: the listed members hold
+      // their first copy, everyone else sees theirs now.
+      std::vector<ClientId> fresh;
+      for (const ClientId member : cohort.members) {
+        if (std::find(entry.members.begin(), entry.members.end(), member) ==
+            entry.members.end()) {
+          fresh.push_back(member);
+        }
+      }
+      const auto fresh_count = static_cast<std::uint32_t>(fresh.size());
+      if (msg.weight > fresh_count) {
+        cohort.duplicates_w += msg.weight - fresh_count;
+      }
+      if (fresh_count > 0) {
+        cohort.interval_deliveries_w += fresh_count;
+        cohort.total_deliveries_w += fresh_count;
+        cohort.arrivals.push_back({msg.topic, ClientId::invalid(),
+                                   fresh_count, value, std::move(fresh)});
+      }
+    }
+    entry.all = true;
+    entry.members.clear();
+    entry.members.shrink_to_fit();
+    return;
+  }
+  // Fault-split weight-1 copy addressed to one member.
+  const ClientId member = msg.subscriber;
+  if (entry.all ||
+      std::find(entry.members.begin(), entry.members.end(), member) !=
+          entry.members.end()) {
+    cohort.duplicates_w += 1;
+    return;
+  }
+  entry.members.push_back(member);
+  cohort.arrivals.push_back({msg.topic, member, 1, value, {}});
+  cohort.interval_deliveries_w += 1;
+  cohort.total_deliveries_w += 1;
+}
+
+}  // namespace multipub::client

@@ -1,0 +1,243 @@
+// Cohort-compressed subscriber plane (DESIGN.md §12).
+//
+// Clients that are identical in every simulation-relevant way — same home
+// region, same interned topic set, same interned latency row — fold into
+// one COHORT. Each (cohort, topic) pair is a FLOCK: the dense addressable
+// unit the broker's subscription table holds and the transport fans out to.
+// One weighted message per flock replaces one message per member, and every
+// counter, billed byte, and latency sample carries the member count — so at
+// equal scale the cohort plane is bit-identical to the per-client plane,
+// and at a million clients it does a thousandth of the event work.
+//
+// The pool is the cohort-mode twin of client::Subscriber: it attaches each
+// flock to the closest serving region, performs make-before-break handover
+// on kConfigUpdate (grace-delayed weighted unsubscribe, flap-back safe),
+// dedups handover duplicates per (topic, publisher, seq), and records
+// weighted arrivals that expand back to exact per-member delivery times.
+//
+// Equivalence envelope (the differential tests pin it): membership churn
+// happens at drained quiescent points; fault rules never name clients as
+// SENDERS; event sequence numbers may differ between the planes, which is
+// observable only through same-timestamp tie-breaks that carry equal
+// payloads. See DESIGN.md §12 for the full argument.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "client/client_registry.h"
+#include "client/topic_set_pool.h"
+#include "core/config.h"
+#include "net/cohort_directory.h"
+#include "net/simulator.h"
+#include "net/transport.h"
+
+namespace multipub::client {
+
+class CohortPool final : public net::CohortDirectory {
+ public:
+  /// Borrows everything; registry and topic sets must outlive the pool.
+  /// Registers one transport handler per flock as cohorts are enrolled.
+  CohortPool(ClientRegistry& registry, TopicSetPool& topic_sets,
+             net::Simulator& sim, net::SimTransport& transport);
+  ~CohortPool();
+
+  CohortPool(const CohortPool&) = delete;
+  CohortPool& operator=(const CohortPool&) = delete;
+
+  /// Places `client` into the cohort for its (home, topic set, latency row)
+  /// key, creating the cohort — and one flock per subscribed topic — on
+  /// first sight. Returns the cohort slot, or -1 for an empty topic set.
+  /// Enrollment order defines cohort and flock ids, so enroll in a
+  /// deterministic order (the scenario's subscriber order).
+  std::int32_t enroll(ClientId client);
+
+  /// Forbids creating NEW cohorts (existing ones keep accepting members).
+  /// Called before the simulator is sharded: a flock's shard is fixed by
+  /// the shard map, so the flock universe must be closed first.
+  void freeze() { frozen_ = true; }
+
+  [[nodiscard]] std::size_t cohort_count() const { return cohorts_.size(); }
+  [[nodiscard]] std::size_t flock_count() const { return flocks_.size(); }
+  /// Cohorts whose last member left (kept addressable, zero fan-out).
+  [[nodiscard]] std::size_t retired_cohort_count() const;
+  [[nodiscard]] RegionId cohort_home(std::int32_t cohort) const;
+  [[nodiscard]] std::uint32_t cohort_weight(std::int32_t cohort) const;
+
+  /// Cohort-mode twin of the deploy() subscriber loop: every flock of
+  /// `topic` attaches to the closest serving region (one weighted
+  /// kSubscribe per flock).
+  void deploy(TopicId topic, const core::TopicConfig& config,
+              wire::KeyFilter filter = wire::KeyFilter::all());
+
+  /// Member-level churn, mirroring Subscriber::subscribe/unsubscribe: the
+  /// client moves between cohorts (weight-1 kSubscribe/kUnsubscribe on the
+  /// affected flocks). A filter must match the flock's — cohort keys do not
+  /// include filters, so a flock is uniformly filtered by construction.
+  void subscribe_client(ClientId client, TopicId topic,
+                        const core::TopicConfig& config,
+                        wire::KeyFilter filter = wire::KeyFilter::all());
+  void unsubscribe_client(ClientId client, TopicId topic);
+
+  /// Silent death: the member leaves its cohort without a protocol
+  /// good-bye, like a crashed client. The flock's weight drops immediately;
+  /// a flock at weight 0 is retired from fan-out.
+  void kill_client(ClientId client);
+
+  /// How long the old attachment outlives a reconnection.
+  void set_handover_grace(Millis grace_ms) { handover_grace_ms_ = grace_ms; }
+  [[nodiscard]] Millis handover_grace() const { return handover_grace_ms_; }
+
+  /// The flock representing (client's cohort, topic); -1 when the client is
+  /// in no cohort or not subscribed to the topic.
+  [[nodiscard]] std::int32_t flock_of(ClientId client, TopicId topic) const;
+  /// Region the client's flock is attached to for the topic (invalid when
+  /// none) — the cohort-mode attached_region().
+  [[nodiscard]] RegionId attached_region(ClientId client, TopicId topic) const;
+
+  /// Drops the recorded arrivals of every cohort (start of an interval);
+  /// the handover dedup memory persists, like Subscriber's.
+  void clear_arrivals();
+
+  /// Appends the member's delivery times since clear_arrivals(), in arrival
+  /// order — exactly the vector the member's per-client Subscriber would
+  /// have recorded.
+  void append_delivery_times(ClientId member, std::vector<Millis>& out) const;
+
+  /// Weighted counter totals (sums over cohorts; read at drained points).
+  [[nodiscard]] std::uint64_t reconnect_weight() const;
+  [[nodiscard]] std::uint64_t duplicate_weight() const;
+  /// Weighted deliveries recorded since clear_arrivals().
+  [[nodiscard]] std::uint64_t interval_delivery_weight() const;
+  /// Weighted deliveries recorded over the pool's lifetime.
+  [[nodiscard]] std::uint64_t total_delivery_weight() const;
+
+  // CohortDirectory — the transport/broker view.
+  [[nodiscard]] std::uint32_t flock_weight(std::int32_t flock) const override;
+  [[nodiscard]] std::span<const ClientId> flock_members(
+      std::int32_t flock) const override;
+  [[nodiscard]] Millis flock_latency(std::int32_t flock,
+                                     RegionId region) const override;
+  [[nodiscard]] RegionId flock_home(std::int32_t flock) const override;
+  [[nodiscard]] RegionId flock_attachment(std::int32_t flock) const override;
+
+ private:
+  struct SeenKey {
+    std::int32_t topic;
+    std::int32_t publisher;
+    std::uint64_t seq;
+    friend bool operator==(const SeenKey&, const SeenKey&) = default;
+  };
+  struct SeenKeyHash {
+    std::size_t operator()(const SeenKey& k) const {
+      std::uint64_t h = static_cast<std::uint32_t>(k.topic);
+      h = h * 0x9e3779b97f4a7c15ULL ^ static_cast<std::uint32_t>(k.publisher);
+      h = h * 0x9e3779b97f4a7c15ULL ^ k.seq;
+      return static_cast<std::size_t>(h * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  /// Which members already received a given publication. `all` short-cuts
+  /// the common case (every whole-flock delivery); the member list only
+  /// fills when a fault split a delivery into per-member copies.
+  struct SeenEntry {
+    bool all = false;
+    std::vector<ClientId> members;
+  };
+
+  /// One recorded delivery. member == invalid: a whole-flock arrival
+  /// covering `weight` members — all of them when `fresh` is empty, exactly
+  /// the listed ones when a partial duplicate left only some members
+  /// unserved. member valid: a fault-split weight-1 arrival for one member.
+  struct Arrival {
+    TopicId topic;
+    ClientId member;
+    std::uint32_t weight = 1;
+    Millis value = 0.0;
+    std::vector<ClientId> fresh;
+  };
+
+  struct Flock {
+    std::int32_t cohort = -1;
+    TopicId topic;
+    RegionId attachment = RegionId::invalid();
+    /// Regions whose broker table currently holds this flock's entry — the
+    /// pool's mirror of the per-client table transitions, from which the
+    /// kSubscribe membership-marking seq is derived.
+    geo::RegionSet presence;
+    wire::KeyFilter filter;
+  };
+
+  struct Cohort {
+    RegionId home;
+    std::int32_t topic_set = TopicSetPool::kEmpty;
+    std::int32_t row = -1;
+    std::vector<ClientId> members;
+    /// (topic, flock id), ascending by topic.
+    std::vector<std::pair<TopicId, std::int32_t>> flocks;
+    std::vector<Arrival> arrivals;
+    std::unordered_map<SeenKey, SeenEntry, SeenKeyHash> seen;
+    // Shard-local counters (a cohort's flocks all live on the home
+    // region's shard); summed by the accessors at drained points.
+    std::uint64_t reconnects_w = 0;
+    std::uint64_t duplicates_w = 0;
+    std::uint64_t interval_deliveries_w = 0;
+    std::uint64_t total_deliveries_w = 0;
+  };
+
+  struct CohortKeyHash {
+    std::size_t operator()(std::uint64_t k) const {
+      return static_cast<std::size_t>(k * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  [[nodiscard]] static std::uint64_t cohort_key(RegionId home,
+                                                std::int32_t topic_set,
+                                                std::int32_t row) {
+    // 16/24/24 bit packing: regions are single digits, interned handles
+    // stay far below 16M in any plausible population.
+    return (static_cast<std::uint64_t>(
+                static_cast<std::uint16_t>(home.value()))
+            << 48) |
+           (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(topic_set) & 0xffffffu)
+            << 24) |
+           (static_cast<std::uint32_t>(row) & 0xffffffu);
+  }
+
+  [[nodiscard]] Cohort& cohort_of_flock(std::int32_t flock);
+  [[nodiscard]] const Cohort& cohort_of_flock(std::int32_t flock) const;
+  /// Finds (or, unless frozen, creates) the cohort slot for a key.
+  std::int32_t cohort_slot(RegionId home, std::int32_t topic_set,
+                           std::int32_t row);
+  void remove_member(ClientId client);
+  /// Removes the client from its cohort, sending a weight-1 kUnsubscribe on
+  /// every attached flock (its table entries everywhere go away).
+  void leave_cohort(ClientId client);
+  /// Adds the client to the (existing or new) cohort for `topic_set`,
+  /// emitting one weight-1 kSubscribe per flock — a joining member is a new
+  /// table entry everywhere, so every one is membership-marking. Every
+  /// flock of the target cohort must already be attached.
+  void add_member(ClientId client, std::int32_t topic_set);
+
+  /// Attaches a flock to `region` with make-before-break handover,
+  /// mirroring Subscriber::attach under weighting.
+  void attach(std::int32_t flock_id, RegionId region);
+  void send_control(std::int32_t flock_id, RegionId to,
+                    wire::MessageType type, std::uint32_t weight,
+                    std::uint64_t membership_seq);
+  void handle(std::int32_t flock_id, const wire::Message& msg);
+  void on_deliver(std::int32_t flock_id, const wire::Message& msg);
+
+  ClientRegistry* registry_;
+  TopicSetPool* topic_sets_;
+  net::Simulator* sim_;
+  net::SimTransport* transport_;
+  std::vector<Cohort> cohorts_;
+  std::vector<Flock> flocks_;
+  std::unordered_map<std::uint64_t, std::int32_t, CohortKeyHash> by_key_;
+  Millis handover_grace_ms_ = 1000.0;
+  bool frozen_ = false;
+};
+
+}  // namespace multipub::client

@@ -1,0 +1,122 @@
+// Hash-consed topic-set interning (DESIGN.md §12).
+//
+// A client's subscription identity is WHICH topics it subscribes to; the
+// cohort key needs that identity as one comparable integer. The pool
+// canonicalizes (sorts, dedups) each set, stores it once in the arena, and
+// returns a dense handle — two clients subscribed to the same topics always
+// hold the same handle, so cohort grouping is a map lookup, not a set
+// comparison. Handle 0 is always the empty set (a client subscribed to
+// nothing belongs to no cohort).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace multipub::client {
+
+class TopicSetPool {
+ public:
+  /// Borrows the arena; it must outlive the pool.
+  explicit TopicSetPool(Arena& arena) : arena_(&arena) {
+    sets_.push_back({nullptr, 0});  // handle 0: the empty set
+  }
+
+  TopicSetPool(const TopicSetPool&) = delete;
+  TopicSetPool& operator=(const TopicSetPool&) = delete;
+
+  static constexpr std::int32_t kEmpty = 0;
+
+  /// Canonical handle for `topics` (order and duplicates ignored).
+  [[nodiscard]] std::int32_t intern(std::span<const TopicId> topics) {
+    scratch_.assign(topics.begin(), topics.end());
+    std::sort(scratch_.begin(), scratch_.end());
+    scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                   scratch_.end());
+    return intern_canonical();
+  }
+
+  /// The set's topics in ascending id order.
+  [[nodiscard]] std::span<const TopicId> view(std::int32_t handle) const {
+    MP_EXPECTS(handle >= 0 &&
+               static_cast<std::size_t>(handle) < sets_.size());
+    const Stored& s = sets_[static_cast<std::size_t>(handle)];
+    return {s.topics, s.count};
+  }
+
+  [[nodiscard]] bool contains(std::int32_t handle, TopicId topic) const {
+    const auto set = view(handle);
+    return std::binary_search(set.begin(), set.end(), topic);
+  }
+
+  /// Handle for the set plus `topic` (== handle when already a member).
+  [[nodiscard]] std::int32_t with(std::int32_t handle, TopicId topic) {
+    const auto set = view(handle);
+    if (std::binary_search(set.begin(), set.end(), topic)) return handle;
+    scratch_.assign(set.begin(), set.end());
+    scratch_.insert(
+        std::lower_bound(scratch_.begin(), scratch_.end(), topic), topic);
+    return intern_canonical();
+  }
+
+  /// Handle for the set minus `topic` (== handle when not a member).
+  [[nodiscard]] std::int32_t without(std::int32_t handle, TopicId topic) {
+    const auto set = view(handle);
+    if (!std::binary_search(set.begin(), set.end(), topic)) return handle;
+    scratch_.assign(set.begin(), set.end());
+    scratch_.erase(std::find(scratch_.begin(), scratch_.end(), topic));
+    return intern_canonical();
+  }
+
+  /// Distinct sets interned so far (including the empty set).
+  [[nodiscard]] std::size_t size() const { return sets_.size(); }
+
+ private:
+  struct Stored {
+    const TopicId* topics;
+    std::size_t count;
+  };
+
+  [[nodiscard]] static std::uint64_t hash_canonical(
+      std::span<const TopicId> set) {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const TopicId t : set) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.value()));
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  /// Interns scratch_ (already sorted + deduped).
+  [[nodiscard]] std::int32_t intern_canonical() {
+    if (scratch_.empty()) return kEmpty;
+    const std::uint64_t h = hash_canonical(scratch_);
+    auto [lo, hi] = index_.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      const auto existing = view(it->second);
+      if (std::equal(existing.begin(), existing.end(), scratch_.begin(),
+                     scratch_.end())) {
+        return it->second;
+      }
+    }
+    TopicId* stored = arena_->make_array<TopicId>(scratch_.size());
+    std::copy(scratch_.begin(), scratch_.end(), stored);
+    const auto handle = static_cast<std::int32_t>(sets_.size());
+    sets_.push_back({stored, scratch_.size()});
+    index_.emplace(h, handle);
+    return handle;
+  }
+
+  Arena* arena_;
+  std::vector<Stored> sets_;  // canonical storage lives in the arena
+  std::unordered_multimap<std::uint64_t, std::int32_t> index_;
+  std::vector<TopicId> scratch_;
+};
+
+}  // namespace multipub::client

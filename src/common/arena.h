@@ -1,0 +1,111 @@
+// Block-chained bump allocator for the million-client data plane.
+//
+// The cohort layer (DESIGN.md §12) keeps per-client state in parallel
+// arrays and interned topic sets; none of it is ever freed individually, so
+// a bump allocator is the right shape: allocation is a pointer increment,
+// deallocation is dropping the whole arena, and 10M clients do not turn
+// into 10M small heap nodes with per-node malloc headers.
+//
+// Blocks double geometrically up to a cap, so tiny registries stay tiny and
+// big ones amortize the malloc count to O(log n). Alignment is handled per
+// allocation; an oversized request gets its own block.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace multipub {
+
+class Arena {
+ public:
+  static constexpr std::size_t kMinBlockBytes = 4 * 1024;
+  static constexpr std::size_t kMaxBlockBytes = 4 * 1024 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `size` bytes aligned to `align` (a power of two). The memory lives
+  /// until the arena is destroyed or reset().
+  [[nodiscard]] void* allocate(std::size_t size, std::size_t align) {
+    MP_EXPECTS(align != 0 && (align & (align - 1)) == 0);
+    if (size == 0) size = 1;
+    const std::uintptr_t current =
+        reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::uintptr_t aligned = (current + align - 1) & ~(align - 1);
+    const std::size_t padding = aligned - current;
+    if (cursor_ == nullptr || padding + size > remaining_) {
+      grow(size, align);
+      return allocate(size, align);
+    }
+    cursor_ += padding;
+    remaining_ -= padding;
+    void* out = cursor_;
+    cursor_ += size;
+    remaining_ -= size;
+    bytes_used_ += padding + size;
+    return out;
+  }
+
+  /// Default-initialized array of `count` T. T must be trivially
+  /// destructible — the arena never runs destructors.
+  template <typename T>
+  [[nodiscard]] T* make_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    T* out = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) new (out + i) T();
+    return out;
+  }
+
+  /// One T constructed from `args`. Same triviality contract as make_array.
+  template <typename T, typename... Args>
+  [[nodiscard]] T* make(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    void* slot = allocate(sizeof(T), alignof(T));
+    return new (slot) T(static_cast<Args&&>(args)...);
+  }
+
+  /// Bytes handed out (including alignment padding) — what a bench reports
+  /// as the registry's working-set footprint.
+  [[nodiscard]] std::size_t bytes_used() const { return bytes_used_; }
+
+  /// Total bytes reserved from the heap across all blocks.
+  [[nodiscard]] std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// Drops every block. Invalidates all outstanding allocations.
+  void reset() {
+    blocks_.clear();
+    cursor_ = nullptr;
+    remaining_ = 0;
+    next_block_bytes_ = kMinBlockBytes;
+    bytes_used_ = 0;
+    bytes_reserved_ = 0;
+  }
+
+ private:
+  void grow(std::size_t size, std::size_t align) {
+    // Worst case the aligned request needs size + align - 1 bytes.
+    std::size_t need = size + align - 1;
+    std::size_t block = next_block_bytes_;
+    while (block < need) block *= 2;
+    blocks_.push_back(std::make_unique<std::byte[]>(block));
+    cursor_ = blocks_.back().get();
+    remaining_ = block;
+    bytes_reserved_ += block;
+    if (next_block_bytes_ < kMaxBlockBytes) next_block_bytes_ *= 2;
+  }
+
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::byte* cursor_ = nullptr;
+  std::size_t remaining_ = 0;
+  std::size_t next_block_bytes_ = kMinBlockBytes;
+  std::size_t bytes_used_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace multipub

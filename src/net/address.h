@@ -11,9 +11,12 @@
 
 namespace multipub::net {
 
-/// Node address: either a client endpoint or a region's broker.
+/// Node address: a client endpoint, a region's broker, or a cohort — one
+/// weighted flock of identical clients (DESIGN.md §12). A flock id names a
+/// (cohort, topic) subscription unit in the CohortDirectory; deliveries to
+/// it stand for one delivery to every member.
 struct Address {
-  enum class Kind : std::uint8_t { kClient, kRegion };
+  enum class Kind : std::uint8_t { kClient, kRegion, kCohort };
   Kind kind = Kind::kClient;
   std::int32_t id = -1;
 
@@ -23,9 +26,13 @@ struct Address {
   [[nodiscard]] static Address region(RegionId r) {
     return {Kind::kRegion, r.value()};
   }
+  [[nodiscard]] static Address cohort(std::int32_t flock) {
+    return {Kind::kCohort, flock};
+  }
 
   [[nodiscard]] ClientId as_client() const { return ClientId{id}; }
   [[nodiscard]] RegionId as_region() const { return RegionId{id}; }
+  [[nodiscard]] std::int32_t as_flock() const { return id; }
 
   friend bool operator==(Address, Address) = default;
 };

@@ -1,0 +1,53 @@
+// Directory the transport and brokers consult to resolve cohort addresses.
+//
+// A FLOCK is the addressable unit of the cohort-compressed data plane
+// (DESIGN.md §12): one cohort of identical clients subscribed to one topic.
+// The directory maps a flock id to the live weight (member count), the
+// members themselves (for exact per-member fault replay and for expanding
+// reports back to client ids), and the shared client<->region latency of
+// every member — members of one cohort are identical in every
+// simulation-relevant way, so one latency per (flock, region) is exact.
+//
+// Implemented by client::CohortPool; lives in net/ so the transport does
+// not depend on the client layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+
+namespace multipub::net {
+
+class CohortDirectory {
+ public:
+  /// Live member count of the flock (0 once every member left — a retired
+  /// cohort keeps its id but contributes nothing to fan-out).
+  [[nodiscard]] virtual std::uint32_t flock_weight(std::int32_t flock)
+      const = 0;
+
+  /// The members, in cohort insertion order. Only consulted off the hot
+  /// path: per-member fault replay and report expansion.
+  [[nodiscard]] virtual std::span<const ClientId> flock_members(
+      std::int32_t flock) const = 0;
+
+  /// One-way latency between any member and `region` (identical for all
+  /// members by construction of the cohort key).
+  [[nodiscard]] virtual Millis flock_latency(std::int32_t flock,
+                                             RegionId region) const = 0;
+
+  /// Home region of the flock's members; the flock lives on this region's
+  /// shard.
+  [[nodiscard]] virtual RegionId flock_home(std::int32_t flock) const = 0;
+
+  /// Region the flock is currently attached to for its topic (invalid when
+  /// detached). Brokers use it to drop a table entry exactly when the
+  /// per-client plane would have dropped the last member's entry.
+  [[nodiscard]] virtual RegionId flock_attachment(std::int32_t flock)
+      const = 0;
+
+ protected:
+  ~CohortDirectory() = default;
+};
+
+}  // namespace multipub::net

@@ -105,6 +105,34 @@ FaultPlan::Outcome FaultPlan::apply(Address from, Address to, Millis now,
   return outcome;
 }
 
+namespace {
+[[nodiscard]] bool pattern_can_match_client(const FaultEndpoint& endpoint) {
+  return endpoint.kind == FaultEndpoint::Kind::kAny ||
+         endpoint.kind == FaultEndpoint::Kind::kAnyClient ||
+         endpoint.kind == FaultEndpoint::Kind::kClient;
+}
+}  // namespace
+
+bool FaultPlan::may_affect_client_deliveries(Address from, Millis now) const {
+  for (const auto& [id, rule] : rules_) {
+    if (now < rule.start || now >= rule.end) continue;
+    if (rule.from.matches(from) && pattern_can_match_client(rule.to)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::may_affect_client_sends(Address to, Millis now) const {
+  for (const auto& [id, rule] : rules_) {
+    if (now < rule.start || now >= rule.end) continue;
+    if (pattern_can_match_client(rule.from) && rule.to.matches(to)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 double FaultPlan::lookahead_scale() const {
   double scale = 1.0;
   for (const auto& [id, rule] : rules_) {

@@ -120,6 +120,20 @@ class FaultPlan {
   [[nodiscard]] Outcome apply(Address from, Address to, Millis now,
                               Rng& coin) const;
 
+  /// True when some rule active at `now` could apply to a client-bound hop
+  /// from `from` (its to-pattern is able to match a client endpoint). The
+  /// cohort fast path uses this to decide between one whole-flock send
+  /// (exact when no rule can touch the link) and an exact per-member replay
+  /// that draws the same per-client coins as the uncompressed plane.
+  [[nodiscard]] bool may_affect_client_deliveries(Address from,
+                                                  Millis now) const;
+
+  /// Mirror for client-originated hops towards `to`: true when an active
+  /// rule's from-pattern can match a client. Cohort-mode control sends
+  /// reject such rules (MP_EXPECTS) — a weighted send cannot replay the
+  /// per-member coin streams the uncompressed plane would consume.
+  [[nodiscard]] bool may_affect_client_sends(Address to, Millis now) const;
+
   /// Most pessimistic factor active delay rules could shrink a latency by:
   /// the product of every rule's min(1, delay_factor), ignoring windows and
   /// link patterns (conservative). Extras are nonnegative by add()'s

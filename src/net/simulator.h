@@ -71,11 +71,15 @@ struct ShardMap {
   std::uint32_t shards = 1;
   std::vector<std::uint32_t> region_shard;  ///< indexed by RegionId
   std::vector<std::uint32_t> client_shard;  ///< indexed by ClientId
+  /// Indexed by flock id; a cohort lives on its home region's shard.
+  std::vector<std::uint32_t> cohort_shard;
 
   [[nodiscard]] std::uint32_t shard_of(Address address) const {
     const auto index = static_cast<std::size_t>(address.id);
-    const auto& table =
-        address.kind == Address::Kind::kClient ? client_shard : region_shard;
+    const auto& table = address.kind == Address::Kind::kClient ? client_shard
+                        : address.kind == Address::Kind::kRegion
+                            ? region_shard
+                            : cohort_shard;
     MP_EXPECTS(address.id >= 0 && index < table.size());
     return table[index];
   }

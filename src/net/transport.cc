@@ -18,6 +18,10 @@ namespace {
 /// are nonnegative int32, so kind fits above them in each half.
 [[nodiscard]] std::uint64_t link_key(Address from, Address to) {
   const auto half = [](Address a) {
+    // Cohort links never own RNG streams (the weighted plane forbids jitter
+    // and replays fault coins on the members' own client links), so the
+    // 1-bit kind encoding stays collision-free.
+    MP_EXPECTS(a.kind != Address::Kind::kCohort);
     return static_cast<std::uint64_t>(
                a.kind == Address::Kind::kClient ? 1u : 0u)
                << 31 |
@@ -61,8 +65,16 @@ SimTransport::SimTransport(Simulator& sim, const geo::RegionCatalog& catalog,
 }
 
 void SimTransport::set_fast_path(bool on) {
+  // The weighted cohort plane has no legacy twin; drop the directory first.
+  MP_EXPECTS(on || directory_ == nullptr);
   fast_path_ = on;
   sim_->set_legacy_scheduling(!on);
+}
+
+void SimTransport::set_cohort_directory(const CohortDirectory* directory) {
+  MP_EXPECTS(directory == nullptr ||
+             (fast_path_ && !jitter_.has_value()));
+  directory_ = directory;
 }
 
 void SimTransport::set_shards(std::uint32_t shards) {
@@ -116,8 +128,9 @@ void SimTransport::register_handler(Address address, Handler handler) {
   // single-threaded dispatch or between runs.
   MP_EXPECTS(!sim_->sharded() || !sim_->dispatching());
   const auto index = static_cast<std::size_t>(address.id);
-  auto& dense = address.kind == Address::Kind::kClient ? client_handlers_
-                                                       : region_handlers_;
+  auto& dense = address.kind == Address::Kind::kClient   ? client_handlers_
+                : address.kind == Address::Kind::kRegion ? region_handlers_
+                                                         : cohort_handlers_;
   if (index >= dense.size()) dense.resize(index + 1);
   // Growing the deque above is safe mid-delivery (existing elements stay
   // put), but overwriting the std::function deliver() is currently invoking
@@ -128,11 +141,27 @@ void SimTransport::register_handler(Address address, Handler handler) {
   handlers_[address] = std::move(handler);
 }
 
+void SimTransport::unregister_handler(Address address) {
+  MP_EXPECTS(address.id >= 0);
+  MP_EXPECTS(!sim_->sharded() || !sim_->dispatching());
+  const auto index = static_cast<std::size_t>(address.id);
+  auto& dense = address.kind == Address::Kind::kClient   ? client_handlers_
+                : address.kind == Address::Kind::kRegion ? region_handlers_
+                                                         : cohort_handlers_;
+  if (index < dense.size()) {
+    MP_EXPECTS(&dense[index] != lane(sim_->current_shard()).active_handler &&
+               "cannot remove a handler from within its own delivery");
+    dense[index] = nullptr;
+  }
+  handlers_.erase(address);
+}
+
 const SimTransport::Handler* SimTransport::find_handler(
     Address address) const {
-  const auto& dense = address.kind == Address::Kind::kClient
-                          ? client_handlers_
-                          : region_handlers_;
+  const auto& dense = address.kind == Address::Kind::kClient ? client_handlers_
+                      : address.kind == Address::Kind::kRegion
+                          ? region_handlers_
+                          : cohort_handlers_;
   const auto index = static_cast<std::size_t>(address.id);
   if (index >= dense.size() || !dense[index]) return nullptr;
   return &dense[index];
@@ -149,12 +178,24 @@ Millis SimTransport::latency(Address from, Address to) const {
   if (from.kind == Kind::kRegion && to.kind == Kind::kClient) {
     return clients_->at(to.as_client(), from.as_region());
   }
+  // Cohort links: every member shares one latency row by construction, so
+  // the directory's per-(flock, region) value is the members' exact value.
+  if (from.kind == Kind::kCohort && to.kind == Kind::kRegion) {
+    MP_EXPECTS(directory_ != nullptr);
+    return directory_->flock_latency(from.as_flock(), to.as_region());
+  }
+  if (from.kind == Kind::kRegion && to.kind == Kind::kCohort) {
+    MP_EXPECTS(directory_ != nullptr);
+    return directory_->flock_latency(to.as_flock(), from.as_region());
+  }
   MP_EXPECTS(false && "client<->client links do not exist");
   return kUnreachable;
 }
 
 void SimTransport::enable_jitter(const JitterSpec& spec, std::uint64_t seed) {
   MP_EXPECTS(spec.relative >= 0.0 && spec.absolute_ms >= 0.0);
+  // A weighted cohort delivery cannot replay w per-member jitter draws.
+  MP_EXPECTS(directory_ == nullptr);
   jitter_.emplace(Jitter{spec, seed});
   reset_streams(/*jitter=*/true, /*coins=*/false);
 }
@@ -211,20 +252,38 @@ const CostLedger& SimTransport::ledger() const {
 }
 
 Dollars SimTransport::topic_cost(TopicId topic) const {
-  // Region-id order: a deterministic merge of the per-region partial sums
-  // (each of which accumulated in its region's own send order).
+  // Region-id order: a deterministic merge of the per-region byte totals,
+  // converted to dollars at read time — one multiply per (region, tariff),
+  // so the result is independent of how many sends accumulated the bytes.
   Dollars total = 0.0;
-  for (const RegionBill& bill : bills_) {
-    const auto it = bill.topic_cost.find(topic);
-    if (it != bill.topic_cost.end()) total += it->second;
+  for (std::size_t r = 0; r < bills_.size(); ++r) {
+    const RegionBill& bill = bills_[r];
+    const geo::Region& region =
+        catalog_->at(RegionId{static_cast<std::int32_t>(r)});
+    const auto inter = bill.topic_inter.find(topic);
+    if (inter != bill.topic_inter.end()) {
+      total += static_cast<double>(inter->second) * region.alpha_per_byte();
+    }
+    const auto internet = bill.topic_internet.find(topic);
+    if (internet != bill.topic_internet.end()) {
+      total += static_cast<double>(internet->second) * region.beta_per_byte();
+    }
   }
   return total;
 }
 
 Dollars SimTransport::topic_cost_total() const {
   Dollars total = 0.0;
-  for (const RegionBill& bill : bills_) {
-    for (const auto& [topic, dollars] : bill.topic_cost) total += dollars;
+  for (std::size_t r = 0; r < bills_.size(); ++r) {
+    const RegionBill& bill = bills_[r];
+    const geo::Region& region =
+        catalog_->at(RegionId{static_cast<std::int32_t>(r)});
+    for (const auto& [topic, bytes] : bill.topic_inter) {
+      total += static_cast<double>(bytes) * region.alpha_per_byte();
+    }
+    for (const auto& [topic, bytes] : bill.topic_internet) {
+      total += static_cast<double>(bytes) * region.beta_per_byte();
+    }
   }
   return total;
 }
@@ -241,22 +300,26 @@ bool SimTransport::region_down(RegionId region) const {
 
 void SimTransport::deliver(const DeliveryEvent& event) {
   const std::size_t shard = sim_->current_shard();
+  // Every counter moves by the message's weight: a cohort delivery stands
+  // for `weight` per-client copies (weight is 1 for ordinary traffic, so
+  // this is the seed arithmetic outside cohort mode).
+  const std::uint32_t weight = event.msg.weight;
   // Drop-on-arrival: the destination region died while this message was in
   // flight. The bytes were billed at departure (they left the sender), but
   // a dead datacenter processes nothing.
   if (event.to.kind == Address::Kind::kRegion &&
       region_down(event.to.as_region())) {
-    dropped_.add(shard);
-    dropped_dead_arrival_.add(shard);
+    dropped_.add(shard, weight);
+    dropped_dead_arrival_.add(shard, weight);
     return;
   }
   const Handler* handler = find_handler(event.to);
   if (handler == nullptr) {
-    dropped_.add(shard);
-    dropped_unregistered_.add(shard);
+    dropped_.add(shard, weight);
+    dropped_unregistered_.add(shard, weight);
     return;
   }
-  delivered_.add(shard);
+  delivered_.add(shard, weight);
   // Mark the slot as executing so register_handler can reject replacing it
   // mid-call (the deque keeps the reference stable against table growth).
   ShardLane& self = lane(shard);
@@ -267,18 +330,25 @@ void SimTransport::deliver(const DeliveryEvent& event) {
 }
 
 void SimTransport::send(Address from, Address to, wire::Message msg) {
+  if (to.kind == Address::Kind::kCohort) {
+    // The caller (a broker or region manager) set msg.weight to the number
+    // of per-client copies this send stands for.
+    send_cohort(from, to, msg, msg.weight);
+    return;
+  }
   const std::size_t shard = sim_->current_shard();
+  const std::uint32_t weight = msg.weight;
   // Outage handling: a dead region neither sends nor receives. A dead
   // sender emits nothing (and bills nothing); a message towards a dead
   // destination is lost in transit.
   if (from.kind == Address::Kind::kRegion && region_down(from.as_region())) {
-    dropped_.add(shard);
-    dropped_sender_down_.add(shard);
+    dropped_.add(shard, weight);
+    dropped_sender_down_.add(shard, weight);
     return;
   }
   if (to.kind == Address::Kind::kRegion && region_down(to.as_region())) {
-    sent_.add(shard);
-    dropped_.add(shard);
+    sent_.add(shard, weight);
+    dropped_.add(shard, weight);
     return;
   }
 
@@ -292,30 +362,39 @@ void SimTransport::send(Address from, Address to, wire::Message msg) {
   ShardLane& sender_lane = lane(sim_->owner_shard(from));
   FaultPlan::Outcome fault;
   if (fault_plan_ != nullptr) {
-    fault = fault_plan_->apply(from, to, sim_->now(),
-                               coin_stream(sender_lane, from, to));
-    if (fault.dropped) {
-      sent_.add(shard);
-      dropped_.add(shard);
-      dropped_faulted_.add(shard);
-      return;
+    if (from.kind == Address::Kind::kCohort) {
+      // A weighted control send stands for `weight` client-originated
+      // sends, each of which would draw from its own per-client link
+      // stream; no generated schedule installs client-originated rules, so
+      // reject them rather than replay them wrong.
+      MP_EXPECTS(!fault_plan_->may_affect_client_sends(to, sim_->now()) &&
+                 "client-originated fault rules are unsupported in cohort "
+                 "mode");
+      // No rule can match this hop: the per-client loop would have
+      // consulted the plan and drawn nothing.
+    } else {
+      fault = fault_plan_->apply(from, to, sim_->now(),
+                                 coin_stream(sender_lane, from, to));
+      if (fault.dropped) {
+        sent_.add(shard, weight);
+        dropped_.add(shard, weight);
+        dropped_faulted_.add(shard, weight);
+        return;
+      }
     }
   }
 
   // Bill egress at the sender's tariff before the message is even delivered:
   // the bytes leave the region regardless of what happens downstream.
   if (from.kind == Address::Kind::kRegion) {
-    const Bytes billable = msg.billable_bytes();
-    const geo::Region& region = catalog_->at(from.as_region());
+    const Bytes billable = msg.billable_bytes() * weight;
     RegionBill& bill = bills_[from.as_region().index()];
     if (to.kind == Address::Kind::kRegion) {
       bill.inter_region += billable;
-      bill.topic_cost[msg.topic] +=
-          static_cast<double>(billable) * region.alpha_per_byte();
+      bill.topic_inter[msg.topic] += billable;
     } else {
       bill.internet += billable;
-      bill.topic_cost[msg.topic] +=
-          static_cast<double>(billable) * region.beta_per_byte();
+      bill.topic_internet[msg.topic] += billable;
     }
   }
 
@@ -324,7 +403,7 @@ void SimTransport::send(Address from, Address to, wire::Message msg) {
     delay = jittered(sender_lane, from, to, delay);
   }
   delay = delay * fault.delay_factor + fault.delay_extra_ms;
-  sent_.add(shard);
+  sent_.add(shard, weight);
   if (fast_path_) {
     sim_->schedule_delivery_after(delay, *this, from, to, msg);
     return;
@@ -332,19 +411,81 @@ void SimTransport::send(Address from, Address to, wire::Message msg) {
   sim_->schedule_after(delay, [this, to, msg = std::move(msg)]() {
     const std::size_t arrival_shard = sim_->current_shard();
     if (to.kind == Address::Kind::kRegion && region_down(to.as_region())) {
-      dropped_.add(arrival_shard);
-      dropped_dead_arrival_.add(arrival_shard);
+      dropped_.add(arrival_shard, msg.weight);
+      dropped_dead_arrival_.add(arrival_shard, msg.weight);
       return;
     }
     const auto it = handlers_.find(to);
     if (it == handlers_.end()) {
-      dropped_.add(arrival_shard);
-      dropped_unregistered_.add(arrival_shard);
+      dropped_.add(arrival_shard, msg.weight);
+      dropped_unregistered_.add(arrival_shard, msg.weight);
       return;
     }
-    delivered_.add(arrival_shard);
+    delivered_.add(arrival_shard, msg.weight);
     it->second(msg);
   });
+}
+
+void SimTransport::send_cohort(Address from, Address to,
+                               const wire::Message& msg,
+                               std::uint32_t weight) {
+  MP_EXPECTS(from.kind == Address::Kind::kRegion);
+  MP_EXPECTS(directory_ != nullptr && fast_path_ && !jitter_.has_value());
+  const std::size_t shard = sim_->current_shard();
+  if (region_down(from.as_region())) {
+    dropped_.add(shard, weight);
+    dropped_sender_down_.add(shard, weight);
+    return;
+  }
+  const std::int32_t flock = to.as_flock();
+  const Millis base = directory_->flock_latency(flock, from.as_region());
+  RegionBill& bill = bills_[from.as_region().index()];
+  const Bytes billable = msg.billable_bytes();
+
+  if (fault_plan_ != nullptr &&
+      fault_plan_->may_affect_client_deliveries(from, sim_->now())) {
+    // Exact per-member replay: each member's drop coin comes from its own
+    // region->client link stream — the very streams the per-client plane
+    // consumes — and survivors travel as weight-1 deliveries addressed to
+    // the flock with the member stamped in `subscriber`.
+    ShardLane& sender_lane = lane(sim_->owner_shard(from));
+    wire::Message split = msg;
+    split.weight = 1;
+    for (const ClientId member : directory_->flock_members(flock)) {
+      const Address member_addr = Address::client(member);
+      const FaultPlan::Outcome fault = fault_plan_->apply(
+          from, member_addr, sim_->now(),
+          coin_stream(sender_lane, from, member_addr));
+      if (fault.dropped) {
+        sent_.add(shard);
+        dropped_.add(shard);
+        dropped_faulted_.add(shard);
+        continue;
+      }
+      bill.internet += billable;
+      bill.topic_internet[split.topic] += billable;
+      const Millis delay = base * fault.delay_factor + fault.delay_extra_ms;
+      sent_.add(shard);
+      split.subscriber = member;
+      sim_->schedule_delivery_after(delay, *this, from, to, split);
+    }
+    return;
+  }
+
+  // Whole-flock fast path: no active rule can touch region->client links,
+  // so the per-client loop would have drawn nothing and scheduled `weight`
+  // identical copies; one weighted delivery records the same books. The
+  // delay expression matches the per-client path bit for bit (x * 1 + 0 is
+  // exact for the positive latencies the matrices hold).
+  if (weight == 0) return;  // a retired flock has nobody to deliver to
+  bill.internet += billable * weight;
+  bill.topic_internet[msg.topic] += billable * weight;
+  const Millis delay = base * 1.0 + 0.0;
+  sent_.add(shard, weight);
+  wire::Message whole = msg;
+  whole.weight = weight;
+  whole.subscriber = ClientId{-1};  // whole-flock sentinel
+  sim_->schedule_delivery_after(delay, *this, from, to, whole);
 }
 
 void SimTransport::send_batch(Address from, std::span<const Address> targets,
@@ -370,11 +511,19 @@ void SimTransport::send_batch(Address from, std::span<const Address> targets,
   // link, regardless of where the call executes.
   ShardLane& sender_lane = lane(sim_->owner_shard(from));
   const bool from_region = from.kind == Address::Kind::kRegion;
+  const std::uint32_t weight = msg.weight;
   if (from_region && region_down(from.as_region())) {
     // Exactly what the per-target send() loop records: one drop each,
-    // nothing sent, nothing billed.
-    dropped_.add(shard, targets.size());
-    dropped_sender_down_.add(shard, targets.size());
+    // nothing sent, nothing billed. Cohort targets weigh their member
+    // count, like the per-target loop would.
+    std::uint64_t copies = 0;
+    for (const Address to : targets) {
+      copies += to.kind == Address::Kind::kCohort
+                    ? directory_->flock_weight(to.as_flock())
+                    : weight;
+    }
+    dropped_.add(shard, copies);
+    dropped_sender_down_.add(shard, copies);
     return;
   }
 
@@ -383,23 +532,26 @@ void SimTransport::send_batch(Address from, std::span<const Address> targets,
 
   // Sender-side billing facts are shared by the whole batch; the per-target
   // += order below matches the per-target send() loop bit for bit.
-  const double billable = static_cast<double>(stamped.billable_bytes());
-  const Bytes billable_bytes = stamped.billable_bytes();
+  const Bytes billable_bytes = stamped.billable_bytes() * weight;
   RegionBill* bill = nullptr;
-  double alpha = 0.0, beta = 0.0;
-  Dollars* topic_dollars = nullptr;
+  Bytes* topic_inter = nullptr;
+  Bytes* topic_internet = nullptr;
   if (from_region) {
-    const geo::Region& region = catalog_->at(from.as_region());
     bill = &bills_[from.as_region().index()];
-    alpha = region.alpha_per_byte();
-    beta = region.beta_per_byte();
-    topic_dollars = &bill->topic_cost[stamped.topic];
+    topic_inter = &bill->topic_inter[stamped.topic];
+    topic_internet = &bill->topic_internet[stamped.topic];
   }
 
   for (const Address to : targets) {
+    if (to.kind == Address::Kind::kCohort) {
+      // One weighted hop (or an exact per-member replay inside fault
+      // windows) standing for the flock's member count.
+      send_cohort(from, to, stamped, directory_->flock_weight(to.as_flock()));
+      continue;
+    }
     if (to.kind == Address::Kind::kRegion && region_down(to.as_region())) {
-      sent_.add(shard);
-      dropped_.add(shard);
+      sent_.add(shard, weight);
+      dropped_.add(shard, weight);
       continue;
     }
     // Same consult position as send(): after the dead-region checks, before
@@ -410,19 +562,19 @@ void SimTransport::send_batch(Address from, std::span<const Address> targets,
       fault = fault_plan_->apply(from, to, sim_->now(),
                                  coin_stream(sender_lane, from, to));
       if (fault.dropped) {
-        sent_.add(shard);
-        dropped_.add(shard);
-        dropped_faulted_.add(shard);
+        sent_.add(shard, weight);
+        dropped_.add(shard, weight);
+        dropped_faulted_.add(shard, weight);
         continue;
       }
     }
     if (from_region) {
       if (to.kind == Address::Kind::kRegion) {
         bill->inter_region += billable_bytes;
-        *topic_dollars += billable * alpha;
+        *topic_inter += billable_bytes;
       } else {
         bill->internet += billable_bytes;
-        *topic_dollars += billable * beta;
+        *topic_internet += billable_bytes;
       }
     }
     Millis delay = latency(from, to);
@@ -430,7 +582,7 @@ void SimTransport::send_batch(Address from, std::span<const Address> targets,
       delay = jittered(sender_lane, from, to, delay);
     }
     delay = delay * fault.delay_factor + fault.delay_extra_ms;
-    sent_.add(shard);
+    sent_.add(shard, weight);
     // Per-target stamp; region targets keep the original subscriber so a
     // mixed batch cannot leak one client's stamp into a broker-bound copy.
     stamped.subscriber = to.kind == Address::Kind::kClient ? to.as_client()

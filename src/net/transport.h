@@ -33,6 +33,7 @@
 #include "geo/latency.h"
 #include "geo/region.h"
 #include "net/address.h"
+#include "net/cohort_directory.h"
 #include "net/fault_plan.h"
 #include "net/simulator.h"
 #include "wire/message.h"
@@ -63,6 +64,21 @@ class SimTransport : public DeliverySink {
 
   /// Installs (or replaces) the message handler for an address.
   void register_handler(Address address, Handler handler);
+
+  /// Removes the handler for an address (deliveries to it count as
+  /// dropped_unregistered afterwards). Cohort mode uses this to take the
+  /// per-client subscriber handlers off the wire once the pool owns their
+  /// traffic. Same immutability rules as register_handler.
+  void unregister_handler(Address address);
+
+  /// Installs (or, with nullptr, clears) the directory that resolves cohort
+  /// addresses. Cohort traffic requires the fast path and no jitter — the
+  /// weighted plane has no per-member jitter streams to replay. Borrowed;
+  /// must outlive the transport or be cleared first.
+  void set_cohort_directory(const CohortDirectory* directory);
+  [[nodiscard]] const CohortDirectory* cohort_directory() const {
+    return directory_;
+  }
 
   /// Schedules delivery of `msg` to `to` after the one-way latency from
   /// `from`. Bills billable_bytes() against `from` when `from` is a region.
@@ -202,6 +218,14 @@ class SimTransport : public DeliverySink {
   /// Dense handler slot for `address`, or nullptr when never registered.
   [[nodiscard]] const Handler* find_handler(Address address) const;
 
+  /// One send towards a cohort address standing for `weight` per-client
+  /// copies. Outside fault windows that can touch region->client links this
+  /// is a single weighted delivery; inside them it replays the per-member
+  /// loop exactly (same per-client coin streams, same drop/delay outcomes),
+  /// emitting weight-1 deliveries stamped with the member id.
+  void send_cohort(Address from, Address to, const wire::Message& msg,
+                   std::uint32_t weight);
+
   struct Jitter {
     JitterSpec spec;
     std::uint64_t seed = 0;
@@ -230,13 +254,15 @@ class SimTransport : public DeliverySink {
 
   /// Egress billed to one sending region. Written only from that region's
   /// shard (single writer per window); merged on demand by ledger() /
-  /// topic_cost(). The byte counts merge order-free (integers); the
-  /// per-topic dollars accumulate in the region's own send order, which is
-  /// shard-count-invariant.
+  /// topic_cost(). Everything is integer bytes — dollars are derived at
+  /// read time from the byte totals — so the sums are exact, commutative,
+  /// and identical whether a fan-out billed per client or once per weighted
+  /// cohort message.
   struct alignas(64) RegionBill {
     Bytes inter_region = 0;
     Bytes internet = 0;
-    std::unordered_map<TopicId, Dollars> topic_cost;
+    std::unordered_map<TopicId, Bytes> topic_inter;
+    std::unordered_map<TopicId, Bytes> topic_internet;
   };
 
   Simulator* sim_;
@@ -257,6 +283,8 @@ class SimTransport : public DeliverySink {
   std::unordered_map<Address, Handler, AddressHash> handlers_;
   std::deque<Handler> client_handlers_;
   std::deque<Handler> region_handlers_;
+  std::deque<Handler> cohort_handlers_;
+  const CohortDirectory* directory_ = nullptr;  // borrowed, may be null
   std::vector<std::unique_ptr<ShardLane>> lanes_;  // one per shard
   std::vector<bool> region_down_;  // indexed by RegionId
   std::optional<Jitter> jitter_;

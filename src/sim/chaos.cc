@@ -278,6 +278,7 @@ ChaosRunner::Execution ChaosRunner::execute(const FaultSchedule& schedule,
   LiveSystem live(*scenario_);
   live.set_data_plane_fast_path(options_.fast_path);
   live.set_incremental(options_.incremental);
+  live.set_cohorts(options_.cohorts);  // before set_shards: flocks get shards
   live.set_shards(options_.shards);
   live.transport().set_fault_plan(&plan);
   if (options_.break_outage_exclusion) {

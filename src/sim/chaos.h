@@ -43,6 +43,13 @@ struct ChaosOptions {
   /// therefore the whole report — must be identical for every value; >1
   /// requires fast_path.
   std::uint32_t shards = 1;
+  /// Runs the subscriber side on the cohort-compressed plane (DESIGN.md
+  /// §12). Requires fast_path. With schedules free of probabilistic drop
+  /// rules the report is byte-identical to the per-client plane; drop rules
+  /// are replayed per member for deliveries but a partially dropped
+  /// kConfigUpdate re-homes the whole flock, so drop schedules may diverge
+  /// in reconnect counts (never in oracle soundness).
+  bool cohorts = false;
   /// Negative-path demo: disables the controller's outage exclusion so it
   /// keeps routing topics through dead regions. The dead-region-exclusion
   /// oracle must catch this with a minimal schedule.

@@ -1,5 +1,8 @@
 #include "sim/live_runner.h"
 
+#include <array>
+#include <map>
+
 #include "common/assert.h"
 #include "common/stats.h"
 #include "core/cost_model.h"
@@ -68,6 +71,18 @@ void LiveSystem::set_shards(std::uint32_t shards) {
                                                .home_region[c]
                                                .index()];
   }
+  if (pool_ != nullptr) {
+    // A flock's events run on its home region's shard — the same placement
+    // its members would have had — and the flock universe closes here:
+    // shard assignments are static.
+    pool_->freeze();
+    map.cohort_shard.resize(pool_->flock_count());
+    for (std::size_t f = 0; f < map.cohort_shard.size(); ++f) {
+      map.cohort_shard[f] =
+          map.region_shard[pool_->flock_home(static_cast<std::int32_t>(f))
+                               .index()];
+    }
+  }
   base_lookahead_ = transport_->min_cross_shard_latency(map);
   MP_EXPECTS(base_lookahead_ > 0.0 && base_lookahead_ < kUnreachable);
   transport_->set_shards(shards);
@@ -97,10 +112,68 @@ void LiveSystem::deploy(const core::TopicConfig& config) {
   for (auto& publisher : publishers_) {
     publisher->set_config(topic, config);
   }
-  for (auto& subscriber : subscribers_) {
-    subscriber->subscribe(topic, config);
+  if (pool_ != nullptr) {
+    pool_->deploy(topic, config);
+  } else {
+    for (auto& subscriber : subscribers_) {
+      subscriber->subscribe(topic, config);
+    }
   }
   drain();  // let the kSubscribe handshakes land
+}
+
+void LiveSystem::set_cohorts(bool on) {
+  if (!on) {
+    MP_EXPECTS(pool_ == nullptr && "disabling cohorts is not supported");
+    return;
+  }
+  if (pool_ != nullptr) return;
+  MP_EXPECTS(transport_->fast_path());
+  const std::size_t n_clients = scenario_->population.size();
+  const std::size_t n_regions = scenario_->catalog.size();
+  arena_ = std::make_unique<Arena>();
+  topic_sets_ = std::make_unique<client::TopicSetPool>(*arena_);
+  // Exact rows (bucket 0): only bit-identical latency rows merge, which is
+  // what keeps the cohort plane bit-identical to the per-client one.
+  registry_ = std::make_unique<client::ClientRegistry>(
+      n_clients, n_regions, /*row_bucket_ms=*/0.0, *arena_);
+
+  const TopicId topic = scenario_->topic.topic;
+  const std::array<TopicId, 1> topics{topic};
+  const std::int32_t topic_set = topic_sets_->intern(topics);
+  std::vector<char> is_subscriber(n_clients, 0);
+  for (const auto& sub : scenario_->topic.subscribers) {
+    is_subscriber[sub.client.index()] = 1;
+  }
+  // Mirror the population 1:1 so registry ids equal scenario ClientIds.
+  std::vector<Millis> row(n_regions);
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    const ClientId id{static_cast<ClientId::underlying_type>(c)};
+    for (std::size_t r = 0; r < n_regions; ++r) {
+      row[r] = scenario_->population.latencies.at(
+          id, RegionId{static_cast<RegionId::underlying_type>(r)});
+    }
+    const ClientId added =
+        registry_->add(scenario_->population.home_region[c], row,
+                       is_subscriber[c] != 0 ? topic_set
+                                             : client::TopicSetPool::kEmpty);
+    MP_EXPECTS(added == id);
+  }
+
+  pool_ = std::make_unique<client::CohortPool>(*registry_, *topic_sets_, sim_,
+                                               *transport_);
+  // Enrollment order = the scenario's subscriber order, so cohort and flock
+  // ids are deterministic.
+  for (const auto& sub : scenario_->topic.subscribers) {
+    pool_->enroll(sub.client);
+  }
+  // The per-client subscriber endpoints leave the wire; the pool owns their
+  // traffic from here on.
+  for (const auto& subscriber : subscribers_) {
+    transport_->unregister_handler(net::Address::client(subscriber->id()));
+  }
+  subscribers_.clear();
+  transport_->set_cohort_directory(pool_.get());
 }
 
 void LiveSystem::schedule_traffic(Millis start_offset_ms, double seconds,
@@ -151,15 +224,27 @@ void LiveSystem::schedule_traffic(Millis start_offset_ms, double seconds,
 
 LiveRunResult LiveSystem::run_interval(double seconds, Bytes payload_bytes,
                                        double rate_hz, Rng& rng) {
-  for (auto& subscriber : subscribers_) subscriber->clear_deliveries();
+  if (pool_ != nullptr) {
+    pool_->clear_arrivals();
+  } else {
+    for (auto& subscriber : subscribers_) subscriber->clear_deliveries();
+  }
   schedule_traffic(0.0, seconds, payload_bytes, rate_hz, rng);
   drain();  // drain: every publication reaches every subscriber
 
   LiveRunResult result;
-  for (const auto& subscriber : subscribers_) {
-    const auto times = subscriber->delivery_times();
-    result.delivery_times.insert(result.delivery_times.end(), times.begin(),
-                                 times.end());
+  if (pool_ != nullptr) {
+    // Expand weighted arrivals back to per-member delivery times, in the
+    // same subscriber order the per-client loop concatenates.
+    for (const auto& sub : scenario_->topic.subscribers) {
+      pool_->append_delivery_times(sub.client, result.delivery_times);
+    }
+  } else {
+    for (const auto& subscriber : subscribers_) {
+      const auto times = subscriber->delivery_times();
+      result.delivery_times.insert(result.delivery_times.end(), times.begin(),
+                                   times.end());
+    }
   }
   result.publications = 0;
   for (std::uint64_t count : last_interval_counts_) {
@@ -201,9 +286,30 @@ std::vector<broker::Controller::Decision> LiveSystem::reconfigure_now(
     // excluded unavailable regions from it.
     if (!decision.orphans.empty()) {
       const RegionId notifier = decision.result.config.regions.first();
-      for (ClientId orphan : decision.orphans) {
-        region_manager(notifier).notify_client(decision.topic,
-                                               decision.result.config, orphan);
+      if (pool_ != nullptr) {
+        // A flock's members share a home region, so they are orphaned
+        // together: one weighted notification per flock (ordered map for a
+        // deterministic send order).
+        std::map<std::int32_t, std::uint32_t> orphans_by_flock;
+        for (ClientId orphan : decision.orphans) {
+          const std::int32_t flock = pool_->flock_of(orphan, decision.topic);
+          if (flock >= 0) {
+            ++orphans_by_flock[flock];
+          } else {
+            // Publishers (and unpooled clients) keep per-client endpoints.
+            region_manager(notifier).notify_client(
+                decision.topic, decision.result.config, orphan);
+          }
+        }
+        for (const auto& [flock, weight] : orphans_by_flock) {
+          region_manager(notifier).notify_flock(
+              decision.topic, decision.result.config, flock, weight);
+        }
+      } else {
+        for (ClientId orphan : decision.orphans) {
+          region_manager(notifier).notify_client(
+              decision.topic, decision.result.config, orphan);
+        }
       }
     }
     if (!decision.changed) continue;

@@ -14,8 +14,12 @@
 
 #include "broker/controller.h"
 #include "broker/region_manager.h"
+#include "client/client_registry.h"
+#include "client/cohort_pool.h"
 #include "client/publisher.h"
 #include "client/subscriber.h"
+#include "client/topic_set_pool.h"
+#include "common/arena.h"
 #include "net/simulator.h"
 #include "net/transport.h"
 #include "sim/scenario.h"
@@ -88,6 +92,25 @@ class LiveSystem {
   void set_shards(std::uint32_t shards);
   [[nodiscard]] std::uint32_t shards() const { return shards_; }
 
+  /// Switches the subscriber side to the cohort-compressed plane
+  /// (DESIGN.md §12): identical subscribers fold into weighted cohorts, the
+  /// per-client Subscriber endpoints leave the wire, and one weighted
+  /// message per flock replaces one per member. Observables (delivery
+  /// times, costs, weighted counters) stay bit-identical to the per-client
+  /// plane. Requires the fast path; call once, before deploy()/traffic and
+  /// before set_shards (the flock universe must exist to be sharded).
+  /// Disabling after enabling is not supported.
+  void set_cohorts(bool on);
+  [[nodiscard]] bool cohorts() const { return pool_ != nullptr; }
+  /// The cohort pool when cohorts are on, nullptr otherwise.
+  [[nodiscard]] client::CohortPool* cohort_pool() { return pool_.get(); }
+  [[nodiscard]] const client::CohortPool* cohort_pool() const {
+    return pool_.get();
+  }
+  [[nodiscard]] const client::ClientRegistry* client_registry() const {
+    return registry_.get();
+  }
+
   /// Same as control_round but does NOT drain the simulator: the
   /// kConfigUpdate traffic is merely scheduled. This is the form a
   /// ControlLoop calls from inside a simulator event, where draining would
@@ -135,6 +158,12 @@ class LiveSystem {
   const Scenario* scenario_;
   net::Simulator sim_;
   std::unique_ptr<net::SimTransport> transport_;
+  // Cohort plane (null in per-client mode). Declared after the transport:
+  // the pool unhooks its handlers and directory on destruction.
+  std::unique_ptr<Arena> arena_;
+  std::unique_ptr<client::TopicSetPool> topic_sets_;
+  std::unique_ptr<client::ClientRegistry> registry_;
+  std::unique_ptr<client::CohortPool> pool_;
   std::vector<std::unique_ptr<broker::RegionManager>> managers_;
   std::unique_ptr<broker::Controller> controller_;
   std::vector<std::unique_ptr<client::Publisher>> publishers_;

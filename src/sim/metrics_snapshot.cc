@@ -53,10 +53,18 @@ MetricsRegistry collect_metrics(LiveSystem& live) {
   }
 
   double reconnects = 0.0, duplicates = 0.0, deliveries = 0.0;
-  for (const auto& sub : live.subscribers()) {
-    reconnects += static_cast<double>(sub->reconnect_count());
-    duplicates += static_cast<double>(sub->duplicate_count());
-    deliveries += static_cast<double>(sub->deliveries().size());
+  if (const client::CohortPool* pool = live.cohort_pool()) {
+    // Weighted cohort counters are exactly what the per-client loop below
+    // would have summed (DESIGN.md §12).
+    reconnects = static_cast<double>(pool->reconnect_weight());
+    duplicates = static_cast<double>(pool->duplicate_weight());
+    deliveries = static_cast<double>(pool->interval_delivery_weight());
+  } else {
+    for (const auto& sub : live.subscribers()) {
+      reconnects += static_cast<double>(sub->reconnect_count());
+      duplicates += static_cast<double>(sub->duplicate_count());
+      deliveries += static_cast<double>(sub->deliveries().size());
+    }
   }
   out.set("clients.reconnects", reconnects);
   out.set("clients.duplicates", duplicates);

@@ -33,15 +33,21 @@ Scenario make_scenario(const std::vector<PlacementSpec>& placements,
         s.catalog, s.backbone, place.region, count, synth, rng);
     // Re-home the freshly synthesized rows into the scenario population so
     // ids stay dense across placements.
+    MP_EXPECTS(workload.subscriber_replication >= 1);
     for (std::size_t i = 0; i < count; ++i) {
       const ClientId local_id{static_cast<ClientId::underlying_type>(i)};
-      const ClientId id =
-          s.population.latencies.add_client(local.latencies.row(local_id));
-      s.population.home_region.push_back(place.region);
+      const auto row = local.latencies.row(local_id);
       if (i < place.publishers) {
-        publisher_ids.push_back(id);
+        publisher_ids.push_back(s.population.latencies.add_client(row));
+        s.population.home_region.push_back(place.region);
       } else {
-        subscriber_ids.push_back(id);
+        // Each subscriber position materializes `subscriber_replication`
+        // distinct clients on the same exact row.
+        for (std::size_t rep = 0; rep < workload.subscriber_replication;
+             ++rep) {
+          subscriber_ids.push_back(s.population.latencies.add_client(row));
+          s.population.home_region.push_back(place.region);
+        }
       }
     }
   }

@@ -39,6 +39,12 @@ struct WorkloadSpec {
   double ratio = 75.0;
   /// Delivery bound; sweeps overwrite it per point.
   Millis max_t = kUnreachable;
+  /// Clones every synthesized subscriber position this many times. The
+  /// clones are real, distinct clients sharing one exact latency row and
+  /// home region — the shape the cohort plane (DESIGN.md §12) folds into
+  /// weight-N cohorts while the per-client plane runs N endpoints, which is
+  /// what the cohort differential tests sweep. 1 = no replication.
+  std::size_t subscriber_replication = 1;
 };
 
 /// A fully materialized single-topic evaluation problem.

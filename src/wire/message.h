@@ -81,6 +81,12 @@ struct Message {
   std::uint64_t key = 0;
   /// Content filter of a subscription (kSubscribe).
   KeyFilter filter;
+  /// How many identical per-client messages this one stands for. 1 for
+  /// ordinary traffic; a message to or from a cohort address carries the
+  /// flock's member count, and every transport counter and billed byte is
+  /// multiplied by it — which is exactly what the per-client loop would
+  /// have recorded (DESIGN.md §12).
+  std::uint32_t weight = 1;
 
   /// Bytes billed by the cost model when this message leaves a cloud
   /// region: the application payload for publication traffic, zero for

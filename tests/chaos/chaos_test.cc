@@ -262,6 +262,99 @@ INSTANTIATE_TEST_SUITE_P(DataPlaneShards, ChaosCampaignTest,
                            return "Shards" + std::to_string(i.param);
                          });
 
+/// Cohort-compressed campaigns (DESIGN.md §12): the failure workload with
+/// every subscriber position replicated three-fold — real weight-3 cohorts,
+/// not degenerate weight-1 ones — parameterized over the subscriber plane.
+/// Every oracle must hold with weighted cohorts exactly as it does with
+/// per-client endpoints.
+class ChaosCohortTest : public ::testing::TestWithParam<bool> {
+ protected:
+  ChaosCohortTest() : rng_(303) {
+    WorkloadSpec workload;
+    workload.interval_seconds = 5.0;
+    workload.ratio = 95.0;
+    workload.max_t = 150.0;
+    workload.subscriber_replication = 3;
+    scenario_ = make_scenario({{RegionId{0}, 2, 2}, {RegionId{5}, 2, 2}},
+                              workload, rng_);
+    options_.rounds = 10;
+    options_.interval_seconds = 5.0;
+    options_.cohorts = GetParam();
+  }
+
+  Rng rng_;
+  Scenario scenario_;
+  ChaosOptions options_;
+};
+
+TEST_P(ChaosCohortTest, AllOraclesHoldUnderMixedFaults) {
+  // Includes a probabilistic drop rule: the cohort plane replays it per
+  // member (fault-split weight-1 copies), and all six oracles must hold.
+  const FaultSchedule schedule = testutil::chaos_schedule(
+      "fault outage ap-northeast-1 2 2\n"
+      "fault partition us-east-1 ap-northeast-1 1 1\n"
+      "fault delay region:* region:* 4 1 2.0 20\n"
+      "fault drop ap-northeast-1 * 5 1 0.25\n");
+  ChaosRunner runner(scenario_, options_);
+  const ChaosReport report = runner.run_schedule(schedule, 42);
+  EXPECT_TRUE(report.passed()) << report.render();
+  EXPECT_GT(report.deliveries, 0u);
+}
+
+TEST_P(ChaosCohortTest, SameSeedIsBitReproducible) {
+  ChaosRunner runner(scenario_, options_);
+  const ChaosReport a = runner.run(777);
+  const ChaosReport b = runner.run(777);
+  EXPECT_TRUE(a.passed()) << a.render();
+  EXPECT_EQ(a.render(), b.render());
+}
+
+INSTANTIATE_TEST_SUITE_P(SubscriberPlane, ChaosCohortTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Cohorts" : "PerClient";
+                         });
+
+TEST(ChaosCohortEquivalence, DropFreeReportsAreByteIdenticalAcrossPlanes) {
+  // For schedules free of probabilistic drop rules (outages, partitions and
+  // delays never match client-bound links) the FULL rendered report must be
+  // byte-identical between the per-client and cohort planes, for every
+  // seed. Drop rules are excluded by design: a partially dropped
+  // kConfigUpdate re-homes the whole flock (see ChaosOptions::cohorts).
+  Rng rng(303);
+  WorkloadSpec workload;
+  workload.interval_seconds = 5.0;
+  workload.ratio = 95.0;
+  workload.max_t = 150.0;
+  workload.subscriber_replication = 3;
+  const Scenario scenario =
+      make_scenario({{RegionId{0}, 2, 2}, {RegionId{5}, 2, 2}}, workload, rng);
+  const FaultSchedule schedule = testutil::chaos_schedule(
+      "fault outage ap-northeast-1 2 2\n"
+      "fault partition us-east-1 ap-northeast-1 1 1\n"
+      "fault delay region:* region:* 4 1 2.0 20\n");
+
+  ChaosOptions options;
+  options.rounds = 10;
+  options.interval_seconds = 5.0;
+  for (const std::uint64_t seed : {42u, 1234u}) {
+    options.cohorts = false;
+    const ChaosReport per_client =
+        ChaosRunner(scenario, options).run_schedule(schedule, seed);
+    options.cohorts = true;
+    const ChaosReport cohorts =
+        ChaosRunner(scenario, options).run_schedule(schedule, seed);
+    ASSERT_TRUE(per_client.passed()) << per_client.render();
+    EXPECT_EQ(per_client.render(), cohorts.render()) << "seed " << seed;
+
+    // ...and sharding the cohort plane changes nothing either.
+    options.shards = 4;
+    const ChaosReport sharded =
+        ChaosRunner(scenario, options).run_schedule(schedule, seed);
+    EXPECT_EQ(per_client.render(), sharded.render()) << "seed " << seed;
+    options.shards = 1;
+  }
+}
+
 TEST(ChaosShardEquivalence, ReportRenderIsByteIdenticalAcrossShardCounts) {
   // The strongest cross-K statement the harness can make: the FULL rendered
   // report — per-round observations, counters, costs, violations, schedule —

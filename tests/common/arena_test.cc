@@ -1,0 +1,66 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace multipub {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndAccounted) {
+  Arena arena;
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+
+  void* a = arena.allocate(3, 1);
+  void* b = arena.allocate(8, 8);
+  void* c = arena.allocate(1, 64);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  EXPECT_GE(arena.bytes_used(), 3u + 8u + 1u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(ArenaTest, MakeArrayDefaultInitializes) {
+  Arena arena;
+  std::int32_t* xs = arena.make_array<std::int32_t>(1000);
+  for (std::size_t i = 0; i < 1000; ++i) EXPECT_EQ(xs[i], 0);
+  xs[999] = 7;
+  EXPECT_EQ(xs[999], 7);
+}
+
+TEST(ArenaTest, BlocksDoubleGeometricallyUpToTheCap) {
+  Arena arena;
+  // Many small allocations: block count should grow logarithmically, so
+  // reserved bytes stay within a small factor of used bytes.
+  for (int i = 0; i < 10000; ++i) (void)arena.allocate(64, 8);
+  EXPECT_GE(arena.bytes_used(), 64u * 10000u);
+  EXPECT_LE(arena.bytes_reserved(), 4u * arena.bytes_used());
+}
+
+TEST(ArenaTest, OversizedRequestGetsItsOwnBlock) {
+  Arena arena;
+  const std::size_t big = Arena::kMaxBlockBytes + 1024;
+  auto* p = static_cast<std::byte*>(arena.allocate(big, 16));
+  ASSERT_NE(p, nullptr);
+  p[0] = std::byte{1};
+  p[big - 1] = std::byte{2};
+  EXPECT_GE(arena.bytes_reserved(), big);
+}
+
+TEST(ArenaTest, ResetDropsEverything) {
+  Arena arena;
+  (void)arena.make_array<double>(512);
+  EXPECT_GT(arena.bytes_used(), 0u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  // Usable again after reset.
+  double* xs = arena.make_array<double>(8);
+  xs[0] = 1.5;
+  EXPECT_EQ(xs[0], 1.5);
+}
+
+}  // namespace
+}  // namespace multipub

@@ -1,0 +1,209 @@
+// Live differential run for the cohort-compressed client plane
+// (DESIGN.md §12): identical systems driven by identical traffic, the
+// reference on per-client Subscriber endpoints, the candidates on weighted
+// cohorts — single-threaded and sharded (K = 4). The workload replicates
+// every subscriber position five-fold, so cohorts genuinely compress
+// (weight-5 flocks) instead of degenerating to weight 1. Across rounds with
+// rate shifts, member churn (leave + rejoin), an outage with recovery and
+// live reconfigurations, every observable — per-member delivery times,
+// interval costs, the CostLedger, broker counters, weighted client books,
+// and the full rendered metrics snapshot — must stay bit-identical.
+//
+// Parameterized over the control-plane pipeline (incremental vs full-scan)
+// so the weighted plane is proven under both reconfiguration paths.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/live_runner.h"
+#include "sim/metrics_snapshot.h"
+#include "sim/scenario.h"
+
+namespace multipub::sim {
+namespace {
+
+class CohortDiff : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CohortDiff, CohortPlaneIsBitIdenticalToPerClientPlane) {
+  const bool incremental = GetParam();
+  Rng rng(2026);
+  WorkloadSpec workload;
+  workload.interval_seconds = 10.0;
+  workload.ratio = 95.0;
+  workload.max_t = 150.0;
+  workload.subscriber_replication = 5;
+  const Scenario scenario =
+      make_scenario({{RegionId{0}, 2, 3}, {RegionId{5}, 2, 3}}, workload, rng);
+  ASSERT_EQ(scenario.topic.subscribers.size(), 30u);
+
+  // Reference: per-client subscribers on the fast path. Candidates: the
+  // cohort plane, single-threaded and on four shards.
+  auto reference = std::make_unique<LiveSystem>(scenario);
+  const std::vector<std::uint32_t> shard_counts{1, 4};
+  std::vector<std::unique_ptr<LiveSystem>> candidates;
+  std::vector<LiveSystem*> systems{reference.get()};
+  for (std::uint32_t shards : shard_counts) {
+    candidates.push_back(std::make_unique<LiveSystem>(scenario));
+    candidates.back()->set_cohorts(true);
+    candidates.back()->set_shards(shards);
+    ASSERT_TRUE(candidates.back()->cohorts());
+    systems.push_back(candidates.back().get());
+  }
+
+  // Five-fold replication at six positions: six weight-5 cohorts.
+  for (auto& candidate : candidates) {
+    ASSERT_EQ(candidate->cohort_pool()->cohort_count(), 6u);
+    ASSERT_EQ(candidate->cohort_pool()->flock_count(), 6u);
+    for (std::int32_t c = 0; c < 6; ++c) {
+      ASSERT_EQ(candidate->cohort_pool()->cohort_weight(c), 5u);
+    }
+  }
+
+  for (LiveSystem* sys : systems) sys->set_incremental(incremental);
+
+  const core::TopicConfig bootstrap{geo::RegionSet::universe(10),
+                                    core::DeliveryMode::kRouted};
+  for (LiveSystem* sys : systems) sys->deploy(bootstrap);
+
+  std::vector<Rng> traffic;
+  for (std::size_t i = 0; i < systems.size(); ++i) traffic.emplace_back(555);
+  Rng rng_rounds(556);
+
+  const TopicId topic = scenario.topic.topic;
+  const ClientId churner = scenario.topic.subscribers.back().client;
+  RegionId failed{-1};
+  for (int round = 0; round < 12; ++round) {
+    const double rate_hz = rng_rounds.uniform(0.5, 3.0);
+    std::vector<LiveRunResult> runs;
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+      runs.push_back(
+          systems[i]->run_interval(10.0, 1024, rate_hz, traffic[i]));
+    }
+    for (std::size_t i = 1; i < systems.size(); ++i) {
+      // Doubles along the hop chain — exact equality, not approximate, and
+      // in the same per-subscriber concatenation order.
+      ASSERT_EQ(runs[i].delivery_times, runs[0].delivery_times)
+          << "round " << round << " shards " << shard_counts[i - 1];
+      ASSERT_EQ(runs[i].interval_cost, runs[0].interval_cost)
+          << "round " << round << " shards " << shard_counts[i - 1];
+    }
+
+    if (round == 3) {
+      // Churn: one member leaves its weight-5 cohort in every system.
+      reference->subscribers().back()->unsubscribe(topic);
+      reference->simulator().run();
+      for (auto& candidate : candidates) {
+        candidate->cohort_pool()->unsubscribe_client(churner, topic);
+        candidate->simulator().run();
+        ASSERT_EQ(candidate->cohort_pool()->flock_of(churner, topic), -1);
+      }
+    }
+    if (round == 9) {
+      // ...and rejoins, attaching to whatever is deployed right now.
+      const auto* config = reference->controller().deployed_config(topic);
+      ASSERT_NE(config, nullptr);
+      reference->subscribers().back()->subscribe(topic, *config);
+      reference->simulator().run();
+      for (auto& candidate : candidates) {
+        candidate->cohort_pool()->subscribe_client(churner, topic, *config);
+        candidate->simulator().run();
+        ASSERT_GE(candidate->cohort_pool()->flock_of(churner, topic), 0);
+      }
+    }
+    if (round == 4) {
+      const auto* config = reference->controller().deployed_config(topic);
+      ASSERT_NE(config, nullptr);
+      failed = config->regions.first();
+      for (LiveSystem* sys : systems) {
+        sys->transport().set_region_down(failed, true);
+        sys->controller().set_region_available(failed, false);
+      }
+    }
+    if (round == 7) {
+      for (LiveSystem* sys : systems) {
+        sys->transport().set_region_down(failed, false);
+        sys->controller().set_region_available(failed, true);
+      }
+    }
+
+    for (LiveSystem* sys : systems) (void)sys->control_round();
+    const std::string matrix =
+        reference->controller().render_assignment_matrix();
+    const std::string snapshot = collect_metrics(*reference).render();
+    for (std::size_t i = 1; i < systems.size(); ++i) {
+      LiveSystem& sys = *systems[i];
+      ASSERT_EQ(sys.controller().render_assignment_matrix(), matrix)
+          << "round " << round << " shards " << shard_counts[i - 1];
+      ASSERT_EQ(sys.transport().ledger().inter_region_bytes,
+                reference->transport().ledger().inter_region_bytes)
+          << "round " << round << " shards " << shard_counts[i - 1];
+      ASSERT_EQ(sys.transport().ledger().internet_bytes,
+                reference->transport().ledger().internet_bytes)
+          << "round " << round << " shards " << shard_counts[i - 1];
+      ASSERT_EQ(sys.transport().sent_count(),
+                reference->transport().sent_count())
+          << "round " << round << " shards " << shard_counts[i - 1];
+      ASSERT_EQ(sys.transport().dropped_count(),
+                reference->transport().dropped_count())
+          << "round " << round << " shards " << shard_counts[i - 1];
+      ASSERT_EQ(sys.transport().topic_cost(topic),
+                reference->transport().topic_cost(topic))
+          << "round " << round << " shards " << shard_counts[i - 1];
+      // The rendered snapshot sweeps broker counters, the weighted client
+      // books (reconnects/duplicates/deliveries) and the controller state.
+      ASSERT_EQ(collect_metrics(sys).render(), snapshot)
+          << "round " << round << " shards " << shard_counts[i - 1];
+    }
+  }
+  ASSERT_NE(failed.value(), -1);
+}
+
+TEST_P(CohortDiff, CohortPlaneMatchesLegacyReferencePath) {
+  // Transitivity anchor: the per-client LEGACY (std::function) path — the
+  // seed's original data plane — against the cohort plane, over a couple of
+  // plain traffic rounds. Locks the whole refactor chain seed -> fast path
+  // -> cohorts to one observable behaviour.
+  const bool incremental = GetParam();
+  Rng rng(7);
+  WorkloadSpec workload;
+  workload.interval_seconds = 5.0;
+  workload.subscriber_replication = 4;
+  const Scenario scenario =
+      make_scenario({{RegionId{1}, 1, 2}, {RegionId{8}, 1, 2}}, workload, rng);
+
+  LiveSystem legacy(scenario);
+  legacy.set_data_plane_fast_path(false);
+  LiveSystem cohort(scenario);
+  cohort.set_cohorts(true);
+  legacy.set_incremental(incremental);
+  cohort.set_incremental(incremental);
+
+  const core::TopicConfig bootstrap{geo::RegionSet::universe(10),
+                                    core::DeliveryMode::kDirect};
+  legacy.deploy(bootstrap);
+  cohort.deploy(bootstrap);
+
+  Rng rng_legacy(99), rng_cohort(99);
+  for (int round = 0; round < 4; ++round) {
+    const auto a = legacy.run_interval(5.0, 512, 2.0, rng_legacy);
+    const auto b = cohort.run_interval(5.0, 512, 2.0, rng_cohort);
+    ASSERT_EQ(a.delivery_times, b.delivery_times) << "round " << round;
+    ASSERT_EQ(a.interval_cost, b.interval_cost) << "round " << round;
+    (void)legacy.control_round();
+    (void)cohort.control_round();
+    ASSERT_EQ(collect_metrics(legacy).render(),
+              collect_metrics(cohort).render())
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ControlPlane, CohortDiff, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Incremental" : "FullScan";
+                         });
+
+}  // namespace
+}  // namespace multipub::sim

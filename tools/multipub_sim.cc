@@ -82,6 +82,13 @@ Validation:
                            threads (conservative time windows, DESIGN.md
                            §11; default 1; K > 1 requires --fast-path on)
   --threads K              alias for --shards
+  --clients N              with --live: replicate the subscriber positions
+                           round-robin until N subscribers exist (clones
+                           share their original's exact latency row and
+                           home region; publishers are untouched)
+  --cohorts on|off         with --live: fold the subscribers into weighted
+                           cohorts (DESIGN.md §12; default off; requires
+                           --fast-path on)
   --explain K              print the K best configurations with their
                            percentile/cost (what-if table)
   --metrics                with --live: dump the metrics snapshot
@@ -109,7 +116,7 @@ int main(int argc, char** argv) {
       "rate", "size", "interval", "ratio", "max-t", "sweep", "mode",
       "heuristic", "exact-list", "synthetic-regions", "modern-aws", "seed",
       "latencies", "dump-latencies", "live", "incremental", "fast-path",
-      "shards", "threads", "explain", "metrics",
+      "shards", "threads", "clients", "cohorts", "explain", "metrics",
   });
 
   const long seed = flags.get_int("seed", 2017);
@@ -342,10 +349,28 @@ int main(int argc, char** argv) {
                  shards);
     return 2;
   }
-  if ((shards > 1 || flags.has("fast-path")) && !flags.get_bool("live", false)) {
+  const std::string cohorts = flags.get("cohorts", "off");
+  if (cohorts != "on" && cohorts != "off") {
+    std::fprintf(stderr, "--cohorts must be 'on' or 'off'\n");
+    return 2;
+  }
+  if (cohorts == "on" && fast_path == "off") {
     std::fprintf(stderr,
-                 "--shards/--threads/--fast-path only apply to the live "
-                 "middleware: add --live\n");
+                 "--cohorts on requires --fast-path on: weighted flock "
+                 "events only exist on the typed-event plane\n");
+    return 2;
+  }
+  const long clients_target = flags.get_int("clients", 0);
+  if (flags.has("clients") && clients_target < 1) {
+    std::fprintf(stderr, "--clients must be >= 1\n");
+    return 2;
+  }
+  if ((shards > 1 || flags.has("fast-path") || flags.has("cohorts") ||
+       flags.has("clients")) &&
+      !flags.get_bool("live", false)) {
+    std::fprintf(stderr,
+                 "--shards/--threads/--fast-path/--cohorts/--clients only "
+                 "apply to the live middleware: add --live\n");
     return 2;
   }
 
@@ -435,9 +460,35 @@ int main(int argc, char** argv) {
 
   // --- Live validation ---
   if (flags.get_bool("live", false)) {
+    // --clients N: replicate the subscriber positions after the solve (the
+    // clones share exact latency rows, so the analytic percentile is
+    // unchanged and the optimizer need not rank a million rows). This is
+    // the workload shape the cohort plane folds into weight-N cohorts.
+    if (clients_target > static_cast<long>(scenario.topic.subscribers.size())) {
+      if (scenario.topic.subscribers.empty()) {
+        std::fprintf(stderr, "--clients needs at least one subscriber\n");
+        return 2;
+      }
+      const auto base = scenario.topic.subscribers;
+      for (std::size_t i = scenario.topic.subscribers.size();
+           i < static_cast<std::size_t>(clients_target); ++i) {
+        const auto& original = base[i % base.size()];
+        // Copy the row first: add_client may reallocate the matrix the
+        // span points into.
+        const auto span = scenario.population.latencies.row(original.client);
+        const std::vector<Millis> row(span.begin(), span.end());
+        const ClientId id = scenario.population.latencies.add_client(row);
+        scenario.population.home_region.push_back(
+            scenario.population.home_region[original.client.index()]);
+        auto clone = original;
+        clone.client = id;
+        scenario.topic.subscribers.push_back(clone);
+      }
+    }
     sim::LiveSystem live(scenario);
     live.set_incremental(incremental == "on");
     live.set_data_plane_fast_path(fast_path == "on");
+    if (cohorts == "on") live.set_cohorts(true);
     if (shards > 0) live.set_shards(static_cast<std::uint32_t>(shards));
     live.deploy(chosen);
     const auto run = live.run_interval(workload.interval_seconds,
@@ -452,8 +503,11 @@ int main(int argc, char** argv) {
         "%zu carried\n",
         incremental == "on" ? "incremental" : "full-scan", round.tracked,
         round.dirty, round.evaluated, round.skipped_clean);
-    std::printf("  data plane: %s scheduling, %u shard(s)\n",
-                fast_path == "on" ? "fast-path" : "legacy", live.shards());
+    std::printf("  data plane: %s scheduling, %u shard(s), %s\n",
+                fast_path == "on" ? "fast-path" : "legacy", live.shards(),
+                cohorts == "on"
+                    ? "cohort-compressed subscribers"
+                    : "per-client subscribers");
     std::printf("  measured  : p=%.1fms  $%.2f/day  (%llu deliveries)\n",
                 run.percentile, run.cost_per_day,
                 static_cast<unsigned long long>(run.deliveries));
