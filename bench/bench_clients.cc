@@ -28,9 +28,15 @@
 //     interval costs and rendered metrics.
 //
 // Usage: bench_clients [--clients N] [--cohorts on|off|both] [--pubs P]
-//                      [--max-per-client N] [--verify]
+//                      [--max-per-client N] [--quantize-ms MS] [--verify]
 // (default: sweep N in {10k, 100k, 1M, 10M}, both planes, per-client
 // capped at --max-per-client, default 1M)
+//
+// --quantize-ms MS > 0 buckets the latency rows before cohort interning
+// (floor(lat/MS)*MS), folding near-identical positions into one cohort.
+// That trades the bit-identity guarantee for compression, so the books
+// comparison is skipped — the cohort column shrinking as MS grows is the
+// observable.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -80,6 +86,7 @@ struct RunResult {
   std::vector<Bytes> internet_bytes;
   std::size_t cohorts = 0;  // 0 on the per-client plane
   std::size_t flocks = 0;
+  std::size_t rows = 0;  // distinct interned latency rows (cohort plane)
 
   [[nodiscard]] double per_sec(std::uint64_t n) const {
     return seconds > 0.0 ? static_cast<double>(n) / seconds : 0.0;
@@ -126,7 +133,7 @@ struct Driver {
 /// Runs `pubs_per_topic` publications per topic against `n_clients`
 /// subscribers on the chosen plane and returns the counter books.
 RunResult run_plane(bool cohorts, std::size_t n_clients,
-                    std::uint64_t pubs_per_topic) {
+                    std::uint64_t pubs_per_topic, double quantize_ms) {
   Rng world_rng(kWorldSeed);
   const auto world = geo::synthesize_world(kRegions, {}, world_rng);
   // The 64 distinct network positions every client maps onto.
@@ -176,7 +183,7 @@ RunResult run_plane(bool cohorts, std::size_t n_clients,
     arena = std::make_unique<Arena>();
     topic_sets = std::make_unique<client::TopicSetPool>(*arena);
     registry = std::make_unique<client::ClientRegistry>(n_clients, kRegions,
-                                                        0.0, *arena);
+                                                        quantize_ms, *arena);
     std::vector<std::int32_t> position_set(kPositions);
     for (std::size_t p = 0; p < kPositions; ++p) {
       const std::array<TopicId, 1> topics{
@@ -201,6 +208,7 @@ RunResult run_plane(bool cohorts, std::size_t n_clients,
     }
     result.cohorts = pool->cohort_count();
     result.flocks = pool->flock_count();
+    result.rows = registry->row_count();
   } else {
     // One handler and one subscription per client, each attached to the
     // closest serving region of its topic — the same attachment rule the
@@ -337,26 +345,38 @@ int main(int argc, char** argv) {
         "  --pubs P             publications per topic (default 20)\n"
         "  --max-per-client N   largest N the per-client plane runs\n"
         "                       (default 1000000)\n"
+        "  --quantize-ms MS     bucket latency rows before cohort interning\n"
+        "                       (default 0 = exact; MS > 0 folds near-\n"
+        "                       identical positions and skips the books\n"
+        "                       comparison)\n"
         "  --verify             LiveSystem bit-identity differential at\n"
         "                       --clients (default 10000) and exit\n");
     return 0;
   }
-  flags.allow_only(
-      {"help", "clients", "cohorts", "pubs", "max-per-client", "verify"});
+  flags.allow_only({"help", "clients", "cohorts", "pubs", "max-per-client",
+                    "quantize-ms", "verify"});
   const long clients_flag = flags.get_int("clients", 0);
   const std::string cohorts_mode = flags.get("cohorts", "both");
   const auto pubs_per_topic = static_cast<std::uint64_t>(
       std::max(1L, flags.get_int("pubs", 20)));
   const auto max_per_client = static_cast<std::size_t>(
       std::max(0L, flags.get_int("max-per-client", 1000000)));
+  const double quantize_ms = flags.get_double("quantize-ms", 0.0);
   if (!flags.errors().empty() ||
       (cohorts_mode != "both" && cohorts_mode != "on" &&
        cohorts_mode != "off") ||
-      clients_flag < 0) {
+      clients_flag < 0 || quantize_ms < 0.0) {
     for (const auto& error : flags.errors()) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
     }
     std::fprintf(stderr, "see --help\n");
+    return 2;
+  }
+  if (quantize_ms > 0.0 && flags.get_bool("verify", false)) {
+    std::fprintf(stderr,
+                 "--quantize-ms is incompatible with --verify: the "
+                 "differential asserts bit-identity, which only exact rows "
+                 "provide\n");
     return 2;
   }
 
@@ -376,8 +396,8 @@ int main(int argc, char** argv) {
               "%llu pubs/topic\n",
               kRegions, kPositions, kTopics,
               static_cast<unsigned long long>(pubs_per_topic));
-  std::printf("%-10s %12s %10s %14s %10s %20s %12s\n", "plane", "clients",
-              "cohorts", "events", "seconds", "weighted_del_per_s",
+  std::printf("%-10s %12s %10s %6s %14s %10s %20s %12s\n", "plane", "clients",
+              "cohorts", "rows", "events", "seconds", "weighted_del_per_s",
               "peak_rss_mb");
 
   bench::BenchReport report("clients");
@@ -398,10 +418,15 @@ int main(int argc, char** argv) {
                                {"cohort", true, ran_cohorts}};
     for (const PlaneRow& plane : planes) {
       if (!plane.ran) continue;
-      const RunResult r = run_plane(plane.cohorts, n, pubs_per_topic);
+      const RunResult r =
+          run_plane(plane.cohorts, n, pubs_per_topic, quantize_ms);
       if (!plane.cohorts) per_client = r;
-      const bool identical =
-          !plane.cohorts || !ran_per_client || books_identical(r, per_client);
+      // Quantized rows legitimately re-route flocks (a bucketed row may pick
+      // a different closest serving region), so the books only have to
+      // coincide at bucket 0.
+      const bool identical = !plane.cohorts || !ran_per_client ||
+                             quantize_ms > 0.0 ||
+                             books_identical(r, per_client);
       all_identical = all_identical && identical;
       if (plane.cohorts && ran_per_client && n >= 1'000'000) {
         gate_checked = true;
@@ -412,8 +437,8 @@ int main(int argc, char** argv) {
       }
       const unsigned long long rss = bench::peak_rss_bytes();
       if (plane.cohorts) largest_cohort_rss = rss;
-      std::printf("%-10s %12zu %10zu %14llu %10.3f %20.0f %12.1f%s\n",
-                  plane.label, n, r.cohorts,
+      std::printf("%-10s %12zu %10zu %6zu %14llu %10.3f %20.0f %12.1f%s\n",
+                  plane.label, n, r.cohorts, r.rows,
                   static_cast<unsigned long long>(r.events), r.seconds,
                   r.per_sec(r.weighted_deliveries),
                   static_cast<double>(rss) / 1e6,
@@ -423,6 +448,8 @@ int main(int argc, char** argv) {
           .uinteger("clients", n)
           .uinteger("cohorts", r.cohorts)
           .uinteger("flocks", r.flocks)
+          .uinteger("latency_rows", r.rows)
+          .num("quantize_ms", quantize_ms)
           .uinteger("publications", pubs_per_topic * kTopics)
           .uinteger("events", r.events)
           .num("seconds", r.seconds)

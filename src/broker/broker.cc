@@ -5,12 +5,11 @@
 
 namespace multipub::broker {
 
-Broker::Broker(RegionId self, net::Simulator& sim,
-               net::SimTransport& transport)
-    : self_(self), sim_(&sim), transport_(&transport) {
+Broker::Broker(RegionId self, net::Clock& clock, net::Bus& bus)
+    : self_(self), clock_(&clock), bus_(&bus) {
   MP_EXPECTS(self.valid());
-  transport.register_handler(net::Address::region(self),
-                             [this](const wire::Message& msg) { handle(msg); });
+  bus.register_handler(net::Address::region(self),
+                       [this](const wire::Message& msg) { handle(msg); });
 }
 
 void Broker::set_topic_config(TopicId topic, const core::TopicConfig& config) {
@@ -21,11 +20,11 @@ void Broker::set_topic_config(TopicId topic, const core::TopicConfig& config) {
     // serving set until clients have finished their handover.
     Drain& drain = draining_[topic];
     drain.regions = drain.regions | it->second.regions;
-    drain.until = sim_->now() + drain_grace_ms_;
-    sim_->schedule_after(drain_grace_ms_, [this, topic] {
+    drain.until = clock_->now() + drain_grace_ms_;
+    clock_->schedule_after(drain_grace_ms_, [this, topic] {
       const auto drain_it = draining_.find(topic);
       if (drain_it != draining_.end() &&
-          sim_->now() >= drain_it->second.until) {
+          clock_->now() >= drain_it->second.until) {
         draining_.erase(drain_it);
       }
     });
@@ -46,7 +45,7 @@ const core::TopicConfig* Broker::topic_config(TopicId topic) const {
 void Broker::handle(const wire::Message& msg) {
   switch (msg.type) {
     case wire::MessageType::kSubscribe:
-      if (transport_->cohort_directory() != nullptr) {
+      if (bus_->cohort_directory() != nullptr) {
         // Cohort plane: msg.subscriber carries a flock id, and msg.seq says
         // whether this attach changes the region's member set (the pool
         // mirrors the per-client table transitions exactly; a re-attach to
@@ -59,7 +58,7 @@ void Broker::handle(const wire::Message& msg) {
       }
       break;
     case wire::MessageType::kUnsubscribe:
-      if (const net::CohortDirectory* dir = transport_->cohort_directory();
+      if (const net::CohortDirectory* dir = bus_->cohort_directory();
           dir != nullptr) {
         // A flock entry outlives single-member departures: it goes away
         // only when nobody is left behind it or the flock re-attached
@@ -87,7 +86,7 @@ void Broker::handle(const wire::Message& msg) {
       // Latency probe: echo it back so the client can measure the RTT.
       wire::Message pong = msg;
       pong.type = wire::MessageType::kPong;
-      transport_->send(net::Address::region(self_),
+      bus_->send(net::Address::region(self_),
                        net::Address::client(msg.subscriber), pong);
       break;
     }
@@ -99,6 +98,23 @@ void Broker::handle(const wire::Message& msg) {
     case wire::MessageType::kPong:
       MP_LOG_WARN("broker") << "region R" << self_.value() + 1
                             << " ignoring client-bound message "
+                            << wire::to_string(msg.type);
+      break;
+    case wire::MessageType::kNodeHello:
+    case wire::MessageType::kNodeWelcome:
+    case wire::MessageType::kPeerInfo:
+    case wire::MessageType::kHeartbeat:
+    case wire::MessageType::kPhaseStart:
+    case wire::MessageType::kPhaseDone:
+    case wire::MessageType::kReportPublisher:
+    case wire::MessageType::kReportSubscriber:
+    case wire::MessageType::kReportEnd:
+    case wire::MessageType::kNodeBye:
+      // Node lifecycle traffic is consumed by the node runtime wrapper
+      // before it reaches the broker; seeing one here means no wrapper is
+      // installed (e.g. a stray send in a simulation).
+      MP_LOG_WARN("broker") << "region R" << self_.value() + 1
+                            << " ignoring node-lifecycle message "
                             << wire::to_string(msg.type);
       break;
   }
@@ -137,7 +153,7 @@ void Broker::on_publish(const wire::Message& msg) {
         ++drain_forwarded_;
       }
     }
-    transport_->send_batch(net::Address::region(self_), fanout_scratch_, msg,
+    bus_->send_batch(net::Address::region(self_), fanout_scratch_, msg,
                            wire::MessageType::kForward);
   }
   deliver_locally(msg);
@@ -145,7 +161,7 @@ void Broker::on_publish(const wire::Message& msg) {
 
 void Broker::deliver_locally(const wire::Message& msg) {
   deliver_scratch_.clear();
-  const net::CohortDirectory* dir = transport_->cohort_directory();
+  const net::CohortDirectory* dir = bus_->cohort_directory();
   for (const Subscription& sub : subs_.subscriptions(msg.topic)) {
     if (dir != nullptr) {
       // Cohort plane: the entry is a flock; its live weight is the member
@@ -173,7 +189,7 @@ void Broker::deliver_locally(const wire::Message& msg) {
   }
   // The batch stamps kDeliver and the per-target subscriber as each
   // delivery is scheduled.
-  transport_->send_batch(net::Address::region(self_), deliver_scratch_, msg,
+  bus_->send_batch(net::Address::region(self_), deliver_scratch_, msg,
                          wire::MessageType::kDeliver);
 }
 

@@ -12,8 +12,7 @@
 
 #include "broker/subscription_table.h"
 #include "core/config.h"
-#include "net/simulator.h"
-#include "net/transport.h"
+#include "net/bus.h"
 #include "wire/message.h"
 
 namespace multipub::broker {
@@ -33,10 +32,12 @@ struct LatencyReport {
 
 class Broker {
  public:
-  /// Registers itself as the handler for Address::region(self) on the
-  /// transport. Simulator and transport must outlive the broker (the
-  /// simulator provides the clock for reconfiguration draining).
-  Broker(RegionId self, net::Simulator& sim, net::SimTransport& transport);
+  /// Registers itself as the handler for Address::region(self) on the bus.
+  /// Clock and bus must outlive the broker (the clock drives the
+  /// reconfiguration drain windows). The broker is transport-agnostic: the
+  /// same code runs over SimTransport (virtual time) and SocketTransport
+  /// (a real process on wall time).
+  Broker(RegionId self, net::Clock& clock, net::Bus& bus);
 
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
@@ -118,8 +119,8 @@ class Broker {
   };
 
   RegionId self_;
-  net::Simulator* sim_;
-  net::SimTransport* transport_;
+  net::Clock* clock_;
+  net::Bus* bus_;
   SubscriptionTable subs_;
   std::unordered_map<TopicId, core::TopicConfig> configs_;
   std::unordered_map<TopicId, Drain> draining_;

@@ -25,9 +25,8 @@ bool same_stats(const std::vector<core::PublisherStats>& a,
 
 }  // namespace
 
-RegionManager::RegionManager(RegionId self, net::Simulator& sim,
-                             net::SimTransport& transport)
-    : transport_(&transport), broker_(self, sim, transport) {}
+RegionManager::RegionManager(RegionId self, net::Clock& clock, net::Bus& bus)
+    : bus_(&bus), broker_(self, clock, bus) {}
 
 void RegionManager::set_refresh_period(int period) {
   MP_EXPECTS(period >= 1);
@@ -110,7 +109,7 @@ ReportBatch RegionManager::collect_impl(bool force_full) {
   ReportBatch batch;
   batch.full_snapshot = full;
   batch.reports.reserve(topics.size());
-  const net::CohortDirectory* dir = transport_->cohort_directory();
+  const net::CohortDirectory* dir = bus_->cohort_directory();
   for (TopicId topic : topics) {
     TopicReport report;
     report.topic = topic;
@@ -214,7 +213,7 @@ void RegionManager::apply_config(TopicId topic,
 
   const net::Address self = net::Address::region(region());
   // Notify local subscribers (by-reference view; no per-call vector)...
-  const net::CohortDirectory* dir = transport_->cohort_directory();
+  const net::CohortDirectory* dir = bus_->cohort_directory();
   for (const Subscription& sub : broker_.subscriptions().subscriptions(topic)) {
     if (dir != nullptr) {
       // One weighted update per flock — the per-client plane would have
@@ -222,18 +221,18 @@ void RegionManager::apply_config(TopicId topic,
       const std::uint32_t weight = dir->flock_weight(sub.subscriber.value());
       if (weight == 0) continue;
       update.weight = weight;
-      transport_->send(self, net::Address::cohort(sub.subscriber.value()),
+      bus_->send(self, net::Address::cohort(sub.subscriber.value()),
                        update);
       update.weight = 1;
       continue;
     }
-    transport_->send(self, net::Address::client(sub.subscriber), update);
+    bus_->send(self, net::Address::client(sub.subscriber), update);
   }
   // ...and every publisher this region has ever served for the topic.
   if (const auto it = known_publishers_.find(topic);
       it != known_publishers_.end()) {
     for (ClientId publisher : it->second) {
-      transport_->send(self, net::Address::client(publisher), update);
+      bus_->send(self, net::Address::client(publisher), update);
     }
   }
   MP_LOG_INFO("region-manager")
@@ -251,7 +250,7 @@ void RegionManager::notify_client(TopicId topic,
   update.config_mode = config.mode == core::DeliveryMode::kRouted
                            ? wire::WireMode::kRouted
                            : wire::WireMode::kDirect;
-  transport_->send(net::Address::region(region()),
+  bus_->send(net::Address::region(region()),
                    net::Address::client(client), update);
 }
 
@@ -266,7 +265,7 @@ void RegionManager::notify_flock(TopicId topic, const core::TopicConfig& config,
                            ? wire::WireMode::kRouted
                            : wire::WireMode::kDirect;
   update.weight = weight;
-  transport_->send(net::Address::region(region()), net::Address::cohort(flock),
+  bus_->send(net::Address::region(region()), net::Address::cohort(flock),
                    update);
 }
 

@@ -45,9 +45,8 @@ struct ReportBatch {
 
 class RegionManager {
  public:
-  /// Creates the region's broker and registers it on the transport.
-  RegionManager(RegionId self, net::Simulator& sim,
-                net::SimTransport& transport);
+  /// Creates the region's broker and registers it on the bus.
+  RegionManager(RegionId self, net::Clock& clock, net::Bus& bus);
 
   RegionManager(const RegionManager&) = delete;
   RegionManager& operator=(const RegionManager&) = delete;
@@ -120,7 +119,7 @@ class RegionManager {
   /// longer serves and that have no local activity left.
   void prune_known_publishers();
 
-  net::SimTransport* transport_;
+  net::Bus* bus_;
   Broker broker_;
   IntraRegionScaler scaler_;
   /// Publishers ever seen per topic — kept across intervals so that a

@@ -8,18 +8,18 @@
 namespace multipub::client {
 
 CohortPool::CohortPool(ClientRegistry& registry, TopicSetPool& topic_sets,
-                       net::Simulator& sim, net::SimTransport& transport)
+                       net::Clock& clock, net::Bus& bus)
     : registry_(&registry),
       topic_sets_(&topic_sets),
-      sim_(&sim),
-      transport_(&transport) {}
+      clock_(&clock),
+      bus_(&bus) {}
 
 CohortPool::~CohortPool() {
-  if (transport_->cohort_directory() == this) {
-    transport_->set_cohort_directory(nullptr);
+  if (bus_->cohort_directory() == this) {
+    bus_->set_cohort_directory(nullptr);
   }
   for (std::size_t fid = 0; fid < flocks_.size(); ++fid) {
-    transport_->unregister_handler(
+    bus_->unregister_handler(
         net::Address::cohort(static_cast<std::int32_t>(fid)));
   }
 }
@@ -280,7 +280,7 @@ std::int32_t CohortPool::cohort_slot(RegionId home, std::int32_t topic_set,
     flock.topic = topic;
     flocks_.push_back(flock);
     cohort.flocks.emplace_back(topic, fid);
-    transport_->register_handler(
+    bus_->register_handler(
         net::Address::cohort(fid),
         [this, fid](const wire::Message& msg) { handle(fid, msg); });
   }
@@ -348,7 +348,7 @@ void CohortPool::attach(std::int32_t flock_id, RegionId region) {
     // good-bye standing for every member's.
     const RegionId old_region = flock.attachment;
     cohort.reconnects_w += weight;
-    sim_->schedule_after(handover_grace_ms_, [this, flock_id, old_region] {
+    clock_->schedule_after(handover_grace_ms_, [this, flock_id, old_region] {
       Flock& current = flocks_[static_cast<std::size_t>(flock_id)];
       if (current.attachment == old_region) {
         return;  // flapped back during the grace period: still attached
@@ -382,7 +382,7 @@ void CohortPool::send_control(std::int32_t flock_id, RegionId to,
   msg.seq = membership_seq;
   msg.weight = weight;
   if (type == wire::MessageType::kSubscribe) msg.filter = flock.filter;
-  transport_->send(net::Address::cohort(flock_id), net::Address::region(to),
+  bus_->send(net::Address::cohort(flock_id), net::Address::region(to),
                    msg);
 }
 
@@ -409,7 +409,7 @@ void CohortPool::handle(std::int32_t flock_id, const wire::Message& msg) {
 void CohortPool::on_deliver(std::int32_t flock_id, const wire::Message& msg) {
   Flock& flock = flocks_[static_cast<std::size_t>(flock_id)];
   Cohort& cohort = cohorts_[static_cast<std::size_t>(flock.cohort)];
-  const Millis value = sim_->now() - msg.published_at;
+  const Millis value = clock_->now() - msg.published_at;
   const SeenKey key{msg.topic.value(), msg.publisher.value(), msg.seq};
   SeenEntry& entry = cohort.seen[key];
   if (!msg.subscriber.valid()) {

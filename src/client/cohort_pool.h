@@ -30,18 +30,17 @@
 #include "client/client_registry.h"
 #include "client/topic_set_pool.h"
 #include "core/config.h"
+#include "net/bus.h"
 #include "net/cohort_directory.h"
-#include "net/simulator.h"
-#include "net/transport.h"
 
 namespace multipub::client {
 
 class CohortPool final : public net::CohortDirectory {
  public:
   /// Borrows everything; registry and topic sets must outlive the pool.
-  /// Registers one transport handler per flock as cohorts are enrolled.
+  /// Registers one bus handler per flock as cohorts are enrolled.
   CohortPool(ClientRegistry& registry, TopicSetPool& topic_sets,
-             net::Simulator& sim, net::SimTransport& transport);
+             net::Clock& clock, net::Bus& bus);
   ~CohortPool();
 
   CohortPool(const CohortPool&) = delete;
@@ -231,8 +230,8 @@ class CohortPool final : public net::CohortDirectory {
 
   ClientRegistry* registry_;
   TopicSetPool* topic_sets_;
-  net::Simulator* sim_;
-  net::SimTransport* transport_;
+  net::Clock* clock_;
+  net::Bus* bus_;
   std::vector<Cohort> cohorts_;
   std::vector<Flock> flocks_;
   std::unordered_map<std::uint64_t, std::int32_t, CohortKeyHash> by_key_;

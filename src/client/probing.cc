@@ -4,9 +4,8 @@
 
 namespace multipub::client {
 
-LatencyProber::LatencyProber(ClientId self, net::Simulator& sim,
-                             net::SimTransport& transport)
-    : self_(self), sim_(&sim), transport_(&transport) {
+LatencyProber::LatencyProber(ClientId self, net::Clock& clock, net::Bus& bus)
+    : self_(self), clock_(&clock), bus_(&bus) {
   MP_EXPECTS(self.valid());
 }
 
@@ -16,9 +15,9 @@ void LatencyProber::probe(geo::RegionSet regions) {
     ping.type = wire::MessageType::kPing;
     ping.subscriber = self_;
     ping.seq = next_seq_++;
-    ping.published_at = sim_->now();
+    ping.published_at = clock_->now();
     outstanding_[ping.seq] = region;
-    transport_->send(net::Address::client(self_), net::Address::region(region),
+    bus_->send(net::Address::client(self_), net::Address::region(region),
                      ping);
     ++pings_sent_;
   }
@@ -33,14 +32,14 @@ bool LatencyProber::on_message(const wire::Message& msg) {
   outstanding_.erase(it);
   ++pongs_received_;
 
-  const Millis one_way = (sim_->now() - msg.published_at) / 2.0;
+  const Millis one_way = (clock_->now() - msg.published_at) / 2.0;
   measurements_[region] = one_way;
 
   wire::Message report;
   report.type = wire::MessageType::kLatencyReport;
   report.subscriber = self_;
   report.published_at = one_way;
-  transport_->send(net::Address::client(self_), net::Address::region(region),
+  bus_->send(net::Address::client(self_), net::Address::region(region),
                    report);
   return true;
 }

@@ -11,16 +11,14 @@
 #include <unordered_map>
 
 #include "geo/region_set.h"
-#include "net/simulator.h"
-#include "net/transport.h"
+#include "net/bus.h"
 
 namespace multipub::client {
 
 class LatencyProber {
  public:
-  /// `self` is the owning client endpoint. Borrows simulator and transport.
-  LatencyProber(ClientId self, net::Simulator& sim,
-                net::SimTransport& transport);
+  /// `self` is the owning client endpoint. Borrows clock and bus.
+  LatencyProber(ClientId self, net::Clock& clock, net::Bus& bus);
 
   /// Sends one kPing to every member of `regions`.
   void probe(geo::RegionSet regions);
@@ -43,8 +41,8 @@ class LatencyProber {
 
  private:
   ClientId self_;
-  net::Simulator* sim_;
-  net::SimTransport* transport_;
+  net::Clock* clock_;
+  net::Bus* bus_;
   /// Ping seq -> region it probed (pongs carry the seq back).
   std::unordered_map<std::uint64_t, RegionId> outstanding_;
   std::unordered_map<RegionId, Millis> measurements_;

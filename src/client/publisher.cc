@@ -4,17 +4,16 @@
 
 namespace multipub::client {
 
-Publisher::Publisher(ClientId id, net::Simulator& sim,
-                     net::SimTransport& transport,
+Publisher::Publisher(ClientId id, net::Clock& clock, net::Bus& bus,
                      const geo::ClientLatencyMap& latencies)
     : id_(id),
-      sim_(&sim),
-      transport_(&transport),
+      clock_(&clock),
+      bus_(&bus),
       latencies_(&latencies),
-      prober_(id, sim, transport) {
+      prober_(id, clock, bus) {
   MP_EXPECTS(id.valid());
-  transport.register_handler(net::Address::client(id),
-                             [this](const wire::Message& msg) { handle(msg); });
+  bus.register_handler(net::Address::client(id),
+                       [this](const wire::Message& msg) { handle(msg); });
 }
 
 void Publisher::set_config(TopicId topic, const core::TopicConfig& config) {
@@ -37,7 +36,7 @@ void Publisher::publish(TopicId topic, Bytes payload_bytes,
   msg.topic = topic;
   msg.publisher = id_;
   msg.seq = seq_++;
-  msg.published_at = sim_->now();
+  msg.published_at = clock_->now();
   msg.payload_bytes = payload_bytes;
   msg.key = key;
   // Stamp the fan-out intent on the message: a broker must fan a
@@ -51,11 +50,11 @@ void Publisher::publish(TopicId topic, Bytes payload_bytes,
   const net::Address self = net::Address::client(id_);
   if (config->mode == core::DeliveryMode::kDirect) {
     for (RegionId region : config->regions) {
-      transport_->send(self, net::Address::region(region), msg);
+      bus_->send(self, net::Address::region(region), msg);
     }
   } else {
     const RegionId home = latencies_->closest_region(id_, config->regions);
-    transport_->send(self, net::Address::region(home), msg);
+    bus_->send(self, net::Address::region(home), msg);
   }
   ++published_;
 }
@@ -78,7 +77,7 @@ void Publisher::handle(const wire::Message& msg) {
   }
   // Keep publishing on the old path for the grace window; remote
   // subscribers are still re-attaching (see class comment).
-  sim_->schedule_after(handover_grace_ms_, [this, topic, config] {
+  clock_->schedule_after(handover_grace_ms_, [this, topic, config] {
     configs_[topic] = config;
   });
 }

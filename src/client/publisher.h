@@ -18,18 +18,16 @@
 #include "client/probing.h"
 #include "core/config.h"
 #include "geo/latency.h"
-#include "net/simulator.h"
-#include "net/transport.h"
+#include "net/bus.h"
 
 namespace multipub::client {
 
 class Publisher {
  public:
-  /// Registers at Address::client(id); transport/matrices/simulator are
-  /// borrowed. A client acting as both publisher and subscriber must use
-  /// two distinct ClientIds (one per role), as the transport allows one
-  /// handler per address.
-  Publisher(ClientId id, net::Simulator& sim, net::SimTransport& transport,
+  /// Registers at Address::client(id); clock/bus/matrices are borrowed. A
+  /// client acting as both publisher and subscriber must use two distinct
+  /// ClientIds (one per role), as the bus allows one handler per address.
+  Publisher(ClientId id, net::Clock& clock, net::Bus& bus,
             const geo::ClientLatencyMap& latencies);
 
   Publisher(const Publisher&) = delete;
@@ -65,8 +63,8 @@ class Publisher {
   void handle(const wire::Message& msg);
 
   ClientId id_;
-  net::Simulator* sim_;
-  net::SimTransport* transport_;
+  net::Clock* clock_;
+  net::Bus* bus_;
   const geo::ClientLatencyMap* latencies_;
   LatencyProber prober_;
   std::unordered_map<TopicId, core::TopicConfig> configs_;

@@ -4,17 +4,16 @@
 
 namespace multipub::client {
 
-Subscriber::Subscriber(ClientId id, net::Simulator& sim,
-                       net::SimTransport& transport,
+Subscriber::Subscriber(ClientId id, net::Clock& clock, net::Bus& bus,
                        const geo::ClientLatencyMap& latencies)
     : id_(id),
-      sim_(&sim),
-      transport_(&transport),
+      clock_(&clock),
+      bus_(&bus),
       latencies_(&latencies),
-      prober_(id, sim, transport) {
+      prober_(id, clock, bus) {
   MP_EXPECTS(id.valid());
-  transport.register_handler(net::Address::client(id),
-                             [this](const wire::Message& msg) { handle(msg); });
+  bus.register_handler(net::Address::client(id),
+                       [this](const wire::Message& msg) { handle(msg); });
 }
 
 void Subscriber::subscribe(TopicId topic, const core::TopicConfig& config,
@@ -32,7 +31,7 @@ void Subscriber::unsubscribe(TopicId topic) {
   msg.type = wire::MessageType::kUnsubscribe;
   msg.topic = topic;
   msg.subscriber = id_;
-  transport_->send(net::Address::client(id_), net::Address::region(it->second),
+  bus_->send(net::Address::client(id_), net::Address::region(it->second),
                    msg);
   attachments_.erase(it);
   filters_.erase(topic);
@@ -58,7 +57,7 @@ void Subscriber::attach(TopicId topic, RegionId region) {
     // publications still land somewhere that knows us.
     const RegionId old_region = it->second;
     ++reconnects_;
-    sim_->schedule_after(handover_grace_ms_, [this, topic, old_region] {
+    clock_->schedule_after(handover_grace_ms_, [this, topic, old_region] {
       const auto current = attachments_.find(topic);
       if (current != attachments_.end() && current->second == old_region) {
         return;  // flapped back during the grace period: still attached
@@ -67,7 +66,7 @@ void Subscriber::attach(TopicId topic, RegionId region) {
       unsub.type = wire::MessageType::kUnsubscribe;
       unsub.topic = topic;
       unsub.subscriber = id_;
-      transport_->send(net::Address::client(id_),
+      bus_->send(net::Address::client(id_),
                        net::Address::region(old_region), unsub);
     });
   }
@@ -80,7 +79,7 @@ void Subscriber::attach(TopicId topic, RegionId region) {
       filter_it != filters_.end()) {
     sub.filter = filter_it->second;  // content filter survives reconnections
   }
-  transport_->send(net::Address::client(id_), net::Address::region(region),
+  bus_->send(net::Address::client(id_), net::Address::region(region),
                    sub);
   attachments_[topic] = region;
 }
@@ -99,7 +98,7 @@ void Subscriber::handle(const wire::Message& msg) {
       record.topic = msg.topic;
       record.publisher = msg.publisher;
       record.seq = msg.seq;
-      record.delivery_time = sim_->now() - msg.published_at;
+      record.delivery_time = clock_->now() - msg.published_at;
       deliveries_.push_back(record);
       break;
     }

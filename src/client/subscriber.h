@@ -20,8 +20,7 @@
 #include "client/probing.h"
 #include "core/config.h"
 #include "geo/latency.h"
-#include "net/simulator.h"
-#include "net/transport.h"
+#include "net/bus.h"
 
 namespace multipub::client {
 
@@ -36,7 +35,7 @@ struct DeliveryRecord {
 class Subscriber {
  public:
   /// Registers at Address::client(id); borrows everything.
-  Subscriber(ClientId id, net::Simulator& sim, net::SimTransport& transport,
+  Subscriber(ClientId id, net::Clock& clock, net::Bus& bus,
              const geo::ClientLatencyMap& latencies);
 
   Subscriber(const Subscriber&) = delete;
@@ -83,8 +82,8 @@ class Subscriber {
   void attach(TopicId topic, RegionId region);
 
   ClientId id_;
-  net::Simulator* sim_;
-  net::SimTransport* transport_;
+  net::Clock* clock_;
+  net::Bus* bus_;
   const geo::ClientLatencyMap* latencies_;
   LatencyProber prober_;
   std::unordered_map<TopicId, RegionId> attachments_;

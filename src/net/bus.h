@@ -1,0 +1,82 @@
+// Transport-agnostic middleware interfaces.
+//
+// The middleware layers — Broker, RegionManager, the client endpoints and
+// the cohort pool — talk to the network through two narrow interfaces
+// instead of a concrete transport:
+//
+//   Clock : time + deferred execution. Virtual milliseconds on the
+//           simulator, wall-clock milliseconds on a live node. Everything
+//           time-dependent in the middleware (drain windows, handover
+//           grace, delivery timestamps) goes through it, which is what
+//           makes the same Broker run under virtual and real time.
+//   Bus   : message delivery. register_handler subscribes an Address to
+//           inbound traffic; send/send_batch move wire::Messages between
+//           addresses. The cohort directory hangs off the bus because the
+//           weighted fan-out contract (DESIGN.md §12) is a property of the
+//           messaging plane, not of any one component.
+//
+// Two implementations exist: Simulator/SimTransport (the deterministic
+// digital twin — discrete events, latency matrices, cost accounting) and
+// SocketTransport (real sockets over epoll, wall time, one process per
+// node). The interfaces were extracted from SimTransport verbatim, so the
+// simulated plane compiles unchanged and behaves bit-identically through
+// them.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "common/types.h"
+#include "net/address.h"
+#include "net/cohort_directory.h"
+#include "wire/message.h"
+
+namespace multipub::net {
+
+/// Time source and timer service the middleware schedules against.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in milliseconds. Virtual time on the simulator (ms since
+  /// simulation start), wall time on a live node (ms since node start).
+  [[nodiscard]] virtual Millis now() const = 0;
+
+  /// Runs `action` `delay` ms from now. Pre: delay >= 0.
+  virtual void schedule_after(Millis delay, std::function<void()> action) = 0;
+};
+
+/// Message delivery between addresses.
+class Bus {
+ public:
+  using Handler = std::function<void(const wire::Message&)>;
+
+  virtual ~Bus() = default;
+
+  /// Installs (or replaces) the message handler for an address.
+  virtual void register_handler(Address address, Handler handler) = 0;
+
+  /// Removes the handler for an address; deliveries to it afterwards count
+  /// as dropped.
+  virtual void unregister_handler(Address address) = 0;
+
+  /// Delivers `msg` from `from` to `to` (asynchronously: the handler runs
+  /// from the event loop, never inside the send).
+  virtual void send(Address from, Address to, wire::Message msg) = 0;
+
+  /// Fan-out form of send(): one delivery per target from a single shared
+  /// message, stamping `type` to `stamped_type` and — for client and cohort
+  /// targets — `subscriber` to the target. Equivalent to the per-target
+  /// copy-and-send loop; the span only needs to live for the call.
+  virtual void send_batch(Address from, std::span<const Address> targets,
+                          const wire::Message& msg,
+                          wire::MessageType stamped_type) = 0;
+
+  /// Installs (or, with nullptr, clears) the directory that resolves
+  /// cohort addresses into weighted member sets. Borrowed; must outlive
+  /// the bus or be cleared first.
+  virtual void set_cohort_directory(const CohortDirectory* directory) = 0;
+  [[nodiscard]] virtual const CohortDirectory* cohort_directory() const = 0;
+};
+
+}  // namespace multipub::net

@@ -39,6 +39,7 @@
 #include "common/assert.h"
 #include "common/types.h"
 #include "net/address.h"
+#include "net/bus.h"
 #include "wire/message.h"
 
 namespace multipub::net {
@@ -86,20 +87,22 @@ struct ShardMap {
 };
 
 /// Virtual-time event loop; single-threaded by default, optionally sharded
-/// over worker threads via configure_shards().
-class Simulator {
+/// over worker threads via configure_shards(). The middleware sees it as a
+/// Clock (virtual time); the overrides are final, so calls through a
+/// concrete Simulator* still devirtualize.
+class Simulator : public Clock {
  public:
   using Action = std::function<void()>;
 
   Simulator() { stores_.push_back(std::make_unique<EventStore>()); }
-  ~Simulator();
+  ~Simulator() override;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time (ms since simulation start). Inside a sharded
   /// window this is the executing shard's clock — the timestamp of the
   /// event being dispatched, exactly as in a single-threaded run.
-  [[nodiscard]] Millis now() const {
+  [[nodiscard]] Millis now() const final {
     return tls_store_ != nullptr ? tls_store_->clock : now_;
   }
 
@@ -117,7 +120,7 @@ class Simulator {
   void schedule_at(Millis t, Address owner, Action action);
 
   /// Schedules `action` `delay` ms from now. Pre: delay >= 0.
-  void schedule_after(Millis delay, Action action);
+  void schedule_after(Millis delay, Action action) final;
 
   /// Schedules a typed message delivery at absolute virtual time `t`; the
   /// event is dispatched back to `sink` when it fires. Pre: t >= now() and

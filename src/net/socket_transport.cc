@@ -1,0 +1,523 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace multipub::net {
+namespace {
+
+/// Envelope preceding every codec frame on a node-to-node stream:
+///   offset 0 : u16 magic "MP"
+///   offset 2 : u8  from kind, offset 3 : u8 to kind
+///   offset 4 : i32 from id,   offset 8 : i32 to id
+constexpr std::size_t kEnvelopeSize = 12;
+constexpr std::uint16_t kEnvelopeMagic = 0x4D50;
+constexpr std::size_t kWireSize = kEnvelopeSize + wire::kEncodedSize;
+
+/// Flat reconnect backoff: cheap to reason about, and a localhost deployment
+/// either connects instantly or the peer process is not up yet.
+constexpr Millis kReconnectBackoffMs = 200.0;
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+void append_wire_frame(std::vector<std::byte>& out, Address from, Address to,
+                       const wire::Message& msg) {
+  std::byte envelope[kEnvelopeSize];
+  const std::uint16_t magic = kEnvelopeMagic;
+  std::memcpy(envelope, &magic, 2);
+  envelope[2] = static_cast<std::byte>(from.kind);
+  envelope[3] = static_cast<std::byte>(to.kind);
+  std::memcpy(envelope + 4, &from.id, 4);
+  std::memcpy(envelope + 8, &to.id, 4);
+  const wire::EncodedMessage frame = wire::encode(msg);
+  out.insert(out.end(), envelope, envelope + kEnvelopeSize);
+  out.insert(out.end(), frame.begin(), frame.end());
+}
+
+/// Parses one envelope; false on bad magic/kind.
+bool parse_envelope(std::span<const std::byte> buf, Address* from,
+                    Address* to) {
+  std::uint16_t magic = 0;
+  std::memcpy(&magic, buf.data(), 2);
+  if (magic != kEnvelopeMagic) return false;
+  const auto from_kind = static_cast<std::uint8_t>(buf[2]);
+  const auto to_kind = static_cast<std::uint8_t>(buf[3]);
+  if (from_kind > static_cast<std::uint8_t>(Address::Kind::kCohort) ||
+      to_kind > static_cast<std::uint8_t>(Address::Kind::kCohort)) {
+    return false;
+  }
+  from->kind = static_cast<Address::Kind>(from_kind);
+  to->kind = static_cast<Address::Kind>(to_kind);
+  std::memcpy(&from->id, buf.data() + 4, 4);
+  std::memcpy(&to->id, buf.data() + 8, 4);
+  return true;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport()
+    : epoch_(std::chrono::steady_clock::now()) {
+  epoll_fd_ = ::epoll_create1(0);
+  MP_EXPECTS(epoll_fd_ >= 0);
+}
+
+SocketTransport::~SocketTransport() { close_all(); }
+
+Millis SocketTransport::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+void SocketTransport::schedule_after(Millis delay,
+                                     std::function<void()> action) {
+  MP_EXPECTS(delay >= 0.0);
+  timers_.push(Timer{now() + delay, timer_seq_++, std::move(action)});
+}
+
+void SocketTransport::register_handler(Address address, Handler handler) {
+  handlers_[address] = std::move(handler);
+}
+
+void SocketTransport::unregister_handler(Address address) {
+  handlers_.erase(address);
+}
+
+void SocketTransport::bill(Address from, Address to,
+                           const wire::Message& msg) {
+  if (from.kind != Address::Kind::kRegion) return;
+  const Bytes billable = msg.billable_bytes() * msg.weight;
+  if (billable == 0) return;
+  const auto index = static_cast<std::size_t>(from.id);
+  if (meters_.size() <= index) meters_.resize(index + 1);
+  if (to.kind == Address::Kind::kRegion) {
+    meters_[index].inter_region += billable;
+  } else {
+    meters_[index].internet += billable;
+  }
+}
+
+void SocketTransport::deliver_local(const wire::Message& msg, Address to) {
+  // Deferred dispatch: the handler runs from the event loop, never inside
+  // the send that produced the message — same asynchrony contract as the
+  // simulator, which is what keeps middleware reentrancy assumptions valid
+  // on both planes.
+  schedule_after(0.0, [this, msg, to] {
+    const auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      ++dropped_unregistered_;
+      return;
+    }
+    ++delivered_;
+    it->second(msg);
+  });
+}
+
+void SocketTransport::enqueue_remote(std::int32_t node, Address from,
+                                     Address to, const wire::Message& msg) {
+  const auto it = links_.find(node);
+  if (it == links_.end()) {
+    ++dropped_unresolved_;
+    MP_LOG_WARN("socket") << "no link for node " << node << "; dropping "
+                          << wire::to_string(msg.type);
+    return;
+  }
+  Link& link = it->second;
+  append_wire_frame(link.outbox, from, to, msg);
+  if (link.fd < 0) {
+    if (!link.connecting && now() >= link.retry_at) try_connect(link);
+    return;
+  }
+  if (!link.connecting && !flush_link(link)) {
+    fail_link(link);
+  }
+}
+
+void SocketTransport::send(Address from, Address to, wire::Message msg) {
+  ++sent_;
+  bill(from, to, msg);
+  if (resolver_ == nullptr) {
+    deliver_local(msg, to);
+    return;
+  }
+  const std::int32_t node = resolver_(to);
+  if (node == self_node_) {
+    deliver_local(msg, to);
+  } else {
+    enqueue_remote(node, from, to, msg);
+  }
+}
+
+void SocketTransport::send_batch(Address from,
+                                 std::span<const Address> targets,
+                                 const wire::Message& msg,
+                                 wire::MessageType stamped_type) {
+  // Semantically the per-target copy-and-send loop (SimTransport's
+  // reference path); sockets gain nothing from batching beyond what the
+  // outbox already coalesces.
+  wire::Message copy = msg;
+  copy.type = stamped_type;
+  for (const Address to : targets) {
+    copy.subscriber = to.kind == Address::Kind::kClient ? to.as_client()
+                                                        : msg.subscriber;
+    send(from, to, copy);
+  }
+}
+
+bool SocketTransport::listen(std::uint16_t port) {
+  MP_EXPECTS(listen_fd_ < 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0 || !set_nonblocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  return true;
+}
+
+void SocketTransport::add_peer(std::int32_t node, std::uint16_t port) {
+  MP_EXPECTS(node != self_node_);
+  Link& link = links_[node];
+  link.peer_port = port;
+  if (link.fd < 0 && !link.connecting) try_connect(link);
+}
+
+void SocketTransport::try_connect(Link& link) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    link.retry_at = now() + kReconnectBackoffMs;
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    link.retry_at = now() + kReconnectBackoffMs;
+    return;
+  }
+  sockaddr_in addr = loopback(link.peer_port);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    link.retry_at = now() + kReconnectBackoffMs;
+    return;
+  }
+  link.fd = fd;
+  link.connecting = rc != 0;
+  epoll_event ev{};
+  // While connecting, EPOLLOUT signals the outcome; once up, EPOLLOUT is
+  // armed only when the outbox has bytes (update_epoll).
+  ev.events = EPOLLIN | (link.connecting || !link.outbox.empty()
+                             ? EPOLLOUT
+                             : 0u);
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  if (!link.connecting && !link.outbox.empty() && !flush_link(link)) {
+    fail_link(link);
+  }
+}
+
+void SocketTransport::finish_connect(Link& link) {
+  int error = 0;
+  socklen_t len = sizeof(error);
+  ::getsockopt(link.fd, SOL_SOCKET, SO_ERROR, &error, &len);
+  if (error != 0) {
+    fail_link(link);
+    return;
+  }
+  link.connecting = false;
+  if (!flush_link(link)) {
+    fail_link(link);
+    return;
+  }
+  update_epoll(link.fd, !link.outbox.empty());
+}
+
+void SocketTransport::fail_link(Link& link) {
+  if (link.fd >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, link.fd, nullptr);
+    ::close(link.fd);
+    link.fd = -1;
+  }
+  link.connecting = false;
+  link.inbox.clear();  // mid-frame bytes are useless after a reconnect
+  link.retry_at = now() + kReconnectBackoffMs;
+  ++reconnects_;
+}
+
+bool SocketTransport::flush_link(Link& link) {
+  std::size_t sent = 0;
+  while (sent < link.outbox.size()) {
+    const ssize_t n = ::send(link.fd, link.outbox.data() + sent,
+                             link.outbox.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  link.outbox.erase(link.outbox.begin(),
+                    link.outbox.begin() + static_cast<std::ptrdiff_t>(sent));
+  update_epoll(link.fd, !link.outbox.empty());
+  return true;
+}
+
+void SocketTransport::update_epoll(int fd, bool want_write) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void SocketTransport::read_link(int fd, std::vector<std::byte>& inbox,
+                                bool* closed) {
+  *closed = false;
+  std::byte buffer[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      inbox.insert(inbox.end(), buffer, buffer + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    *closed = true;  // orderly close or error
+    break;
+  }
+
+  std::size_t offset = 0;
+  while (inbox.size() - offset >= kWireSize) {
+    const auto span = std::span<const std::byte>(inbox).subspan(offset);
+    Address from;
+    Address to;
+    if (!parse_envelope(span.first(kEnvelopeSize), &from, &to)) {
+      MP_LOG_WARN("socket") << "bad envelope on fd " << fd
+                            << "; closing connection";
+      *closed = true;
+      inbox.clear();
+      return;
+    }
+    const auto msg =
+        wire::decode(span.subspan(kEnvelopeSize, wire::kEncodedSize));
+    if (!msg.has_value()) {
+      MP_LOG_WARN("socket") << "corrupt frame on fd " << fd
+                            << "; closing connection";
+      *closed = true;
+      inbox.clear();
+      return;
+    }
+    offset += kWireSize;
+    const auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      ++dropped_unregistered_;
+      continue;
+    }
+    ++delivered_;
+    it->second(*msg);
+  }
+  inbox.erase(inbox.begin(), inbox.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+void SocketTransport::accept_pending() {
+  while (listen_fd_ >= 0) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    inbound_[fd];
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+std::size_t SocketTransport::fire_due_timers() {
+  std::size_t fired = 0;
+  while (!timers_.empty() && timers_.top().due <= now()) {
+    // The action may schedule more timers; pop before running.
+    auto action = std::move(const_cast<Timer&>(timers_.top()).action);
+    timers_.pop();
+    action();
+    ++fired;
+  }
+  return fired;
+}
+
+int SocketTransport::next_deadline_wait(int max_wait_ms) const {
+  Millis wait = static_cast<Millis>(max_wait_ms);
+  const Millis current = now();
+  if (!timers_.empty()) {
+    wait = std::min(wait, timers_.top().due - current);
+  }
+  for (const auto& [node, link] : links_) {
+    if (link.fd < 0 && !link.outbox.empty()) {
+      wait = std::min(wait, link.retry_at - current);
+    }
+  }
+  if (wait < 0.0) wait = 0.0;
+  return static_cast<int>(wait) + (wait > static_cast<int>(wait) ? 1 : 0);
+}
+
+std::size_t SocketTransport::poll_once(int max_wait_ms) {
+  const std::uint64_t before = delivered_;
+
+  // Retry due down-links that still have traffic queued.
+  for (auto& [node, link] : links_) {
+    if (link.fd < 0 && !link.outbox.empty() && !link.connecting &&
+        now() >= link.retry_at) {
+      try_connect(link);
+    }
+  }
+
+  epoll_event events[64];
+  const int n = ::epoll_wait(epoll_fd_, events, 64,
+                             next_deadline_wait(max_wait_ms));
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    const std::uint32_t mask = events[i].events;
+    if (fd == listen_fd_) {
+      accept_pending();
+      continue;
+    }
+
+    if (const auto inbound = inbound_.find(fd); inbound != inbound_.end()) {
+      bool closed = false;
+      if ((mask & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+        read_link(fd, inbound->second, &closed);
+      }
+      if (closed) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+        ::close(fd);
+        inbound_.erase(inbound);
+      }
+      continue;
+    }
+
+    for (auto& [node, link] : links_) {
+      if (link.fd != fd) continue;
+      if (link.connecting) {
+        if ((mask & (EPOLLOUT | EPOLLHUP | EPOLLERR)) != 0) {
+          finish_connect(link);
+        }
+        break;
+      }
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        fail_link(link);
+        break;
+      }
+      if ((mask & EPOLLOUT) != 0 && !flush_link(link)) {
+        fail_link(link);
+        break;
+      }
+      if ((mask & EPOLLIN) != 0) {
+        bool closed = false;
+        read_link(fd, link.inbox, &closed);
+        if (closed) fail_link(link);
+      }
+      break;
+    }
+  }
+
+  fire_due_timers();
+  return delivered_ - before;
+}
+
+bool SocketTransport::drain(Millis idle_ms, Millis budget_ms) {
+  const Millis deadline = now() + budget_ms;
+  Millis last_activity = now();
+  while (now() < deadline) {
+    if (poll_once(5) > 0) {
+      last_activity = now();
+    } else if (now() - last_activity >= idle_ms) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Bytes SocketTransport::inter_region_bytes(RegionId region) const {
+  const auto index = static_cast<std::size_t>(region.value());
+  return index < meters_.size() ? meters_[index].inter_region : 0;
+}
+
+Bytes SocketTransport::internet_bytes(RegionId region) const {
+  const auto index = static_cast<std::size_t>(region.value());
+  return index < meters_.size() ? meters_[index].internet : 0;
+}
+
+double SocketTransport::total_cost_dollars() const {
+  if (catalog_ == nullptr) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < meters_.size(); ++i) {
+    const geo::Region& region = catalog_->at(RegionId{static_cast<int>(i)});
+    total += static_cast<double>(meters_[i].inter_region) *
+                 region.alpha_per_byte() +
+             static_cast<double>(meters_[i].internet) * region.beta_per_byte();
+  }
+  return total;
+}
+
+void SocketTransport::close_all() {
+  for (auto& [node, link] : links_) {
+    if (link.fd >= 0) ::close(link.fd);
+    link.fd = -1;
+    link.connecting = false;
+  }
+  for (auto& [fd, inbox] : inbound_) ::close(fd);
+  inbound_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    port_ = 0;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+}
+
+}  // namespace multipub::net

@@ -1,0 +1,202 @@
+// Live-socket implementation of the Bus/Clock pair.
+//
+// SocketTransport is what a real multipub-node process plugs the middleware
+// into: the same Broker/RegionManager/client code that runs over
+// SimTransport in virtual time runs here over nonblocking TCP sockets and
+// wall time. One instance per OS process; single-threaded — all IO and all
+// handler dispatch happen inside poll_once(), driven by an epoll loop.
+//
+// Topology: every process is a NODE (one broker per region, plus the
+// controller, node id kControllerNode). Each node listens on one port and
+// keeps one outbound connection per peer it was told about (add_peer);
+// inbound connections are accepted and read from, so a pair of nodes talks
+// over two unidirectional streams — no connection-identity handshake
+// needed. Outbound connects are lazy and retried with a flat backoff, and
+// frames queued while a link is down are flushed on (re)connect.
+//
+// Addressing: wire::Messages travel between net::Addresses, but sockets
+// connect nodes. An address resolver (set_address_resolver) maps each
+// Address to the node hosting it — a region maps to its broker node,
+// clients and cohorts to their home region's node, the controller to
+// kControllerNode. An address resolving to the local node dispatches
+// through the local handler table (deferred to the next poll_once pass, so
+// a handler never runs inside send(), matching the simulator's asynchrony
+// contract).
+//
+// Framing: a 12-byte envelope (magic, from/to address) followed by the
+// codec's fixed frame. The envelope carries the addressing the codec frame
+// does not, so the receiver can route to the right handler.
+//
+// Billing mirrors SimTransport's cost model: when the sender address is a
+// region, billable_bytes() x weight is charged to that region's
+// inter-region meter (region destination) or internet meter (client/cohort
+// destination); dollars are derived from the catalog tariff at read time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/region.h"
+#include "net/bus.h"
+#include "wire/codec.h"
+
+namespace multipub::net {
+
+class SocketTransport final : public Bus, public Clock {
+ public:
+  /// Node id of the controller process (brokers use their region id).
+  static constexpr std::int32_t kControllerNode = -1;
+
+  /// Resolves an Address to the node id hosting it.
+  using AddressResolver = std::function<std::int32_t(Address)>;
+
+  SocketTransport();
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // ---- Clock ----
+
+  /// Wall-clock milliseconds since this transport was constructed.
+  [[nodiscard]] Millis now() const override;
+
+  /// Runs `action` from poll_once() once `delay` ms of wall time elapsed.
+  void schedule_after(Millis delay, std::function<void()> action) override;
+
+  // ---- Bus ----
+
+  void register_handler(Address address, Handler handler) override;
+  void unregister_handler(Address address) override;
+  void send(Address from, Address to, wire::Message msg) override;
+  void send_batch(Address from, std::span<const Address> targets,
+                  const wire::Message& msg,
+                  wire::MessageType stamped_type) override;
+  void set_cohort_directory(const CohortDirectory* directory) override {
+    directory_ = directory;
+  }
+  [[nodiscard]] const CohortDirectory* cohort_directory() const override {
+    return directory_;
+  }
+
+  // ---- Node wiring ----
+
+  /// Starts listening on 127.0.0.1:`port` (0 = ephemeral). Returns success.
+  bool listen(std::uint16_t port);
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// This process's own node id (used to short-circuit local deliveries).
+  void set_self_node(std::int32_t node) { self_node_ = node; }
+
+  /// Declares a peer node reachable on 127.0.0.1:`port`. The connection is
+  /// established lazily (first send or next poll) and re-established with a
+  /// flat backoff after failures; frames sent meanwhile are queued.
+  void add_peer(std::int32_t node, std::uint16_t port);
+
+  void set_address_resolver(AddressResolver resolver) {
+    resolver_ = std::move(resolver);
+  }
+
+  /// Tariff source for dollar readings (borrowed; may be nullptr, in which
+  /// case only byte meters are available).
+  void set_catalog(const geo::RegionCatalog* catalog) { catalog_ = catalog; }
+
+  // ---- Event loop ----
+
+  /// One IO pass: waits up to `max_wait_ms` for socket readiness (clamped
+  /// by the next due timer), services accepts/reads/writes/reconnects and
+  /// fires due timers. Returns the number of handler dispatches.
+  std::size_t poll_once(int max_wait_ms);
+
+  /// Polls until `idle_ms` elapse without a single dispatch (or until
+  /// `budget_ms` of wall time is spent; returns false on budget exhaustion).
+  bool drain(Millis idle_ms, Millis budget_ms);
+
+  // ---- Introspection ----
+
+  [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped_unresolved() const {
+    return dropped_unresolved_;
+  }
+  [[nodiscard]] std::uint64_t dropped_unregistered() const {
+    return dropped_unregistered_;
+  }
+  [[nodiscard]] std::uint64_t reconnect_count() const { return reconnects_; }
+
+  /// Cumulative billed egress bytes for a sender region.
+  [[nodiscard]] Bytes inter_region_bytes(RegionId region) const;
+  [[nodiscard]] Bytes internet_bytes(RegionId region) const;
+
+  /// Total billed cost in dollars across all regions (0 without a catalog).
+  [[nodiscard]] double total_cost_dollars() const;
+
+  void close_all();
+
+ private:
+  struct Link {
+    std::uint16_t peer_port = 0;        // where the peer listens (outbound)
+    int fd = -1;
+    bool connecting = false;            // nonblocking connect in flight
+    std::vector<std::byte> inbox;
+    std::vector<std::byte> outbox;
+    Millis retry_at = 0.0;              // next connect attempt (down links)
+  };
+
+  struct Timer {
+    Millis due = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break among equal deadlines
+    std::function<void()> action;
+    bool operator>(const Timer& other) const {
+      return due != other.due ? due > other.due : seq > other.seq;
+    }
+  };
+
+  struct Meter {
+    Bytes inter_region = 0;
+    Bytes internet = 0;
+  };
+
+  void bill(Address from, Address to, const wire::Message& msg);
+  void deliver_local(const wire::Message& msg, Address to);
+  void enqueue_remote(std::int32_t node, Address from, Address to,
+                      const wire::Message& msg);
+  void try_connect(Link& link);
+  void finish_connect(Link& link);
+  void fail_link(Link& link);
+  bool flush_link(Link& link);
+  void read_link(int fd, std::vector<std::byte>& inbox, bool* closed);
+  void accept_pending();
+  void update_epoll(int fd, bool want_write);
+  std::size_t fire_due_timers();
+  [[nodiscard]] int next_deadline_wait(int max_wait_ms) const;
+
+  std::chrono::steady_clock::time_point epoch_;
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::int32_t self_node_ = kControllerNode;
+  AddressResolver resolver_;
+  const CohortDirectory* directory_ = nullptr;
+  const geo::RegionCatalog* catalog_ = nullptr;
+
+  std::unordered_map<Address, Handler, AddressHash> handlers_;
+  std::unordered_map<std::int32_t, Link> links_;       // node -> outbound
+  std::unordered_map<int, std::vector<std::byte>> inbound_;  // fd -> inbox
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::uint64_t timer_seq_ = 0;
+
+  std::vector<Meter> meters_;  // indexed by sender region
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_unresolved_ = 0;
+  std::uint64_t dropped_unregistered_ = 0;
+  std::uint64_t reconnects_ = 0;
+};
+
+}  // namespace multipub::net

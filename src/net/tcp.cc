@@ -72,54 +72,90 @@ int TcpEndpoint::connect_to(std::uint16_t port) {
     ::close(fd);
     return -1;
   }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  configure_socket(fd);
   if (!set_nonblocking(fd)) {
     ::close(fd);
     return -1;
   }
   const int handle = next_handle_++;
-  peers_[handle] = Peer{fd, {}};
+  peers_[handle] = Peer{fd, {}, {}};
   return handle;
 }
 
 bool TcpEndpoint::send(int peer, const wire::Message& msg) {
   const auto it = peers_.find(peer);
   if (it == peers_.end()) return false;
+  Peer& p = it->second;
 
   const wire::EncodedMessage frame = wire::encode(msg);
   std::size_t sent = 0;
-  while (sent < frame.size()) {
-    const ssize_t n = ::send(it->second.fd, frame.data() + sent,
-                             frame.size() - sent, MSG_NOSIGNAL);
+  // Frames must leave in send order, so nothing may bypass a non-empty
+  // outbox. Otherwise try the socket directly and buffer only what the
+  // kernel refuses — the common case stays zero-copy into the outbox.
+  if (p.outbox.empty()) {
+    while (sent < frame.size()) {
+      const ssize_t n = ::send(p.fd, frame.data() + sent, frame.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      drop(peer);  // real socket error: connection is gone
+      return false;
+    }
+  }
+  p.outbox.insert(p.outbox.end(), frame.begin() + static_cast<std::ptrdiff_t>(sent),
+                  frame.end());
+  return true;
+}
+
+bool TcpEndpoint::flush_outbox(Peer& peer) {
+  std::size_t sent = 0;
+  while (sent < peer.outbox.size()) {
+    const ssize_t n = ::send(peer.fd, peer.outbox.data() + sent,
+                             peer.outbox.size() - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<std::size_t>(n);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Loopback buffers are large; a full buffer here means the peer has
-      // stopped draining. Briefly wait for writability.
-      pollfd pfd{it->second.fd, POLLOUT, 0};
-      if (::poll(&pfd, 1, 100) > 0) continue;
-    }
-    drop(peer);
-    return false;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // real socket error
   }
+  peer.outbox.erase(peer.outbox.begin(),
+                    peer.outbox.begin() + static_cast<std::ptrdiff_t>(sent));
   return true;
+}
+
+void TcpEndpoint::configure_socket(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (socket_buffer_bytes_ > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &socket_buffer_bytes_,
+                 sizeof(socket_buffer_bytes_));
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &socket_buffer_bytes_,
+                 sizeof(socket_buffer_bytes_));
+  }
 }
 
 void TcpEndpoint::accept_pending() {
   while (listen_fd_ >= 0) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN: nothing pending
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    configure_socket(fd);
     if (!set_nonblocking(fd)) {
       ::close(fd);
       continue;
     }
-    peers_[next_handle_++] = Peer{fd, {}};
+    peers_[next_handle_++] = Peer{fd, {}, {}};
   }
+}
+
+std::size_t TcpEndpoint::pending_send_bytes(int peer) const {
+  const auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.outbox.size();
 }
 
 bool TcpEndpoint::read_from(int handle) {
@@ -165,7 +201,9 @@ std::size_t TcpEndpoint::poll(int timeout_ms) {
     handles.push_back(-1);
   }
   for (const auto& [handle, peer] : peers_) {
-    fds.push_back({peer.fd, POLLIN, 0});
+    const short events =
+        static_cast<short>(POLLIN | (peer.outbox.empty() ? 0 : POLLOUT));
+    fds.push_back({peer.fd, events, 0});
     handles.push_back(handle);
   }
   if (fds.empty()) return 0;
@@ -175,10 +213,19 @@ std::size_t TcpEndpoint::poll(int timeout_ms) {
 
   std::vector<int> to_drop;
   for (std::size_t i = 0; i < fds.size(); ++i) {
-    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    if (fds[i].revents == 0) continue;
     if (handles[i] == -1) {
       accept_pending();
-    } else if (!read_from(handles[i])) {
+      continue;
+    }
+    const auto it = peers_.find(handles[i]);
+    if (it == peers_.end()) continue;
+    if ((fds[i].revents & POLLOUT) != 0 && !flush_outbox(it->second)) {
+      to_drop.push_back(handles[i]);
+      continue;
+    }
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+        !read_from(handles[i])) {
       to_drop.push_back(handles[i]);
     }
   }

@@ -7,7 +7,7 @@
 // explicitly with poll(), no background threads, so tests are
 // deterministic.
 //
-// Framing is the codec's fixed 48-byte frame; a connection that delivers a
+// Framing is the codec's fixed-size frame (wire::kEncodedSize bytes); a connection that delivers a
 // frame that fails to decode is considered corrupt and closed.
 #pragma once
 
@@ -42,7 +42,11 @@ class TcpEndpoint {
   /// handle (>= 0) or -1 on failure.
   int connect_to(std::uint16_t port);
 
-  /// Sends one message to the given peer handle. Returns success.
+  /// Sends one message to the given peer handle. Returns success. Never
+  /// blocks: when the kernel send buffer is full (or accepts only part of
+  /// the frame) the remainder is buffered in the peer's outbox and flushed
+  /// by poll() once the socket turns writable again — backpressure delays
+  /// frames, it does not tear or drop them.
   bool send(int peer, const wire::Message& msg);
 
   /// Services readiness for up to `timeout_ms` (0 = non-blocking pass):
@@ -55,16 +59,28 @@ class TcpEndpoint {
   [[nodiscard]] std::uint64_t received_count() const { return received_; }
   [[nodiscard]] std::uint64_t corrupt_frames() const { return corrupt_; }
 
+  /// Bytes buffered in a peer's outbox awaiting socket writability (0 for
+  /// unknown handles). Nonzero means the peer is backpressured.
+  [[nodiscard]] std::size_t pending_send_bytes(int peer) const;
+
+  /// Applies SO_SNDBUF/SO_RCVBUF of `bytes` to every subsequently created
+  /// connection (0 = kernel default). Exists so tests can shrink the socket
+  /// buffers far enough to exercise the partial-write path.
+  void set_socket_buffer_bytes(int bytes) { socket_buffer_bytes_ = bytes; }
+
   void close_all();
 
  private:
   struct Peer {
     int fd = -1;
-    std::vector<std::byte> inbox;  // partial frame buffer
+    std::vector<std::byte> inbox;   // partial inbound frame buffer
+    std::vector<std::byte> outbox;  // unsent outbound bytes (backpressure)
   };
 
   void accept_pending();
   bool read_from(int handle);
+  bool flush_outbox(Peer& peer);
+  void configure_socket(int fd);
   void drop(int handle);
 
   Handler handler_;
@@ -72,6 +88,7 @@ class TcpEndpoint {
   std::uint16_t port_ = 0;
   std::unordered_map<int, Peer> peers_;  // handle -> peer
   int next_handle_ = 0;
+  int socket_buffer_bytes_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t corrupt_ = 0;
 };

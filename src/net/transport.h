@@ -33,6 +33,7 @@
 #include "geo/latency.h"
 #include "geo/region.h"
 #include "net/address.h"
+#include "net/bus.h"
 #include "net/cohort_directory.h"
 #include "net/fault_plan.h"
 #include "net/simulator.h"
@@ -52,31 +53,34 @@ struct CostLedger {
   [[nodiscard]] Dollars total_cost(const geo::RegionCatalog& catalog) const;
 };
 
-/// The simulated network. Borrows the simulator and matrices; they must
-/// outlive the transport.
-class SimTransport : public DeliverySink {
+/// The simulated network: the Bus implementation of the digital twin.
+/// Borrows the simulator and matrices; they must outlive the transport.
+/// final: the data plane calls through concrete SimTransport*/Simulator*
+/// almost everywhere, so the Bus virtualization costs the hot paths
+/// nothing.
+class SimTransport final : public Bus, public DeliverySink {
  public:
-  using Handler = std::function<void(const wire::Message&)>;
+  using Handler = Bus::Handler;
 
   SimTransport(Simulator& sim, const geo::RegionCatalog& catalog,
                const geo::InterRegionLatency& backbone,
                const geo::ClientLatencyMap& clients);
 
   /// Installs (or replaces) the message handler for an address.
-  void register_handler(Address address, Handler handler);
+  void register_handler(Address address, Handler handler) override;
 
   /// Removes the handler for an address (deliveries to it count as
   /// dropped_unregistered afterwards). Cohort mode uses this to take the
   /// per-client subscriber handlers off the wire once the pool owns their
   /// traffic. Same immutability rules as register_handler.
-  void unregister_handler(Address address);
+  void unregister_handler(Address address) override;
 
   /// Installs (or, with nullptr, clears) the directory that resolves cohort
   /// addresses. Cohort traffic requires the fast path and no jitter — the
   /// weighted plane has no per-member jitter streams to replay. Borrowed;
   /// must outlive the transport or be cleared first.
-  void set_cohort_directory(const CohortDirectory* directory);
-  [[nodiscard]] const CohortDirectory* cohort_directory() const {
+  void set_cohort_directory(const CohortDirectory* directory) override;
+  [[nodiscard]] const CohortDirectory* cohort_directory() const override {
     return directory_;
   }
 
@@ -84,7 +88,7 @@ class SimTransport : public DeliverySink {
   /// `from`. Bills billable_bytes() against `from` when `from` is a region.
   /// Messages to unregistered addresses are counted as dropped (billing
   /// still applies — the bytes left the region).
-  void send(Address from, Address to, wire::Message msg);
+  void send(Address from, Address to, wire::Message msg) override;
 
   /// Fan-out form of send(): bills and schedules one delivery per target
   /// from a single shared message, stamping `type` to `stamped_type` and —
@@ -95,7 +99,8 @@ class SimTransport : public DeliverySink {
   /// to live for the duration of the call, so callers can reuse a scratch
   /// buffer.
   void send_batch(Address from, std::span<const Address> targets,
-                  const wire::Message& msg, wire::MessageType stamped_type);
+                  const wire::Message& msg,
+                  wire::MessageType stamped_type) override;
 
   /// One-way latency between two addresses. Client<->client links do not
   /// exist in the architecture (everything goes through a broker).

@@ -1,0 +1,98 @@
+// One broker region as a real OS process (DESIGN.md §13).
+//
+// A BrokerNode owns a SocketTransport and runs, over it, exactly the
+// middleware a simulated region runs over SimTransport: a RegionManager
+// (with its Broker) plus the Publisher/Subscriber endpoints of every client
+// homed in this region. The node's own contribution is the lifecycle: it
+// registers with the controller (kNodeHello), beats a seeded heartbeat,
+// executes the controller's phase commands, and shuts down gracefully —
+// flush, metrics file, kNodeBye.
+//
+// The node wraps the broker's bus handler: lifecycle messages and
+// region-addressed kConfigUpdates (the wire form of apply_config) are
+// consumed here, everything else is forwarded verbatim to Broker::handle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "broker/region_manager.h"
+#include "client/publisher.h"
+#include "client/subscriber.h"
+#include "net/socket_transport.h"
+#include "node/protocol.h"
+#include "sim/scenario.h"
+
+namespace multipub::node {
+
+struct BrokerNodeOptions {
+  std::uint16_t listen_port = 0;  ///< 0 = ephemeral
+  std::uint16_t controller_port = 0;
+  std::string metrics_path;       ///< empty = no metrics file
+  double time_scale = 1.0;        ///< >1 compresses the traffic interval
+};
+
+class BrokerNode {
+ public:
+  /// Borrows the scenario; it must outlive the node. `self` is the live
+  /// RegionId this process serves.
+  BrokerNode(const sim::Scenario& scenario, RegionId self,
+             const BrokerNodeOptions& options);
+
+  BrokerNode(const BrokerNode&) = delete;
+  BrokerNode& operator=(const BrokerNode&) = delete;
+
+  /// Binds the listen socket and announces to the controller. Returns
+  /// success.
+  bool start();
+
+  /// Runs the event loop until the shutdown phase completed or
+  /// `deadline_ms` of wall time passed. Returns true on clean shutdown.
+  bool run(double deadline_ms);
+
+  [[nodiscard]] std::uint16_t port() const { return transport_.port(); }
+  [[nodiscard]] net::SocketTransport& transport() { return transport_; }
+  [[nodiscard]] broker::RegionManager& manager() { return *manager_; }
+
+ private:
+  void handle(const wire::Message& msg);
+  void on_attach(const wire::Message& msg);
+  void on_traffic();
+  void on_report();
+  void on_shutdown();
+  void beat();
+  void send_to_controller(wire::Message msg);
+  void phase_done(Phase phase);
+  void write_metrics() const;
+  /// Fires deferred phase acks and the shutdown epilogue. Message handlers
+  /// must never poll (the transport's dispatch loop is not re-entrant), so
+  /// quiesce-gated acks are decided here, from the top of run()'s loop.
+  void advance();
+
+  const sim::Scenario* scenario_;
+  RegionId self_;
+  BrokerNodeOptions options_;
+  net::SocketTransport transport_;
+  std::unique_ptr<broker::RegionManager> manager_;
+  std::vector<std::unique_ptr<client::Publisher>> publishers_;
+  std::vector<std::unique_ptr<client::Subscriber>> subscribers_;
+
+  bool welcomed_ = false;
+  bool shutdown_complete_ = false;
+  std::uint64_t heartbeat_interval_ms_ = 0;
+  std::uint64_t heartbeat_seq_ = 0;
+  std::uint64_t publications_done_ = 0;
+  std::uint64_t publications_expected_ = 0;
+
+  /// Phase whose kPhaseDone ack waits for the event loop to quiesce.
+  std::optional<Phase> pending_ack_;
+  /// When the shutdown epilogue (metrics, kNodeBye) runs; set by kShutdown.
+  std::optional<Millis> shutdown_at_;
+  /// Last wall time poll_once() dispatched a message (idle detection).
+  Millis last_activity_ = 0.0;
+};
+
+}  // namespace multipub::node

@@ -1,0 +1,101 @@
+// The controller as a real OS process (DESIGN.md §13).
+//
+// Owns a Controller over a SocketTransport and sequences a live run as the
+// lock-step phase machine of node/protocol.h: wait for every broker's
+// kNodeHello, introduce the brokers to each other (kPeerInfo), then drive
+// attach -> traffic -> report -> shutdown, advancing past each phase only
+// after all N brokers acked and a settle delay elapsed. During the report
+// phase it rebuilds each region's ReportBatch from the wire lines, ingests
+// them in region-id order — exactly the order the digital twin uses — and
+// deploys changed configurations with region-addressed kConfigUpdates.
+//
+// Message handlers only record state and send; the phase machine advances
+// from the top of run()'s loop (the transport's dispatch loop is not
+// re-entrant).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "broker/controller.h"
+#include "net/socket_transport.h"
+#include "node/protocol.h"
+#include "sim/scenario.h"
+
+namespace multipub::node {
+
+struct ControllerNodeOptions {
+  std::uint16_t listen_port = 0;  ///< 0 = ephemeral
+  std::string metrics_path;       ///< empty = no metrics file
+  /// Seed handed to brokers in kNodeWelcome.key (heartbeat jitter).
+  std::uint64_t seed = 0;
+};
+
+class ControllerNode {
+ public:
+  /// Borrows the scenario; it must outlive the node.
+  ControllerNode(const sim::Scenario& scenario,
+                 const ControllerNodeOptions& options);
+
+  ControllerNode(const ControllerNode&) = delete;
+  ControllerNode& operator=(const ControllerNode&) = delete;
+
+  /// Binds the listen socket. Returns success.
+  bool start();
+
+  /// Runs the whole deployment to completion (all brokers said goodbye) or
+  /// until `deadline_ms` of wall time passed. Returns true on completion.
+  bool run(double deadline_ms);
+
+  [[nodiscard]] std::uint16_t port() const { return transport_.port(); }
+  [[nodiscard]] broker::Controller& controller() { return *controller_; }
+  [[nodiscard]] net::SocketTransport& transport() { return transport_; }
+  [[nodiscard]] std::uint64_t heartbeats(RegionId region) const;
+
+ private:
+  /// Where the phase machine currently stands.
+  enum class Step {
+    kWaitHellos,  ///< collecting kNodeHello from every region
+    kSettle,      ///< settle delay before broadcasting the next phase
+    kWaitAcks,    ///< barrier on N kPhaseDone for current_phase_
+    kWaitByes,    ///< barrier on N kNodeBye
+    kDone,
+  };
+
+  void handle(const wire::Message& msg);
+  void advance();
+  void start_phase(Phase phase);
+  void broadcast(const wire::Message& msg);
+  void on_all_reports();
+  void write_metrics() const;
+  [[nodiscard]] std::size_t region_count() const {
+    return scenario_->catalog.size();
+  }
+
+  const sim::Scenario* scenario_;
+  ControllerNodeOptions options_;
+  net::SocketTransport transport_;
+  std::unique_ptr<broker::Controller> controller_;
+
+  Step step_ = Step::kWaitHellos;
+  Phase current_phase_ = Phase::kAttach;
+  Phase next_phase_ = Phase::kAttach;
+  std::optional<Millis> settle_until_;
+
+  std::vector<bool> hello_;       // per region
+  std::vector<std::uint16_t> broker_port_;
+  std::vector<bool> done_;        // kPhaseDone for current_phase_
+  std::vector<bool> bye_;
+  std::vector<std::uint64_t> heartbeats_;
+  std::vector<std::vector<wire::Message>> report_lines_;  // per region
+  std::vector<bool> report_end_;
+  std::vector<bool> report_full_;
+  std::size_t decisions_ = 0;
+  std::size_t changed_ = 0;
+  std::uint64_t rejected_hellos_ = 0;
+};
+
+}  // namespace multipub::node

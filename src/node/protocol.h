@@ -1,0 +1,57 @@
+// Node lifecycle protocol constants (DESIGN.md §13).
+//
+// A live deployment runs one controller process and one broker process per
+// region, all driven by the same scenario file. The controller sequences
+// the run as a lock-step phase machine: it broadcasts kPhaseStart(phase)
+// and advances only after every broker acked with kPhaseDone(phase) — plus
+// a settle delay, so traffic queued at the moment of the ack has landed.
+//
+// Phases:
+//   kAttach   — install the bootstrap configuration: brokers set the
+//               topic's assignment row, publishers learn their targets,
+//               subscribers attach to their closest serving region.
+//   kTraffic  — replay the scenario's interval: every publisher emits
+//               messages_per_interval() publications at fixed spacing.
+//               The ack is quiesce-based: a broker reports done only after
+//               its event loop sat idle for a full quiet window, so the ack
+//               implies all traffic it can observe has drained.
+//   kReport   — region managers run collect_reports(); the batches travel
+//               to the controller as kReportPublisher/kReportSubscriber
+//               lines framed by kReportEnd. The controller ingests them in
+//               region order, re-optimizes, and deploys changed
+//               configurations (kConfigUpdate to the region address, which
+//               the node runtime turns into apply_config).
+//   kShutdown — brokers flush, write their metrics file, send kNodeBye and
+//               exit; the controller writes its metrics and exits once
+//               every broker said goodbye.
+#pragma once
+
+#include <cstdint>
+
+namespace multipub::node {
+
+enum class Phase : std::uint64_t {
+  kAttach = 1,
+  kTraffic = 2,
+  kReport = 3,
+  kShutdown = 4,
+};
+
+/// Heartbeat cadence handed to brokers in kNodeWelcome.seq.
+inline constexpr std::uint64_t kHeartbeatIntervalMs = 250;
+
+/// Wire protocol version carried in kNodeHello.key; the controller rejects
+/// brokers speaking another version.
+inline constexpr std::uint64_t kNodeProtocolVersion = 1;
+
+/// Sentinel subscriber id marking an empty TopicReport on the wire (a delta
+/// report whose publisher and subscriber lists are both empty still tells
+/// the controller the topic's traffic stopped).
+inline constexpr std::int32_t kEmptyReportMarker = -1;
+
+/// Quiet window a broker's event loop must sit idle before it acks
+/// kTraffic, and the controller's settle delay between phases.
+inline constexpr double kQuiesceIdleMs = 400.0;
+inline constexpr double kPhaseSettleMs = 300.0;
+
+}  // namespace multipub::node

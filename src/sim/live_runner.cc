@@ -122,21 +122,23 @@ void LiveSystem::deploy(const core::TopicConfig& config) {
   drain();  // let the kSubscribe handshakes land
 }
 
-void LiveSystem::set_cohorts(bool on) {
+void LiveSystem::set_cohorts(bool on, Millis row_bucket_ms) {
   if (!on) {
     MP_EXPECTS(pool_ == nullptr && "disabling cohorts is not supported");
     return;
   }
   if (pool_ != nullptr) return;
   MP_EXPECTS(transport_->fast_path());
+  MP_EXPECTS(row_bucket_ms >= 0.0);
   const std::size_t n_clients = scenario_->population.size();
   const std::size_t n_regions = scenario_->catalog.size();
   arena_ = std::make_unique<Arena>();
   topic_sets_ = std::make_unique<client::TopicSetPool>(*arena_);
-  // Exact rows (bucket 0): only bit-identical latency rows merge, which is
-  // what keeps the cohort plane bit-identical to the per-client one.
+  // Exact rows (bucket 0, the default): only bit-identical latency rows
+  // merge, which is what keeps the cohort plane bit-identical to the
+  // per-client one. A positive bucket trades that for more folding.
   registry_ = std::make_unique<client::ClientRegistry>(
-      n_clients, n_regions, /*row_bucket_ms=*/0.0, *arena_);
+      n_clients, n_regions, row_bucket_ms, *arena_);
 
   const TopicId topic = scenario_->topic.topic;
   const std::array<TopicId, 1> topics{topic};

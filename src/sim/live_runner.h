@@ -95,12 +95,16 @@ class LiveSystem {
   /// Switches the subscriber side to the cohort-compressed plane
   /// (DESIGN.md §12): identical subscribers fold into weighted cohorts, the
   /// per-client Subscriber endpoints leave the wire, and one weighted
-  /// message per flock replaces one per member. Observables (delivery
-  /// times, costs, weighted counters) stay bit-identical to the per-client
-  /// plane. Requires the fast path; call once, before deploy()/traffic and
-  /// before set_shards (the flock universe must exist to be sharded).
-  /// Disabling after enabling is not supported.
-  void set_cohorts(bool on);
+  /// message per flock replaces one per member. With `row_bucket_ms == 0`
+  /// (the default) only bit-identical latency rows merge, and observables
+  /// (delivery times, costs, weighted counters) stay bit-identical to the
+  /// per-client plane. A positive bucket quantizes rows to
+  /// floor(latency / bucket) * bucket before interning, so near-identical
+  /// clients fold too — more compression, at the price of delivery times
+  /// moving by up to one bucket. Requires the fast path; call once, before
+  /// deploy()/traffic and before set_shards (the flock universe must exist
+  /// to be sharded). Disabling after enabling is not supported.
+  void set_cohorts(bool on, Millis row_bucket_ms = 0.0);
   [[nodiscard]] bool cohorts() const { return pool_ != nullptr; }
   /// The cohort pool when cohorts are on, nullptr otherwise.
   [[nodiscard]] client::CohortPool* cohort_pool() { return pool_.get(); }

@@ -25,7 +25,7 @@ template <typename T>
 
 [[nodiscard]] bool valid_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MessageType::kSubscribe) &&
-         raw <= static_cast<std::uint8_t>(MessageType::kLatencyReport);
+         raw <= static_cast<std::uint8_t>(MessageType::kNodeBye);
 }
 
 }  // namespace
@@ -46,6 +46,8 @@ EncodedMessage encode(const Message& msg) {
   put<std::uint64_t>(buf, 48, msg.key);
   put<std::uint64_t>(buf, 56, msg.filter.lo);
   put<std::uint64_t>(buf, 64, msg.filter.hi);
+  put<std::uint32_t>(buf, 72, msg.weight);
+  put<std::uint32_t>(buf, 76, 0);
   return buf;
 }
 
@@ -59,6 +61,9 @@ std::optional<Message> decode(std::span<const std::byte> frame) {
   if (raw_mode > static_cast<std::uint8_t>(WireMode::kRouted)) {
     return std::nullopt;
   }
+  // The reserved word must be zero so decode stays the inverse of encode on
+  // its accepted domain (and so v4 can assign it a meaning unambiguously).
+  if (get<std::uint32_t>(frame, 76) != 0) return std::nullopt;
 
   Message msg;
   msg.type = static_cast<MessageType>(raw_type);
@@ -73,6 +78,7 @@ std::optional<Message> decode(std::span<const std::byte> frame) {
   msg.key = get<std::uint64_t>(frame, 48);
   msg.filter.lo = get<std::uint64_t>(frame, 56);
   msg.filter.hi = get<std::uint64_t>(frame, 64);
+  msg.weight = get<std::uint32_t>(frame, 72);
   return msg;
 }
 

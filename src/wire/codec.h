@@ -21,9 +21,12 @@
 //   offset 48 : u64 content key
 //   offset 56 : u64 filter lo
 //   offset 64 : u64 filter hi
-//   total 72 bytes
-// (v1 was 48 bytes without the content-filtering fields; v1 frames are
-// rejected, the protocol is not mixed-version.)
+//   offset 72 : u32 weight
+//   offset 76 : u32 reserved (encoded as 0, ignored on decode)
+//   total 80 bytes
+// (v1 was 48 bytes without the content-filtering fields, v2 was 72 bytes
+// without the cohort weight; old frames are rejected, the protocol is not
+// mixed-version.)
 #pragma once
 
 #include <array>
@@ -36,13 +39,13 @@
 
 namespace multipub::wire {
 
-inline constexpr std::size_t kEncodedSize = 72;
+inline constexpr std::size_t kEncodedSize = 80;
 inline constexpr std::uint8_t kMagic = 0xAB;
-inline constexpr std::uint8_t kVersion = 2;
+inline constexpr std::uint8_t kVersion = 3;
 
 using EncodedMessage = std::array<std::byte, kEncodedSize>;
 
-/// Serializes `msg` into its fixed 48-byte frame.
+/// Serializes `msg` into its fixed 80-byte frame.
 [[nodiscard]] EncodedMessage encode(const Message& msg);
 
 /// Parses a frame; nullopt on bad magic/version/type or wrong size.

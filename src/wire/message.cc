@@ -13,6 +13,16 @@ const char* to_string(MessageType type) {
     case MessageType::kPing:          return "PING";
     case MessageType::kPong:          return "PONG";
     case MessageType::kLatencyReport: return "LATENCY_REPORT";
+    case MessageType::kNodeHello:        return "NODE_HELLO";
+    case MessageType::kNodeWelcome:      return "NODE_WELCOME";
+    case MessageType::kPeerInfo:         return "PEER_INFO";
+    case MessageType::kHeartbeat:        return "HEARTBEAT";
+    case MessageType::kPhaseStart:       return "PHASE_START";
+    case MessageType::kPhaseDone:        return "PHASE_DONE";
+    case MessageType::kReportPublisher:  return "REPORT_PUBLISHER";
+    case MessageType::kReportSubscriber: return "REPORT_SUBSCRIBER";
+    case MessageType::kReportEnd:        return "REPORT_END";
+    case MessageType::kNodeBye:          return "NODE_BYE";
   }
   return "?";
 }
@@ -29,6 +39,16 @@ Bytes Message::billable_bytes() const {
     case MessageType::kPing:
     case MessageType::kPong:
     case MessageType::kLatencyReport:
+    case MessageType::kNodeHello:
+    case MessageType::kNodeWelcome:
+    case MessageType::kPeerInfo:
+    case MessageType::kHeartbeat:
+    case MessageType::kPhaseStart:
+    case MessageType::kPhaseDone:
+    case MessageType::kReportPublisher:
+    case MessageType::kReportSubscriber:
+    case MessageType::kReportEnd:
+    case MessageType::kNodeBye:
       return 0;
   }
   return 0;

@@ -30,6 +30,36 @@ enum class MessageType : std::uint8_t {
   kPong = 8,          ///< broker -> client probe echo: same fields.
   kLatencyReport = 9, ///< client -> broker: "my one-way latency to you is
                       ///< published_at ms"; subscriber = reporting client.
+
+  // Node lifecycle protocol (live deployment, DESIGN.md §13). These travel
+  // between broker processes and the controller process; the simulated
+  // plane never emits them. Region ids ride in the ClientId-typed fields
+  // (publisher unless stated otherwise) — the fields are plain int32
+  // carriers at this layer.
+  kNodeHello = 10,        ///< broker -> controller: publisher = region id,
+                          ///< seq = the broker's listening port.
+  kNodeWelcome = 11,      ///< controller -> broker registration ack:
+                          ///< seq = heartbeat interval ms, key = seed for
+                          ///< the broker's heartbeat jitter stream.
+  kPeerInfo = 12,         ///< controller -> broker: peer broker endpoint;
+                          ///< publisher = region id, seq = port.
+  kHeartbeat = 13,        ///< broker -> controller liveness beacon:
+                          ///< publisher = region id, seq = beat counter.
+  kPhaseStart = 14,       ///< controller -> broker: enter phase `seq` (see
+                          ///< node/protocol.h); attach phase carries the
+                          ///< bootstrap config_regions/config_mode.
+  kPhaseDone = 15,        ///< broker -> controller: phase `seq` finished;
+                          ///< publisher = region id.
+  kReportPublisher = 16,  ///< broker -> controller report line: topic,
+                          ///< publisher, seq = msg_count, payload_bytes =
+                          ///< total bytes; subscriber = reporting region.
+  kReportSubscriber = 17, ///< broker -> controller report line: topic,
+                          ///< subscriber; publisher = reporting region.
+  kReportEnd = 18,        ///< broker -> controller: report batch complete;
+                          ///< publisher = region id, seq = line count,
+                          ///< key bit 0 = full_snapshot.
+  kNodeBye = 19,          ///< broker -> controller: graceful shutdown;
+                          ///< publisher = region id.
 };
 
 [[nodiscard]] const char* to_string(MessageType type);

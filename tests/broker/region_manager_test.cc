@@ -5,6 +5,7 @@
 #include <map>
 
 #include "net/simulator.h"
+#include "net/transport.h"
 #include "testutil.h"
 
 namespace multipub::broker {

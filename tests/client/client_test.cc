@@ -7,6 +7,7 @@
 #include "client/publisher.h"
 #include "client/subscriber.h"
 #include "net/simulator.h"
+#include "net/transport.h"
 #include "testutil.h"
 
 namespace multipub::client {

@@ -1,0 +1,72 @@
+// Regression test for the short-write path in TcpEndpoint::send.
+//
+// With SO_SNDBUF shrunk to near the frame size and a receiver that never
+// polls, a burst of sends overruns the kernel buffer mid-frame. The old
+// implementation waited up to 100 ms for writability and then DROPPED the
+// peer — tearing the stream and losing every queued frame. The endpoint
+// must instead buffer the unsent remainder and flush it from poll() when
+// the socket turns writable, so a slow receiver only delays frames.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/tcp.h"
+
+namespace multipub::net {
+namespace {
+
+wire::Message numbered(std::uint64_t seq) {
+  wire::Message msg;
+  msg.type = wire::MessageType::kPublish;
+  msg.topic = TopicId{1};
+  msg.publisher = ClientId{5};
+  msg.seq = seq;
+  msg.published_at = 10.0 * static_cast<double>(seq);
+  msg.payload_bytes = 2048;
+  return msg;
+}
+
+TEST(TcpSendBuffer, BurstAgainstTinyBufferArrivesIntactAndInOrder) {
+  std::vector<wire::Message> inbox;
+  TcpEndpoint server([&](const wire::Message& m) { inbox.push_back(m); });
+  server.set_socket_buffer_bytes(256);
+  ASSERT_TRUE(server.listen(0));
+
+  TcpEndpoint client([](const wire::Message&) {});
+  client.set_socket_buffer_bytes(256);
+  const int peer = client.connect_to(server.port());
+  ASSERT_GE(peer, 0);
+
+  // Fill the pipe while the receiver is not draining. The kernel rounds
+  // SO_SNDBUF up, but 1200 frames * 80 bytes far exceeds any doubling, so
+  // many of these sends hit EAGAIN or partial writes. Every send must still
+  // succeed (buffered, not dropped) and the connection must stay up.
+  constexpr std::uint64_t kFrames = 1200;
+  for (std::uint64_t seq = 0; seq < kFrames; ++seq) {
+    ASSERT_TRUE(client.send(peer, numbered(seq))) << "seq " << seq;
+  }
+  ASSERT_EQ(client.connection_count(), 1u);
+  EXPECT_GT(client.pending_send_bytes(peer), 0u)
+      << "burst never backpressured: SO_SNDBUF shrink did not take effect";
+
+  // Now let both sides run: the server drains, the client's poll() flushes
+  // the outbox on POLLOUT. Everything must arrive, in order, undamaged.
+  for (int round = 0; round < 4000 && inbox.size() < kFrames; ++round) {
+    client.poll(5);
+    server.poll(5);
+  }
+  ASSERT_EQ(inbox.size(), kFrames);
+  EXPECT_EQ(client.pending_send_bytes(peer), 0u);
+  EXPECT_EQ(server.corrupt_frames(), 0u);
+  for (std::uint64_t seq = 0; seq < kFrames; ++seq) {
+    ASSERT_EQ(inbox[seq], numbered(seq)) << "out of order at " << seq;
+  }
+}
+
+TEST(TcpSendBuffer, PendingBytesReportsZeroForUnknownPeer) {
+  TcpEndpoint endpoint([](const wire::Message&) {});
+  EXPECT_EQ(endpoint.pending_send_bytes(1234), 0u);
+}
+
+}  // namespace
+}  // namespace multipub::net

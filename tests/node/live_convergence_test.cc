@@ -1,0 +1,292 @@
+// Live-vs-twin convergence (DESIGN.md §13).
+//
+// Launches a real deployment — one controller process plus one broker
+// process per region, all multipub-node binaries talking TCP on localhost —
+// replays a scenario through the lock-step phase machine, then runs the
+// same scenario through the in-process digital twin (sim::LiveSystem over
+// the discrete-event transport) and asserts the live aggregates converge to
+// the twin's.
+//
+// Convergence contract (the documented tolerances):
+//   publications            exact
+//   deliveries              exact
+//   per-region billed bytes exact (inter-region and internet egress)
+//   billed dollars          relative 1e-6 (identical bytes through the same
+//                           tariff arithmetic; the slack only covers a
+//                           different summation order)
+//   assignment matrix       exact string match
+//
+// Delivery TIMES are deliberately not compared: the processes' wall-clock
+// epochs are unsynchronized, so cross-process published_at arithmetic is
+// meaningless — counts and costs are the live observables.
+#include "node/world.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/live_runner.h"
+#include "sim/scenario_file.h"
+
+namespace multipub {
+namespace {
+
+std::string node_binary() {
+  if (const char* env = std::getenv("MULTIPUB_NODE_BIN")) return env;
+  // Test binaries live in build/tests, the CLI in build/tools.
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (n <= 0) return "multipub-node";
+  self[n] = '\0';
+  std::string dir(self);
+  dir.resize(dir.find_last_of('/'));
+  return dir + "/../tools/multipub-node";
+}
+
+std::string scenario_text(std::uint64_t seed) {
+  std::ostringstream out;
+  out << "placement us-east-1 2 3\n"
+      << "placement eu-west-1 1 2\n"
+      << "placement ap-northeast-1 1 2\n"
+      << "rate 5\n"
+      << "size 1024\n"
+      << "interval 2\n"
+      << "ratio 75\n"
+      << "max_t 150\n"
+      << "seed " << seed << "\n";
+  return out.str();
+}
+
+pid_t spawn(const std::vector<std::string>& args, const std::string& log) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    ::dup2(fd, 1);
+    ::dup2(fd, 2);
+    ::close(fd);
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const auto& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+  ::execv(argv[0], argv.data());
+  std::_Exit(127);
+}
+
+/// Waits for every pid with a shared wall-clock deadline; kills stragglers.
+/// Returns true when all exited with status 0.
+bool wait_all(std::vector<pid_t> pids, int deadline_ms) {
+  bool ok = true;
+  for (int elapsed = 0; !pids.empty() && elapsed < deadline_ms;) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < pids.size();) {
+      int status = 0;
+      const pid_t r = ::waitpid(pids[i], &status, WNOHANG);
+      if (r == pids[i]) {
+        ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        pids.erase(pids.begin() + static_cast<std::ptrdiff_t>(i));
+        progressed = true;
+      } else {
+        ++i;
+      }
+    }
+    if (!progressed && !pids.empty()) {
+      ::usleep(20'000);
+      elapsed += 20;
+    }
+  }
+  for (const pid_t pid : pids) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    ok = false;
+  }
+  return ok;
+}
+
+struct Metrics {
+  std::map<std::string, std::uint64_t> counters;
+  std::string assignment;  // reassembled matrix text
+
+  [[nodiscard]] std::uint64_t at(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+Metrics read_metrics(const std::string& path) {
+  Metrics m;
+  std::ifstream file(path);
+  std::string line;
+  while (std::getline(file, line)) {
+    if (line.rfind("# assignment ", 0) == 0) {
+      m.assignment += line.substr(std::strlen("# assignment ")) + "\n";
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string name;
+    std::uint64_t value = 0;
+    if (fields >> name >> value) m.counters[name] = value;
+  }
+  return m;
+}
+
+struct LiveRun {
+  Metrics controller;
+  std::vector<Metrics> brokers;  // indexed by live region id
+};
+
+/// Runs one full deployment (controller + one broker per region) and
+/// returns everyone's metrics. Files go under `dir` (inside the build
+/// tree); region names must match the scenario's placements.
+LiveRun run_deployment(const std::string& dir, std::uint64_t seed,
+                       const std::vector<std::string>& regions) {
+  const std::string bin = node_binary();
+  const std::string scn = dir + "/exp.scn";
+  {
+    std::ofstream out(scn);
+    out << scenario_text(seed);
+  }
+  const std::string port_file = dir + "/ctrl.port";
+  std::remove(port_file.c_str());
+
+  std::vector<pid_t> pids;
+  pids.push_back(spawn({bin, "--role", "controller", "--scenario", scn,
+                        "--port-file", port_file, "--metrics-out",
+                        dir + "/ctrl.metrics", "--deadline-ms", "60000"},
+                       dir + "/ctrl.log"));
+
+  // The controller writes its ephemeral port once it listens.
+  std::uint16_t port = 0;
+  for (int i = 0; i < 250 && port == 0; ++i) {
+    std::ifstream in(port_file);
+    int value = 0;
+    if (in >> value && value > 0) {
+      port = static_cast<std::uint16_t>(value);
+      break;
+    }
+    ::usleep(20'000);
+  }
+  EXPECT_GT(port, 0) << "controller never published its port";
+
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const std::string tag = "b" + std::to_string(r);
+    pids.push_back(spawn({bin, "--role", "broker", "--region", regions[r],
+                          "--scenario", scn, "--controller-port",
+                          std::to_string(port), "--metrics-out",
+                          dir + "/" + tag + ".metrics", "--time-scale", "4",
+                          "--deadline-ms", "60000"},
+                         dir + "/" + tag + ".log"));
+  }
+
+  EXPECT_TRUE(wait_all(pids, 60'000)) << "a node crashed or timed out";
+
+  LiveRun run;
+  run.controller = read_metrics(dir + "/ctrl.metrics");
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    run.brokers.push_back(
+        read_metrics(dir + "/b" + std::to_string(r) + ".metrics"));
+  }
+  return run;
+}
+
+class LiveConvergence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LiveConvergence, LiveAggregatesMatchTheDigitalTwin) {
+  const std::uint64_t seed = GetParam();
+  char dir_template[] = "live_convergence_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string dir = dir_template;
+
+  // Region names in scenario placement order = live region ids 0..2
+  // (build_live_world numbers them by first appearance).
+  const std::vector<std::string> regions = {"us-east-1", "eu-west-1",
+                                            "ap-northeast-1"};
+  const LiveRun live = run_deployment(dir, seed, regions);
+
+  // The digital twin: the same spec through the same world builder, run
+  // over the discrete-event transport.
+  std::string error;
+  const auto spec = sim::parse_scenario_spec(scenario_text(seed), &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  const auto scenario = node::build_live_world(*spec, &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  sim::LiveSystem twin(*scenario);
+  twin.deploy(node::choose_bootstrap_config(*scenario));
+  Rng rng(spec->seed);
+  const auto interval = twin.run_interval(spec->workload.interval_seconds,
+                                          spec->workload.message_bytes,
+                                          spec->workload.publish_rate_hz, rng);
+  (void)twin.control_round();
+
+  // Publications and deliveries: exact.
+  std::uint64_t live_publications = 0;
+  std::uint64_t live_deliveries = 0;
+  for (const auto& broker : live.brokers) {
+    live_publications += broker.at("clients.publications");
+    live_deliveries += broker.at("clients.deliveries");
+  }
+  EXPECT_EQ(live_publications, interval.publications);
+  EXPECT_EQ(live_deliveries, interval.deliveries);
+
+  // Per-region billed egress: exact, meter by meter.
+  const net::CostLedger& ledger = twin.transport().ledger();
+  net::CostLedger live_ledger(scenario->catalog.size());
+  for (std::size_t r = 0; r < live.brokers.size(); ++r) {
+    live_ledger.inter_region_bytes[r] =
+        live.brokers[r].at("transport.inter_region_bytes");
+    live_ledger.internet_bytes[r] =
+        live.brokers[r].at("transport.internet_bytes");
+    EXPECT_EQ(live_ledger.inter_region_bytes[r],
+              ledger.inter_region_bytes[r])
+        << "inter-region egress diverged for region " << r;
+    EXPECT_EQ(live_ledger.internet_bytes[r], ledger.internet_bytes[r])
+        << "internet egress diverged for region " << r;
+  }
+
+  // Dollars: identical bytes through the same tariffs; 1e-6 relative slack
+  // only covers a different summation order.
+  const Dollars twin_cost = ledger.total_cost(scenario->catalog);
+  const Dollars live_cost = live_ledger.total_cost(scenario->catalog);
+  EXPECT_NEAR(live_cost, twin_cost, 1e-6 * std::max(1.0, twin_cost));
+  EXPECT_GT(twin_cost, 0.0);  // the interval must actually have billed
+
+  // The deployed assignment matrix: exact string.
+  EXPECT_EQ(live.controller.assignment,
+            twin.controller().render_assignment_matrix());
+
+  // Lifecycle health: every broker registered, beat and said goodbye.
+  EXPECT_EQ(live.controller.at("node.brokers"), regions.size());
+  EXPECT_EQ(live.controller.at("controller.rejected_hellos"), 0u);
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    EXPECT_GT(live.controller.at("node.heartbeats." + std::to_string(r)), 0u)
+        << "no heartbeats from region " << r;
+    EXPECT_GT(live.brokers[r].at("node.heartbeats_sent"), 0u);
+  }
+
+  // Keep the logs and metrics around for post-mortems on failure only.
+  if (!::testing::Test::HasFailure()) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LiveConvergence,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace multipub

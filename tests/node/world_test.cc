@@ -1,0 +1,87 @@
+// build_live_world: the restricted-world builder every live process and its
+// digital twin share (node/world.h).
+#include "node/world.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/latency.h"
+#include "geo/region.h"
+
+namespace multipub {
+namespace {
+
+sim::ScenarioSpec three_region_spec() {
+  sim::ScenarioSpec spec;
+  spec.placements = {{"us-east-1", 2, 3},
+                     {"eu-west-1", 1, 2},
+                     {"ap-northeast-1", 1, 2}};
+  spec.workload.publish_rate_hz = 5.0;
+  spec.workload.interval_seconds = 2.0;
+  spec.workload.max_t = 150.0;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(BuildLiveWorld, RestrictsToPlacementRegionsInFirstAppearanceOrder) {
+  std::string error;
+  const auto scenario = node::build_live_world(three_region_spec(), &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+
+  ASSERT_EQ(scenario->catalog.size(), 3u);
+  EXPECT_EQ(scenario->catalog.at(RegionId{0}).name, "us-east-1");
+  EXPECT_EQ(scenario->catalog.at(RegionId{1}).name, "eu-west-1");
+  EXPECT_EQ(scenario->catalog.at(RegionId{2}).name, "ap-northeast-1");
+  // Region ids are re-numbered densely so matrices index from zero.
+  EXPECT_EQ(scenario->catalog.at(RegionId{1}).id, RegionId{1});
+  EXPECT_EQ(scenario->backbone.size(), 3u);
+
+  // The backbone submatrix carries the full-world latencies of the picked
+  // pair, not fresh values.
+  const auto full_catalog = geo::RegionCatalog::ec2_2016();
+  const auto full = geo::InterRegionLatency::ec2_2016();
+  EXPECT_EQ(scenario->backbone.at(RegionId{0}, RegionId{2}),
+            full.at(full_catalog.find("us-east-1"),
+                    full_catalog.find("ap-northeast-1")));
+
+  // All clients are homed inside the restricted world.
+  for (const RegionId home : scenario->population.home_region) {
+    EXPECT_TRUE(home.valid());
+    EXPECT_LT(home.index(), scenario->catalog.size());
+  }
+  EXPECT_EQ(scenario->topic.publishers.size(), 4u);
+  EXPECT_EQ(scenario->topic.subscribers.size(), 7u);
+}
+
+TEST(BuildLiveWorld, RepeatedPlacementRegionsCollapseToOneLiveRegion) {
+  auto spec = three_region_spec();
+  spec.placements.push_back({"us-east-1", 1, 1});
+  std::string error;
+  const auto scenario = node::build_live_world(spec, &error);
+  ASSERT_TRUE(scenario.has_value()) << error;
+  EXPECT_EQ(scenario->catalog.size(), 3u);
+  EXPECT_EQ(scenario->topic.publishers.size(), 5u);
+}
+
+TEST(BuildLiveWorld, UnknownRegionIsAnError) {
+  auto spec = three_region_spec();
+  spec.placements[1].region = "atlantis-north-1";
+  std::string error;
+  EXPECT_FALSE(node::build_live_world(spec, &error).has_value());
+  EXPECT_NE(error.find("atlantis-north-1"), std::string::npos);
+}
+
+TEST(BuildLiveWorld, BootstrapConfigIsAPureFunctionOfTheScenario) {
+  std::string error;
+  const auto a = node::build_live_world(three_region_spec(), &error);
+  const auto b = node::build_live_world(three_region_spec(), &error);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  const auto config_a = node::choose_bootstrap_config(*a);
+  const auto config_b = node::choose_bootstrap_config(*b);
+  // Controller, every broker and the twin each compute this independently;
+  // determinism is what makes the attach phase coherent.
+  EXPECT_EQ(config_a.regions, config_b.regions);
+  EXPECT_EQ(config_a.mode, config_b.mode);
+}
+
+}  // namespace
+}  // namespace multipub

@@ -87,9 +87,9 @@ TEST(Codec, RejectsUnknownMode) {
 }
 
 TEST(Codec, FrameSizeIsStable) {
-  // Wire compatibility: the v2 frame is exactly 72 bytes.
+  // Wire compatibility: the v3 frame is exactly 80 bytes.
   EXPECT_EQ(encode(sample_message()).size(), kEncodedSize);
-  EXPECT_EQ(kEncodedSize, 72u);
+  EXPECT_EQ(kEncodedSize, 80u);
 }
 
 TEST(Codec, KeyFilterRoundTrips) {

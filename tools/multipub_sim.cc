@@ -89,6 +89,10 @@ Validation:
   --cohorts on|off         with --live: fold the subscribers into weighted
                            cohorts (DESIGN.md §12; default off; requires
                            --fast-path on)
+  --quantize-ms MS         with --cohorts on: quantize client latency rows
+                           to MS-wide buckets before folding, so
+                           near-identical clients merge too (default 0 =
+                           exact rows, bit-identical to per-client)
   --explain K              print the K best configurations with their
                            percentile/cost (what-if table)
   --metrics                with --live: dump the metrics snapshot
@@ -116,7 +120,8 @@ int main(int argc, char** argv) {
       "rate", "size", "interval", "ratio", "max-t", "sweep", "mode",
       "heuristic", "exact-list", "synthetic-regions", "modern-aws", "seed",
       "latencies", "dump-latencies", "live", "incremental", "fast-path",
-      "shards", "threads", "clients", "cohorts", "explain", "metrics",
+      "shards", "threads", "clients", "cohorts", "quantize-ms", "explain",
+      "metrics",
   });
 
   const long seed = flags.get_int("seed", 2017);
@@ -360,6 +365,17 @@ int main(int argc, char** argv) {
                  "events only exist on the typed-event plane\n");
     return 2;
   }
+  const double quantize_ms = flags.get_double("quantize-ms", 0.0);
+  if (flags.has("quantize-ms") && quantize_ms < 0.0) {
+    std::fprintf(stderr, "--quantize-ms must be >= 0\n");
+    return 2;
+  }
+  if (flags.has("quantize-ms") && cohorts != "on") {
+    std::fprintf(stderr,
+                 "--quantize-ms only applies to the cohort plane: add "
+                 "--cohorts on\n");
+    return 2;
+  }
   const long clients_target = flags.get_int("clients", 0);
   if (flags.has("clients") && clients_target < 1) {
     std::fprintf(stderr, "--clients must be >= 1\n");
@@ -488,7 +504,7 @@ int main(int argc, char** argv) {
     sim::LiveSystem live(scenario);
     live.set_incremental(incremental == "on");
     live.set_data_plane_fast_path(fast_path == "on");
-    if (cohorts == "on") live.set_cohorts(true);
+    if (cohorts == "on") live.set_cohorts(true, quantize_ms);
     if (shards > 0) live.set_shards(static_cast<std::uint32_t>(shards));
     live.deploy(chosen);
     const auto run = live.run_interval(workload.interval_seconds,
@@ -503,11 +519,18 @@ int main(int argc, char** argv) {
         "%zu carried\n",
         incremental == "on" ? "incremental" : "full-scan", round.tracked,
         round.dirty, round.evaluated, round.skipped_clean);
-    std::printf("  data plane: %s scheduling, %u shard(s), %s\n",
-                fast_path == "on" ? "fast-path" : "legacy", live.shards(),
-                cohorts == "on"
-                    ? "cohort-compressed subscribers"
-                    : "per-client subscribers");
+    if (cohorts == "on") {
+      std::printf(
+          "  data plane: %s scheduling, %u shard(s), %zu subscribers in %zu "
+          "cohort(s) (%.0fms buckets)\n",
+          fast_path == "on" ? "fast-path" : "legacy", live.shards(),
+          scenario.topic.subscribers.size(),
+          live.cohort_pool()->cohort_count(), quantize_ms);
+    } else {
+      std::printf("  data plane: %s scheduling, %u shard(s), per-client "
+                  "subscribers\n",
+                  fast_path == "on" ? "fast-path" : "legacy", live.shards());
+    }
     std::printf("  measured  : p=%.1fms  $%.2f/day  (%llu deliveries)\n",
                 run.percentile, run.cost_per_day,
                 static_cast<unsigned long long>(run.deliveries));
