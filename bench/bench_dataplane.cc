@@ -1,26 +1,38 @@
 // Data-plane throughput benchmark: the seed's std::function-per-hop path,
 // the single-threaded typed-event fast path, and the sharded parallel plane
-// (DESIGN.md §11) at 2, 4 and 8 worker threads.
+// (DESIGN.md §11/§14) at 2, 4 and 8 worker threads.
 //
-// One synthetic world (8 regions, 10k clients), 500 routed topics each
-// served by 3 regions with 50 subscribers, publishers driven by
+// One synthetic world (40 regions by default — wide enough that topology
+// placement has real clusters to find at K=8 — 10k clients), 500 routed
+// topics each served by 3 regions with 50 subscribers, publishers driven by
 // self-rescheduling simulator actions hinted at their owning shard. The
 // same workload runs once per engine configuration, freshly constructed
 // from identical seeds, and the bench reports events/sec per configuration
-// plus the speedups. Prints a table and writes BENCH_dataplane.json in the
-// shared {"bench", "rows"} shape with one row per (engine, threads).
+// plus the speedups and the sharded plane's window telemetry (windows per
+// simulated second is the hardware-independent progress metric: fewer
+// windows means less synchronization for the same events, provable even on
+// a 1-core container). The sharded rows run under the flag-selected
+// placement/window policy (topology + adaptive by default); one extra
+// 8-shard row always re-runs the PR 5 recipe (round-robin + fixed) as the
+// window-count baseline. Prints a table and writes BENCH_dataplane.json in
+// the shared {"bench", "rows"} shape with one row per configuration.
 //
 // Exit gates:
 //   - any counter (processed events, transport sent/dropped, broker
 //     delivered/forwarded, ledger byte vectors) diverging between any two
 //     configurations fails ALWAYS — determinism is independent of machine
 //     size and publication count;
+//   - a sharded row with zero windows executed fails ALWAYS (the telemetry
+//     must prove the plane actually ran windows);
 //   - fast-vs-legacy speedup below 3x fails on full-size runs
 //     (>= 10^6 publications);
 //   - sharded 8-thread speedup over the single-threaded fast path below 3x
 //     fails on full-size runs on machines with >= 8 hardware threads (the
 //     rows always record hardware_concurrency, so a small CI box still
-//     publishes honest numbers without tripping a gate it cannot meet).
+//     publishes honest numbers without tripping a gate it cannot meet);
+//   - with the default placement/policy, windows-per-simulated-second at
+//     K=8 not dropping by >= 5x against the round-robin+fixed baseline
+//     fails on full-size runs (deterministic, hardware-independent).
 //
 // With --cohorts on the subscriber side runs on the cohort-compressed
 // plane (DESIGN.md §12): clients fold into weighted cohorts keyed by (home,
@@ -31,10 +43,12 @@
 // count) still applies bit-for-bit.
 //
 // Usage: bench_dataplane [--pubs N] [--mode both|fast|legacy|shards=K]
-//                        [--clients N] [--cohorts on|off]
-// (default: 1M publications, 10k clients, per-client plane, mode both;
-// single-configuration --mode values are for profiling and skip the
-// comparison gates)
+//                        [--clients N] [--regions N] [--cohorts on|off]
+//                        [--shard-placement round-robin|topology]
+//                        [--window-policy fixed|adaptive]
+// (default: 1M publications, 10k clients, 40 regions, per-client plane,
+// mode both, topology placement, adaptive windows; single-configuration
+// --mode values are for profiling and skip the comparison gates)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -57,6 +71,7 @@
 #include "flags.h"
 #include "geo/king_synth.h"
 #include "geo/synthetic.h"
+#include "net/shard_placement.h"
 #include "net/simulator.h"
 #include "net/transport.h"
 #include "wire/message.h"
@@ -65,7 +80,7 @@ using namespace multipub;
 
 namespace {
 
-constexpr std::size_t kRegions = 8;
+constexpr std::size_t kDefaultRegions = 40;
 constexpr std::size_t kDefaultClients = 10000;
 constexpr std::size_t kTopics = 500;
 constexpr std::size_t kSubsPerTopic = 50;
@@ -75,6 +90,7 @@ constexpr std::uint64_t kMembersSeed = 4243;
 
 struct RunResult {
   double seconds = 0.0;
+  double sim_ms = 0.0;       // simulated span of the measured phase
   std::uint64_t events = 0;  // simulator events processed while measuring
   std::uint64_t sent = 0;
   std::uint64_t dropped = 0;
@@ -83,31 +99,43 @@ struct RunResult {
   std::uint64_t client_deliveries = 0;
   std::vector<Bytes> inter_region_bytes;
   std::vector<Bytes> internet_bytes;
+  /// Window telemetry of the measured phase (delta over the setup phase;
+  /// all zeros for the unsharded engines).
+  net::WindowStats windows;
 
   [[nodiscard]] double events_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(events) / seconds : 0.0;
+  }
+  [[nodiscard]] double windows_per_sim_sec() const {
+    return sim_ms > 0.0
+               ? static_cast<double>(windows.windows) / (sim_ms / 1000.0)
+               : 0.0;
   }
 };
 
 /// One engine configuration under test. shards == 0 is the seed legacy
 /// engine; shards == 1 the single-threaded fast path; shards > 1 the
-/// parallel plane with that many worker threads.
+/// parallel plane with that many worker threads under the given placement
+/// and window policy.
 struct EngineConfig {
   const char* label;
   std::uint32_t shards;
+  net::ShardPlacement placement = net::ShardPlacement::kTopology;
+  net::WindowPolicy policy = net::WindowPolicy::kAdaptive;
 };
 
 /// Builds the identical world + workload and drives `total_pubs`
 /// publications through the chosen engine configuration over `n_clients`
 /// clients, on the per-client or the cohort-compressed subscriber plane.
 RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs,
-                     std::size_t n_clients, bool cohorts) {
+                     std::size_t n_clients, std::size_t n_regions,
+                     bool cohorts) {
   const bool fast = engine.shards > 0;
   Rng world_rng(kWorldSeed);
-  const auto world = geo::synthesize_world(kRegions, {}, world_rng);
+  const auto world = geo::synthesize_world(n_regions, {}, world_rng);
   const auto population = geo::synthesize_population(
       world.catalog, world.backbone,
-      std::max<std::size_t>(1, n_clients / kRegions), {}, world_rng);
+      std::max<std::size_t>(1, n_clients / n_regions), {}, world_rng);
 
   net::Simulator sim;
   net::SimTransport transport(sim, world.catalog, world.backbone,
@@ -118,9 +146,9 @@ RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs,
 
   // Membership first (the RNG draw order is the bench's contract: the
   // per-client plane replays the exact historical stream): topic t is
-  // served by {t, t+3, t+5} mod 8 (distinct for 8 regions) in routed mode;
-  // subscribers round-robin across the serving regions; one publisher
-  // targeting the first serving region.
+  // served by {t, t+3, t+5} mod n_regions (distinct for >= 6 regions) in
+  // routed mode; subscribers round-robin across the serving regions; one
+  // publisher targeting the first serving region.
   Rng members_rng(kMembersSeed);
   auto random_client = [&] {
     return ClientId{static_cast<ClientId::underlying_type>(
@@ -155,7 +183,7 @@ RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs,
     arena = std::make_unique<Arena>();
     topic_sets = std::make_unique<client::TopicSetPool>(*arena);
     registry = std::make_unique<client::ClientRegistry>(
-        population.size(), kRegions, /*row_bucket_ms=*/0.0, *arena);
+        population.size(), n_regions, /*row_bucket_ms=*/0.0, *arena);
     pool = std::make_unique<client::CohortPool>(*registry, *topic_sets, sim,
                                                 transport);
     for (std::size_t c = 0; c < population.size(); ++c) {
@@ -173,16 +201,15 @@ RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs,
   }
 
   if (engine.shards > 1) {
-    // The LiveSystem partitioning recipe: regions round-robin over shards,
-    // clients follow their home region so the client<->home-broker chatter
-    // stays intra-shard; the conservative window is the minimum cross-shard
-    // link latency. Flocks run on their home region's shard.
+    // The LiveSystem partitioning recipe: regions placed by the engine's
+    // strategy (round-robin or topology clustering), clients follow their
+    // home region so the client<->home-broker chatter stays intra-shard;
+    // windows derive from the cross-shard lookahead matrix. Flocks run on
+    // their home region's shard.
     net::ShardMap map;
     map.shards = engine.shards;
-    for (std::size_t r = 0; r < kRegions; ++r) {
-      map.region_shard.push_back(static_cast<std::uint32_t>(r) %
-                                 engine.shards);
-    }
+    map.region_shard = net::partition_regions(engine.placement,
+                                              world.backbone, engine.shards);
     for (std::size_t c = 0; c < population.size(); ++c) {
       map.client_shard.push_back(
           map.region_shard[static_cast<std::size_t>(
@@ -198,12 +225,16 @@ RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs,
       }
     }
     const Millis lookahead = transport.min_cross_shard_latency(map);
+    const std::vector<Millis> lookaheads =
+        transport.cross_shard_lookaheads(map);
     transport.set_shards(engine.shards);
     sim.configure_shards(std::move(map), lookahead);
+    sim.set_window_policy(engine.policy);
+    sim.set_lookahead_matrix(lookaheads);
   }
 
   std::vector<std::unique_ptr<broker::Broker>> brokers;
-  for (std::size_t r = 0; r < kRegions; ++r) {
+  for (std::size_t r = 0; r < n_regions; ++r) {
     brokers.push_back(std::make_unique<broker::Broker>(
         RegionId{static_cast<RegionId::underlying_type>(r)}, sim, transport));
   }
@@ -230,12 +261,12 @@ RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs,
   std::vector<RegionId> topic_entry(kTopics);  // region the publisher hits
   for (std::size_t t = 0; t < kTopics; ++t) {
     geo::RegionSet serving;
-    const std::size_t base = t % kRegions;
+    const std::size_t base = t % n_regions;
     serving.add(RegionId{static_cast<RegionId::underlying_type>(base)});
     serving.add(RegionId{
-        static_cast<RegionId::underlying_type>((base + 3) % kRegions)});
+        static_cast<RegionId::underlying_type>((base + 3) % n_regions)});
     serving.add(RegionId{
-        static_cast<RegionId::underlying_type>((base + 5) % kRegions)});
+        static_cast<RegionId::underlying_type>((base + 5) % n_regions)});
     const core::TopicConfig config{serving, core::DeliveryMode::kRouted};
     const TopicId topic{static_cast<TopicId::underlying_type>(t)};
     for (auto& b : brokers) b->set_topic_config(topic, config);
@@ -314,12 +345,30 @@ RunResult run_engine(const EngineConfig& engine, std::uint64_t total_pubs,
 
   RunResult result;
   const std::uint64_t processed_before = sim.processed();
+  const net::WindowStats windows_before = sim.window_stats();
+  const Millis sim_before = sim.now();
   const auto t0 = std::chrono::steady_clock::now();
   sim.run();
   result.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
   result.events = sim.processed() - processed_before;
+  result.sim_ms = sim.now() - sim_before;
+  // Delta over the subscription-settle phase, so the telemetry describes
+  // exactly the measured traffic (width_max is a running maximum and is
+  // reported as-is; the measured phase dominates it).
+  const net::WindowStats windows_after = sim.window_stats();
+  result.windows.windows = windows_after.windows - windows_before.windows;
+  result.windows.width_sum =
+      windows_after.width_sum - windows_before.width_sum;
+  result.windows.width_max = windows_after.width_max;
+  result.windows.mail_items =
+      windows_after.mail_items - windows_before.mail_items;
+  result.windows.barrier_spins =
+      windows_after.barrier_spins - windows_before.barrier_spins;
+  result.windows.barrier_parks =
+      windows_after.barrier_parks - windows_before.barrier_parks;
+  result.windows.events = windows_after.events - windows_before.events;
   result.sent = transport.sent_count();
   result.dropped = transport.dropped_count();
   for (const auto& b : brokers) {
@@ -353,39 +402,82 @@ int main(int argc, char** argv) {
         "  --mode both|fast|legacy|shards=K  engine selection (default\n"
         "                        both; a single engine skips the gates)\n"
         "  --clients N           total clients (default 10000)\n"
+        "  --regions N           world size (default 40, 6..64)\n"
         "  --cohorts on|off      cohort-compressed subscriber plane\n"
-        "                        (default off; drops the legacy engine)\n");
+        "                        (default off; drops the legacy engine)\n"
+        "  --shard-placement round-robin|topology  region partitioning for\n"
+        "                        the sharded rows (default topology)\n"
+        "  --window-policy fixed|adaptive  window sizing for the sharded\n"
+        "                        rows (default adaptive)\n");
     return 0;
   }
-  flags.allow_only({"help", "pubs", "mode", "clients", "cohorts"});
+  flags.allow_only({"help", "pubs", "mode", "clients", "regions", "cohorts",
+                    "shard-placement", "window-policy"});
   const long pubs_flag = flags.get_int("pubs", 1000000);
   const long clients_flag =
       flags.get_int("clients", static_cast<long>(kDefaultClients));
+  const long regions_flag =
+      flags.get_int("regions", static_cast<long>(kDefaultRegions));
   const bool cohorts = flags.get_bool("cohorts", false);
   const std::string mode = flags.get("mode", "both");
-  if (!flags.errors().empty() || pubs_flag <= 0 || clients_flag <= 0) {
+  const std::string placement_name = flags.get("shard-placement", "topology");
+  const std::string policy_name = flags.get("window-policy", "adaptive");
+  const auto placement = net::parse_shard_placement(placement_name);
+  if (!placement.has_value()) {
+    std::fprintf(stderr,
+                 "error: --shard-placement must be round-robin or topology, "
+                 "got '%s'\n",
+                 placement_name.c_str());
+    return 2;
+  }
+  const net::WindowPolicy policy = policy_name == "fixed"
+                                       ? net::WindowPolicy::kFixed
+                                       : net::WindowPolicy::kAdaptive;
+  if (policy_name != "fixed" && policy_name != "adaptive") {
+    std::fprintf(stderr,
+                 "error: --window-policy must be fixed or adaptive, got "
+                 "'%s'\n",
+                 policy_name.c_str());
+    return 2;
+  }
+  // The serving-set construction needs 6 distinct offsets; synthesize_world
+  // caps at 64.
+  if (!flags.errors().empty() || pubs_flag <= 0 || clients_flag <= 0 ||
+      regions_flag < 6 || regions_flag > 64) {
     for (const auto& error : flags.errors()) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
+    }
+    if (regions_flag < 6 || regions_flag > 64) {
+      std::fprintf(stderr, "error: --regions must be in 6..64\n");
     }
     std::fprintf(stderr, "see --help\n");
     return 2;
   }
   const auto total_pubs = static_cast<std::uint64_t>(pubs_flag);
   const auto n_clients = static_cast<std::size_t>(clients_flag);
+  const auto n_regions = static_cast<std::size_t>(regions_flag);
   const std::uint64_t actual_pubs =
       std::max<std::uint64_t>(1, total_pubs / kTopics) * kTopics;
   if (mode != "both") {
     // Profiling mode: one configuration, no comparison.
-    EngineConfig engine{"fast", 1};
+    EngineConfig engine{"fast", 1, *placement, policy};
     const std::string_view mode_view = mode;
     if (mode == "legacy") {
-      engine = {"legacy", 0};
+      engine.label = "legacy";
+      engine.shards = 0;
     } else if (mode_view.substr(0, 7) == "shards=") {
       engine.label = "sharded";
       engine.shards = static_cast<std::uint32_t>(
           std::strtoul(mode.c_str() + 7, nullptr, 10));
       if (engine.shards < 2) {
         std::fprintf(stderr, "shards=K needs K >= 2\n");
+        return 2;
+      }
+      if (engine.shards > n_regions) {
+        std::fprintf(stderr,
+                     "shards=K needs K <= regions (%zu): empty shards would "
+                     "still pay every barrier round\n",
+                     n_regions);
         return 2;
       }
     } else if (mode != "fast") {
@@ -396,7 +488,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cohorts require the fast path, not legacy\n");
       return 2;
     }
-    const RunResult r = run_engine(engine, total_pubs, n_clients, cohorts);
+    const RunResult r =
+        run_engine(engine, total_pubs, n_clients, n_regions, cohorts);
     std::printf("%s: %llu events in %.3f s = %.0f events/sec\n", mode.c_str(),
                 static_cast<unsigned long long>(r.events), r.seconds,
                 r.events_per_sec());
@@ -405,31 +498,48 @@ int main(int argc, char** argv) {
 
   const unsigned hw_threads = std::thread::hardware_concurrency();
   std::printf("dataplane bench: %llu publications, %zu clients, %zu regions, "
-              "%zu routed topics, %u hardware threads, %s plane\n",
+              "%zu routed topics, %u hardware threads, %s plane, %s "
+              "placement, %s windows\n",
               static_cast<unsigned long long>(actual_pubs), n_clients,
-              kRegions, kTopics, hw_threads,
-              cohorts ? "cohort" : "per-client");
+              n_regions, kTopics, hw_threads,
+              cohorts ? "cohort" : "per-client",
+              net::shard_placement_name(*placement).c_str(),
+              policy == net::WindowPolicy::kFixed ? "fixed" : "adaptive");
 
   // The cohort plane has no legacy twin, so its reference engine is the
   // single-threaded fast path; the per-client comparison keeps the seed
-  // engine as reference.
+  // engine as reference. The final row re-runs K=8 with the PR 5 recipe
+  // (round-robin + fixed windows) as the window-count baseline — unless the
+  // flags already selected exactly that configuration.
+  const bool tuned_is_baseline =
+      *placement == net::ShardPlacement::kRoundRobin &&
+      policy == net::WindowPolicy::kFixed;
   std::vector<EngineConfig> engines;
   if (!cohorts) engines.push_back({"legacy", 0});
   engines.push_back({"fast", 1});
-  engines.push_back({"sharded", 2});
-  engines.push_back({"sharded", 4});
-  engines.push_back({"sharded", 8});
+  engines.push_back({"sharded", 2, *placement, policy});
+  engines.push_back({"sharded", 4, *placement, policy});
+  engines.push_back({"sharded", 8, *placement, policy});
+  const std::size_t tuned8_index = engines.size() - 1;
+  if (!tuned_is_baseline) {
+    engines.push_back({"sharded", 8, net::ShardPlacement::kRoundRobin,
+                       net::WindowPolicy::kFixed});
+  }
+  const std::size_t baseline8_index = engines.size() - 1;
   std::vector<RunResult> results;
   for (const EngineConfig& engine : engines) {
-    results.push_back(run_engine(engine, total_pubs, n_clients, cohorts));
+    results.push_back(
+        run_engine(engine, total_pubs, n_clients, n_regions, cohorts));
   }
   const RunResult& reference = results[0];
   const RunResult& fast = results[cohorts ? 0 : 1];
 
   bench::BenchReport report("dataplane");
-  std::printf("%-8s %8s %14s %10s %16s %12s\n", "engine", "threads", "events",
+  std::printf("%-8s %8s %12s %11s %7s %14s %10s %16s %8s\n", "engine",
+              "threads", "placement", "policy", "windows", "win_per_sim_s",
               "seconds", "events_per_sec", "vs_ref");
   bool all_identical = true;
+  bool windows_missing = false;
   for (std::size_t i = 0; i < engines.size(); ++i) {
     const EngineConfig& engine = engines[i];
     const RunResult& r = results[i];
@@ -437,25 +547,40 @@ int main(int argc, char** argv) {
     // configuration proven identical to it, this chains to every pair.
     const bool identical = counters_identical(r, reference);
     all_identical = all_identical && identical;
+    if (engine.shards > 1 && r.windows.windows == 0) windows_missing = true;
     const double vs_ref =
         reference.events_per_sec() > 0.0
             ? r.events_per_sec() / reference.events_per_sec()
             : 0.0;
     const std::uint32_t threads = std::max<std::uint32_t>(1, engine.shards);
-    std::printf("%-8s %8u %14llu %10.3f %16.0f %11.2fx%s\n", engine.label,
-                threads, static_cast<unsigned long long>(r.events), r.seconds,
-                r.events_per_sec(), vs_ref,
-                identical ? "" : "  COUNTERS DIVERGED");
+    const bool sharded = engine.shards > 1;
+    const char* placement_label =
+        !sharded ? "-"
+                 : (engine.placement == net::ShardPlacement::kRoundRobin
+                        ? "round-robin"
+                        : "topology");
+    const char* policy_label =
+        !sharded ? "-"
+                 : (engine.policy == net::WindowPolicy::kFixed ? "fixed"
+                                                               : "adaptive");
+    std::printf("%-8s %8u %12s %11s %7llu %14.1f %10.3f %16.0f %7.2fx%s\n",
+                engine.label, threads, placement_label, policy_label,
+                static_cast<unsigned long long>(r.windows.windows),
+                r.windows_per_sim_sec(), r.seconds, r.events_per_sec(),
+                vs_ref, identical ? "" : "  COUNTERS DIVERGED");
     report.row()
         .str("engine", engine.label)
         .uinteger("threads", threads)
+        .str("placement", sharded ? placement_label : "")
+        .str("window_policy", sharded ? policy_label : "")
         .uinteger("publications", actual_pubs)
         .uinteger("clients", n_clients)
         .boolean("cohorts", cohorts)
-        .uinteger("regions", kRegions)
+        .uinteger("regions", n_regions)
         .uinteger("topics", kTopics)
         .uinteger("events", r.events)
         .num("seconds", r.seconds)
+        .num("sim_ms", r.sim_ms)
         .num("events_per_sec", r.events_per_sec())
         .num("speedup_vs_reference", vs_ref)
         .num("speedup_vs_fast",
@@ -463,19 +588,37 @@ int main(int argc, char** argv) {
                  ? r.events_per_sec() / fast.events_per_sec()
                  : 0.0)
         .boolean("identical", identical)
+        .uinteger("windows_executed", r.windows.windows)
+        .num("windows_per_sim_sec", r.windows_per_sim_sec())
+        .num("window_width_mean_ms", r.windows.width_mean())
+        .num("window_width_max_ms", r.windows.width_max)
+        .num("events_per_window", r.windows.events_per_window())
+        .uinteger("mail_items", r.windows.mail_items)
+        .uinteger("barrier_spins", r.windows.barrier_spins)
+        .uinteger("barrier_parks", r.windows.barrier_parks)
         .uinteger("hardware_concurrency", hw_threads);
   }
   const double fast_speedup =
       fast.events_per_sec() / reference.events_per_sec();
   const double shard8_speedup =
-      results.back().events_per_sec() / fast.events_per_sec();
+      results[tuned8_index].events_per_sec() / fast.events_per_sec();
+  // Window reduction: how many times fewer synchronization rounds the tuned
+  // configuration pays per simulated second than the PR 5 recipe. Both
+  // counts are deterministic, so this ratio is hardware-independent.
+  const double window_reduction =
+      results[tuned8_index].windows_per_sim_sec() > 0.0
+          ? results[baseline8_index].windows_per_sim_sec() /
+                results[tuned8_index].windows_per_sim_sec()
+          : 0.0;
   if (cohorts) {
-    std::printf("8-thread sharded vs fast %.2fx, counters %s\n",
-                shard8_speedup, all_identical ? "identical" : "DIVERGED");
+    std::printf("8-thread sharded vs fast %.2fx, window reduction %.2fx, "
+                "counters %s\n",
+                shard8_speedup, window_reduction,
+                all_identical ? "identical" : "DIVERGED");
   } else {
     std::printf("fast vs legacy %.2fx, 8-thread sharded vs fast %.2fx, "
-                "counters %s\n",
-                fast_speedup, shard8_speedup,
+                "window reduction %.2fx, counters %s\n",
+                fast_speedup, shard8_speedup, window_reduction,
                 all_identical ? "identical" : "DIVERGED");
   }
 
@@ -483,6 +626,11 @@ int main(int argc, char** argv) {
 
   if (!all_identical) {
     std::fprintf(stderr, "ENGINE DIVERGENCE (see table above)\n");
+    return 1;
+  }
+  if (windows_missing) {
+    std::fprintf(stderr,
+                 "a sharded row executed zero windows (telemetry broken)\n");
     return 1;
   }
   // The throughput gates only apply to full-size runs; the CI smoke run
@@ -497,6 +645,16 @@ int main(int argc, char** argv) {
   if (actual_pubs >= 1000000 && hw_threads >= 8 && shard8_speedup < 3.0) {
     std::fprintf(stderr, "8-thread sharded speedup below 3x (%.2fx)\n",
                  shard8_speedup);
+    return 1;
+  }
+  // Deterministic window-count gate (full size, default tuning only): the
+  // adaptive+topology plane must pay >= 5x fewer synchronization rounds per
+  // simulated second than the PR 5 recipe at K=8.
+  if (actual_pubs >= 1000000 && !tuned_is_baseline &&
+      *placement == net::ShardPlacement::kTopology &&
+      policy == net::WindowPolicy::kAdaptive && window_reduction < 5.0) {
+    std::fprintf(stderr, "window reduction below 5x (%.2fx)\n",
+                 window_reduction);
     return 1;
   }
   return 0;

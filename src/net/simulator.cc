@@ -16,6 +16,18 @@ constexpr std::size_t kArity = 4;
 // enough that the near heap's sift path stays in L1/L2.
 constexpr std::size_t kBucketTarget = 2048;
 constexpr std::size_t kMaxBuckets = 8192;
+
+/// One spin-wait pause: keeps the core's speculative pipeline calm (and on
+/// SMT hands cycles to the sibling) without giving up the time slice.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
 }  // namespace
 
 thread_local Simulator::EventStore* Simulator::tls_store_ = nullptr;
@@ -254,13 +266,28 @@ void Simulator::configure_shards(ShardMap map, Millis lookahead) {
     stores_.back()->clock = now_;
   }
   mail_.assign(static_cast<std::size_t>(k) * k, Mailbox{});
+  // The lookahead matrix is per-map (it depends on which entities share a
+  // shard); the caller re-derives it for the new map before an adaptive run.
+  la_.clear();
+  dist_.clear();
+  window_end_.assign(k, 0.0);
+  next_times_.assign(k, 0.0);
+  sync_.assign(k, ShardSync{});
+  windows_ = 0;
+  width_sum_ = 0.0;
+  width_max_ = 0.0;
+  mail_items_ = 0;
+  // No workers exist here (shutdown_workers above), so plain stores suffice;
+  // thread creation below publishes everything to the new workers.
+  epoch_.store(0, std::memory_order_relaxed);
+  arrivals_.store(0, std::memory_order_relaxed);
+  parties_ = k;
   if (k == 1) {
     lookahead_ = 0.0;
     return;
   }
   MP_EXPECTS(lookahead > 0.0);
   lookahead_ = lookahead;
-  gate_ = std::make_unique<std::barrier<>>(k);
   workers_.reserve(k - 1);
   for (std::uint32_t i = 1; i < k; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -274,13 +301,70 @@ void Simulator::set_lookahead(Millis lookahead) {
   lookahead_ = lookahead;
 }
 
+void Simulator::set_window_policy(WindowPolicy policy) {
+  MP_EXPECTS(tls_store_ == nullptr);
+  policy_ = policy;
+}
+
+void Simulator::set_lookahead_matrix(std::vector<Millis> lookaheads) {
+  MP_EXPECTS(sharded());
+  MP_EXPECTS(tls_store_ == nullptr);
+  const std::size_t k = stores_.size();
+  MP_EXPECTS(lookaheads.size() == k * k);
+  for (const Millis entry : lookaheads) MP_EXPECTS(entry >= 0.0);
+  la_ = std::move(lookaheads);
+  // Shortest-walk closure by Floyd–Warshall with an UNREACHABLE diagonal:
+  // starting from the direct edges only, dist_[i][j] (i != j) relaxes to the
+  // cheapest >= 1-hop walk i -> j, and dist_[i][i] to the cheapest cycle
+  // through i. The closure — not the raw edges — is what bounds adaptive
+  // windows: a busy shard A can reach d indirectly by waking an idle shard
+  // that then sends to d, and that chain costs at least dist_[A][d]. The
+  // diagonal cycle term likewise stops a lone busy shard from running past
+  // the earliest echo of its own sends. Entries stay kUnreachable exactly
+  // when no chain exists at all, in which case no bound is needed.
+  dist_.assign(k * k, kUnreachable);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i != j) dist_[i * k + j] = la_[i * k + j];
+    }
+  }
+  for (std::size_t m = 0; m < k; ++m) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const Millis im = dist_[i * k + m];
+      if (!(im < kUnreachable)) continue;
+      for (std::size_t j = 0; j < k; ++j) {
+        const Millis cand = im + dist_[m * k + j];
+        if (cand < dist_[i * k + j]) dist_[i * k + j] = cand;
+      }
+    }
+  }
+}
+
+WindowStats Simulator::window_stats() const {
+  WindowStats stats;
+  if (!sharded()) return stats;
+  stats.windows = windows_;
+  stats.width_sum = width_sum_;
+  stats.width_max = width_max_;
+  stats.mail_items = mail_items_;
+  // sync_ slots are single-writer; the kEndRun ack barrier ordered every
+  // worker's in-run counter writes before this (between-runs) read.
+  for (const ShardSync& sync : sync_) {
+    stats.barrier_spins += sync.spins;
+    stats.barrier_parks += sync.parks;
+  }
+  for (const auto& store : stores_) stats.events += store->processed;
+  return stats;
+}
+
 void Simulator::shutdown_workers() {
   if (workers_.empty()) return;
+  // Workers are parked in await_publication between runs, so command_ is
+  // ours to write; publish() hands it over and wakes them.
   command_ = Command::kShutdown;
-  gate_->arrive_and_wait();
+  publish();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
-  gate_.reset();
 }
 
 void Simulator::schedule_at(Millis t, Action action) {
@@ -334,8 +418,8 @@ void Simulator::schedule_delivery_at(Millis t, DeliverySink& sink,
     return;
   }
   // Cross-shard: park in the (src, dst) mailbox until the window barrier.
-  mail_[static_cast<std::size_t>(tls_shard_) * stores_.size() + dst]
-      .items.push_back(MailItem{t, DeliveryEvent{&sink, from, to, msg}});
+  mail_[static_cast<std::size_t>(tls_shard_) * stores_.size() + dst].push(
+      MailItem{t, DeliveryEvent{&sink, from, to, msg}});
 }
 
 void Simulator::schedule_delivery_after(Millis delay, DeliverySink& sink,
@@ -367,88 +451,209 @@ bool Simulator::step() {
   return true;
 }
 
-Millis Simulator::global_next_time() {
-  Millis t_min = kUnreachable;
-  for (const auto& store : stores_) t_min = std::min(t_min, store->next_time());
-  return t_min;
-}
-
 void Simulator::run_window(std::uint32_t shard) {
   EventStore& store = *stores_[shard];
   tls_store_ = &store;
   tls_shard_ = shard;
-  const Millis end = window_end_;
+  const Millis end = window_end_[shard];
   while (store.next_time() < end) store.dispatch_one();
   tls_store_ = nullptr;
   tls_shard_ = 0;
 }
 
-void Simulator::drain_inboxes(std::uint32_t shard) {
+void Simulator::drain_all_inboxes() {
   const std::size_t k = stores_.size();
-  EventStore& store = *stores_[shard];
   // Fixed merge order — source shard ascending, FIFO within a source — with
   // fresh destination-local sequence numbers: the interleaving is a pure
   // function of the schedule-independent send order, never of thread timing.
-  for (std::size_t src = 0; src < k; ++src) {
-    Mailbox& box = mail_[src * k + shard];
-    for (const MailItem& item : box.items) {
-      // Conservative-window invariant: a cross-shard send arrives no
-      // earlier than the end of the window that produced it (the window is
-      // at most the minimum cross-shard latency wide).
-      MP_EXPECTS(item.time >= window_end_);
-      store.insert_delivery(item.time, *item.event.sink, item.event.from,
-                            item.event.to, item.event.msg);
+  for (std::size_t dst = 0; dst < k; ++dst) {
+    EventStore& store = *stores_[dst];
+    for (std::size_t src = 0; src < k; ++src) {
+      Mailbox& box = mail_[src * k + dst];
+      if (box.full.empty() && box.tail.empty()) continue;
+      const auto insert = [&](const MailItem& item) {
+        // Conservative-window invariant: a cross-shard send arrives no
+        // earlier than the end of the window its destination just ran (the
+        // destination's window end is bounded by every busy shard's horizon
+        // plus the lookahead closure — see plan_round).
+        MP_EXPECTS(item.time >= window_end_[dst]);
+        store.insert_delivery(item.time, *item.event.sink, item.event.from,
+                              item.event.to, item.event.msg);
+      };
+      for (std::vector<MailItem>& chunk : box.full) {
+        for (const MailItem& item : chunk) insert(item);
+        mail_items_ += chunk.size();
+        chunk.clear();
+        box.spare.push_back(std::move(chunk));
+      }
+      box.full.clear();
+      for (const MailItem& item : box.tail) insert(item);
+      mail_items_ += box.tail.size();
+      box.tail.clear();
     }
-    box.items.clear();
   }
 }
 
-void Simulator::worker_loop(std::uint32_t shard) {
-  // Every command is read exactly once per publication phase, and the
-  // driver never rewrites command_ until a LATER phase this thread helped
-  // complete — kRunWindow is covered by its own B/C barriers, kEndRun by
-  // the explicit ack below, kShutdown by being final on this barrier.
-  // Without the ack, a worker waking late from the kEndRun phase could see
-  // the command already overwritten for the next phase and desynchronize.
-  for (;;) {
-    gate_->arrive_and_wait();  // window (or control command) published
-    const Command command = command_;
-    if (command == Command::kShutdown) return;
-    if (command == Command::kEndRun) {
-      gate_->arrive_and_wait();  // ack: the driver may publish again
-      continue;
+void Simulator::plan_round() {
+  const std::size_t k = stores_.size();
+  Millis t_min = kUnreachable;
+  for (std::size_t i = 0; i < k; ++i) {
+    next_times_[i] = stores_[i]->next_time();
+    t_min = std::min(t_min, next_times_[i]);
+  }
+  if (!(t_min < limit_)) {
+    command_ = Command::kEndRun;
+    return;
+  }
+  command_ = Command::kRunWindow;
+  if (policy_ == WindowPolicy::kFixed) {
+    // Window [t_min, t_min + lookahead) for every shard: any event inside it
+    // can only reach another shard at t >= end (delays are at least the
+    // lookahead; jitter and fault factors only stretch them). IEEE addition
+    // is monotone, so computed arrival times respect the bound; nextafter
+    // keeps the window non-empty even when lookahead_ vanishes against the
+    // ulp of t_min.
+    Millis end = t_min + lookahead_;
+    if (!(end > t_min)) end = std::nextafter(t_min, kUnreachable);
+    end = std::min(end, limit_);
+    for (std::size_t d = 0; d < k; ++d) window_end_[d] = end;
+  } else {
+    // Adaptive: shard d may run to the earliest time any BUSY shard's work
+    // could possibly reach it — directly or through a chain of reactivated
+    // shards, hence the walk closure dist_, whose diagonal also bounds d
+    // against echoes of its own sends. Idle shards impose no bound, so a
+    // lone busy shard advances a full self-cycle per round and quiet
+    // stretches collapse; with every shard busy at ~t_min this degenerates
+    // to the fixed pacing. Soundness of the drain assert: a send dispatched
+    // by src at t_e arrives >= t_e + la_[src][dst] >= next_times_[src] +
+    // dist_[src][dst] >= window_end_[dst].
+    for (std::size_t d = 0; d < k; ++d) {
+      Millis end = kUnreachable;
+      for (std::size_t a = 0; a < k; ++a) {
+        if (!(next_times_[a] < kUnreachable)) continue;
+        end = std::min(end, next_times_[a] + dist_[a * k + d]);
+      }
+      if (!(end > t_min)) end = std::nextafter(t_min, kUnreachable);
+      window_end_[d] = std::min(end, limit_);
     }
-    run_window(shard);
-    gate_->arrive_and_wait();  // all shards done writing mailboxes
-    drain_inboxes(shard);
-    gate_->arrive_and_wait();  // all inboxes drained
+  }
+  ++windows_;
+  Millis top = window_end_[0];
+  for (std::size_t d = 1; d < k; ++d) top = std::max(top, window_end_[d]);
+  const Millis width = top - t_min;
+  width_sum_ += width;
+  width_max_ = std::max(width_max_, width);
+}
+
+void Simulator::serial_phase() {
+  if (command_ != Command::kRunWindow) return;  // kEndRun ack: nothing to do
+  drain_all_inboxes();
+  plan_round();
+}
+
+std::uint32_t Simulator::arrive_and_wait(std::uint32_t shard,
+                                         std::uint32_t seen) {
+  if (arrivals_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    // Last arriver. Everyone else is spinning or parked on epoch_, so the
+    // reset cannot race a next-round arrival; the release bump below
+    // publishes it (and the serial phase's work) together.
+    arrivals_.store(0, std::memory_order_relaxed);
+    serial_phase();
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    return seen + 1;
+  }
+  return await_change(seen, shard);
+}
+
+std::uint32_t Simulator::await_change(std::uint32_t seen, std::uint32_t shard) {
+  // Exponential-backoff spin: load-balanced windows flip the epoch within a
+  // few hundred cycles, so most waits resolve here without a syscall.
+  for (std::uint32_t delay = 1; delay <= 64; delay *= 2) {
+    for (std::uint32_t i = 0; i < delay; ++i) cpu_relax();
+    if (epoch_.load(std::memory_order_acquire) != seen) {
+      ++sync_[shard].spins;
+      return seen + 1;
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    std::this_thread::yield();
+    if (epoch_.load(std::memory_order_acquire) != seen) {
+      ++sync_[shard].spins;
+      return seen + 1;
+    }
+  }
+  ++sync_[shard].parks;
+  return await_publication(seen);
+}
+
+std::uint32_t Simulator::await_publication(std::uint32_t seen) {
+  // Waits until epoch_ != seen (the != comparison is wrap-safe), then
+  // consumes exactly ONE protocol step: the return is seen + 1, NOT the
+  // loaded epoch. A slow waiter can observe two bumps merged — the kEndRun
+  // ack plus the very next publication — and adopting the loaded value
+  // would swallow the publication and strand the thread waiting for a
+  // change that already happened. Stepping one epoch at a time keeps every
+  // transition processed; the epoch can only run ahead across steps the
+  // caller does not read state from (the ack break), because any window
+  // round needs this thread's arrival before it can complete. Reading a
+  // LATER epoch still synchronizes: the bumps are an RMW release sequence,
+  // so the acquire load sees every serial phase up to that epoch.
+  while (epoch_.load(std::memory_order_acquire) == seen) {
+    epoch_.wait(seen, std::memory_order_acquire);
+  }
+  return seen + 1;
+}
+
+std::uint32_t Simulator::publish() {
+  const std::uint32_t next =
+      epoch_.fetch_add(1, std::memory_order_release) + 1;
+  epoch_.notify_all();
+  return next;
+}
+
+void Simulator::worker_loop(std::uint32_t shard) {
+  // configure_shards() zeroes epoch_ before spawning, so epoch 0 is the
+  // well-known starting point — loading epoch_ here instead could miss a
+  // publication that lands between spawn and load.
+  std::uint32_t seen = 0;
+  for (;;) {
+    seen = await_publication(seen);  // a command round was published
+    for (;;) {
+      // Safe to read: the publication (or the previous round's serial
+      // phase) wrote command_ before the epoch bump this thread acquired.
+      const Command command = command_;
+      if (command == Command::kShutdown) return;
+      if (command == Command::kEndRun) {
+        // Ack round: after it the driver owns command_ again and this
+        // thread is back to waiting for a fresh publication.
+        seen = arrive_and_wait(shard, seen);
+        break;
+      }
+      run_window(shard);
+      seen = arrive_and_wait(shard, seen);
+    }
   }
 }
 
 void Simulator::run_windows(Millis limit) {
   MP_EXPECTS(tls_store_ == nullptr);
+  MP_EXPECTS(policy_ == WindowPolicy::kFixed ||
+             dist_.size() == stores_.size() * stores_.size());
+  limit_ = limit;
+  // Mailboxes are empty here (every serial phase drains before planning),
+  // so the entry plan needs no drain.
+  plan_round();
+  std::uint32_t seen = publish();
   for (;;) {
-    const Millis t_min = global_next_time();
-    if (!(t_min < limit)) break;
-    // Window [t_min, t_min + lookahead): every event a shard dispatches in
-    // it can only reach another shard at t >= window_end_ (delays are at
-    // least the lookahead, jitter and fault factors only stretch them —
-    // drain_inboxes asserts this). IEEE addition is monotone, so computed
-    // arrival times respect the bound too; nextafter keeps the window
-    // non-empty even when lookahead_ vanishes against the ulp of t_min.
-    Millis end = t_min + lookahead_;
-    if (!(end > t_min)) end = std::nextafter(t_min, kUnreachable);
-    window_end_ = std::min(end, limit);
-    command_ = Command::kRunWindow;
-    gate_->arrive_and_wait();
+    if (command_ == Command::kEndRun) {
+      // Ack round: every worker has read kEndRun; command_ is ours again.
+      arrive_and_wait(0, seen);
+      return;
+    }
     run_window(0);  // the driving thread doubles as shard 0's worker
-    gate_->arrive_and_wait();
-    drain_inboxes(0);
-    gate_->arrive_and_wait();
+    seen = arrive_and_wait(0, seen);
   }
-  command_ = Command::kEndRun;
-  gate_->arrive_and_wait();  // end-of-run published
-  gate_->arrive_and_wait();  // every worker has read it; command_ is ours
 }
 
 void Simulator::run() {

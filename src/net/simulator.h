@@ -26,9 +26,25 @@
 // in per-(source, destination) mailboxes and are drained at the window
 // barrier in fixed source-shard order, which makes the interleaving — and
 // with it every observable — bit-identical to the single-threaded run.
+//
+// Window policy (DESIGN.md §14): kFixed sizes every window by the single
+// scalar lookahead; kAdaptive gives each shard its own window end derived
+// from which shards actually hold work — E_d = min over busy shards A of
+// (t_A + dist[A][d]), where dist is the shortest-walk matrix over the
+// per-(source, destination) lookahead graph. Idle shards impose no bound,
+// so quiet stretches collapse into a handful of wide windows while dense
+// phases degenerate to exactly the fixed pacing. Both policies execute the
+// identical event sequence — windows only batch, never reorder.
+//
+// Synchronization is one purpose-built sense-reversing barrier round per
+// window: arrivals spin briefly (exponential backoff, then yields) before
+// parking on a futex via std::atomic::wait; the LAST arriver drains every
+// mailbox and plans the next window inside the barrier's serial phase, so
+// a window costs a single synchronization episode instead of the previous
+// run/drain barrier pair.
 #pragma once
 
-#include <barrier>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -83,6 +99,35 @@ struct ShardMap {
                             : cohort_shard;
     MP_EXPECTS(address.id >= 0 && index < table.size());
     return table[index];
+  }
+};
+
+/// How the sharded plane sizes its conservative windows.
+enum class WindowPolicy : std::uint8_t {
+  kFixed,     ///< every window is `lookahead` wide (the PR 5 behaviour)
+  kAdaptive,  ///< per-shard ends from the busy-shard horizon (DESIGN.md §14)
+};
+
+/// Telemetry of the sharded plane's window machinery. Hardware-independent
+/// counters (windows, widths, mailbox traffic) prove scheduling progress
+/// even on a 1-core bench host; the barrier counters diagnose whether waits
+/// resolve by spinning or by parking. Reset by configure_shards().
+struct WindowStats {
+  std::uint64_t windows = 0;        ///< barrier rounds executed
+  Millis width_sum = 0.0;           ///< sum of (max window end - round start)
+  Millis width_max = 0.0;           ///< widest single round
+  std::uint64_t mail_items = 0;     ///< cross-shard deliveries drained
+  std::uint64_t barrier_spins = 0;  ///< waits resolved while spinning
+  std::uint64_t barrier_parks = 0;  ///< waits that parked on the futex
+  std::uint64_t events = 0;         ///< events dispatched by the shard stores
+
+  [[nodiscard]] Millis width_mean() const {
+    return windows > 0 ? width_sum / static_cast<double>(windows) : 0.0;
+  }
+  [[nodiscard]] double events_per_window() const {
+    return windows > 0
+               ? static_cast<double>(events) / static_cast<double>(windows)
+               : 0.0;
   }
 };
 
@@ -168,6 +213,25 @@ class Simulator : public Clock {
   /// latencies). Only between runs. Pre: sharded, lookahead > 0.
   void set_lookahead(Millis lookahead);
   [[nodiscard]] Millis lookahead() const { return lookahead_; }
+
+  /// Selects how windows are sized (kFixed by default). kAdaptive requires a
+  /// lookahead matrix (set_lookahead_matrix). Only between runs.
+  void set_window_policy(WindowPolicy policy);
+  [[nodiscard]] WindowPolicy window_policy() const { return policy_; }
+
+  /// Per-(source shard, destination shard) lookahead matrix for the adaptive
+  /// policy, row-major K*K: la[src * K + dst] is the earliest a shard-`src`
+  /// event at time t can affect shard `dst` (t + la). The diagonal is
+  /// ignored. Internally expanded to the shortest-walk closure (>= 1 hop),
+  /// so transitive reactivation chains — A wakes B which sends back to A —
+  /// bound every window correctly. Only between runs; pre: sharded, entries
+  /// >= 0. Rescale together with set_lookahead when a FaultPlan shrinks
+  /// latencies.
+  void set_lookahead_matrix(std::vector<Millis> lookaheads);
+
+  /// Snapshot of the window/barrier telemetry accumulated since the last
+  /// configure_shards(). All zeros when unsharded. Only between runs.
+  [[nodiscard]] WindowStats window_stats() const;
 
   /// Shard of the event being dispatched on the calling thread; 0 outside
   /// dispatch. Counters indexed by this are race-free lane-wise.
@@ -297,11 +361,35 @@ class Simulator : public Clock {
     DeliveryEvent event;
   };
   /// One (source shard, destination shard) channel. Written only by the
-  /// source shard during a window, drained only by the destination shard at
-  /// the barrier — never both in the same phase, so no lock is needed. The
+  /// source shard during a window, drained only in the barrier's serial
+  /// phase — never both at once, so no lock is needed. Items accumulate in
+  /// fixed-size chunks that the drain splices out wholesale and recycles
+  /// through `spare`, so a push never copies earlier items (no mid-window
+  /// vector growth) and steady-state traffic allocates nothing. The
   /// padding keeps concurrent writers off each other's cache lines.
   struct alignas(64) Mailbox {
-    std::vector<MailItem> items;
+    static constexpr std::size_t kChunkItems = 256;
+
+    std::vector<std::vector<MailItem>> full;  ///< sealed chunks, oldest first
+    std::vector<MailItem> tail;               ///< chunk being filled
+    std::vector<std::vector<MailItem>> spare;  ///< recycled empty chunks
+
+    void push(const MailItem& item) {
+      if (tail.size() == kChunkItems) roll();
+      if (tail.capacity() == 0) tail.reserve(kChunkItems);
+      tail.push_back(item);
+    }
+
+    void roll() {
+      full.push_back(std::move(tail));
+      if (!spare.empty()) {
+        tail = std::move(spare.back());
+        spare.pop_back();
+      } else {
+        tail = {};
+        tail.reserve(kChunkItems);
+      }
+    }
   };
 
   /// Seed engine's queue entry: the callback is heap-allocated by
@@ -321,17 +409,50 @@ class Simulator : public Clock {
 
   enum class Command : std::uint8_t { kRunWindow, kEndRun, kShutdown };
 
-  /// Earliest pending timestamp across all stores (kUnreachable when idle).
-  [[nodiscard]] Millis global_next_time();
   /// Runs windows until no store has an event before `limit` (exclusive).
   void run_windows(Millis limit);
-  /// Executes every event of `shard` with time < window_end_.
+  /// Executes every event of `shard` with time < window_end_[shard].
   void run_window(std::uint32_t shard);
-  /// Moves the shard's inbound mailbox items into its store, in source-shard
-  /// ascending FIFO order, assigning fresh shard-local sequence numbers.
-  void drain_inboxes(std::uint32_t shard);
   void worker_loop(std::uint32_t shard);
   void shutdown_workers();
+
+  // --- barrier protocol (sharded mode) -----------------------------------
+  //
+  // One epoch-counter barrier replaces the previous run/drain std::barrier
+  // pair. A round: every shard runs its window, then calls arrive_and_wait;
+  // the LAST arriver executes serial_phase() — drain every mailbox, plan the
+  // next round (or publish kEndRun) — then releases the epoch. Waiters spin
+  // with exponential backoff, then park via std::atomic::wait (futex-backed
+  // on Linux). Correctness of the data handoff: each shard's window writes
+  // happen-before its acq_rel fetch_add on arrivals_, so the serial thread
+  // (whose fetch_add reads all prior increments) sees every mailbox and
+  // store; the release bump of epoch_ then publishes the serial writes to
+  // every waiter's acquire load. Epoch comparison uses != (wrap-safe).
+
+  /// Arrive at the barrier; the last arriver runs serial_phase() and bumps
+  /// the epoch. Returns the epoch after release. `seen` is the epoch
+  /// observed before arriving.
+  std::uint32_t arrive_and_wait(std::uint32_t shard, std::uint32_t seen);
+  /// Spin-then-park until epoch_ != seen; returns the new epoch and credits
+  /// sync_[shard] with a spin or a park.
+  std::uint32_t await_change(std::uint32_t seen, std::uint32_t shard);
+  /// Parks immediately until epoch_ != seen. Workers idle between runs use
+  /// this instead of await_change: the gap is control-plane time, not
+  /// barrier contention, so it must not pollute the telemetry — and not
+  /// counting it keeps sync_ single-owner while window_stats() reads it.
+  std::uint32_t await_publication(std::uint32_t seen);
+  /// Bumps the epoch (releasing command_/window_end_) and wakes parked
+  /// waiters; returns the new epoch. Thread 0 only, between rounds.
+  std::uint32_t publish();
+  /// Last arriver's work: drain all mailboxes, plan the next round.
+  void serial_phase();
+  /// Computes the next window [t_min, window_end_[*]) under policy_, or
+  /// sets command_ = kEndRun when nothing remains before limit_.
+  void plan_round();
+  /// Moves every mailbox's items into the destination stores, in source-
+  /// shard ascending FIFO order, assigning fresh shard-local sequence
+  /// numbers. Serial phase only.
+  void drain_all_inboxes();
 
   Millis now_ = 0.0;
   std::uint64_t legacy_seq_ = 0;
@@ -343,11 +464,34 @@ class Simulator : public Clock {
   std::vector<std::unique_ptr<EventStore>> stores_;  // one per shard
   ShardMap map_;
   Millis lookahead_ = 0.0;
+  WindowPolicy policy_ = WindowPolicy::kFixed;
+  std::vector<Millis> la_;    ///< K*K per-(src,dst) lookaheads (row-major)
+  std::vector<Millis> dist_;  ///< shortest-walk closure of la_ (>= 1 hop);
+                              ///< diagonal = shortest cycle through the shard
   std::vector<Mailbox> mail_;  // K*K, index = src * K + dst
   std::vector<std::thread> workers_;
-  std::unique_ptr<std::barrier<>> gate_;
+
   Command command_ = Command::kEndRun;
-  Millis window_end_ = 0.0;
+  std::vector<Millis> window_end_;  ///< per-shard end of the current round
+  Millis limit_ = 0.0;              ///< run_windows() horizon (exclusive)
+  std::vector<Millis> next_times_;  ///< plan_round scratch: store horizons
+  std::uint32_t parties_ = 1;
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<std::uint32_t> arrivals_{0};
+  /// Per-shard wait counters; single-writer (each shard updates its own
+  /// slot), read between runs. Padded against false sharing in the spin
+  /// loops.
+  struct alignas(64) ShardSync {
+    std::uint64_t spins = 0;
+    std::uint64_t parks = 0;
+  };
+  std::vector<ShardSync> sync_;
+  // Window telemetry; written only in the serial phase (rounds are ordered
+  // by the barrier, so no atomics needed).
+  std::uint64_t windows_ = 0;
+  Millis width_sum_ = 0.0;
+  Millis width_max_ = 0.0;
+  std::uint64_t mail_items_ = 0;
 
   // Shard context of the calling thread while it dispatches a window.
   // Static: runs of different Simulator instances never overlap on one

@@ -94,27 +94,60 @@ void SimTransport::set_shards(std::uint32_t shards) {
   }
 }
 
-Millis SimTransport::min_cross_shard_latency(const ShardMap& map) const {
-  Millis best = kUnreachable;
+std::vector<Millis> SimTransport::cross_shard_lookaheads(
+    const ShardMap& map) const {
+  const std::size_t k = map.shards;
+  std::vector<Millis> la(k * k, kUnreachable);
+  const auto fold = [&](std::uint32_t src, std::uint32_t dst, Millis l) {
+    if (src == dst) return;
+    Millis& slot = la[static_cast<std::size_t>(src) * k + dst];
+    slot = std::min(slot, l);
+  };
   const std::size_t regions = catalog_->size();
   MP_EXPECTS(map.region_shard.size() >= regions);
   for (std::size_t a = 0; a < regions; ++a) {
     for (std::size_t b = 0; b < regions; ++b) {
-      if (a == b || map.region_shard[a] == map.region_shard[b]) continue;
-      const Millis l = backbone_->at(RegionId{static_cast<std::int32_t>(a)},
-                                     RegionId{static_cast<std::int32_t>(b)});
-      best = std::min(best, l);
+      if (a == b) continue;
+      fold(map.region_shard[a], map.region_shard[b],
+           backbone_->at(RegionId{static_cast<std::int32_t>(a)},
+                         RegionId{static_cast<std::int32_t>(b)}));
     }
   }
   const std::size_t n_clients =
       std::min(map.client_shard.size(), clients_->n_clients());
   for (std::size_t c = 0; c < n_clients; ++c) {
     for (std::size_t r = 0; r < regions; ++r) {
-      if (map.client_shard[c] == map.region_shard[r]) continue;
       // Client links are symmetric: at(c, r) covers both directions.
       const Millis l = clients_->at(ClientId{static_cast<std::int32_t>(c)},
                                     RegionId{static_cast<std::int32_t>(r)});
-      best = std::min(best, l);
+      fold(map.client_shard[c], map.region_shard[r], l);
+      fold(map.region_shard[r], map.client_shard[c], l);
+    }
+  }
+  // Cohort rows matter independently of the client rows above: flock
+  // latencies are the cohort key's QUANTIZED values, which floor-quantize
+  // below the exact per-client latency, so they can be the binding minimum.
+  if (directory_ != nullptr) {
+    for (std::size_t f = 0; f < map.cohort_shard.size(); ++f) {
+      for (std::size_t r = 0; r < regions; ++r) {
+        const Millis l = directory_->flock_latency(
+            static_cast<std::int32_t>(f),
+            RegionId{static_cast<std::int32_t>(r)});
+        fold(map.cohort_shard[f], map.region_shard[r], l);
+        fold(map.region_shard[r], map.cohort_shard[f], l);
+      }
+    }
+  }
+  return la;
+}
+
+Millis SimTransport::min_cross_shard_latency(const ShardMap& map) const {
+  const std::vector<Millis> la = cross_shard_lookaheads(map);
+  const std::size_t k = map.shards;
+  Millis best = kUnreachable;
+  for (std::size_t src = 0; src < k; ++src) {
+    for (std::size_t dst = 0; dst < k; ++dst) {
+      if (src != dst) best = std::min(best, la[src * k + dst]);
     }
   }
   return best;

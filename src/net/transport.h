@@ -160,9 +160,22 @@ class SimTransport final : public Bus, public DeliverySink {
   /// configure_shards(). K = 1 restores single-threaded layout.
   void set_shards(std::uint32_t shards);
 
+  /// Per-(source shard, destination shard) minimum link latency under
+  /// `map`, row-major map.shards^2: entry [src * K + dst] is the smallest
+  /// latency of any link from a src-owned entity to a dst-owned one —
+  /// region->region (directed), client<->region (symmetric, both
+  /// directions) and, when a cohort directory is installed, cohort<->region
+  /// rows for every flock in the map. The diagonal and pairs with no link
+  /// stay kUnreachable. This is the lookahead matrix for
+  /// Simulator::set_lookahead_matrix (the adaptive window policy).
+  [[nodiscard]] std::vector<Millis> cross_shard_lookaheads(
+      const ShardMap& map) const;
+
   /// Smallest finite latency of any link whose endpoints `map` places on
-  /// different shards (region<->region and client<->region, both
-  /// directions) — the conservative lookahead for configure_shards().
+  /// different shards — the off-diagonal minimum of
+  /// cross_shard_lookaheads(), i.e. the conservative scalar lookahead for
+  /// configure_shards(). Includes the cohort directory's flock rows, whose
+  /// quantized latencies can undercut the exact per-client values.
   /// kUnreachable when no cross-shard link exists.
   [[nodiscard]] Millis min_cross_shard_latency(const ShardMap& map) const;
 

@@ -279,6 +279,8 @@ ChaosRunner::Execution ChaosRunner::execute(const FaultSchedule& schedule,
   live.set_data_plane_fast_path(options_.fast_path);
   live.set_incremental(options_.incremental);
   live.set_cohorts(options_.cohorts);  // before set_shards: flocks get shards
+  live.set_shard_placement(options_.placement);
+  live.set_window_policy(options_.window_policy);
   live.set_shards(options_.shards);
   live.transport().set_fault_plan(&plan);
   if (options_.break_outage_exclusion) {

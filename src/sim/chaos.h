@@ -22,6 +22,8 @@
 #include "common/rng.h"
 #include "core/config.h"
 #include "geo/region_set.h"
+#include "net/shard_placement.h"
+#include "net/simulator.h"
 #include "sim/fault_schedule.h"
 #include "sim/scenario.h"
 
@@ -41,8 +43,13 @@ struct ChaosOptions {
   bool fast_path = true;        ///< data-plane scheduling path under test
   /// Data-plane shard (worker-thread) count under test. Observables — and
   /// therefore the whole report — must be identical for every value; >1
-  /// requires fast_path.
+  /// requires fast_path and shards <= regions.
   std::uint32_t shards = 1;
+  /// Region-to-shard placement strategy for shards > 1 (DESIGN.md §14).
+  /// Neither placement nor window policy may change the report by a byte.
+  net::ShardPlacement placement = net::ShardPlacement::kTopology;
+  /// Window sizing policy for the sharded plane (DESIGN.md §14).
+  net::WindowPolicy window_policy = net::WindowPolicy::kAdaptive;
   /// Runs the subscriber side on the cohort-compressed plane (DESIGN.md
   /// §12). Requires fast_path. With schedules free of probabilistic drop
   /// rules the report is byte-identical to the per-client plane; drop rules

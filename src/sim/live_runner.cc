@@ -43,6 +43,16 @@ broker::RegionManager& LiveSystem::region_manager(RegionId region) {
   return *managers_[region.index()];
 }
 
+void LiveSystem::set_shard_placement(net::ShardPlacement placement) {
+  MP_EXPECTS(shards_ == 1 && "call set_shard_placement before set_shards");
+  placement_ = placement;
+}
+
+void LiveSystem::set_window_policy(net::WindowPolicy policy) {
+  MP_EXPECTS(shards_ == 1 && "call set_window_policy before set_shards");
+  window_policy_ = policy;
+}
+
 void LiveSystem::set_shards(std::uint32_t shards) {
   MP_EXPECTS(shards >= 1);
   shards_ = shards;
@@ -50,6 +60,7 @@ void LiveSystem::set_shards(std::uint32_t shards) {
     if (sim_.sharded()) sim_.configure_shards(net::ShardMap{}, 0.0);
     transport_->set_shards(1);
     base_lookahead_ = kUnreachable;
+    base_lookaheads_.clear();
     return;
   }
   // The parallel plane runs on the typed-event engine; the legacy reference
@@ -57,10 +68,8 @@ void LiveSystem::set_shards(std::uint32_t shards) {
   MP_EXPECTS(transport_->fast_path());
   net::ShardMap map;
   map.shards = shards;
-  map.region_shard.resize(scenario_->catalog.size());
-  for (std::size_t r = 0; r < map.region_shard.size(); ++r) {
-    map.region_shard[r] = static_cast<std::uint32_t>(r % shards);
-  }
+  map.region_shard =
+      net::partition_regions(placement_, scenario_->backbone, shards);
   // Clients are co-sharded with their home region: the dominant client
   // traffic (attach, publish-in, deliver-out) stays intra-shard, and the
   // home link — typically the shortest a client has — never constrains the
@@ -85,8 +94,11 @@ void LiveSystem::set_shards(std::uint32_t shards) {
   }
   base_lookahead_ = transport_->min_cross_shard_latency(map);
   MP_EXPECTS(base_lookahead_ > 0.0 && base_lookahead_ < kUnreachable);
+  base_lookaheads_ = transport_->cross_shard_lookaheads(map);
   transport_->set_shards(shards);
   sim_.configure_shards(std::move(map), base_lookahead_);
+  sim_.set_window_policy(window_policy_);
+  sim_.set_lookahead_matrix(base_lookaheads_);
 }
 
 void LiveSystem::drain() {
@@ -100,6 +112,16 @@ void LiveSystem::drain() {
       scale = plan->lookahead_scale();
     }
     sim_.set_lookahead(base_lookahead_ * scale);
+    if (window_policy_ == net::WindowPolicy::kAdaptive) {
+      // The matrix shrinks by the same uniform factor (a delay rule can
+      // shorten any link's effective latency by at most that factor);
+      // infinities stay infinite under a positive scale.
+      std::vector<Millis> scaled = base_lookaheads_;
+      if (scale != 1.0) {
+        for (Millis& entry : scaled) entry *= scale;
+      }
+      sim_.set_lookahead_matrix(std::move(scaled));
+    }
   }
   sim_.run();
 }

@@ -20,6 +20,7 @@
 #include "client/subscriber.h"
 #include "client/topic_set_pool.h"
 #include "common/arena.h"
+#include "net/shard_placement.h"
 #include "net/simulator.h"
 #include "net/transport.h"
 #include "sim/scenario.h"
@@ -82,15 +83,36 @@ class LiveSystem {
   }
 
   /// Splits the data plane over `shards` worker threads (DESIGN.md §11):
-  /// regions round-robin over shards, clients follow their home region, and
-  /// the simulator synchronizes on conservative windows as wide as the
-  /// minimum cross-shard link latency (rescaled under an installed
-  /// FaultPlan's delay rules before every drain). Observables stay
-  /// bit-identical to the single-threaded fast path for every shard count.
-  /// Requires the fast path; call before deploy()/traffic, like
-  /// set_data_plane_fast_path. `shards == 1` is the single-threaded plane.
+  /// regions are placed by the current shard placement strategy (topology
+  /// clustering by default), clients follow their home region, and the
+  /// simulator synchronizes on conservative windows derived from the
+  /// cross-shard lookahead matrix (rescaled under an installed FaultPlan's
+  /// delay rules before every drain). Observables stay bit-identical to the
+  /// single-threaded fast path for every shard count, placement and window
+  /// policy. Requires the fast path and shards <= regions; call before
+  /// deploy()/traffic, like set_data_plane_fast_path. `shards == 1` is the
+  /// single-threaded plane.
   void set_shards(std::uint32_t shards);
   [[nodiscard]] std::uint32_t shards() const { return shards_; }
+
+  /// Region-to-shard placement for set_shards. Default kTopology: cluster
+  /// nearby regions onto one shard (DESIGN.md §14), maximizing the minimum
+  /// cross-shard latency and with it every window. kRoundRobin is the PR 5
+  /// reference recipe. Call before set_shards; placement never changes
+  /// observables, only window structure and wall-clock.
+  void set_shard_placement(net::ShardPlacement placement);
+  [[nodiscard]] net::ShardPlacement shard_placement() const {
+    return placement_;
+  }
+
+  /// Window policy for the sharded plane. Default kAdaptive: windows widen
+  /// past the fixed stride whenever the busy-shard horizon allows
+  /// (DESIGN.md §14). kFixed is the PR 5 pacing. Call before set_shards;
+  /// the policy never changes observables.
+  void set_window_policy(net::WindowPolicy policy);
+  [[nodiscard]] net::WindowPolicy window_policy() const {
+    return window_policy_;
+  }
 
   /// Switches the subscriber side to the cohort-compressed plane
   /// (DESIGN.md §12): identical subscribers fold into weighted cohorts, the
@@ -143,6 +165,7 @@ class LiveSystem {
   [[nodiscard]] broker::Controller& controller() { return *controller_; }
   [[nodiscard]] net::SimTransport& transport() { return *transport_; }
   [[nodiscard]] net::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const net::Simulator& simulator() const { return sim_; }
   [[nodiscard]] const std::vector<std::unique_ptr<client::Subscriber>>&
   subscribers() const {
     return subscribers_;
@@ -177,7 +200,12 @@ class LiveSystem {
   Bytes last_payload_bytes_ = 0;
   bool incremental_ = true;
   std::uint32_t shards_ = 1;
+  net::ShardPlacement placement_ = net::ShardPlacement::kTopology;
+  net::WindowPolicy window_policy_ = net::WindowPolicy::kAdaptive;
   Millis base_lookahead_ = kUnreachable;  // min cross-shard latency, unscaled
+  /// Unscaled cross-shard lookahead matrix of the current map (K*K,
+  /// row-major); rescaled alongside base_lookahead_ before every drain.
+  std::vector<Millis> base_lookaheads_;
 };
 
 }  // namespace multipub::sim

@@ -87,4 +87,19 @@ MetricsRegistry collect_metrics(LiveSystem& live) {
 
 }
 
+MetricsRegistry collect_window_metrics(const LiveSystem& live) {
+  MetricsRegistry out;
+  const net::WindowStats stats = live.simulator().window_stats();
+  out.set("dataplane.windows_executed", static_cast<double>(stats.windows));
+  out.set("dataplane.window_width_mean_ms", stats.width_mean());
+  out.set("dataplane.window_width_max_ms", stats.width_max);
+  out.set("dataplane.events_per_window", stats.events_per_window());
+  out.set("dataplane.mail_items", static_cast<double>(stats.mail_items));
+  out.set("dataplane.barrier_spins",
+          static_cast<double>(stats.barrier_spins));
+  out.set("dataplane.barrier_parks",
+          static_cast<double>(stats.barrier_parks));
+  return out;
+}
+
 }  // namespace multipub::sim

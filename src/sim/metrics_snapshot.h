@@ -23,4 +23,15 @@ namespace multipub::sim {
 ///             .skipped_clean_last_round
 [[nodiscard]] MetricsRegistry collect_metrics(LiveSystem& live);
 
+/// Window telemetry of the sharded data plane (DESIGN.md §14), DELIBERATELY
+/// separate from collect_metrics: that snapshot is byte-compared across
+/// shard counts by the differential suites, while these numbers describe the
+/// execution engine itself (how the plane was driven, not what it did) and
+/// legitimately vary with shards, placement and window policy. All zeros on
+/// an unsharded system. Names:
+///   dataplane.windows_executed / .window_width_mean_ms /
+///             .window_width_max_ms / .events_per_window / .mail_items /
+///             .barrier_spins / .barrier_parks
+[[nodiscard]] MetricsRegistry collect_window_metrics(const LiveSystem& live);
+
 }  // namespace multipub::sim

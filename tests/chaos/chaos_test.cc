@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "sim/fault_schedule.h"
@@ -121,11 +122,16 @@ TEST(InvariantOracles, ConstraintConformance) {
 
 /// End-to-end campaigns over the failure-test workload: clients split
 /// across two continents, a bound tight enough that outages force real
-/// reconfigurations. Parameterized over the data-plane shard count — every
+/// reconfigurations. Parameterized over the data-plane tuning — shard
+/// count, shard placement and window policy (DESIGN.md §14) — every
 /// campaign, including the negative-path ones with their shrunk repro
-/// schedules, must behave identically whether the plane runs single-threaded
-/// or sharded across workers.
-class ChaosCampaignTest : public ::testing::TestWithParam<std::uint32_t> {
+/// schedules, must behave identically whether the plane runs
+/// single-threaded or sharded across workers under any tuning.
+using ChaosDataPlaneTuning =
+    std::tuple<std::uint32_t, net::ShardPlacement, net::WindowPolicy>;
+
+class ChaosCampaignTest
+    : public ::testing::TestWithParam<ChaosDataPlaneTuning> {
  protected:
   ChaosCampaignTest() : rng_(101) {
     WorkloadSpec workload;
@@ -136,7 +142,8 @@ class ChaosCampaignTest : public ::testing::TestWithParam<std::uint32_t> {
                               workload, rng_);
     options_.rounds = 10;
     options_.interval_seconds = 5.0;
-    options_.shards = GetParam();
+    std::tie(options_.shards, options_.placement, options_.window_policy) =
+        GetParam();
   }
 
   /// Outage + partition + drop + delay, faults clear by round 6 so the
@@ -256,11 +263,33 @@ TEST_P(ChaosCampaignTest, BoundedSoakAcrossSeedsAndPaths) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(DataPlaneShards, ChaosCampaignTest,
-                         ::testing::Values(1u, 4u),
-                         [](const ::testing::TestParamInfo<std::uint32_t>& i) {
-                           return "Shards" + std::to_string(i.param);
-                         });
+std::string chaos_tuning_name(
+    const ::testing::TestParamInfo<ChaosDataPlaneTuning>& info) {
+  const auto [shards, placement, policy] = info.param;
+  if (shards == 1) return "Shards1";
+  std::string name = "Shards" + std::to_string(shards);
+  name += placement == net::ShardPlacement::kRoundRobin ? "RoundRobin"
+                                                        : "Topology";
+  name += policy == net::WindowPolicy::kFixed ? "Fixed" : "Adaptive";
+  return name;
+}
+
+// The single-threaded baseline once (tuning is irrelevant at K = 1), then
+// the full {placement} x {policy} grid at K = 4.
+INSTANTIATE_TEST_SUITE_P(
+    DataPlaneShards, ChaosCampaignTest,
+    ::testing::Values(
+        std::make_tuple(1u, net::ShardPlacement::kTopology,
+                        net::WindowPolicy::kAdaptive),
+        std::make_tuple(4u, net::ShardPlacement::kRoundRobin,
+                        net::WindowPolicy::kFixed),
+        std::make_tuple(4u, net::ShardPlacement::kRoundRobin,
+                        net::WindowPolicy::kAdaptive),
+        std::make_tuple(4u, net::ShardPlacement::kTopology,
+                        net::WindowPolicy::kFixed),
+        std::make_tuple(4u, net::ShardPlacement::kTopology,
+                        net::WindowPolicy::kAdaptive)),
+    chaos_tuning_name);
 
 /// Cohort-compressed campaigns (DESIGN.md §12): the failure workload with
 /// every subscriber position replicated three-fold — real weight-3 cohorts,
@@ -380,12 +409,23 @@ TEST(ChaosShardEquivalence, ReportRenderIsByteIdenticalAcrossShardCounts) {
   options.shards = 1;
   const ChaosReport one = ChaosRunner(scenario, options).run_schedule(
       schedule, 42);
-  options.shards = 4;
-  const ChaosReport four = ChaosRunner(scenario, options).run_schedule(
-      schedule, 42);
   ASSERT_TRUE(one.passed()) << one.render();
-  EXPECT_EQ(one.render(), four.render());
-  EXPECT_EQ(one.deliveries, four.deliveries);
+  // ...under every (placement, window-policy) tuning of the sharded plane.
+  options.shards = 4;
+  for (const auto placement : {net::ShardPlacement::kRoundRobin,
+                               net::ShardPlacement::kTopology}) {
+    for (const auto policy :
+         {net::WindowPolicy::kFixed, net::WindowPolicy::kAdaptive}) {
+      options.placement = placement;
+      options.window_policy = policy;
+      const ChaosReport four = ChaosRunner(scenario, options).run_schedule(
+          schedule, 42);
+      EXPECT_EQ(one.render(), four.render())
+          << net::shard_placement_name(placement) << " / "
+          << (policy == net::WindowPolicy::kFixed ? "fixed" : "adaptive");
+      EXPECT_EQ(one.deliveries, four.deliveries);
+    }
+  }
 }
 
 }  // namespace

@@ -12,14 +12,19 @@
 // A second sweep proves the sharded parallel plane (DESIGN.md §11): the
 // same script over shard counts {1, 2, 4, 8}, every observable compared
 // against the single-threaded fast path — the shard count must never be
-// observable.
+// observable. That sweep is itself parameterized over the full tuning grid
+// {incremental, full-scan} x {round-robin, topology} x {fixed, adaptive}
+// (DESIGN.md §14): neither the placement nor the window policy may be
+// observable either.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "net/shard_placement.h"
 #include "sim/live_runner.h"
 #include "sim/metrics_snapshot.h"
 #include "sim/scenario.h"
@@ -171,8 +176,13 @@ INSTANTIATE_TEST_SUITE_P(ControlPlane, DataPlaneDiff, ::testing::Bool(),
                            return info.param ? "Incremental" : "FullScan";
                          });
 
-TEST_P(DataPlaneDiff, ShardedPlaneIsBitIdenticalForEveryShardCount) {
-  const bool incremental = GetParam();
+using ShardedTuning =
+    std::tuple<bool, net::ShardPlacement, net::WindowPolicy>;
+
+class ShardedPlaneDiff : public ::testing::TestWithParam<ShardedTuning> {};
+
+TEST_P(ShardedPlaneDiff, BitIdenticalForEveryShardCount) {
+  const auto [incremental, placement, policy] = GetParam();
   Rng rng(2026);
   WorkloadSpec workload;
   workload.interval_seconds = 10.0;
@@ -190,6 +200,8 @@ TEST_P(DataPlaneDiff, ShardedPlaneIsBitIdenticalForEveryShardCount) {
   std::vector<LiveSystem*> systems{reference.get()};
   for (std::uint32_t shards : shard_counts) {
     candidates.push_back(std::make_unique<LiveSystem>(scenario));
+    candidates.back()->set_shard_placement(placement);
+    candidates.back()->set_window_policy(policy);
     candidates.back()->set_shards(shards);
     ASSERT_EQ(candidates.back()->shards(), shards);
     systems.push_back(candidates.back().get());
@@ -285,6 +297,26 @@ TEST_P(DataPlaneDiff, ShardedPlaneIsBitIdenticalForEveryShardCount) {
   }
   ASSERT_NE(failed.value(), -1);
 }
+
+std::string sharded_tuning_name(
+    const ::testing::TestParamInfo<ShardedTuning>& info) {
+  const auto [incremental, placement, policy] = info.param;
+  std::string name = incremental ? "Incremental" : "FullScan";
+  name += placement == net::ShardPlacement::kRoundRobin ? "RoundRobin"
+                                                        : "Topology";
+  name += policy == net::WindowPolicy::kFixed ? "Fixed" : "Adaptive";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tuning, ShardedPlaneDiff,
+    ::testing::Combine(
+        ::testing::Bool(),
+        ::testing::Values(net::ShardPlacement::kRoundRobin,
+                          net::ShardPlacement::kTopology),
+        ::testing::Values(net::WindowPolicy::kFixed,
+                          net::WindowPolicy::kAdaptive)),
+    sharded_tuning_name);
 
 }  // namespace
 }  // namespace multipub::sim

@@ -40,7 +40,9 @@ struct RingSink : DeliverySink {
 /// and staggered starts keep every destination single-source per instant,
 /// so the trace is well-defined independently of the shard count.
 std::vector<std::vector<std::pair<std::uint64_t, Millis>>> run_ring(
-    std::uint32_t shards, std::uint64_t hops) {
+    std::uint32_t shards, std::uint64_t hops,
+    WindowPolicy policy = WindowPolicy::kFixed,
+    WindowStats* stats = nullptr) {
   constexpr int kRegions = 4;
   Simulator sim;
   if (shards > 1) {
@@ -52,6 +54,13 @@ std::vector<std::vector<std::pair<std::uint64_t, Millis>>> run_ring(
     // Every ring edge is >= 10 ms; any cross-shard edge set shares that
     // lower bound, so 10 is a valid conservative window for every K.
     sim.configure_shards(std::move(map), 10.0);
+    sim.set_window_policy(policy);
+    if (policy == WindowPolicy::kAdaptive) {
+      // Per-(src shard, dst shard) lookaheads; 10 ms is a sound bound for
+      // every pair, the diagonal is ignored (rebuilt by the closure).
+      std::vector<Millis> la(static_cast<std::size_t>(shards) * shards, 10.0);
+      sim.set_lookahead_matrix(std::move(la));
+    }
   }
 
   std::vector<RingSink> sinks(kRegions);
@@ -69,6 +78,7 @@ std::vector<std::vector<std::pair<std::uint64_t, Millis>>> run_ring(
                              sinks[r].self, msg);
   }
   sim.run();
+  if (stats != nullptr) *stats = sim.window_stats();
 
   std::vector<std::vector<std::pair<std::uint64_t, Millis>>> traces;
   for (auto& sink : sinks) traces.push_back(std::move(sink.trace));
@@ -104,6 +114,78 @@ TEST(ShardedSimulator, RingTraceIsBitIdenticalForEveryShardCount) {
                                          << " region=" << r;
     }
   }
+}
+
+TEST(ShardedSimulator, AdaptiveWindowsKeepTheTraceAndExecuteFewerWindows) {
+  // The adaptive policy (DESIGN.md §14) may only change window STRUCTURE:
+  // same arithmetic in the same order, exactly equal traces — while paying
+  // fewer synchronization rounds than fixed pacing on the same workload.
+  const auto reference = run_ring(1, 40);
+  for (std::uint32_t shards : {2u, 4u}) {
+    WindowStats fixed_stats;
+    WindowStats adaptive_stats;
+    const auto fixed =
+        run_ring(shards, 40, WindowPolicy::kFixed, &fixed_stats);
+    const auto adaptive =
+        run_ring(shards, 40, WindowPolicy::kAdaptive, &adaptive_stats);
+    for (std::size_t r = 0; r < reference.size(); ++r) {
+      EXPECT_EQ(fixed[r], reference[r]) << "shards=" << shards;
+      EXPECT_EQ(adaptive[r], reference[r]) << "shards=" << shards;
+    }
+    ASSERT_GT(fixed_stats.windows, 0u);
+    ASSERT_GT(adaptive_stats.windows, 0u);
+    EXPECT_LE(adaptive_stats.windows, fixed_stats.windows)
+        << "shards=" << shards;
+    // Both policies process every event; only the grouping differs.
+    EXPECT_EQ(adaptive_stats.events, fixed_stats.events);
+  }
+}
+
+TEST(ShardedSimulator, WindowTelemetryCountsRoundsMailAndWidths) {
+  WindowStats stats;
+  (void)run_ring(2, 40, WindowPolicy::kFixed, &stats);
+  EXPECT_GT(stats.windows, 0u);
+  EXPECT_GT(stats.events, 0u);
+  // The ring crosses shards constantly, so mailboxes must have carried
+  // traffic, and every window is at least the 10 ms stride wide.
+  EXPECT_GT(stats.mail_items, 0u);
+  EXPECT_GE(stats.width_mean(), 10.0);
+  EXPECT_GE(stats.width_max, stats.width_mean());
+  EXPECT_GT(stats.events_per_window(), 0.0);
+
+  // An unsharded engine reports all-zero telemetry.
+  Simulator plain;
+  const WindowStats none = plain.window_stats();
+  EXPECT_EQ(none.windows, 0u);
+  EXPECT_EQ(none.events, 0u);
+  EXPECT_EQ(none.mail_items, 0u);
+}
+
+TEST(ShardedSimulator, RepeatedRunsOverTheSameEngineTerminate) {
+  // Regression guard for the barrier's publication protocol: every run()
+  // re-publishes work to parked workers and ends with an acknowledged
+  // end-of-run round. A waiter that misses (or double-consumes) one epoch
+  // step deadlocks this loop.
+  Simulator sim;
+  ShardMap map;
+  map.shards = 4;
+  map.region_shard = {0, 1, 2, 3};
+  sim.configure_shards(std::move(map), 5.0);
+
+  struct CountingSink : DeliverySink {
+    int count = 0;
+    void deliver(const DeliveryEvent&) override { ++count; }
+  };
+  CountingSink sink;
+  wire::Message msg;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_delivery_after(5.0 + i, sink,
+                                Address::region(RegionId{i % 4}),
+                                Address::region(RegionId{(i + 1) % 4}), msg);
+    sim.run();
+  }
+  EXPECT_EQ(sink.count, 50);
+  EXPECT_EQ(sim.processed(), 50u);
 }
 
 TEST(ShardedSimulator, OwnerHintedActionsRunOnTheOwningShard) {

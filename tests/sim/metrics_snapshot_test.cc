@@ -80,5 +80,41 @@ TEST_F(MetricsSnapshotTest, RenderContainsEveryRegion) {
   }
 }
 
+TEST_F(MetricsSnapshotTest, WindowMetricsLiveInTheirOwnRegistry) {
+  // The window telemetry (DESIGN.md §14) describes the execution engine and
+  // varies with the shard count — it must NEVER leak into collect_metrics,
+  // whose render is byte-compared across shard counts by the differential
+  // suites.
+  LiveSystem live(scenario_);
+  live.set_shards(4);
+  live.deploy({geo::RegionSet::single(RegionId{0}),
+               core::DeliveryMode::kDirect});
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+
+  EXPECT_EQ(collect_metrics(live).render().find("dataplane."),
+            std::string::npos);
+
+  auto windows = collect_window_metrics(live);
+  EXPECT_GT(windows.value("dataplane.windows_executed"), 0.0);
+  EXPECT_GT(windows.value("dataplane.events_per_window"), 0.0);
+  EXPECT_GT(windows.value("dataplane.window_width_mean_ms"), 0.0);
+  EXPECT_GE(windows.value("dataplane.window_width_max_ms"),
+            windows.value("dataplane.window_width_mean_ms"));
+  EXPECT_TRUE(windows.contains("dataplane.barrier_spins"));
+  EXPECT_TRUE(windows.contains("dataplane.barrier_parks"));
+  EXPECT_TRUE(windows.contains("dataplane.mail_items"));
+}
+
+TEST_F(MetricsSnapshotTest, WindowMetricsAreAllZeroUnsharded) {
+  LiveSystem live(scenario_);
+  live.deploy({geo::RegionSet::single(RegionId{0}),
+               core::DeliveryMode::kDirect});
+  (void)live.run_interval(10.0, 1024, 1.0, rng_);
+  auto windows = collect_window_metrics(live);
+  EXPECT_DOUBLE_EQ(windows.value("dataplane.windows_executed"), 0.0);
+  EXPECT_DOUBLE_EQ(windows.value("dataplane.mail_items"), 0.0);
+  EXPECT_DOUBLE_EQ(windows.value("dataplane.barrier_parks"), 0.0);
+}
+
 }  // namespace
 }  // namespace multipub::sim

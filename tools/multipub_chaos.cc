@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "net/shard_placement.h"
 #include "sim/chaos.h"
 #include "sim/scenario.h"
 #include "sim/scenario_file.h"
@@ -57,8 +58,12 @@ Paths under test:
   --incremental on|off     control-plane pipeline (default on)
   --fast-path on|off       data-plane scheduling path (default on)
   --shards K               data-plane worker threads (default 1; K > 1
-                           requires --fast-path on; the report must be
-                           byte-identical for every K)
+                           requires --fast-path on and K <= regions; the
+                           report must be byte-identical for every K)
+  --shard-placement P      region-to-shard placement for K > 1:
+                           round-robin | topology (default topology)
+  --window-policy P        sharded window sizing: fixed | adaptive
+                           (default adaptive)
 
 Negative-path demos (the harness must catch them; exit code flips):
   --break-outage-exclusion controller keeps routing through dead regions
@@ -81,7 +86,8 @@ int main(int argc, char** argv) {
   flags.allow_only({
       "help", "seed", "rounds", "faults", "interval", "rate", "k",
       "no-shrink", "schedule", "print-schedule", "scenario", "incremental",
-      "fast-path", "shards", "break-outage-exclusion", "freeze-control-plane",
+      "fast-path", "shards", "shard-placement", "window-policy",
+      "break-outage-exclusion", "freeze-control-plane",
   });
 
   const std::uint64_t seed =
@@ -119,6 +125,21 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.shards = static_cast<std::uint32_t>(shards);
+  const std::string placement_name = flags.get("shard-placement", "topology");
+  const auto placement = net::parse_shard_placement(placement_name);
+  if (!placement) {
+    std::fprintf(stderr,
+                 "--shard-placement must be 'round-robin' or 'topology'\n");
+    return 2;
+  }
+  options.placement = *placement;
+  const std::string policy_name = flags.get("window-policy", "adaptive");
+  if (policy_name != "fixed" && policy_name != "adaptive") {
+    std::fprintf(stderr, "--window-policy must be 'fixed' or 'adaptive'\n");
+    return 2;
+  }
+  options.window_policy = policy_name == "fixed" ? net::WindowPolicy::kFixed
+                                                 : net::WindowPolicy::kAdaptive;
   if (options.rounds < 1) {
     std::fprintf(stderr, "--rounds must be >= 1\n");
     return 2;
@@ -168,6 +189,16 @@ int main(int argc, char** argv) {
     Rng scenario_rng(seed);
     scenario = sim::make_scenario({{RegionId{0}, 2, 4}, {RegionId{5}, 2, 4}},
                                   workload, scenario_rng);
+  }
+
+  // Empty shards would still pay every barrier round; the placement cannot
+  // split R regions over more than R workers.
+  if (options.shards > scenario.catalog.size()) {
+    std::fprintf(stderr,
+                 "--shards %u exceeds the world's %zu regions; shards must "
+                 "be <= regions\n",
+                 options.shards, scenario.catalog.size());
+    return 2;
   }
 
   // --- Schedule ---

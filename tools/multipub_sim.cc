@@ -80,8 +80,14 @@ Validation:
                            (default on)
   --shards K               with --live: run the data plane on K worker
                            threads (conservative time windows, DESIGN.md
-                           §11; default 1; K > 1 requires --fast-path on)
+                           §11; default 1; K > 1 requires --fast-path on
+                           and K <= regions)
   --threads K              alias for --shards
+  --shard-placement P      with --shards: region-to-shard placement,
+                           round-robin | topology (default topology,
+                           DESIGN.md §14; never changes observables)
+  --window-policy P        with --shards: window sizing, fixed | adaptive
+                           (default adaptive; never changes observables)
   --clients N              with --live: replicate the subscriber positions
                            round-robin until N subscribers exist (clones
                            share their original's exact latency row and
@@ -120,8 +126,8 @@ int main(int argc, char** argv) {
       "rate", "size", "interval", "ratio", "max-t", "sweep", "mode",
       "heuristic", "exact-list", "synthetic-regions", "modern-aws", "seed",
       "latencies", "dump-latencies", "live", "incremental", "fast-path",
-      "shards", "threads", "clients", "cohorts", "quantize-ms", "explain",
-      "metrics",
+      "shards", "threads", "shard-placement", "window-policy", "clients",
+      "cohorts", "quantize-ms", "explain", "metrics",
   });
 
   const long seed = flags.get_int("seed", 2017);
@@ -354,6 +360,30 @@ int main(int argc, char** argv) {
                  shards);
     return 2;
   }
+  // Empty shards would still pay every barrier round; the placement cannot
+  // split R regions over more than R workers.
+  if (shards > static_cast<long>(scenario.catalog.size())) {
+    std::fprintf(stderr,
+                 "--shards %ld exceeds the world's %zu regions; shards must "
+                 "be <= regions\n",
+                 shards, scenario.catalog.size());
+    return 2;
+  }
+  const std::string placement_name = flags.get("shard-placement", "topology");
+  const auto shard_placement = net::parse_shard_placement(placement_name);
+  if (!shard_placement) {
+    std::fprintf(stderr,
+                 "--shard-placement must be 'round-robin' or 'topology'\n");
+    return 2;
+  }
+  const std::string policy_name = flags.get("window-policy", "adaptive");
+  if (policy_name != "fixed" && policy_name != "adaptive") {
+    std::fprintf(stderr, "--window-policy must be 'fixed' or 'adaptive'\n");
+    return 2;
+  }
+  const net::WindowPolicy window_policy =
+      policy_name == "fixed" ? net::WindowPolicy::kFixed
+                             : net::WindowPolicy::kAdaptive;
   const std::string cohorts = flags.get("cohorts", "off");
   if (cohorts != "on" && cohorts != "off") {
     std::fprintf(stderr, "--cohorts must be 'on' or 'off'\n");
@@ -382,11 +412,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   if ((shards > 1 || flags.has("fast-path") || flags.has("cohorts") ||
-       flags.has("clients")) &&
+       flags.has("clients") || flags.has("shard-placement") ||
+       flags.has("window-policy")) &&
       !flags.get_bool("live", false)) {
     std::fprintf(stderr,
-                 "--shards/--threads/--fast-path/--cohorts/--clients only "
-                 "apply to the live middleware: add --live\n");
+                 "--shards/--threads/--shard-placement/--window-policy/"
+                 "--fast-path/--cohorts/--clients only apply to the live "
+                 "middleware: add --live\n");
     return 2;
   }
 
@@ -505,6 +537,8 @@ int main(int argc, char** argv) {
     live.set_incremental(incremental == "on");
     live.set_data_plane_fast_path(fast_path == "on");
     if (cohorts == "on") live.set_cohorts(true, quantize_ms);
+    live.set_shard_placement(*shard_placement);
+    live.set_window_policy(window_policy);
     if (shards > 0) live.set_shards(static_cast<std::uint32_t>(shards));
     live.deploy(chosen);
     const auto run = live.run_interval(workload.interval_seconds,
@@ -543,6 +577,11 @@ int main(int argc, char** argv) {
     if (flags.get_bool("metrics", false)) {
       std::printf("\nmetrics snapshot:\n%s",
                   sim::collect_metrics(live).render().c_str());
+      if (live.shards() > 1) {
+        std::printf("\nwindow telemetry (engine-level, varies with "
+                    "tuning):\n%s",
+                    sim::collect_window_metrics(live).render().c_str());
+      }
     }
   }
   return 0;
