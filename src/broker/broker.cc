@@ -1,9 +1,26 @@
 #include "broker/broker.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/assert.h"
 #include "common/logging.h"
 
 namespace multipub::broker {
+namespace {
+
+/// Replica entries double as wire messages; config entries are rebuilt into
+/// core configs when a successor restores from them.
+core::TopicConfig config_from_entry(const wire::Message& entry) {
+  core::TopicConfig config;
+  config.regions = entry.config_regions;
+  config.mode = entry.config_mode == wire::WireMode::kRouted
+                    ? core::DeliveryMode::kRouted
+                    : core::DeliveryMode::kDirect;
+  return config;
+}
+
+}  // namespace
 
 Broker::Broker(RegionId self, net::Clock& clock, net::Bus& bus)
     : self_(self), clock_(&clock), bus_(&bus) {
@@ -30,6 +47,18 @@ void Broker::set_topic_config(TopicId topic, const core::TopicConfig& config) {
     });
   }
   configs_[topic] = config;
+  if (reliable_) {
+    ++state_seq_;
+    wire::Message delta;
+    delta.topic = topic;
+    delta.subscriber = ClientId{-1};  // config entry, not a subscription
+    delta.config_regions = config.regions;
+    delta.config_mode = config.mode == core::DeliveryMode::kRouted
+                            ? wire::WireMode::kRouted
+                            : wire::WireMode::kDirect;
+    delta.seq = 1;  // upsert
+    emit_state_delta(delta);
+  }
 }
 
 geo::RegionSet Broker::draining_regions(TopicId topic) const {
@@ -56,8 +85,24 @@ void Broker::handle(const wire::Message& msg) {
       } else if (subs_.subscribe(msg.topic, msg.subscriber, msg.filter)) {
         membership_changed_.insert(msg.topic);
       }
+      if (reliable_) {
+        // Upsert delta: re-subscribes replace the filter on the primary, so
+        // the replica applies the same upsert and the tables stay mirrored.
+        // The delta inherits the subscribe's weight: a weighted cohort
+        // subscribe stands for that many per-client subscribes, and the
+        // replication stream must bill like the per-client expansion would.
+        ++state_seq_;
+        wire::Message delta;
+        delta.topic = msg.topic;
+        delta.subscriber = msg.subscriber;
+        delta.filter = msg.filter;
+        delta.weight = msg.weight;
+        delta.seq = 1;  // add/upsert
+        emit_state_delta(delta);
+      }
       break;
-    case wire::MessageType::kUnsubscribe:
+    case wire::MessageType::kUnsubscribe: {
+      bool erased = false;
       if (const net::CohortDirectory* dir = bus_->cohort_directory();
           dir != nullptr) {
         // A flock entry outlives single-member departures: it goes away
@@ -69,18 +114,47 @@ void Broker::handle(const wire::Message& msg) {
           membership_changed_.insert(msg.topic);
           if (dir->flock_weight(flock) == 0 ||
               dir->flock_attachment(flock) != self_) {
-            (void)subs_.unsubscribe(msg.topic, msg.subscriber);
+            erased = subs_.unsubscribe(msg.topic, msg.subscriber);
           }
         }
       } else if (subs_.unsubscribe(msg.topic, msg.subscriber)) {
         membership_changed_.insert(msg.topic);
+        erased = true;
+      }
+      if (reliable_ && erased) {
+        ++state_seq_;
+        wire::Message delta;
+        delta.topic = msg.topic;
+        delta.subscriber = msg.subscriber;
+        delta.weight = msg.weight;  // mirror the per-client expansion count
+        delta.seq = 0;  // remove
+        emit_state_delta(delta);
       }
       break;
+    }
     case wire::MessageType::kPublish:
       on_publish(msg);
       break;
     case wire::MessageType::kForward:
-      deliver_locally(msg);
+      if (reliable_) {
+        on_reliable_arrival(msg, /*from_replay=*/false);
+      } else {
+        deliver_locally(msg);
+      }
+      break;
+    case wire::MessageType::kReplayRequest:
+      if (reliable_) on_replay_request(msg);
+      break;
+    case wire::MessageType::kReplayBatch:
+      // Broker-bound replay: a peer's catch-up answer. Client-bound batches
+      // go to client/cohort addresses and never reach a broker.
+      if (reliable_) on_reliable_arrival(msg, /*from_replay=*/true);
+      break;
+    case wire::MessageType::kStateSnapshot:
+      if (reliable_) on_state_snapshot(msg);
+      break;
+    case wire::MessageType::kStateDelta:
+      if (reliable_) on_state_delta(msg);
       break;
     case wire::MessageType::kPing: {
       // Latency probe: echo it back so the client can measure the RTT.
@@ -127,6 +201,17 @@ void Broker::on_publish(const wire::Message& msg) {
   observed.msg_count += 1;
   observed.total_bytes += msg.payload_bytes;
 
+  // Reliable mode: the ring position this publication gets here is the
+  // delivery sequence number every local subscriber orders against, and the
+  // stamp peers use to detect forward gaps. Publishers never retransmit,
+  // but recording first sight lets a replayed copy of this publication
+  // dedup later.
+  std::uint64_t rseq = 0;
+  if (reliable_) {
+    (void)first_sight(msg.topic, msg.publisher, msg.seq);
+    rseq = ring(msg.topic).append(msg);
+  }
+
   // Under routed delivery the publisher sent the publication only to us (its
   // closest serving region); we forward it to every other serving region.
   // Two reconfiguration races are handled here:
@@ -153,10 +238,28 @@ void Broker::on_publish(const wire::Message& msg) {
         ++drain_forwarded_;
       }
     }
-    bus_->send_batch(net::Address::region(self_), fanout_scratch_, msg,
-                           wire::MessageType::kForward);
+    if (reliable_) {
+      // The forward carries our ring position (gap detection at the peer)
+      // and our region id in the subscriber field — send_batch preserves it
+      // for region targets, and the peer needs to know whom to ask for a
+      // replay.
+      wire::Message fwd = msg;
+      fwd.delivery_seq = rseq;
+      fwd.subscriber = ClientId{self_.value()};
+      bus_->send_batch(net::Address::region(self_), fanout_scratch_, fwd,
+                       wire::MessageType::kForward);
+    } else {
+      bus_->send_batch(net::Address::region(self_), fanout_scratch_, msg,
+                       wire::MessageType::kForward);
+    }
   }
-  deliver_locally(msg);
+  if (reliable_) {
+    wire::Message local = msg;
+    local.delivery_seq = rseq;
+    deliver_locally(local);
+  } else {
+    deliver_locally(msg);
+  }
 }
 
 void Broker::deliver_locally(const wire::Message& msg) {
@@ -194,5 +297,402 @@ void Broker::deliver_locally(const wire::Message& msg) {
 }
 
 void Broker::reset_traffic() { traffic_.clear(); }
+
+// ---- Reliable delivery + Clone-pattern state replication (DESIGN.md §15)
+
+bool Broker::first_sight(TopicId topic, ClientId publisher,
+                         std::uint64_t seq) {
+  return seen_[topic][publisher].insert(seq).second;
+}
+
+bool Broker::has_accepted(TopicId topic, ClientId publisher,
+                          std::uint64_t seq) const {
+  const auto topic_it = seen_.find(topic);
+  if (topic_it == seen_.end()) return false;
+  const auto pub_it = topic_it->second.find(publisher);
+  return pub_it != topic_it->second.end() && pub_it->second.count(seq) > 0;
+}
+
+ReplayRing& Broker::ring(TopicId topic) {
+  return rings_.try_emplace(topic, replay_capacity_).first->second;
+}
+
+std::uint64_t Broker::unique_accepted(TopicId topic) const {
+  const auto it = rings_.find(topic);
+  return it == rings_.end() ? 0 : it->second.head();
+}
+
+std::uint64_t Broker::replica_applied_seq(RegionId owner) const {
+  const auto it = replicas_.find(owner.value());
+  return it == replicas_.end() ? 0 : it->second.applied_seq;
+}
+
+void Broker::on_reliable_arrival(const wire::Message& msg, bool from_replay) {
+  // The subscriber field of a reliable kForward/broker-bound kReplayBatch
+  // carries the sending region, and delivery_seq its ring position there.
+  const RegionId sender{msg.subscriber.value()};
+  SeqTracker& cursor = peer_cursors_[{sender.value(), msg.topic.value()}];
+  // One request per NEW gap; a stalled gap (its replay batch was itself
+  // lost in flight) is re-requested by sync_with_peers from cursor.next(),
+  // which — being cumulative — still names the oldest missing forward.
+  // Replayed copies never re-trigger requests (a truncated ring would loop
+  // forever).
+  const bool fresh_gap = !from_replay && cursor.opens_gap(msg.delivery_seq);
+  cursor.record(msg.delivery_seq);
+  if (fresh_gap) {
+    wire::Message req;
+    req.type = wire::MessageType::kReplayRequest;
+    req.topic = msg.topic;
+    req.publisher = ClientId{self_.value()};  // requester region
+    req.subscriber = ClientId{-1};
+    req.delivery_seq = cursor.next();
+    bus_->send(net::Address::region(self_), net::Address::region(sender),
+               req);
+  }
+
+  if (!first_sight(msg.topic, msg.publisher, msg.seq)) return;  // duplicate
+  const std::uint64_t rseq = ring(msg.topic).append(msg);
+  wire::Message local = msg;
+  local.type = wire::MessageType::kForward;  // publication field shape
+  local.subscriber = ClientId{-1};           // drop the region carrier
+  local.delivery_seq = rseq;                 // OUR numbering for subscribers
+  deliver_locally(local);
+}
+
+void Broker::on_replay_request(const wire::Message& msg) {
+  if (!msg.topic.valid()) {
+    // Standby host asking for a full state resync (its delta stream
+    // diverged or it lost the replica). Gated on the STATE-SYNC hook, not
+    // the replay hook: set_replay_enabled(false) sabotages data replay
+    // only, so each negative chaos hook trips exactly its own oracle.
+    if (state_sync_enabled_) {
+      stream_state_snapshot(RegionId{msg.publisher.value()}, self_);
+    }
+    return;
+  }
+  if (!replay_enabled_) return;
+  const auto rit = rings_.find(msg.topic);
+  if (rit == rings_.end()) return;  // nothing retained for the topic
+  const ReplayRing& r = rit->second;
+  // Below oldest_retained() the ring has evicted: the requester gets the
+  // surviving suffix — the mechanism's documented loss bound.
+  const std::uint64_t from =
+      std::max<std::uint64_t>(msg.delivery_seq, r.oldest_retained());
+
+  const bool to_flock = msg.key != 0;
+  const bool to_client = to_flock || msg.subscriber.valid();
+  if (!to_client) {
+    // Broker-level catch-up: stream our ring suffix to the requesting
+    // region, stamped like reliable forwards.
+    const net::Address requester =
+        net::Address::region(RegionId{msg.publisher.value()});
+    for (std::uint64_t seq = from; seq <= r.head(); ++seq) {
+      wire::Message batch = *r.find(seq);
+      batch.type = wire::MessageType::kReplayBatch;
+      batch.subscriber = ClientId{self_.value()};
+      bus_->send(net::Address::region(self_), requester, batch);
+    }
+    return;
+  }
+
+  // Client-level replay: honour the requester's content filter (a filtered
+  // publication was never delivered, so it is not replayed either).
+  const ClientId table_key =
+      to_flock ? ClientId{static_cast<std::int32_t>(msg.key - 1)}
+               : msg.subscriber;
+  wire::KeyFilter filter = wire::KeyFilter::all();
+  for (const Subscription& sub : subs_.subscriptions(msg.topic)) {
+    if (sub.subscriber == table_key) {
+      filter = sub.filter;
+      break;
+    }
+  }
+  const net::Address dest =
+      to_flock ? net::Address::cohort(static_cast<std::int32_t>(msg.key - 1))
+               : net::Address::client(msg.subscriber);
+  for (std::uint64_t seq = from; seq <= r.head(); ++seq) {
+    const wire::Message* entry = r.find(seq);
+    if (!filter.matches(entry->key)) continue;
+    wire::Message batch = *entry;
+    batch.type = wire::MessageType::kReplayBatch;
+    // A whole-flock request (invalid subscriber) is answered with weighted
+    // whole-flock batches; a member-stamped request with weight-1 batches
+    // for exactly that member.
+    batch.subscriber = msg.subscriber;
+    batch.weight = msg.weight;
+    bus_->send(net::Address::region(self_), dest, batch);
+  }
+}
+
+void Broker::emit_state_delta(wire::Message delta) {
+  MP_EXPECTS(reliable_);
+  if (!standby_.valid() || !state_sync_enabled_) return;
+  delta.type = wire::MessageType::kStateDelta;
+  delta.publisher = ClientId{self_.value()};  // state owner
+  delta.delivery_seq = state_seq_;
+  bus_->send(net::Address::region(self_), net::Address::region(standby_),
+             delta);
+}
+
+void Broker::set_standby(RegionId standby) {
+  MP_EXPECTS(!standby.valid() || standby != self_);
+  standby_ = standby;
+  if (reliable_ && standby_.valid() && state_sync_enabled_) {
+    stream_state_snapshot(standby_, self_);
+  }
+}
+
+void Broker::stream_state_snapshot(RegionId to, RegionId owner) {
+  const net::Address self_addr = net::Address::region(self_);
+  const net::Address dest = net::Address::region(to);
+  const auto send_marker = [&](std::uint64_t kind, std::uint64_t state_seq) {
+    wire::Message marker;
+    marker.type = wire::MessageType::kStateSnapshot;
+    marker.publisher = ClientId{owner.value()};
+    marker.topic = TopicId{-1};
+    marker.subscriber = ClientId{-1};
+    marker.seq = kind;  // 0 = begin (clear), 1 = end (commit)
+    marker.delivery_seq = state_seq;
+    bus_->send(self_addr, dest, marker);
+  };
+
+  if (owner == self_) {
+    // Primary streaming its own tables (standby bootstrap or resync).
+    send_marker(0, state_seq_);
+    std::vector<std::int32_t> topic_values;
+    topic_values.reserve(configs_.size());
+    for (const auto& [topic, config] : configs_) {
+      topic_values.push_back(topic.value());
+    }
+    std::sort(topic_values.begin(), topic_values.end());
+    for (const std::int32_t t : topic_values) {
+      const core::TopicConfig& config = configs_.at(TopicId{t});
+      wire::Message entry;
+      entry.type = wire::MessageType::kStateSnapshot;
+      entry.publisher = ClientId{owner.value()};
+      entry.topic = TopicId{t};
+      entry.subscriber = ClientId{-1};
+      entry.config_regions = config.regions;
+      entry.config_mode = config.mode == core::DeliveryMode::kRouted
+                              ? wire::WireMode::kRouted
+                              : wire::WireMode::kDirect;
+      entry.seq = 1;
+      bus_->send(self_addr, dest, entry);
+    }
+    const net::CohortDirectory* dir = bus_->cohort_directory();
+    for (const TopicId topic : subs_.topics()) {
+      for (const Subscription& sub : subs_.subscriptions(topic)) {
+        wire::Message entry;
+        entry.type = wire::MessageType::kStateSnapshot;
+        entry.publisher = ClientId{owner.value()};
+        entry.topic = topic;
+        entry.subscriber = sub.subscriber;
+        entry.filter = sub.filter;
+        // On the cohort plane a table entry stands for a whole flock; the
+        // snapshot stream bills as the per-client expansion would.
+        entry.weight =
+            dir == nullptr ? 1 : dir->flock_weight(sub.subscriber.value());
+        entry.seq = 1;
+        bus_->send(self_addr, dest, entry);
+      }
+    }
+    send_marker(1, state_seq_);
+    return;
+  }
+
+  // Standby host streaming a replica back to its restored owner.
+  const auto it = replicas_.find(owner.value());
+  if (it == replicas_.end()) return;
+  const StandbyReplica& rep = it->second;
+  send_marker(0, rep.applied_seq);
+  for (const auto& [topic_value, entry] : rep.configs) {
+    bus_->send(self_addr, dest, entry);
+  }
+  for (const auto& [topic_value, entries] : rep.subscriptions) {
+    for (const wire::Message& entry : entries) {
+      bus_->send(self_addr, dest, entry);
+    }
+  }
+  send_marker(1, rep.applied_seq);
+}
+
+void Broker::request_state_resync(RegionId owner) {
+  wire::Message req;
+  req.type = wire::MessageType::kReplayRequest;
+  req.topic = TopicId{-1};  // state, not a topic ring
+  req.publisher = ClientId{self_.value()};
+  req.subscriber = ClientId{-1};
+  bus_->send(net::Address::region(self_), net::Address::region(owner), req);
+}
+
+void Broker::on_state_snapshot(const wire::Message& msg) {
+  if (msg.publisher.value() == self_.value()) {
+    // Our own state coming back from the standby after a crash.
+    if (!msg.topic.valid()) {
+      if (msg.seq == 1) state_seq_ = msg.delivery_seq;
+      return;
+    }
+    if (msg.subscriber.valid()) {
+      (void)subs_.subscribe(msg.topic, msg.subscriber, msg.filter);
+      // The controller must re-learn what this region serves.
+      membership_changed_.insert(msg.topic);
+    } else {
+      configs_[msg.topic] = config_from_entry(msg);  // no drain on restore
+    }
+    return;
+  }
+
+  // We are the standby host receiving the owner's stream.
+  StandbyReplica& rep = replicas_[msg.publisher.value()];
+  if (!msg.topic.valid()) {
+    if (msg.seq == 0) {
+      rep.configs.clear();
+      rep.subscriptions.clear();
+    } else {
+      rep.applied_seq = msg.delivery_seq;
+      rep.resync_pending = false;  // resync committed; gaps may re-request
+    }
+    return;
+  }
+  wire::Message entry = msg;
+  entry.type = wire::MessageType::kStateSnapshot;  // canonical stored shape
+  if (!entry.subscriber.valid()) {
+    rep.configs[entry.topic.value()] = entry;
+    return;
+  }
+  auto& list = rep.subscriptions[entry.topic.value()];
+  const auto match =
+      std::find_if(list.begin(), list.end(), [&](const wire::Message& e) {
+        return e.subscriber == entry.subscriber;
+      });
+  if (match != list.end()) {
+    *match = entry;
+  } else {
+    list.push_back(entry);
+  }
+}
+
+void Broker::on_state_delta(const wire::Message& msg) {
+  const RegionId owner{msg.publisher.value()};
+  StandbyReplica& rep = replicas_[owner.value()];
+  if (!msg.topic.valid() && !msg.subscriber.valid()) {
+    // Heartbeat restating the owner's state_seq: any divergence (dropped
+    // deltas, a crashed-and-restarted host) triggers a full resync. The
+    // heartbeat also re-arms the pending flag, so a snapshot lost in
+    // transit is re-requested once per sync interval, never per delta.
+    rep.resync_pending = false;
+    if (rep.applied_seq != msg.delivery_seq) {
+      request_state_resync(owner);
+      rep.resync_pending = true;
+    }
+    return;
+  }
+  if (msg.delivery_seq <= rep.applied_seq) return;  // stale duplicate
+  if (msg.delivery_seq != rep.applied_seq + 1) {
+    // Gap in the sequenced delta stream: one resync per gap episode, not
+    // one per delta that arrives while the snapshot is still in flight.
+    if (!rep.resync_pending) {
+      request_state_resync(owner);
+      rep.resync_pending = true;
+    }
+    return;
+  }
+  if (!msg.subscriber.valid()) {
+    wire::Message entry = msg;
+    entry.type = wire::MessageType::kStateSnapshot;
+    rep.configs[entry.topic.value()] = entry;
+  } else {
+    auto& list = rep.subscriptions[msg.topic.value()];
+    const auto match =
+        std::find_if(list.begin(), list.end(), [&](const wire::Message& e) {
+          return e.subscriber == msg.subscriber;
+        });
+    if ((msg.seq & 1) != 0) {  // add/upsert
+      wire::Message entry = msg;
+      entry.type = wire::MessageType::kStateSnapshot;
+      if (match != list.end()) {
+        *match = entry;
+      } else {
+        list.push_back(entry);
+      }
+    } else if (match != list.end()) {  // remove
+      list.erase(match);
+      if (list.empty()) rep.subscriptions.erase(msg.topic.value());
+    }
+  }
+  rep.applied_seq = msg.delivery_seq;
+}
+
+void Broker::crash() {
+  // A crash loses every piece of in-memory state; the counters survive —
+  // they are the experiment's observability, not broker state.
+  subs_.clear();
+  configs_.clear();
+  draining_.clear();
+  traffic_.clear();
+  membership_changed_.clear();
+  latency_reports_.clear();
+  rings_.clear();
+  seen_.clear();
+  peer_cursors_.clear();
+  replicas_.clear();
+  state_seq_ = 0;
+}
+
+void Broker::restore_peer(RegionId owner) {
+  if (!reliable_ || !state_sync_enabled_) return;
+  if (replicas_.find(owner.value()) == replicas_.end()) return;
+  stream_state_snapshot(owner, owner);
+}
+
+void Broker::sync_with_peers() {
+  if (!reliable_) return;
+  // Deterministic topic order (configs_ is a hash map).
+  std::vector<std::int32_t> topic_values;
+  topic_values.reserve(configs_.size());
+  for (const auto& [topic, config] : configs_) {
+    topic_values.push_back(topic.value());
+  }
+  std::sort(topic_values.begin(), topic_values.end());
+  for (const std::int32_t t : topic_values) {
+    const TopicId topic{t};
+    const core::TopicConfig& config = configs_.at(topic);
+    // Both modes sync: under direct delivery serving brokers hold parallel
+    // rings (one kPublish copy each), and a region that JOINS the serving
+    // set must backfill from its peers or re-homed subscribers would find
+    // an empty ring. The first pull pays a one-time ring backfill (billed
+    // like deliveries); afterwards the per-peer cursor keeps it incremental.
+    // Only serving regions hold subscribers to repair; a bystander pulling
+    // rings would replicate (and bill) traffic it has no use for.
+    if (!config.regions.contains(self_)) continue;
+    const geo::RegionSet peers = config.regions | draining_regions(topic);
+    for (const RegionId peer : peers) {
+      if (peer == self_) continue;
+      const auto it = peer_cursors_.find({peer.value(), t});
+      // Unknown cursor (first contact or post-crash): ask for everything
+      // the peer still retains.
+      const std::uint64_t from =
+          it == peer_cursors_.end() ? 1 : it->second.next();
+      wire::Message req;
+      req.type = wire::MessageType::kReplayRequest;
+      req.topic = topic;
+      req.publisher = ClientId{self_.value()};
+      req.subscriber = ClientId{-1};
+      req.delivery_seq = from;
+      bus_->send(net::Address::region(self_), net::Address::region(peer),
+                 req);
+    }
+  }
+  if (standby_.valid() && state_sync_enabled_) {
+    wire::Message hb;
+    hb.type = wire::MessageType::kStateDelta;
+    hb.publisher = ClientId{self_.value()};
+    hb.topic = TopicId{-1};
+    hb.subscriber = ClientId{-1};
+    hb.delivery_seq = state_seq_;
+    bus_->send(net::Address::region(self_), net::Address::region(standby_),
+               hb);
+  }
+}
 
 }  // namespace multipub::broker

@@ -7,10 +7,14 @@
 // traffic statistics the region manager reports to the controller.
 #pragma once
 
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "broker/replay_ring.h"
 #include "broker/subscription_table.h"
+#include "common/seq_tracker.h"
 #include "core/config.h"
 #include "net/bus.h"
 #include "wire/message.h"
@@ -109,13 +113,119 @@ class Broker {
   /// Deliveries suppressed by content filters since construction.
   [[nodiscard]] std::uint64_t filtered_count() const { return filtered_; }
 
+  // ---- Reliable delivery + Clone-pattern state replication (DESIGN.md §15)
+
+  /// Turns on the reliable-delivery mode: publications are stamped with
+  /// per-topic ring sequence numbers and retained for replay, forwards carry
+  /// the sender's ring position for broker-level gap detection, and every
+  /// subscription/config mutation is streamed to the standby as a sequenced
+  /// kStateDelta. Call before any traffic; off by default (the default plane
+  /// is bit-identical to the pre-reliable broker).
+  void set_reliable(bool on) { reliable_ = on; }
+  [[nodiscard]] bool reliable() const { return reliable_; }
+
+  /// Per-topic replay-ring capacity for rings created after the call.
+  void set_replay_capacity(std::size_t capacity) {
+    replay_capacity_ = capacity;
+  }
+
+  /// Negative chaos hook: a broker with replay disabled ignores every
+  /// kReplayRequest, so losses stay unrepaired (the zero-loss oracle must
+  /// catch this).
+  void set_replay_enabled(bool on) { replay_enabled_ = on; }
+  /// Negative chaos hook: stops the kStateSnapshot/kStateDelta stream to the
+  /// standby (the replication-lag oracle must catch this).
+  void set_state_sync_enabled(bool on) { state_sync_enabled_ = on; }
+
+  /// Designates the region hosting this broker's Clone-pattern standby and
+  /// streams it an initial full snapshot. RegionId::invalid() detaches.
+  void set_standby(RegionId standby);
+  [[nodiscard]] RegionId standby() const { return standby_; }
+
+  /// Monotone counter of subscription/config table mutations (the sequence
+  /// number of the kStateDelta stream). 0 until the first mutation.
+  [[nodiscard]] std::uint64_t state_seq() const { return state_seq_; }
+
+  /// state_seq the replica this broker hosts for `owner` has applied; 0 when
+  /// it hosts none.
+  [[nodiscard]] std::uint64_t replica_applied_seq(RegionId owner) const;
+
+  /// Simulated crash: every piece of in-memory state — subscriptions,
+  /// configs, drains, traffic, replay rings, dedup state, peer cursors,
+  /// state_seq, hosted replicas — is lost. The successor rebuilds tables
+  /// from the standby's snapshot and rings from its peers' replay.
+  void crash();
+
+  /// Recovery entry point, called on the STANDBY HOST after the primary
+  /// `owner` restarts: streams the hosted replica back to `owner` as a
+  /// kStateSnapshot stream. No-op without a replica for `owner`.
+  void restore_peer(RegionId owner);
+
+  /// Reliable sync pass, broker half: ask every peer in each routed topic's
+  /// serving set to replay forwards we may have missed, and heartbeat the
+  /// current state_seq to the standby so a diverged replica resyncs.
+  void sync_with_peers();
+
+  /// Ring head of `topic` — the number of distinct publications this broker
+  /// has accepted for it (ring numbering restarts only at crash(), after
+  /// which peer replay rebuilds the count).
+  [[nodiscard]] std::uint64_t unique_accepted(TopicId topic) const;
+
+  /// Publications this broker has accepted, per topic and publisher. The
+  /// chaos harness walks a crashing broker's set to find publications no
+  /// surviving broker holds (the zero-loss oracle's crash-loss exemption).
+  using PublicationsSeen = std::unordered_map<
+      TopicId,
+      std::unordered_map<ClientId, std::unordered_set<std::uint64_t>>>;
+  [[nodiscard]] const PublicationsSeen& seen_publications() const {
+    return seen_;
+  }
+  [[nodiscard]] bool has_accepted(TopicId topic, ClientId publisher,
+                                  std::uint64_t seq) const;
+
  private:
   void on_publish(const wire::Message& msg);
   void deliver_locally(const wire::Message& msg);
 
+  // Reliable-mode internals (DESIGN.md §15).
+  void on_reliable_arrival(const wire::Message& msg, bool from_replay);
+  void on_replay_request(const wire::Message& msg);
+  void on_state_snapshot(const wire::Message& msg);
+  void on_state_delta(const wire::Message& msg);
+  /// True when (publisher, seq) was not seen before on `topic` (and records
+  /// it).
+  bool first_sight(TopicId topic, ClientId publisher, std::uint64_t seq);
+  ReplayRing& ring(TopicId topic);
+  /// Emits one kStateDelta for a table mutation (no-op unless reliable with
+  /// a standby and sync enabled).
+  void emit_state_delta(wire::Message delta);
+  void bump_state_seq() { if (reliable_) ++state_seq_; }
+  /// Streams begin marker + config entries + subscription entries + end
+  /// marker describing `owner`'s state to region `to`. When owner == self_
+  /// the broker's own tables are streamed; otherwise the hosted replica.
+  void stream_state_snapshot(RegionId to, RegionId owner);
+  void request_state_resync(RegionId owner);
+
   struct Drain {
     geo::RegionSet regions;
     Millis until = 0.0;
+  };
+
+  /// Clone-pattern replica of a peer primary's broker state, held by this
+  /// broker as that peer's standby (DESIGN.md §15). Entries are stored as
+  /// the wire messages that described them, keyed for deterministic
+  /// re-streaming order.
+  struct StandbyReplica {
+    std::uint64_t applied_seq = 0;
+    /// A full resync is in flight: further gapped deltas must not each
+    /// re-request the whole snapshot (the resync-storm would scale with the
+    /// delta rate, not the failure rate). Re-armed by every heartbeat, so a
+    /// snapshot lost in transit is re-requested at the next sync interval.
+    bool resync_pending = false;
+    /// topic value -> config entry (kStateSnapshot/kStateDelta shape).
+    std::map<std::int32_t, wire::Message> configs;
+    /// topic value -> subscription entries in arrival order.
+    std::map<std::int32_t, std::vector<wire::Message>> subscriptions;
   };
 
   RegionId self_;
@@ -137,6 +247,33 @@ class Broker {
   std::uint64_t forwarded_ = 0;
   std::uint64_t drain_forwarded_ = 0;
   std::uint64_t filtered_ = 0;
+
+  // ---- Reliable-delivery state (all empty/inert when reliable_ is off).
+  bool reliable_ = false;
+  bool replay_enabled_ = true;
+  bool state_sync_enabled_ = true;
+  std::size_t replay_capacity_ = ReplayRing::kDefaultCapacity;
+  /// Per-topic bounded replay store; ring head is also the per-topic
+  /// delivery sequence stamp.
+  std::unordered_map<TopicId, ReplayRing> rings_;
+  /// Publications already accepted, per topic: publisher -> publication
+  /// seqs. Replayed/caught-up copies dedup against this before re-entering
+  /// the ring.
+  std::unordered_map<
+      TopicId,
+      std::unordered_map<ClientId, std::unordered_set<std::uint64_t>>>
+      seen_;
+  /// Cumulative-ack cursor over each peer's ring numbering, keyed by (peer
+  /// region value, topic value); absent = unknown (first contact or
+  /// post-crash), whose fresh cursor asks a sync pass to replay the peer's
+  /// whole retained ring. Cumulative so a lost replay batch is simply
+  /// re-requested by the next sync.
+  std::map<std::pair<std::int32_t, std::int32_t>, SeqTracker> peer_cursors_;
+  RegionId standby_ = RegionId::invalid();
+  std::uint64_t state_seq_ = 0;
+  /// Replicas this broker hosts for peer primaries, keyed by owner region
+  /// value.
+  std::map<std::int32_t, StandbyReplica> replicas_;
 };
 
 }  // namespace multipub::broker

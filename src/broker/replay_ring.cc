@@ -1,0 +1,38 @@
+#include "broker/replay_ring.h"
+
+#include "common/assert.h"
+
+namespace multipub::broker {
+
+ReplayRing::ReplayRing(std::size_t capacity) : capacity_(capacity) {
+  MP_EXPECTS(capacity > 0);
+}
+
+std::uint64_t ReplayRing::append(const wire::Message& msg) {
+  ++head_;
+  wire::Message stored = msg;
+  stored.delivery_seq = head_;
+  if (entries_.size() < capacity_) {
+    entries_.push_back(stored);
+  } else {
+    // Full: the slot of the evicted oldest entry becomes the newest.
+    entries_[start_] = stored;
+    start_ = (start_ + 1) % capacity_;
+  }
+  return head_;
+}
+
+const wire::Message* ReplayRing::find(std::uint64_t seq) const {
+  if (seq > head_ || seq < oldest_retained()) return nullptr;
+  const std::size_t offset =
+      static_cast<std::size_t>(seq - oldest_retained());
+  return &entries_[(start_ + offset) % entries_.size()];
+}
+
+void ReplayRing::clear() {
+  entries_.clear();
+  start_ = 0;
+  head_ = 0;
+}
+
+}  // namespace multipub::broker

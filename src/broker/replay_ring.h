@@ -1,0 +1,64 @@
+// Bounded per-topic replay ring (DESIGN.md §15).
+//
+// The reliable-delivery mode stamps every publication a broker accepts with
+// a per-topic, 1-based, strictly monotone ring sequence number and retains
+// the last `capacity` publications so gap-detecting subscribers (and peer
+// brokers catching up after an outage) can ask for them again. The ring is
+// the broker's only replay store: entries older than head - capacity + 1
+// are gone, and a request reaching below oldest_retained() is answered with
+// whatever suffix is still held — the documented loss bound of the
+// mechanism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "wire/message.h"
+
+namespace multipub::broker {
+
+class ReplayRing {
+ public:
+  /// `capacity` > 0: how many publications are retained per topic.
+  explicit ReplayRing(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Stores a copy of `msg` (a publication: kPublish/kForward/kReplayBatch
+  /// field shape) and returns its ring sequence number (1-based, strictly
+  /// monotone). Evicts the oldest entry when full.
+  std::uint64_t append(const wire::Message& msg);
+
+  /// Sequence number of the newest stored entry; 0 when nothing was ever
+  /// appended.
+  [[nodiscard]] std::uint64_t head() const { return head_; }
+
+  /// Sequence number of the oldest entry still held; head() + 1 when the
+  /// ring is empty (nothing retained).
+  [[nodiscard]] std::uint64_t oldest_retained() const {
+    return head_ - entries_.size() + 1;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// The entry with ring sequence `seq`, or nullptr when it was never
+  /// appended (seq > head) or already evicted (seq < oldest_retained).
+  /// The returned message carries `delivery_seq == seq`.
+  [[nodiscard]] const wire::Message* find(std::uint64_t seq) const;
+
+  /// Drops every entry and resets the numbering (a crashed broker's
+  /// successor starts a fresh ring and rebuilds it from its peers).
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t head_ = 0;
+  /// entries_[i] holds seq oldest_retained() + i; a vector-backed deque —
+  /// eviction slides the window by rotating the start index.
+  std::vector<wire::Message> entries_;
+  std::size_t start_ = 0;  ///< index of oldest_retained() inside entries_
+};
+
+}  // namespace multipub::broker

@@ -49,6 +49,10 @@ class SubscriptionTable {
   /// Topics that currently have at least one subscriber, ascending.
   [[nodiscard]] std::vector<TopicId> topics() const;
 
+  /// Drops every subscription (a crashed broker loses its table; the
+  /// Clone-pattern standby re-seeds it, DESIGN.md §15).
+  void clear() { table_.clear(); }
+
  private:
   std::unordered_map<TopicId, std::vector<Subscription>> table_;
 };

@@ -368,6 +368,12 @@ void CohortPool::attach(std::int32_t flock_id, RegionId region) {
   flock.attachment = region;
   send_control(flock_id, region, wire::MessageType::kSubscribe, weight,
                membership_seq);
+  // Every member's Subscriber would reset its gap tracking to the ring's
+  // origin on (re)attach; the flock does it once for all of them.
+  if (reliable_) {
+    flock.cursor.reset();
+    flock.cursor_override.clear();
+  }
 }
 
 void CohortPool::send_control(std::int32_t flock_id, RegionId to,
@@ -389,7 +395,10 @@ void CohortPool::send_control(std::int32_t flock_id, RegionId to,
 void CohortPool::handle(std::int32_t flock_id, const wire::Message& msg) {
   switch (msg.type) {
     case wire::MessageType::kDeliver:
-      on_deliver(flock_id, msg);
+      on_deliver(flock_id, msg, /*replayed=*/false);
+      break;
+    case wire::MessageType::kReplayBatch:
+      on_deliver(flock_id, msg, /*replayed=*/true);
       break;
     case wire::MessageType::kConfigUpdate: {
       const Flock& flock = flocks_[static_cast<std::size_t>(flock_id)];
@@ -406,9 +415,11 @@ void CohortPool::handle(std::int32_t flock_id, const wire::Message& msg) {
   }
 }
 
-void CohortPool::on_deliver(std::int32_t flock_id, const wire::Message& msg) {
+void CohortPool::on_deliver(std::int32_t flock_id, const wire::Message& msg,
+                            bool replayed) {
   Flock& flock = flocks_[static_cast<std::size_t>(flock_id)];
   Cohort& cohort = cohorts_[static_cast<std::size_t>(flock.cohort)];
+  if (reliable_) track_sequence(flock_id, msg, replayed);
   const Millis value = clock_->now() - msg.published_at;
   const SeenKey key{msg.topic.value(), msg.publisher.value(), msg.seq};
   SeenEntry& entry = cohort.seen[key];
@@ -416,6 +427,7 @@ void CohortPool::on_deliver(std::int32_t flock_id, const wire::Message& msg) {
     // Whole-flock delivery standing for msg.weight per-member copies.
     if (entry.all) {
       cohort.duplicates_w += msg.weight;
+      if (!dedup_enabled_) cohort.recorded_duplicates_w += msg.weight;
       return;
     }
     if (entry.members.empty()) {
@@ -436,6 +448,9 @@ void CohortPool::on_deliver(std::int32_t flock_id, const wire::Message& msg) {
       const auto fresh_count = static_cast<std::uint32_t>(fresh.size());
       if (msg.weight > fresh_count) {
         cohort.duplicates_w += msg.weight - fresh_count;
+        if (!dedup_enabled_) {
+          cohort.recorded_duplicates_w += msg.weight - fresh_count;
+        }
       }
       if (fresh_count > 0) {
         cohort.interval_deliveries_w += fresh_count;
@@ -455,12 +470,164 @@ void CohortPool::on_deliver(std::int32_t flock_id, const wire::Message& msg) {
       std::find(entry.members.begin(), entry.members.end(), member) !=
           entry.members.end()) {
     cohort.duplicates_w += 1;
+    if (!dedup_enabled_) cohort.recorded_duplicates_w += 1;
     return;
   }
   entry.members.push_back(member);
   cohort.arrivals.push_back({msg.topic, member, 1, value, {}});
   cohort.interval_deliveries_w += 1;
   cohort.total_deliveries_w += 1;
+}
+
+// ---- Reliable delivery (DESIGN.md §15)
+
+void CohortPool::request_replay(std::int32_t flock_id, std::uint64_t from,
+                                std::uint32_t weight, ClientId member) {
+  if (weight == 0) return;
+  const Flock& flock = flocks_[static_cast<std::size_t>(flock_id)];
+  if (!flock.attachment.valid()) return;
+  wire::Message req;
+  req.type = wire::MessageType::kReplayRequest;
+  req.topic = flock.topic;
+  req.subscriber = member;  // invalid = whole-flock weighted request
+  req.key = static_cast<std::uint64_t>(flock_id) + 1;  // flock handle
+  req.weight = weight;
+  req.delivery_seq = from;
+  bus_->send(net::Address::cohort(flock_id),
+             net::Address::region(flock.attachment), req);
+}
+
+void CohortPool::track_sequence(std::int32_t flock_id,
+                                const wire::Message& msg, bool replayed) {
+  Flock& flock = flocks_[static_cast<std::size_t>(flock_id)];
+  Cohort& cohort = cohorts_[static_cast<std::size_t>(flock.cohort)];
+  const std::uint64_t s = msg.delivery_seq;
+  if (!msg.subscriber.valid()) {
+    // Whole-flock copy: every member sees it (uniform replay requests are
+    // only ever emitted while the flock IS uniform, so a replayed batch too
+    // stands for everyone it was requested for).
+    if (flock.cursor_override.empty()) {
+      // Uniform: the members' identical gap requests compress into one
+      // weighted request.
+      const bool fresh_gap = !replayed && flock.cursor.opens_gap(s);
+      flock.cursor.record(s);
+      if (fresh_gap) {
+        request_replay(flock_id, flock.cursor.next(),
+                       static_cast<std::uint32_t>(cohort.members.size()),
+                       ClientId::invalid());
+      }
+    } else {
+      // Divergent positions: exactly the per-client plane's requests, in
+      // member order; every member still records the arrival. The shared
+      // decision is taken once (record() is idempotent, but the first
+      // record would hide the gap from the remaining shared members).
+      const bool shared_gap = !replayed && flock.cursor.opens_gap(s);
+      flock.cursor.record(s);
+      for (const ClientId member : cohort.members) {
+        const auto it = flock.cursor_override.find(member.value());
+        if (it == flock.cursor_override.end()) {
+          if (shared_gap) {
+            request_replay(flock_id, flock.cursor.next(), 1, member);
+          }
+          continue;
+        }
+        const bool fresh_gap = !replayed && it->second.opens_gap(s);
+        it->second.record(s);
+        if (fresh_gap) request_replay(flock_id, it->second.next(), 1, member);
+      }
+    }
+  } else {
+    // Fault-split weight-1 copy: only this member advances; everyone else's
+    // position is untouched (they never received it — just like the
+    // per-client plane). A member diverging for the first time starts from
+    // the shared cursor's position.
+    SeqTracker& cursor =
+        flock.cursor_override.try_emplace(msg.subscriber.value(), flock.cursor)
+            .first->second;
+    const bool fresh_gap = !replayed && cursor.opens_gap(s);
+    cursor.record(s);
+    if (fresh_gap) request_replay(flock_id, cursor.next(), 1, msg.subscriber);
+  }
+  // Collapse the overrides once every member is back at the same position.
+  if (!flock.cursor_override.empty()) {
+    bool uniform = true;
+    for (const auto& [member, cursor] : flock.cursor_override) {
+      if (!(cursor == flock.cursor)) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) flock.cursor_override.clear();
+  }
+}
+
+void CohortPool::reconnect(RegionId region) {
+  for (std::size_t fid = 0; fid < flocks_.size(); ++fid) {
+    if (flocks_[fid].attachment == region) {
+      attach(static_cast<std::int32_t>(fid), region);
+    }
+  }
+}
+
+void CohortPool::sync_replay() {
+  if (!reliable_) return;
+  for (std::size_t fid = 0; fid < flocks_.size(); ++fid) {
+    const Flock& flock = flocks_[fid];
+    if (!flock.attachment.valid()) continue;
+    const Cohort& cohort = cohorts_[static_cast<std::size_t>(flock.cohort)];
+    if (cohort.members.empty()) continue;
+    const auto id = static_cast<std::int32_t>(fid);
+    if (flock.cursor_override.empty()) {
+      request_replay(id, flock.cursor.next(),
+                     static_cast<std::uint32_t>(cohort.members.size()),
+                     ClientId::invalid());
+    } else {
+      for (const ClientId member : cohort.members) {
+        const auto it = flock.cursor_override.find(member.value());
+        const std::uint64_t from = it == flock.cursor_override.end()
+                                       ? flock.cursor.next()
+                                       : it->second.next();
+        request_replay(id, from, 1, member);
+      }
+    }
+  }
+}
+
+std::uint64_t CohortPool::recorded_duplicate_weight() const {
+  std::uint64_t total = 0;
+  for (const Cohort& cohort : cohorts_) total += cohort.recorded_duplicates_w;
+  return total;
+}
+
+TopicId CohortPool::flock_topic(std::int32_t flock) const {
+  return flocks_[static_cast<std::size_t>(flock)].topic;
+}
+
+bool CohortPool::flock_matches_all(std::int32_t flock) const {
+  return flocks_[static_cast<std::size_t>(flock)].filter.match_all();
+}
+
+std::uint64_t CohortPool::flock_complete_count(std::int32_t flock_id) const {
+  const Flock& flock = flocks_[static_cast<std::size_t>(flock_id)];
+  const Cohort& cohort = cohorts_[static_cast<std::size_t>(flock.cohort)];
+  std::uint64_t count = 0;
+  for (const auto& [key, entry] : cohort.seen) {
+    if (key.topic != flock.topic.value()) continue;
+    if (entry.all) {
+      ++count;
+      continue;
+    }
+    bool covers = true;
+    for (const ClientId member : cohort.members) {
+      if (std::find(entry.members.begin(), entry.members.end(), member) ==
+          entry.members.end()) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) ++count;
+  }
+  return count;
 }
 
 }  // namespace multipub::client

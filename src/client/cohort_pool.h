@@ -29,6 +29,7 @@
 
 #include "client/client_registry.h"
 #include "client/topic_set_pool.h"
+#include "common/seq_tracker.h"
 #include "core/config.h"
 #include "net/bus.h"
 #include "net/cohort_directory.h"
@@ -113,6 +114,41 @@ class CohortPool final : public net::CohortDirectory {
   /// Weighted deliveries recorded over the pool's lifetime.
   [[nodiscard]] std::uint64_t total_delivery_weight() const;
 
+  // ---- Reliable delivery (DESIGN.md §15), mirroring Subscriber exactly.
+
+  /// Turns on gap detection + replay. A uniform flock (every member expects
+  /// the same next sequence) compresses the members' identical gap requests
+  /// into one weighted kReplayRequest; after a fault split leaves members at
+  /// different positions the pool falls back to per-member weight-1
+  /// requests — byte-for-byte what the per-client plane sends.
+  void set_reliable(bool on) { reliable_ = on; }
+  [[nodiscard]] bool reliable() const { return reliable_; }
+
+  /// Negative chaos hook, cohort twin of Subscriber::set_dedup_enabled.
+  void set_dedup_enabled(bool on) { dedup_enabled_ = on; }
+
+  /// Weighted duplicates recorded because dedup was disabled (always 0 with
+  /// the filter on).
+  [[nodiscard]] std::uint64_t recorded_duplicate_weight() const;
+
+  /// Reliable sync pass, cohort half: every attached flock re-requests
+  /// replay from its expected next sequence (weighted when uniform,
+  /// per-member otherwise).
+  void sync_replay();
+
+  /// Reconnect-and-replay after a broker outage, cohort twin of
+  /// Subscriber::reconnect: every flock attached to `region` re-sends its
+  /// weighted kSubscribe and resets gap tracking.
+  void reconnect(RegionId region);
+
+  [[nodiscard]] TopicId flock_topic(std::int32_t flock) const;
+  /// True when the flock subscribes with a match-all content filter.
+  [[nodiscard]] bool flock_matches_all(std::int32_t flock) const;
+  /// Distinct publications on the flock's topic that EVERY current member
+  /// has received — the cohort-plane quantity the zero-loss oracle compares
+  /// against the broker-accepted count.
+  [[nodiscard]] std::uint64_t flock_complete_count(std::int32_t flock) const;
+
   // CohortDirectory — the transport/broker view.
   [[nodiscard]] std::uint32_t flock_weight(std::int32_t flock) const override;
   [[nodiscard]] std::span<const ClientId> flock_members(
@@ -166,6 +202,14 @@ class CohortPool final : public net::CohortDirectory {
     /// kSubscribe membership-marking seq is derived.
     geo::RegionSet presence;
     wire::KeyFilter filter;
+    /// Reliable mode: cumulative-ack cursor over the broker's ring
+    /// numbering, shared by every member without an override (reset on
+    /// every attach, like Subscriber's).
+    SeqTracker cursor;
+    /// Members whose position diverged from the shared cursor (fault-split
+    /// deliveries land on single members); keyed by ClientId value, dropped
+    /// as soon as the flock is uniform again.
+    std::unordered_map<std::int32_t, SeqTracker> cursor_override;
   };
 
   struct Cohort {
@@ -183,6 +227,9 @@ class CohortPool final : public net::CohortDirectory {
     std::uint64_t duplicates_w = 0;
     std::uint64_t interval_deliveries_w = 0;
     std::uint64_t total_deliveries_w = 0;
+    /// Weighted duplicates recorded because dedup was disabled (negative
+    /// chaos hook; always 0 otherwise).
+    std::uint64_t recorded_duplicates_w = 0;
   };
 
   struct CohortKeyHash {
@@ -226,7 +273,16 @@ class CohortPool final : public net::CohortDirectory {
                     wire::MessageType type, std::uint32_t weight,
                     std::uint64_t membership_seq);
   void handle(std::int32_t flock_id, const wire::Message& msg);
-  void on_deliver(std::int32_t flock_id, const wire::Message& msg);
+  void on_deliver(std::int32_t flock_id, const wire::Message& msg,
+                  bool replayed);
+  /// Sends one kReplayRequest for the flock: `member` invalid = a weighted
+  /// request standing for `weight` members at the same position; valid = a
+  /// weight-1 request for that member alone.
+  void request_replay(std::int32_t flock_id, std::uint64_t from,
+                      std::uint32_t weight, ClientId member);
+  /// Reliable gap/advance bookkeeping shared by kDeliver and kReplayBatch.
+  void track_sequence(std::int32_t flock_id, const wire::Message& msg,
+                      bool replayed);
 
   ClientRegistry* registry_;
   TopicSetPool* topic_sets_;
@@ -237,6 +293,8 @@ class CohortPool final : public net::CohortDirectory {
   std::unordered_map<std::uint64_t, std::int32_t, CohortKeyHash> by_key_;
   Millis handover_grace_ms_ = 1000.0;
   bool frozen_ = false;
+  bool reliable_ = false;
+  bool dedup_enabled_ = true;
 };
 
 }  // namespace multipub::client

@@ -82,26 +82,90 @@ void Subscriber::attach(TopicId topic, RegionId region) {
   bus_->send(net::Address::client(id_), net::Address::region(region),
                    sub);
   attachments_[topic] = region;
+  // Every (re)attach restarts gap tracking at the ring's origin: the broker
+  // we now face may be a crashed-and-rebuilt one with fresh numbering, and
+  // starting at 1 means even a loss of the very first delivery is detected.
+  if (reliable_) cursors_[topic].reset();
+}
+
+std::uint64_t Subscriber::unique_count(TopicId topic) const {
+  const auto it = seen_.find(topic);
+  if (it == seen_.end()) return 0;
+  std::uint64_t count = 0;
+  for (const auto& [publisher, seqs] : it->second) count += seqs.size();
+  return count;
+}
+
+bool Subscriber::matches_all(TopicId topic) const {
+  const auto it = filters_.find(topic);
+  return it != filters_.end() && it->second.match_all();
+}
+
+void Subscriber::request_replay(TopicId topic, std::uint64_t from) {
+  const auto it = attachments_.find(topic);
+  if (it == attachments_.end()) return;
+  wire::Message req;
+  req.type = wire::MessageType::kReplayRequest;
+  req.topic = topic;
+  req.subscriber = id_;
+  req.delivery_seq = from;
+  bus_->send(net::Address::client(id_), net::Address::region(it->second),
+             req);
+  ++replay_requests_;
+}
+
+void Subscriber::reconnect(RegionId region) {
+  for (const auto& [topic, attached] : attachments_) {
+    // Same-region re-attach: an idempotent kSubscribe upsert on the broker
+    // (which may have just been rebuilt empty) plus a next_seq reset here.
+    if (attached == region) attach(topic, region);
+  }
+}
+
+void Subscriber::sync_replay() {
+  if (!reliable_) return;
+  for (const auto& [topic, region] : attachments_) {
+    request_replay(topic, cursors_[topic].next());
+  }
+}
+
+void Subscriber::on_publication(const wire::Message& msg, bool replayed) {
+  if (reliable_) {
+    SeqTracker& cursor = cursors_[msg.topic];
+    // One request per NEW gap; a stalled gap (its replay batch was itself
+    // lost) is re-requested by the periodic sync pass from cursor.next(),
+    // which — being cumulative — still names the oldest missing entry.
+    // Replayed copies never trigger requests (a truncated ring would loop).
+    const bool fresh_gap = !replayed && cursor.opens_gap(msg.delivery_seq);
+    cursor.record(msg.delivery_seq);
+    if (fresh_gap) request_replay(msg.topic, cursor.next());
+  }
+  // Handover overlap (and replay) can deliver the same publication twice;
+  // the (topic, publisher, seq) identity — never the broker's ring stamp —
+  // decides what counts, so a rebuilt broker's fresh numbering cannot turn
+  // old publications into new ones.
+  if (!seen_[msg.topic][msg.publisher].insert(msg.seq).second) {
+    ++duplicates_;
+    if (dedup_enabled_) return;
+    ++recorded_duplicates_;  // negative hook: let the oracle see it
+  }
+  DeliveryRecord record;
+  record.topic = msg.topic;
+  record.publisher = msg.publisher;
+  record.seq = msg.seq;
+  record.delivery_time = clock_->now() - msg.published_at;
+  deliveries_.push_back(record);
 }
 
 void Subscriber::handle(const wire::Message& msg) {
   if (prober_.on_message(msg)) return;
   switch (msg.type) {
-    case wire::MessageType::kDeliver: {
-      // Handover overlap can deliver the same publication from two regions;
-      // keep the first copy only.
-      if (!seen_[msg.topic][msg.publisher].insert(msg.seq).second) {
-        ++duplicates_;
-        break;
-      }
-      DeliveryRecord record;
-      record.topic = msg.topic;
-      record.publisher = msg.publisher;
-      record.seq = msg.seq;
-      record.delivery_time = clock_->now() - msg.published_at;
-      deliveries_.push_back(record);
+    case wire::MessageType::kDeliver:
+      on_publication(msg, /*replayed=*/false);
       break;
-    }
+    case wire::MessageType::kReplayBatch:
+      on_publication(msg, /*replayed=*/true);
+      break;
     case wire::MessageType::kConfigUpdate: {
       // Only react if we are subscribed to the topic.
       if (attachments_.find(msg.topic) == attachments_.end()) break;

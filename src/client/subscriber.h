@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "client/probing.h"
+#include "common/seq_tracker.h"
 #include "core/config.h"
 #include "geo/latency.h"
 #include "net/bus.h"
@@ -77,9 +78,56 @@ class Subscriber {
   void probe_latencies(geo::RegionSet regions) { prober_.probe(regions); }
   [[nodiscard]] const LatencyProber& prober() const { return prober_; }
 
+  // ---- Reliable delivery (DESIGN.md §15)
+
+  /// Turns on gap detection + replay: deliveries carry the broker's
+  /// per-topic ring sequence in delivery_seq; a jump past the expected next
+  /// value sends a kReplayRequest for the missing range. Off by default
+  /// (the default plane is bit-identical to the pre-reliable client).
+  void set_reliable(bool on) { reliable_ = on; }
+  [[nodiscard]] bool reliable() const { return reliable_; }
+
+  /// Negative chaos hook: with dedup disabled, duplicate publications are
+  /// RECORDED instead of absorbed — the no-duplicate oracle must catch this.
+  void set_dedup_enabled(bool on) { dedup_enabled_ = on; }
+
+  /// Duplicates that made it into deliveries() because dedup was disabled
+  /// (always 0 with the filter on).
+  [[nodiscard]] std::uint64_t recorded_duplicate_count() const {
+    return recorded_duplicates_;
+  }
+
+  /// kReplayRequests sent (gap detections + sync passes).
+  [[nodiscard]] std::uint64_t replay_request_count() const {
+    return replay_requests_;
+  }
+
+  /// Distinct publications received on `topic` (dedup'd across replays and
+  /// handover overlap) — the zero-loss oracle compares this against the
+  /// broker-accepted count.
+  [[nodiscard]] std::uint64_t unique_count(TopicId topic) const;
+
+  /// True when the topic is subscribed with a match-all content filter (the
+  /// zero-loss oracle only binds such subscribers — filtered ones
+  /// legitimately receive less).
+  [[nodiscard]] bool matches_all(TopicId topic) const;
+
+  /// Reliable sync pass, client half: re-request replay from the expected
+  /// next sequence on every attachment, repairing tail losses that no later
+  /// delivery's gap would reveal.
+  void sync_replay();
+
+  /// Reconnect-and-replay after a broker outage: re-sends the kSubscribe for
+  /// every topic attached to `region` and (in reliable mode) resets their
+  /// gap tracking, so the next sync pass replays the rebuilt broker's whole
+  /// retained ring through the dedup filter.
+  void reconnect(RegionId region);
+
  private:
   void handle(const wire::Message& msg);
   void attach(TopicId topic, RegionId region);
+  void on_publication(const wire::Message& msg, bool replayed);
+  void request_replay(TopicId topic, std::uint64_t from);
 
   ClientId id_;
   net::Clock* clock_;
@@ -97,6 +145,18 @@ class Subscriber {
   Millis handover_grace_ms_ = 1000.0;
   std::uint64_t reconnects_ = 0;
   std::uint64_t duplicates_ = 0;
+
+  // ---- Reliable-delivery state (inert when reliable_ is off).
+  bool reliable_ = false;
+  bool dedup_enabled_ = true;
+  /// Cumulative-ack cursor over the broker's ring numbering per topic;
+  /// reset on every attach — a reconnect (possibly to a
+  /// crashed-and-rebuilt broker) restarts gap tracking and the next sync
+  /// pass replays the ring suffix. Cumulative (never skipping a hole) so a
+  /// lost replay batch is simply re-requested by a later sync.
+  std::unordered_map<TopicId, SeqTracker> cursors_;
+  std::uint64_t recorded_duplicates_ = 0;
+  std::uint64_t replay_requests_ = 0;
 };
 
 }  // namespace multipub::client

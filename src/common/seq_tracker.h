@@ -1,0 +1,69 @@
+// Cumulative-ack cursor over a dense 1-based sequence stream.
+//
+// Reliable delivery (DESIGN.md §15) numbers every broker ring entry 1, 2,
+// 3, ... and receivers must be able to say "replay everything from X" such
+// that repeated requests eventually heal ANY loss pattern — including the
+// loss of a replay batch itself. A high-water cursor cannot: once it
+// advances past a gap, the missing entries are never asked for again. This
+// tracker advances `next` only contiguously (TCP-style cumulative ack) and
+// parks out-of-order receipts in a small ordered set until the hole fills,
+// so `next` always names the oldest entry still missing.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+namespace multipub {
+
+class SeqTracker {
+ public:
+  /// Records receipt of sequence `s`. Idempotent; `s == 0` (an unstamped
+  /// message) is ignored.
+  void record(std::uint64_t s) {
+    if (s < next_) return;
+    if (s == next_) {
+      ++next_;
+      while (!pending_.empty() && *pending_.begin() == next_) {
+        pending_.erase(pending_.begin());
+        ++next_;
+      }
+    } else {
+      pending_.insert(s);
+    }
+    if (s > high_) high_ = s;
+  }
+
+  /// True when `s` would open a NEW gap: it lands beyond everything seen so
+  /// far AND beyond the contiguous point. The caller fires one replay
+  /// request per new gap; re-requests for a stalled gap are the periodic
+  /// sync pass's job, not the per-delivery path's.
+  [[nodiscard]] bool opens_gap(std::uint64_t s) const {
+    return s > high_ + 1 && s > next_;
+  }
+
+  /// Oldest sequence not yet received — the `from` of a replay request.
+  [[nodiscard]] std::uint64_t next() const { return next_; }
+  /// Highest sequence received (0 = nothing yet).
+  [[nodiscard]] std::uint64_t high() const { return high_; }
+  /// True when everything in [1, high] arrived.
+  [[nodiscard]] bool contiguous() const { return next_ == high_ + 1; }
+
+  /// Back to the stream origin (a (re)attach faces fresh ring numbering).
+  void reset() {
+    next_ = 1;
+    high_ = 0;
+    pending_.clear();
+  }
+
+  friend bool operator==(const SeqTracker& a, const SeqTracker& b) {
+    return a.next_ == b.next_ && a.high_ == b.high_ &&
+           a.pending_ == b.pending_;
+  }
+
+ private:
+  std::uint64_t next_ = 1;
+  std::uint64_t high_ = 0;
+  std::set<std::uint64_t> pending_;
+};
+
+}  // namespace multipub

@@ -34,6 +34,16 @@ namespace {
 /// a seed still produce unrelated per-link streams.
 constexpr std::uint64_t kCoinDomain = 0xc01fc01fc01fc01fULL;
 
+/// The payload-carrying kinds the reliable mode's fault semantics still
+/// drops; everything else is control traffic the protocol would retry until
+/// acknowledged (DESIGN.md §15).
+[[nodiscard]] bool is_data_kind(wire::MessageType type) {
+  return type == wire::MessageType::kPublish ||
+         type == wire::MessageType::kForward ||
+         type == wire::MessageType::kDeliver ||
+         type == wire::MessageType::kReplayBatch;
+}
+
 }  // namespace
 
 Dollars CostLedger::total_cost(const geo::RegionCatalog& catalog) const {
@@ -276,6 +286,15 @@ Rng& SimTransport::coin_stream(ShardLane& lane, Address from, Address to) {
   return it->second;
 }
 
+std::uint64_t SimTransport::publish_drop_count(TopicId topic) const {
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) {
+    const auto it = lane->publish_drops.find(topic.value());
+    if (it != lane->publish_drops.end()) total += it->second;
+  }
+  return total;
+}
+
 const CostLedger& SimTransport::ledger() const {
   for (std::size_t r = 0; r < bills_.size(); ++r) {
     ledger_.inter_region_bytes[r] = bills_[r].inter_region;
@@ -344,12 +363,18 @@ void SimTransport::deliver(const DeliveryEvent& event) {
       region_down(event.to.as_region())) {
     dropped_.add(shard, weight);
     dropped_dead_arrival_.add(shard, weight);
+    if (event.msg.type == wire::MessageType::kPublish) {
+      lane(shard).publish_drops[event.msg.topic.value()] += weight;
+    }
     return;
   }
   const Handler* handler = find_handler(event.to);
   if (handler == nullptr) {
     dropped_.add(shard, weight);
     dropped_unregistered_.add(shard, weight);
+    if (event.msg.type == wire::MessageType::kPublish) {
+      lane(shard).publish_drops[event.msg.topic.value()] += weight;
+    }
     return;
   }
   delivered_.add(shard, weight);
@@ -382,6 +407,9 @@ void SimTransport::send(Address from, Address to, wire::Message msg) {
   if (to.kind == Address::Kind::kRegion && region_down(to.as_region())) {
     sent_.add(shard, weight);
     dropped_.add(shard, weight);
+    if (msg.type == wire::MessageType::kPublish) {
+      lane(shard).publish_drops[msg.topic.value()] += weight;
+    }
     return;
   }
 
@@ -394,7 +422,8 @@ void SimTransport::send(Address from, Address to, wire::Message msg) {
   // plane — the link's position never forks across lanes.
   ShardLane& sender_lane = lane(sim_->owner_shard(from));
   FaultPlan::Outcome fault;
-  if (fault_plan_ != nullptr) {
+  if (fault_plan_ != nullptr &&
+      (!reliable_control_ || is_data_kind(msg.type))) {
     if (from.kind == Address::Kind::kCohort) {
       // A weighted control send stands for `weight` client-originated
       // sends, each of which would draw from its own per-client link
@@ -412,6 +441,9 @@ void SimTransport::send(Address from, Address to, wire::Message msg) {
         sent_.add(shard, weight);
         dropped_.add(shard, weight);
         dropped_faulted_.add(shard, weight);
+        if (msg.type == wire::MessageType::kPublish) {
+          lane(shard).publish_drops[msg.topic.value()] += weight;
+        }
         return;
       }
     }
@@ -446,12 +478,18 @@ void SimTransport::send(Address from, Address to, wire::Message msg) {
     if (to.kind == Address::Kind::kRegion && region_down(to.as_region())) {
       dropped_.add(arrival_shard, msg.weight);
       dropped_dead_arrival_.add(arrival_shard, msg.weight);
+      if (msg.type == wire::MessageType::kPublish) {
+        lane(arrival_shard).publish_drops[msg.topic.value()] += msg.weight;
+      }
       return;
     }
     const auto it = handlers_.find(to);
     if (it == handlers_.end()) {
       dropped_.add(arrival_shard, msg.weight);
       dropped_unregistered_.add(arrival_shard, msg.weight);
+      if (msg.type == wire::MessageType::kPublish) {
+        lane(arrival_shard).publish_drops[msg.topic.value()] += msg.weight;
+      }
       return;
     }
     delivered_.add(arrival_shard, msg.weight);
@@ -475,7 +513,35 @@ void SimTransport::send_cohort(Address from, Address to,
   RegionBill& bill = bills_[from.as_region().index()];
   const Bytes billable = msg.billable_bytes();
 
+  if (msg.type == wire::MessageType::kReplayBatch && msg.subscriber.valid()) {
+    // Member-addressed replay: one member asked, one member is served —
+    // exactly the single send() the per-client plane performs, drawing the
+    // member's own region->client coin.
+    const Address member_addr = Address::client(msg.subscriber);
+    FaultPlan::Outcome fault;
+    if (fault_plan_ != nullptr) {  // kReplayBatch is a data kind
+      ShardLane& sender_lane = lane(sim_->owner_shard(from));
+      fault = fault_plan_->apply(from, member_addr, sim_->now(),
+                                 coin_stream(sender_lane, from, member_addr));
+      if (fault.dropped) {
+        sent_.add(shard);
+        dropped_.add(shard);
+        dropped_faulted_.add(shard);
+        return;
+      }
+    }
+    bill.internet += billable;
+    bill.topic_internet[msg.topic] += billable;
+    const Millis delay = base * fault.delay_factor + fault.delay_extra_ms;
+    sent_.add(shard);
+    wire::Message copy = msg;
+    copy.weight = 1;
+    sim_->schedule_delivery_after(delay, *this, from, to, copy);
+    return;
+  }
+
   if (fault_plan_ != nullptr &&
+      (!reliable_control_ || is_data_kind(msg.type)) &&
       fault_plan_->may_affect_client_deliveries(from, sim_->now())) {
     // Exact per-member replay: each member's drop coin comes from its own
     // region->client link stream — the very streams the per-client plane
@@ -591,7 +657,8 @@ void SimTransport::send_batch(Address from, std::span<const Address> targets,
     // billing, one apply() per target — so fault-coin and jitter draws line
     // up exactly with the per-target reference loop.
     FaultPlan::Outcome fault;
-    if (fault_plan_ != nullptr) {
+    if (fault_plan_ != nullptr &&
+        (!reliable_control_ || is_data_kind(stamped_type))) {
       fault = fault_plan_->apply(from, to, sim_->now(),
                                  coin_stream(sender_lane, from, to));
       if (fault.dropped) {

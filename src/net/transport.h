@@ -136,6 +136,24 @@ class SimTransport final : public Bus, public DeliverySink {
   void set_fast_path(bool on);
   [[nodiscard]] bool fast_path() const { return fast_path_; }
 
+  /// Reliable-mode fault semantics (DESIGN.md §15): when on, the installed
+  /// FaultPlan only applies to DATA messages (kPublish/kForward/kDeliver/
+  /// kReplayBatch) — control traffic (subscriptions, config updates, replay
+  /// requests, state sync) passes untouched and draws no coins. The
+  /// reliable protocol treats its control channel as retried-until-acked,
+  /// and exempting it keeps the per-link coin streams advancing identically
+  /// in the per-client and cohort planes (the kConfigUpdate-under-drop
+  /// divergence fix). Off by default: every message is faultable, exactly
+  /// the pre-reliable behaviour.
+  void set_reliable_control(bool on) { reliable_control_ = on; }
+  [[nodiscard]] bool reliable_control() const { return reliable_control_; }
+
+  /// kPublish messages of `topic` lost in transit (dead destination, fault
+  /// drop, dead arrival, unregistered handler). A publication dropped here
+  /// reached NO broker, so no replay can repair it — the zero-loss oracle's
+  /// exempt class.
+  [[nodiscard]] std::uint64_t publish_drop_count(TopicId topic) const;
+
   /// Typed delivery dispatch (DeliverySink); called by the simulator.
   void deliver(const DeliveryEvent& event) override;
 
@@ -261,6 +279,9 @@ class SimTransport final : public Bus, public DeliverySink {
     /// per-link sequence independent of global interleaving.
     std::unordered_map<std::uint64_t, Rng> jitter_streams;
     std::unordered_map<std::uint64_t, Rng> coin_streams;
+    /// kPublish losses by topic value (shard-local; summed by
+    /// publish_drop_count on the main thread between windows).
+    std::unordered_map<std::int32_t, std::uint64_t> publish_drops;
   };
   [[nodiscard]] ShardLane& lane(std::size_t index) { return *lanes_[index]; }
   /// The link's jitter draw applied to `delay` (pre: jitter enabled).
@@ -317,6 +338,7 @@ class SimTransport final : public Bus, public DeliverySink {
   ShardedCounter dropped_dead_arrival_;
   ShardedCounter dropped_faulted_;
   bool fast_path_ = true;
+  bool reliable_control_ = false;
 };
 
 }  // namespace multipub::net

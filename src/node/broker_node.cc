@@ -46,6 +46,7 @@ bool BrokerNode::start() {
   // handler so lifecycle traffic is consumed here.
   manager_ = std::make_unique<broker::RegionManager>(self_, transport_,
                                                      transport_);
+  if (options_.reliable) manager_->broker().set_reliable(true);
   transport_.register_handler(net::Address::region(self_),
                               [this](const wire::Message& msg) {
                                 handle(msg);
@@ -65,6 +66,7 @@ bool BrokerNode::start() {
     }
     subscribers_.push_back(std::make_unique<client::Subscriber>(
         sub.client, transport_, transport_, scenario_->population.latencies));
+    if (options_.reliable) subscribers_.back()->set_reliable(true);
   }
 
   wire::Message hello;

@@ -33,6 +33,12 @@ struct BrokerNodeOptions {
   std::uint16_t controller_port = 0;
   std::string metrics_path;       ///< empty = no metrics file
   double time_scale = 1.0;        ///< >1 compresses the traffic interval
+  /// Arms the in-process reliability layer (DESIGN.md §15): the broker
+  /// stamps delivery sequences and serves replay, this node's subscribers
+  /// detect gaps and re-request. Cross-process standby replication is not
+  /// wired here — a deployment's peers are independent OS processes, and
+  /// the controller does not (yet) assign standbys over TCP.
+  bool reliable = false;
 };
 
 class BrokerNode {

@@ -145,6 +145,50 @@ std::vector<OracleViolation> check_invariants(const RoundObservation& obs) {
                 " ms exceeds bound " + std::to_string(obs.max_t) + " ms");
   }
 
+  // (f) No-duplicate (reliable mode, every round): replay and handover
+  // overlap legitimately re-send publications, but the identity dedup layer
+  // must absorb every extra copy before the application sees it.
+  if (obs.reliable && obs.recorded_duplicates != 0) {
+    violate("no-duplicate",
+            std::to_string(obs.recorded_duplicates) +
+                " duplicate publication(s) reached an application");
+  }
+
+  // (g) Zero-message-loss (reliable mode, clean rounds): after a fault-free
+  // sync pass every match-all audience member must hold every publication,
+  // save the two disjoint unrepairable classes — copies dropped before any
+  // broker accepted them (publish drops) and publications that died inside
+  // a crashed broker before reaching a surviving one. >= rather than ==:
+  // a subscriber may legitimately hold a crash-lost publication it received
+  // before the crash.
+  if (obs.reliable && obs.check_zero_loss && obs.have_audience) {
+    const std::uint64_t exempt = obs.publish_drops + obs.crash_lost;
+    const std::uint64_t floor =
+        obs.published > exempt ? obs.published - exempt : 0;
+    if (obs.min_unique < floor) {
+      violate("zero-message-loss",
+              "audience member holds " + std::to_string(obs.min_unique) +
+                  " unique publication(s) < " + std::to_string(floor) +
+                  " required (published " + std::to_string(obs.published) +
+                  " - publish-drops " + std::to_string(obs.publish_drops) +
+                  " - crash-lost " + std::to_string(obs.crash_lost) + ")");
+    }
+  }
+
+  // (h) Bounded-replication-lag (reliable mode, clean rounds after the
+  // heartbeat sync): a standby whose applied delta sequence trails its
+  // primary's would hand a stale table to the successor.
+  if (obs.reliable && obs.check_replication) {
+    for (const auto& lag : obs.replication) {
+      if (lag.applied_seq != lag.state_seq) {
+        violate("bounded-replication-lag",
+                "standby of R" + std::to_string(lag.primary.value() + 1) +
+                    " applied seq " + std::to_string(lag.applied_seq) +
+                    " != primary state seq " + std::to_string(lag.state_seq));
+      }
+    }
+  }
+
   return out;
 }
 
@@ -286,6 +330,23 @@ ChaosRunner::Execution ChaosRunner::execute(const FaultSchedule& schedule,
   if (options_.break_outage_exclusion) {
     live.controller().set_outage_exclusion_enabled(false);
   }
+  if (options_.reliable) {
+    live.set_reliable(true);
+    for (const auto& region : catalog.all()) {
+      auto& broker = live.region_manager(region.id).broker();
+      if (options_.break_replay) broker.set_replay_enabled(false);
+      if (options_.break_state_sync) broker.set_state_sync_enabled(false);
+    }
+    if (options_.break_dedup) {
+      if (auto* pool = live.cohort_pool()) {
+        pool->set_dedup_enabled(false);
+      } else {
+        for (const auto& sub : live.subscribers()) {
+          sub->set_dedup_enabled(false);
+        }
+      }
+    }
+  }
 
   Rng traffic_rng(seed + 1);
   core::TopicConfig current{universe, core::DeliveryMode::kRouted};
@@ -293,6 +354,7 @@ ChaosRunner::Execution ChaosRunner::execute(const FaultSchedule& schedule,
 
   int clean_streak = 0;
   bool prev_constraint_met = false;
+  std::uint64_t published_total = 0;
 
   for (int round = 0; round < rounds; ++round) {
     // (1) Fault boundaries. The harness is also the health monitor: it
@@ -302,7 +364,11 @@ ChaosRunner::Execution ChaosRunner::execute(const FaultSchedule& schedule,
     const geo::RegionSet down = down_regions_in_round(schedule, round, catalog);
     for (const auto& region : catalog.all()) {
       const bool is_down = down.contains(region.id);
-      live.transport().set_region_down(region.id, is_down);
+      // Through the system, not the raw transport: in reliable mode a
+      // down-transition crashes the broker and an up-transition restores it
+      // from the standby and reconnects its subscribers. Without reliable
+      // mode this is exactly the transport flag.
+      live.set_region_down(region.id, is_down);
       live.controller().set_region_available(region.id, !is_down);
     }
     plan.clear();
@@ -354,6 +420,7 @@ ChaosRunner::Execution ChaosRunner::execute(const FaultSchedule& schedule,
                           options_.rate_hz, traffic_rng);
     exec.publications += run.publications;
     exec.deliveries += run.deliveries;
+    published_total += run.publications;
 
     const bool serving_constraint_met = prev_constraint_met;
     if (!options_.freeze_control_plane) {
@@ -368,6 +435,13 @@ ChaosRunner::Execution ChaosRunner::execute(const FaultSchedule& schedule,
     // (5) Observe and check.
     const bool fault_active = any_fault_covers(schedule, round);
     clean_streak = fault_active ? 0 : clean_streak + 1;
+
+    if (options_.reliable && !fault_active) {
+      // The control round's config churn and any just-healed outage both
+      // postdate run_interval's own sync pass; run another fault-free one so
+      // the reliable books below see converged rings and replicas.
+      live.sync_reliable();
+    }
 
     RoundObservation obs;
     obs.round = round;
@@ -399,6 +473,59 @@ ChaosRunner::Execution ChaosRunner::execute(const FaultSchedule& schedule,
     obs.universe = universe;
     obs.have_deployed = true;
     obs.deployed = current;
+
+    if (options_.reliable) {
+      obs.reliable = true;
+      if (const auto* pool = live.cohort_pool()) {
+        obs.recorded_duplicates = pool->recorded_duplicate_weight();
+      } else {
+        for (const auto& sub : live.subscribers()) {
+          obs.recorded_duplicates += sub->recorded_duplicate_count();
+        }
+      }
+      if (!fault_active) {
+        obs.check_zero_loss = true;
+        obs.published = published_total;
+        obs.publish_drops = transport.publish_drop_count(topic);
+        obs.crash_lost = live.crash_lost(topic);
+        if (const auto* pool = live.cohort_pool()) {
+          for (std::size_t f = 0; f < pool->flock_count(); ++f) {
+            const auto fid = static_cast<std::int32_t>(f);
+            if (pool->flock_topic(fid) != topic) continue;
+            if (pool->flock_weight(fid) == 0) continue;  // retired flock
+            if (!pool->flock_matches_all(fid)) continue;
+            const std::uint64_t unique = pool->flock_complete_count(fid);
+            if (!obs.have_audience || unique < obs.min_unique) {
+              obs.min_unique = unique;
+            }
+            obs.have_audience = true;
+          }
+        } else {
+          for (const auto& sub : live.subscribers()) {
+            if (!sub->attached_region(topic).valid()) continue;
+            if (!sub->matches_all(topic)) continue;
+            const std::uint64_t unique = sub->unique_count(topic);
+            if (!obs.have_audience || unique < obs.min_unique) {
+              obs.min_unique = unique;
+            }
+            obs.have_audience = true;
+          }
+        }
+        obs.check_replication = true;
+        for (const auto& region : catalog.all()) {
+          const auto& broker = live.region_manager(region.id).broker();
+          const RegionId standby = broker.standby();
+          if (!standby.valid()) continue;
+          RoundObservation::ReplicationLag lag;
+          lag.primary = region.id;
+          lag.state_seq = broker.state_seq();
+          lag.applied_seq =
+              live.region_manager(standby).broker().replica_applied_seq(
+                  region.id);
+          obs.replication.push_back(lag);
+        }
+      }
+    }
 
     if (clean_streak >= options_.convergence_rounds) {
       // Ground truth: the analytic optimizer over the scenario's own

@@ -57,6 +57,26 @@ struct ChaosOptions {
   /// kConfigUpdate re-homes the whole flock, so drop schedules may diverge
   /// in reconnect counts (never in oracle soundness).
   bool cohorts = false;
+  /// Arms the reliability layer (DESIGN.md §15): sequenced replay,
+  /// reconnect-and-replay on outage healing, Clone-pattern broker state
+  /// replication — and with it the three reliable oracles
+  /// (zero-message-loss, no-duplicate, bounded-replication-lag). Outage
+  /// transitions additionally crash/restore brokers through
+  /// LiveSystem::set_region_down. Off by default: the report stays
+  /// byte-identical to the pre-reliable harness.
+  bool reliable = false;
+  /// Negative-path demo (requires reliable): brokers refuse to serve
+  /// kReplayRequest, so any dropped delivery stays lost and the
+  /// zero-message-loss oracle must catch it with a minimal schedule.
+  bool break_replay = false;
+  /// Negative-path demo (requires reliable): clients record duplicates
+  /// instead of absorbing them, so the first replayed overlap trips the
+  /// no-duplicate oracle.
+  bool break_dedup = false;
+  /// Negative-path demo (requires reliable): brokers stop streaming state
+  /// deltas/snapshots to their standby, so the bounded-replication-lag
+  /// oracle must catch the stale replica.
+  bool break_state_sync = false;
   /// Negative-path demo: disables the controller's outage exclusion so it
   /// keeps routing topics through dead regions. The dead-region-exclusion
   /// oracle must catch this with a minimal schedule.
@@ -117,6 +137,40 @@ struct RoundObservation {
   bool check_conformance = false;
   Millis measured_percentile = 0.0;
   Millis max_t = kUnreachable;
+
+  // ---- Reliable-delivery books (armed only under ChaosOptions::reliable).
+
+  /// Arms the no-duplicate oracle (checked every round).
+  bool reliable = false;
+  /// Duplicate publications the dedup layer let through to an application
+  /// (weighted on the cohort plane). Must be zero: replay and handover
+  /// overlap may re-send, but the (topic, publisher, seq) identity filter
+  /// must absorb every copy.
+  std::uint64_t recorded_duplicates = 0;
+
+  /// Zero-message-loss, checked on clean rounds (the sync pass has run
+  /// fault-free): every match-all audience member holds every publication
+  /// except the provably unrepairable.
+  bool check_zero_loss = false;
+  std::uint64_t published = 0;      ///< cumulative topic publications
+  std::uint64_t publish_drops = 0;  ///< kPublish copies lost in flight
+                                    ///< (weighted; never reached a broker)
+  std::uint64_t crash_lost = 0;     ///< died inside a crashed broker before
+                                    ///< reaching any surviving one
+  /// Smallest unique-publication count over the match-all audience
+  /// (Subscriber::unique_count / CohortPool::flock_complete_count).
+  std::uint64_t min_unique = 0;
+  bool have_audience = false;  ///< min_unique is meaningful
+
+  /// Bounded-replication-lag, checked on clean rounds after the heartbeat
+  /// sync: each standby's applied delta sequence must equal its primary's.
+  struct ReplicationLag {
+    RegionId primary;
+    std::uint64_t state_seq = 0;    ///< primary's delta sequence
+    std::uint64_t applied_seq = 0;  ///< standby replica's applied sequence
+  };
+  bool check_replication = false;
+  std::vector<ReplicationLag> replication;
 };
 
 /// Runs every oracle over one observation; returns the violations (empty =

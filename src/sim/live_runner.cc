@@ -43,6 +43,104 @@ broker::RegionManager& LiveSystem::region_manager(RegionId region) {
   return *managers_[region.index()];
 }
 
+void LiveSystem::set_reliable(bool on) {
+  MP_EXPECTS(on || !reliable_);  // arming is one-way (like set_cohorts)
+  if (!on || reliable_) return;
+  reliable_ = true;
+  transport_->set_reliable_control(true);
+  for (auto& manager : managers_) manager->broker().set_reliable(true);
+  if (pool_ != nullptr) {
+    pool_->set_reliable(true);
+  } else {
+    for (auto& subscriber : subscribers_) subscriber->set_reliable(true);
+  }
+  // Clone-pattern standby ring: every broker replicates to its
+  // backbone-nearest peer (lowest region id on ties — the managers_ walk is
+  // id-ascending and the comparison strict). A single-region world has no
+  // peer to replicate to.
+  if (managers_.size() < 2) return;
+  for (auto& manager : managers_) {
+    const RegionId self = manager->region();
+    RegionId standby = RegionId::invalid();
+    Millis best = kUnreachable;
+    for (const auto& other : managers_) {
+      if (other->region() == self) continue;
+      const Millis l = scenario_->backbone.at(self, other->region());
+      if (l < best) {
+        best = l;
+        standby = other->region();
+      }
+    }
+    manager->broker().set_standby(standby);
+  }
+}
+
+void LiveSystem::record_crash_losses(RegionId region) {
+  const broker::Broker& crashing = region_manager(region).broker();
+  for (const auto& [topic, by_publisher] : crashing.seen_publications()) {
+    for (const auto& [publisher, seqs] : by_publisher) {
+      for (const std::uint64_t seq : seqs) {
+        bool survives = false;
+        for (const auto& manager : managers_) {
+          if (manager->region() == region ||
+              transport_->region_down(manager->region())) {
+            continue;  // a down broker's state is already gone
+          }
+          if (manager->broker().has_accepted(topic, publisher, seq)) {
+            survives = true;
+            break;
+          }
+        }
+        if (!survives) ++crash_lost_[topic.value()];
+      }
+    }
+  }
+}
+
+std::uint64_t LiveSystem::crash_lost(TopicId topic) const {
+  const auto it = crash_lost_.find(topic.value());
+  return it == crash_lost_.end() ? 0 : it->second;
+}
+
+void LiveSystem::set_region_down(RegionId region, bool down) {
+  if (down == transport_->region_down(region)) return;
+  if (down) {
+    // Record what dies with the broker BEFORE the crash wipes it.
+    if (reliable_) record_crash_losses(region);
+    transport_->set_region_down(region, true);
+    if (reliable_) region_manager(region).broker().crash();
+    return;
+  }
+  transport_->set_region_down(region, false);
+  if (!reliable_) return;
+  // Recovery: the standby host streams the replica back (a no-op on every
+  // other manager), and the region's subscribers re-subscribe so the
+  // rebuilt table is authoritative even if the replica was stale. The
+  // traffic lands on the next drain.
+  for (auto& manager : managers_) {
+    if (manager->region() != region) manager->broker().restore_peer(region);
+  }
+  if (pool_ != nullptr) {
+    pool_->reconnect(region);
+  } else {
+    for (auto& subscriber : subscribers_) subscriber->reconnect(region);
+  }
+}
+
+void LiveSystem::sync_reliable() {
+  if (!reliable_) return;
+  // Broker half first: peer rings converge (and standbys resync) before the
+  // clients ask for the repaired suffixes.
+  for (auto& manager : managers_) manager->broker().sync_with_peers();
+  drain();
+  if (pool_ != nullptr) {
+    pool_->sync_replay();
+  } else {
+    for (auto& subscriber : subscribers_) subscriber->sync_replay();
+  }
+  drain();
+}
+
 void LiveSystem::set_shard_placement(net::ShardPlacement placement) {
   MP_EXPECTS(shards_ == 1 && "call set_shard_placement before set_shards");
   placement_ = placement;
@@ -255,6 +353,10 @@ LiveRunResult LiveSystem::run_interval(double seconds, Bytes payload_bytes,
   }
   schedule_traffic(0.0, seconds, payload_bytes, rate_hz, rng);
   drain();  // drain: every publication reaches every subscriber
+  // Reliable mode: one sync pass per interval repairs tail losses (replayed
+  // deliveries are recorded with their true, longer end-to-end delay; in a
+  // clean interval nothing is missing and the pass is delivery-silent).
+  sync_reliable();
 
   LiveRunResult result;
   if (pool_ != nullptr) {

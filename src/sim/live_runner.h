@@ -9,6 +9,7 @@
 // use it to demonstrate transparent reconfiguration.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -177,10 +178,45 @@ class LiveSystem {
   [[nodiscard]] broker::RegionManager& region_manager(RegionId region);
   [[nodiscard]] const Scenario& scenario() const { return *scenario_; }
 
+  // ---- Reliable delivery + broker state replication (DESIGN.md §15)
+
+  /// Arms the reliability layer end to end: brokers stamp and retain
+  /// publications (sequenced replay), clients detect gaps and re-request,
+  /// control traffic becomes fault-exempt on the transport, and every
+  /// broker streams its subscription/config state to a standby — the
+  /// backbone-nearest peer region (lowest id on ties). Call after
+  /// construction, before deploy()/traffic. Off by default: without it,
+  /// every observable is bit-identical to the pre-reliable system.
+  void set_reliable(bool on);
+  [[nodiscard]] bool reliable() const { return reliable_; }
+
+  /// Outage entry point for the chaos/churn paths. Besides the transport's
+  /// down flag, in reliable mode a down-transition CRASHES the region's
+  /// broker (its in-memory state is lost, and publications no surviving
+  /// broker holds are recorded as crash-lost); an up-transition restores
+  /// broker state from the standby's replica and reconnects every
+  /// subscriber attached to the region (reconnect-and-replay).
+  void set_region_down(RegionId region, bool down);
+
+  /// Reliable sync pass: brokers ask peers to replay missed forwards and
+  /// heartbeat their standby; then subscribers re-request replay from their
+  /// expected next sequence. run_interval() runs one automatically; chaos
+  /// rounds call it again after healing faults.
+  void sync_reliable();
+
+  /// Publications of `topic` that died with a crashing broker before
+  /// reaching any surviving one — unrepairable by replay, so exempt from
+  /// the zero-loss oracle (cumulative since construction).
+  [[nodiscard]] std::uint64_t crash_lost(TopicId topic) const;
+
  private:
   /// Drains the simulator, refreshing the sharded window width first (an
   /// active FaultPlan may have gained or lost delay rules since last time).
   void drain();
+
+  /// Counts the crashing region's publications that no surviving broker
+  /// holds (called before the crash wipes its state).
+  void record_crash_losses(RegionId region);
 
   const Scenario* scenario_;
   net::Simulator sim_;
@@ -206,6 +242,9 @@ class LiveSystem {
   /// Unscaled cross-shard lookahead matrix of the current map (K*K,
   /// row-major); rescaled alongside base_lookahead_ before every drain.
   std::vector<Millis> base_lookaheads_;
+  bool reliable_ = false;
+  /// Cumulative crash-lost publication counts by topic value.
+  std::map<std::int32_t, std::uint64_t> crash_lost_;
 };
 
 }  // namespace multipub::sim

@@ -25,7 +25,7 @@ template <typename T>
 
 [[nodiscard]] bool valid_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(MessageType::kSubscribe) &&
-         raw <= static_cast<std::uint8_t>(MessageType::kNodeBye);
+         raw <= static_cast<std::uint8_t>(MessageType::kStateDelta);
 }
 
 }  // namespace
@@ -48,6 +48,7 @@ EncodedMessage encode(const Message& msg) {
   put<std::uint64_t>(buf, 64, msg.filter.hi);
   put<std::uint32_t>(buf, 72, msg.weight);
   put<std::uint32_t>(buf, 76, 0);
+  put<std::uint64_t>(buf, 80, msg.delivery_seq);
   return buf;
 }
 
@@ -62,7 +63,7 @@ std::optional<Message> decode(std::span<const std::byte> frame) {
     return std::nullopt;
   }
   // The reserved word must be zero so decode stays the inverse of encode on
-  // its accepted domain (and so v4 can assign it a meaning unambiguously).
+  // its accepted domain (and so v5 can assign it a meaning unambiguously).
   if (get<std::uint32_t>(frame, 76) != 0) return std::nullopt;
 
   Message msg;
@@ -79,6 +80,7 @@ std::optional<Message> decode(std::span<const std::byte> frame) {
   msg.filter.lo = get<std::uint64_t>(frame, 56);
   msg.filter.hi = get<std::uint64_t>(frame, 64);
   msg.weight = get<std::uint32_t>(frame, 72);
+  msg.delivery_seq = get<std::uint64_t>(frame, 80);
   return msg;
 }
 

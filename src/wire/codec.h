@@ -8,7 +8,7 @@
 //
 // Layout (all integers little-endian):
 //   offset 0  : u8  magic (0xMB -> 0xAB)
-//   offset 1  : u8  version (2)
+//   offset 1  : u8  version (4)
 //   offset 2  : u8  type
 //   offset 3  : u8  config_mode
 //   offset 4  : i32 topic
@@ -22,10 +22,12 @@
 //   offset 56 : u64 filter lo
 //   offset 64 : u64 filter hi
 //   offset 72 : u32 weight
-//   offset 76 : u32 reserved (encoded as 0, ignored on decode)
-//   total 80 bytes
+//   offset 76 : u32 reserved (encoded as 0, rejected nonzero on decode)
+//   offset 80 : u64 delivery_seq
+//   total 88 bytes
 // (v1 was 48 bytes without the content-filtering fields, v2 was 72 bytes
-// without the cohort weight; old frames are rejected, the protocol is not
+// without the cohort weight, v3 was 80 bytes without the reliable-delivery
+// sequence number; old frames are rejected, the protocol is not
 // mixed-version.)
 #pragma once
 
@@ -39,13 +41,13 @@
 
 namespace multipub::wire {
 
-inline constexpr std::size_t kEncodedSize = 80;
+inline constexpr std::size_t kEncodedSize = 88;
 inline constexpr std::uint8_t kMagic = 0xAB;
-inline constexpr std::uint8_t kVersion = 3;
+inline constexpr std::uint8_t kVersion = 4;
 
 using EncodedMessage = std::array<std::byte, kEncodedSize>;
 
-/// Serializes `msg` into its fixed 80-byte frame.
+/// Serializes `msg` into its fixed 88-byte frame.
 [[nodiscard]] EncodedMessage encode(const Message& msg);
 
 /// Parses a frame; nullopt on bad magic/version/type or wrong size.

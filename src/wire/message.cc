@@ -23,6 +23,10 @@ const char* to_string(MessageType type) {
     case MessageType::kReportSubscriber: return "REPORT_SUBSCRIBER";
     case MessageType::kReportEnd:        return "REPORT_END";
     case MessageType::kNodeBye:          return "NODE_BYE";
+    case MessageType::kReplayRequest:    return "REPLAY_REQUEST";
+    case MessageType::kReplayBatch:      return "REPLAY_BATCH";
+    case MessageType::kStateSnapshot:    return "STATE_SNAPSHOT";
+    case MessageType::kStateDelta:       return "STATE_DELTA";
   }
   return "?";
 }
@@ -32,6 +36,9 @@ Bytes Message::billable_bytes() const {
     case MessageType::kPublish:
     case MessageType::kForward:
     case MessageType::kDeliver:
+    // A replayed publication leaves the region exactly like the delivery it
+    // re-issues, so the tariff bills it identically (DESIGN.md §15).
+    case MessageType::kReplayBatch:
       return payload_bytes;
     case MessageType::kSubscribe:
     case MessageType::kUnsubscribe:
@@ -49,6 +56,9 @@ Bytes Message::billable_bytes() const {
     case MessageType::kReportSubscriber:
     case MessageType::kReportEnd:
     case MessageType::kNodeBye:
+    case MessageType::kReplayRequest:
+    case MessageType::kStateSnapshot:
+    case MessageType::kStateDelta:
       return 0;
   }
   return 0;

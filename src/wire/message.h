@@ -60,6 +60,32 @@ enum class MessageType : std::uint8_t {
                           ///< key bit 0 = full_snapshot.
   kNodeBye = 19,          ///< broker -> controller: graceful shutdown;
                           ///< publisher = region id.
+
+  // Reliable-delivery protocol (DESIGN.md §15). Only emitted when the
+  // reliable mode is on; the default plane never sees these kinds.
+  kReplayRequest = 20,  ///< subscriber/broker -> broker: "replay topic
+                        ///< `topic` from delivery_seq onward". subscriber =
+                        ///< requesting client (invalid for broker-to-broker
+                        ///< catch-up), key = flock id + 1 when the requester
+                        ///< is a cohort member (0 otherwise), weight = the
+                        ///< requester's weight. topic == -1 requests a full
+                        ///< state snapshot (standby resync).
+  kReplayBatch = 21,    ///< broker -> subscriber/broker: one replayed
+                        ///< publication; same fields as kDeliver (including
+                        ///< delivery_seq) and billed like it.
+  kStateSnapshot = 22,  ///< broker -> standby/successor: one subscription
+                        ///< (subscriber valid: topic, subscriber, filter,
+                        ///< weight, key = flock id + 1) or one topic config
+                        ///< (subscriber invalid: topic, config_regions,
+                        ///< config_mode, seq = ring head) table entry;
+                        ///< topic == -1 is the end-of-snapshot marker whose
+                        ///< delivery_seq carries the primary's state_seq.
+  kStateDelta = 23,     ///< broker -> standby: one sequenced state change
+                        ///< (delivery_seq = primary state_seq). Fields as in
+                        ///< kStateSnapshot; seq bit 0 distinguishes
+                        ///< subscribe/install (1) from unsubscribe (0). A
+                        ///< delta with an invalid topic and subscriber is a
+                        ///< heartbeat restating the current state_seq.
 };
 
 [[nodiscard]] const char* to_string(MessageType type);
@@ -117,6 +143,11 @@ struct Message {
   /// multiplied by it — which is exactly what the per-client loop would
   /// have recorded (DESIGN.md §12).
   std::uint32_t weight = 1;
+  /// Reliable-delivery sequence number (DESIGN.md §15): the broker's
+  /// per-topic replay-ring position on kDeliver/kForward/kReplayBatch, the
+  /// resume point on kReplayRequest, the primary's state_seq on
+  /// kStateSnapshot/kStateDelta. 0 everywhere when the reliable mode is off.
+  std::uint64_t delivery_seq = 0;
 
   /// Bytes billed by the cost model when this message leaves a cloud
   /// region: the application payload for publication traffic, zero for

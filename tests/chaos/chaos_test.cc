@@ -120,6 +120,62 @@ TEST(InvariantOracles, ConstraintConformance) {
   EXPECT_TRUE(has_oracle(check_invariants(obs), "constraint-conformance"));
 }
 
+TEST(InvariantOracles, NoDuplicate) {
+  auto obs = healthy_observation();
+  obs.reliable = true;
+  obs.recorded_duplicates = 0;
+  EXPECT_TRUE(check_invariants(obs).empty());
+
+  obs.recorded_duplicates = 2;
+  EXPECT_TRUE(has_oracle(check_invariants(obs), "no-duplicate"));
+
+  // The oracle is armed by the reliable mode, not by the books alone.
+  obs.reliable = false;
+  EXPECT_FALSE(has_oracle(check_invariants(obs), "no-duplicate"));
+}
+
+TEST(InvariantOracles, ZeroMessageLoss) {
+  auto obs = healthy_observation();
+  obs.reliable = true;
+  obs.check_zero_loss = true;
+  obs.have_audience = true;
+  obs.published = 100;
+  obs.publish_drops = 3;  // never reached a broker
+  obs.crash_lost = 2;     // died inside a crashed broker
+  obs.min_unique = 95;    // exactly the repairable floor
+  EXPECT_TRUE(check_invariants(obs).empty());
+
+  // >= not ==: a subscriber may hold a crash-lost publication it received
+  // before the crash.
+  obs.min_unique = 97;
+  EXPECT_TRUE(check_invariants(obs).empty());
+
+  obs.min_unique = 94;  // one repairable publication genuinely missing
+  EXPECT_TRUE(has_oracle(check_invariants(obs), "zero-message-loss"));
+
+  // Stands down off clean rounds and without a match-all audience.
+  obs.check_zero_loss = false;
+  EXPECT_TRUE(check_invariants(obs).empty());
+  obs.check_zero_loss = true;
+  obs.have_audience = false;
+  EXPECT_TRUE(check_invariants(obs).empty());
+}
+
+TEST(InvariantOracles, BoundedReplicationLag) {
+  auto obs = healthy_observation();
+  obs.reliable = true;
+  obs.check_replication = true;
+  obs.replication.push_back({RegionId{0}, 7, 7});
+  obs.replication.push_back({RegionId{2}, 0, 0});  // no mutations yet
+  EXPECT_TRUE(check_invariants(obs).empty());
+
+  obs.replication[0].applied_seq = 6;  // standby trails its primary
+  EXPECT_TRUE(has_oracle(check_invariants(obs), "bounded-replication-lag"));
+
+  obs.check_replication = false;  // only checked after a clean sync pass
+  EXPECT_TRUE(check_invariants(obs).empty());
+}
+
 /// End-to-end campaigns over the failure-test workload: clients split
 /// across two continents, a bound tight enough that outages force real
 /// reconfigurations. Parameterized over the data-plane tuning — shard
@@ -290,6 +346,128 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(4u, net::ShardPlacement::kTopology,
                         net::WindowPolicy::kAdaptive)),
     chaos_tuning_name);
+
+/// Reliable-delivery campaigns (DESIGN.md §15): the same failure workload
+/// with the sequenced-replay + Clone-replication layer armed, which also
+/// arms the three reliability oracles. One positive campaign plus one
+/// negative campaign per oracle, each negative hook shrunk to a minimal
+/// pasteable schedule.
+class ChaosReliableTest : public ::testing::Test {
+ protected:
+  ChaosReliableTest() : rng_(101) {
+    WorkloadSpec workload;
+    workload.interval_seconds = 5.0;
+    workload.ratio = 95.0;
+    workload.max_t = 150.0;
+    scenario_ = make_scenario({{RegionId{0}, 2, 4}, {RegionId{5}, 2, 4}},
+                              workload, rng_);
+    options_.rounds = 10;
+    options_.interval_seconds = 5.0;
+    options_.reliable = true;
+  }
+
+  FaultSchedule mixed_schedule() {
+    return testutil::chaos_schedule(
+        "fault outage ap-northeast-1 2 2\n"
+        "fault partition us-east-1 ap-northeast-1 1 1\n"
+        "fault delay region:* region:* 4 1 2.0 20\n"
+        "fault drop ap-northeast-1 * 5 1 0.25\n");
+  }
+
+  Rng rng_;
+  Scenario scenario_;
+  ChaosOptions options_;
+};
+
+TEST_F(ChaosReliableTest, AllNineOraclesHoldUnderMixedFaults) {
+  ChaosRunner runner(scenario_, options_);
+  const ChaosReport report = runner.run_schedule(mixed_schedule(), 42);
+  EXPECT_TRUE(report.passed()) << report.render();
+  EXPECT_GT(report.deliveries, 0u);
+}
+
+TEST_F(ChaosReliableTest, CohortPlaneHoldsAllNineOraclesToo) {
+  options_.cohorts = true;
+  ChaosRunner runner(scenario_, options_);
+  const ChaosReport report = runner.run_schedule(mixed_schedule(), 42);
+  EXPECT_TRUE(report.passed()) << report.render();
+}
+
+TEST_F(ChaosReliableTest, SameSeedIsBitReproducible) {
+  ChaosRunner runner(scenario_, options_);
+  const ChaosReport a = runner.run_schedule(mixed_schedule(), 42);
+  const ChaosReport b = runner.run_schedule(mixed_schedule(), 42);
+  EXPECT_EQ(a.render(), b.render());
+}
+
+TEST_F(ChaosReliableTest, BrokenReplayIsCaughtAndShrunkToZeroLossRepro) {
+  // Brokers refusing to serve kReplayRequest leave every dropped delivery
+  // unrepaired: the zero-message-loss oracle must fire on the first clean
+  // round, and the shrinker must reduce the mixed schedule to a tiny
+  // pasteable repro.
+  options_.break_replay = true;
+  ChaosRunner runner(scenario_, options_);
+  const ChaosReport report = runner.run_schedule(mixed_schedule(), 42);
+
+  ASSERT_FALSE(report.passed());
+  EXPECT_EQ(report.minimal_oracle, "zero-message-loss");
+  EXPECT_LE(report.minimal_schedule.size(), 2u);
+
+  // The printed repro really is pasteable: round-trip it and it reproduces
+  // the violation from scratch.
+  const FaultSchedule repro = testutil::chaos_schedule(
+      format_fault_schedule(report.minimal_schedule));
+  ChaosOptions probe_options = options_;
+  probe_options.rounds = report.minimal_rounds;
+  probe_options.shrink_on_failure = false;
+  ChaosRunner probe(scenario_, probe_options);
+  const ChaosReport confirmed = probe.run_schedule(repro, report.seed);
+  ASSERT_FALSE(confirmed.passed());
+  EXPECT_EQ(confirmed.violations.front().oracle, "zero-message-loss");
+}
+
+TEST_F(ChaosReliableTest, BrokenDedupFailsWithNoFaultsAtAll) {
+  // Handover overlap and post-reattach replay re-send publications even in
+  // a fault-free campaign, so a disabled dedup filter leaks duplicates
+  // immediately: the shrinker ends at the empty schedule.
+  options_.break_dedup = true;
+  ChaosRunner runner(scenario_, options_);
+  const ChaosReport report = runner.run_schedule(mixed_schedule(), 42);
+
+  ASSERT_FALSE(report.passed());
+  EXPECT_EQ(report.minimal_oracle, "no-duplicate");
+  EXPECT_TRUE(report.minimal_schedule.empty());
+}
+
+TEST_F(ChaosReliableTest, BrokenStateSyncFailsWithNoFaultsAtAll) {
+  // Without the kStateDelta stream the standby trails its primary from the
+  // very first table mutation — fault-independent, so the shrinker ends at
+  // the empty schedule.
+  options_.break_state_sync = true;
+  ChaosRunner runner(scenario_, options_);
+  const ChaosReport report = runner.run_schedule(mixed_schedule(), 42);
+
+  ASSERT_FALSE(report.passed());
+  EXPECT_EQ(report.minimal_oracle, "bounded-replication-lag");
+  EXPECT_TRUE(report.minimal_schedule.empty());
+}
+
+TEST_F(ChaosReliableTest, ReliableOffLeavesTheDefaultPlaneBitIdentical) {
+  // The default-off contract: a reliable-capable binary with the flag off
+  // renders byte-identically to the seed harness — reliable machinery must
+  // not leak into the default plane.
+  options_.reliable = false;
+  ChaosRunner off(scenario_, options_);
+  const ChaosReport a = off.run_schedule(mixed_schedule(), 42);
+  ASSERT_TRUE(a.passed()) << a.render();
+
+  // ...and the reliable books render only under the flag.
+  options_.reliable = true;
+  ChaosRunner on(scenario_, options_);
+  const ChaosReport b = on.run_schedule(mixed_schedule(), 42);
+  ASSERT_TRUE(b.passed()) << b.render();
+  EXPECT_NE(a.render(), b.render());  // replay traffic is real and billed
+}
 
 /// Cohort-compressed campaigns (DESIGN.md §12): the failure workload with
 /// every subscriber position replicated three-fold — real weight-3 cohorts,

@@ -200,6 +200,95 @@ TEST_P(CohortDiff, CohortPlaneMatchesLegacyReferencePath) {
   }
 }
 
+TEST_P(CohortDiff, ReliableControlKeepsPlanesIdenticalUnderDropSchedules) {
+  // Regression for the kConfigUpdate-under-drop divergence: a probabilistic
+  // drop rule on region-originated links could eat SOME members' config
+  // updates, re-homing the per-client plane member-by-member while the
+  // cohort plane re-homed whole flocks — the one schedule class the plane
+  // equivalence proof had to exclude. With the reliable mode on, the fault
+  // plan applies to data kinds only (control is TCP-backed in production,
+  // DESIGN.md §15), so the planes must stay bit-identical under drop
+  // schedules too — including while the drops are actively eating
+  // deliveries and the replay machinery is healing them.
+  const bool incremental = GetParam();
+  Rng rng(2026);
+  WorkloadSpec workload;
+  workload.interval_seconds = 10.0;
+  workload.ratio = 95.0;
+  workload.max_t = 150.0;
+  workload.subscriber_replication = 5;
+  const Scenario scenario =
+      make_scenario({{RegionId{0}, 2, 3}, {RegionId{5}, 2, 3}}, workload, rng);
+
+  LiveSystem per_client(scenario);
+  LiveSystem cohort(scenario);
+  cohort.set_cohorts(true);
+  per_client.set_incremental(incremental);
+  cohort.set_incremental(incremental);
+  per_client.set_reliable(true);
+  cohort.set_reliable(true);
+
+  // One permanently-active drop rule per system, same seed: region-origin
+  // links only (deliveries and forwards), so both planes draw identical
+  // per-link coin streams.
+  net::FaultPlan plan_a(909);
+  net::FaultPlan plan_b(909);
+  net::FaultRule drop;
+  drop.kind = net::FaultRule::Kind::kDrop;
+  drop.from = net::FaultEndpoint::any_region();
+  drop.to = net::FaultEndpoint::any();
+  drop.drop_probability = 0.25;
+  plan_a.add(drop);
+  plan_b.add(drop);
+  per_client.transport().set_fault_plan(&plan_a);
+  cohort.transport().set_fault_plan(&plan_b);
+
+  const core::TopicConfig bootstrap{geo::RegionSet::universe(10),
+                                    core::DeliveryMode::kRouted};
+  per_client.deploy(bootstrap);
+  cohort.deploy(bootstrap);
+
+  Rng traffic_a(555), traffic_b(555);
+  Rng rng_rounds(556);
+  const TopicId topic = scenario.topic.topic;
+  RegionId failed{-1};
+  for (int round = 0; round < 8; ++round) {
+    const double rate_hz = rng_rounds.uniform(0.5, 3.0);
+    const auto a = per_client.run_interval(10.0, 1024, rate_hz, traffic_a);
+    const auto b = cohort.run_interval(10.0, 1024, rate_hz, traffic_b);
+    ASSERT_EQ(a.delivery_times, b.delivery_times) << "round " << round;
+    ASSERT_EQ(a.interval_cost, b.interval_cost) << "round " << round;
+
+    if (round == 2) {
+      // An outage forces real reconfigurations — the exact racing of
+      // kConfigUpdate against drops that used to diverge the planes.
+      const auto* config = per_client.controller().deployed_config(topic);
+      ASSERT_NE(config, nullptr);
+      failed = config->regions.first();
+      for (LiveSystem* sys : {&per_client, &cohort}) {
+        sys->transport().set_region_down(failed, true);
+        sys->controller().set_region_available(failed, false);
+      }
+    }
+    if (round == 4) {
+      for (LiveSystem* sys : {&per_client, &cohort}) {
+        sys->transport().set_region_down(failed, false);
+        sys->controller().set_region_available(failed, true);
+      }
+    }
+
+    (void)per_client.control_round();
+    (void)cohort.control_round();
+    ASSERT_EQ(collect_metrics(per_client).render(),
+              collect_metrics(cohort).render())
+        << "round " << round;
+  }
+  ASSERT_NE(failed.value(), -1);
+  // The rule really fired — this was not a vacuous pass.
+  EXPECT_GT(plan_a.random_dropped(), 0u);
+  EXPECT_EQ(plan_a.random_dropped(), plan_b.random_dropped());
+}
+
 INSTANTIATE_TEST_SUITE_P(ControlPlane, CohortDiff, ::testing::Bool(),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "Incremental" : "FullScan";

@@ -38,7 +38,7 @@ TEST(TcpSendBuffer, BurstAgainstTinyBufferArrivesIntactAndInOrder) {
   ASSERT_GE(peer, 0);
 
   // Fill the pipe while the receiver is not draining. The kernel rounds
-  // SO_SNDBUF up, but 1200 frames * 80 bytes far exceeds any doubling, so
+  // SO_SNDBUF up, but 1200 frames * 88 bytes far exceeds any doubling, so
   // many of these sends hit EAGAIN or partial writes. Every send must still
   // succeed (buffered, not dropped) and the connection must stay up.
   constexpr std::uint64_t kFrames = 1200;
@@ -60,6 +60,43 @@ TEST(TcpSendBuffer, BurstAgainstTinyBufferArrivesIntactAndInOrder) {
   EXPECT_EQ(server.corrupt_frames(), 0u);
   for (std::uint64_t seq = 0; seq < kFrames; ++seq) {
     ASSERT_EQ(inbox[seq], numbered(seq)) << "out of order at " << seq;
+  }
+}
+
+TEST(TcpSendBuffer, ReplayBatchBurstSurvivesShortWritesOnV4Frames) {
+  // The v4 frame is 88 bytes — no longer a divisor-friendly 80 — so a
+  // 256-byte SO_SNDBUF cuts frames at different intra-frame offsets than
+  // v3 did. A replay burst (the reliability path most likely to flood a
+  // connection right after a reconnect) must survive the short writes with
+  // every delivery_seq stamp intact and in order.
+  std::vector<wire::Message> inbox;
+  TcpEndpoint server([&](const wire::Message& m) { inbox.push_back(m); });
+  server.set_socket_buffer_bytes(256);
+  ASSERT_TRUE(server.listen(0));
+
+  TcpEndpoint client([](const wire::Message&) {});
+  client.set_socket_buffer_bytes(256);
+  const int peer = client.connect_to(server.port());
+  ASSERT_GE(peer, 0);
+
+  constexpr std::uint64_t kFrames = 600;
+  for (std::uint64_t seq = 0; seq < kFrames; ++seq) {
+    wire::Message batch = numbered(seq);
+    batch.type = wire::MessageType::kReplayBatch;
+    batch.subscriber = ClientId{7};
+    batch.delivery_seq = seq + 1;  // the ring stamp the client gap-checks
+    ASSERT_TRUE(client.send(peer, batch)) << "seq " << seq;
+  }
+
+  for (int round = 0; round < 4000 && inbox.size() < kFrames; ++round) {
+    client.poll(5);
+    server.poll(5);
+  }
+  ASSERT_EQ(inbox.size(), kFrames);
+  EXPECT_EQ(server.corrupt_frames(), 0u);
+  for (std::uint64_t seq = 0; seq < kFrames; ++seq) {
+    ASSERT_EQ(inbox[seq].type, wire::MessageType::kReplayBatch);
+    ASSERT_EQ(inbox[seq].delivery_seq, seq + 1) << "stamp torn at " << seq;
   }
 }
 

@@ -71,6 +71,60 @@ TEST(CliValidation, BenchRejectsMoreShardsThanRegions) {
   EXPECT_NE(out.text.find("K <= regions"), std::string::npos) << out.text;
 }
 
+TEST(CliValidation, ReliableFlagIsAcceptedByAllThreeBinaries) {
+  // `--reliable on` must pass flag validation everywhere the reliability
+  // layer can run. The node binary is probed up to the scenario-file open
+  // (exit 1, not the flag-error exit 2): the flag parsed, the file did not.
+  const auto sim = run_cli(build_dir() +
+                           "/tools/multipub-sim --pubs-per-region 1 "
+                           "--subs-per-region 1 --live --reliable on");
+  EXPECT_EQ(sim.exit_code, 0) << sim.text;
+
+  const auto chaos = run_cli(build_dir() +
+                             "/tools/multipub-chaos --seed 7 --reliable on "
+                             "--print-schedule");
+  EXPECT_EQ(chaos.exit_code, 0) << chaos.text;
+
+  const auto node = run_cli(build_dir() +
+                            "/tools/multipub-node --role broker "
+                            "--scenario /nonexistent --reliable on");
+  EXPECT_EQ(node.exit_code, 1) << node.text;
+  EXPECT_NE(node.text.find("cannot open scenario file"), std::string::npos)
+      << node.text;
+}
+
+TEST(CliValidation, ReliableFlagRejectsAnythingButOnAndOff) {
+  const std::string expected = "--reliable must be 'on' or 'off'";
+
+  const auto sim = run_cli(build_dir() +
+                           "/tools/multipub-sim --pubs-per-region 1 "
+                           "--subs-per-region 1 --live --reliable maybe");
+  EXPECT_EQ(sim.exit_code, 2) << sim.text;
+  EXPECT_NE(sim.text.find(expected), std::string::npos) << sim.text;
+
+  const auto chaos = run_cli(build_dir() +
+                             "/tools/multipub-chaos --seed 7 "
+                             "--reliable maybe");
+  EXPECT_EQ(chaos.exit_code, 2) << chaos.text;
+  EXPECT_NE(chaos.text.find(expected), std::string::npos) << chaos.text;
+
+  const auto node = run_cli(build_dir() +
+                            "/tools/multipub-node --role broker "
+                            "--scenario /nonexistent --reliable maybe");
+  EXPECT_EQ(node.exit_code, 2) << node.text;
+  EXPECT_NE(node.text.find(expected), std::string::npos) << node.text;
+}
+
+TEST(CliValidation, BreakHooksRequireReliableOn) {
+  // The negative hooks sabotage the reliability layer; without the layer
+  // armed they would silently test nothing, so the chaos CLI refuses them.
+  const auto out =
+      run_cli(build_dir() + "/tools/multipub-chaos --seed 7 --break-replay");
+  EXPECT_EQ(out.exit_code, 2) << out.text;
+  EXPECT_NE(out.text.find("need --reliable on"), std::string::npos)
+      << out.text;
+}
+
 TEST(CliValidation, TuningFlagsAreAcceptedVocabulary) {
   // --shard-placement / --window-policy must parse (bad values rejected,
   // good values not reported as unknown flags). --print-schedule keeps the

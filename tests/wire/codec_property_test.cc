@@ -26,7 +26,9 @@ constexpr MessageType kAllTypes[] = {
     MessageType::kHeartbeat,       MessageType::kPhaseStart,
     MessageType::kPhaseDone,       MessageType::kReportPublisher,
     MessageType::kReportSubscriber, MessageType::kNodeBye,
-    MessageType::kReportEnd,
+    MessageType::kReportEnd,       MessageType::kReplayRequest,
+    MessageType::kReplayBatch,     MessageType::kStateSnapshot,
+    MessageType::kStateDelta,
 };
 
 constexpr std::uint32_t kBoundaryWeights[] = {0, 1, 2, 0xFFFFFFFFu};
@@ -55,6 +57,9 @@ std::vector<Message> boundary_messages() {
         msg.filter = {static_cast<std::uint64_t>(salt),
                       ~std::uint64_t{0} - static_cast<std::uint64_t>(salt)};
         msg.weight = weight;
+        // The v4 field: exercised on every kind (the codec carries it
+        // unconditionally), with its own boundary sweep below.
+        msg.delivery_seq = ~seq + static_cast<std::uint64_t>(salt);
         out.push_back(msg);
         ++salt;
       }
@@ -69,6 +74,42 @@ TEST(CodecProperty, EveryKindAndBoundaryRoundTripsThroughTheCodec) {
     ASSERT_TRUE(decoded.has_value()) << to_string(msg.type);
     EXPECT_EQ(*decoded, msg) << to_string(msg.type) << " weight=" << msg.weight
                              << " seq=" << msg.seq;
+  }
+}
+
+TEST(CodecProperty, DeliverySeqSurvivesTheWireAtEveryBoundary) {
+  // The exact regression codec v4 exists for: the broker's replay-ring
+  // stamp must survive the frame on the kinds the reliability protocol
+  // rides on.
+  for (MessageType type :
+       {MessageType::kDeliver, MessageType::kForward,
+        MessageType::kReplayRequest, MessageType::kReplayBatch,
+        MessageType::kStateSnapshot, MessageType::kStateDelta}) {
+    for (std::uint64_t stamp : kBoundarySeqs) {
+      Message msg;
+      msg.type = type;
+      msg.delivery_seq = stamp;
+      const auto decoded = decode(encode(msg));
+      ASSERT_TRUE(decoded.has_value()) << to_string(type);
+      EXPECT_EQ(decoded->delivery_seq, stamp) << to_string(type);
+    }
+  }
+}
+
+TEST(CodecProperty, ReservedWordRejectionSurvivesTheV4Extension) {
+  // delivery_seq lives at offset 80, AFTER the reserved word at 76: the v4
+  // extension must not have repurposed (or stopped checking) the reserved
+  // word. Every single-bit pollution of it must still be rejected.
+  Message msg;
+  msg.type = MessageType::kReplayBatch;
+  msg.delivery_seq = 0x0123456789ABCDEFull;
+  auto frame = encode(msg);
+  ASSERT_TRUE(decode(frame).has_value());
+  for (int bit = 0; bit < 32; ++bit) {
+    auto polluted = frame;
+    polluted[76 + static_cast<std::size_t>(bit) / 8] |=
+        static_cast<std::byte>(1u << (bit % 8));
+    EXPECT_FALSE(decode(polluted).has_value()) << "bit " << bit;
   }
 }
 

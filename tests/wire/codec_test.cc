@@ -87,9 +87,10 @@ TEST(Codec, RejectsUnknownMode) {
 }
 
 TEST(Codec, FrameSizeIsStable) {
-  // Wire compatibility: the v3 frame is exactly 80 bytes.
+  // Wire compatibility: the v4 frame is exactly 88 bytes (v3's 80 plus the
+  // trailing delivery_seq u64).
   EXPECT_EQ(encode(sample_message()).size(), kEncodedSize);
-  EXPECT_EQ(kEncodedSize, 80u);
+  EXPECT_EQ(kEncodedSize, 88u);
 }
 
 TEST(Codec, KeyFilterRoundTrips) {

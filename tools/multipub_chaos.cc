@@ -64,10 +64,22 @@ Paths under test:
                            round-robin | topology (default topology)
   --window-policy P        sharded window sizing: fixed | adaptive
                            (default adaptive)
+  --reliable on|off        reliability layer (DESIGN.md §15): sequenced
+                           replay, reconnect-and-replay, broker state
+                           replication — arms the zero-message-loss,
+                           no-duplicate and bounded-replication-lag oracles
+                           (default off; off keeps the report byte-identical
+                           to the pre-reliable harness)
 
 Negative-path demos (the harness must catch them; exit code flips):
   --break-outage-exclusion controller keeps routing through dead regions
   --freeze-control-plane   no control rounds: deployment never converges
+  --break-replay           brokers refuse replay requests (needs --reliable
+                           on; zero-message-loss must catch it)
+  --break-dedup            clients record duplicates instead of absorbing
+                           them (needs --reliable on; no-duplicate catches)
+  --break-state-sync       brokers stop feeding their standby (needs
+                           --reliable on; bounded-replication-lag catches)
 
 Exit code: 0 when all invariants held, 1 on any oracle violation.
 )");
@@ -86,8 +98,9 @@ int main(int argc, char** argv) {
   flags.allow_only({
       "help", "seed", "rounds", "faults", "interval", "rate", "k",
       "no-shrink", "schedule", "print-schedule", "scenario", "incremental",
-      "fast-path", "shards", "shard-placement", "window-policy",
-      "break-outage-exclusion", "freeze-control-plane",
+      "fast-path", "shards", "shard-placement", "window-policy", "reliable",
+      "break-outage-exclusion", "freeze-control-plane", "break-replay",
+      "break-dedup", "break-state-sync",
   });
 
   const std::uint64_t seed =
@@ -112,6 +125,23 @@ int main(int argc, char** argv) {
   }
   options.incremental = incremental == "on";
   options.fast_path = fast_path == "on";
+  const std::string reliable = flags.get("reliable", "off");
+  if (reliable != "on" && reliable != "off") {
+    std::fprintf(stderr, "--reliable must be 'on' or 'off'\n");
+    return 2;
+  }
+  options.reliable = reliable == "on";
+  options.break_replay = flags.get_bool("break-replay", false);
+  options.break_dedup = flags.get_bool("break-dedup", false);
+  options.break_state_sync = flags.get_bool("break-state-sync", false);
+  if ((options.break_replay || options.break_dedup ||
+       options.break_state_sync) &&
+      !options.reliable) {
+    std::fprintf(stderr,
+                 "--break-replay / --break-dedup / --break-state-sync need "
+                 "--reliable on: they sabotage the reliability layer\n");
+    return 2;
+  }
   const long shards = flags.get_int("shards", 1);
   if (shards < 1) {
     std::fprintf(stderr, "--shards must be >= 1\n");

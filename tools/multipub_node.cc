@@ -47,6 +47,9 @@ broker only:
   --region NAME              the region this broker serves (required)
   --controller-port PORT     the controller's port (required)
   --time-scale X             compress the traffic interval X-fold (default 1)
+  --reliable on|off          arm the in-process reliability layer: sequenced
+                             delivery stamps, bounded replay ring, client
+                             gap detection (DESIGN.md §15; default off)
 )");
 }
 
@@ -61,6 +64,7 @@ int main(int argc, char** argv) {
   flags.allow_only({
       "help", "role", "scenario", "seed", "listen", "deadline-ms",
       "metrics-out", "port-file", "region", "controller-port", "time-scale",
+      "reliable",
   });
 
   const std::string role = flags.get("role", "");
@@ -86,6 +90,11 @@ int main(int argc, char** argv) {
   }
   if (time_scale <= 0.0) {
     std::fprintf(stderr, "--time-scale must be > 0\n");
+    return 2;
+  }
+  const std::string reliable = flags.get("reliable", "off");
+  if (reliable != "on" && reliable != "off") {
+    std::fprintf(stderr, "--reliable must be 'on' or 'off'\n");
     return 2;
   }
 
@@ -157,6 +166,7 @@ int main(int argc, char** argv) {
   options.controller_port = static_cast<std::uint16_t>(controller_port);
   options.metrics_path = flags.get("metrics-out", "");
   options.time_scale = time_scale;
+  options.reliable = reliable == "on";
   node::BrokerNode broker(*scenario, region, options);
   if (!broker.start()) {
     std::fprintf(stderr, "cannot listen on port %ld\n", listen);

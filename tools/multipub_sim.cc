@@ -99,6 +99,12 @@ Validation:
                            to MS-wide buckets before folding, so
                            near-identical clients merge too (default 0 =
                            exact rows, bit-identical to per-client)
+  --reliable on|off        with --live: arm the reliability layer —
+                           sequenced replay, gap-driven re-request and
+                           Clone-pattern broker state replication
+                           (DESIGN.md §15; default off, which keeps every
+                           observable bit-identical to the pre-reliable
+                           system)
   --explain K              print the K best configurations with their
                            percentile/cost (what-if table)
   --metrics                with --live: dump the metrics snapshot
@@ -127,7 +133,7 @@ int main(int argc, char** argv) {
       "heuristic", "exact-list", "synthetic-regions", "modern-aws", "seed",
       "latencies", "dump-latencies", "live", "incremental", "fast-path",
       "shards", "threads", "shard-placement", "window-policy", "clients",
-      "cohorts", "quantize-ms", "explain", "metrics",
+      "cohorts", "quantize-ms", "reliable", "explain", "metrics",
   });
 
   const long seed = flags.get_int("seed", 2017);
@@ -411,14 +417,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--clients must be >= 1\n");
     return 2;
   }
+  const std::string reliable = flags.get("reliable", "off");
+  if (reliable != "on" && reliable != "off") {
+    std::fprintf(stderr, "--reliable must be 'on' or 'off'\n");
+    return 2;
+  }
   if ((shards > 1 || flags.has("fast-path") || flags.has("cohorts") ||
        flags.has("clients") || flags.has("shard-placement") ||
-       flags.has("window-policy")) &&
+       flags.has("window-policy") || flags.has("reliable")) &&
       !flags.get_bool("live", false)) {
     std::fprintf(stderr,
                  "--shards/--threads/--shard-placement/--window-policy/"
-                 "--fast-path/--cohorts/--clients only apply to the live "
-                 "middleware: add --live\n");
+                 "--fast-path/--cohorts/--clients/--reliable only apply to "
+                 "the live middleware: add --live\n");
     return 2;
   }
 
@@ -540,6 +551,7 @@ int main(int argc, char** argv) {
     live.set_shard_placement(*shard_placement);
     live.set_window_policy(window_policy);
     if (shards > 0) live.set_shards(static_cast<std::uint32_t>(shards));
+    if (reliable == "on") live.set_reliable(true);
     live.deploy(chosen);
     const auto run = live.run_interval(workload.interval_seconds,
                                        workload.message_bytes,
