@@ -8,7 +8,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <bit>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 
 #include "common/assert.h"
@@ -25,9 +28,29 @@ constexpr std::size_t kEnvelopeSize = 12;
 constexpr std::uint16_t kEnvelopeMagic = 0x4D50;
 constexpr std::size_t kWireSize = kEnvelopeSize + wire::kEncodedSize;
 
-/// Flat reconnect backoff: cheap to reason about, and a localhost deployment
-/// either connects instantly or the peer process is not up yet.
-constexpr Millis kReconnectBackoffMs = 200.0;
+/// Listen backlog: bounded by the deployment shape — every peer keeps ONE
+/// inbound stream here, so a backlog of 64 covers a 64-region world with
+/// every broker connecting in the same instant.
+constexpr int kListenBacklog = 64;
+
+/// Pooled send segment capacity. 64 KiB holds ~650 frames, large enough
+/// that a full poll round of fan-out usually coalesces into one segment
+/// (one iovec entry), small enough that an idle pool is cheap to keep.
+constexpr std::size_t kSegmentBytes = 64 * 1024;
+
+/// Iovec chain bound per sendmsg() call: 8 segments = 512 KiB in flight,
+/// far beyond any socket buffer, so the bound never splits a flush that
+/// the kernel would have accepted whole.
+constexpr std::size_t kMaxIov = 8;
+
+/// Bulk-read chunk per recv() call into the resumable decoder.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Offsets of the per-target fields inside an encoded record, used by the
+/// send_batch() patch path (everything else is shared across the batch).
+constexpr std::size_t kRecordToKindOffset = 3;
+constexpr std::size_t kRecordToIdOffset = 8;
+constexpr std::size_t kRecordSubscriberOffset = kEnvelopeSize + 12;
 
 bool set_nonblocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
@@ -42,18 +65,17 @@ sockaddr_in loopback(std::uint16_t port) {
   return addr;
 }
 
-void append_wire_frame(std::vector<std::byte>& out, Address from, Address to,
-                       const wire::Message& msg) {
-  std::byte envelope[kEnvelopeSize];
+/// Encodes envelope + codec frame into a kWireSize scratch record.
+void encode_record(std::byte* record, Address from, Address to,
+                   const wire::Message& msg) {
   const std::uint16_t magic = kEnvelopeMagic;
-  std::memcpy(envelope, &magic, 2);
-  envelope[2] = static_cast<std::byte>(from.kind);
-  envelope[3] = static_cast<std::byte>(to.kind);
-  std::memcpy(envelope + 4, &from.id, 4);
-  std::memcpy(envelope + 8, &to.id, 4);
+  std::memcpy(record, &magic, 2);
+  record[2] = static_cast<std::byte>(from.kind);
+  record[3] = static_cast<std::byte>(to.kind);
+  std::memcpy(record + 4, &from.id, 4);
+  std::memcpy(record + 8, &to.id, 4);
   const wire::EncodedMessage frame = wire::encode(msg);
-  out.insert(out.end(), envelope, envelope + kEnvelopeSize);
-  out.insert(out.end(), frame.begin(), frame.end());
+  std::memcpy(record + kEnvelopeSize, frame.data(), frame.size());
 }
 
 /// Parses one envelope; false on bad magic/kind.
@@ -74,6 +96,10 @@ bool parse_envelope(std::span<const std::byte> buf, Address* from,
   std::memcpy(&to->id, buf.data() + 8, 4);
   return true;
 }
+
+/// Domain separator for the per-link backoff jitter streams (arbitrary
+/// constant, distinct from the fault-plan coin domain).
+constexpr std::uint64_t kBackoffDomain = 0xb0ffb0ffb0ffb0ffULL;
 
 }  // namespace
 
@@ -104,34 +130,91 @@ void SocketTransport::unregister_handler(Address address) {
   handlers_.erase(address);
 }
 
-void SocketTransport::bill(Address from, Address to,
-                           const wire::Message& msg) {
-  if (from.kind != Address::Kind::kRegion) return;
-  const Bytes billable = msg.billable_bytes() * msg.weight;
-  if (billable == 0) return;
-  const auto index = static_cast<std::size_t>(from.id);
+void SocketTransport::bill_raw(Address::Kind to_kind, std::int32_t from_region,
+                               Bytes billable) {
+  const auto index = static_cast<std::size_t>(from_region);
   if (meters_.size() <= index) meters_.resize(index + 1);
-  if (to.kind == Address::Kind::kRegion) {
+  if (to_kind == Address::Kind::kRegion) {
     meters_[index].inter_region += billable;
   } else {
     meters_[index].internet += billable;
   }
 }
 
+void SocketTransport::bill(Address from, Address to,
+                           const wire::Message& msg) {
+  if (from.kind != Address::Kind::kRegion) return;
+  const Bytes billable = msg.billable_bytes() * msg.weight;
+  if (billable == 0) return;
+  bill_raw(to.kind, from.id, billable);
+}
+
 void SocketTransport::deliver_local(const wire::Message& msg, Address to) {
   // Deferred dispatch: the handler runs from the event loop, never inside
   // the send that produced the message — same asynchrony contract as the
   // simulator, which is what keeps middleware reentrancy assumptions valid
-  // on both planes.
-  schedule_after(0.0, [this, msg, to] {
-    const auto it = handlers_.find(to);
-    if (it == handlers_.end()) {
-      ++dropped_unregistered_;
-      return;
-    }
-    ++delivered_;
-    it->second(msg);
-  });
+  // on both planes. The pending queue (rather than a 0-delay timer) keeps
+  // the local fast path free of both the codec and per-message closure
+  // allocations.
+  pending_local_.push_back(LocalDelivery{to, msg});
+}
+
+SocketTransport::SendSegment* SocketTransport::tail_segment(Link& link) {
+  if (link.outbox.empty() ||
+      link.outbox.back()->bytes.size() + kWireSize > kSegmentBytes) {
+    link.outbox.push_back(acquire_segment());
+  }
+  return link.outbox.back().get();
+}
+
+std::unique_ptr<SocketTransport::SendSegment>
+SocketTransport::acquire_segment() {
+  ++stats_.pool_acquires;
+  ++segments_outstanding_;
+  stats_.pool_high_water =
+      std::max(stats_.pool_high_water, segments_outstanding_);
+  if (!segment_pool_.empty()) {
+    auto segment = std::move(segment_pool_.back());
+    segment_pool_.pop_back();
+    return segment;
+  }
+  auto segment = std::make_unique<SendSegment>();
+  segment->bytes.reserve(kSegmentBytes);
+  return segment;
+}
+
+void SocketTransport::release_segment(std::unique_ptr<SendSegment> segment) {
+  --segments_outstanding_;
+  segment->recycle();
+  segment_pool_.push_back(std::move(segment));
+}
+
+void SocketTransport::mark_dirty(std::int32_t node, Link& link) {
+  if (link.flush_queued) return;
+  link.flush_queued = true;
+  dirty_links_.push_back(node);
+}
+
+void SocketTransport::queue_frame(Link& link, const std::byte* record) {
+  SendSegment* segment = tail_segment(link);
+  segment->bytes.insert(segment->bytes.end(), record, record + kWireSize);
+  ++segment->frames;
+  link.pending_bytes += kWireSize;
+
+  if (link.fd < 0) {
+    if (!link.connecting && now() >= link.retry_at) try_connect(link);
+    return;
+  }
+  if (link.connecting) return;
+  if (batching_) {
+    // Coalesce: the whole round's frames leave in one vectored flush from
+    // poll_once(); EPOLLOUT interest is managed there as well.
+    mark_dirty(link.node, link);
+    return;
+  }
+  // Reference path: every frame flushed the moment it is queued — on an
+  // uncongested socket, one write syscall per frame (PR 7 behaviour).
+  if (!flush_link(link)) fail_link(link);
 }
 
 void SocketTransport::enqueue_remote(std::int32_t node, Address from,
@@ -143,15 +226,9 @@ void SocketTransport::enqueue_remote(std::int32_t node, Address from,
                           << wire::to_string(msg.type);
     return;
   }
-  Link& link = it->second;
-  append_wire_frame(link.outbox, from, to, msg);
-  if (link.fd < 0) {
-    if (!link.connecting && now() >= link.retry_at) try_connect(link);
-    return;
-  }
-  if (!link.connecting && !flush_link(link)) {
-    fail_link(link);
-  }
+  std::byte record[kWireSize];
+  encode_record(record, from, to, msg);
+  queue_frame(it->second, record);
 }
 
 void SocketTransport::send(Address from, Address to, wire::Message msg) {
@@ -173,15 +250,62 @@ void SocketTransport::send_batch(Address from,
                                  std::span<const Address> targets,
                                  const wire::Message& msg,
                                  wire::MessageType stamped_type) {
-  // Semantically the per-target copy-and-send loop (SimTransport's
-  // reference path); sockets gain nothing from batching beyond what the
-  // outbox already coalesces.
-  wire::Message copy = msg;
-  copy.type = stamped_type;
+  if (targets.empty()) return;
+  if (!batching_) {
+    // Reference path: the per-target copy-and-send loop (SimTransport's
+    // semantics), one full Message copy and one encode per target.
+    wire::Message copy = msg;
+    copy.type = stamped_type;
+    for (const Address to : targets) {
+      copy.subscriber = to.kind == Address::Kind::kClient ? to.as_client()
+                                                          : msg.subscriber;
+      send(from, to, copy);
+    }
+    return;
+  }
+
+  // Batched path: the stamped type and weight are uniform across the
+  // batch, so billable bytes are computed once; the record is encoded once
+  // and only the per-target fields (envelope destination, subscriber id)
+  // are patched per copy. Counters, billing and delivery order are
+  // exactly the per-target loop's.
+  wire::Message shared = msg;
+  shared.type = stamped_type;
+  const Bytes billable = from.kind == Address::Kind::kRegion
+                             ? shared.billable_bytes() * shared.weight
+                             : 0;
+  std::byte record[kWireSize];
+  bool encoded = false;
   for (const Address to : targets) {
-    copy.subscriber = to.kind == Address::Kind::kClient ? to.as_client()
-                                                        : msg.subscriber;
-    send(from, to, copy);
+    ++sent_;
+    if (billable != 0) bill_raw(to.kind, from.id, billable);
+    const ClientId subscriber =
+        to.kind == Address::Kind::kClient ? to.as_client() : msg.subscriber;
+    const std::int32_t node =
+        resolver_ == nullptr ? self_node_ : resolver_(to);
+    if (node == self_node_) {
+      // Local fast path: never touches the codec.
+      shared.subscriber = subscriber;
+      deliver_local(shared, to);
+      continue;
+    }
+    const auto it = links_.find(node);
+    if (it == links_.end()) {
+      ++dropped_unresolved_;
+      MP_LOG_WARN("socket") << "no link for node " << node << "; dropping "
+                            << wire::to_string(shared.type);
+      continue;
+    }
+    if (!encoded) {
+      shared.subscriber = subscriber;
+      encode_record(record, from, to, shared);
+      encoded = true;
+    }
+    record[kRecordToKindOffset] = static_cast<std::byte>(to.kind);
+    std::memcpy(record + kRecordToIdOffset, &to.id, 4);
+    const std::int32_t subscriber_id = subscriber.value();
+    std::memcpy(record + kRecordSubscriberOffset, &subscriber_id, 4);
+    queue_frame(it->second, record);
   }
 }
 
@@ -190,11 +314,15 @@ bool SocketTransport::listen(std::uint16_t port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return false;
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof(one)) != 0) {
+    ++stats_.syscall_soft_errors;
+  }
   sockaddr_in addr = loopback(port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
           0 ||
-      ::listen(listen_fd_, 64) != 0 || !set_nonblocking(listen_fd_)) {
+      ::listen(listen_fd_, kListenBacklog) != 0 ||
+      !set_nonblocking(listen_fd_)) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return false;
@@ -207,28 +335,75 @@ bool SocketTransport::listen(std::uint16_t port) {
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = listen_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    // Without epoll the listener would never be serviced: fail loudly.
+    ++stats_.syscall_soft_errors;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    port_ = 0;
+    return false;
+  }
   return true;
 }
 
 void SocketTransport::add_peer(std::int32_t node, std::uint16_t port) {
   MP_EXPECTS(node != self_node_);
   Link& link = links_[node];
+  link.node = node;
   link.peer_port = port;
   if (link.fd < 0 && !link.connecting) try_connect(link);
+}
+
+Rng& SocketTransport::backoff_rng(std::int32_t node) {
+  const auto it = backoff_rngs_.find(node);
+  if (it != backoff_rngs_.end()) return it->second;
+  // Keyed by (self node, peer node): each direction of each pair jitters
+  // independently, so a cluster of nodes retrying one dead peer never
+  // hammers it in lock-step — yet every run of the same deployment shape
+  // draws the identical sequence.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(self_node_))
+       << 32) ^
+      static_cast<std::uint32_t>(node);
+  return backoff_rngs_
+      .emplace(node, Rng(derive_stream_seed(kBackoffDomain, key)))
+      .first->second;
+}
+
+Millis SocketTransport::backoff_delay_ms(std::uint32_t attempt, Rng& rng) {
+  const double doubling =
+      std::ldexp(kBackoffBaseMs, static_cast<int>(std::min(attempt, 24u)));
+  return std::min(doubling, kBackoffCapMs) *
+         rng.uniform(1.0, 1.0 + kBackoffJitter);
+}
+
+void SocketTransport::schedule_retry(Link& link) {
+  link.retry_at =
+      now() + backoff_delay_ms(link.connect_attempts, backoff_rng(link.node));
+  if (link.connect_attempts < ~0u) ++link.connect_attempts;
 }
 
 void SocketTransport::try_connect(Link& link) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    link.retry_at = now() + kReconnectBackoffMs;
+    schedule_retry(link);
     return;
   }
   const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    ++stats_.syscall_soft_errors;
+  }
+  if (socket_buffer_bytes_ > 0) {
+    if (::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &socket_buffer_bytes_,
+                     sizeof(socket_buffer_bytes_)) != 0 ||
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &socket_buffer_bytes_,
+                     sizeof(socket_buffer_bytes_)) != 0) {
+      ++stats_.syscall_soft_errors;
+    }
+  }
   if (!set_nonblocking(fd)) {
     ::close(fd);
-    link.retry_at = now() + kReconnectBackoffMs;
+    schedule_retry(link);
     return;
   }
   sockaddr_in addr = loopback(link.peer_port);
@@ -236,7 +411,7 @@ void SocketTransport::try_connect(Link& link) {
       ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc != 0 && errno != EINPROGRESS) {
     ::close(fd);
-    link.retry_at = now() + kReconnectBackoffMs;
+    schedule_retry(link);
     return;
   }
   link.fd = fd;
@@ -244,13 +419,22 @@ void SocketTransport::try_connect(Link& link) {
   epoll_event ev{};
   // While connecting, EPOLLOUT signals the outcome; once up, EPOLLOUT is
   // armed only when the outbox has bytes (update_epoll).
-  ev.events = EPOLLIN | (link.connecting || !link.outbox.empty()
+  ev.events = EPOLLIN | (link.connecting || link.pending_bytes > 0
                              ? EPOLLOUT
                              : 0u);
   ev.data.fd = fd;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
-  if (!link.connecting && !link.outbox.empty() && !flush_link(link)) {
-    fail_link(link);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ++stats_.syscall_soft_errors;
+    ::close(fd);
+    link.fd = -1;
+    link.connecting = false;
+    schedule_retry(link);
+    return;
+  }
+  fd_to_node_[fd] = link.node;
+  if (!link.connecting) {
+    link.connect_attempts = 0;
+    if (link.pending_bytes > 0 && !flush_link(link)) fail_link(link);
   }
 }
 
@@ -263,59 +447,129 @@ void SocketTransport::finish_connect(Link& link) {
     return;
   }
   link.connecting = false;
+  link.connect_attempts = 0;
   if (!flush_link(link)) {
     fail_link(link);
     return;
   }
-  update_epoll(link.fd, !link.outbox.empty());
+  update_epoll(link.fd, link.pending_bytes > 0);
 }
 
 void SocketTransport::fail_link(Link& link) {
   if (link.fd >= 0) {
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, link.fd, nullptr);
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, link.fd, nullptr) != 0) {
+      ++stats_.syscall_soft_errors;
+    }
+    fd_to_node_.erase(link.fd);
     ::close(link.fd);
     link.fd = -1;
   }
   link.connecting = false;
-  link.inbox.clear();  // mid-frame bytes are useless after a reconnect
-  link.retry_at = now() + kReconnectBackoffMs;
+  link.inbox.reset();  // mid-record bytes are useless after a reconnect
+  link.partial_frame_bytes = 0;
+  schedule_retry(link);
   ++reconnects_;
 }
 
 bool SocketTransport::flush_link(Link& link) {
-  std::size_t sent = 0;
-  while (sent < link.outbox.size()) {
-    const ssize_t n = ::send(link.fd, link.outbox.data() + sent,
-                             link.outbox.size() - sent, MSG_NOSIGNAL);
+  std::uint64_t frames_done = 0;
+  std::size_t written_total = 0;
+  bool blocked = false;
+  while (link.pending_bytes > 0) {
+    iovec iov[kMaxIov];
+    std::size_t iov_count = 0;
+    for (const auto& segment : link.outbox) {
+      if (iov_count == kMaxIov) break;
+      if (segment->pending() == 0) continue;
+      iov[iov_count].iov_base = segment->bytes.data() + segment->read;
+      iov[iov_count].iov_len = segment->pending();
+      ++iov_count;
+    }
+    ssize_t n = 0;
+    if (iov_count == 1) {
+      n = ::send(link.fd, iov[0].iov_base, iov[0].iov_len, MSG_NOSIGNAL);
+      ++stats_.send_calls;
+    } else {
+      msghdr header{};
+      header.msg_iov = iov;
+      header.msg_iovlen = iov_count;
+      n = ::sendmsg(link.fd, &header, MSG_NOSIGNAL);
+      ++stats_.sendmsg_calls;
+    }
     if (n > 0) {
-      sent += static_cast<std::size_t>(n);
+      std::size_t remaining = static_cast<std::size_t>(n);
+      written_total += remaining;
+      link.pending_bytes -= remaining;
+      frames_done += (link.partial_frame_bytes + remaining) / kWireSize;
+      link.partial_frame_bytes =
+          (link.partial_frame_bytes + remaining) % kWireSize;
+      while (remaining > 0) {
+        SendSegment* front = link.outbox.front().get();
+        const std::size_t take = std::min(front->pending(), remaining);
+        front->read += take;
+        remaining -= take;
+        if (front->pending() == 0) {
+          release_segment(std::move(link.outbox.front()));
+          link.outbox.pop_front();
+        }
+      }
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      blocked = true;
+      break;
+    }
     if (n < 0 && errno == EINTR) continue;
     return false;
   }
-  link.outbox.erase(link.outbox.begin(),
-                    link.outbox.begin() + static_cast<std::ptrdiff_t>(sent));
-  update_epoll(link.fd, !link.outbox.empty());
+  if (written_total > 0) {
+    stats_.bytes_sent += written_total;
+    stats_.frames_sent += frames_done;
+    ++stats_.flushes;
+    if (blocked) ++stats_.partial_flushes;
+    if (frames_done > 0) {
+      const auto bucket = std::min<std::size_t>(
+          std::bit_width(frames_done) - 1, stats_.flush_frames_hist.size() - 1);
+      ++stats_.flush_frames_hist[bucket];
+    }
+  }
+  update_epoll(link.fd, link.pending_bytes > 0);
   return true;
+}
+
+void SocketTransport::flush_dirty_links() {
+  // A flush can fail the link (scheduling a reconnect), which re-queues
+  // nothing: the segments stay on the outbox for the next connect.
+  for (std::size_t i = 0; i < dirty_links_.size(); ++i) {
+    const auto it = links_.find(dirty_links_[i]);
+    if (it == links_.end()) continue;
+    Link& link = it->second;
+    link.flush_queued = false;
+    if (link.fd < 0 || link.connecting || link.pending_bytes == 0) continue;
+    if (!flush_link(link)) fail_link(link);
+  }
+  dirty_links_.clear();
 }
 
 void SocketTransport::update_epoll(int fd, bool want_write) {
   epoll_event ev{};
   ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
   ev.data.fd = fd;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    ++stats_.syscall_soft_errors;
+  }
 }
 
-void SocketTransport::read_link(int fd, std::vector<std::byte>& inbox,
+void SocketTransport::read_link(int fd, wire::StreamDecoder& inbox,
                                 bool* closed) {
   *closed = false;
-  std::byte buffer[16384];
   while (true) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    std::byte* window = inbox.write_window(kReadChunk);
+    const ssize_t n = ::recv(fd, window, kReadChunk, 0);
     if (n > 0) {
-      inbox.insert(inbox.end(), buffer, buffer + n);
+      ++stats_.read_calls;
+      stats_.bytes_received += static_cast<std::uint64_t>(n);
+      inbox.commit(static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -324,28 +578,18 @@ void SocketTransport::read_link(int fd, std::vector<std::byte>& inbox,
     break;
   }
 
-  std::size_t offset = 0;
-  while (inbox.size() - offset >= kWireSize) {
-    const auto span = std::span<const std::byte>(inbox).subspan(offset);
+  std::span<const std::byte> envelope;
+  while (const auto msg = inbox.next(&envelope)) {
     Address from;
     Address to;
-    if (!parse_envelope(span.first(kEnvelopeSize), &from, &to)) {
+    if (!parse_envelope(envelope, &from, &to)) {
       MP_LOG_WARN("socket") << "bad envelope on fd " << fd
                             << "; closing connection";
       *closed = true;
-      inbox.clear();
+      inbox.reset();
       return;
     }
-    const auto msg =
-        wire::decode(span.subspan(kEnvelopeSize, wire::kEncodedSize));
-    if (!msg.has_value()) {
-      MP_LOG_WARN("socket") << "corrupt frame on fd " << fd
-                            << "; closing connection";
-      *closed = true;
-      inbox.clear();
-      return;
-    }
-    offset += kWireSize;
+    ++stats_.frames_received;
     const auto it = handlers_.find(to);
     if (it == handlers_.end()) {
       ++dropped_unregistered_;
@@ -354,7 +598,12 @@ void SocketTransport::read_link(int fd, std::vector<std::byte>& inbox,
     ++delivered_;
     it->second(*msg);
   }
-  inbox.erase(inbox.begin(), inbox.begin() + static_cast<std::ptrdiff_t>(offset));
+  if (inbox.corrupt()) {
+    MP_LOG_WARN("socket") << "corrupt frame on fd " << fd
+                          << "; closing connection";
+    *closed = true;
+    inbox.reset();
+  }
 }
 
 void SocketTransport::accept_pending() {
@@ -362,16 +611,30 @@ void SocketTransport::accept_pending() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;
     const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+      ++stats_.syscall_soft_errors;
+    }
+    if (socket_buffer_bytes_ > 0) {
+      if (::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &socket_buffer_bytes_,
+                       sizeof(socket_buffer_bytes_)) != 0 ||
+          ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &socket_buffer_bytes_,
+                       sizeof(socket_buffer_bytes_)) != 0) {
+        ++stats_.syscall_soft_errors;
+      }
+    }
     if (!set_nonblocking(fd)) {
       ::close(fd);
       continue;
     }
-    inbound_[fd];
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ++stats_.syscall_soft_errors;
+      ::close(fd);
+      continue;
+    }
+    inbound_.emplace(fd, wire::StreamDecoder(kEnvelopeSize));
   }
 }
 
@@ -387,14 +650,40 @@ std::size_t SocketTransport::fire_due_timers() {
   return fired;
 }
 
+std::size_t SocketTransport::drain_local_and_timers() {
+  // Local deliveries queued before this pass — and any their handlers or
+  // due timer actions produce — all dispatch in the same pass, matching
+  // the old 0-delay-timer semantics (due <= now fires until exhausted).
+  std::size_t progressed_total = 0;
+  while (true) {
+    std::size_t progressed = 0;
+    while (!pending_local_.empty()) {
+      LocalDelivery delivery = std::move(pending_local_.front());
+      pending_local_.pop_front();
+      ++progressed;
+      const auto it = handlers_.find(delivery.to);
+      if (it == handlers_.end()) {
+        ++dropped_unregistered_;
+        continue;
+      }
+      ++delivered_;
+      it->second(delivery.msg);
+    }
+    progressed += fire_due_timers();
+    if (progressed == 0) return progressed_total;
+    progressed_total += progressed;
+  }
+}
+
 int SocketTransport::next_deadline_wait(int max_wait_ms) const {
+  if (!pending_local_.empty()) return 0;
   Millis wait = static_cast<Millis>(max_wait_ms);
   const Millis current = now();
   if (!timers_.empty()) {
     wait = std::min(wait, timers_.top().due - current);
   }
   for (const auto& [node, link] : links_) {
-    if (link.fd < 0 && !link.outbox.empty()) {
+    if (link.fd < 0 && link.pending_bytes > 0) {
       wait = std::min(wait, link.retry_at - current);
     }
   }
@@ -407,11 +696,15 @@ std::size_t SocketTransport::poll_once(int max_wait_ms) {
 
   // Retry due down-links that still have traffic queued.
   for (auto& [node, link] : links_) {
-    if (link.fd < 0 && !link.outbox.empty() && !link.connecting &&
+    if (link.fd < 0 && link.pending_bytes > 0 && !link.connecting &&
         now() >= link.retry_at) {
       try_connect(link);
     }
   }
+
+  // Frames queued since the last pass (sends made outside the event loop)
+  // leave before we sleep on readiness.
+  flush_dirty_links();
 
   epoll_event events[64];
   const int n = ::epoll_wait(epoll_fd_, events, 64,
@@ -430,39 +723,47 @@ std::size_t SocketTransport::poll_once(int max_wait_ms) {
         read_link(fd, inbound->second, &closed);
       }
       if (closed) {
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+          ++stats_.syscall_soft_errors;
+        }
         ::close(fd);
         inbound_.erase(inbound);
       }
       continue;
     }
 
-    for (auto& [node, link] : links_) {
-      if (link.fd != fd) continue;
-      if (link.connecting) {
-        if ((mask & (EPOLLOUT | EPOLLHUP | EPOLLERR)) != 0) {
-          finish_connect(link);
-        }
-        break;
+    // A dispatch above may add peers (rehashing links_), so resolve the
+    // link by fd each time instead of iterating the map.
+    const auto owner = fd_to_node_.find(fd);
+    if (owner == fd_to_node_.end()) continue;
+    const auto it = links_.find(owner->second);
+    if (it == links_.end()) continue;
+    Link& link = it->second;
+    if (link.connecting) {
+      if ((mask & (EPOLLOUT | EPOLLHUP | EPOLLERR)) != 0) {
+        finish_connect(link);
       }
-      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
-        fail_link(link);
-        break;
-      }
-      if ((mask & EPOLLOUT) != 0 && !flush_link(link)) {
-        fail_link(link);
-        break;
-      }
-      if ((mask & EPOLLIN) != 0) {
-        bool closed = false;
-        read_link(fd, link.inbox, &closed);
-        if (closed) fail_link(link);
-      }
-      break;
+      continue;
+    }
+    if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+      fail_link(link);
+      continue;
+    }
+    if ((mask & EPOLLOUT) != 0 && !flush_link(link)) {
+      fail_link(link);
+      continue;
+    }
+    if ((mask & EPOLLIN) != 0) {
+      bool closed = false;
+      read_link(fd, link.inbox, &closed);
+      if (closed) fail_link(link);
     }
   }
 
-  fire_due_timers();
+  drain_local_and_timers();
+  // Everything the round's handlers and timers queued leaves in one
+  // vectored flush per link.
+  flush_dirty_links();
   return delivered_ - before;
 }
 
@@ -509,6 +810,7 @@ void SocketTransport::close_all() {
   }
   for (auto& [fd, inbox] : inbound_) ::close(fd);
   inbound_.clear();
+  fd_to_node_.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -518,6 +820,38 @@ void SocketTransport::close_all() {
     ::close(epoll_fd_);
     epoll_fd_ = -1;
   }
+}
+
+MetricsRegistry collect_transport_metrics(const SocketTransport& transport) {
+  const TransportStats& stats = transport.stats();
+  MetricsRegistry registry;
+  const auto put = [&registry](const char* name, double value) {
+    registry.set(std::string("net.transport.") + name, value);
+  };
+  put("sendmsg_calls", static_cast<double>(stats.sendmsg_calls));
+  put("send_calls", static_cast<double>(stats.send_calls));
+  put("read_calls", static_cast<double>(stats.read_calls));
+  put("bytes_sent", static_cast<double>(stats.bytes_sent));
+  put("bytes_received", static_cast<double>(stats.bytes_received));
+  put("frames_sent", static_cast<double>(stats.frames_sent));
+  put("frames_received", static_cast<double>(stats.frames_received));
+  put("flushes", static_cast<double>(stats.flushes));
+  put("partial_flushes", static_cast<double>(stats.partial_flushes));
+  put("frames_per_flush", stats.frames_per_flush());
+  for (std::size_t i = 0; i < stats.flush_frames_hist.size(); ++i) {
+    put(("flush_frames_b" + std::to_string(1ull << i)).c_str(),
+        static_cast<double>(stats.flush_frames_hist[i]));
+  }
+  put("pool_acquires", static_cast<double>(stats.pool_acquires));
+  put("pool_high_water", static_cast<double>(stats.pool_high_water));
+  put("syscall_soft_errors", static_cast<double>(stats.syscall_soft_errors));
+  put("reconnects", static_cast<double>(transport.reconnect_count()));
+  put("sent", static_cast<double>(transport.sent_count()));
+  put("delivered", static_cast<double>(transport.delivered_count()));
+  put("dropped_unresolved", static_cast<double>(transport.dropped_unresolved()));
+  put("dropped_unregistered",
+      static_cast<double>(transport.dropped_unregistered()));
+  return registry;
 }
 
 }  // namespace multipub::net

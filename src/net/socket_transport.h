@@ -11,40 +11,90 @@
 // keeps one outbound connection per peer it was told about (add_peer);
 // inbound connections are accepted and read from, so a pair of nodes talks
 // over two unidirectional streams — no connection-identity handshake
-// needed. Outbound connects are lazy and retried with a flat backoff, and
-// frames queued while a link is down are flushed on (re)connect.
+// needed. Outbound connects are lazy and retried with capped exponential
+// backoff plus seeded deterministic jitter, and frames queued while a link
+// is down are flushed on (re)connect.
 //
 // Addressing: wire::Messages travel between net::Addresses, but sockets
 // connect nodes. An address resolver (set_address_resolver) maps each
 // Address to the node hosting it — a region maps to its broker node,
 // clients and cohorts to their home region's node, the controller to
 // kControllerNode. An address resolving to the local node dispatches
-// through the local handler table (deferred to the next poll_once pass, so
-// a handler never runs inside send(), matching the simulator's asynchrony
-// contract).
+// through the local handler table without ever touching the codec
+// (deferred to the next poll_once pass, so a handler never runs inside
+// send(), matching the simulator's asynchrony contract).
 //
 // Framing: a 12-byte envelope (magic, from/to address) followed by the
 // codec's fixed frame. The envelope carries the addressing the codec frame
 // does not, so the receiver can route to the right handler.
 //
-// Billing mirrors SimTransport's cost model: when the sender address is a
-// region, billable_bytes() x weight is charged to that region's
-// inter-region meter (region destination) or internet meter (client/cohort
-// destination); dollars are derived from the catalog tariff at read time.
+// Hot path (DESIGN.md §16): outbound frames are encoded straight into
+// pooled, reusable send segments — send_batch() encodes the shared frame
+// ONCE and patches only the per-target fields per copy — and a whole
+// poll_once() round's frames per link are flushed with one bounded-iovec
+// sendmsg() (partial writes resume mid-record). Inbound bytes are
+// bulk-recv()'d into a per-connection wire::StreamDecoder and decoded in
+// place with a resumable cursor: no per-message allocation in either
+// direction. set_batching(false) keeps the PR 7 reference behaviour —
+// per-message encode, immediate flush after every frame — as the in-tree
+// oracle bench_transport measures the batched path against.
+//
+// Billing mirrors SimTransport's cost model in both modes: when the sender
+// address is a region, billable_bytes() x weight is charged to that
+// region's inter-region meter (region destination) or internet meter
+// (client/cohort destination); dollars are derived from the catalog tariff
+// at read time.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/rng.h"
 #include "geo/region.h"
 #include "net/bus.h"
 #include "wire/codec.h"
+#include "wire/stream_decoder.h"
 
 namespace multipub::net {
+
+/// Syscall/copy telemetry of the socket hot path (the `net.transport.*`
+/// metrics family; see collect_transport_metrics). Counters only — reading
+/// them never perturbs the transport.
+struct TransportStats {
+  std::uint64_t sendmsg_calls = 0;   ///< vectored flush syscalls
+  std::uint64_t send_calls = 0;      ///< single-buffer send() syscalls
+  std::uint64_t read_calls = 0;      ///< recv() syscalls
+  std::uint64_t bytes_sent = 0;      ///< bytes accepted by the kernel
+  std::uint64_t bytes_received = 0;
+  std::uint64_t frames_sent = 0;     ///< complete frames handed to the kernel
+  std::uint64_t frames_received = 0;
+  std::uint64_t flushes = 0;         ///< flush rounds that moved >= 1 byte
+  std::uint64_t partial_flushes = 0; ///< flushes stopped early by EAGAIN
+  /// Frames completed per flush, log2 buckets with lower bounds
+  /// 1,2,4,...,128 (the last bucket is unbounded): the writev batch-size
+  /// histogram. A healthy batched run has most mass past bucket 0.
+  std::array<std::uint64_t, 8> flush_frames_hist{};
+  std::uint64_t pool_acquires = 0;     ///< send segments handed out
+  std::uint64_t pool_high_water = 0;   ///< max segments outstanding at once
+  std::uint64_t syscall_soft_errors = 0;  ///< failed setsockopt/epoll_ctl
+
+  [[nodiscard]] std::uint64_t flush_syscalls() const {
+    return sendmsg_calls + send_calls;
+  }
+  [[nodiscard]] double frames_per_flush() const {
+    return flushes == 0 ? 0.0
+                        : static_cast<double>(frames_sent) /
+                              static_cast<double>(flushes);
+  }
+};
 
 class SocketTransport final : public Bus, public Clock {
  public:
@@ -93,8 +143,9 @@ class SocketTransport final : public Bus, public Clock {
   void set_self_node(std::int32_t node) { self_node_ = node; }
 
   /// Declares a peer node reachable on 127.0.0.1:`port`. The connection is
-  /// established lazily (first send or next poll) and re-established with a
-  /// flat backoff after failures; frames sent meanwhile are queued.
+  /// established lazily (first send or next poll) and re-established with
+  /// capped exponential backoff after failures; frames sent meanwhile are
+  /// queued.
   void add_peer(std::int32_t node, std::uint16_t port);
 
   void set_address_resolver(AddressResolver resolver) {
@@ -105,11 +156,26 @@ class SocketTransport final : public Bus, public Clock {
   /// case only byte meters are available).
   void set_catalog(const geo::RegionCatalog* catalog) { catalog_ = catalog; }
 
+  /// Batched send path (default on): frames coalesce per link across a
+  /// poll_once() round and flush with one vectored sendmsg(). Off keeps
+  /// the reference behaviour — every frame flushed the moment it is
+  /// queued, one write per frame on an uncongested socket. Billing and
+  /// delivery order are identical in both modes.
+  void set_batching(bool on) { batching_ = on; }
+  [[nodiscard]] bool batching() const { return batching_; }
+
+  /// Applies SO_SNDBUF/SO_RCVBUF of `bytes` to every subsequently created
+  /// connection (0 = kernel default). Exists so tests can shrink the
+  /// socket buffers far enough to exercise the partial-writev resume path.
+  void set_socket_buffer_bytes(int bytes) { socket_buffer_bytes_ = bytes; }
+
   // ---- Event loop ----
 
   /// One IO pass: waits up to `max_wait_ms` for socket readiness (clamped
-  /// by the next due timer), services accepts/reads/writes/reconnects and
-  /// fires due timers. Returns the number of handler dispatches.
+  /// by the next due timer and by pending local deliveries), services
+  /// accepts/reads/writes/reconnects, fires due timers, dispatches local
+  /// deliveries and flushes every link that queued frames this round.
+  /// Returns the number of handler dispatches.
   std::size_t poll_once(int max_wait_ms);
 
   /// Polls until `idle_ms` elapse without a single dispatch (or until
@@ -127,6 +193,21 @@ class SocketTransport final : public Bus, public Clock {
     return dropped_unregistered_;
   }
   [[nodiscard]] std::uint64_t reconnect_count() const { return reconnects_; }
+  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+
+  /// Reconnect backoff schedule: first retry ~kBackoffBaseMs after the
+  /// failure, doubling per consecutive failure up to kBackoffCapMs, each
+  /// delay stretched by deterministic per-link jitter.
+  static constexpr Millis kBackoffBaseMs = 25.0;
+  static constexpr Millis kBackoffCapMs = 2000.0;
+  static constexpr double kBackoffJitter = 0.25;
+
+  /// Reconnect delay before attempt number `attempt` (0-based), in ms:
+  /// min(kBackoffCapMs, kBackoffBaseMs * 2^attempt) stretched by a
+  /// uniform [1, 1 + kBackoffJitter) factor drawn from `rng`. Public and
+  /// pure so the backoff contract is testable without a dead peer.
+  [[nodiscard]] static Millis backoff_delay_ms(std::uint32_t attempt,
+                                               Rng& rng);
 
   /// Cumulative billed egress bytes for a sender region.
   [[nodiscard]] Bytes inter_region_bytes(RegionId region) const;
@@ -138,13 +219,35 @@ class SocketTransport final : public Bus, public Clock {
   void close_all();
 
  private:
+  /// One pooled, reusable send buffer: frames are encoded into `bytes`
+  /// at the tail and drained from `read` by the flush path. Fully drained
+  /// segments return to the pool instead of being freed, so a steady-state
+  /// link sends without allocating.
+  struct SendSegment {
+    std::vector<std::byte> bytes;
+    std::size_t read = 0;        ///< bytes already written to the socket
+    std::uint64_t frames = 0;    ///< frames queued into this segment
+
+    [[nodiscard]] std::size_t pending() const { return bytes.size() - read; }
+    void recycle() {
+      bytes.clear();
+      read = 0;
+      frames = 0;
+    }
+  };
+
   struct Link {
+    std::int32_t node = 0;              // peer node id (links_ key)
     std::uint16_t peer_port = 0;        // where the peer listens (outbound)
     int fd = -1;
     bool connecting = false;            // nonblocking connect in flight
-    std::vector<std::byte> inbox;
-    std::vector<std::byte> outbox;
+    wire::StreamDecoder inbox{/*header_bytes=*/12};
+    std::deque<std::unique_ptr<SendSegment>> outbox;
+    std::size_t pending_bytes = 0;      // unsent bytes across the outbox
+    std::size_t partial_frame_bytes = 0;  // bytes of a half-written record
     Millis retry_at = 0.0;              // next connect attempt (down links)
+    std::uint32_t connect_attempts = 0; // consecutive failures (backoff)
+    bool flush_queued = false;          // on this round's flush list
   };
 
   struct Timer {
@@ -161,33 +264,63 @@ class SocketTransport final : public Bus, public Clock {
     Bytes internet = 0;
   };
 
+  /// A same-node delivery waiting for the next poll_once() pass.
+  struct LocalDelivery {
+    Address to;
+    wire::Message msg;
+  };
+
   void bill(Address from, Address to, const wire::Message& msg);
+  void bill_raw(Address::Kind to_kind, std::int32_t from_region,
+                Bytes billable);
   void deliver_local(const wire::Message& msg, Address to);
   void enqueue_remote(std::int32_t node, Address from, Address to,
                       const wire::Message& msg);
+  /// Appends one encoded record to the link's outbox; flushes immediately
+  /// in unbatched mode, otherwise defers to the round flush.
+  void queue_frame(Link& link, const std::byte* record);
+  void mark_dirty(std::int32_t node, Link& link);
+  void flush_dirty_links();
+  std::size_t drain_local_and_timers();
+  SendSegment* tail_segment(Link& link);
+  std::unique_ptr<SendSegment> acquire_segment();
+  void release_segment(std::unique_ptr<SendSegment> segment);
   void try_connect(Link& link);
   void finish_connect(Link& link);
   void fail_link(Link& link);
+  void schedule_retry(Link& link);
   bool flush_link(Link& link);
-  void read_link(int fd, std::vector<std::byte>& inbox, bool* closed);
+  void read_link(int fd, wire::StreamDecoder& inbox, bool* closed);
   void accept_pending();
   void update_epoll(int fd, bool want_write);
   std::size_t fire_due_timers();
   [[nodiscard]] int next_deadline_wait(int max_wait_ms) const;
+  [[nodiscard]] Rng& backoff_rng(std::int32_t node);
 
   std::chrono::steady_clock::time_point epoch_;
   int epoll_fd_ = -1;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::int32_t self_node_ = kControllerNode;
+  bool batching_ = true;
+  int socket_buffer_bytes_ = 0;
   AddressResolver resolver_;
   const CohortDirectory* directory_ = nullptr;
   const geo::RegionCatalog* catalog_ = nullptr;
 
   std::unordered_map<Address, Handler, AddressHash> handlers_;
-  std::unordered_map<std::int32_t, Link> links_;       // node -> outbound
-  std::unordered_map<int, std::vector<std::byte>> inbound_;  // fd -> inbox
+  std::unordered_map<std::int32_t, Link> links_;  // node -> outbound
+  std::unordered_map<int, std::int32_t> fd_to_node_;      // outbound fd owner
+  std::unordered_map<int, wire::StreamDecoder> inbound_;  // fd -> decoder
+  std::unordered_map<std::int32_t, Rng> backoff_rngs_;    // node -> jitter
 
+  /// Links that queued frames since their last flush (batched mode).
+  std::vector<std::int32_t> dirty_links_;
+  /// Pooled send segments not currently owned by any link.
+  std::vector<std::unique_ptr<SendSegment>> segment_pool_;
+  std::uint64_t segments_outstanding_ = 0;
+
+  std::deque<LocalDelivery> pending_local_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::uint64_t timer_seq_ = 0;
 
@@ -197,6 +330,13 @@ class SocketTransport final : public Bus, public Clock {
   std::uint64_t dropped_unresolved_ = 0;
   std::uint64_t dropped_unregistered_ = 0;
   std::uint64_t reconnects_ = 0;
+  TransportStats stats_;
 };
+
+/// Snapshots the transport's hot-path telemetry into a registry under the
+/// `net.transport.*` prefix (mirrors the dataplane.* WindowStats pattern:
+/// strictly observational, never part of the billing/counter contract).
+[[nodiscard]] MetricsRegistry collect_transport_metrics(
+    const SocketTransport& transport);
 
 }  // namespace multipub::net

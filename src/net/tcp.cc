@@ -78,7 +78,7 @@ int TcpEndpoint::connect_to(std::uint16_t port) {
     return -1;
   }
   const int handle = next_handle_++;
-  peers_[handle] = Peer{fd, {}, {}};
+  peers_[handle] = Peer{fd, wire::StreamDecoder{}, {}};
   return handle;
 }
 
@@ -149,7 +149,7 @@ void TcpEndpoint::accept_pending() {
       ::close(fd);
       continue;
     }
-    peers_[next_handle_++] = Peer{fd, {}, {}};
+    peers_[next_handle_++] = Peer{fd, wire::StreamDecoder{}, {}};
   }
 }
 
@@ -160,37 +160,35 @@ std::size_t TcpEndpoint::pending_send_bytes(int peer) const {
 
 bool TcpEndpoint::read_from(int handle) {
   auto& peer = peers_.at(handle);
-  std::byte buffer[4096];
+  constexpr std::size_t kReadChunk = 16 * 1024;
+  bool closed = false;
   while (true) {
-    const ssize_t n = ::recv(peer.fd, buffer, sizeof(buffer), 0);
+    // Bulk-read straight into the decoder's buffer: no intermediate copy.
+    std::byte* window = peer.inbox.write_window(kReadChunk);
+    const ssize_t n = ::recv(peer.fd, window, kReadChunk, 0);
     if (n > 0) {
-      peer.inbox.insert(peer.inbox.end(), buffer, buffer + n);
+      peer.inbox.commit(static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    return false;  // closed or error
+    if (n < 0 && errno == EINTR) continue;
+    closed = true;  // orderly close or error
+    break;
   }
 
-  // Dispatch every complete frame in the buffer.
-  std::size_t offset = 0;
-  while (peer.inbox.size() - offset >= wire::kEncodedSize) {
-    const auto frame =
-        std::span<const std::byte>(peer.inbox).subspan(offset,
-                                                       wire::kEncodedSize);
-    const auto msg = wire::decode(frame);
-    if (!msg.has_value()) {
-      ++corrupt_;
-      MP_LOG_WARN("tcp") << "corrupt frame from peer " << handle
-                         << "; dropping connection";
-      return false;
-    }
+  // Dispatch every complete frame, even when the peer closed right after
+  // sending them.
+  while (const auto msg = peer.inbox.next()) {
     ++received_;
     handler_(*msg);
-    offset += wire::kEncodedSize;
   }
-  peer.inbox.erase(peer.inbox.begin(),
-                   peer.inbox.begin() + static_cast<std::ptrdiff_t>(offset));
-  return true;
+  if (peer.inbox.corrupt()) {
+    ++corrupt_;
+    MP_LOG_WARN("tcp") << "corrupt frame from peer " << handle
+                       << "; dropping connection";
+    return false;
+  }
+  return !closed;
 }
 
 std::size_t TcpEndpoint::poll(int timeout_ms) {

@@ -18,6 +18,7 @@
 
 #include "wire/codec.h"
 #include "wire/message.h"
+#include "wire/stream_decoder.h"
 
 namespace multipub::net {
 
@@ -73,7 +74,7 @@ class TcpEndpoint {
  private:
   struct Peer {
     int fd = -1;
-    std::vector<std::byte> inbox;   // partial inbound frame buffer
+    wire::StreamDecoder inbox{};    // resumable inbound frame reassembly
     std::vector<std::byte> outbox;  // unsent outbound bytes (backpressure)
   };
 

@@ -15,6 +15,7 @@ BrokerNode::BrokerNode(const sim::Scenario& scenario, RegionId self,
   MP_EXPECTS(options.time_scale > 0.0);
   transport_.set_self_node(self.value());
   transport_.set_catalog(&scenario.catalog);
+  transport_.set_batching(options.transport_batching);
   // Region -> its broker node; client/cohort -> its home region's node;
   // anything else (the controller's own addresses never appear here) ->
   // the controller.
@@ -330,6 +331,11 @@ void BrokerNode::write_metrics() const {
   std::fprintf(out, "transport.internet_bytes %llu\n",
                static_cast<unsigned long long>(
                    transport_.internet_bytes(self_)));
+  // Hot-path telemetry (net.transport.*): observational only, never part
+  // of the convergence contract.
+  const std::string hot_path =
+      net::collect_transport_metrics(transport_).render();
+  std::fwrite(hot_path.data(), 1, hot_path.size(), out);
   std::fclose(out);
 }
 

@@ -39,6 +39,10 @@ struct BrokerNodeOptions {
   /// wired here — a deployment's peers are independent OS processes, and
   /// the controller does not (yet) assign standbys over TCP.
   bool reliable = false;
+  /// Batched transport hot path (DESIGN.md §16): coalesced vectored
+  /// flushes and encode-once fan-out. Off keeps the per-frame-flush
+  /// reference behaviour; billing and delivery are identical either way.
+  bool transport_batching = true;
 };
 
 class BrokerNode {

@@ -25,6 +25,7 @@ ControllerNode::ControllerNode(const sim::Scenario& scenario,
 
   transport_.set_self_node(net::SocketTransport::kControllerNode);
   transport_.set_catalog(&scenario.catalog);
+  transport_.set_batching(options.transport_batching);
   const sim::Scenario* world = scenario_;
   transport_.set_address_resolver([world](net::Address to) -> std::int32_t {
     switch (to.kind) {
@@ -305,6 +306,11 @@ void ControllerNode::write_metrics() const {
                  static_cast<unsigned long long>(r),
                  static_cast<unsigned long long>(heartbeats_[r]));
   }
+  // Hot-path telemetry (net.transport.*): observational only, never part
+  // of the convergence contract.
+  const std::string hot_path =
+      net::collect_transport_metrics(transport_).render();
+  std::fwrite(hot_path.data(), 1, hot_path.size(), out);
   // The deployed assignment matrix, one commented line per topic, exactly
   // as the digital twin renders it.
   const std::string matrix = controller_->render_assignment_matrix();

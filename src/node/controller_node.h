@@ -32,6 +32,8 @@ struct ControllerNodeOptions {
   std::string metrics_path;       ///< empty = no metrics file
   /// Seed handed to brokers in kNodeWelcome.key (heartbeat jitter).
   std::uint64_t seed = 0;
+  /// Batched transport hot path (DESIGN.md §16); see BrokerNodeOptions.
+  bool transport_batching = true;
 };
 
 class ControllerNode {

@@ -1,0 +1,73 @@
+#include "wire/stream_decoder.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace multipub::wire {
+namespace {
+
+/// Compact once the decoded prefix exceeds this many bytes; the surviving
+/// tail is at most one partial record, so the move is tiny and amortized
+/// O(1) per record.
+constexpr std::size_t kCompactThresholdBytes = 64 * 1024;
+
+}  // namespace
+
+void StreamDecoder::ensure_room(std::size_t bytes) {
+  compact();
+  if (len_ + bytes > buf_.size()) {
+    // Geometric growth: the one-time zero-fill of resize() amortizes away,
+    // and steady-state intake never reallocates again.
+    buf_.resize(std::max(len_ + bytes, buf_.size() * 2));
+  }
+}
+
+void StreamDecoder::feed(std::span<const std::byte> bytes) {
+  if (bytes.empty()) return;
+  ensure_room(bytes.size());
+  std::memcpy(buf_.data() + len_, bytes.data(), bytes.size());
+  len_ += bytes.size();
+}
+
+std::byte* StreamDecoder::write_window(std::size_t min_bytes) {
+  ensure_room(min_bytes);
+  return buf_.data() + len_;
+}
+
+void StreamDecoder::commit(std::size_t n) { len_ += n; }
+
+std::optional<Message> StreamDecoder::next(
+    std::span<const std::byte>* header) {
+  if (corrupt_ || buffered() < record_bytes_) return std::nullopt;
+  const std::span<const std::byte> record(buf_.data() + head_, record_bytes_);
+  auto msg = decode(record.subspan(header_bytes_, kEncodedSize));
+  if (!msg.has_value()) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (header != nullptr) *header = record.first(header_bytes_);
+  head_ += record_bytes_;
+  return msg;
+}
+
+void StreamDecoder::compact() {
+  if (head_ == 0) return;
+  if (head_ == len_) {
+    len_ = 0;
+    head_ = 0;
+    return;
+  }
+  if (head_ < kCompactThresholdBytes) return;
+  const std::size_t tail = len_ - head_;
+  std::memmove(buf_.data(), buf_.data() + head_, tail);
+  len_ = tail;
+  head_ = 0;
+}
+
+void StreamDecoder::reset() {
+  len_ = 0;
+  head_ = 0;
+  corrupt_ = false;
+}
+
+}  // namespace multipub::wire

@@ -1,0 +1,89 @@
+// Resumable frame decoder for byte streams.
+//
+// A TCP stream delivers codec frames at arbitrary read boundaries: one
+// recv() may end mid-frame, the next may carry the remainder plus three
+// more frames. StreamDecoder owns that reassembly so transports never
+// shuffle partial frames themselves: bytes go in (either copied via feed()
+// or read straight into the decoder's buffer via write_window()/commit(),
+// which is what lets a socket transport bulk-recv with zero intermediate
+// copies), complete frames come out of next() decoded in place.
+//
+// Frames may be prefixed by a fixed-size transport header (the socket
+// transport's 12-byte routing envelope); the decoder treats header + frame
+// as one record and hands the header bytes back alongside the decoded
+// message. Decoding a record never allocates: the internal buffer is
+// reused across records, and compaction only ever moves the (< one
+// record) undecoded tail.
+//
+// A frame that fails wire::decode poisons the decoder (corrupt() stays
+// true, next() stops yielding) — a stream that framed wrong once has lost
+// byte alignment for good, so the connection must be torn down, exactly
+// what the transports do.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "wire/codec.h"
+#include "wire/message.h"
+
+namespace multipub::wire {
+
+class StreamDecoder {
+ public:
+  /// `header_bytes` of transport framing precede every codec frame (0 =
+  /// bare frames); one record is header_bytes + kEncodedSize bytes.
+  explicit StreamDecoder(std::size_t header_bytes = 0)
+      : header_bytes_(header_bytes),
+        record_bytes_(header_bytes + kEncodedSize) {}
+
+  /// Appends stream bytes (any length, including mid-record splits).
+  void feed(std::span<const std::byte> bytes);
+
+  /// Zero-copy intake: returns a writable window of at least `min_bytes`
+  /// at the buffer tail for the caller to recv() into, then commit(n) the
+  /// bytes actually read (n <= min_bytes). The window is invalidated by
+  /// any other call.
+  [[nodiscard]] std::byte* write_window(std::size_t min_bytes);
+  void commit(std::size_t n);
+
+  /// Decodes the next complete record in place. nullopt when fewer than
+  /// record_bytes() are buffered or the stream is corrupt. When `header`
+  /// is non-null it receives the record's header bytes, valid until the
+  /// next call on this decoder.
+  [[nodiscard]] std::optional<Message> next(
+      std::span<const std::byte>* header = nullptr);
+
+  /// A record failed to decode; the stream's framing is unrecoverable.
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+
+  /// Undecoded bytes currently buffered (< record_bytes() once next()
+  /// returned nullopt on a healthy stream).
+  [[nodiscard]] std::size_t buffered() const { return len_ - head_; }
+
+  [[nodiscard]] std::size_t record_bytes() const { return record_bytes_; }
+
+  /// Forgets all buffered bytes and clears the corrupt flag (reconnect:
+  /// mid-record bytes from the old connection are useless).
+  void reset();
+
+ private:
+  /// Moves the undecoded tail to the buffer front once the decoded prefix
+  /// dominates the buffer, keeping memory bounded without per-record
+  /// erase-from-front shuffling.
+  void compact();
+
+  /// Makes room for `bytes` more at the tail (compact + geometric growth).
+  void ensure_room(std::size_t bytes);
+
+  std::size_t header_bytes_;
+  std::size_t record_bytes_;
+  std::vector<std::byte> buf_;  ///< storage; the filled prefix is len_
+  std::size_t len_ = 0;         ///< bytes filled
+  std::size_t head_ = 0;        ///< first undecoded byte
+  bool corrupt_ = false;
+};
+
+}  // namespace multipub::wire

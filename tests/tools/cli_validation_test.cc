@@ -115,6 +115,39 @@ TEST(CliValidation, ReliableFlagRejectsAnythingButOnAndOff) {
   EXPECT_NE(node.text.find(expected), std::string::npos) << node.text;
 }
 
+TEST(CliValidation, TransportBatchingFlagIsAcceptedByTheNodeBinary) {
+  // The flag must pass validation for both roles; the node is probed up to
+  // the scenario-file open (exit 1, not the flag-error exit 2).
+  const auto broker = run_cli(build_dir() +
+                              "/tools/multipub-node --role broker "
+                              "--scenario /nonexistent "
+                              "--transport-batching off");
+  EXPECT_EQ(broker.exit_code, 1) << broker.text;
+  EXPECT_NE(broker.text.find("cannot open scenario file"), std::string::npos)
+      << broker.text;
+
+  const auto controller = run_cli(build_dir() +
+                                  "/tools/multipub-node --role controller "
+                                  "--scenario /nonexistent "
+                                  "--transport-batching on");
+  EXPECT_EQ(controller.exit_code, 1) << controller.text;
+  EXPECT_NE(controller.text.find("cannot open scenario file"),
+            std::string::npos)
+      << controller.text;
+}
+
+TEST(CliValidation, TransportBatchingFlagRejectsAnythingButOnAndOff) {
+  const auto node = run_cli(build_dir() +
+                            "/tools/multipub-node --role broker "
+                            "--scenario /nonexistent "
+                            "--transport-batching sometimes");
+  EXPECT_EQ(node.exit_code, 2) << node.text;
+  EXPECT_NE(
+      node.text.find("--transport-batching must be 'on' or 'off'"),
+      std::string::npos)
+      << node.text;
+}
+
 TEST(CliValidation, BreakHooksRequireReliableOn) {
   // The negative hooks sabotage the reliability layer; without the layer
   // armed they would silently test nothing, so the chaos CLI refuses them.

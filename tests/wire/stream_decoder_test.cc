@@ -1,0 +1,223 @@
+// Property test: the resumable StreamDecoder is equivalent to one-shot
+// decoding no matter where the stream fragments.
+//
+// A TCP read can end at ANY byte offset, so for every v4 message kind the
+// encoded record is split at every byte boundary across two reads — and
+// across every pair of boundaries for three reads — and must decode to
+// exactly the one-shot result. The same holds through the zero-copy
+// write_window()/commit() intake the socket transport uses, and with the
+// 12-byte envelope prefix handed back per record.
+#include "wire/stream_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "wire/codec.h"
+#include "wire/message.h"
+
+namespace multipub::wire {
+namespace {
+
+constexpr MessageType kAllTypes[] = {
+    MessageType::kSubscribe,       MessageType::kUnsubscribe,
+    MessageType::kPublish,         MessageType::kForward,
+    MessageType::kDeliver,         MessageType::kConfigUpdate,
+    MessageType::kPing,            MessageType::kPong,
+    MessageType::kLatencyReport,   MessageType::kNodeHello,
+    MessageType::kNodeWelcome,     MessageType::kPeerInfo,
+    MessageType::kHeartbeat,       MessageType::kPhaseStart,
+    MessageType::kPhaseDone,       MessageType::kReportPublisher,
+    MessageType::kReportSubscriber, MessageType::kNodeBye,
+    MessageType::kReportEnd,       MessageType::kReplayRequest,
+    MessageType::kReplayBatch,     MessageType::kStateSnapshot,
+    MessageType::kStateDelta,
+};
+
+/// One deterministic representative per kind, all fields populated so a
+/// mid-field split has real bytes on both sides.
+Message sample(MessageType type, int salt) {
+  Message msg;
+  msg.type = type;
+  msg.topic = TopicId{salt % 5};
+  msg.publisher = ClientId{salt % 13};
+  msg.subscriber = ClientId{-1 + salt % 4};
+  msg.seq = 0x0123456789ABCDEFull ^ static_cast<std::uint64_t>(salt);
+  msg.published_at = 1.5 * static_cast<double>(salt);
+  msg.payload_bytes = static_cast<Bytes>(salt + 1) << 9;
+  msg.config_regions = geo::RegionSet(0xA5A5A5A5u ^ salt);
+  msg.config_mode = salt % 2 == 0 ? WireMode::kDirect : WireMode::kRouted;
+  msg.key = ~static_cast<std::uint64_t>(salt * 7919);
+  msg.filter = {static_cast<std::uint64_t>(salt),
+                ~std::uint64_t{0} - static_cast<std::uint64_t>(salt)};
+  msg.weight = 1 + static_cast<std::uint32_t>(salt) * 1013u;
+  msg.delivery_seq = static_cast<std::uint64_t>(salt) << 32 | 0xFEEDu;
+  return msg;
+}
+
+std::span<const std::byte> as_span(const EncodedMessage& frame) {
+  return {frame.data(), frame.size()};
+}
+
+TEST(StreamDecoder, EveryKindSplitAtEveryBoundaryAcrossTwoReads) {
+  int salt = 0;
+  for (MessageType type : kAllTypes) {
+    const Message msg = sample(type, salt++);
+    const EncodedMessage frame = encode(msg);
+    for (std::size_t cut = 0; cut <= frame.size(); ++cut) {
+      StreamDecoder decoder;
+      decoder.feed(as_span(frame).first(cut));
+      if (cut < frame.size()) {
+        EXPECT_FALSE(decoder.next().has_value())
+            << to_string(type) << " yielded a record from " << cut
+            << " of " << frame.size() << " bytes";
+      }
+      decoder.feed(as_span(frame).subspan(cut));
+      const auto decoded = decoder.next();
+      ASSERT_TRUE(decoded.has_value())
+          << to_string(type) << " split at " << cut;
+      EXPECT_EQ(*decoded, msg) << to_string(type) << " split at " << cut;
+      EXPECT_EQ(decoder.buffered(), 0u);
+      EXPECT_FALSE(decoder.next().has_value());
+    }
+  }
+}
+
+TEST(StreamDecoder, EveryKindSplitAtEveryBoundaryPairAcrossThreeReads) {
+  int salt = 100;
+  for (MessageType type : kAllTypes) {
+    const Message msg = sample(type, salt++);
+    const EncodedMessage frame = encode(msg);
+    for (std::size_t first = 0; first <= frame.size(); ++first) {
+      for (std::size_t second = first; second <= frame.size(); ++second) {
+        StreamDecoder decoder;
+        decoder.feed(as_span(frame).first(first));
+        decoder.feed(as_span(frame).subspan(first, second - first));
+        decoder.feed(as_span(frame).subspan(second));
+        const auto decoded = decoder.next();
+        ASSERT_TRUE(decoded.has_value())
+            << to_string(type) << " split at " << first << "/" << second;
+        ASSERT_EQ(*decoded, msg)
+            << to_string(type) << " split at " << first << "/" << second;
+      }
+    }
+  }
+}
+
+TEST(StreamDecoder, WriteWindowIntakeIsEquivalentToFeed) {
+  const Message msg = sample(MessageType::kDeliver, 42);
+  const EncodedMessage frame = encode(msg);
+  // Worst case: one commit per byte, forcing every possible resume point
+  // through the zero-copy path.
+  StreamDecoder decoder;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::byte* window = decoder.write_window(1);
+    window[0] = frame[i];
+    decoder.commit(1);
+  }
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(StreamDecoder, HeaderBytesRideAlongEachRecord) {
+  constexpr std::size_t kHeader = 12;
+  StreamDecoder decoder(kHeader);
+  EXPECT_EQ(decoder.record_bytes(), kHeader + kEncodedSize);
+
+  std::vector<Message> sent;
+  for (int i = 0; i < 3; ++i) {
+    const Message msg = sample(MessageType::kPublish, 200 + i);
+    sent.push_back(msg);
+    std::byte header[kHeader];
+    for (std::size_t b = 0; b < kHeader; ++b) {
+      header[b] = static_cast<std::byte>(i * 16 + static_cast<int>(b));
+    }
+    decoder.feed({header, kHeader});
+    decoder.feed(as_span(encode(msg)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::span<const std::byte> header;
+    const auto decoded = decoder.next(&header);
+    ASSERT_TRUE(decoded.has_value()) << "record " << i;
+    EXPECT_EQ(*decoded, sent[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(header.size(), kHeader);
+    for (std::size_t b = 0; b < kHeader; ++b) {
+      EXPECT_EQ(static_cast<int>(header[b]), i * 16 + static_cast<int>(b));
+    }
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(StreamDecoder, SustainedStreamStaysBoundedAndInOrder) {
+  StreamDecoder decoder;
+  std::uint64_t next_seq = 0;
+  std::uint64_t expect_seq = 0;
+  // Push far past the compaction threshold in awkward 100-byte slabs so
+  // records keep straddling intake boundaries.
+  std::vector<std::byte> pending;
+  for (int round = 0; round < 5000; ++round) {
+    Message msg = sample(MessageType::kForward, 3);
+    msg.seq = next_seq++;
+    const EncodedMessage frame = encode(msg);
+    pending.insert(pending.end(), frame.begin(), frame.end());
+    while (pending.size() >= 100) {
+      decoder.feed({pending.data(), 100});
+      pending.erase(pending.begin(), pending.begin() + 100);
+      while (const auto decoded = decoder.next()) {
+        EXPECT_EQ(decoded->seq, expect_seq++);
+      }
+    }
+    ASSERT_LT(decoder.buffered(), decoder.record_bytes());
+  }
+  decoder.feed({pending.data(), pending.size()});
+  while (const auto decoded = decoder.next()) {
+    EXPECT_EQ(decoded->seq, expect_seq++);
+  }
+  EXPECT_EQ(expect_seq, next_seq);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(StreamDecoder, CorruptRecordPoisonsTheStreamUntilReset) {
+  StreamDecoder decoder;
+  std::vector<std::byte> garbage(kEncodedSize, std::byte{0x5C});
+  decoder.feed({garbage.data(), garbage.size()});
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.corrupt());
+
+  // A healthy record after the corruption must NOT decode: framing is lost.
+  decoder.feed(as_span(encode(sample(MessageType::kPublish, 7))));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.corrupt());
+
+  // reset() models the reconnect: clean slate.
+  decoder.reset();
+  EXPECT_FALSE(decoder.corrupt());
+  EXPECT_EQ(decoder.buffered(), 0u);
+  const Message msg = sample(MessageType::kPublish, 8);
+  decoder.feed(as_span(encode(msg)));
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(StreamDecoder, ResetDropsAPartialRecord) {
+  StreamDecoder decoder;
+  const EncodedMessage frame = encode(sample(MessageType::kPing, 9));
+  decoder.feed(as_span(frame).first(kEncodedSize / 2));
+  EXPECT_GT(decoder.buffered(), 0u);
+  decoder.reset();
+  EXPECT_EQ(decoder.buffered(), 0u);
+
+  // The next full record decodes from a clean frame boundary.
+  const Message msg = sample(MessageType::kPong, 10);
+  decoder.feed(as_span(encode(msg)));
+  const auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, msg);
+}
+
+}  // namespace
+}  // namespace multipub::wire

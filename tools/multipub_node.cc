@@ -38,7 +38,13 @@ void usage() {
                              (must match across all processes)
   --listen PORT              listening port (default 0 = ephemeral)
   --deadline-ms MS           give up after this much wall time (default 120000)
-  --metrics-out FILE         write final counters here
+  --metrics-out FILE         write final counters here (includes the
+                             net.transport.* hot-path telemetry)
+  --transport-batching on|off
+                             coalesced vectored socket flushes and
+                             encode-once fan-out (default on); off keeps the
+                             per-frame-flush reference path — billing and
+                             delivery are identical either way
 
 controller only:
   --port-file FILE           write the bound port here once listening
@@ -64,7 +70,7 @@ int main(int argc, char** argv) {
   flags.allow_only({
       "help", "role", "scenario", "seed", "listen", "deadline-ms",
       "metrics-out", "port-file", "region", "controller-port", "time-scale",
-      "reliable",
+      "reliable", "transport-batching",
   });
 
   const std::string role = flags.get("role", "");
@@ -97,6 +103,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--reliable must be 'on' or 'off'\n");
     return 2;
   }
+  const std::string batching = flags.get("transport-batching", "on");
+  if (batching != "on" && batching != "off") {
+    std::fprintf(stderr, "--transport-batching must be 'on' or 'off'\n");
+    return 2;
+  }
 
   std::ifstream file(scenario_path);
   if (!file) {
@@ -126,6 +137,7 @@ int main(int argc, char** argv) {
     options.listen_port = static_cast<std::uint16_t>(listen);
     options.metrics_path = flags.get("metrics-out", "");
     options.seed = spec->seed;
+    options.transport_batching = batching == "on";
     node::ControllerNode controller(*scenario, options);
     if (!controller.start()) {
       std::fprintf(stderr, "cannot listen on port %ld\n", listen);
@@ -167,6 +179,7 @@ int main(int argc, char** argv) {
   options.metrics_path = flags.get("metrics-out", "");
   options.time_scale = time_scale;
   options.reliable = reliable == "on";
+  options.transport_batching = batching == "on";
   node::BrokerNode broker(*scenario, region, options);
   if (!broker.start()) {
     std::fprintf(stderr, "cannot listen on port %ld\n", listen);
